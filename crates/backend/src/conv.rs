@@ -1,0 +1,90 @@
+//! Register conventions of the compiler runtime model.
+//!
+//! The architecture places no restrictions on register usage (paper §2),
+//! so the conventions below are pure software choices:
+//!
+//! * return values travel in `r0` / `f0`;
+//! * scalar arguments in `r1..r6` and `f1..f6`, array base addresses in
+//!   `a1..a6`;
+//! * `r7, r8, f7, f8` are reserved as spill scratch registers;
+//! * `r9..r31` and `f9..f31` are allocatable; array parameters get
+//!   dedicated homes `a9..a14`;
+//! * `a31`/`a30` are the stack pointers of the bank-X and bank-Y stacks.
+//!
+//! Every allocatable register a function writes is callee-saved in its
+//! prologue, split across the two stacks in alternation — the paper's
+//! "assign successive save/restore operations to alternating memory
+//! banks" (§3.1).
+
+use dsp_machine::{AReg, FReg, IReg};
+
+/// Number of scalar/array arguments supported per kind.
+pub const MAX_ARGS: usize = 6;
+
+/// Integer return register.
+pub const RET_I: IReg = IReg(0);
+/// Floating-point return register.
+pub const RET_F: FReg = FReg(0);
+
+/// Integer argument registers.
+#[must_use]
+pub fn arg_i(i: usize) -> IReg {
+    assert!(i < MAX_ARGS, "too many integer arguments");
+    IReg(1 + i as u8)
+}
+
+/// Floating-point argument registers.
+#[must_use]
+pub fn arg_f(i: usize) -> FReg {
+    assert!(i < MAX_ARGS, "too many float arguments");
+    FReg(1 + i as u8)
+}
+
+/// Array-argument (base address) registers.
+#[must_use]
+pub fn arg_a(i: usize) -> AReg {
+    assert!(i < MAX_ARGS, "too many array arguments");
+    AReg(1 + i as u8)
+}
+
+/// Spill scratch registers (two per file, enough for any single
+/// operation's reads).
+pub const SCRATCH_I: [IReg; 2] = [IReg(7), IReg(8)];
+/// Floating-point spill scratch registers.
+pub const SCRATCH_F: [FReg; 2] = [FReg(7), FReg(8)];
+
+/// First allocatable register index in the integer and float files.
+pub const FIRST_ALLOC: u8 = 9;
+/// Number of allocatable registers per (int/float) file.
+pub const NUM_ALLOC: usize = 32 - FIRST_ALLOC as usize;
+
+/// Home address register of array parameter `i`.
+#[must_use]
+pub fn param_home(i: usize) -> AReg {
+    assert!(i < MAX_ARGS, "too many array parameters");
+    AReg(9 + i as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventions_do_not_collide() {
+        // Arg regs, scratch and allocatable ranges are disjoint.
+        for i in 0..MAX_ARGS {
+            assert!(arg_i(i).0 < SCRATCH_I[0].0);
+            assert!(arg_f(i).0 < SCRATCH_F[0].0);
+            assert!(param_home(i).0 >= 9);
+            assert!(param_home(i).0 < AReg::SP_Y.0);
+        }
+        assert!(SCRATCH_I[1].0 < FIRST_ALLOC);
+        assert_eq!(NUM_ALLOC, 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many")]
+    fn arg_limit_enforced() {
+        let _ = arg_i(MAX_ARGS);
+    }
+}

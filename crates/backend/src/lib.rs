@@ -1,0 +1,296 @@
+#![warn(missing_docs)]
+//! Back-end of the dual-bank VLIW DSP compiler: optimizations, register
+//! allocation, bank-aware code generation, final operation compaction,
+//! and linking.
+//!
+//! The [`compile_ir`] / [`compile_source`] drivers reproduce the
+//! compiler of the paper (Saghir, Chow & Lee, ASPLOS 1996): a front-end
+//! produces unpacked machine operations, a **data allocation pass**
+//! assigns every variable to one of the two data-memory banks (and
+//! optionally duplicates some), and an **operation compaction pass**
+//! packs operations into VLIW instructions using those assignments.
+//! The [`Strategy`] enum selects the paper's configurations:
+//!
+//! | Strategy | Paper label | Meaning |
+//! |---|---|---|
+//! | [`Strategy::Baseline`] | "unoptimized" | all data in bank X, no partitioning |
+//! | [`Strategy::CbPartition`] | `CB` | compaction-based partitioning, loop-depth weights |
+//! | [`Strategy::ProfileWeighted`] | `Pr` | CB with profile-driven edge weights |
+//! | [`Strategy::PartialDup`] | `Dup` | CB plus partial data duplication |
+//! | [`Strategy::SelectiveDup`] | (§5 refinement) | duplicate only when profiled savings exceed cost |
+//! | [`Strategy::FullDup`] | full duplication | every (global) variable duplicated |
+//! | [`Strategy::Ideal`] | `Ideal` | dual-ported memory: either unit reaches either bank |
+//!
+//! # Example
+//!
+//! ```
+//! use dsp_backend::{compile_source, Strategy};
+//!
+//! let out = compile_source(
+//!     "float A[16]; float B[16]; float out;
+//!      void main() {
+//!          int i; float acc; acc = 0.0;
+//!          for (i = 0; i < 16; i++) acc += A[i] * B[i];
+//!          out = acc;
+//!      }",
+//!     Strategy::CbPartition,
+//! )?;
+//! assert!(out.program.validate(false).is_ok());
+//! # Ok::<(), dsp_backend::CompileError>(())
+//! ```
+
+pub mod conv;
+pub mod layout;
+pub mod link;
+pub mod lir;
+pub mod lirgen;
+pub mod opt;
+pub mod regalloc;
+pub mod schedule;
+
+use dsp_bankalloc::{AllocOptions, BankAllocation, DuplicationMode, WeightKind};
+use dsp_ir::{FuncId, InterpError, Interpreter, Program};
+use dsp_machine::VliwProgram;
+
+/// The compilation configurations evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// All data in one bank; no memory parallelism (the paper's
+    /// normalization base).
+    Baseline,
+    /// Compaction-based data partitioning (paper `CB`).
+    CbPartition,
+    /// CB partitioning with profile-driven edge weights (paper `Pr`).
+    ProfileWeighted,
+    /// CB partitioning plus partial data duplication (paper `Dup`).
+    PartialDup,
+    /// CB partitioning plus *selective* duplication: the paper's §5
+    /// refinement, duplicating only candidates whose profiled cycle
+    /// savings exceed their bookkeeping cost.
+    SelectiveDup,
+    /// Duplicate every (global) variable — the costly straw man of
+    /// Table 3.
+    FullDup,
+    /// Dual-ported memory (paper `Ideal`): run the simulator with
+    /// [`Strategy::dual_ported`] set.
+    Ideal,
+}
+
+impl Strategy {
+    /// All strategies, in presentation order.
+    pub const ALL: [Strategy; 7] = [
+        Strategy::Baseline,
+        Strategy::CbPartition,
+        Strategy::ProfileWeighted,
+        Strategy::PartialDup,
+        Strategy::SelectiveDup,
+        Strategy::FullDup,
+        Strategy::Ideal,
+    ];
+
+    /// True if the produced program must run on a dual-ported memory
+    /// (pass this to the simulator options).
+    #[must_use]
+    pub fn dual_ported(self) -> bool {
+        matches!(self, Strategy::Ideal)
+    }
+
+    /// Short label matching the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Baseline => "Base",
+            Strategy::CbPartition => "CB",
+            Strategy::ProfileWeighted => "Pr",
+            Strategy::PartialDup => "Dup",
+            Strategy::SelectiveDup => "SelDup",
+            Strategy::FullDup => "FullDup",
+            Strategy::Ideal => "Ideal",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Everything the driver produces for one (program, strategy) pair.
+#[derive(Debug, Clone)]
+pub struct CompileOutput {
+    /// The linked executable.
+    pub program: VliwProgram,
+    /// The data allocation that was applied.
+    pub alloc: BankAllocation,
+    /// The optimized IR the executable was generated from (useful for
+    /// inspection and as the profiling subject).
+    pub ir: Program,
+    /// The strategy used.
+    pub strategy: Strategy,
+}
+
+/// Compilation errors.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// The program has no `main`.
+    NoMain,
+    /// Front-end failure (only from [`compile_source`]).
+    Frontend(dsp_frontend::FrontendError),
+    /// Code generation failure.
+    LirGen(lirgen::LirGenError),
+    /// Scheduling failure (dependence cycle — indicates an internal
+    /// bug).
+    Schedule(dsp_sched::CompactError),
+    /// The profiling run for [`Strategy::ProfileWeighted`] failed.
+    Profile(InterpError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::NoMain => write!(f, "program has no main function"),
+            CompileError::Frontend(e) => write!(f, "{e}"),
+            CompileError::LirGen(e) => write!(f, "{e}"),
+            CompileError::Schedule(e) => write!(f, "{e}"),
+            CompileError::Profile(e) => write!(f, "profiling run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<dsp_frontend::FrontendError> for CompileError {
+    fn from(e: dsp_frontend::FrontendError) -> CompileError {
+        CompileError::Frontend(e)
+    }
+}
+
+impl From<lirgen::LirGenError> for CompileError {
+    fn from(e: lirgen::LirGenError) -> CompileError {
+        CompileError::LirGen(e)
+    }
+}
+
+impl From<dsp_sched::CompactError> for CompileError {
+    fn from(e: dsp_sched::CompactError) -> CompileError {
+        CompileError::Schedule(e)
+    }
+}
+
+/// Compile DSP-C source text.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for front-end, allocation, code
+/// generation, or scheduling failures.
+pub fn compile_source(src: &str, strategy: Strategy) -> Result<CompileOutput, CompileError> {
+    let program = dsp_frontend::compile_str(src)?;
+    compile_ir(&program, strategy)
+}
+
+/// Driver-level configuration beyond the [`Strategy`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileConfig {
+    /// Emit duplicated-data stores atomically (both copies in one
+    /// cycle) so interrupt handlers can never observe the copies out of
+    /// sync — the hardware-free answer to the paper's
+    /// store-lock/store-unlock discussion (§3.2).
+    pub interrupt_safe_dup: bool,
+}
+
+/// Compile an IR program.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for allocation, code generation, or
+/// scheduling failures, or if the program lacks `main`.
+pub fn compile_ir(program: &Program, strategy: Strategy) -> Result<CompileOutput, CompileError> {
+    compile_ir_with(program, strategy, CompileConfig::default())
+}
+
+/// [`compile_ir`] with an explicit [`CompileConfig`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for allocation, code generation, or
+/// scheduling failures, or if the program lacks `main`.
+pub fn compile_ir_with(
+    program: &Program,
+    strategy: Strategy,
+    config: CompileConfig,
+) -> Result<CompileOutput, CompileError> {
+    if program.main.is_none() {
+        return Err(CompileError::NoMain);
+    }
+    let mut ir = program.clone();
+    opt::optimize(&mut ir);
+
+    let alloc = match strategy {
+        Strategy::Baseline | Strategy::Ideal => BankAllocation::all_in_x(&ir),
+        Strategy::CbPartition => {
+            BankAllocation::compute(&ir, &AllocOptions::default(), None)
+        }
+        Strategy::ProfileWeighted => {
+            let mut interp = Interpreter::new(&ir);
+            let (_, stats) = interp.run().map_err(CompileError::Profile)?;
+            let opts = AllocOptions {
+                weights: WeightKind::Profile,
+                ..AllocOptions::default()
+            };
+            BankAllocation::compute(&ir, &opts, Some(&stats))
+        }
+        Strategy::PartialDup => {
+            let opts = AllocOptions {
+                duplication: DuplicationMode::Partial,
+                ..AllocOptions::default()
+            };
+            BankAllocation::compute(&ir, &opts, None)
+        }
+        Strategy::SelectiveDup => {
+            let mut interp = Interpreter::new(&ir);
+            let (_, stats) = interp.run().map_err(CompileError::Profile)?;
+            let opts = AllocOptions {
+                weights: WeightKind::Profile,
+                duplication: DuplicationMode::Selective,
+                ..AllocOptions::default()
+            };
+            BankAllocation::compute(&ir, &opts, Some(&stats))
+        }
+        Strategy::FullDup => {
+            let opts = AllocOptions {
+                duplication: DuplicationMode::Full,
+                ..AllocOptions::default()
+            };
+            BankAllocation::compute(&ir, &opts, None)
+        }
+    };
+
+    let data_layout = layout::DataLayout::compute(&ir, &alloc);
+    let ideal = strategy.dual_ported();
+    let mut linked_funcs = Vec::with_capacity(ir.funcs.len());
+    let lir_opts = lirgen::LirGenOptions {
+        interrupt_safe_dup: config.interrupt_safe_dup,
+    };
+    for fi in 0..ir.funcs.len() {
+        let func = FuncId(fi as u32);
+        let lir = lirgen::lower_function_with(&ir, func, &alloc, &data_layout, lir_opts)?;
+        let mut blocks = Vec::with_capacity(lir.blocks.len());
+        for ops in &lir.blocks {
+            blocks.push(schedule::schedule_block(ops, ideal)?);
+        }
+        linked_funcs.push(link::LinkFunction {
+            name: lir.name.clone(),
+            blocks,
+            entry: lir.entry,
+        });
+    }
+    let program = link::link(&ir, linked_funcs, &data_layout);
+    debug_assert_eq!(program.validate(ideal), Ok(()), "linker emitted bad code");
+    Ok(CompileOutput {
+        program,
+        alloc,
+        ir,
+        strategy,
+    })
+}

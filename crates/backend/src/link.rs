@@ -1,0 +1,224 @@
+//! Linking: lay out scheduled functions into one instruction stream,
+//! resolve branch and call targets, and attach the data images.
+//!
+//! The program starts with a three-instruction stub that initializes
+//! both stack pointers (in parallel, one per address unit), calls
+//! `main`, and halts.
+
+use std::collections::HashMap;
+
+use dsp_ir::{BlockId, FuncId, Program};
+use dsp_machine::{
+    AReg, AddrOp, InstAddr, Label, PcuOp, VliwFunction, VliwInst, VliwProgram,
+};
+
+use crate::layout::{DataLayout, STACK_WORDS};
+use crate::schedule::{BlockTerm, ScheduledBlock};
+
+/// One function ready for linking.
+#[derive(Debug, Clone)]
+pub struct LinkFunction {
+    /// Source-level name.
+    pub name: String,
+    /// Scheduled blocks, indexed by [`BlockId`].
+    pub blocks: Vec<ScheduledBlock>,
+    /// The entry (prologue) block.
+    pub entry: BlockId,
+}
+
+/// Link everything into an executable [`VliwProgram`].
+///
+/// # Panics
+///
+/// Panics if `program.main` is unset (the driver validates first).
+#[must_use]
+pub fn link(program: &Program, funcs: Vec<LinkFunction>, layout: &DataLayout) -> VliwProgram {
+    let main = program.main.expect("program has a main function");
+
+    // Per-function block order: entry first, then the rest in id order.
+    let block_order: Vec<Vec<usize>> = funcs
+        .iter()
+        .map(|f| {
+            let mut order = vec![f.entry.index()];
+            order.extend((0..f.blocks.len()).filter(|&b| b != f.entry.index()));
+            order
+        })
+        .collect();
+
+    // Pass 1: finalize the shape of every block (fallthrough decisions),
+    // producing per-block instruction vectors plus patch directives.
+    #[derive(Debug)]
+    enum Patch {
+        None,
+        JumpLast(BlockId),
+        BranchLast(BlockId),
+        BranchLastPlusJump(BlockId, BlockId),
+    }
+    // (instructions, terminator patch, call fixups) per block.
+    type FinalBlock = (Vec<VliwInst>, Patch, Vec<(usize, FuncId)>);
+    let mut final_blocks: Vec<Vec<FinalBlock>> = Vec::new();
+    for (fi, f) in funcs.iter().enumerate() {
+        let order = &block_order[fi];
+        let mut out = Vec::with_capacity(order.len());
+        for (pos, &bi) in order.iter().enumerate() {
+            let next: Option<BlockId> = order.get(pos + 1).map(|&b| BlockId(b as u32));
+            let sb = &f.blocks[bi];
+            let mut insts = sb.insts.clone();
+            let patch = match &sb.term {
+                BlockTerm::Jump(t) => {
+                    if Some(*t) == next {
+                        // Fallthrough: drop the jump.
+                        if let Some(last) = insts.last_mut() {
+                            last.pcu = None;
+                            if last.is_empty() {
+                                insts.pop();
+                            }
+                        }
+                        Patch::None
+                    } else {
+                        Patch::JumpLast(*t)
+                    }
+                }
+                BlockTerm::Br {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    if Some(*else_bb) == next {
+                        Patch::BranchLast(*then_bb)
+                    } else if Some(*then_bb) == next {
+                        // Invert: branch-if-zero to the else target.
+                        let last = insts.last_mut().expect("branch block non-empty");
+                        last.pcu = Some(PcuOp::BranchZ {
+                            cond: *cond,
+                            target: InstAddr(u32::MAX),
+                        });
+                        Patch::BranchLast(*else_bb)
+                    } else {
+                        insts.push(VliwInst::new());
+                        Patch::BranchLastPlusJump(*then_bb, *else_bb)
+                    }
+                }
+                BlockTerm::Ret => Patch::None,
+            };
+            out.push((insts, patch, sb.call_fixups.clone()));
+        }
+        final_blocks.push(out);
+    }
+
+    // Pass 2: assign addresses.
+    const STUB_LEN: u32 = 3;
+    let mut func_addr: Vec<u32> = Vec::with_capacity(funcs.len());
+    let mut block_addr: Vec<HashMap<usize, u32>> = Vec::with_capacity(funcs.len());
+    let mut cursor = STUB_LEN;
+    for (fi, blocks) in final_blocks.iter().enumerate() {
+        func_addr.push(cursor);
+        let mut map = HashMap::new();
+        for (pos, &bi) in block_order[fi].iter().enumerate() {
+            map.insert(bi, cursor);
+            cursor += blocks[pos].0.len() as u32;
+        }
+        block_addr.push(map);
+    }
+
+    // Pass 3: emit with patches applied.
+    let (x_stack_base, y_stack_base) = layout.stack_bases();
+    let mut insts = Vec::with_capacity(cursor as usize);
+    let mut stub0 = VliwInst::new();
+    stub0.au0 = Some(AddrOp::Lea {
+        dst: AReg::SP_X,
+        addr: x_stack_base,
+    });
+    stub0.au1 = Some(AddrOp::Lea {
+        dst: AReg::SP_Y,
+        addr: y_stack_base,
+    });
+    let mut stub1 = VliwInst::new();
+    stub1.pcu = Some(PcuOp::Call(InstAddr(func_addr[main.index()])));
+    let mut stub2 = VliwInst::new();
+    stub2.pcu = Some(PcuOp::Halt);
+    insts.push(stub0);
+    insts.push(stub1);
+    insts.push(stub2);
+
+    let mut labels = vec![Label {
+        name: "_start".into(),
+        addr: InstAddr(0),
+    }];
+    let mut functions = Vec::with_capacity(funcs.len());
+    for (fi, blocks) in final_blocks.into_iter().enumerate() {
+        let start = InstAddr(func_addr[fi]);
+        labels.push(Label {
+            name: funcs[fi].name.clone(),
+            addr: start,
+        });
+        let mut len = 0u32;
+        for (mut block_insts, patch, call_fixups) in blocks {
+            let addr_of = |b: BlockId| InstAddr(block_addr[fi][&b.index()]);
+            for (idx, callee) in call_fixups {
+                let inst = &mut block_insts[idx];
+                inst.pcu = Some(PcuOp::Call(InstAddr(func_addr[callee.index()])));
+            }
+            match patch {
+                Patch::None => {}
+                Patch::JumpLast(t) => {
+                    let last = block_insts.last_mut().expect("jump block non-empty");
+                    last.pcu = Some(PcuOp::Jump(addr_of(t)));
+                }
+                Patch::BranchLast(t) => {
+                    let last = block_insts.last_mut().expect("branch block non-empty");
+                    match last.pcu {
+                        Some(PcuOp::BranchNz { cond, .. }) => {
+                            last.pcu = Some(PcuOp::BranchNz {
+                                cond,
+                                target: addr_of(t),
+                            });
+                        }
+                        Some(PcuOp::BranchZ { cond, .. }) => {
+                            last.pcu = Some(PcuOp::BranchZ {
+                                cond,
+                                target: addr_of(t),
+                            });
+                        }
+                        ref other => unreachable!("expected branch, found {other:?}"),
+                    }
+                }
+                Patch::BranchLastPlusJump(then_bb, else_bb) => {
+                    let n = block_insts.len();
+                    match block_insts[n - 2].pcu {
+                        Some(PcuOp::BranchNz { cond, .. }) => {
+                            block_insts[n - 2].pcu = Some(PcuOp::BranchNz {
+                                cond,
+                                target: addr_of(then_bb),
+                            });
+                        }
+                        ref other => unreachable!("expected branch, found {other:?}"),
+                    }
+                    block_insts[n - 1].pcu = Some(PcuOp::Jump(addr_of(else_bb)));
+                }
+            }
+            len += block_insts.len() as u32;
+            insts.extend(block_insts);
+        }
+        functions.push(VliwFunction {
+            name: funcs[fi].name.clone(),
+            start,
+            len,
+        });
+    }
+
+    VliwProgram {
+        insts,
+        entry: InstAddr(0),
+        x_image: layout.x_image.clone(),
+        y_image: layout.y_image.clone(),
+        x_static_words: layout.x_static,
+        y_static_words: layout.y_static,
+        x_stack_base,
+        y_stack_base,
+        stack_words: STACK_WORDS,
+        symbols: layout.symbols.clone(),
+        functions,
+        labels,
+    }
+}

@@ -1,0 +1,269 @@
+//! Loop-invariant code motion.
+//!
+//! Hoists pure computations and provably loop-invariant loads into the
+//! loop preheader. Hoisting a load is legal when nothing in the loop
+//! may store to the same object (no aliasing store, no call) — easy to
+//! establish here because every memory reference names its object.
+
+use std::collections::HashSet;
+
+use dsp_ir::depgraph::refs_may_overlap;
+use dsp_ir::ops::Op;
+use dsp_ir::{BlockId, Cfg, Function, LoopInfo, NaturalLoop, VReg};
+
+/// Find the preheader of `looop`: its unique out-of-loop predecessor
+/// ending in an unconditional jump to the header.
+pub fn find_preheader(f: &Function, cfg: &Cfg, looop: &NaturalLoop) -> Option<BlockId> {
+    let entry_preds: Vec<BlockId> = cfg.preds[looop.header.index()]
+        .iter()
+        .copied()
+        .filter(|p| !looop.contains(*p))
+        .collect();
+    match entry_preds.as_slice() {
+        [p] if matches!(f.block(*p).terminator(), Some(Op::Jmp(t)) if *t == looop.header) => {
+            Some(*p)
+        }
+        _ => None,
+    }
+}
+
+/// Run LICM on every natural loop of `f`. Requires preheaders
+/// ([`super::loops::insert_preheaders`]).
+pub fn run(f: &mut Function) {
+    let info = LoopInfo::compute(f);
+    // Innermost-first: deeper headers first so invariants bubble outward
+    // across repeated pipeline rounds.
+    let mut order: Vec<usize> = (0..info.loops.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(info.depth[info.loops[i].header.index()]));
+    for li in order {
+        let looop = info.loops[li].clone();
+        hoist_loop(f, &looop);
+    }
+}
+
+fn hoist_loop(f: &mut Function, looop: &NaturalLoop) {
+    let cfg = Cfg::build(f);
+    let Some(pre) = find_preheader(f, &cfg, looop) else {
+        return;
+    };
+    let idom = cfg.immediate_dominators();
+
+    // Iterate: hoisting one op may make another invariant.
+    loop {
+        // Facts about the loop in its current shape.
+        let mut defs_in_loop: HashSet<VReg> = HashSet::new();
+        let mut def_count_fn: std::collections::HashMap<VReg, usize> =
+            std::collections::HashMap::new();
+        let mut has_call = false;
+        let mut stores: Vec<dsp_ir::MemRef> = Vec::new();
+        for (bi, block) in f.iter_blocks() {
+            for op in &block.ops {
+                if let Some(d) = op.def() {
+                    *def_count_fn.entry(d).or_insert(0) += 1;
+                    if looop.contains(bi) {
+                        defs_in_loop.insert(d);
+                    }
+                }
+                if looop.contains(bi) {
+                    match op {
+                        Op::Call { .. } => has_call = true,
+                        Op::Store { addr, .. } => stores.push(*addr),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Uses: where is each vreg used (for the dominance condition)?
+        let mut use_blocks: std::collections::HashMap<VReg, Vec<BlockId>> =
+            std::collections::HashMap::new();
+        for (bi, block) in f.iter_blocks() {
+            for op in &block.ops {
+                for u in op.uses() {
+                    use_blocks.entry(u).or_default().push(bi);
+                }
+                if let Some(mr) = op.mem_ref() {
+                    if let Some(ix) = mr.index {
+                        use_blocks.entry(ix).or_default().push(bi);
+                    }
+                }
+            }
+        }
+
+        let mut hoisted = false;
+        'search: for &bi in &looop.blocks {
+            // The candidate must execute on every iteration and its def
+            // must dominate all its uses: require its block to dominate
+            // every latch and every use block.
+            let dominates_latches = looop
+                .latches
+                .iter()
+                .all(|&l| cfg.dominates(&idom, bi, l));
+            if !dominates_latches {
+                continue;
+            }
+            let ops_len = f.block(bi).ops.len();
+            for oi in 0..ops_len {
+                let op = &f.block(bi).ops[oi];
+                let Some(d) = op.def() else { continue };
+                if def_count_fn.get(&d).copied().unwrap_or(0) != 1 {
+                    continue;
+                }
+                if !hoistable_kind(op, has_call, &stores) {
+                    continue;
+                }
+                if op.uses().iter().any(|u| defs_in_loop.contains(u)) {
+                    continue;
+                }
+                // Same-block uses before the def would be exposed to the
+                // hoisted value — but with a single function-wide def,
+                // such a use could only read an uninitialized register,
+                // which validated lowering never produces. Check
+                // dominance of use blocks (excluding the def block,
+                // where textual order suffices given single-def).
+                let dom_ok = use_blocks.get(&d).is_none_or(|ubs| {
+                    ubs.iter()
+                        .all(|&ub| ub == bi || cfg.dominates(&idom, bi, ub))
+                });
+                if !dom_ok {
+                    continue;
+                }
+                // Hoist: move op to the preheader, before its Jmp.
+                let op = f.block_mut(bi).ops.remove(oi);
+                let pre_ops = &mut f.block_mut(pre).ops;
+                let at = pre_ops.len() - 1;
+                pre_ops.insert(at, op);
+                hoisted = true;
+                break 'search;
+            }
+        }
+        if !hoisted {
+            break;
+        }
+    }
+}
+
+fn hoistable_kind(op: &Op, loop_has_call: bool, loop_stores: &[dsp_ir::MemRef]) -> bool {
+    match op {
+        Op::MovI { .. }
+        | Op::MovF { .. }
+        | Op::IBin { .. }
+        | Op::ICmp { .. }
+        | Op::INeg { .. }
+        | Op::INot { .. }
+        | Op::FBin { .. }
+        | Op::FCmp { .. }
+        | Op::FNeg { .. }
+        | Op::ItoF { .. }
+        | Op::FtoI { .. } => true,
+        Op::Load { addr, .. } => {
+            !loop_has_call && !loop_stores.iter().any(|s| refs_may_overlap(s, addr))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_frontend::compile_str;
+
+    fn optimize_lightly(p: &mut dsp_ir::Program) {
+        for f in &mut p.funcs {
+            super::super::local::run(f);
+            super::super::dce::run(f);
+            super::super::loops::insert_preheaders(f);
+            run(f);
+            super::super::local::run(f);
+            super::super::dce::run(f);
+        }
+    }
+
+    /// Count loads inside loop bodies of `main`.
+    fn loads_in_loops(p: &dsp_ir::Program) -> usize {
+        let f = p.func(p.main.unwrap());
+        let info = LoopInfo::compute(f);
+        f.iter_blocks()
+            .filter(|(bi, _)| info.depth_of(*bi) > 0)
+            .flat_map(|(_, b)| &b.ops)
+            .filter(|o| matches!(o, Op::Load { .. }))
+            .count()
+    }
+
+    #[test]
+    fn invariant_global_load_hoisted() {
+        let src = "int m; int A[8]; int out;
+                   void main() {
+                     int i; out = 0;
+                     m = 3;
+                     for (i = 0; i < 8; i++) out += A[i] * m;
+                   }";
+        let mut p = compile_str(src).unwrap();
+        // `out` is a global scalar: its load/store stay in the loop, but
+        // the load of `m` must hoist.
+        let before = loads_in_loops(&p);
+        optimize_lightly(&mut p);
+        let after = loads_in_loops(&p);
+        assert!(after < before, "loads in loops: {before} -> {after}");
+        // Semantics preserved.
+        let mut i2 = dsp_ir::Interpreter::new(&p);
+        i2.run().unwrap();
+        assert_eq!(i2.global_mem_by_name("out").unwrap()[0].as_i32(), 0);
+    }
+
+    #[test]
+    fn store_in_loop_blocks_load_hoist() {
+        let src = "int m; int out;
+                   void main() {
+                     int i; out = 0;
+                     for (i = 0; i < 8; i++) { m = i; out += m; }
+                   }";
+        let mut p = compile_str(src).unwrap();
+        optimize_lightly(&mut p);
+        // The load of m cannot hoist (m stored each iteration).
+        let mut i2 = dsp_ir::Interpreter::new(&p);
+        i2.run().unwrap();
+        assert_eq!(i2.global_mem_by_name("out").unwrap()[0].as_i32(), 28);
+    }
+
+    #[test]
+    fn call_in_loop_blocks_load_hoist() {
+        let src = "int m = 5; int out;
+                   void bump() { m += 1; }
+                   void main() {
+                     int i; out = 0;
+                     for (i = 0; i < 3; i++) { bump(); out += m; }
+                   }";
+        let mut p = compile_str(src).unwrap();
+        optimize_lightly(&mut p);
+        let mut i2 = dsp_ir::Interpreter::new(&p);
+        i2.run().unwrap();
+        assert_eq!(i2.global_mem_by_name("out").unwrap()[0].as_i32(), 6 + 7 + 8);
+    }
+
+    #[test]
+    fn invariant_arithmetic_hoisted_from_inner_loop() {
+        let src = "float A[16]; float B[16]; float C[16]; float out;
+                   void main() {
+                     int i; int j;
+                     for (i = 0; i < 4; i++)
+                       for (j = 0; j < 4; j++)
+                         C[i * 4 + j] = A[i * 4 + j] + B[i * 4 + j];
+                     out = C[0];
+                   }";
+        let mut p = compile_str(src).unwrap();
+        optimize_lightly(&mut p);
+        p.validate().unwrap();
+        // i*4 should no longer be computed in the inner loop.
+        let f = p.func(p.main.unwrap());
+        let info = LoopInfo::compute(f);
+        let inner_muls = f
+            .iter_blocks()
+            .filter(|(bi, _)| info.depth_of(*bi) == 2)
+            .flat_map(|(_, b)| &b.ops)
+            .filter(
+                |o| matches!(o, Op::IBin { kind: dsp_machine::IntBinKind::Mul, .. }),
+            )
+            .count();
+        assert_eq!(inner_muls, 0, "i*4 must hoist out of the j loop");
+    }
+}

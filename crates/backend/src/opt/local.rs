@@ -1,0 +1,691 @@
+//! Per-block constant folding, constant/copy propagation, and algebraic
+//! simplification.
+
+use std::collections::HashMap;
+
+use dsp_ir::interp::{eval_fbin, eval_fcmp, eval_ibin, eval_icmp};
+use dsp_ir::ops::{FOperand, IOperand, Op};
+use dsp_ir::{Function, VReg};
+use dsp_machine::IntBinKind;
+
+/// Facts known about a virtual register at a program point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Fact {
+    ConstI(i32),
+    ConstF(f32),
+    Copy(VReg),
+}
+
+/// Run local optimization on every block of `f`.
+pub fn run(f: &mut Function) {
+    let vreg_types = f.vregs.clone();
+    for block in &mut f.blocks {
+        run_block(&mut block.ops, &vreg_types);
+    }
+}
+
+/// A canonical key for a pure computation, for local CSE. Commutative
+/// operations order their register operands so `a+b` and `b+a` unify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ExprKey {
+    IBin(IntBinKind, VReg, IKeyOperand),
+    ICmp(dsp_machine::CmpKind, VReg, IKeyOperand),
+    INeg(VReg),
+    INot(VReg),
+    FBin(dsp_machine::FpBinKind, VReg, VReg),
+    FCmp(dsp_machine::CmpKind, VReg, VReg),
+    FNeg(VReg),
+    ItoF(VReg),
+    FtoI(VReg),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum IKeyOperand {
+    Reg(VReg),
+    Imm(i32),
+}
+
+impl ExprKey {
+    fn of(op: &Op) -> Option<ExprKey> {
+        let ik = |o: &IOperand| match o {
+            IOperand::Reg(r) => IKeyOperand::Reg(*r),
+            IOperand::Imm(c) => IKeyOperand::Imm(*c),
+        };
+        Some(match op {
+            Op::IBin { kind, lhs, rhs, .. } => {
+                // Canonicalize commutative forms.
+                let commutative = matches!(
+                    kind,
+                    IntBinKind::Add
+                        | IntBinKind::Mul
+                        | IntBinKind::And
+                        | IntBinKind::Or
+                        | IntBinKind::Xor
+                );
+                match (commutative, rhs) {
+                    (true, IOperand::Reg(r)) if r.0 < lhs.0 => {
+                        ExprKey::IBin(*kind, *r, IKeyOperand::Reg(*lhs))
+                    }
+                    _ => ExprKey::IBin(*kind, *lhs, ik(rhs)),
+                }
+            }
+            Op::ICmp { kind, lhs, rhs, .. } => ExprKey::ICmp(*kind, *lhs, ik(rhs)),
+            Op::INeg { src, .. } => ExprKey::INeg(*src),
+            Op::INot { src, .. } => ExprKey::INot(*src),
+            Op::FBin { kind, lhs, rhs, .. } => {
+                let commutative =
+                    matches!(kind, dsp_machine::FpBinKind::Add | dsp_machine::FpBinKind::Mul);
+                if commutative && rhs.0 < lhs.0 {
+                    ExprKey::FBin(*kind, *rhs, *lhs)
+                } else {
+                    ExprKey::FBin(*kind, *lhs, *rhs)
+                }
+            }
+            Op::FCmp { kind, lhs, rhs, .. } => ExprKey::FCmp(*kind, *lhs, *rhs),
+            Op::FNeg { src, .. } => ExprKey::FNeg(*src),
+            Op::ItoF { src, .. } => ExprKey::ItoF(*src),
+            Op::FtoI { src, .. } => ExprKey::FtoI(*src),
+            _ => return None,
+        })
+    }
+
+    fn mentions(&self, v: VReg) -> bool {
+        match *self {
+            ExprKey::IBin(_, a, b) | ExprKey::ICmp(_, a, b) => {
+                a == v || b == IKeyOperand::Reg(v)
+            }
+            ExprKey::FBin(_, a, b) | ExprKey::FCmp(_, a, b) => a == v || b == v,
+            ExprKey::INeg(a)
+            | ExprKey::INot(a)
+            | ExprKey::FNeg(a)
+            | ExprKey::ItoF(a)
+            | ExprKey::FtoI(a) => a == v,
+        }
+    }
+}
+
+fn run_block(ops: &mut Vec<Op>, vreg_types: &[dsp_ir::Type]) {
+    let mut facts: HashMap<VReg, Fact> = HashMap::new();
+    // Available pure computations for local CSE.
+    let mut exprs: HashMap<ExprKey, VReg> = HashMap::new();
+    // Available memory values: exact reference -> register known to hold
+    // its current contents (redundant-load elimination and
+    // store-to-load forwarding). An entry dies when its reference's
+    // index register or its value register is redefined, when an
+    // overlapping store lands, or at a call.
+    let mut avail: Vec<(dsp_ir::MemRef, VReg)> = Vec::new();
+    let resolve = |facts: &HashMap<VReg, Fact>, mut v: VReg| -> VReg {
+        // Chase copy chains (bounded: facts form a DAG by construction).
+        let mut hops = 0;
+        while let Some(Fact::Copy(s)) = facts.get(&v) {
+            v = *s;
+            hops += 1;
+            if hops > ops_chain_limit() {
+                break;
+            }
+        }
+        v
+    };
+    for op in ops.iter_mut() {
+        // 1. Rewrite register uses through copies.
+        op.map_uses(|v| resolve(&facts, v));
+        // 2. Substitute known constants into immediate-capable operands.
+        substitute_consts(op, &facts);
+        // 3. Fold and simplify.
+        fold(op, &facts);
+        // 3a'. Common-subexpression elimination: replace a recomputed
+        //      pure expression with a copy of the previous result.
+        if let (Some(key), Some(d)) = (ExprKey::of(op), op.def()) {
+            if let Some(&prev) = exprs.get(&key) {
+                if prev != d {
+                    *op = match vreg_types[d.index()] {
+                        dsp_ir::Type::Int => Op::MovI {
+                            dst: d,
+                            src: IOperand::Reg(prev),
+                        },
+                        dsp_ir::Type::Float => Op::MovF {
+                            dst: d,
+                            src: FOperand::Reg(prev),
+                        },
+                    };
+                }
+            }
+        }
+        // 3b. Memory value numbering: look up loads against the
+        //     available values *before* this op's own definition
+        //     invalidates anything.
+        if let Op::Load { dst, addr } = op {
+            if let Some((_, v)) = avail.iter().find(|(r, _)| r == addr) {
+                // Redundant load: turn into a register copy.
+                *op = match vreg_types[dst.index()] {
+                    dsp_ir::Type::Int => Op::MovI {
+                        dst: *dst,
+                        src: IOperand::Reg(*v),
+                    },
+                    dsp_ir::Type::Float => Op::MovF {
+                        dst: *dst,
+                        src: FOperand::Reg(*v),
+                    },
+                };
+            }
+        }
+        // Invalidate entries whose value or index register this op
+        // redefines, entries an overlapping store clobbers, and
+        // everything at a call.
+        if let Some(d) = op.def() {
+            avail.retain(|(r, v)| *v != d && r.index != Some(d));
+        }
+        match op {
+            Op::Load { dst, addr }
+                if addr.index != Some(*dst) && !avail.iter().any(|(r, _)| r == addr) => {
+                    avail.push((*addr, *dst));
+                }
+            Op::Store { src, addr } => {
+                avail.retain(|(r, _)| !dsp_ir::depgraph::refs_may_overlap(r, addr));
+                avail.push((*addr, *src));
+            }
+            Op::Call { .. } => avail.clear(),
+            _ => {}
+        }
+        // 4. Update facts: a def kills everything about dst and every
+        //    copy pointing at dst, then records the new fact.
+        if let Some(d) = op.def() {
+            exprs.retain(|k, v| *v != d && !k.mentions(d));
+            // Self-referential updates (`d = d + 1`) must not be
+            // recorded: the key's operand would denote the *new* value.
+            if let Some(key) = ExprKey::of(op) {
+                if !op.uses().contains(&d) {
+                    exprs.insert(key, d);
+                }
+            }
+            facts.remove(&d);
+            facts.retain(|_, f| !matches!(f, Fact::Copy(s) if *s == d));
+            match op {
+                Op::MovI {
+                    src: IOperand::Imm(c),
+                    ..
+                } => {
+                    facts.insert(d, Fact::ConstI(*c));
+                }
+                Op::MovF {
+                    src: FOperand::Imm(c),
+                    ..
+                } => {
+                    facts.insert(d, Fact::ConstF(*c));
+                }
+                Op::MovI {
+                    src: IOperand::Reg(s),
+                    ..
+                }
+                | Op::MovF {
+                    src: FOperand::Reg(s),
+                    ..
+                }
+                    if *s != d => {
+                        facts.insert(d, Fact::Copy(*s));
+                    }
+                _ => {}
+            }
+        }
+    }
+    let _ = ops;
+}
+
+fn ops_chain_limit() -> usize {
+    64
+}
+
+fn substitute_consts(op: &mut Op, facts: &HashMap<VReg, Fact>) {
+    let const_i = |v: VReg| -> Option<i32> {
+        match facts.get(&v) {
+            Some(Fact::ConstI(c)) => Some(*c),
+            _ => None,
+        }
+    };
+    match op {
+        Op::MovI { src, .. } => {
+            if let IOperand::Reg(r) = src {
+                if let Some(c) = const_i(*r) {
+                    *src = IOperand::Imm(c);
+                }
+            }
+        }
+        Op::MovF { src, .. } => {
+            if let FOperand::Reg(r) = src {
+                if let Some(Fact::ConstF(c)) = facts.get(r) {
+                    *src = FOperand::Imm(*c);
+                }
+            }
+        }
+        Op::IBin { rhs, .. } | Op::ICmp { rhs, .. } => {
+            if let IOperand::Reg(r) = rhs {
+                if let Some(c) = const_i(*r) {
+                    *rhs = IOperand::Imm(c);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn fold(op: &mut Op, facts: &HashMap<VReg, Fact>) {
+    let const_i = |v: VReg| -> Option<i32> {
+        match facts.get(&v) {
+            Some(Fact::ConstI(c)) => Some(*c),
+            _ => None,
+        }
+    };
+    let const_f = |v: VReg| -> Option<f32> {
+        match facts.get(&v) {
+            Some(Fact::ConstF(c)) => Some(*c),
+            _ => None,
+        }
+    };
+    let new = match op {
+        Op::IBin { kind, dst, lhs, rhs } => {
+            let rc = match rhs {
+                IOperand::Imm(c) => Some(*c),
+                IOperand::Reg(r) => const_i(*r),
+            };
+            match (const_i(*lhs), rc) {
+                (Some(a), Some(b)) => Some(Op::MovI {
+                    dst: *dst,
+                    src: IOperand::Imm(eval_ibin(*kind, a, b)),
+                }),
+                (None, Some(b)) => simplify_ibin(*kind, *dst, *lhs, b),
+                _ => None,
+            }
+        }
+        Op::ICmp { kind, dst, lhs, rhs } => {
+            let rc = match rhs {
+                IOperand::Imm(c) => Some(*c),
+                IOperand::Reg(r) => const_i(*r),
+            };
+            match (const_i(*lhs), rc) {
+                (Some(a), Some(b)) => Some(Op::MovI {
+                    dst: *dst,
+                    src: IOperand::Imm(i32::from(eval_icmp(*kind, a, b))),
+                }),
+                _ => None,
+            }
+        }
+        Op::FBin { kind, dst, lhs, rhs } => match (const_f(*lhs), const_f(*rhs)) {
+            (Some(a), Some(b)) => Some(Op::MovF {
+                dst: *dst,
+                src: FOperand::Imm(eval_fbin(*kind, a, b)),
+            }),
+            // x * 1.0 and x + 0.0 are exact identities in IEEE-754 for
+            // our purposes only when x is not a NaN/-0 edge case; leave
+            // float algebra alone.
+            _ => None,
+        },
+        Op::FCmp { kind, dst, lhs, rhs } => match (const_f(*lhs), const_f(*rhs)) {
+            (Some(a), Some(b)) => Some(Op::MovI {
+                dst: *dst,
+                src: IOperand::Imm(i32::from(eval_fcmp(*kind, a, b))),
+            }),
+            _ => None,
+        },
+        Op::INeg { dst, src } => const_i(*src).map(|c| Op::MovI {
+            dst: *dst,
+            src: IOperand::Imm(c.wrapping_neg()),
+        }),
+        Op::INot { dst, src } => const_i(*src).map(|c| Op::MovI {
+            dst: *dst,
+            src: IOperand::Imm(!c),
+        }),
+        Op::FNeg { dst, src } => const_f(*src).map(|c| Op::MovF {
+            dst: *dst,
+            src: FOperand::Imm(-c),
+        }),
+        Op::ItoF { dst, src } => const_i(*src).map(|c| Op::MovF {
+            dst: *dst,
+            src: FOperand::Imm(c as f32),
+        }),
+        Op::FtoI { dst, src } => const_f(*src).map(|c| Op::MovI {
+            dst: *dst,
+            src: IOperand::Imm(c as i32),
+        }),
+        _ => None,
+    };
+    if let Some(new) = new {
+        *op = new;
+    }
+}
+
+/// Algebraic identities on integer ops with a constant right operand.
+fn simplify_ibin(kind: IntBinKind, dst: VReg, lhs: VReg, b: i32) -> Option<Op> {
+    match (kind, b) {
+        (IntBinKind::Add | IntBinKind::Sub | IntBinKind::Or | IntBinKind::Xor, 0)
+        | (IntBinKind::Mul | IntBinKind::Div, 1)
+        | (IntBinKind::Shl | IntBinKind::Shr, 0) => Some(Op::MovI {
+            dst,
+            src: IOperand::Reg(lhs),
+        }),
+        (IntBinKind::Mul | IntBinKind::And, 0) => Some(Op::MovI {
+            dst,
+            src: IOperand::Imm(0),
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_ir::Type;
+
+    fn count_kind(f: &Function, pred: impl Fn(&Op) -> bool) -> usize {
+        f.blocks.iter().flat_map(|b| &b.ops).filter(|o| pred(o)).count()
+    }
+
+    #[test]
+    fn folds_constant_chain() {
+        let mut f = Function::new("t");
+        let a = f.new_vreg(Type::Int);
+        let b = f.new_vreg(Type::Int);
+        let c = f.new_vreg(Type::Int);
+        let e = f.entry;
+        f.block_mut(e).push(Op::MovI {
+            dst: a,
+            src: IOperand::Imm(6),
+        });
+        f.block_mut(e).push(Op::MovI {
+            dst: b,
+            src: IOperand::Imm(7),
+        });
+        f.block_mut(e).push(Op::IBin {
+            kind: IntBinKind::Mul,
+            dst: c,
+            lhs: a,
+            rhs: IOperand::Reg(b),
+        });
+        f.block_mut(e).push(Op::Ret(None));
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].ops[2],
+            Op::MovI {
+                dst: c,
+                src: IOperand::Imm(42)
+            }
+        );
+    }
+
+    #[test]
+    fn copy_propagates_through_moves() {
+        let mut f = Function::new("t");
+        let a = f.new_vreg(Type::Int);
+        let b = f.new_vreg(Type::Int);
+        let c = f.new_vreg(Type::Int);
+        let e = f.entry;
+        // b = a; c = b + b  ==> c = a + a
+        f.block_mut(e).push(Op::MovI {
+            dst: b,
+            src: IOperand::Reg(a),
+        });
+        f.block_mut(e).push(Op::IBin {
+            kind: IntBinKind::Add,
+            dst: c,
+            lhs: b,
+            rhs: IOperand::Reg(b),
+        });
+        f.block_mut(e).push(Op::Ret(None));
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].ops[1],
+            Op::IBin {
+                kind: IntBinKind::Add,
+                dst: c,
+                lhs: a,
+                rhs: IOperand::Reg(a)
+            }
+        );
+    }
+
+    #[test]
+    fn kill_on_redefinition() {
+        let mut f = Function::new("t");
+        let a = f.new_vreg(Type::Int);
+        let b = f.new_vreg(Type::Int);
+        let e = f.entry;
+        // a = 1; a = b; (a no longer 1) ; b2 = a + 0 -> must use a, not 1.
+        f.block_mut(e).push(Op::MovI {
+            dst: a,
+            src: IOperand::Imm(1),
+        });
+        f.block_mut(e).push(Op::MovI {
+            dst: a,
+            src: IOperand::Reg(b),
+        });
+        let c = f.new_vreg(Type::Int);
+        f.block_mut(e).push(Op::IBin {
+            kind: IntBinKind::Add,
+            dst: c,
+            lhs: a,
+            rhs: IOperand::Imm(0),
+        });
+        f.block_mut(e).push(Op::Ret(None));
+        run(&mut f);
+        // a+0 simplifies to a move of b (copy-propagated).
+        assert_eq!(
+            f.blocks[0].ops[2],
+            Op::MovI {
+                dst: c,
+                src: IOperand::Reg(b)
+            }
+        );
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let mut f = Function::new("t");
+        let a = f.new_vreg(Type::Int);
+        let b = f.new_vreg(Type::Int);
+        let c = f.new_vreg(Type::Int);
+        let e = f.entry;
+        f.block_mut(e).push(Op::IBin {
+            kind: IntBinKind::Mul,
+            dst: b,
+            lhs: a,
+            rhs: IOperand::Imm(1),
+        });
+        f.block_mut(e).push(Op::IBin {
+            kind: IntBinKind::Mul,
+            dst: c,
+            lhs: a,
+            rhs: IOperand::Imm(0),
+        });
+        f.block_mut(e).push(Op::Ret(None));
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].ops[0],
+            Op::MovI {
+                dst: b,
+                src: IOperand::Reg(a)
+            }
+        );
+        assert_eq!(
+            f.blocks[0].ops[1],
+            Op::MovI {
+                dst: c,
+                src: IOperand::Imm(0)
+            }
+        );
+        let _ = count_kind(&f, |o| matches!(o, Op::IBin { .. }));
+    }
+
+    #[test]
+    fn common_subexpression_eliminated() {
+        let mut f = Function::new("t");
+        let a = f.new_vreg(Type::Int);
+        let b = f.new_vreg(Type::Int);
+        let x = f.new_vreg(Type::Int);
+        let y = f.new_vreg(Type::Int);
+        let e = f.entry;
+        // x = a + b; y = b + a;  (commutative: y becomes a copy of x)
+        f.block_mut(e).push(Op::IBin {
+            kind: IntBinKind::Add,
+            dst: x,
+            lhs: a,
+            rhs: IOperand::Reg(b),
+        });
+        f.block_mut(e).push(Op::IBin {
+            kind: IntBinKind::Add,
+            dst: y,
+            lhs: b,
+            rhs: IOperand::Reg(a),
+        });
+        f.block_mut(e).push(Op::Ret(None));
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].ops[1],
+            Op::MovI {
+                dst: y,
+                src: IOperand::Reg(x)
+            }
+        );
+    }
+
+    #[test]
+    fn cse_killed_by_operand_redefinition() {
+        let mut f = Function::new("t");
+        let a = f.new_vreg(Type::Int);
+        let x = f.new_vreg(Type::Int);
+        let y = f.new_vreg(Type::Int);
+        let e = f.entry;
+        // x = a * 3; a = 9; y = a * 3  (must NOT reuse x)
+        f.block_mut(e).push(Op::IBin {
+            kind: IntBinKind::Mul,
+            dst: x,
+            lhs: a,
+            rhs: IOperand::Imm(3),
+        });
+        f.block_mut(e).push(Op::MovI {
+            dst: a,
+            src: IOperand::Imm(9),
+        });
+        f.block_mut(e).push(Op::IBin {
+            kind: IntBinKind::Mul,
+            dst: y,
+            lhs: a,
+            rhs: IOperand::Imm(3),
+        });
+        f.block_mut(e).push(Op::Ret(None));
+        run(&mut f);
+        // Constant propagation turns the second into 27; either way it
+        // must not be a copy of x.
+        assert_ne!(
+            f.blocks[0].ops[2],
+            Op::MovI {
+                dst: y,
+                src: IOperand::Reg(x)
+            }
+        );
+    }
+
+    #[test]
+    fn self_update_not_recorded_as_available() {
+        let mut f = Function::new("t");
+        let a = f.new_vreg(Type::Int);
+        let b = f.new_vreg(Type::Int);
+        let e = f.entry;
+        // a = a + 1; b = a + 1;  (b must NOT become a copy of a)
+        f.block_mut(e).push(Op::IBin {
+            kind: IntBinKind::Add,
+            dst: a,
+            lhs: a,
+            rhs: IOperand::Imm(1),
+        });
+        f.block_mut(e).push(Op::IBin {
+            kind: IntBinKind::Add,
+            dst: b,
+            lhs: a,
+            rhs: IOperand::Imm(1),
+        });
+        f.block_mut(e).push(Op::Ret(None));
+        run(&mut f);
+        assert!(
+            matches!(f.blocks[0].ops[1], Op::IBin { .. }),
+            "{:?}",
+            f.blocks[0].ops[1]
+        );
+    }
+
+    #[test]
+    fn redundant_load_forwarded() {
+        use dsp_ir::{GlobalId, MemBase, MemRef};
+        let mut f = Function::new("t");
+        let a = f.new_vreg(Type::Int);
+        let b = f.new_vreg(Type::Int);
+        let e = f.entry;
+        let addr = MemRef::direct(MemBase::Global(GlobalId(0)), 2);
+        f.block_mut(e).push(Op::Load { dst: a, addr });
+        f.block_mut(e).push(Op::Load { dst: b, addr });
+        f.block_mut(e).push(Op::Ret(None));
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].ops[1],
+            Op::MovI {
+                dst: b,
+                src: IOperand::Reg(a)
+            }
+        );
+    }
+
+    #[test]
+    fn store_forwards_to_following_load() {
+        use dsp_ir::{GlobalId, MemBase, MemRef};
+        let mut f = Function::new("t");
+        let a = f.new_vreg(Type::Int);
+        let b = f.new_vreg(Type::Int);
+        let e = f.entry;
+        let addr = MemRef::direct(MemBase::Global(GlobalId(0)), 0);
+        f.block_mut(e).push(Op::MovI {
+            dst: a,
+            src: IOperand::Imm(5),
+        });
+        f.block_mut(e).push(Op::Store { src: a, addr });
+        f.block_mut(e).push(Op::Load { dst: b, addr });
+        f.block_mut(e).push(Op::Ret(None));
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].ops[2],
+            Op::MovI {
+                dst: b,
+                src: IOperand::Reg(a)
+            }
+        );
+    }
+
+    #[test]
+    fn float_constants_fold() {
+        let mut f = Function::new("t");
+        let a = f.new_vreg(Type::Float);
+        let b = f.new_vreg(Type::Float);
+        let c = f.new_vreg(Type::Float);
+        let e = f.entry;
+        f.block_mut(e).push(Op::MovF {
+            dst: a,
+            src: FOperand::Imm(1.5),
+        });
+        f.block_mut(e).push(Op::MovF {
+            dst: b,
+            src: FOperand::Imm(2.0),
+        });
+        f.block_mut(e).push(Op::FBin {
+            kind: dsp_machine::FpBinKind::Mul,
+            dst: c,
+            lhs: a,
+            rhs: b,
+        });
+        f.block_mut(e).push(Op::Ret(None));
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].ops[2],
+            Op::MovF {
+                dst: c,
+                src: FOperand::Imm(3.0)
+            }
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Loop-shape utilities: preheader insertion and jump threading.
+
+use dsp_ir::ops::Op;
+use dsp_ir::{BlockId, Cfg, Function, LoopInfo};
+
+/// Ensure every natural loop has a *preheader*: a block that is the
+/// unique non-back-edge predecessor of the header and ends in an
+/// unconditional jump to it. LICM and induction-variable rewriting
+/// place loop-entry code there.
+///
+/// Returns the preheader of each loop, aligned with
+/// [`LoopInfo::loops`] as recomputed on the updated function.
+pub fn insert_preheaders(f: &mut Function) -> Vec<BlockId> {
+    let info = LoopInfo::compute(f);
+    let mut preheaders = Vec::new();
+    for looop in &info.loops {
+        let cfg = Cfg::build(f);
+        let header = looop.header;
+        let entry_preds: Vec<BlockId> = cfg.preds[header.index()]
+            .iter()
+            .copied()
+            .filter(|p| !looop.contains(*p))
+            .collect();
+        // An existing preheader: single entry pred, outside the loop,
+        // ending in an unconditional jump straight to the header.
+        if entry_preds.len() == 1 {
+            let p = entry_preds[0];
+            if matches!(f.block(p).terminator(), Some(Op::Jmp(t)) if *t == header) {
+                preheaders.push(p);
+                continue;
+            }
+        }
+        let pre = f.new_block();
+        f.block_mut(pre).push(Op::Jmp(header));
+        for p in entry_preds {
+            retarget(f, p, header, pre);
+        }
+        // Entry fall-in: if the function entry *is* the header, the new
+        // preheader becomes the entry.
+        if f.entry == header {
+            f.entry = pre;
+        }
+        preheaders.push(pre);
+    }
+    preheaders
+}
+
+/// Retarget every `from -> old` edge of `from`'s terminator to `new`.
+fn retarget(f: &mut Function, from: BlockId, old: BlockId, new: BlockId) {
+    if let Some(op) = f.block_mut(from).ops.last_mut() {
+        match op {
+            Op::Br {
+                then_bb, else_bb, ..
+            } => {
+                if *then_bb == old {
+                    *then_bb = new;
+                }
+                if *else_bb == old {
+                    *else_bb = new;
+                }
+            }
+            Op::Jmp(b)
+                if *b == old => {
+                    *b = new;
+                }
+            _ => {}
+        }
+    }
+}
+
+/// Straight-line block merging: when `B` ends in `jmp C` and `C` has no
+/// other predecessor (and is not the entry), splice `C`'s operations
+/// into `B`. Keeps loop iterations in one basic block — essential for
+/// the local compaction pass, whose scheduling scope is the block.
+pub fn merge_blocks(f: &mut Function) {
+    loop {
+        let cfg = Cfg::build(f);
+        let mut merged = false;
+        for b in 0..f.blocks.len() {
+            let bid = BlockId(b as u32);
+            if !cfg.is_reachable(bid) {
+                continue;
+            }
+            let Some(Op::Jmp(c)) = f.block(bid).terminator().cloned() else {
+                continue;
+            };
+            if c == bid || c == f.entry || cfg.preds[c.index()].len() != 1 {
+                continue;
+            }
+            // Splice: drop B's jump, append C's ops; C becomes
+            // unreachable and is swept later.
+            let mut tail = std::mem::take(&mut f.block_mut(c).ops);
+            let b_ops = &mut f.block_mut(bid).ops;
+            b_ops.pop();
+            b_ops.append(&mut tail);
+            // C must still terminate for the validator; it is
+            // unreachable, so a self-loop jump is fine until removal.
+            f.block_mut(c).push(Op::Jmp(c));
+            merged = true;
+            break;
+        }
+        if !merged {
+            break;
+        }
+    }
+    super::dce::remove_unreachable(f);
+}
+
+/// Jump threading: redirect edges that land on a block containing only
+/// `jmp target` straight to `target`, shrinking the instruction count.
+pub fn thread_jumps(f: &mut Function) {
+    // Resolve chains of trivial jumps (with a bound against cycles).
+    let n = f.blocks.len();
+    let trivial_target = |f: &Function, b: BlockId| -> Option<BlockId> {
+        let block = f.block(b);
+        match block.ops.as_slice() {
+            [Op::Jmp(t)] if *t != b => Some(*t),
+            _ => None,
+        }
+    };
+    let resolve = |f: &Function, mut b: BlockId| -> BlockId {
+        for _ in 0..n {
+            match trivial_target(f, b) {
+                Some(t) => b = t,
+                None => break,
+            }
+        }
+        b
+    };
+    for i in 0..n {
+        let Some(op) = f.blocks[i].ops.last() else {
+            continue;
+        };
+        let new_op = match op {
+            Op::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => Op::Br {
+                cond: *cond,
+                then_bb: resolve(f, *then_bb),
+                else_bb: resolve(f, *else_bb),
+            },
+            Op::Jmp(t) => Op::Jmp(resolve(f, *t)),
+            _ => continue,
+        };
+        *f.blocks[i].ops.last_mut().expect("checked above") = new_op;
+    }
+    if let Some(t) = trivial_target(f, f.entry) {
+        let _ = t;
+        f.entry = resolve(f, f.entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_ir::ops::IOperand;
+    use dsp_ir::Type;
+
+    fn loop_fn() -> Function {
+        // entry -> header; header -> (body | exit); body -> header.
+        let mut f = Function::new("t");
+        let cond = f.new_vreg(Type::Int);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        let e = f.entry;
+        f.block_mut(e).push(Op::MovI {
+            dst: cond,
+            src: IOperand::Imm(0),
+        });
+        f.block_mut(e).push(Op::Jmp(header));
+        f.block_mut(header).push(Op::Br {
+            cond,
+            then_bb: body,
+            else_bb: exit,
+        });
+        f.block_mut(body).push(Op::Jmp(header));
+        f.block_mut(exit).push(Op::Ret(None));
+        f
+    }
+
+    #[test]
+    fn entry_jump_block_reused_as_preheader() {
+        let mut f = loop_fn();
+        let pre = insert_preheaders(&mut f);
+        // The entry block already ends in `jmp header`: reused.
+        assert_eq!(pre, vec![f.entry]);
+        assert_eq!(f.blocks.len(), 4);
+    }
+
+    #[test]
+    fn preheader_created_when_entry_branches() {
+        // entry branches straight to the header: a preheader must be
+        // synthesized on the entry edge.
+        let mut f = Function::new("t");
+        let cond = f.new_vreg(Type::Int);
+        let header = f.new_block();
+        let exit = f.new_block();
+        let e = f.entry;
+        f.block_mut(e).push(Op::MovI {
+            dst: cond,
+            src: IOperand::Imm(1),
+        });
+        f.block_mut(e).push(Op::Br {
+            cond,
+            then_bb: header,
+            else_bb: exit,
+        });
+        f.block_mut(header).push(Op::Br {
+            cond,
+            then_bb: header, // self-loop
+            else_bb: exit,
+        });
+        f.block_mut(exit).push(Op::Ret(None));
+        let pre = insert_preheaders(&mut f);
+        assert_eq!(pre.len(), 1);
+        let p = pre[0];
+        assert_eq!(f.block(p).ops, vec![Op::Jmp(header)]);
+        // The entry's branch edge now goes through the preheader, and
+        // the back edge stays on the header.
+        match f.block(f.entry).terminator() {
+            Some(Op::Br { then_bb, .. }) => assert_eq!(*then_bb, p),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut f = loop_fn();
+        insert_preheaders(&mut f);
+        let before = f.blocks.len();
+        insert_preheaders(&mut f);
+        assert_eq!(f.blocks.len(), before);
+    }
+
+    #[test]
+    fn jump_threading_skips_trivial_blocks() {
+        let mut f = Function::new("t");
+        let mid = f.new_block();
+        let end = f.new_block();
+        let e = f.entry;
+        f.block_mut(e).push(Op::Jmp(mid));
+        f.block_mut(mid).push(Op::Jmp(end));
+        f.block_mut(end).push(Op::Ret(None));
+        thread_jumps(&mut f);
+        assert_eq!(f.blocks[0].ops[0], Op::Jmp(end));
+    }
+}

@@ -1,0 +1,220 @@
+//! Multiply-accumulate fusion.
+//!
+//! Rewrites the accumulation pattern
+//!
+//! ```text
+//! t   = fmul a, b      (t single-def, single-use)
+//! acc = fadd acc, t    (or fadd t, acc)
+//! ```
+//!
+//! into the single-cycle `acc = fmac acc, a, b` — the operation DSP
+//! data paths are built around (the paper's Figure 1 inner loop is one
+//! `MAC` plus two parallel loads). Fusion halves the length of the
+//! accumulation recurrence, which is what exposes the memory system as
+//! the bottleneck the bank-partitioning algorithms then attack.
+//!
+//! The product and the sum keep their separate IEEE-754 roundings in
+//! both the interpreter and the simulator, so fusion is bit-exact.
+
+use std::collections::HashMap;
+
+use dsp_ir::ops::Op;
+use dsp_ir::{Function, VReg};
+use dsp_machine::FpBinKind;
+
+/// Run MAC fusion on every block of `f`.
+pub fn run(f: &mut Function) {
+    // Function-wide def/use counts keep the rewrite sound: the product
+    // register must be produced once and consumed exactly once.
+    let mut defs: HashMap<VReg, usize> = HashMap::new();
+    let mut uses: HashMap<VReg, usize> = HashMap::new();
+    for block in &f.blocks {
+        for op in &block.ops {
+            if let Some(d) = op.def() {
+                *defs.entry(d).or_insert(0) += 1;
+            }
+            for u in op.uses() {
+                *uses.entry(u).or_insert(0) += 1;
+            }
+        }
+    }
+
+    for block in &mut f.blocks {
+        let ops = &mut block.ops;
+        let mut i = 0;
+        while i < ops.len() {
+            let Op::FBin {
+                kind: FpBinKind::Mul,
+                dst: t,
+                lhs: a,
+                rhs: b,
+            } = ops[i]
+            else {
+                i += 1;
+                continue;
+            };
+            if defs.get(&t) != Some(&1) || uses.get(&t) != Some(&1) {
+                i += 1;
+                continue;
+            }
+            // Find the consumer within this block; bail if a or b (or t
+            // itself) is redefined before it.
+            let mut j = i + 1;
+            let mut blocked = false;
+            let consumer = loop {
+                let Some(op) = ops.get(j) else {
+                    break None;
+                };
+                if op.uses().contains(&t) {
+                    break Some(j);
+                }
+                if let Some(d) = op.def() {
+                    if d == a || d == b || d == t {
+                        blocked = true;
+                        break None;
+                    }
+                }
+                j += 1;
+            };
+            let Some(j) = consumer else {
+                i += 1;
+                let _ = blocked;
+                continue;
+            };
+            let Op::FBin {
+                kind: FpBinKind::Add,
+                dst,
+                lhs,
+                rhs,
+            } = ops[j]
+            else {
+                i += 1;
+                continue;
+            };
+            // Accumulation shape: the destination is also the other
+            // addend (`acc = acc + t` or `acc = t + acc`).
+            let acc = if lhs == t { rhs } else { lhs };
+            if (lhs != t && rhs != t) || dst != acc || acc == t {
+                i += 1;
+                continue;
+            }
+            ops[j] = Op::FMac { acc, a, b };
+            ops.remove(i);
+            // Counts shift: t is gone entirely.
+            defs.remove(&t);
+            uses.remove(&t);
+            // Do not advance: the op now at `i` deserves a look.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_frontend::compile_str;
+
+    fn fuse_main(src: &str) -> Function {
+        let mut p = compile_str(src).unwrap();
+        for f in &mut p.funcs {
+            super::super::local::run(f);
+            super::super::dce::run(f);
+            run(f);
+        }
+        p.validate().expect("fused program validates");
+        p.func(p.main.unwrap()).clone()
+    }
+
+    fn count_macs(f: &Function) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| matches!(o, Op::FMac { .. }))
+            .count()
+    }
+
+    #[test]
+    fn dot_product_fuses() {
+        let f = fuse_main(
+            "float A[8]; float B[8]; float out;
+             void main() {
+                 int i; float acc; acc = 0.0;
+                 for (i = 0; i < 8; i++) acc += A[i] * B[i];
+                 out = acc;
+             }",
+        );
+        assert_eq!(count_macs(&f), 1, "{}", f.dump());
+        // No bare fmul+fadd pair remains in the loop.
+        let muls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| matches!(o, Op::FBin { kind: FpBinKind::Mul, .. }))
+            .count();
+        assert_eq!(muls, 0);
+    }
+
+    #[test]
+    fn non_accumulating_add_not_fused() {
+        // c = a*b + d with c != d: not an accumulation.
+        let f = fuse_main(
+            "float out; float d;
+             void main(){ float a; float b; float c;
+               a = 2.0; b = 3.0;
+               c = a * b + d;
+               out = c; }",
+        );
+        assert_eq!(count_macs(&f), 0, "{}", f.dump());
+    }
+
+    #[test]
+    fn multi_use_product_not_fused() {
+        let f = fuse_main(
+            "float out;
+             void main(){ float a; float b; float t; float acc;
+               a = 2.0; b = 3.0; acc = 1.0;
+               t = a * b;
+               acc = acc + t;
+               out = acc + t; }",
+        );
+        assert_eq!(count_macs(&f), 0, "{}", f.dump());
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        let src = "float A[6] = {1.5, -2.0, 3.25, 0.5, -1.0, 2.0};
+                   float B[6] = {2.0, 0.5, -1.5, 4.0, 1.25, -0.75};
+                   float out;
+                   void main() {
+                       int i; float acc; acc = 0.125;
+                       for (i = 0; i < 6; i++) acc += A[i] * B[i];
+                       out = acc;
+                   }";
+        let reference = compile_str(src).unwrap();
+        let mut i0 = dsp_ir::Interpreter::new(&reference);
+        i0.run().unwrap();
+        let want = i0.global_mem_by_name("out").unwrap()[0];
+
+        let mut fused = compile_str(src).unwrap();
+        for f in &mut fused.funcs {
+            run(f);
+        }
+        let mut i1 = dsp_ir::Interpreter::new(&fused);
+        i1.run().unwrap();
+        assert_eq!(i1.global_mem_by_name("out").unwrap()[0], want);
+    }
+
+    #[test]
+    fn factor_redefined_between_blocks_fusion() {
+        // a redefined between mul and add: must not fuse.
+        let f = fuse_main(
+            "float out;
+             void main(){ float a; float b; float t; float acc;
+               a = 2.0; b = 3.0; acc = 0.0;
+               t = a * b;
+               a = 7.0;
+               acc = acc + t;
+               out = acc + a; }",
+        );
+        assert_eq!(count_macs(&f), 0, "{}", f.dump());
+    }
+}

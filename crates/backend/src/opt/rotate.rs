@@ -1,0 +1,446 @@
+//! Loop rotation (bottom-testing loops).
+//!
+//! A front-end `for`/`while` loop tests its condition in a dedicated
+//! header block, costing a compare, a conditional branch, *and* the
+//! latch's jump back — three program-control cycles per iteration on a
+//! machine with a single PCU. DSPs avoid this with zero-overhead
+//! hardware loops; an optimizing compiler gets most of that back by
+//! *rotating* the loop so the condition is re-evaluated at the bottom:
+//!
+//! ```text
+//! header:  cmp; br body, exit        header:  cmp; br body, exit   (entry only)
+//! body:    ...; jmp header      =>   body:    ...; cmp'; br body, exit
+//! ```
+//!
+//! The latch's unconditional jump and the header re-execution disappear
+//! from the steady state, and the compare packs into the body's slack
+//! slots.
+
+use std::collections::HashMap;
+
+use dsp_ir::ops::Op;
+use dsp_ir::{Cfg, Function, LoopInfo, VReg};
+
+/// Rotate every eligible natural loop of `f`, then retime the exit
+/// tests.
+pub fn run(f: &mut Function) {
+    // Recompute loop structure after each rotation (block shapes
+    // change); bounded by the number of loops.
+    for _ in 0..f.blocks.len() {
+        if !rotate_one(f) {
+            break;
+        }
+    }
+    retime_exit_tests(f);
+}
+
+/// Exit-test retiming: in a block of the form
+///
+/// ```text
+/// ...
+/// v = v + c          (the induction step)
+/// ...
+/// t = icmp.lt v, K
+/// br t, ...
+/// ```
+///
+/// the compare waits a full cycle for the incremented `v`, putting an
+/// increment→compare→branch chain of three cycles on every iteration.
+/// Comparing the *old* value against an adjusted bound (`v < K - c`)
+/// issues the compare in parallel with the increment — the software
+/// analogue of a DSP's decrement-and-branch.
+fn retime_exit_tests(f: &mut Function) {
+    use dsp_ir::ops::IOperand;
+    use dsp_machine::{CmpKind, IntBinKind};
+    for block in &mut f.blocks {
+        let ops = &mut block.ops;
+        let n = ops.len();
+        if n < 3 {
+            continue;
+        }
+        let Some(Op::Br { cond, .. }) = ops.last() else {
+            continue;
+        };
+        let cond = *cond;
+        // The compare defining the branch condition.
+        let Some(jc) = ops[..n - 1].iter().rposition(|o| o.def() == Some(cond)) else {
+            continue;
+        };
+        let Op::ICmp {
+            kind: kind @ (CmpKind::Lt | CmpKind::Le | CmpKind::Gt | CmpKind::Ge),
+            dst,
+            lhs: v,
+            rhs: IOperand::Imm(k),
+        } = ops[jc]
+        else {
+            continue;
+        };
+        // `cond` must not be used or redefined between the compare and
+        // the branch, nor may any operation the compare will jump over
+        // touch it.
+        if ops[jc + 1..n - 1]
+            .iter()
+            .any(|o| o.uses().contains(&dst) || o.def() == Some(dst))
+        {
+            continue;
+        }
+        let ju_probe = ops[..jc]
+            .iter()
+            .position(|o| o.def() == Some(v))
+            .unwrap_or(jc);
+        if ops[ju_probe..jc]
+            .iter()
+            .any(|o| o.uses().contains(&dst) || o.def() == Some(dst))
+        {
+            continue;
+        }
+        // The unique in-block step of `v` before the compare.
+        let defs_of_v: Vec<usize> = ops[..jc]
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.def() == Some(v))
+            .map(|(i, _)| i)
+            .collect();
+        let [ju] = defs_of_v.as_slice() else {
+            continue;
+        };
+        let ju = *ju;
+        let Op::IBin {
+            kind: step_kind @ (IntBinKind::Add | IntBinKind::Sub),
+            dst: sd,
+            lhs: sl,
+            rhs: IOperand::Imm(c),
+        } = ops[ju]
+        else {
+            continue;
+        };
+        if sd != v || sl != v {
+            continue;
+        }
+        let signed_step = i64::from(if step_kind == IntBinKind::Add { c } else { -c });
+        let adjusted = i64::from(k) - signed_step;
+        let Ok(adjusted) = i32::try_from(adjusted) else {
+            continue;
+        };
+        // `v + s <kind> k  ⇔  v <kind> k - s` only without i32
+        // wraparound of `v + s`. A wrap requires `v` within `|s|` of
+        // the integer limits while still passing the original compare,
+        // which in turn requires `k` near the limits — refuse those.
+        let margin = i64::from(c).unsigned_abs();
+        if i64::from(k).unsigned_abs() + margin >= i64::from(i32::MAX).unsigned_abs() {
+            continue;
+        }
+        ops.remove(jc);
+        ops.insert(
+            ju,
+            Op::ICmp {
+                kind,
+                dst,
+                lhs: v,
+                rhs: IOperand::Imm(adjusted),
+            },
+        );
+    }
+}
+
+/// Find one rotatable loop and rotate it. Returns false when none is
+/// left.
+fn rotate_one(f: &mut Function) -> bool {
+    let info = LoopInfo::compute(f);
+    let cfg = Cfg::build(f);
+    for looop in &info.loops {
+        // Shape requirements:
+        // * single latch, ending in an unconditional jump to the header;
+        // * the header's ops are all pure computations feeding a
+        //   conditional branch whose one arm leaves the loop;
+        // * the header has no other in-loop predecessor.
+        if looop.latches.len() != 1 {
+            continue;
+        }
+        let latch = looop.latches[0];
+        let header = looop.header;
+        if latch == header {
+            continue; // already bottom-testing
+        }
+        if !matches!(f.block(latch).terminator(), Some(Op::Jmp(t)) if *t == header) {
+            continue;
+        }
+        let in_loop_preds = cfg.preds[header.index()]
+            .iter()
+            .filter(|p| looop.contains(**p))
+            .count();
+        if in_loop_preds != 1 {
+            continue;
+        }
+        let header_ops = &f.block(header).ops;
+        let Some(&Op::Br {
+            cond,
+            then_bb,
+            else_bb,
+        }) = header_ops.last()
+        else {
+            continue;
+        };
+        // One arm must exit the loop and the other continue into it.
+        let exits_then = !looop.contains(then_bb);
+        let exits_else = !looop.contains(else_bb);
+        if exits_then == exits_else || then_bb == header || else_bb == header {
+            continue;
+        }
+        // Header body must be recomputable at the latch.
+        if !header_ops[..header_ops.len() - 1].iter().all(is_recomputable) {
+            continue;
+        }
+        let cloned: Vec<Op> = header_ops[..header_ops.len() - 1].to_vec();
+        // Special case with a big payoff: a minimal header
+        // `t = icmp v, w; br` where `v` is a basic induction variable
+        // stepped *in the latch* and `w` is a loop-invariant register.
+        // Copying the compare verbatim would chain step → compare →
+        // branch, three cycles per iteration. Instead, materialize the
+        // adjusted bound `w' = w ∓ step` once in the preheader and
+        // compare the pre-step value, letting the compare issue in
+        // parallel with the step.
+        //
+        // Like every production compiler, this assumes induction
+        // arithmetic does not wrap i32: a register bound within `step`
+        // of the integer limits would make `w'` wrap and change the
+        // trip count relative to the wrapping-arithmetic interpreter.
+        let reg_bound_cmp = match &f.block(header).ops[..header_ops.len() - 1] {
+            [Op::ICmp {
+                kind,
+                lhs: v,
+                rhs: dsp_ir::ops::IOperand::Reg(w),
+                ..
+            }] => Some((*kind, *v, *w)),
+            _ => None,
+        };
+        if let Some(pre) = crate::opt::licm::find_preheader(f, &cfg, looop) {
+            if let Some((kind, v, w)) = reg_bound_cmp {
+                if matches!(
+                    kind,
+                    dsp_machine::CmpKind::Lt
+                        | dsp_machine::CmpKind::Le
+                        | dsp_machine::CmpKind::Gt
+                        | dsp_machine::CmpKind::Ge
+                ) {
+                    if let Some((step_pos, step)) = single_latch_step(f, looop, latch, v, w) {
+                        let wp = f.new_vreg(dsp_ir::Type::Int);
+                        let pre_ops = &mut f.block_mut(pre).ops;
+                        let at = pre_ops.len() - 1;
+                        pre_ops.insert(
+                            at,
+                            Op::IBin {
+                                kind: dsp_machine::IntBinKind::Sub,
+                                dst: wp,
+                                lhs: w,
+                                rhs: dsp_ir::ops::IOperand::Imm(step),
+                            },
+                        );
+                        let tp = f.new_vreg(dsp_ir::Type::Int);
+                        let latch_ops = &mut f.block_mut(latch).ops;
+                        latch_ops.pop(); // the jmp back
+                        latch_ops.insert(
+                            step_pos,
+                            Op::ICmp {
+                                kind,
+                                dst: tp,
+                                lhs: v,
+                                rhs: dsp_ir::ops::IOperand::Reg(wp),
+                            },
+                        );
+                        latch_ops.push(Op::Br {
+                            cond: tp,
+                            then_bb,
+                            else_bb,
+                        });
+                        return true;
+                    }
+                }
+            }
+        }
+        // Rebuild the header's computation at the latch with fresh
+        // destination registers.
+        let mut remap: HashMap<VReg, VReg> = HashMap::new();
+        let copies: Vec<Op> = cloned
+            .iter()
+            .map(|op| {
+                let mut c = op.clone();
+                c.map_uses(|v| remap.get(&v).copied().unwrap_or(v));
+                if let Some(d) = c.def() {
+                    let fresh = f_new_vreg_like(f, d, &mut remap);
+                    set_def(&mut c, fresh);
+                }
+                c
+            })
+            .collect();
+        let new_cond = remap.get(&cond).copied().unwrap_or(cond);
+        let latch_ops = &mut f.block_mut(latch).ops;
+        latch_ops.pop(); // the jmp back
+        latch_ops.extend(copies);
+        latch_ops.push(Op::Br {
+            cond: new_cond,
+            then_bb,
+            else_bb,
+        });
+        return true;
+    }
+    false
+}
+
+/// For the adjusted-bound rotation: `v`'s unique in-loop definition
+/// must be `v = v ± c` located in the latch block, and `w` must be
+/// invariant in the loop. Returns the step op's position in the latch
+/// and the signed step.
+fn single_latch_step(
+    f: &Function,
+    looop: &dsp_ir::NaturalLoop,
+    latch: dsp_ir::BlockId,
+    v: VReg,
+    w: VReg,
+) -> Option<(usize, i32)> {
+    use dsp_ir::ops::IOperand;
+    use dsp_machine::IntBinKind;
+    let mut found: Option<(usize, i32)> = None;
+    for &bi in &looop.blocks {
+        for (oi, op) in f.block(bi).ops.iter().enumerate() {
+            if op.def() == Some(w) {
+                return None; // bound not invariant
+            }
+            if op.def() == Some(v) {
+                if found.is_some() || bi != latch {
+                    return None; // multiple defs, or step outside latch
+                }
+                let Op::IBin {
+                    kind: kind @ (IntBinKind::Add | IntBinKind::Sub),
+                    dst,
+                    lhs,
+                    rhs: IOperand::Imm(c),
+                } = op
+                else {
+                    return None;
+                };
+                if *dst != v || *lhs != v {
+                    return None;
+                }
+                let step = if *kind == IntBinKind::Add { *c } else { -*c };
+                found = Some((oi, step));
+            }
+        }
+    }
+    found
+}
+
+fn is_recomputable(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::MovI { .. }
+            | Op::MovF { .. }
+            | Op::IBin { .. }
+            | Op::ICmp { .. }
+            | Op::INeg { .. }
+            | Op::INot { .. }
+            | Op::FBin { .. }
+            | Op::FCmp { .. }
+            | Op::FNeg { .. }
+            | Op::ItoF { .. }
+            | Op::FtoI { .. }
+            | Op::Load { .. }
+    )
+}
+
+fn f_new_vreg_like(f: &mut Function, old: VReg, remap: &mut HashMap<VReg, VReg>) -> VReg {
+    let fresh = f.new_vreg(f.vreg_ty(old));
+    remap.insert(old, fresh);
+    fresh
+}
+
+fn set_def(op: &mut Op, fresh: VReg) {
+    match op {
+        Op::MovI { dst, .. }
+        | Op::MovF { dst, .. }
+        | Op::IBin { dst, .. }
+        | Op::ICmp { dst, .. }
+        | Op::INeg { dst, .. }
+        | Op::INot { dst, .. }
+        | Op::FBin { dst, .. }
+        | Op::FCmp { dst, .. }
+        | Op::FNeg { dst, .. }
+        | Op::ItoF { dst, .. }
+        | Op::FtoI { dst, .. }
+        | Op::Load { dst, .. } => *dst = fresh,
+        _ => unreachable!("only recomputable ops get fresh defs"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_frontend::compile_str;
+    use dsp_ir::Interpreter;
+
+    fn rotated(src: &str) -> dsp_ir::Program {
+        let mut p = compile_str(src).unwrap();
+        for f in &mut p.funcs {
+            run(f);
+        }
+        p.validate().expect("rotated program validates");
+        p
+    }
+
+    #[test]
+    fn for_loop_latch_gets_conditional_branch() {
+        let p = rotated(
+            "int out; void main() { int i; out = 0;
+             for (i = 0; i < 10; i++) out += i; }",
+        );
+        let f = p.func(p.main.unwrap());
+        // Some block other than the header must now end in a Br.
+        let brs = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.terminator(), Some(Op::Br { .. })))
+            .count();
+        assert_eq!(brs, 2, "header + rotated latch:\n{}", f.dump());
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        let src = "int out; void main() { int i; int j; out = 0;
+                   for (i = 0; i < 7; i++)
+                     for (j = 0; j < 5; j++)
+                       out += i * j; }";
+        let reference = compile_str(src).unwrap();
+        let mut i0 = Interpreter::new(&reference);
+        i0.run().unwrap();
+        let want = i0.global_mem_by_name("out").unwrap()[0];
+        let p = rotated(src);
+        let mut i1 = Interpreter::new(&p);
+        i1.run().unwrap();
+        assert_eq!(i1.global_mem_by_name("out").unwrap()[0], want);
+    }
+
+    #[test]
+    fn zero_trip_loop_still_skipped() {
+        let src = "int out; void main() { int i; out = 5;
+                   for (i = 0; i < 0; i++) out += 100; }";
+        let p = rotated(src);
+        let mut interp = Interpreter::new(&p);
+        interp.run().unwrap();
+        assert_eq!(interp.global_mem_by_name("out").unwrap()[0].as_i32(), 5);
+    }
+
+    #[test]
+    fn while_loop_with_dynamic_bound() {
+        let src = "int out; int n = 13;
+                   void main() { int i; out = 0; i = 0;
+                   while (i < n) { out += i; i++; } }";
+        let reference = compile_str(src).unwrap();
+        let mut i0 = Interpreter::new(&reference);
+        i0.run().unwrap();
+        let want = i0.global_mem_by_name("out").unwrap()[0];
+        let p = rotated(src);
+        let mut i1 = Interpreter::new(&p);
+        i1.run().unwrap();
+        assert_eq!(i1.global_mem_by_name("out").unwrap()[0], want);
+    }
+}

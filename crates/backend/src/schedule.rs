@@ -1,0 +1,411 @@
+//! Final operation compaction: pack each LIR block into VLIW
+//! instructions using the bank assignments of the data-allocation pass.
+//!
+//! Memory operations claim the memory unit of their bank — or either
+//! unit when the data is duplicated ([`MemClaim::Either`]) or the
+//! *Ideal* dual-ported configuration is being compiled. After the list
+//! scheduler assigns units, `Either` operations are retargeted to the
+//! bank of the unit they landed on.
+
+use dsp_ir::depgraph::{DepEdge, DepKind};
+use dsp_ir::BlockId;
+use dsp_machine::{Bank, FuncUnit, MemOp, PcuOp, Reg, UnitClass, VliwInst};
+use dsp_sched::{compact, priorities_from_edges, CompactError, CompactInput, MemClaim, OpClaim};
+
+use crate::lir::LirOp;
+
+/// The terminator shape of a scheduled block, resolved by the linker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockTerm {
+    /// Falls through or jumps to a block.
+    Jump(BlockId),
+    /// Conditional branch.
+    Br {
+        /// Condition register.
+        cond: dsp_machine::IReg,
+        /// Taken target.
+        then_bb: BlockId,
+        /// Not-taken target.
+        else_bb: BlockId,
+    },
+    /// Function return (already a concrete [`PcuOp::Ret`] in the
+    /// instruction stream).
+    Ret,
+}
+
+/// One block compacted into VLIW instructions.
+#[derive(Debug, Clone)]
+pub struct ScheduledBlock {
+    /// The instructions; the terminator's PCU op (if any) sits in the
+    /// last one as a placeholder and is finalized by the linker.
+    pub insts: Vec<VliwInst>,
+    /// The block terminator to resolve.
+    pub term: BlockTerm,
+    /// `(instruction index, callee)` pairs whose `call` target the
+    /// linker must patch.
+    pub call_fixups: Vec<(usize, dsp_ir::FuncId)>,
+}
+
+/// Build the dependence edges of one LIR block.
+#[must_use]
+pub fn build_deps(ops: &[LirOp]) -> Vec<DepEdge> {
+    let n = ops.len();
+    let mut edges = Vec::new();
+    let reads: Vec<Vec<Reg>> = ops.iter().map(LirOp::reads).collect();
+    let writes: Vec<Vec<Reg>> = ops.iter().map(LirOp::writes).collect();
+    let mut add = |from: usize, to: usize, kind: DepKind| {
+        edges.push(DepEdge { from, to, kind });
+    };
+    for j in 0..n {
+        for i in 0..j {
+            // Register dependences.
+            if writes[i].iter().any(|r| reads[j].contains(r)) {
+                add(i, j, DepKind::Flow);
+            }
+            if reads[i].iter().any(|r| writes[j].contains(r)) {
+                // A call "reads" its argument registers during the many
+                // cycles the callee executes, so a later write may not
+                // share its issue cycle: the usual same-cycle tolerance
+                // of anti dependences does not apply.
+                let kind = if matches!(ops[i], LirOp::Call { .. }) {
+                    DepKind::Output
+                } else {
+                    DepKind::Anti
+                };
+                add(i, j, kind);
+            }
+            if writes[i].iter().any(|r| writes[j].contains(r)) {
+                add(i, j, DepKind::Output);
+            }
+            // Memory dependences: only within a bank (the two banks are
+            // physically distinct memories), only when the accesses may
+            // overlap.
+            if let (Some((store_a, claim_a, alias_a)), Some((store_b, claim_b, alias_b))) =
+                (mem_info(&ops[i]), mem_info(&ops[j]))
+            {
+                let banks_meet = match (claim_a, claim_b) {
+                    (Some(a), Some(b)) => claims_intersect(a, b),
+                    _ => true, // a dup pair touches both banks
+                };
+                if banks_meet && alias_a.may_overlap(&alias_b) {
+                    match (store_a, store_b) {
+                        (true, false) => add(i, j, DepKind::Flow),
+                        (false, true) => add(i, j, DepKind::Anti),
+                        (true, true) => add(i, j, DepKind::Output),
+                        (false, false) => {}
+                    }
+                }
+            }
+            // Calls are barriers for memory and for each other.
+            let call_i = matches!(ops[i], LirOp::Call { .. });
+            let call_j = matches!(ops[j], LirOp::Call { .. });
+            let mem_i = mem_info(&ops[i]).is_some();
+            let mem_j = mem_info(&ops[j]).is_some();
+            if (call_i && (mem_j || call_j)) || (call_j && mem_i) {
+                add(i, j, DepKind::Flow);
+            }
+            // Everything issues no later than the terminator.
+            if ops[j].is_terminator() {
+                add(i, j, DepKind::Control);
+            }
+        }
+    }
+    edges
+}
+
+fn claims_intersect(a: MemClaim, b: MemClaim) -> bool {
+    match (a, b) {
+        (MemClaim::Fixed(x), MemClaim::Fixed(y)) => x == y,
+        _ => true,
+    }
+}
+
+/// `(is_store, bank claim, alias)` of a memory-touching operation;
+/// `None` claim means both banks (the dup store pair).
+fn mem_info(op: &LirOp) -> Option<(bool, Option<MemClaim>, crate::lir::AliasKey)> {
+    match op {
+        LirOp::Mem { op, meta } => Some((op.is_store(), Some(meta.claim), meta.alias)),
+        LirOp::DupStorePair { alias, .. } => Some((true, None, *alias)),
+        _ => None,
+    }
+}
+
+/// Resource claims of a block's operations. With `ideal`, memory
+/// operations may use either unit (the paper's dual-ported memory).
+#[must_use]
+pub fn build_claims(ops: &[LirOp], ideal: bool) -> Vec<OpClaim> {
+    ops.iter()
+        .map(|op| match op {
+            LirOp::Int(_) => OpClaim::Class(UnitClass::Int),
+            LirOp::Fp(_) => OpClaim::Class(UnitClass::Fp),
+            LirOp::Addr(_) => OpClaim::Class(UnitClass::Addr),
+            LirOp::Mem { meta, .. } => OpClaim::Mem(if ideal {
+                MemClaim::Either
+            } else {
+                meta.claim
+            }),
+            LirOp::DupStorePair { .. } => OpClaim::MemPair,
+            LirOp::Jump(_) | LirOp::Br { .. } | LirOp::Call { .. } | LirOp::Ret { .. } => {
+                OpClaim::Unit(FuncUnit::Pcu)
+            }
+        })
+        .collect()
+}
+
+/// Compact one LIR block.
+///
+/// # Errors
+///
+/// Propagates [`CompactError`] (a dependence cycle, which well-formed
+/// LIR cannot produce).
+pub fn schedule_block(ops: &[LirOp], ideal: bool) -> Result<ScheduledBlock, CompactError> {
+    let edges = build_deps(ops);
+    let claims = build_claims(ops, ideal);
+    let priorities = priorities_from_edges(ops.len(), &edges);
+    let input = CompactInput {
+        edges: &edges,
+        claims: &claims,
+        priorities: &priorities,
+    };
+    let sched = compact(&input, None)?;
+    debug_assert!(sched.check(&edges).is_ok(), "schedule violates deps");
+
+    let mut insts = vec![VliwInst::new(); sched.len()];
+    let mut term = BlockTerm::Ret;
+    let mut have_term = false;
+    let mut call_fixups = Vec::new();
+    for (idx, op) in ops.iter().enumerate() {
+        let cycle = sched.op_cycle[idx];
+        let unit = sched.op_unit[idx];
+        let inst = &mut insts[cycle];
+        match op {
+            LirOp::Int(o) => match unit {
+                FuncUnit::Du0 => inst.du0 = Some(*o),
+                FuncUnit::Du1 => inst.du1 = Some(*o),
+                u => unreachable!("int op on {u}"),
+            },
+            LirOp::Fp(o) => match unit {
+                FuncUnit::Fpu0 => inst.fpu0 = Some(*o),
+                FuncUnit::Fpu1 => inst.fpu1 = Some(*o),
+                u => unreachable!("fp op on {u}"),
+            },
+            LirOp::Addr(o) => match unit {
+                FuncUnit::Au0 => inst.au0 = Some(*o),
+                FuncUnit::Au1 => inst.au1 = Some(*o),
+                u => unreachable!("addr op on {u}"),
+            },
+            LirOp::DupStorePair { x, y, .. } => {
+                debug_assert_eq!(unit, FuncUnit::Mu0, "pair anchors on MU0");
+                inst.mu0 = Some(*x);
+                inst.mu1 = Some(*y);
+            }
+            LirOp::Mem { op: o, .. } => {
+                // A duplicated datum has a copy in each bank, so an
+                // `Either` operation is retargeted to the bank of the
+                // unit it landed on. Under the Ideal (dual-ported)
+                // configuration the data has a single home: the bank
+                // stays put and only the *unit* assignment is free.
+                let emitted = if ideal { *o } else { retarget(o, unit) };
+                match unit {
+                    FuncUnit::Mu0 => inst.mu0 = Some(emitted),
+                    FuncUnit::Mu1 => inst.mu1 = Some(emitted),
+                    u => unreachable!("mem op on {u}"),
+                }
+            }
+            LirOp::Jump(t) => {
+                // Placeholder; resolved by the linker (and possibly
+                // dropped for fallthrough).
+                inst.pcu = Some(PcuOp::Jump(dsp_machine::InstAddr(u32::MAX)));
+                term = BlockTerm::Jump(*t);
+                have_term = true;
+            }
+            LirOp::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                inst.pcu = Some(PcuOp::BranchNz {
+                    cond: *cond,
+                    target: dsp_machine::InstAddr(u32::MAX),
+                });
+                term = BlockTerm::Br {
+                    cond: *cond,
+                    then_bb: *then_bb,
+                    else_bb: *else_bb,
+                };
+                have_term = true;
+            }
+            LirOp::Call { callee, .. } => {
+                inst.pcu = Some(PcuOp::Call(dsp_machine::InstAddr(u32::MAX)));
+                call_fixups.push((cycle, *callee));
+            }
+            LirOp::Ret { .. } => {
+                inst.pcu = Some(PcuOp::Ret);
+                term = BlockTerm::Ret;
+                have_term = true;
+            }
+        }
+    }
+    debug_assert!(have_term || ops.is_empty(), "block lacks a terminator");
+    Ok(ScheduledBlock {
+        insts,
+        term,
+        call_fixups,
+    })
+}
+
+fn retarget(op: &MemOp, unit: FuncUnit) -> MemOp {
+    let bank = match unit {
+        FuncUnit::Mu0 => Bank::X,
+        FuncUnit::Mu1 => Bank::Y,
+        u => unreachable!("mem op on {u}"),
+    };
+    match *op {
+        MemOp::Load { dst, addr, .. } => MemOp::Load { dst, addr, bank },
+        MemOp::Store { src, addr, .. } => MemOp::Store { src, addr, bank },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lir::{AliasKey, MemMeta};
+    use dsp_bankalloc::Var;
+    use dsp_ir::ops::{MemBase, MemRef};
+    use dsp_ir::GlobalId;
+    use dsp_machine::{IReg, IntOp, MemAddr};
+
+    fn load(g: u32, bank: Bank, claim: MemClaim, dst: u8) -> LirOp {
+        LirOp::Mem {
+            op: MemOp::Load {
+                dst: Reg::Int(IReg(dst)),
+                addr: MemAddr::Absolute(0),
+                bank,
+            },
+            meta: MemMeta {
+                alias: AliasKey::Class(
+                    Var::Global(GlobalId(g)),
+                    MemRef::direct(MemBase::Global(GlobalId(g)), 0),
+                ),
+                claim,
+            },
+        }
+    }
+
+    fn jump() -> LirOp {
+        LirOp::Jump(BlockId(0))
+    }
+
+    #[test]
+    fn cross_bank_loads_pack() {
+        let ops = vec![
+            load(0, Bank::X, MemClaim::Fixed(Bank::X), 9),
+            load(1, Bank::Y, MemClaim::Fixed(Bank::Y), 10),
+            jump(),
+        ];
+        let s = schedule_block(&ops, false).unwrap();
+        assert_eq!(s.insts.len(), 1);
+        assert!(s.insts[0].mu0.is_some() && s.insts[0].mu1.is_some());
+    }
+
+    #[test]
+    fn same_bank_loads_serialize_unless_ideal() {
+        let ops = vec![
+            load(0, Bank::X, MemClaim::Fixed(Bank::X), 9),
+            load(1, Bank::X, MemClaim::Fixed(Bank::X), 10),
+            jump(),
+        ];
+        let normal = schedule_block(&ops, false).unwrap();
+        assert_eq!(normal.insts.len(), 2);
+        let ideal = schedule_block(&ops, true).unwrap();
+        assert_eq!(ideal.insts.len(), 1);
+    }
+
+    #[test]
+    fn either_claim_load_retargets_bank() {
+        // Two loads of a duplicated array: both claim Either; one must
+        // land on MU1 and be rewritten to bank Y.
+        let ops = vec![
+            load(0, Bank::X, MemClaim::Either, 9),
+            load(0, Bank::X, MemClaim::Either, 10),
+            jump(),
+        ];
+        let s = schedule_block(&ops, false).unwrap();
+        assert_eq!(s.insts.len(), 1);
+        let mu1 = s.insts[0].mu1.expect("second load on MU1");
+        assert_eq!(mu1.bank(), Bank::Y, "retargeted to the Y copy");
+        assert!(s.insts[0].check_bank_discipline(false).is_ok());
+    }
+
+    #[test]
+    fn dup_store_pair_shares_cycle() {
+        // Store to both copies of a duplicated variable: X and Y stores
+        // are independent (different memories) and pack together.
+        let st = |bank: Bank| LirOp::Mem {
+            op: MemOp::Store {
+                src: Reg::Int(IReg(9)),
+                addr: MemAddr::Absolute(4),
+                bank,
+            },
+            meta: MemMeta {
+                alias: AliasKey::Class(
+                    Var::Global(GlobalId(0)),
+                    MemRef::direct(MemBase::Global(GlobalId(0)), 4),
+                ),
+                claim: MemClaim::Fixed(bank),
+            },
+        };
+        let ops = vec![st(Bank::X), st(Bank::Y), jump()];
+        let s = schedule_block(&ops, false).unwrap();
+        assert_eq!(s.insts.len(), 1, "bookkeeping store packs for free here");
+    }
+
+    #[test]
+    fn flow_dependent_chain_spans_cycles() {
+        let ops = vec![
+            LirOp::Int(IntOp::MovImm {
+                dst: IReg(9),
+                imm: 1,
+            }),
+            LirOp::Int(IntOp::Mov {
+                dst: IReg(10),
+                src: IReg(9),
+            }),
+            jump(),
+        ];
+        let s = schedule_block(&ops, false).unwrap();
+        assert_eq!(s.insts.len(), 2);
+    }
+
+    #[test]
+    fn call_fixup_recorded() {
+        let ops = vec![
+            LirOp::Call {
+                callee: dsp_ir::FuncId(3),
+                reads: vec![],
+                ret: None,
+            },
+            jump(),
+        ];
+        let s = schedule_block(&ops, false).unwrap();
+        assert_eq!(s.call_fixups, vec![(0, dsp_ir::FuncId(3))]);
+    }
+
+    #[test]
+    fn branch_recorded_as_term() {
+        let ops = vec![LirOp::Br {
+            cond: IReg(9),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        }];
+        let s = schedule_block(&ops, false).unwrap();
+        assert_eq!(
+            s.term,
+            BlockTerm::Br {
+                cond: IReg(9),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2)
+            }
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Tests of the linker's code-shape decisions: entry stub, fallthrough
+//! elimination, branch inversion, and call-target resolution.
+
+use dsp_backend::{compile_source, Strategy};
+use dsp_machine::{AddrOp, PcuOp};
+
+fn compile(src: &str) -> dsp_machine::VliwProgram {
+    compile_source(src, Strategy::CbPartition)
+        .expect("compiles")
+        .program
+}
+
+#[test]
+fn entry_stub_initializes_both_stacks_then_calls_main() {
+    let p = compile("void main() { int x; x = 1; }");
+    // Instruction 0: both stack pointers set in parallel on the AUs.
+    let i0 = &p.insts[0];
+    assert!(matches!(i0.au0, Some(AddrOp::Lea { dst, .. }) if dst == dsp_machine::AReg::SP_X));
+    assert!(matches!(i0.au1, Some(AddrOp::Lea { dst, .. }) if dst == dsp_machine::AReg::SP_Y));
+    // Instruction 1: call main; instruction 2: halt.
+    let main_start = p
+        .functions
+        .iter()
+        .find(|f| f.name == "main")
+        .expect("main exists")
+        .start;
+    assert_eq!(p.insts[1].pcu, Some(PcuOp::Call(main_start)));
+    assert_eq!(p.insts[2].pcu, Some(PcuOp::Halt));
+}
+
+#[test]
+fn straightline_code_has_no_redundant_jumps() {
+    // One basic block body: nothing to jump over.
+    let p = compile(
+        "int out; void main() { int a; int b; a = 2; b = 3; out = a * b; }",
+    );
+    let jumps = p
+        .insts
+        .iter()
+        .filter(|i| matches!(i.pcu, Some(PcuOp::Jump(_))))
+        .count();
+    assert_eq!(jumps, 0, "{}", p.disassemble());
+}
+
+#[test]
+fn loop_latch_branches_backward_without_extra_jump() {
+    let p = compile(
+        "int out; void main() { int i; out = 0;
+         for (i = 0; i < 10; i++) out += i; }",
+    );
+    // A rotated loop: exactly one backward conditional branch, and it
+    // must target an earlier address (the loop body head).
+    let mut backward = 0;
+    for (pc, inst) in p.insts.iter().enumerate() {
+        if let Some(PcuOp::BranchNz { target, .. } | PcuOp::BranchZ { target, .. }) = inst.pcu {
+            if (target.0 as usize) <= pc {
+                backward += 1;
+            }
+        }
+    }
+    assert_eq!(backward, 1, "{}", p.disassemble());
+}
+
+#[test]
+fn if_else_uses_inverted_branch_for_fallthrough() {
+    let p = compile(
+        "int out; void main() { int x; x = 3;
+         if (x > 2) out = 1; else out = 2; }",
+    );
+    // The diamond should produce at most one unconditional jump (the
+    // join of the taken arm); the branch itself falls through into one
+    // arm rather than jumping over it.
+    let jumps = p
+        .insts
+        .iter()
+        .filter(|i| matches!(i.pcu, Some(PcuOp::Jump(_))))
+        .count();
+    assert!(jumps <= 1, "{}", p.disassemble());
+    let branches = p
+        .insts
+        .iter()
+        .filter(|i| {
+            matches!(
+                i.pcu,
+                Some(PcuOp::BranchNz { .. } | PcuOp::BranchZ { .. })
+            )
+        })
+        .count();
+    assert_eq!(branches, 1, "{}", p.disassemble());
+}
+
+#[test]
+fn call_targets_resolve_to_function_starts() {
+    let p = compile(
+        "int out;
+         int half(int v) { return v / 2; }
+         int quarter(int v) { return half(half(v)); }
+         void main() { out = quarter(20); }",
+    );
+    let starts: Vec<u32> = p.functions.iter().map(|f| f.start.0).collect();
+    for inst in &p.insts {
+        if let Some(PcuOp::Call(t)) = inst.pcu {
+            assert!(
+                starts.contains(&t.0),
+                "call to {t} is not a function start ({starts:?})"
+            );
+        }
+    }
+    // And every branch target is inside the program (validate covers
+    // this too, but assert explicitly).
+    p.validate(false).expect("valid");
+}
+
+#[test]
+fn function_ranges_tile_the_instruction_stream() {
+    let p = compile(
+        "int out;
+         int id(int v) { return v; }
+         void main() { out = id(7); }",
+    );
+    let mut cursor = 3; // after the stub
+    for f in &p.functions {
+        assert_eq!(f.start.0, cursor, "functions must be contiguous");
+        cursor += f.len;
+    }
+    assert_eq!(cursor as usize, p.insts.len());
+}

@@ -1,0 +1,353 @@
+//! End-to-end pipeline tests: compile DSP-C under every strategy, run
+//! the result on the simulator, and check that the memory state matches
+//! the reference interpreter exactly.
+
+use dsp_backend::{compile_source, Strategy};
+use dsp_ir::Interpreter;
+use dsp_sim::{SimOptions, Simulator};
+
+
+/// Compile and simulate under `strategy`; compare the named globals
+/// against the interpreter; return the cycle count.
+fn check(src: &str, strategy: Strategy, globals: &[&str]) -> u64 {
+    // Reference semantics.
+    let reference = dsp_frontend::compile_str(src).expect("source compiles");
+    let mut interp = Interpreter::new(&reference);
+    interp.run().expect("interpreter runs");
+
+    // Compiled execution.
+    let out = compile_source(src, strategy).expect("backend compiles");
+    out.program
+        .validate(strategy.dual_ported())
+        .expect("valid program");
+    let mut sim = Simulator::new(
+        &out.program,
+        SimOptions {
+            dual_ported: strategy.dual_ported(),
+            ..SimOptions::default()
+        },
+    );
+    let stats = sim
+        .run()
+        .unwrap_or_else(|e| panic!("[{strategy}] simulation failed: {e}\n{}", out.program.disassemble()));
+
+    for name in globals {
+        let want = interp
+            .global_mem_by_name(name)
+            .unwrap_or_else(|| panic!("global {name} missing"));
+        let got = sim
+            .read_symbol(name)
+            .unwrap_or_else(|| panic!("symbol {name} missing"));
+        assert_eq!(
+            want, &got[..],
+            "[{strategy}] global `{name}` differs from the interpreter"
+        );
+        // Duplicated symbols must have coherent copies.
+        if let Some(copy) = sim.read_symbol_copy(name) {
+            assert_eq!(
+                got, copy,
+                "[{strategy}] `{name}`: the two bank copies diverged"
+            );
+        }
+    }
+    stats.cycles
+}
+
+fn check_all(src: &str, globals: &[&str]) {
+    for strategy in Strategy::ALL {
+        check(src, strategy, globals);
+    }
+}
+
+#[test]
+fn fir_filter() {
+    check_all(
+        "float A[16] = {1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16};
+         float B[16] = {1,1,2,2,3,3,4,4,5,5,6,6,7,7,8,8};
+         float out;
+         void main() {
+             int i; float acc; acc = 0.0;
+             for (i = 0; i < 16; i++) acc += A[i] * B[i];
+             out = acc;
+         }",
+        &["out"],
+    );
+}
+
+#[test]
+fn autocorrelation_with_dynamic_lag() {
+    check_all(
+        "float s[24] = {1,2,3,4,5,6,7,8,9,10,11,12,
+                        12,11,10,9,8,7,6,5,4,3,2,1};
+         float R[6];
+         void main() {
+             int n; int m;
+             for (m = 1; m < 4; m++)
+                 for (n = 0; n < 6; n++)
+                     R[n] += s[n] * s[n + m];
+         }",
+        &["R"],
+    );
+}
+
+#[test]
+fn store_heavy_duplication_integrity() {
+    // Writes to a duplicated array must keep both copies coherent.
+    check_all(
+        "float s[12] = {3,1,4,1,5,9,2,6,5,3,5,8};
+         float acc[4];
+         void main() {
+             int n; int it;
+             for (it = 0; it < 3; it++) {
+                 for (n = 0; n < 4; n++) {
+                     acc[n] += s[n] * s[n + 2];
+                     s[n] = s[n] + 1.0;
+                 }
+             }
+         }",
+        &["s", "acc"],
+    );
+}
+
+#[test]
+fn control_flow_and_calls() {
+    check_all(
+        "int out;
+         int classify(int x) {
+             if (x > 100) return 3;
+             if (x > 10) { if (x % 2 == 0) return 2; else return 1; }
+             return 0;
+         }
+         void main() {
+             int i; out = 0;
+             for (i = 0; i < 150; i += 7) out += classify(i);
+         }",
+        &["out"],
+    );
+}
+
+#[test]
+fn recursion() {
+    check_all(
+        "int out;
+         int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+         void main() { out = fib(11); }",
+        &["out"],
+    );
+}
+
+#[test]
+fn matrix_multiply() {
+    check_all(
+        "float A[16] = {1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16};
+         float B[16] = {2,0,1,3,1,1,4,2,0,5,2,2,3,1,0,1};
+         float C[16];
+         void main() {
+             int i; int j; int k;
+             for (i = 0; i < 4; i++)
+                 for (j = 0; j < 4; j++) {
+                     float acc; acc = 0.0;
+                     for (k = 0; k < 4; k++)
+                         acc += A[i * 4 + k] * B[k * 4 + j];
+                     C[i * 4 + j] = acc;
+                 }
+         }",
+        &["C"],
+    );
+}
+
+#[test]
+fn local_arrays_and_array_params() {
+    check_all(
+        "int out;
+         int sum(int v[], int n) {
+             int i; int s; s = 0;
+             for (i = 0; i < n; i++) s += v[i];
+             return s;
+         }
+         void main() {
+             int t[8]; int i;
+             for (i = 0; i < 8; i++) t[i] = i * i;
+             out = sum(t, 8);
+         }",
+        &["out"],
+    );
+}
+
+#[test]
+fn histogram_pattern() {
+    check_all(
+        "int img[16] = {0,1,2,3,0,1,2,3,1,1,2,0,3,3,3,1};
+         int hist[4];
+         void main() {
+             int i;
+             for (i = 0; i < 16; i++) hist[img[i]] += 1;
+         }",
+        &["hist"],
+    );
+}
+
+#[test]
+fn float_int_mix_and_casts() {
+    check_all(
+        "float out; int counts[5];
+         void main() {
+             int i; float x; x = 0.25;
+             for (i = 0; i < 5; i++) {
+                 counts[i] = (int) (x * 8.0);
+                 x = x + 0.5;
+             }
+             out = (float) counts[4] / 2.0;
+         }",
+        &["out", "counts"],
+    );
+}
+
+#[test]
+fn cb_beats_baseline_on_fir() {
+    let src = "float A[64]; float B[64]; float out;
+               void main() {
+                   int i; float acc; acc = 0.0;
+                   for (i = 0; i < 64; i++) acc += A[i] * B[i];
+                   out = acc;
+               }";
+    let base = check(src, Strategy::Baseline, &["out"]);
+    let cb = check(src, Strategy::CbPartition, &["out"]);
+    let ideal = check(src, Strategy::Ideal, &["out"]);
+    assert!(
+        cb < base,
+        "CB partitioning must beat the baseline: {cb} vs {base}"
+    );
+    assert!(ideal <= cb, "Ideal is a lower bound: {ideal} vs {cb}");
+}
+
+#[test]
+fn duplication_beats_cb_on_autocorrelation() {
+    let src = "float s[128]; float R[32]; float out;
+               void main() {
+                   int n; int m; float acc; acc = 0.0;
+                   for (m = 1; m < 24; m++)
+                       for (n = 0; n < 32; n++)
+                           R[n] += s[n] * s[n + m];
+                   for (n = 0; n < 32; n++) acc += R[n];
+                   out = acc;
+               }";
+    let base = check(src, Strategy::Baseline, &["out"]);
+    let cb = check(src, Strategy::CbPartition, &["out"]);
+    let dup = check(src, Strategy::PartialDup, &["out"]);
+    let ideal = check(src, Strategy::Ideal, &["out"]);
+    assert!(dup < cb, "duplication must pay off here: dup {dup} vs cb {cb}");
+    // Partitioning alone cannot split same-array accesses — exactly the
+    // paper's lpc observation (§4.1): CB gains little or nothing here.
+    assert!(cb <= base, "cb {cb} vs base {base}");
+    assert!(ideal <= dup, "ideal {ideal} vs dup {dup}");
+}
+
+#[test]
+fn interrupt_safe_duplication_is_atomic_and_correct() {
+    let src = "float s[48] = {1.0, 2.0, 3.0, 4.0};
+               float acc[8];
+               void main() {
+                   int n; int m;
+                   for (m = 1; m < 6; m++) {
+                       for (n = 0; n < 8; n++) {
+                           acc[n] += s[n] * s[n + m];
+                           s[n] = s[n] + 0.25;
+                       }
+                   }
+               }";
+    // Without the option, the bookkeeping store may land in a different
+    // cycle than its twin.
+    let plain = dsp_backend::compile_source(src, Strategy::PartialDup).unwrap();
+    assert!(
+        plain.alloc.duplicated().len() == 1,
+        "s must be duplicated for this test to mean anything"
+    );
+    // With the option, every duplicated store is a same-cycle pair.
+    let safe = dsp_backend::compile_ir_with(
+        &dsp_frontend::compile_str(src).unwrap(),
+        Strategy::PartialDup,
+        dsp_backend::CompileConfig {
+            interrupt_safe_dup: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        safe.program.dup_store_violations(),
+        Vec::<u32>::new(),
+        "atomic mode must leave no incoherence window"
+    );
+
+    // Semantics identical to the interpreter either way, and the atomic
+    // mode may cost cycles but not correctness.
+    let reference = dsp_frontend::compile_str(src).unwrap();
+    let mut interp = Interpreter::new(&reference);
+    interp.run().unwrap();
+    for out in [&plain, &safe] {
+        let mut sim = Simulator::new(&out.program, SimOptions::default());
+        sim.run().unwrap();
+        for name in ["s", "acc"] {
+            let want = interp.global_mem_by_name(name).unwrap();
+            let got = sim.read_symbol(name).unwrap();
+            assert_eq!(want, &got[..], "{name} differs");
+        }
+        if let Some(copy) = sim.read_symbol_copy("s") {
+            assert_eq!(sim.read_symbol("s").unwrap(), copy);
+        }
+    }
+}
+
+#[test]
+fn interrupt_safe_mode_reports_windows_in_plain_mode() {
+    // The validator must actually detect non-atomic pairs: with lots of
+    // surrounding memory traffic, at least one bookkeeping store drifts
+    // to a different cycle under the plain (non-atomic) mode.
+    let src = "float s[40] = {1.0, 2.0};
+               float a[16]; float b[16]; float acc[8];
+               void main() {
+                   int n; int m;
+                   for (m = 1; m < 5; m++)
+                       for (n = 0; n < 8; n++) {
+                           acc[n] += s[n] * s[n + m];
+                           a[n] = s[n] + 1.0;
+                           b[n] = s[n + m] - 1.0;
+                           s[n] = a[n] * 0.5 + b[n] * 0.5;
+                       }
+               }";
+    let plain = dsp_backend::compile_source(src, Strategy::PartialDup).unwrap();
+    if plain.alloc.duplicated().is_empty() {
+        panic!("expected s to be duplicated");
+    }
+    let safe = dsp_backend::compile_ir_with(
+        &dsp_frontend::compile_str(src).unwrap(),
+        Strategy::PartialDup,
+        dsp_backend::CompileConfig {
+            interrupt_safe_dup: true,
+        },
+    )
+    .unwrap();
+    assert!(safe.program.dup_store_violations().is_empty());
+    // And the atomic constraint can only lengthen the schedule.
+    assert!(safe.program.inst_count() >= plain.program.inst_count());
+}
+
+#[test]
+fn break_and_continue_compile_correctly() {
+    check_all(
+        "int out; int acc[6];
+         void main() {
+             int i; int j; out = 0;
+             for (i = 0; i < 6; i++) {
+                 acc[i] = 0;
+                 for (j = 0; j < 10; j++) {
+                     if (j == i) continue;
+                     if (j > 7) break;
+                     acc[i] += j;
+                 }
+                 out += acc[i];
+             }
+             while (1) { out += 100; break; }
+         }",
+        &["out", "acc"],
+    );
+}

@@ -1,0 +1,138 @@
+//! §4.1 ablation: interference-edge weight heuristics and partitioner
+//! variants.
+//!
+//! The paper hypothesized that poor application gains came from the
+//! loop-depth weight heuristic and tried profile-driven weights (`Pr`),
+//! finding "performance improvements comparable to those of the
+//! original CB partitioning". This bench reproduces that comparison and
+//! adds a uniform-weight ablation, plus a greedy-vs-refined partitioner
+//! comparison on the same graphs.
+//!
+//! Run: `cargo bench -p dsp-bench --bench ablation_weights`
+
+use dsp_backend::{compile_ir, Strategy};
+use dsp_bankalloc::{
+    build_interference, greedy_partition, refined_partition, AliasClasses, AllocOptions,
+    BankAllocation, WeightKind, WeightMode,
+};
+use dsp_bench::{gain_pct, render_table};
+use dsp_sim::{SimOptions, Simulator};
+use dsp_workloads::runner::frontend;
+
+fn cycles_with_weights(
+    ir: &dsp_ir::Program,
+    weights: WeightKind,
+    stats: Option<&dsp_ir::ExecStats>,
+) -> u64 {
+    // Mirror the driver but with an explicit weight choice.
+    let mut opt_ir = ir.clone();
+    dsp_backend::opt::optimize(&mut opt_ir);
+    let opts = AllocOptions {
+        weights,
+        ..AllocOptions::default()
+    };
+    let _alloc = BankAllocation::compute(&opt_ir, &opts, stats);
+    // Reuse the driver for actual code generation by selecting the
+    // matching strategy where one exists; uniform weights need the
+    // manual path below.
+    let strategy = match weights {
+        WeightKind::LoopDepth => Some(Strategy::CbPartition),
+        WeightKind::Profile => Some(Strategy::ProfileWeighted),
+        WeightKind::Uniform => None,
+    };
+    if let Some(s) = strategy {
+        let out = compile_ir(ir, s).expect("compiles");
+        let mut sim = Simulator::new(&out.program, SimOptions::default());
+        return sim.run().expect("runs").cycles;
+    }
+    // Uniform weights: drive the pipeline pieces directly.
+    let alloc = BankAllocation::compute(&opt_ir, &opts, None);
+    let layout = dsp_backend::layout::DataLayout::compute(&opt_ir, &alloc);
+    let mut funcs = Vec::new();
+    for fi in 0..opt_ir.funcs.len() {
+        let lir = dsp_backend::lirgen::lower_function(
+            &opt_ir,
+            dsp_ir::FuncId(fi as u32),
+            &alloc,
+            &layout,
+        )
+        .expect("lowers");
+        let mut blocks = Vec::new();
+        for ops in &lir.blocks {
+            blocks.push(dsp_backend::schedule::schedule_block(ops, false).expect("schedules"));
+        }
+        funcs.push(dsp_backend::link::LinkFunction {
+            name: lir.name.clone(),
+            blocks,
+            entry: lir.entry,
+        });
+    }
+    let program = dsp_backend::link::link(&opt_ir, funcs, &layout);
+    let mut sim = Simulator::new(&program, SimOptions::default());
+    sim.run().expect("runs").cycles
+}
+
+fn main() {
+    println!("== Ablation: edge-weight heuristics (gain % over baseline) ==\n");
+    let headers: Vec<String> = ["benchmark", "loop-depth", "profile", "uniform"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let mut rows = Vec::new();
+    for bench in dsp_workloads::all() {
+        let ir = frontend(&bench).expect("frontend");
+        let base = {
+            let out = compile_ir(&ir, Strategy::Baseline).expect("compiles");
+            let mut sim = Simulator::new(&out.program, SimOptions::default());
+            sim.run().expect("runs").cycles
+        };
+        let mut opt_ir = ir.clone();
+        dsp_backend::opt::optimize(&mut opt_ir);
+        let mut interp = dsp_ir::Interpreter::new(&opt_ir);
+        let (_, stats) = interp.run().expect("profiles");
+        let depth = cycles_with_weights(&ir, WeightKind::LoopDepth, None);
+        let prof = cycles_with_weights(&ir, WeightKind::Profile, Some(&stats));
+        let unif = cycles_with_weights(&ir, WeightKind::Uniform, None);
+        rows.push(vec![
+            bench.name.clone(),
+            format!("{:.1}", gain_pct(base, depth)),
+            format!("{:.1}", gain_pct(base, prof)),
+            format!("{:.1}", gain_pct(base, unif)),
+        ]);
+    }
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "Paper §4.1: profile-driven weights changed the partitioning of only\n\
+         a few benchmarks and produced \"performance improvements comparable\n\
+         to those of the original CB partitioning\".\n"
+    );
+
+    println!("== Ablation: greedy vs refined partitioner (unsatisfied edge weight) ==\n");
+    let headers: Vec<String> = ["benchmark", "nodes", "edges", "greedy", "refined"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let mut rows = Vec::new();
+    for bench in dsp_workloads::all() {
+        let ir = frontend(&bench).expect("frontend");
+        let mut opt_ir = ir.clone();
+        dsp_backend::opt::optimize(&mut opt_ir);
+        let alias = AliasClasses::build(&opt_ir);
+        let built = build_interference(&opt_ir, &alias, WeightMode::LoopDepth);
+        let greedy = greedy_partition(&built.graph);
+        let refined = refined_partition(&built.graph);
+        rows.push(vec![
+            bench.name.clone(),
+            built.graph.active_nodes().len().to_string(),
+            built.graph.edge_count().to_string(),
+            greedy.cost.to_string(),
+            refined.cost.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "Paper §3.1: the greedy algorithm \"yields near-ideal performance\",\n\
+         precluding more sophisticated partitioners; the refined costs above\n\
+         confirm there is little left on the table."
+    );
+}

@@ -1,0 +1,101 @@
+//! Criterion timings of the compiler's core algorithms, checking the
+//! paper's complexity claims: interference-graph construction is
+//! `O(B·n²)` in block size, greedy partitioning `O(v²)` in variable
+//! count (§3.1), and whole-program compilation stays interactive.
+//!
+//! Run: `cargo bench -p dsp-bench --bench algo_scaling`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsp_backend::Strategy;
+use dsp_bankalloc::{greedy_partition, InterferenceGraph, Var};
+use dsp_ir::GlobalId;
+use dsp_sched::{compact_ir_block, MemClaim};
+
+/// A synthetic straight-line block: `n` interleaved loads and adds over
+/// `vars` distinct arrays.
+fn synthetic_block(n: usize, vars: usize) -> (Vec<dsp_ir::ops::Op>, Vec<MemClaim>) {
+    use dsp_ir::ops::{IOperand, MemBase, MemRef, Op};
+    use dsp_ir::VReg;
+    let mut ops = Vec::with_capacity(n);
+    let mut claims = Vec::new();
+    for i in 0..n {
+        if i % 2 == 0 {
+            ops.push(Op::Load {
+                dst: VReg(i as u32),
+                addr: MemRef::direct(MemBase::Global(GlobalId((i % vars) as u32)), i as i32),
+            });
+            claims.push(MemClaim::Fixed(dsp_machine::Bank::X));
+        } else {
+            ops.push(Op::IBin {
+                kind: dsp_machine::IntBinKind::Add,
+                dst: VReg(i as u32),
+                lhs: VReg((i - 1) as u32),
+                rhs: IOperand::Imm(1),
+            });
+        }
+    }
+    (ops, claims)
+}
+
+/// A random dense-ish interference graph over `v` variables.
+fn synthetic_graph(v: usize) -> InterferenceGraph {
+    let mut g = InterferenceGraph::new();
+    let mut state = 0x1234_5678u32;
+    for i in 0..v {
+        for j in (i + 1)..v {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            if state.is_multiple_of(4) {
+                g.add_edge_weight(
+                    Var::Global(GlobalId(i as u32)),
+                    Var::Global(GlobalId(j as u32)),
+                    u64::from(state % 5 + 1),
+                );
+            }
+        }
+    }
+    g
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compaction");
+    for &n in &[16usize, 64, 256] {
+        let (ops, claims) = synthetic_block(n, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| compact_ir_block(&ops, &claims, None).expect("schedules"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_partition");
+    for &v in &[8usize, 32, 128, 512] {
+        let g = synthetic_graph(v);
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| greedy_partition(&g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_whole_compile(c: &mut Criterion) {
+    let bench = dsp_workloads::kernels::fir(32, 1);
+    let ir = dsp_workloads::runner::frontend(&bench).expect("frontend");
+    c.bench_function("compile_fir_32_1_cb", |b| {
+        b.iter(|| dsp_backend::compile_ir(&ir, Strategy::CbPartition).expect("compiles"));
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_compaction, bench_partitioner, bench_whole_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 8 reproduction: performance gain of the eleven DSP
+//! applications under CB partitioning, profile-driven weights (Pr),
+//! partial data duplication (Dup), and the dual-ported Ideal.
+//!
+//! Run: `cargo bench -p dsp-bench --bench fig8_applications`
+
+use dsp_backend::Strategy;
+use dsp_bench::{arith_mean, gain_pct, measure_strategies, render_table};
+use dsp_workloads::apps;
+
+fn main() {
+    println!("== Figure 8: Performance Gain for DSP Applications ==");
+    println!("   (percent improvement over the single-bank baseline)\n");
+    let headers: Vec<String> = ["application", "CB %", "Pr %", "Dup %", "Ideal %"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let strategies = [
+        Strategy::Baseline,
+        Strategy::CbPartition,
+        Strategy::ProfileWeighted,
+        Strategy::PartialDup,
+        Strategy::Ideal,
+    ];
+    let mut rows = Vec::new();
+    let mut sums = vec![Vec::new(); 4];
+    for (i, bench) in apps::all().iter().enumerate() {
+        let ms = measure_strategies(bench, &strategies)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let base = ms[0].cycles;
+        let mut row = vec![format!("a{} {}", i + 1, bench.name)];
+        for (k, m) in ms[1..].iter().enumerate() {
+            let g = gain_pct(base, m.cycles);
+            sums[k].push(g);
+            row.push(format!("{g:.1}"));
+        }
+        rows.push(row);
+    }
+    let mut mean_row = vec!["mean".to_string()];
+    for s in &sums {
+        mean_row.push(format!("{:.1}", arith_mean(s)));
+    }
+    rows.push(mean_row);
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "Paper: application CB gains 3%-15% (Ideal 3%-36%); histogram and\n\
+         the three G721 codecs gain ~0% under every scheme; lpc jumps from\n\
+         3% (CB) to 34% with partial duplication; profile-driven weights\n\
+         (Pr) change little; spectral's duplication bookkeeping erodes its\n\
+         gain below plain CB."
+    );
+}

@@ -1,0 +1,76 @@
+//! §5 extension experiment: selective (PCR-aware) duplication.
+//!
+//! The paper closes by proposing that the compiler "be more selective
+//! in duplicating data to minimize storage while meeting the
+//! performance requirements", using profiling to estimate performance
+//! at compile time. [`dsp_backend::Strategy::SelectiveDup`] implements
+//! that refinement: a duplication candidate is copied only when its
+//! profiled same-array load pairing opportunities outweigh the
+//! bookkeeping stores it would gain.
+//!
+//! This bench compares indiscriminate partial duplication against the
+//! selective policy on the three applications the paper identified as
+//! having duplication candidates, plus one with none as a control.
+//!
+//! Run: `cargo bench -p dsp-bench --bench selective_dup`
+
+use dsp_backend::Strategy;
+use dsp_bankalloc::TradeOff;
+use dsp_bench::{measure_strategies, render_table};
+
+fn main() {
+    println!("== Selective duplication (paper §5 refinement) ==\n");
+    let headers: Vec<String> = [
+        "application",
+        "Dup vars",
+        "Sel vars",
+        "Dup PG",
+        "Dup CI",
+        "Dup PCR",
+        "Sel PG",
+        "Sel CI",
+        "Sel PCR",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let mut rows = Vec::new();
+    for name in ["lpc", "spectral", "V32encode", "edge_detect"] {
+        let bench = dsp_workloads::by_name(name).expect("known benchmark");
+        let ms = measure_strategies(
+            &bench,
+            &[
+                Strategy::Baseline,
+                Strategy::PartialDup,
+                Strategy::SelectiveDup,
+            ],
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let base = &ms[0];
+        let dup = &ms[1];
+        let sel = &ms[2];
+        let t_dup = TradeOff::compute(base.cycles, base.memory_cost, dup.cycles, dup.memory_cost);
+        let t_sel = TradeOff::compute(base.cycles, base.memory_cost, sel.cycles, sel.memory_cost);
+        rows.push(vec![
+            name.to_string(),
+            dup.duplicated_vars.to_string(),
+            sel.duplicated_vars.to_string(),
+            format!("{:.2}", t_dup.pg),
+            format!("{:.2}", t_dup.ci),
+            format!("{:.2}", t_dup.pcr),
+            format!("{:.2}", t_sel.pg),
+            format!("{:.2}", t_sel.ci),
+            format!("{:.2}", t_sel.pcr),
+        ]);
+    }
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "Expected: lpc keeps its profitable copy (autocorrelation pairs far\n\
+         outnumber window stores) and even sheds an unprofitable one;\n\
+         spectral drops its store-heavy segment buffers, recovering plain\n\
+         CB's better PCR; V32encode's scrambler passes the cycle criterion\n\
+         but not a storage-aware one — the very case the paper says needs\n\
+         the designer's performance/area priorities (§4.2); edge_detect is\n\
+         a control with no candidates."
+    );
+}

@@ -1,0 +1,116 @@
+#![warn(missing_docs)]
+//! Experiment harness reproducing the paper's figures and tables.
+//!
+//! The bench targets of this crate regenerate every evaluation artifact
+//! of the paper (run with `cargo bench -p dsp-bench --bench <name>`):
+//!
+//! | bench target | paper artifact |
+//! |---|---|
+//! | `fig7_kernels` | Figure 7 — kernel performance gain, CB vs Ideal |
+//! | `fig8_applications` | Figure 8 — application gain, CB / Pr / Dup / Ideal |
+//! | `table3_cost` | Table 3 — PG / CI / PCR for Full Dup, Partial Dup, CB, Ideal |
+//! | `ablation_weights` | §4.1 ablation — loop-depth vs profile vs uniform edge weights |
+//! | `algo_scaling` | Criterion timings of the partitioner and scheduler |
+//!
+//! Absolute cycle counts differ from the paper's (different substrate,
+//! different benchmark data); the *shape* — who wins, by roughly what
+//! factor, where the crossovers fall — is the reproduction target.
+
+use dsp_backend::Strategy;
+use dsp_workloads::runner::{measure_ir, Measurement, RunError};
+use dsp_workloads::Benchmark;
+
+/// Percentage gain of `opt` cycles over `base` cycles.
+#[must_use]
+pub fn gain_pct(base: u64, opt: u64) -> f64 {
+    (base as f64 / opt as f64 - 1.0) * 100.0
+}
+
+/// Measure a benchmark under the given strategies (front-end runs
+/// once).
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`].
+pub fn measure_strategies(
+    bench: &Benchmark,
+    strategies: &[Strategy],
+) -> Result<Vec<Measurement>, RunError> {
+    let ir = dsp_workloads::runner::frontend(bench)?;
+    strategies
+        .iter()
+        .map(|&s| measure_ir(bench, &ir, s))
+        .collect()
+}
+
+/// Render an aligned text table.
+#[must_use]
+pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut width = vec![0usize; ncol];
+    for (c, h) in headers.iter().enumerate() {
+        width[c] = width[c].max(h.len());
+    }
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            width[c] = width[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], width: &[usize]| -> String {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate() {
+            if c == 0 {
+                line.push_str(&format!("{cell:<w$}", w = width[c]));
+            } else {
+                line.push_str(&format!("  {cell:>w$}", w = width[c]));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers, &width));
+    let total: usize = width.iter().sum::<usize>() + 2 * (ncol - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &width));
+    }
+    out
+}
+
+/// Geometric-mean free arithmetic mean, as the paper's Table 3 uses.
+#[must_use]
+pub fn arith_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_math() {
+        assert!((gain_pct(149, 100) - 49.0).abs() < 1e-9);
+        assert_eq!(gain_pct(100, 100), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name".into(), "v".into()],
+            &[vec!["fir".into(), "49.0".into()]],
+        );
+        assert!(t.contains("fir"));
+        assert!(t.lines().count() == 3);
+    }
+
+    #[test]
+    fn mean() {
+        assert!((arith_mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(arith_mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Interference-graph construction by trial compaction (paper §3.1,
+//! Figure 3).
+//!
+//! The data-allocation pass runs the operation-compaction algorithm over
+//! every basic block *before* banks are assigned, with every memory
+//! operation pinned to a single memory unit. Each time a memory
+//! operation is data-compatible with the instruction being formed but
+//! the memory unit is already taken, the two operations could have
+//! executed in parallel had their data been in different banks: an
+//! interference edge is added between the variables they access — or,
+//! when both access the *same* variable, that variable is marked as a
+//! candidate for data duplication (§3.2).
+
+use std::collections::BTreeSet;
+
+use dsp_ir::{ExecStats, FuncId, LoopInfo, Program};
+use dsp_machine::Bank;
+use dsp_sched::{compact_ir_block, MemClaim};
+
+use crate::graph::InterferenceGraph;
+use crate::vars::{AliasClasses, Var};
+
+/// How interference-edge weights are derived.
+#[derive(Debug, Clone, Copy)]
+pub enum WeightMode<'a> {
+    /// The paper's default heuristic: the loop nesting depth of the
+    /// accesses (weight = depth + 1, so code outside any loop still
+    /// counts 1, matching Figure 4).
+    LoopDepth,
+    /// Profile-driven weights: the execution count of the basic block
+    /// containing the accesses (paper §4.1, configuration `Pr`).
+    Profile(&'a ExecStats),
+    /// Every discovered pair weighs 1 (ablation).
+    Uniform,
+}
+
+/// Estimated dynamic behaviour of one duplication candidate, for the
+/// paper's §5 refinement (duplicate only when the performance gain
+/// justifies the cost).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DupStats {
+    /// Weighted count of same-class load pairs that could issue
+    /// together if the class were duplicated — each is roughly one
+    /// cycle saved per execution.
+    pub conflicts: u64,
+    /// Weighted count of stores to the class — each would gain a
+    /// bookkeeping store that may cost a cycle when it cannot pack.
+    pub stores: u64,
+    /// Words of storage the duplicated copy would occupy.
+    pub copy_words: u64,
+}
+
+impl DupStats {
+    /// The §5 criterion: duplication is worthwhile when the cycles it
+    /// can save exceed the cycles its bookkeeping stores can cost.
+    #[must_use]
+    pub fn worthwhile(&self) -> bool {
+        self.conflicts > self.stores
+    }
+}
+
+/// The products of the trial compaction.
+#[derive(Debug, Clone)]
+pub struct BuildResult {
+    /// The weighted interference graph over alias classes.
+    pub graph: InterferenceGraph,
+    /// Alias classes that were accessed twice in one candidate
+    /// instruction — partitioning cannot help them; duplication can.
+    pub dup_candidates: BTreeSet<Var>,
+    /// Benefit/cost estimates for each duplication candidate, weighted
+    /// by the same mode as the interference edges (dynamic counts under
+    /// [`WeightMode::Profile`], loop-depth statics otherwise).
+    pub dup_stats: std::collections::HashMap<Var, DupStats>,
+}
+
+/// Build the interference graph of `program`.
+///
+/// # Panics
+///
+/// Panics if a basic block's dependence graph is cyclic, which
+/// [`dsp_ir::Program::validate`]d programs cannot produce.
+#[must_use]
+pub fn build_interference(
+    program: &Program,
+    alias: &AliasClasses,
+    mode: WeightMode<'_>,
+) -> BuildResult {
+    let mut graph = InterferenceGraph::new();
+    let mut dup_candidates = BTreeSet::new();
+    let mut dup_stats: std::collections::HashMap<Var, DupStats> =
+        std::collections::HashMap::new();
+    // Every alias class is a node even if never co-accessed.
+    for class in alias.classes() {
+        if !matches!(class, Var::ParamSlot(..)) {
+            graph.add_node(class);
+        }
+    }
+    for (fi, f) in program.funcs.iter().enumerate() {
+        let func = FuncId(fi as u32);
+        let loops = LoopInfo::compute(f);
+        for (bi, block) in f.iter_blocks() {
+            let weight = match mode {
+                WeightMode::LoopDepth => u64::from(loops.depth_of(bi)) + 1,
+                WeightMode::Profile(stats) => stats.block_count(func, bi),
+                WeightMode::Uniform => 1,
+            };
+            if weight == 0 {
+                continue; // never-executed block contributes nothing
+            }
+            let ops = &block.ops;
+            let mem_count = ops.iter().filter(|o| o.is_mem()).count();
+            if mem_count < 2 {
+                continue; // no chance of a memory pair
+            }
+            let claims = vec![MemClaim::Fixed(Bank::X); mem_count];
+            let mut observer = |i: usize, j: usize| {
+                let a = class_of_op(alias, func, &ops[i]);
+                let b = class_of_op(alias, func, &ops[j]);
+                if a == b {
+                    // Duplication only pays for a pair of *loads*: a
+                    // store must update both copies anyway, so pairing a
+                    // load with one of its own array's stores saves
+                    // nothing and still costs the bookkeeping store.
+                    // (The paper's §5 closing remark invites exactly
+                    // this kind of refinement of the duplication set.)
+                    let both_loads = matches!(ops[i], dsp_ir::ops::Op::Load { .. })
+                        && matches!(ops[j], dsp_ir::ops::Op::Load { .. });
+                    if both_loads {
+                        dup_candidates.insert(a);
+                        dup_stats.entry(a).or_default().conflicts += weight;
+                    }
+                } else {
+                    match mode {
+                        WeightMode::LoopDepth => graph.raise_edge_weight(a, b, weight),
+                        WeightMode::Profile(_) | WeightMode::Uniform => {
+                            graph.add_edge_weight(a, b, weight);
+                        }
+                    }
+                }
+            };
+            compact_ir_block(ops, &claims, Some(&mut observer))
+                .expect("validated blocks have acyclic dependence graphs");
+        }
+    }
+    // Store traffic and storage footprint of each candidate, weighted
+    // consistently with the conflicts.
+    for (fi, f) in program.funcs.iter().enumerate() {
+        let func = FuncId(fi as u32);
+        let loops = LoopInfo::compute(f);
+        for (bi, block) in f.iter_blocks() {
+            let weight = match mode {
+                WeightMode::LoopDepth => u64::from(loops.depth_of(bi)) + 1,
+                WeightMode::Profile(stats) => stats.block_count(func, bi),
+                WeightMode::Uniform => 1,
+            };
+            for op in &block.ops {
+                if let dsp_ir::ops::Op::Store { addr, .. } = op {
+                    let class = alias.class_of_base(func, addr.base);
+                    if let Some(s) = dup_stats.get_mut(&class) {
+                        s.stores += weight;
+                    }
+                }
+            }
+        }
+    }
+    for (class, stats) in &mut dup_stats {
+        stats.copy_words = alias
+            .members(*class)
+            .iter()
+            .map(|m| match m {
+                Var::Global(g) => u64::from(program.globals[g.index()].size),
+                Var::Local(func, l) => {
+                    u64::from(program.func(*func).locals[l.index()].size)
+                }
+                Var::ParamSlot(..) => 0,
+            })
+            .sum();
+    }
+    BuildResult {
+        graph,
+        dup_candidates,
+        dup_stats,
+    }
+}
+
+fn class_of_op(alias: &AliasClasses, func: FuncId, op: &dsp_ir::ops::Op) -> Var {
+    let mem = op.mem_ref().expect("observer only reports memory ops");
+    alias.class_of_base(func, mem.base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_frontend::compile_str;
+    use dsp_ir::GlobalId;
+
+    fn gvar(p: &Program, name: &str) -> Var {
+        Var::Global(p.global_by_name(name).expect("global exists"))
+    }
+
+    #[test]
+    fn fir_loop_interferes_coefficients_with_samples() {
+        // The motivating FIR example (paper Figure 1): A[i] and B[i] are
+        // loaded in the same iteration and should interfere with the
+        // loop weight 2 (depth 1 + 1).
+        let src = "float A[8]; float B[8]; float out;
+                   void main() {
+                     int i; float sum; sum = 0.0;
+                     for (i = 0; i < 8; i++) sum += A[i] * B[i];
+                     out = sum;
+                   }";
+        let p = compile_str(src).unwrap();
+        let alias = AliasClasses::build(&p);
+        let r = build_interference(&p, &alias, WeightMode::LoopDepth);
+        let w = r.graph.weight(gvar(&p, "A"), gvar(&p, "B"));
+        assert_eq!(w, 2, "loop-depth weight should be depth+1 = 2");
+        assert!(r.dup_candidates.is_empty());
+    }
+
+    #[test]
+    fn straightline_pairs_weigh_one() {
+        let src = "int A[4]; int B[4]; int out;
+                   void main() { out = A[0] + B[0]; }";
+        let p = compile_str(src).unwrap();
+        let alias = AliasClasses::build(&p);
+        let r = build_interference(&p, &alias, WeightMode::LoopDepth);
+        assert_eq!(r.graph.weight(gvar(&p, "A"), gvar(&p, "B")), 1);
+    }
+
+    #[test]
+    fn autocorrelation_marks_array_for_duplication() {
+        // Paper Figure 6: R[n] += signal[n] * signal[n+m] — the two
+        // signal loads could pair but share the array. A constant lag
+        // folds into the addressing offset, so both loads are ready in
+        // the same candidate instruction even without the back-end's
+        // induction-variable rewriting (which handles dynamic lags).
+        let src = "float signal[16]; float R[8];
+                   void main() {
+                     int n;
+                     for (n = 0; n < 8; n++)
+                       R[n] += signal[n] * signal[n + 4];
+                   }";
+        let p = compile_str(src).unwrap();
+        let alias = AliasClasses::build(&p);
+        let r = build_interference(&p, &alias, WeightMode::LoopDepth);
+        assert!(
+            r.dup_candidates.contains(&gvar(&p, "signal")),
+            "signal accessed twice in one instruction candidate: {:?}",
+            r.dup_candidates
+        );
+    }
+
+    #[test]
+    fn profile_weights_use_block_counts() {
+        let src = "int A[64]; int B[64]; int out;
+                   void main() {
+                     int i; out = 0;
+                     for (i = 0; i < 64; i++) out += A[i] + B[i];
+                   }";
+        let p = compile_str(src).unwrap();
+        let alias = AliasClasses::build(&p);
+        let mut interp = dsp_ir::Interpreter::new(&p);
+        let (_, stats) = interp.run().unwrap();
+        let r = build_interference(&p, &alias, WeightMode::Profile(&stats));
+        let w = r.graph.weight(gvar(&p, "A"), gvar(&p, "B"));
+        assert_eq!(w, 64, "profile weight equals loop trip count, got {w}");
+    }
+
+    #[test]
+    fn uniform_weights_are_one() {
+        let src = "int A[8]; int B[8]; int out;
+                   void main() {
+                     int i;
+                     for (i = 0; i < 8; i++) out += A[i] + B[i];
+                   }";
+        let p = compile_str(src).unwrap();
+        let alias = AliasClasses::build(&p);
+        let r = build_interference(&p, &alias, WeightMode::Uniform);
+        assert_eq!(r.graph.weight(gvar(&p, "A"), gvar(&p, "B")), 1);
+    }
+
+    #[test]
+    fn dependent_accesses_do_not_interfere() {
+        // hist[img[i]] += 1: the inner load feeds the outer access, so
+        // they can never issue together; no edge should appear.
+        let src = "int img[8] = {0, 1, 2, 3, 0, 1, 2, 3}; int hist[4];
+                   void main() {
+                     int i;
+                     for (i = 0; i < 8; i++) hist[img[i]] += 1;
+                   }";
+        let p = compile_str(src).unwrap();
+        let alias = AliasClasses::build(&p);
+        let r = build_interference(&p, &alias, WeightMode::LoopDepth);
+        assert_eq!(
+            r.graph.weight(gvar(&p, "img"), gvar(&p, "hist")),
+            0,
+            "serial dependence must not create interference"
+        );
+        let _ = GlobalId(0);
+    }
+
+    #[test]
+    fn every_class_is_a_node() {
+        let src = "int A[4]; int lonely; void main() { A[0] = 1; }";
+        let p = compile_str(src).unwrap();
+        let alias = AliasClasses::build(&p);
+        let r = build_interference(&p, &alias, WeightMode::LoopDepth);
+        assert!(r.graph.contains(gvar(&p, "lonely")));
+        assert!(r.graph.contains(gvar(&p, "A")));
+    }
+}

@@ -1,0 +1,132 @@
+//! The paper's first-order performance/cost metrics (§4.2, Table 3).
+//!
+//! * **Performance Gain** `PG = base_cycles / optimized_cycles` — 1.33
+//!   means 33 % faster than the unoptimized (single-bank) build.
+//! * **Cost Increase** `CI = optimized_memory / base_memory`, where
+//!   memory is the first-order model `Cost = X + Y + 2·S + I` in words
+//!   (data in both banks, two stacks, and instructions assumed the same
+//!   size as data words).
+//! * **Performance/Cost Ratio** `PCR = PG / CI` — a value above 1 means
+//!   the speedup outweighs the extra memory.
+
+/// Performance gain of an optimized build over the baseline.
+///
+/// # Panics
+///
+/// Panics if `optimized_cycles` is zero.
+#[must_use]
+pub fn performance_gain(base_cycles: u64, optimized_cycles: u64) -> f64 {
+    assert!(optimized_cycles > 0, "optimized build executed no cycles");
+    base_cycles as f64 / optimized_cycles as f64
+}
+
+/// Percentage form of [`performance_gain`]: `(PG - 1) * 100`.
+#[must_use]
+pub fn gain_percent(base_cycles: u64, optimized_cycles: u64) -> f64 {
+    (performance_gain(base_cycles, optimized_cycles) - 1.0) * 100.0
+}
+
+/// Cost increase of an optimized build over the baseline.
+///
+/// # Panics
+///
+/// Panics if `base_cost` is zero.
+#[must_use]
+pub fn cost_increase(base_cost: u64, optimized_cost: u64) -> f64 {
+    assert!(base_cost > 0, "baseline build occupies no memory");
+    optimized_cost as f64 / base_cost as f64
+}
+
+/// Performance/cost ratio.
+#[must_use]
+pub fn performance_cost_ratio(pg: f64, ci: f64) -> f64 {
+    pg / ci
+}
+
+/// The three Table-3 metrics for one (benchmark, technique) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeOff {
+    /// Performance gain (≥ 1 is a speedup).
+    pub pg: f64,
+    /// Cost increase (≥ 1 is more memory).
+    pub ci: f64,
+    /// `pg / ci`.
+    pub pcr: f64,
+}
+
+impl TradeOff {
+    /// Compute the trade-off of an optimized build against a baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the optimized cycle count or the baseline cost is zero.
+    #[must_use]
+    pub fn compute(
+        base_cycles: u64,
+        base_cost: u64,
+        optimized_cycles: u64,
+        optimized_cost: u64,
+    ) -> TradeOff {
+        let pg = performance_gain(base_cycles, optimized_cycles);
+        let ci = cost_increase(base_cost, optimized_cost);
+        TradeOff {
+            pg,
+            ci,
+            pcr: performance_cost_ratio(pg, ci),
+        }
+    }
+}
+
+impl std::fmt::Display for TradeOff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PG {:.2}  CI {:.2}  PCR {:.2}",
+            self.pg, self.ci, self.pcr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpc_like_numbers() {
+        // Paper Table 3, lpc with partial duplication: PG 1.34, CI 1.12,
+        // PCR 1.20.
+        let t = TradeOff::compute(134_000, 10_000, 100_000, 11_200);
+        assert!((t.pg - 1.34).abs() < 1e-9);
+        assert!((t.ci - 1.12).abs() < 1e-9);
+        assert!((t.pcr - 1.196).abs() < 1e-2);
+    }
+
+    #[test]
+    fn no_change_is_unity() {
+        let t = TradeOff::compute(5000, 800, 5000, 800);
+        assert_eq!(t.pg, 1.0);
+        assert_eq!(t.ci, 1.0);
+        assert_eq!(t.pcr, 1.0);
+    }
+
+    #[test]
+    fn gain_percent_matches_paper_phrasing() {
+        // "improves performance by 49%" == PG 1.49.
+        assert!((gain_percent(149, 100) - 49.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheaper_build_has_ci_below_one() {
+        // Packing parallel accesses into fewer instructions can shrink
+        // memory (paper: "the cost difference is actually a decrease").
+        let t = TradeOff::compute(100, 1000, 90, 980);
+        assert!(t.ci < 1.0);
+        assert!(t.pcr > t.pg);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cycles")]
+    fn zero_cycles_panics() {
+        let _ = performance_gain(1, 0);
+    }
+}

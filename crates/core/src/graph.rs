@@ -1,0 +1,233 @@
+//! The weighted, undirected interference graph (paper §3.1).
+//!
+//! Nodes are the program's variables (alias classes); an edge between
+//! two nodes means the corresponding variables may be accessed in
+//! parallel and should therefore be stored in separate memory banks.
+//! The edge weight "represent[s] the degradation in performance if the
+//! corresponding variables are not accessed in parallel".
+
+use std::collections::HashMap;
+
+use crate::vars::Var;
+
+/// A weighted, undirected interference graph over variables.
+#[derive(Debug, Clone, Default)]
+pub struct InterferenceGraph {
+    nodes: Vec<Var>,
+    index: HashMap<Var, usize>,
+    /// Upper-triangle edge weights keyed by `(min_index, max_index)`.
+    edges: HashMap<(usize, usize), u64>,
+}
+
+impl InterferenceGraph {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> InterferenceGraph {
+        InterferenceGraph::default()
+    }
+
+    /// Ensure `v` is a node; returns its index.
+    pub fn add_node(&mut self, v: Var) -> usize {
+        if let Some(&i) = self.index.get(&v) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(v);
+        self.index.insert(v, i);
+        i
+    }
+
+    /// Add `weight` to the edge between `a` and `b` (created at 0 if
+    /// absent). Self-edges are ignored.
+    pub fn add_edge_weight(&mut self, a: Var, b: Var, weight: u64) {
+        if a == b {
+            return;
+        }
+        let (ia, ib) = (self.add_node(a), self.add_node(b));
+        let key = (ia.min(ib), ia.max(ib));
+        *self.edges.entry(key).or_insert(0) += weight;
+    }
+
+    /// Raise the edge weight between `a` and `b` to at least `weight`.
+    pub fn raise_edge_weight(&mut self, a: Var, b: Var, weight: u64) {
+        if a == b {
+            return;
+        }
+        let (ia, ib) = (self.add_node(a), self.add_node(b));
+        let key = (ia.min(ib), ia.max(ib));
+        let w = self.edges.entry(key).or_insert(0);
+        *w = (*w).max(weight);
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The nodes, in insertion order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Var] {
+        &self.nodes
+    }
+
+    /// Iterate over `(a, b, weight)` edges.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (Var, Var, u64)> + '_ {
+        self.edges
+            .iter()
+            .map(|(&(a, b), &w)| (self.nodes[a], self.nodes[b], w))
+    }
+
+    /// The weight between two variables (0 if no edge).
+    #[must_use]
+    pub fn weight(&self, a: Var, b: Var) -> u64 {
+        let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+            return 0;
+        };
+        let key = (ia.min(ib), ia.max(ib));
+        self.edges.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Neighbors of `v` with edge weights.
+    #[must_use]
+    pub fn neighbors(&self, v: Var) -> Vec<(Var, u64)> {
+        let Some(&i) = self.index.get(&v) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(Var, u64)> = self
+            .edges
+            .iter()
+            .filter_map(|(&(a, b), &w)| {
+                if a == i {
+                    Some((self.nodes[b], w))
+                } else if b == i {
+                    Some((self.nodes[a], w))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Sum of all edge weights.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.edges.values().sum()
+    }
+
+    /// Remove a node and all its edges (used when a variable is marked
+    /// for duplication: a copy in each bank satisfies every edge).
+    pub fn remove_node(&mut self, v: Var) {
+        let Some(&i) = self.index.get(&v) else {
+            return;
+        };
+        self.edges.retain(|&(a, b), _| a != i && b != i);
+        // Keep indices stable by leaving a tombstone out of `index`;
+        // the node list retains the entry but lookups no longer find it.
+        self.index.remove(&v);
+        self.nodes[i] = v; // unchanged; documents intent
+    }
+
+    /// True if `v` is (still) a node of the graph.
+    #[must_use]
+    pub fn contains(&self, v: Var) -> bool {
+        self.index.contains_key(&v)
+    }
+
+    /// Active nodes (excluding removed ones), in insertion order.
+    #[must_use]
+    pub fn active_nodes(&self) -> Vec<Var> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|v| self.index.contains_key(v))
+            .collect()
+    }
+
+    /// Render a Graphviz `dot` description (handy for debugging and for
+    /// the walkthrough example).
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("graph interference {\n");
+        for v in self.active_nodes() {
+            let _ = writeln!(out, "  \"{v}\";");
+        }
+        for (a, b, w) in self.iter_edges() {
+            let _ = writeln!(out, "  \"{a}\" -- \"{b}\" [label={w}];");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_ir::GlobalId;
+
+    fn g(i: u32) -> Var {
+        Var::Global(GlobalId(i))
+    }
+
+    #[test]
+    fn edges_accumulate() {
+        let mut graph = InterferenceGraph::new();
+        graph.add_edge_weight(g(0), g(1), 2);
+        graph.add_edge_weight(g(1), g(0), 3);
+        assert_eq!(graph.weight(g(0), g(1)), 5);
+        assert_eq!(graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn raise_takes_max() {
+        let mut graph = InterferenceGraph::new();
+        graph.raise_edge_weight(g(0), g(1), 2);
+        graph.raise_edge_weight(g(0), g(1), 1);
+        assert_eq!(graph.weight(g(0), g(1)), 2);
+        graph.raise_edge_weight(g(0), g(1), 7);
+        assert_eq!(graph.weight(g(0), g(1)), 7);
+    }
+
+    #[test]
+    fn self_edges_ignored() {
+        let mut graph = InterferenceGraph::new();
+        graph.add_edge_weight(g(0), g(0), 9);
+        assert_eq!(graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut graph = InterferenceGraph::new();
+        graph.add_edge_weight(g(2), g(0), 1);
+        graph.add_edge_weight(g(2), g(1), 4);
+        assert_eq!(graph.neighbors(g(2)), vec![(g(0), 1), (g(1), 4)]);
+    }
+
+    #[test]
+    fn remove_node_drops_edges() {
+        let mut graph = InterferenceGraph::new();
+        graph.add_edge_weight(g(0), g(1), 1);
+        graph.add_edge_weight(g(1), g(2), 1);
+        graph.remove_node(g(1));
+        assert_eq!(graph.edge_count(), 0);
+        assert!(!graph.contains(g(1)));
+        assert_eq!(graph.active_nodes(), vec![g(0), g(2)]);
+    }
+
+    #[test]
+    fn dot_output_mentions_edges() {
+        let mut graph = InterferenceGraph::new();
+        graph.add_edge_weight(g(0), g(1), 2);
+        let dot = graph.to_dot();
+        assert!(dot.contains("label=2"), "{dot}");
+    }
+}

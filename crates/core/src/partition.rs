@@ -1,0 +1,355 @@
+//! Partitioning the interference graph into two memory banks.
+//!
+//! The paper partitions by "searching for a minimum-cost partitioning"
+//! with a greedy algorithm (§3.1, Figure 5): all nodes start in the
+//! first set (bank X) and the second set is empty; the cost of a
+//! partitioning is the total weight of edges joining nodes in the
+//! *same* set (those parallel accesses are lost). The algorithm
+//! repeatedly moves the node whose move to the second set yields the
+//! greatest net decrease in cost, stopping when no move decreases cost.
+//!
+//! Exact minimum-cost bipartitioning is NP-complete (it is weighted
+//! max-cut), so this module also provides an exhaustive oracle for
+//! small graphs — used in tests to confirm the paper's observation that
+//! the greedy result is near-optimal — and a bidirectional refinement
+//! pass as an ablation.
+
+use std::collections::HashMap;
+
+use dsp_machine::Bank;
+
+use crate::graph::InterferenceGraph;
+use crate::vars::Var;
+
+/// One greedy move, for tracing (Figure 5 reproduces as a trace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Move {
+    /// The node moved from bank X's set to bank Y's.
+    pub node: Var,
+    /// The cost decrease achieved.
+    pub gain: u64,
+    /// Total cost after the move.
+    pub cost_after: u64,
+}
+
+/// A bank assignment for every node of an interference graph.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Bank of each node.
+    pub bank: HashMap<Var, Bank>,
+    /// Total weight of unsatisfied edges (both endpoints in one bank).
+    pub cost: u64,
+    /// The greedy moves, in order (empty for other algorithms).
+    pub trace: Vec<Move>,
+}
+
+impl Partition {
+    /// Bank assigned to `v` (bank X if the variable never appeared in
+    /// the graph — isolated variables are indifferent).
+    #[must_use]
+    pub fn bank_of(&self, v: Var) -> Bank {
+        self.bank.get(&v).copied().unwrap_or(Bank::X)
+    }
+}
+
+/// Compute the cost of an assignment: total weight of edges whose
+/// endpoints share a bank.
+#[must_use]
+pub fn partition_cost(graph: &InterferenceGraph, bank: &HashMap<Var, Bank>) -> u64 {
+    graph
+        .iter_edges()
+        .filter(|(a, b, _)| {
+            bank.get(a).copied().unwrap_or(Bank::X) == bank.get(b).copied().unwrap_or(Bank::X)
+        })
+        .map(|(_, _, w)| w)
+        .sum()
+}
+
+/// The paper's greedy partitioner (Figure 5).
+///
+/// Ties between equal-gain candidates are broken toward the node added
+/// to the graph most recently, which reproduces the move order of the
+/// paper's worked example.
+#[must_use]
+pub fn greedy_partition(graph: &InterferenceGraph) -> Partition {
+    let nodes = graph.active_nodes();
+    // Precomputed adjacency keeps each sweep O(v + E) instead of
+    // rescanning the edge list per candidate.
+    let adj = adjacency(graph, &nodes);
+    let mut bank: HashMap<Var, Bank> = nodes.iter().map(|&v| (v, Bank::X)).collect();
+    let mut cost = graph.total_weight();
+    let mut trace = Vec::new();
+    loop {
+        // gain(v) = (weight to same-set nodes) - (weight to other-set nodes).
+        let best = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| bank[*v] == Bank::X)
+            .map(|(i, &v)| {
+                let mut to_x = 0i64;
+                let mut to_y = 0i64;
+                for &(u, w) in &adj[i] {
+                    match bank[&u] {
+                        Bank::X => to_x += w as i64,
+                        Bank::Y => to_y += w as i64,
+                    }
+                }
+                (v, to_x - to_y)
+            })
+            .max_by_key(|&(_, gain)| gain);
+        match best {
+            Some((v, gain)) if gain > 0 => {
+                bank.insert(v, Bank::Y);
+                cost -= gain as u64;
+                trace.push(Move {
+                    node: v,
+                    gain: gain as u64,
+                    cost_after: cost,
+                });
+            }
+            _ => break,
+        }
+    }
+    debug_assert_eq!(cost, partition_cost(graph, &bank));
+    Partition { bank, cost, trace }
+}
+
+/// Adjacency lists aligned with `nodes`.
+fn adjacency(graph: &InterferenceGraph, nodes: &[Var]) -> Vec<Vec<(Var, u64)>> {
+    let index: HashMap<Var, usize> = nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut adj: Vec<Vec<(Var, u64)>> = vec![Vec::new(); nodes.len()];
+    for (a, b, w) in graph.iter_edges() {
+        if let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) {
+            adj[ia].push((b, w));
+            adj[ib].push((a, w));
+        }
+    }
+    adj
+}
+
+/// Bidirectional refinement: after the greedy pass, also consider moving
+/// nodes *back* from Y to X, one at a time, while any single move
+/// decreases cost. An ablation of the paper's one-directional greedy.
+#[must_use]
+pub fn refined_partition(graph: &InterferenceGraph) -> Partition {
+    let mut p = greedy_partition(graph);
+    let nodes = graph.active_nodes();
+    let adj = adjacency(graph, &nodes);
+    loop {
+        let mut best: Option<(Var, i64)> = None;
+        for (i, &v) in nodes.iter().enumerate() {
+            let my_bank = p.bank[&v];
+            let mut same = 0i64;
+            let mut other = 0i64;
+            for &(u, w) in &adj[i] {
+                if p.bank[&u] == my_bank {
+                    same += w as i64;
+                } else {
+                    other += w as i64;
+                }
+            }
+            let gain = same - other;
+            if gain > best.map_or(0, |(_, g)| g) {
+                best = Some((v, gain));
+            }
+        }
+        match best {
+            Some((v, gain)) => {
+                let b = p.bank[&v];
+                p.bank.insert(v, b.other());
+                p.cost -= gain as u64;
+            }
+            None => break,
+        }
+    }
+    debug_assert_eq!(p.cost, partition_cost(graph, &p.bank));
+    p.trace.clear();
+    p
+}
+
+/// Exhaustive minimum-cost partition; exponential, only for graphs of at
+/// most 24 active nodes. Used as a test oracle.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 24 active nodes.
+#[must_use]
+pub fn exhaustive_partition(graph: &InterferenceGraph) -> Partition {
+    let nodes = graph.active_nodes();
+    assert!(
+        nodes.len() <= 24,
+        "exhaustive partitioning limited to 24 nodes, got {}",
+        nodes.len()
+    );
+    let mut best_cost = u64::MAX;
+    let mut best_mask = 0u32;
+    // Fix node 0 in bank X (symmetry) when present.
+    let n = nodes.len();
+    let combos = if n == 0 { 1u32 } else { 1u32 << (n - 1) };
+    for mask in 0..combos {
+        let bank: HashMap<Var, Bank> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let b = if i > 0 && mask >> (i - 1) & 1 == 1 {
+                    Bank::Y
+                } else {
+                    Bank::X
+                };
+                (v, b)
+            })
+            .collect();
+        let cost = partition_cost(graph, &bank);
+        if cost < best_cost {
+            best_cost = cost;
+            best_mask = mask;
+        }
+    }
+    let bank: HashMap<Var, Bank> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let b = if i > 0 && best_mask >> (i - 1) & 1 == 1 {
+                Bank::Y
+            } else {
+                Bank::X
+            };
+            (v, b)
+        })
+        .collect();
+    Partition {
+        bank,
+        cost: if n == 0 { 0 } else { best_cost },
+        trace: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_ir::GlobalId;
+
+    fn v(i: u32) -> Var {
+        Var::Global(GlobalId(i))
+    }
+
+    /// The interference graph of the paper's Figures 4–5:
+    /// nodes A, B, C, D; edges (A,B)=1, (A,C)=1, (B,C)=1, (B,D)=1,
+    /// (C,D)=1, (A,D)=2; total weight 7.
+    fn figure4_graph() -> (InterferenceGraph, [Var; 4]) {
+        let (a, b, c, d) = (v(0), v(1), v(2), v(3));
+        let mut g = InterferenceGraph::new();
+        g.add_node(a);
+        g.add_node(b);
+        g.add_node(c);
+        g.add_node(d);
+        g.add_edge_weight(a, b, 1);
+        g.add_edge_weight(a, c, 1);
+        g.add_edge_weight(b, c, 1);
+        g.add_edge_weight(b, d, 1);
+        g.add_edge_weight(c, d, 1);
+        g.add_edge_weight(a, d, 2);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn figure5_greedy_trace() {
+        // Paper Figure 5: initial cost 7; moving D drops it to 3; moving
+        // C drops it to 2; no further move helps.
+        let (g, [a, b, c, d]) = figure4_graph();
+        assert_eq!(g.total_weight(), 7);
+        let p = greedy_partition(&g);
+        assert_eq!(p.trace.len(), 2, "{:?}", p.trace);
+        assert_eq!(p.trace[0].node, d);
+        assert_eq!(p.trace[0].cost_after, 3);
+        assert_eq!(p.trace[1].node, c);
+        assert_eq!(p.trace[1].cost_after, 2);
+        assert_eq!(p.cost, 2);
+        assert_eq!(p.bank_of(a), Bank::X);
+        assert_eq!(p.bank_of(b), Bank::X);
+        assert_eq!(p.bank_of(c), Bank::Y);
+        assert_eq!(p.bank_of(d), Bank::Y);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_figure4() {
+        let (g, _) = figure4_graph();
+        let greedy = greedy_partition(&g);
+        let exact = exhaustive_partition(&g);
+        assert_eq!(greedy.cost, exact.cost);
+    }
+
+    #[test]
+    fn two_nodes_one_edge_split() {
+        let mut g = InterferenceGraph::new();
+        g.add_edge_weight(v(0), v(1), 5);
+        let p = greedy_partition(&g);
+        assert_eq!(p.cost, 0);
+        assert_ne!(p.bank_of(v(0)), p.bank_of(v(1)));
+    }
+
+    #[test]
+    fn triangle_cannot_be_fully_satisfied() {
+        let mut g = InterferenceGraph::new();
+        g.add_edge_weight(v(0), v(1), 1);
+        g.add_edge_weight(v(1), v(2), 1);
+        g.add_edge_weight(v(0), v(2), 1);
+        let p = greedy_partition(&g);
+        assert_eq!(p.cost, 1); // one edge must stay intra-bank
+        assert_eq!(exhaustive_partition(&g).cost, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = InterferenceGraph::new();
+        let p = greedy_partition(&g);
+        assert_eq!(p.cost, 0);
+        assert!(p.trace.is_empty());
+        assert_eq!(exhaustive_partition(&g).cost, 0);
+    }
+
+    #[test]
+    fn isolated_node_defaults_to_x() {
+        let mut g = InterferenceGraph::new();
+        g.add_node(v(9));
+        let p = greedy_partition(&g);
+        assert_eq!(p.bank_of(v(9)), Bank::X);
+        // A variable that never appeared at all also reads as X.
+        assert_eq!(p.bank_of(v(100)), Bank::X);
+    }
+
+    #[test]
+    fn refinement_never_worse_than_greedy() {
+        // Random-ish fixed graphs; refined cost must be <= greedy cost.
+        for seed in 0..20u32 {
+            let mut g = InterferenceGraph::new();
+            let n = 8;
+            let mut state = seed.wrapping_mul(2_654_435_761).wrapping_add(1);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    if state % 3 == 0 {
+                        g.add_edge_weight(v(i), v(j), u64::from(state % 7 + 1));
+                    }
+                }
+            }
+            let greedy = greedy_partition(&g);
+            let refined = refined_partition(&g);
+            let exact = exhaustive_partition(&g);
+            assert!(refined.cost <= greedy.cost, "seed {seed}");
+            assert!(exact.cost <= refined.cost, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cost_function_counts_same_bank_edges_only() {
+        let mut g = InterferenceGraph::new();
+        g.add_edge_weight(v(0), v(1), 3);
+        g.add_edge_weight(v(1), v(2), 4);
+        let mut bank = HashMap::new();
+        bank.insert(v(0), Bank::X);
+        bank.insert(v(1), Bank::Y);
+        bank.insert(v(2), Bank::Y);
+        assert_eq!(partition_cost(&g, &bank), 4);
+    }
+}

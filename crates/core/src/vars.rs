@@ -1,0 +1,255 @@
+//! Allocation variables and alias classes.
+//!
+//! The nodes of the interference graph are the program's *variables*:
+//! globals (scalars and arrays) and per-function local arrays. Array
+//! parameters are not variables themselves — they are *aliases* for
+//! whatever arrays the call sites pass. This module unifies each array
+//! parameter with every actual argument bound to it (transitively,
+//! through parameter-to-parameter passing) using a union-find, yielding
+//! **alias classes**. A class is allocated to a single bank as a unit,
+//! which is exactly the conservative allocation the paper anticipates
+//! for unresolved pointers (§2, last paragraph).
+
+use std::collections::HashMap;
+
+use dsp_ir::ops::{Arg, MemBase, Op};
+use dsp_ir::{FuncId, GlobalId, LocalId, Program};
+
+/// A memory-resident variable or an array-parameter slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Var {
+    /// A program global (scalar or array).
+    Global(GlobalId),
+    /// A local array of a function.
+    Local(FuncId, LocalId),
+    /// The `usize`-th parameter slot of a function (array params only).
+    ParamSlot(FuncId, usize),
+}
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Var::Global(g) => write!(f, "{g}"),
+            Var::Local(func, l) => write!(f, "{func}.{l}"),
+            Var::ParamSlot(func, i) => write!(f, "{func}.p{i}"),
+        }
+    }
+}
+
+/// Union-find over [`Var`]s, recording which variables must share a
+/// bank because an array parameter may refer to any of them.
+#[derive(Debug, Clone)]
+pub struct AliasClasses {
+    index: HashMap<Var, usize>,
+    vars: Vec<Var>,
+    parent: Vec<usize>,
+}
+
+impl AliasClasses {
+    /// Build alias classes for a whole program by scanning every call
+    /// site and unifying array arguments with the corresponding
+    /// parameter slots.
+    #[must_use]
+    pub fn build(program: &Program) -> AliasClasses {
+        let mut ac = AliasClasses {
+            index: HashMap::new(),
+            vars: Vec::new(),
+            parent: Vec::new(),
+        };
+        // Intern all memory-resident variables.
+        for (i, _) in program.globals.iter().enumerate() {
+            ac.intern(Var::Global(GlobalId(i as u32)));
+        }
+        for (fi, f) in program.funcs.iter().enumerate() {
+            for (li, _) in f.locals.iter().enumerate() {
+                ac.intern(Var::Local(FuncId(fi as u32), LocalId(li as u32)));
+            }
+            for (pi, p) in f.params.iter().enumerate() {
+                if matches!(p.kind, dsp_ir::ParamKind::Array(_)) {
+                    ac.intern(Var::ParamSlot(FuncId(fi as u32), pi));
+                }
+            }
+        }
+        // Unify parameter slots with actual arguments.
+        for (fi, f) in program.funcs.iter().enumerate() {
+            let caller = FuncId(fi as u32);
+            for block in &f.blocks {
+                for op in &block.ops {
+                    if let Op::Call { callee, args, .. } = op {
+                        for (pi, a) in args.iter().enumerate() {
+                            if let Arg::Array(base) = a {
+                                let actual = var_of(caller, *base);
+                                ac.union(Var::ParamSlot(*callee, pi), actual);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ac
+    }
+
+    fn intern(&mut self, v: Var) -> usize {
+        if let Some(&i) = self.index.get(&v) {
+            return i;
+        }
+        let i = self.vars.len();
+        self.index.insert(v, i);
+        self.vars.push(v);
+        self.parent.push(i);
+        i
+    }
+
+    fn find(&self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: Var, b: Var) {
+        let (a, b) = (self.intern(a), self.intern(b));
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Prefer a non-parameter representative so reporting names a
+            // real variable where possible.
+            let a_is_param = matches!(self.vars[ra], Var::ParamSlot(..));
+            let b_is_param = matches!(self.vars[rb], Var::ParamSlot(..));
+            let (keep, drop) = match (a_is_param, b_is_param) {
+                (true, false) => (rb, ra),
+                (false, true) => (ra, rb),
+                _ => (ra.min(rb), ra.max(rb)),
+            };
+            self.parent[drop] = keep;
+        }
+    }
+
+    /// The representative variable of `v`'s alias class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was never interned (not part of the program this
+    /// was built from).
+    #[must_use]
+    pub fn class_of(&self, v: Var) -> Var {
+        let i = *self
+            .index
+            .get(&v)
+            .unwrap_or_else(|| panic!("unknown variable {v}"));
+        self.vars[self.find(i)]
+    }
+
+    /// The alias class of the object a memory operation in `func`
+    /// touches.
+    #[must_use]
+    pub fn class_of_base(&self, func: FuncId, base: MemBase) -> Var {
+        self.class_of(var_of(func, base))
+    }
+
+    /// All distinct class representatives, in a stable order.
+    #[must_use]
+    pub fn classes(&self) -> Vec<Var> {
+        let mut out: Vec<Var> = (0..self.vars.len())
+            .filter(|&i| self.find(i) == i)
+            .map(|i| self.vars[i])
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// All variables belonging to the class of `rep`.
+    #[must_use]
+    pub fn members(&self, rep: Var) -> Vec<Var> {
+        let Some(&ri) = self.index.get(&rep) else {
+            return Vec::new();
+        };
+        let root = self.find(ri);
+        (0..self.vars.len())
+            .filter(|&i| self.find(i) == root)
+            .map(|i| self.vars[i])
+            .collect()
+    }
+}
+
+/// The [`Var`] a [`MemBase`] denotes inside function `func`.
+#[must_use]
+pub fn var_of(func: FuncId, base: MemBase) -> Var {
+    match base {
+        MemBase::Global(g) => Var::Global(g),
+        MemBase::Local(l) => Var::Local(func, l),
+        MemBase::Param(i) => Var::ParamSlot(func, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_frontend::compile_str;
+
+    #[test]
+    fn param_unifies_with_actual() {
+        let src = "int A[4]; int B[4];
+                   int f(int v[]) { return v[0]; }
+                   void main() { int x; x = f(A); x = f(B); }";
+        let p = compile_str(src).unwrap();
+        let ac = AliasClasses::build(&p);
+        let a = Var::Global(p.global_by_name("A").unwrap());
+        let b = Var::Global(p.global_by_name("B").unwrap());
+        // Both A and B flow into f's parameter: one class.
+        assert_eq!(ac.class_of(a), ac.class_of(b));
+    }
+
+    #[test]
+    fn unrelated_arrays_stay_separate() {
+        let src = "int A[4]; int B[4];
+                   void main() { A[0] = B[0]; }";
+        let p = compile_str(src).unwrap();
+        let ac = AliasClasses::build(&p);
+        let a = Var::Global(p.global_by_name("A").unwrap());
+        let b = Var::Global(p.global_by_name("B").unwrap());
+        assert_ne!(ac.class_of(a), ac.class_of(b));
+        assert_eq!(ac.classes().len(), 2);
+    }
+
+    #[test]
+    fn param_to_param_chains_unify() {
+        let src = "int A[4];
+                   int g(int w[]) { return w[1]; }
+                   int f(int v[]) { return g(v); }
+                   void main() { int x; x = f(A); }";
+        let p = compile_str(src).unwrap();
+        let ac = AliasClasses::build(&p);
+        let a = Var::Global(p.global_by_name("A").unwrap());
+        let g = p.func_by_name("g").unwrap();
+        assert_eq!(ac.class_of(Var::ParamSlot(g, 0)), ac.class_of(a));
+        // Representative is the real array, not a parameter slot.
+        assert_eq!(ac.class_of(a), a);
+    }
+
+    #[test]
+    fn locals_are_per_function() {
+        let src = "void f() { int t[4]; t[0] = 1; }
+                   void main() { int t[4]; t[0] = 2; f(); }";
+        let p = compile_str(src).unwrap();
+        let ac = AliasClasses::build(&p);
+        let f = p.func_by_name("f").unwrap();
+        let m = p.func_by_name("main").unwrap();
+        assert_ne!(
+            ac.class_of(Var::Local(f, LocalId(0))),
+            ac.class_of(Var::Local(m, LocalId(0)))
+        );
+    }
+
+    #[test]
+    fn members_lists_whole_class() {
+        let src = "int A[4]; int B[4];
+                   int f(int v[]) { return v[0]; }
+                   void main() { int x; x = f(A); x = f(B); }";
+        let p = compile_str(src).unwrap();
+        let ac = AliasClasses::build(&p);
+        let a = Var::Global(p.global_by_name("A").unwrap());
+        let rep = ac.class_of(a);
+        let members = ac.members(rep);
+        assert_eq!(members.len(), 3); // A, B, f.p0
+    }
+}

@@ -1,0 +1,318 @@
+//! Abstract syntax tree for DSP-C.
+
+use crate::lex::Pos;
+
+/// A scalar type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 32-bit integer.
+    Int,
+    /// 32-bit float.
+    Float,
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Float => write!(f, "float"),
+        }
+    }
+}
+
+/// A numeric literal (used in global initializers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i32),
+    /// Float literal.
+    Float(f32),
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ast {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A global variable or array.
+    Global(GlobalDecl),
+    /// A function definition.
+    Func(FuncDef),
+}
+
+/// A global declaration `ty name[size] = {..};`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// Array size; `None` for scalars.
+    pub size: Option<u32>,
+    /// Initializer literals (possibly empty).
+    pub init: Vec<Literal>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Return type; `None` for `void`.
+    pub ret: Option<Ty>,
+    /// Parameters.
+    pub params: Vec<ParamDecl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A parameter declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// True for array parameters (`ty name[]`).
+    pub is_array: bool,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// An assignable location: a scalar variable or an array element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LValue {
+    /// Variable name.
+    pub name: String,
+    /// Index expression for array elements.
+    pub index: Option<Box<Expr>>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration `ty name[size] = expr;`.
+    LocalDecl {
+        /// Name.
+        name: String,
+        /// Element type.
+        ty: Ty,
+        /// Array size; `None` for scalars.
+        size: Option<u32>,
+        /// Optional scalar initializer.
+        init: Option<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Assignment, possibly compound (`op` is the combining operator of
+    /// `+=` etc.).
+    Assign {
+        /// Target location.
+        target: LValue,
+        /// Combining operator for compound assignment.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `target++;` or `target--;`.
+    Incr {
+        /// Target location.
+        target: LValue,
+        /// +1 or -1.
+        delta: i32,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `if (cond) then_s else else_s`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_s: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_s: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Initialization statement.
+        init: Option<Box<Stmt>>,
+        /// Continuation condition (`None` = always true).
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `break;` — leave the innermost loop.
+    Break(Pos),
+    /// `continue;` — skip to the next iteration of the innermost loop.
+    Continue(Pos),
+    /// `return expr;`.
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// An expression evaluated for its side effects (a call).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// A nested block.
+    Block(Vec<Stmt>),
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+    /// Bitwise complement is spelled with `!` on floats? No — DSP-C uses
+    /// `~` only through `!` on ints; kept explicit for clarity.
+    BitNot,
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i32, Pos),
+    /// Float literal.
+    FloatLit(f32, Pos),
+    /// Scalar variable reference.
+    Var(String, Pos),
+    /// Array element `name[index]`.
+    Index {
+        /// Array name.
+        name: String,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Explicit cast `(ty) expr`.
+    Cast {
+        /// Target type.
+        ty: Ty,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// The source position of this expression.
+    #[must_use]
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::IntLit(_, p) | Expr::FloatLit(_, p) | Expr::Var(_, p) => *p,
+            Expr::Index { pos, .. }
+            | Expr::Call { pos, .. }
+            | Expr::Unary { pos, .. }
+            | Expr::Binary { pos, .. }
+            | Expr::Cast { pos, .. } => *pos,
+        }
+    }
+}

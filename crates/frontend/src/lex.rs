@@ -1,0 +1,496 @@
+//! Lexer for DSP-C.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i32),
+    /// Floating-point literal.
+    Float(f32),
+    /// `int`
+    KwInt,
+    /// `float`
+    KwFloat,
+    /// `void`
+    KwVoid,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `%=`
+    PercentAssign,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::KwInt => write!(f, "`int`"),
+            Tok::KwFloat => write!(f, "`float`"),
+            Tok::KwVoid => write!(f, "`void`"),
+            Tok::KwIf => write!(f, "`if`"),
+            Tok::KwElse => write!(f, "`else`"),
+            Tok::KwWhile => write!(f, "`while`"),
+            Tok::KwFor => write!(f, "`for`"),
+            Tok::KwReturn => write!(f, "`return`"),
+            Tok::KwBreak => write!(f, "`break`"),
+            Tok::KwContinue => write!(f, "`continue`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::PlusAssign => write!(f, "`+=`"),
+            Tok::MinusAssign => write!(f, "`-=`"),
+            Tok::StarAssign => write!(f, "`*=`"),
+            Tok::SlashAssign => write!(f, "`/=`"),
+            Tok::PercentAssign => write!(f, "`%=`"),
+            Tok::PlusPlus => write!(f, "`++`"),
+            Tok::MinusMinus => write!(f, "`--`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NotEq => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::Not => write!(f, "`!`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Caret => write!(f, "`^`"),
+            Tok::Shl => write!(f, "`<<`"),
+            Tok::Shr => write!(f, "`>>`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub msg: String,
+    /// Where it occurred.
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize DSP-C source text.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed numbers, unterminated comments,
+/// or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            msg: "unterminated block comment".into(),
+                            pos,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    bump!();
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_float = true;
+                    bump!();
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        bump!();
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                if i < bytes.len() && bytes[i] == b'f' {
+                    bump!();
+                    let text = &src[start..i - 1];
+                    let v: f32 = text.parse().map_err(|_| LexError {
+                        msg: format!("malformed float literal `{text}`"),
+                        pos,
+                    })?;
+                    toks.push(Spanned {
+                        tok: Tok::Float(v),
+                        pos,
+                    });
+                    continue;
+                }
+                let text = &src[start..i];
+                if is_float {
+                    let v: f32 = text.parse().map_err(|_| LexError {
+                        msg: format!("malformed float literal `{text}`"),
+                        pos,
+                    })?;
+                    toks.push(Spanned {
+                        tok: Tok::Float(v),
+                        pos,
+                    });
+                } else {
+                    let v: i64 = text.parse().map_err(|_| LexError {
+                        msg: format!("malformed integer literal `{text}`"),
+                        pos,
+                    })?;
+                    if v > i64::from(i32::MAX) {
+                        return Err(LexError {
+                            msg: format!("integer literal `{text}` out of range"),
+                            pos,
+                        });
+                    }
+                    toks.push(Spanned {
+                        tok: Tok::Int(v as i32),
+                        pos,
+                    });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let text = &src[start..i];
+                let tok = match text {
+                    "int" => Tok::KwInt,
+                    "float" => Tok::KwFloat,
+                    "void" => Tok::KwVoid,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    _ => Tok::Ident(text.to_string()),
+                };
+                toks.push(Spanned { tok, pos });
+            }
+            _ => {
+                // Punctuation, longest match first. `get` (not slicing)
+                // so a multi-byte character cannot split mid-codepoint.
+                let two = src.get(i..i + 2).unwrap_or("");
+                let (tok, len) = match two {
+                    "+=" => (Tok::PlusAssign, 2),
+                    "-=" => (Tok::MinusAssign, 2),
+                    "*=" => (Tok::StarAssign, 2),
+                    "/=" => (Tok::SlashAssign, 2),
+                    "%=" => (Tok::PercentAssign, 2),
+                    "++" => (Tok::PlusPlus, 2),
+                    "--" => (Tok::MinusMinus, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::NotEq, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    _ => match c {
+                        b'(' => (Tok::LParen, 1),
+                        b')' => (Tok::RParen, 1),
+                        b'{' => (Tok::LBrace, 1),
+                        b'}' => (Tok::RBrace, 1),
+                        b'[' => (Tok::LBracket, 1),
+                        b']' => (Tok::RBracket, 1),
+                        b',' => (Tok::Comma, 1),
+                        b';' => (Tok::Semi, 1),
+                        b'=' => (Tok::Assign, 1),
+                        b'+' => (Tok::Plus, 1),
+                        b'-' => (Tok::Minus, 1),
+                        b'*' => (Tok::Star, 1),
+                        b'/' => (Tok::Slash, 1),
+                        b'%' => (Tok::Percent, 1),
+                        b'<' => (Tok::Lt, 1),
+                        b'>' => (Tok::Gt, 1),
+                        b'!' => (Tok::Not, 1),
+                        b'&' => (Tok::Amp, 1),
+                        b'|' => (Tok::Pipe, 1),
+                        b'^' => (Tok::Caret, 1),
+                        other => {
+                            return Err(LexError {
+                                msg: format!("unexpected character `{}`", other as char),
+                                pos,
+                            })
+                        }
+                    },
+                };
+                for _ in 0..len {
+                    bump!();
+                }
+                toks.push(Spanned { tok, pos });
+            }
+        }
+    }
+    toks.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("int x float if0"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::KwFloat,
+                Tok::Ident("if0".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5e-2 7f"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.025),
+                Tok::Float(7.0),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            kinds("a+=b<<2>=c&&d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::PlusAssign,
+                Tok::Ident("b".into()),
+                Tok::Shl,
+                Tok::Int(2),
+                Tok::Ge,
+                Tok::Ident("c".into()),
+                Tok::AndAnd,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a // whole line\n/* block\n across lines */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(lex("@").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("99999999999").is_err());
+    }
+
+    #[test]
+    fn increment_tokens() {
+        assert_eq!(
+            kinds("i++ --j"),
+            vec![
+                Tok::Ident("i".into()),
+                Tok::PlusPlus,
+                Tok::MinusMinus,
+                Tok::Ident("j".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

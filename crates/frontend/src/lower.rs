@@ -1,0 +1,1151 @@
+//! Lowering from the DSP-C AST to the IR, with type checking.
+//!
+//! Scalar locals and scalar parameters are promoted to virtual
+//! registers; only arrays occupy data memory. Scalar parameters are
+//! assigned the *first* virtual registers in declaration order — the
+//! calling convention that the interpreter and the back-end both rely
+//! on.
+
+use std::collections::HashMap;
+
+use crate::ast::{
+    Ast, BinOp, Expr, FuncDef, GlobalDecl, Item, LValue, Literal, Stmt, Ty, UnOp,
+};
+use crate::lex::Pos;
+use dsp_ir::ops::{Arg, FOperand, IOperand, MemBase, MemRef, Op};
+use dsp_ir::{BlockId, FuncId, Function, Global, GlobalId, Param, ParamKind, Program, Type, VReg};
+use dsp_machine::{CmpKind, FpBinKind, IntBinKind, Word};
+
+/// A semantic (type or name) error found during lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError {
+    /// Description of the problem.
+    pub msg: String,
+    /// Where it occurred.
+    pub pos: Pos,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "semantic error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Function signature info collected in pass 1: id, parameter
+/// `(type, is_array)` pairs, and return type.
+type FuncSig = (FuncId, Vec<(Ty, bool)>, Option<Ty>);
+
+fn ty_of(t: Ty) -> Type {
+    match t {
+        Ty::Int => Type::Int,
+        Ty::Float => Type::Float,
+    }
+}
+
+/// Lower a parsed AST into an IR [`Program`].
+///
+/// # Errors
+///
+/// Returns the first semantic error: unknown names, type mismatches,
+/// arity errors, duplicate definitions, or a missing array index.
+pub fn lower(ast: &Ast) -> Result<Program, LowerError> {
+    let mut program = Program::new();
+    let mut globals: HashMap<String, (GlobalId, Ty, bool)> = HashMap::new();
+    let mut funcs: HashMap<String, FuncSig> = HashMap::new();
+
+    // Pass 1: declare globals and function signatures.
+    for item in &ast.items {
+        match item {
+            Item::Global(g) => {
+                if globals.contains_key(&g.name) {
+                    return Err(LowerError {
+                        msg: format!("duplicate global `{}`", g.name),
+                        pos: g.pos,
+                    });
+                }
+                let id = program.add_global(lower_global(g)?);
+                globals.insert(g.name.clone(), (id, g.ty, g.size.is_some()));
+            }
+            Item::Func(f) => {
+                if funcs.contains_key(&f.name) {
+                    return Err(LowerError {
+                        msg: format!("duplicate function `{}`", f.name),
+                        pos: f.pos,
+                    });
+                }
+                let sig: Vec<(Ty, bool)> = f.params.iter().map(|p| (p.ty, p.is_array)).collect();
+                // Reserve the FuncId by adding a shell; body filled in pass 2.
+                let mut shell = Function::new(f.name.clone());
+                shell.ret = f.ret.map(ty_of);
+                shell.params = f
+                    .params
+                    .iter()
+                    .map(|p| Param {
+                        name: p.name.clone(),
+                        kind: if p.is_array {
+                            ParamKind::Array(ty_of(p.ty))
+                        } else {
+                            ParamKind::Value(ty_of(p.ty))
+                        },
+                    })
+                    .collect();
+                let id = program.add_function(shell);
+                funcs.insert(f.name.clone(), (id, sig, f.ret));
+            }
+        }
+    }
+
+    // Pass 2: lower function bodies.
+    for item in &ast.items {
+        if let Item::Func(f) = item {
+            let (id, _, _) = funcs[&f.name];
+            let lowered = FuncLowerer::new(&program, &globals, &funcs, f).lower()?;
+            *program.func_mut(id) = lowered;
+        }
+    }
+
+    program.validate().map_err(|e| LowerError {
+        msg: format!("internal: lowered program failed validation: {e}"),
+        pos: Pos { line: 0, col: 0 },
+    })?;
+    Ok(program)
+}
+
+fn lower_global(g: &GlobalDecl) -> Result<Global, LowerError> {
+    let size = g.size.unwrap_or(1);
+    if g.init.len() as u32 > size {
+        return Err(LowerError {
+            msg: format!(
+                "`{}` has {} initializers but size {size}",
+                g.name,
+                g.init.len()
+            ),
+            pos: g.pos,
+        });
+    }
+    let init = g
+        .init
+        .iter()
+        .map(|l| match (g.ty, l) {
+            (Ty::Int, Literal::Int(v)) => Ok(Word::from_i32(*v)),
+            (Ty::Float, Literal::Float(v)) => Ok(Word::from_f32(*v)),
+            (Ty::Float, Literal::Int(v)) => Ok(Word::from_f32(*v as f32)),
+            (Ty::Int, Literal::Float(_)) => Err(LowerError {
+                msg: format!("float initializer for int global `{}`", g.name),
+                pos: g.pos,
+            }),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Global {
+        name: g.name.clone(),
+        ty: ty_of(g.ty),
+        size,
+        init,
+    })
+}
+
+/// What a name refers to inside a function body.
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    Scalar(VReg, Ty),
+    LocalArray(dsp_ir::LocalId, Ty),
+    ParamArray(usize, Ty),
+}
+
+/// A lowered expression value: a register or a compile-time constant.
+#[derive(Debug, Clone, Copy)]
+enum Value {
+    Reg(VReg, Ty),
+    CInt(i32),
+    CFloat(f32),
+}
+
+impl Value {
+    fn ty(&self) -> Ty {
+        match self {
+            Value::Reg(_, t) => *t,
+            Value::CInt(_) => Ty::Int,
+            Value::CFloat(_) => Ty::Float,
+        }
+    }
+}
+
+struct FuncLowerer<'a> {
+    program: &'a Program,
+    globals: &'a HashMap<String, (GlobalId, Ty, bool)>,
+    funcs: &'a HashMap<String, FuncSig>,
+    src: &'a FuncDef,
+    f: Function,
+    cur: BlockId,
+    scopes: Vec<HashMap<String, Binding>>,
+    /// `(continue target, break target)` of each enclosing loop.
+    loop_stack: Vec<(BlockId, BlockId)>,
+}
+
+impl<'a> FuncLowerer<'a> {
+    fn new(
+        program: &'a Program,
+        globals: &'a HashMap<String, (GlobalId, Ty, bool)>,
+        funcs: &'a HashMap<String, FuncSig>,
+        src: &'a FuncDef,
+    ) -> FuncLowerer<'a> {
+        let mut f = Function::new(src.name.clone());
+        f.ret = src.ret.map(ty_of);
+        f.params = src
+            .params
+            .iter()
+            .map(|p| Param {
+                name: p.name.clone(),
+                kind: if p.is_array {
+                    ParamKind::Array(ty_of(p.ty))
+                } else {
+                    ParamKind::Value(ty_of(p.ty))
+                },
+            })
+            .collect();
+        let cur = f.entry;
+        FuncLowerer {
+            program,
+            globals,
+            funcs,
+            src,
+            f,
+            cur,
+            scopes: vec![HashMap::new()],
+            loop_stack: Vec::new(),
+        }
+    }
+
+    fn lower(mut self) -> Result<Function, LowerError> {
+        // Scalar params first, in declaration order (calling convention).
+        for (i, p) in self.src.params.iter().enumerate() {
+            let binding = if p.is_array {
+                Binding::ParamArray(i, p.ty)
+            } else {
+                let v = self.f.new_vreg(ty_of(p.ty));
+                Binding::Scalar(v, p.ty)
+            };
+            self.scopes[0].insert(p.name.clone(), binding);
+        }
+        let body = self.src.body.clone();
+        self.stmts(&body)?;
+        // Implicit return if control can fall off the end.
+        if !self.f.block(self.cur).is_terminated() {
+            let ret_op = match self.src.ret {
+                None => Op::Ret(None),
+                Some(Ty::Int) => {
+                    let v = self.f.new_vreg(Type::Int);
+                    self.emit(Op::MovI {
+                        dst: v,
+                        src: IOperand::Imm(0),
+                    });
+                    Op::Ret(Some(v))
+                }
+                Some(Ty::Float) => {
+                    let v = self.f.new_vreg(Type::Float);
+                    self.emit(Op::MovF {
+                        dst: v,
+                        src: FOperand::Imm(0.0),
+                    });
+                    Op::Ret(Some(v))
+                }
+            };
+            self.emit(ret_op);
+        }
+        // Terminate any dangling empty blocks (e.g. after `return` inside
+        // both arms of an if) with an unreachable return.
+        for bi in 0..self.f.blocks.len() {
+            if !self.f.blocks[bi].is_terminated() {
+                let op = match self.src.ret {
+                    None => Op::Ret(None),
+                    Some(t) => {
+                        let v = self.f.new_vreg(ty_of(t));
+                        match t {
+                            Ty::Int => self.f.blocks[bi].push(Op::MovI {
+                                dst: v,
+                                src: IOperand::Imm(0),
+                            }),
+                            Ty::Float => self.f.blocks[bi].push(Op::MovF {
+                                dst: v,
+                                src: FOperand::Imm(0.0),
+                            }),
+                        }
+                        Op::Ret(Some(v))
+                    }
+                };
+                self.f.blocks[bi].push(op);
+            }
+        }
+        Ok(self.f)
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.f.block_mut(self.cur).push(op);
+    }
+
+    fn lookup(&self, name: &str, pos: Pos) -> Result<LookedUp, LowerError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Ok(LookedUp::Local(*b));
+            }
+        }
+        if let Some(&(id, ty, is_array)) = self.globals.get(name) {
+            return Ok(LookedUp::Global(id, ty, is_array));
+        }
+        Err(LowerError {
+            msg: format!("unknown variable `{name}`"),
+            pos,
+        })
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), LowerError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LowerError> {
+        match s {
+            Stmt::Block(inner) => self.stmts(inner),
+            Stmt::LocalDecl {
+                name,
+                ty,
+                size,
+                init,
+                pos,
+            } => {
+                if self
+                    .scopes
+                    .last()
+                    .expect("scope stack non-empty")
+                    .contains_key(name)
+                {
+                    return Err(LowerError {
+                        msg: format!("duplicate local `{name}`"),
+                        pos: *pos,
+                    });
+                }
+                let binding = match size {
+                    Some(n) => {
+                        let l = self.f.new_local(name.clone(), ty_of(*ty), *n);
+                        Binding::LocalArray(l, *ty)
+                    }
+                    None => {
+                        let v = self.f.new_vreg(ty_of(*ty));
+                        if let Some(e) = init {
+                            let val = self.expr(e)?;
+                            self.store_scalar(v, *ty, val);
+                        } else {
+                            // Deterministic zero initialization.
+                            match ty {
+                                Ty::Int => self.emit(Op::MovI {
+                                    dst: v,
+                                    src: IOperand::Imm(0),
+                                }),
+                                Ty::Float => self.emit(Op::MovF {
+                                    dst: v,
+                                    src: FOperand::Imm(0.0),
+                                }),
+                            }
+                        }
+                        Binding::Scalar(v, *ty)
+                    }
+                };
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack non-empty")
+                    .insert(name.clone(), binding);
+                Ok(())
+            }
+            Stmt::Assign {
+                target,
+                op,
+                value,
+                pos: _,
+            } => self.assign(target, *op, value),
+            Stmt::Incr { target, delta, pos } => {
+                let one = Expr::IntLit(*delta, *pos);
+                self.assign(target, Some(BinOp::Add), &one)
+            }
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+                ..
+            } => {
+                let c = self.cond_reg(cond)?;
+                let then_bb = self.f.new_block();
+                let else_bb = self.f.new_block();
+                let join = self.f.new_block();
+                self.emit(Op::Br {
+                    cond: c,
+                    then_bb,
+                    else_bb,
+                });
+                self.cur = then_bb;
+                self.stmts(then_s)?;
+                if !self.f.block(self.cur).is_terminated() {
+                    self.emit(Op::Jmp(join));
+                }
+                self.cur = else_bb;
+                self.stmts(else_s)?;
+                if !self.f.block(self.cur).is_terminated() {
+                    self.emit(Op::Jmp(join));
+                }
+                self.cur = join;
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                let header = self.f.new_block();
+                let body_bb = self.f.new_block();
+                let exit = self.f.new_block();
+                self.emit(Op::Jmp(header));
+                self.cur = header;
+                let c = self.cond_reg(cond)?;
+                self.emit(Op::Br {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit,
+                });
+                self.cur = body_bb;
+                self.loop_stack.push((header, exit));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                if !self.f.block(self.cur).is_terminated() {
+                    self.emit(Op::Jmp(header));
+                }
+                self.cur = exit;
+                Ok(())
+            }
+            Stmt::Break(pos) => {
+                let Some(&(_, brk)) = self.loop_stack.last() else {
+                    return Err(LowerError {
+                        msg: "`break` outside of a loop".into(),
+                        pos: *pos,
+                    });
+                };
+                self.emit(Op::Jmp(brk));
+                self.cur = self.f.new_block();
+                Ok(())
+            }
+            Stmt::Continue(pos) => {
+                let Some(&(cont, _)) = self.loop_stack.last() else {
+                    return Err(LowerError {
+                        msg: "`continue` outside of a loop".into(),
+                        pos: *pos,
+                    });
+                };
+                self.emit(Op::Jmp(cont));
+                self.cur = self.f.new_block();
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                pos,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let header = self.f.new_block();
+                let body_bb = self.f.new_block();
+                let exit = self.f.new_block();
+                self.emit(Op::Jmp(header));
+                self.cur = header;
+                let c = match cond {
+                    Some(e) => self.cond_reg(e)?,
+                    None => {
+                        let v = self.f.new_vreg(Type::Int);
+                        self.emit(Op::MovI {
+                            dst: v,
+                            src: IOperand::Imm(1),
+                        });
+                        v
+                    }
+                };
+                let _ = pos;
+                self.emit(Op::Br {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit,
+                });
+                // `continue` must run the step, so it gets its own block.
+                let step_bb = self.f.new_block();
+                self.cur = body_bb;
+                self.loop_stack.push((step_bb, exit));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                if !self.f.block(self.cur).is_terminated() {
+                    self.emit(Op::Jmp(step_bb));
+                }
+                self.cur = step_bb;
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                self.emit(Op::Jmp(header));
+                self.cur = exit;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return { value, pos } => {
+                let op = match (value, self.src.ret) {
+                    (None, None) => Op::Ret(None),
+                    (Some(e), Some(t)) => {
+                        let v = self.expr(e)?;
+                        let r = self.coerce_to_reg(v, t);
+                        Op::Ret(Some(r))
+                    }
+                    (Some(_), None) => {
+                        return Err(LowerError {
+                            msg: "void function returns a value".into(),
+                            pos: *pos,
+                        })
+                    }
+                    (None, Some(_)) => {
+                        return Err(LowerError {
+                            msg: "non-void function must return a value".into(),
+                            pos: *pos,
+                        })
+                    }
+                };
+                self.emit(op);
+                // Code after a return in the same block is unreachable;
+                // start a fresh (dangling) block to keep lowering simple.
+                self.cur = self.f.new_block();
+                Ok(())
+            }
+            Stmt::ExprStmt { expr, pos } => match expr {
+                Expr::Call { name, args, pos } => {
+                    self.call(name, args, *pos, false)?;
+                    Ok(())
+                }
+                _ => Err(LowerError {
+                    msg: "only calls may be used as expression statements".into(),
+                    pos: *pos,
+                }),
+            },
+        }
+    }
+
+    fn assign(
+        &mut self,
+        target: &LValue,
+        op: Option<BinOp>,
+        value: &Expr,
+    ) -> Result<(), LowerError> {
+        match self.lookup(&target.name, target.pos)? {
+            LookedUp::Local(Binding::Scalar(v, ty)) => {
+                if target.index.is_some() {
+                    return Err(LowerError {
+                        msg: format!("`{}` is a scalar, not an array", target.name),
+                        pos: target.pos,
+                    });
+                }
+                let rhs = match op {
+                    None => self.expr(value)?,
+                    Some(binop) => {
+                        let cur = Value::Reg(v, ty);
+                        self.binary(binop, cur, value, target.pos)?
+                    }
+                };
+                if !self.try_rebind_last_def(rhs, v, ty) {
+                    self.store_scalar(v, ty, rhs);
+                }
+                Ok(())
+            }
+            LookedUp::Local(Binding::LocalArray(l, ty)) => {
+                self.assign_element(MemBase::Local(l), ty, target, op, value)
+            }
+            LookedUp::Local(Binding::ParamArray(i, ty)) => {
+                self.assign_element(MemBase::Param(i), ty, target, op, value)
+            }
+            LookedUp::Global(g, ty, is_array) => {
+                if is_array {
+                    self.assign_element(MemBase::Global(g), ty, target, op, value)
+                } else {
+                    // Scalar global: load-modify-store through memory.
+                    if target.index.is_some() {
+                        return Err(LowerError {
+                            msg: format!("`{}` is a scalar, not an array", target.name),
+                            pos: target.pos,
+                        });
+                    }
+                    let addr = MemRef::direct(MemBase::Global(g), 0);
+                    let rhs = match op {
+                        None => self.expr(value)?,
+                        Some(binop) => {
+                            let cur = self.f.new_vreg(ty_of(ty));
+                            self.emit(Op::Load { dst: cur, addr });
+                            self.binary(binop, Value::Reg(cur, ty), value, target.pos)?
+                        }
+                    };
+                    let r = self.coerce_to_reg(rhs, ty);
+                    self.emit(Op::Store { src: r, addr });
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn assign_element(
+        &mut self,
+        base: MemBase,
+        elem_ty: Ty,
+        target: &LValue,
+        op: Option<BinOp>,
+        value: &Expr,
+    ) -> Result<(), LowerError> {
+        let index = target.index.as_ref().ok_or_else(|| LowerError {
+            msg: format!("array `{}` needs an index", target.name),
+            pos: target.pos,
+        })?;
+        let addr = self.mem_ref(base, index)?;
+        let rhs = match op {
+            None => self.expr(value)?,
+            Some(binop) => {
+                let cur = self.f.new_vreg(ty_of(elem_ty));
+                self.emit(Op::Load { dst: cur, addr });
+                self.binary(binop, Value::Reg(cur, elem_ty), value, target.pos)?
+            }
+        };
+        let r = self.coerce_to_reg(rhs, elem_ty);
+        self.emit(Op::Store { src: r, addr });
+        Ok(())
+    }
+
+    /// Build a [`MemRef`] for `base[index]`, folding `idx + const` and
+    /// constant indices into the displacement field.
+    fn mem_ref(&mut self, base: MemBase, index: &Expr) -> Result<MemRef, LowerError> {
+        // Recognize `i + c`, `i - c`, and plain `c` to use the offset field;
+        // this mirrors what an addressing-mode selector would do.
+        if let Expr::Binary { op, lhs, rhs, .. } = index {
+            if matches!(op, BinOp::Add | BinOp::Sub) {
+                if let Expr::IntLit(c, _) = **rhs {
+                    let v = self.expr(lhs)?;
+                    if v.ty() == Ty::Int {
+                        let r = self.coerce_to_reg(v, Ty::Int);
+                        let off = if *op == BinOp::Add { c } else { -c };
+                        return Ok(MemRef::indexed(base, r, off));
+                    }
+                }
+            }
+        }
+        let v = self.expr(index)?;
+        match v {
+            Value::CInt(c) => Ok(MemRef::direct(base, c)),
+            _ => {
+                if v.ty() != Ty::Int {
+                    return Err(LowerError {
+                        msg: "array index must be an int".into(),
+                        pos: index.pos(),
+                    });
+                }
+                let r = self.coerce_to_reg(v, Ty::Int);
+                Ok(MemRef::indexed(base, r, 0))
+            }
+        }
+    }
+
+    /// If `val` is the freshly created result register of the operation
+    /// just emitted, rewrite that operation to define `v` directly
+    /// instead of copying — this keeps `i = i + 1` a single operation,
+    /// the canonical induction-variable shape the back-end recognizes.
+    fn try_rebind_last_def(&mut self, val: Value, v: VReg, ty: Ty) -> bool {
+        let Value::Reg(r, rty) = val else {
+            return false;
+        };
+        if rty != ty || r == v {
+            return false;
+        }
+        // Only the newest temporary is guaranteed to have no other uses.
+        if r.index() + 1 != self.f.vregs.len() {
+            return false;
+        }
+        let Some(op) = self.f.block_mut(self.cur).ops.last_mut() else {
+            return false;
+        };
+        if op.def() != Some(r) {
+            return false;
+        }
+        match op {
+            Op::MovI { dst, .. }
+            | Op::MovF { dst, .. }
+            | Op::IBin { dst, .. }
+            | Op::ICmp { dst, .. }
+            | Op::INeg { dst, .. }
+            | Op::INot { dst, .. }
+            | Op::FBin { dst, .. }
+            | Op::FCmp { dst, .. }
+            | Op::FNeg { dst, .. }
+            | Op::ItoF { dst, .. }
+            | Op::FtoI { dst, .. }
+            | Op::Load { dst, .. } => {
+                *dst = v;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Emit the move that writes `val` (converted as needed) into scalar
+    /// register `v` of type `ty`.
+    fn store_scalar(&mut self, v: VReg, ty: Ty, val: Value) {
+        match (ty, val) {
+            (Ty::Int, Value::CInt(c)) => self.emit(Op::MovI {
+                dst: v,
+                src: IOperand::Imm(c),
+            }),
+            (Ty::Int, Value::CFloat(c)) => self.emit(Op::MovI {
+                dst: v,
+                src: IOperand::Imm(c as i32),
+            }),
+            (Ty::Float, Value::CFloat(c)) => self.emit(Op::MovF {
+                dst: v,
+                src: FOperand::Imm(c),
+            }),
+            (Ty::Float, Value::CInt(c)) => self.emit(Op::MovF {
+                dst: v,
+                src: FOperand::Imm(c as f32),
+            }),
+            (want, Value::Reg(r, have)) => match (want, have) {
+                (Ty::Int, Ty::Int) => self.emit(Op::MovI {
+                    dst: v,
+                    src: IOperand::Reg(r),
+                }),
+                (Ty::Float, Ty::Float) => self.emit(Op::MovF {
+                    dst: v,
+                    src: FOperand::Reg(r),
+                }),
+                (Ty::Float, Ty::Int) => self.emit(Op::ItoF { dst: v, src: r }),
+                (Ty::Int, Ty::Float) => self.emit(Op::FtoI { dst: v, src: r }),
+            },
+        }
+    }
+
+    /// Materialize `val` in a register of type `want`, converting if
+    /// needed.
+    fn coerce_to_reg(&mut self, val: Value, want: Ty) -> VReg {
+        match (want, val) {
+            (Ty::Int, Value::Reg(r, Ty::Int)) | (Ty::Float, Value::Reg(r, Ty::Float)) => r,
+            _ => {
+                let v = self.f.new_vreg(ty_of(want));
+                self.store_scalar(v, want, val);
+                v
+            }
+        }
+    }
+
+    /// Lower a condition to an int register (non-zero = true).
+    fn cond_reg(&mut self, e: &Expr) -> Result<VReg, LowerError> {
+        let v = self.expr(e)?;
+        match v.ty() {
+            Ty::Int => Ok(self.coerce_to_reg(v, Ty::Int)),
+            Ty::Float => {
+                // Float condition: compare against 0.0.
+                let r = self.coerce_to_reg(v, Ty::Float);
+                let z = self.f.new_vreg(Type::Float);
+                self.emit(Op::MovF {
+                    dst: z,
+                    src: FOperand::Imm(0.0),
+                });
+                let out = self.f.new_vreg(Type::Int);
+                self.emit(Op::FCmp {
+                    kind: CmpKind::Ne,
+                    dst: out,
+                    lhs: r,
+                    rhs: z,
+                });
+                Ok(out)
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Value, LowerError> {
+        match e {
+            Expr::IntLit(v, _) => Ok(Value::CInt(*v)),
+            Expr::FloatLit(v, _) => Ok(Value::CFloat(*v)),
+            Expr::Var(name, pos) => match self.lookup(name, *pos)? {
+                LookedUp::Local(Binding::Scalar(v, ty)) => Ok(Value::Reg(v, ty)),
+                LookedUp::Local(Binding::LocalArray(..) | Binding::ParamArray(..)) => {
+                    Err(LowerError {
+                        msg: format!("array `{name}` used without an index"),
+                        pos: *pos,
+                    })
+                }
+                LookedUp::Global(g, ty, is_array) => {
+                    if is_array {
+                        return Err(LowerError {
+                            msg: format!("array `{name}` used without an index"),
+                            pos: *pos,
+                        });
+                    }
+                    let dst = self.f.new_vreg(ty_of(ty));
+                    self.emit(Op::Load {
+                        dst,
+                        addr: MemRef::direct(MemBase::Global(g), 0),
+                    });
+                    Ok(Value::Reg(dst, ty))
+                }
+            },
+            Expr::Index { name, index, pos } => {
+                let (base, ty) = match self.lookup(name, *pos)? {
+                    LookedUp::Local(Binding::LocalArray(l, ty)) => (MemBase::Local(l), ty),
+                    LookedUp::Local(Binding::ParamArray(i, ty)) => (MemBase::Param(i), ty),
+                    LookedUp::Global(g, ty, true) => (MemBase::Global(g), ty),
+                    _ => {
+                        return Err(LowerError {
+                            msg: format!("`{name}` is not an array"),
+                            pos: *pos,
+                        })
+                    }
+                };
+                let addr = self.mem_ref(base, index)?;
+                let dst = self.f.new_vreg(ty_of(ty));
+                self.emit(Op::Load { dst, addr });
+                Ok(Value::Reg(dst, ty))
+            }
+            Expr::Call { name, args, pos } => {
+                let v = self.call(name, args, *pos, true)?;
+                Ok(v.expect("call with want_value returns a value"))
+            }
+            Expr::Unary { op, expr, pos } => {
+                let v = self.expr(expr)?;
+                match op {
+                    UnOp::Neg => match v {
+                        Value::CInt(c) => Ok(Value::CInt(c.wrapping_neg())),
+                        Value::CFloat(c) => Ok(Value::CFloat(-c)),
+                        Value::Reg(r, Ty::Int) => {
+                            let dst = self.f.new_vreg(Type::Int);
+                            self.emit(Op::INeg { dst, src: r });
+                            Ok(Value::Reg(dst, Ty::Int))
+                        }
+                        Value::Reg(r, Ty::Float) => {
+                            let dst = self.f.new_vreg(Type::Float);
+                            self.emit(Op::FNeg { dst, src: r });
+                            Ok(Value::Reg(dst, Ty::Float))
+                        }
+                    },
+                    UnOp::Not => {
+                        let r = self.cond_reg(expr)?;
+                        let dst = self.f.new_vreg(Type::Int);
+                        self.emit(Op::ICmp {
+                            kind: CmpKind::Eq,
+                            dst,
+                            lhs: r,
+                            rhs: IOperand::Imm(0),
+                        });
+                        Ok(Value::Reg(dst, Ty::Int))
+                    }
+                    UnOp::BitNot => {
+                        if v.ty() != Ty::Int {
+                            return Err(LowerError {
+                                msg: "bitwise complement needs an int".into(),
+                                pos: *pos,
+                            });
+                        }
+                        let r = self.coerce_to_reg(v, Ty::Int);
+                        let dst = self.f.new_vreg(Type::Int);
+                        self.emit(Op::INot { dst, src: r });
+                        Ok(Value::Reg(dst, Ty::Int))
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs, pos } => {
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    return self.short_circuit(*op, lhs, rhs);
+                }
+                let l = self.expr(lhs)?;
+                self.binary(*op, l, rhs, *pos)
+            }
+            Expr::Cast { ty, expr, .. } => {
+                let v = self.expr(expr)?;
+                match (ty, v) {
+                    (Ty::Int, Value::CFloat(c)) => Ok(Value::CInt(c as i32)),
+                    (Ty::Float, Value::CInt(c)) => Ok(Value::CFloat(c as f32)),
+                    (Ty::Int, Value::CInt(_)) | (Ty::Float, Value::CFloat(_)) => Ok(v),
+                    (want, _) => {
+                        let r = self.coerce_to_reg(v, *want);
+                        Ok(Value::Reg(r, *want))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lower `l <op> rhs_expr` with C-style promotion (int → float when
+    /// mixed).
+    fn binary(
+        &mut self,
+        op: BinOp,
+        l: Value,
+        rhs_expr: &Expr,
+        pos: Pos,
+    ) -> Result<Value, LowerError> {
+        let r = self.expr(rhs_expr)?;
+        // Constant folding.
+        if let (Value::CInt(a), Value::CInt(b)) = (l, r) {
+            if let Some(v) = fold_int(op, a, b) {
+                return Ok(v);
+            }
+        }
+        let float = l.ty() == Ty::Float || r.ty() == Ty::Float;
+        let int_only = matches!(
+            op,
+            BinOp::Rem | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr
+        );
+        if float && int_only {
+            return Err(LowerError {
+                msg: format!("operator {op:?} requires integer operands"),
+                pos,
+            });
+        }
+        if float {
+            let a = self.coerce_to_reg(l, Ty::Float);
+            let b = self.coerce_to_reg(r, Ty::Float);
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    let kind = match op {
+                        BinOp::Add => FpBinKind::Add,
+                        BinOp::Sub => FpBinKind::Sub,
+                        BinOp::Mul => FpBinKind::Mul,
+                        _ => FpBinKind::Div,
+                    };
+                    let dst = self.f.new_vreg(Type::Float);
+                    self.emit(Op::FBin {
+                        kind,
+                        dst,
+                        lhs: a,
+                        rhs: b,
+                    });
+                    Ok(Value::Reg(dst, Ty::Float))
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let dst = self.f.new_vreg(Type::Int);
+                    self.emit(Op::FCmp {
+                        kind: cmp_kind(op),
+                        dst,
+                        lhs: a,
+                        rhs: b,
+                    });
+                    Ok(Value::Reg(dst, Ty::Int))
+                }
+                _ => unreachable!("int-only ops rejected above"),
+            }
+        } else {
+            let a = self.coerce_to_reg(l, Ty::Int);
+            let b = match r {
+                Value::CInt(c) => IOperand::Imm(c),
+                _ => IOperand::Reg(self.coerce_to_reg(r, Ty::Int)),
+            };
+            let dst = self.f.new_vreg(Type::Int);
+            match op {
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    self.emit(Op::ICmp {
+                        kind: cmp_kind(op),
+                        dst,
+                        lhs: a,
+                        rhs: b,
+                    });
+                }
+                _ => {
+                    self.emit(Op::IBin {
+                        kind: int_kind(op),
+                        dst,
+                        lhs: a,
+                        rhs: b,
+                    });
+                }
+            }
+            Ok(Value::Reg(dst, Ty::Int))
+        }
+    }
+
+    /// Short-circuit `&&` / `||` producing 0/1.
+    fn short_circuit(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Value, LowerError> {
+        let result = self.f.new_vreg(Type::Int);
+        let rhs_bb = self.f.new_block();
+        let short_bb = self.f.new_block();
+        let join = self.f.new_block();
+        let c = self.cond_reg(lhs)?;
+        match op {
+            BinOp::And => self.emit(Op::Br {
+                cond: c,
+                then_bb: rhs_bb,
+                else_bb: short_bb,
+            }),
+            BinOp::Or => self.emit(Op::Br {
+                cond: c,
+                then_bb: short_bb,
+                else_bb: rhs_bb,
+            }),
+            _ => unreachable!("only And/Or are short-circuit"),
+        }
+        // Short-circuit value: 0 for &&, 1 for ||.
+        self.cur = short_bb;
+        self.emit(Op::MovI {
+            dst: result,
+            src: IOperand::Imm(if op == BinOp::And { 0 } else { 1 }),
+        });
+        self.emit(Op::Jmp(join));
+        // Evaluate RHS and normalize to 0/1.
+        self.cur = rhs_bb;
+        let r = self.cond_reg(rhs)?;
+        self.emit(Op::ICmp {
+            kind: CmpKind::Ne,
+            dst: result,
+            lhs: r,
+            rhs: IOperand::Imm(0),
+        });
+        self.emit(Op::Jmp(join));
+        self.cur = join;
+        Ok(Value::Reg(result, Ty::Int))
+    }
+
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        pos: Pos,
+        want_value: bool,
+    ) -> Result<Option<Value>, LowerError> {
+        let (id, sig, ret) = self.funcs.get(name).cloned().ok_or_else(|| LowerError {
+            msg: format!("unknown function `{name}`"),
+            pos,
+        })?;
+        if sig.len() != args.len() {
+            return Err(LowerError {
+                msg: format!(
+                    "`{name}` expects {} arguments, got {}",
+                    sig.len(),
+                    args.len()
+                ),
+                pos,
+            });
+        }
+        if want_value && ret.is_none() {
+            return Err(LowerError {
+                msg: format!("void function `{name}` used in an expression"),
+                pos,
+            });
+        }
+        let mut lowered = Vec::with_capacity(args.len());
+        for (a, (pty, is_array)) in args.iter().zip(&sig) {
+            if *is_array {
+                let base = match a {
+                    Expr::Var(n, apos) => match self.lookup(n, *apos)? {
+                        LookedUp::Local(Binding::LocalArray(l, ty)) => {
+                            self.check_elem_ty(n, ty, *pty, *apos)?;
+                            MemBase::Local(l)
+                        }
+                        LookedUp::Local(Binding::ParamArray(i, ty)) => {
+                            self.check_elem_ty(n, ty, *pty, *apos)?;
+                            MemBase::Param(i)
+                        }
+                        LookedUp::Global(g, ty, true) => {
+                            self.check_elem_ty(n, ty, *pty, *apos)?;
+                            MemBase::Global(g)
+                        }
+                        _ => {
+                            return Err(LowerError {
+                                msg: format!("`{n}` is not an array"),
+                                pos: *apos,
+                            })
+                        }
+                    },
+                    _ => {
+                        return Err(LowerError {
+                            msg: "array argument must be an array name".into(),
+                            pos: a.pos(),
+                        })
+                    }
+                };
+                lowered.push(Arg::Array(base));
+            } else {
+                let v = self.expr(a)?;
+                let r = self.coerce_to_reg(v, *pty);
+                lowered.push(Arg::Value(r));
+            }
+        }
+        let dst = ret.map(|t| self.f.new_vreg(ty_of(t)));
+        self.emit(Op::Call {
+            dst,
+            callee: id,
+            args: lowered,
+        });
+        let _ = self.program;
+        Ok(dst.map(|d| Value::Reg(d, ret.expect("dst implies ret"))))
+    }
+
+    fn check_elem_ty(&self, name: &str, have: Ty, want: Ty, pos: Pos) -> Result<(), LowerError> {
+        if have == want {
+            Ok(())
+        } else {
+            Err(LowerError {
+                msg: format!("array `{name}` has element type {have}, expected {want}"),
+                pos,
+            })
+        }
+    }
+}
+
+enum LookedUp {
+    Local(Binding),
+    Global(GlobalId, Ty, bool),
+}
+
+fn cmp_kind(op: BinOp) -> CmpKind {
+    match op {
+        BinOp::Eq => CmpKind::Eq,
+        BinOp::Ne => CmpKind::Ne,
+        BinOp::Lt => CmpKind::Lt,
+        BinOp::Le => CmpKind::Le,
+        BinOp::Gt => CmpKind::Gt,
+        BinOp::Ge => CmpKind::Ge,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+fn int_kind(op: BinOp) -> IntBinKind {
+    match op {
+        BinOp::Add => IntBinKind::Add,
+        BinOp::Sub => IntBinKind::Sub,
+        BinOp::Mul => IntBinKind::Mul,
+        BinOp::Div => IntBinKind::Div,
+        BinOp::Rem => IntBinKind::Rem,
+        BinOp::BitAnd => IntBinKind::And,
+        BinOp::BitOr => IntBinKind::Or,
+        BinOp::BitXor => IntBinKind::Xor,
+        BinOp::Shl => IntBinKind::Shl,
+        BinOp::Shr => IntBinKind::Shr,
+        _ => unreachable!("not an arithmetic operator"),
+    }
+}
+
+fn fold_int(op: BinOp, a: i32, b: i32) -> Option<Value> {
+    use dsp_ir::interp::{eval_ibin, eval_icmp};
+    let v = match op {
+        BinOp::Add => eval_ibin(IntBinKind::Add, a, b),
+        BinOp::Sub => eval_ibin(IntBinKind::Sub, a, b),
+        BinOp::Mul => eval_ibin(IntBinKind::Mul, a, b),
+        BinOp::Div => eval_ibin(IntBinKind::Div, a, b),
+        BinOp::Rem => eval_ibin(IntBinKind::Rem, a, b),
+        BinOp::BitAnd => eval_ibin(IntBinKind::And, a, b),
+        BinOp::BitOr => eval_ibin(IntBinKind::Or, a, b),
+        BinOp::BitXor => eval_ibin(IntBinKind::Xor, a, b),
+        BinOp::Shl => eval_ibin(IntBinKind::Shl, a, b),
+        BinOp::Shr => eval_ibin(IntBinKind::Shr, a, b),
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            i32::from(eval_icmp(cmp_kind(op), a, b))
+        }
+        BinOp::And | BinOp::Or => return None,
+    };
+    Some(Value::CInt(v))
+}

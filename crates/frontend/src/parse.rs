@@ -1,0 +1,716 @@
+//! Recursive-descent parser for DSP-C.
+
+use crate::ast::{
+    Ast, BinOp, Expr, FuncDef, GlobalDecl, Item, LValue, Literal, ParamDecl, Stmt, Ty, UnOp,
+};
+use crate::lex::{lex, LexError, Pos, Spanned, Tok};
+
+/// A parse error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub msg: String,
+    /// Where it occurred.
+    pub pos: Pos,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            msg: e.msg,
+            pos: e.pos,
+        }
+    }
+}
+
+/// Parse DSP-C source into an AST.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(src: &str) -> Result<Ast, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    p.parse_unit()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.i + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, msg: String) -> ParseError {
+        ParseError {
+            msg,
+            pos: self.pos(),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn try_ty(&mut self) -> Option<Ty> {
+        match self.peek() {
+            Tok::KwInt => {
+                self.bump();
+                Some(Ty::Int)
+            }
+            Tok::KwFloat => {
+                self.bump();
+                Some(Ty::Float)
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_unit(&mut self) -> Result<Ast, ParseError> {
+        let mut ast = Ast::default();
+        while self.peek() != &Tok::Eof {
+            ast.items.push(self.parse_item()?);
+        }
+        Ok(ast)
+    }
+
+    fn parse_item(&mut self) -> Result<Item, ParseError> {
+        let pos = self.pos();
+        if self.peek() == &Tok::KwVoid {
+            self.bump();
+            let name = self.ident()?;
+            return Ok(Item::Func(self.parse_func(name, None, pos)?));
+        }
+        let ty = self
+            .try_ty()
+            .ok_or_else(|| self.err(format!("expected declaration, found {}", self.peek())))?;
+        let name = self.ident()?;
+        if self.peek() == &Tok::LParen {
+            return Ok(Item::Func(self.parse_func(name, Some(ty), pos)?));
+        }
+        // Global variable or array.
+        let mut size = None;
+        if self.peek() == &Tok::LBracket {
+            self.bump();
+            size = Some(self.const_size()?);
+            self.eat(&Tok::RBracket)?;
+        }
+        let mut init = Vec::new();
+        if self.peek() == &Tok::Assign {
+            self.bump();
+            if self.peek() == &Tok::LBrace {
+                self.bump();
+                loop {
+                    init.push(self.const_literal()?);
+                    if self.peek() == &Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.eat(&Tok::RBrace)?;
+            } else {
+                init.push(self.const_literal()?);
+            }
+        }
+        self.eat(&Tok::Semi)?;
+        Ok(Item::Global(GlobalDecl {
+            name,
+            ty,
+            size,
+            init,
+            pos,
+        }))
+    }
+
+    fn const_size(&mut self) -> Result<u32, ParseError> {
+        match self.bump() {
+            Tok::Int(v) if v > 0 => Ok(v as u32),
+            Tok::Int(v) => Err(self.err(format!("array size must be positive, got {v}"))),
+            other => Err(self.err(format!("expected array size, found {other}"))),
+        }
+    }
+
+    fn const_literal(&mut self) -> Result<Literal, ParseError> {
+        let neg = if self.peek() == &Tok::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match self.bump() {
+            Tok::Int(v) => Ok(Literal::Int(if neg { -v } else { v })),
+            Tok::Float(v) => Ok(Literal::Float(if neg { -v } else { v })),
+            other => Err(self.err(format!("expected literal, found {other}"))),
+        }
+    }
+
+    fn parse_func(
+        &mut self,
+        name: String,
+        ret: Option<Ty>,
+        pos: Pos,
+    ) -> Result<FuncDef, ParseError> {
+        self.eat(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                let ppos = self.pos();
+                let ty = self
+                    .try_ty()
+                    .ok_or_else(|| self.err(format!("expected parameter type, found {}", self.peek())))?;
+                let pname = self.ident()?;
+                let mut is_array = false;
+                if self.peek() == &Tok::LBracket {
+                    self.bump();
+                    self.eat(&Tok::RBracket)?;
+                    is_array = true;
+                }
+                params.push(ParamDecl {
+                    name: pname,
+                    ty,
+                    is_array,
+                    pos: ppos,
+                });
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Tok::RParen)?;
+        let body = self.parse_block()?;
+        Ok(FuncDef {
+            name,
+            ret,
+            params,
+            body,
+            pos,
+        })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return Err(self.err("unterminated block".into()));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        self.eat(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::LBrace => Ok(Stmt::Block(self.parse_block()?)),
+            Tok::KwInt | Tok::KwFloat => {
+                let s = self.parse_local_decl()?;
+                Ok(s)
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.eat(&Tok::RParen)?;
+                let then_s = self.parse_stmt_as_block()?;
+                let else_s = if self.peek() == &Tok::KwElse {
+                    self.bump();
+                    self.parse_stmt_as_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_s,
+                    else_s,
+                    pos,
+                })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.eat(&Tok::RParen)?;
+                let body = self.parse_stmt_as_block()?;
+                Ok(Stmt::While { cond, body, pos })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let init = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(Box::new(self.parse_simple_stmt()?))
+                };
+                self.eat(&Tok::Semi)?;
+                let cond = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.eat(&Tok::Semi)?;
+                let step = if self.peek() == &Tok::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.parse_simple_stmt()?))
+                };
+                self.eat(&Tok::RParen)?;
+                let body = self.parse_stmt_as_block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    pos,
+                })
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Break(pos))
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Continue(pos))
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let value = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Return { value, pos })
+            }
+            _ => {
+                let s = self.parse_simple_stmt()?;
+                self.eat(&Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn parse_stmt_as_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.peek() == &Tok::LBrace {
+            self.parse_block()
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_local_decl(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        let ty = self.try_ty().expect("caller saw a type token");
+        let name = self.ident()?;
+        let mut size = None;
+        if self.peek() == &Tok::LBracket {
+            self.bump();
+            size = Some(self.const_size()?);
+            self.eat(&Tok::RBracket)?;
+        }
+        let init = if self.peek() == &Tok::Assign {
+            self.bump();
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.eat(&Tok::Semi)?;
+        if size.is_some() && init.is_some() {
+            return Err(ParseError {
+                msg: "array locals cannot have initializers".into(),
+                pos,
+            });
+        }
+        Ok(Stmt::LocalDecl {
+            name,
+            ty,
+            size,
+            init,
+            pos,
+        })
+    }
+
+    /// Assignment, compound assignment, increment, or call — the statement
+    /// forms allowed in `for` headers.
+    fn parse_simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        // Declarations allowed in for-init.
+        if matches!(self.peek(), Tok::KwInt | Tok::KwFloat) {
+            return Err(self.err("declarations are not allowed here".into()));
+        }
+        let name = self.ident()?;
+        // Call statement?
+        if self.peek() == &Tok::LParen {
+            let args = self.parse_call_args()?;
+            return Ok(Stmt::ExprStmt {
+                expr: Expr::Call { name, args, pos },
+                pos,
+            });
+        }
+        let index = if self.peek() == &Tok::LBracket {
+            self.bump();
+            let e = self.parse_expr()?;
+            self.eat(&Tok::RBracket)?;
+            Some(Box::new(e))
+        } else {
+            None
+        };
+        let target = LValue { name, index, pos };
+        match self.bump() {
+            Tok::Assign => {
+                let value = self.parse_expr()?;
+                Ok(Stmt::Assign {
+                    target,
+                    op: None,
+                    value,
+                    pos,
+                })
+            }
+            Tok::PlusAssign => self.compound(target, BinOp::Add, pos),
+            Tok::MinusAssign => self.compound(target, BinOp::Sub, pos),
+            Tok::StarAssign => self.compound(target, BinOp::Mul, pos),
+            Tok::SlashAssign => self.compound(target, BinOp::Div, pos),
+            Tok::PercentAssign => self.compound(target, BinOp::Rem, pos),
+            Tok::PlusPlus => Ok(Stmt::Incr {
+                target,
+                delta: 1,
+                pos,
+            }),
+            Tok::MinusMinus => Ok(Stmt::Incr {
+                target,
+                delta: -1,
+                pos,
+            }),
+            other => Err(ParseError {
+                msg: format!("expected assignment, found {other}"),
+                pos,
+            }),
+        }
+    }
+
+    fn compound(&mut self, target: LValue, op: BinOp, pos: Pos) -> Result<Stmt, ParseError> {
+        let value = self.parse_expr()?;
+        Ok(Stmt::Assign {
+            target,
+            op: Some(op),
+            value,
+            pos,
+        })
+    }
+
+    fn parse_call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.eat(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                args.push(self.parse_expr()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_bin(0)
+    }
+
+    /// Precedence-climbing over binary operators. Level 0 is the loosest.
+    fn parse_bin(&mut self, min_level: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, level) = match self.peek() {
+                Tok::OrOr => (BinOp::Or, 0),
+                Tok::AndAnd => (BinOp::And, 1),
+                Tok::Pipe => (BinOp::BitOr, 2),
+                Tok::Caret => (BinOp::BitXor, 3),
+                Tok::Amp => (BinOp::BitAnd, 4),
+                Tok::EqEq => (BinOp::Eq, 5),
+                Tok::NotEq => (BinOp::Ne, 5),
+                Tok::Lt => (BinOp::Lt, 6),
+                Tok::Le => (BinOp::Le, 6),
+                Tok::Gt => (BinOp::Gt, 6),
+                Tok::Ge => (BinOp::Ge, 6),
+                Tok::Shl => (BinOp::Shl, 7),
+                Tok::Shr => (BinOp::Shr, 7),
+                Tok::Plus => (BinOp::Add, 8),
+                Tok::Minus => (BinOp::Sub, 8),
+                Tok::Star => (BinOp::Mul, 9),
+                Tok::Slash => (BinOp::Div, 9),
+                Tok::Percent => (BinOp::Rem, 9),
+                _ => break,
+            };
+            if level < min_level {
+                break;
+            }
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.parse_bin(level + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(e),
+                    pos,
+                })
+            }
+            Tok::Not => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                    pos,
+                })
+            }
+            // Cast: `(int)` or `(float)` followed by a unary expression.
+            Tok::LParen if matches!(self.peek2(), Tok::KwInt | Tok::KwFloat) => {
+                self.bump();
+                let ty = self.try_ty().expect("peeked type");
+                self.eat(&Tok::RParen)?;
+                let e = self.parse_unary()?;
+                Ok(Expr::Cast {
+                    ty,
+                    expr: Box::new(e),
+                    pos,
+                })
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::IntLit(v, pos)),
+            Tok::Float(v) => Ok(Expr::FloatLit(v, pos)),
+            Tok::LParen => {
+                let e = self.parse_expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.peek() == &Tok::LParen {
+                    let args = self.parse_call_args()?;
+                    Ok(Expr::Call { name, args, pos })
+                } else if self.peek() == &Tok::LBracket {
+                    self.bump();
+                    let index = self.parse_expr()?;
+                    self.eat(&Tok::RBracket)?;
+                    Ok(Expr::Index {
+                        name,
+                        index: Box::new(index),
+                        pos,
+                    })
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            other => Err(ParseError {
+                msg: format!("expected expression, found {other}"),
+                pos,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_global_array_with_init() {
+        let ast = parse("float coef[4] = {1.0, -2.5, 3, 4.0};").unwrap();
+        match &ast.items[0] {
+            Item::Global(g) => {
+                assert_eq!(g.name, "coef");
+                assert_eq!(g.size, Some(4));
+                assert_eq!(g.init.len(), 4);
+                assert_eq!(g.init[1], Literal::Float(-2.5));
+            }
+            other => panic!("expected global, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let ast = parse("int dot(float a[], float b[], int n) { return n; }").unwrap();
+        match &ast.items[0] {
+            Item::Func(f) => {
+                assert_eq!(f.name, "dot");
+                assert_eq!(f.ret, Some(Ty::Int));
+                assert_eq!(f.params.len(), 3);
+                assert!(f.params[0].is_array);
+                assert!(!f.params[2].is_array);
+            }
+            other => panic!("expected func, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop_with_increment() {
+        let src = "void f() { int i; for (i = 0; i < 10; i++) { i += 2; } }";
+        let ast = parse(src).unwrap();
+        match &ast.items[0] {
+            Item::Func(f) => match &f.body[1] {
+                Stmt::For {
+                    init, cond, step, ..
+                } => {
+                    assert!(init.is_some());
+                    assert!(cond.is_some());
+                    assert!(matches!(**step.as_ref().unwrap(), Stmt::Incr { delta: 1, .. }));
+                }
+                other => panic!("expected for, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter() {
+        let ast = parse("void f() { int x; x = 1 + 2 * 3; }").unwrap();
+        let Item::Func(f) = &ast.items[0] else {
+            unreachable!()
+        };
+        let Stmt::Assign { value, .. } = &f.body[1] else {
+            panic!()
+        };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else {
+            panic!("expected Add at top, got {value:?}")
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn cast_expression() {
+        let ast = parse("void f(float x) { int i; i = (int) x + 1; }").unwrap();
+        let Item::Func(f) = &ast.items[0] else {
+            unreachable!()
+        };
+        let Stmt::Assign { value, .. } = &f.body[1] else {
+            panic!()
+        };
+        // Cast binds tighter than +.
+        let Expr::Binary { op: BinOp::Add, lhs, .. } = value else {
+            panic!("{value:?}")
+        };
+        assert!(matches!(**lhs, Expr::Cast { ty: Ty::Int, .. }));
+    }
+
+    #[test]
+    fn parenthesized_expr_is_not_cast() {
+        let ast = parse("void f() { int x; x = (x) + 1; }").unwrap();
+        assert!(matches!(ast.items[0], Item::Func(_)));
+    }
+
+    #[test]
+    fn error_has_position() {
+        let err = parse("void f() { int ; }").unwrap_err();
+        assert!(err.msg.contains("identifier"), "{err}");
+        assert_eq!(err.pos.line, 1);
+    }
+
+    #[test]
+    fn array_local_with_init_rejected() {
+        let err = parse("void f() { int a[4] = 1; }").unwrap_err();
+        assert!(err.msg.contains("array locals"), "{err}");
+    }
+
+    #[test]
+    fn call_statement() {
+        let ast = parse("void g() {} void f() { g(); }").unwrap();
+        let Item::Func(f) = &ast.items[1] else {
+            unreachable!()
+        };
+        assert!(matches!(
+            &f.body[0],
+            Stmt::ExprStmt {
+                expr: Expr::Call { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn dangling_else_binds_to_nearest_if() {
+        let src = "void f(int x) { if (x) if (x) x = 1; else x = 2; }";
+        let ast = parse(src).unwrap();
+        let Item::Func(f) = &ast.items[0] else {
+            unreachable!()
+        };
+        let Stmt::If { then_s, else_s, .. } = &f.body[0] else {
+            panic!()
+        };
+        assert!(else_s.is_empty());
+        let Stmt::If { else_s: inner_else, .. } = &then_s[0] else {
+            panic!()
+        };
+        assert_eq!(inner_else.len(), 1);
+    }
+}

@@ -1,0 +1,393 @@
+//! Control-flow graph, dominator tree, and natural-loop analysis.
+//!
+//! The loop analysis supplies the paper's default interference-edge
+//! weight: "the loop nesting depth of the memory operations used to
+//! access the data" (§3.1).
+
+use crate::func::Function;
+use crate::ids::BlockId;
+
+/// Control-flow graph of one function: successor and predecessor lists
+/// plus a reverse postorder.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors of each block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors of each block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry. Unreachable blocks are
+    /// absent.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` if unreachable).
+    pub rpo_pos: Vec<usize>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`.
+    #[must_use]
+    pub fn build(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (id, block) in f.iter_blocks() {
+            if let Some(term) = block.terminator() {
+                for s in term.successors() {
+                    succs[id.index()].push(s);
+                    preds[s.index()].push(id);
+                }
+            }
+        }
+        // Depth-first postorder, then reverse.
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with explicit state: (block, next successor index).
+        let mut stack = vec![(f.entry, 0usize)];
+        visited[f.entry.index()] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let s = succs[b.index()][*i];
+                *i += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, b) in post.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo: post,
+            rpo_pos,
+            entry: f.entry,
+        }
+    }
+
+    /// The entry block.
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// True if `b` is reachable from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()] != usize::MAX
+    }
+
+    /// Compute immediate dominators (Cooper–Harvey–Kennedy iterative
+    /// algorithm). `idom[entry] == entry`; unreachable blocks map to
+    /// `None`.
+    #[must_use]
+    pub fn immediate_dominators(&self) -> Vec<Option<BlockId>> {
+        let n = self.succs.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[self.entry.index()] = Some(self.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &self.rpo {
+                if b == self.entry {
+                    continue;
+                }
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &self.preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => self.intersect(&idom, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom
+    }
+
+    fn intersect(&self, idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId) -> BlockId {
+        while a != b {
+            while self.rpo_pos[a.index()] > self.rpo_pos[b.index()] {
+                a = idom[a.index()].expect("reachable block has idom");
+            }
+            while self.rpo_pos[b.index()] > self.rpo_pos[a.index()] {
+                b = idom[b.index()].expect("reachable block has idom");
+            }
+        }
+        a
+    }
+
+    /// True if `a` dominates `b` (reflexive), given the idom array.
+    #[must_use]
+    pub fn dominates(&self, idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// One natural loop: a header plus every block that can reach a back
+/// edge without leaving through the header.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// Blocks of the loop body, including the header.
+    pub blocks: Vec<BlockId>,
+    /// Back-edge sources.
+    pub latches: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// True if `b` belongs to the loop.
+    #[must_use]
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// Natural-loop information: the nesting depth of every block.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// Loop nesting depth of each block; 0 means "not in any loop".
+    pub depth: Vec<u32>,
+    /// Header block of each detected natural loop.
+    pub headers: Vec<BlockId>,
+    /// The loops themselves (one per distinct header, back edges
+    /// merged), in discovery order.
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl LoopInfo {
+    /// Detect natural loops (back edges `t -> h` where `h` dominates `t`)
+    /// and compute per-block nesting depth.
+    ///
+    /// Each back edge contributes one loop body (header plus all blocks
+    /// that reach the tail without passing through the header); a block's
+    /// depth is the number of distinct loop headers whose body contains
+    /// it.
+    #[must_use]
+    pub fn compute(f: &Function) -> LoopInfo {
+        let cfg = Cfg::build(f);
+        let idom = cfg.immediate_dominators();
+        let n = f.blocks.len();
+        let mut depth = vec![0u32; n];
+        let mut headers = Vec::new();
+        // Map header -> (set of body blocks, latches), unioned across
+        // back edges.
+        let mut bodies: Vec<(BlockId, Vec<bool>, Vec<BlockId>)> = Vec::new();
+        for &b in &cfg.rpo {
+            for &s in &cfg.succs[b.index()] {
+                if cfg.is_reachable(s) && cfg.dominates(&idom, s, b) {
+                    // Back edge b -> s with header s.
+                    let entry = match bodies.iter_mut().find(|(h, _, _)| *h == s) {
+                        Some(e) => e,
+                        None => {
+                            headers.push(s);
+                            bodies.push((s, vec![false; n], Vec::new()));
+                            bodies.last_mut().expect("just pushed")
+                        }
+                    };
+                    entry.2.push(b);
+                    let body = &mut entry.1;
+                    // Collect body: reverse flood-fill from the tail.
+                    body[s.index()] = true;
+                    let mut stack = vec![b];
+                    while let Some(x) = stack.pop() {
+                        if body[x.index()] {
+                            continue;
+                        }
+                        body[x.index()] = true;
+                        for &p in &cfg.preds[x.index()] {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        for (header, body, latches) in &bodies {
+            let mut blocks = Vec::new();
+            for (i, inside) in body.iter().enumerate() {
+                if *inside {
+                    depth[i] += 1;
+                    blocks.push(BlockId(i as u32));
+                }
+            }
+            loops.push(NaturalLoop {
+                header: *header,
+                blocks,
+                latches: latches.clone(),
+            });
+        }
+        LoopInfo {
+            depth,
+            headers,
+            loops,
+        }
+    }
+
+    /// The nesting depth of block `b`.
+    #[must_use]
+    pub fn depth_of(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Function;
+    use crate::ops::{IOperand, Op};
+    use crate::Type;
+
+    /// entry -> header; header -> (body, exit); body -> header.
+    fn single_loop() -> Function {
+        let mut f = Function::new("f");
+        let cond = f.new_vreg(Type::Int);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        let entry = f.entry;
+        f.block_mut(entry).push(Op::MovI {
+            dst: cond,
+            src: IOperand::Imm(1),
+        });
+        f.block_mut(entry).push(Op::Jmp(header));
+        f.block_mut(header).push(Op::Br {
+            cond,
+            then_bb: body,
+            else_bb: exit,
+        });
+        f.block_mut(body).push(Op::Jmp(header));
+        f.block_mut(exit).push(Op::Ret(None));
+        f
+    }
+
+    /// Adds an inner loop nested in the body of `single_loop`.
+    fn nested_loops() -> Function {
+        let mut f = Function::new("f");
+        let cond = f.new_vreg(Type::Int);
+        let h1 = f.new_block();
+        let h2 = f.new_block();
+        let b2 = f.new_block();
+        let latch1 = f.new_block();
+        let exit = f.new_block();
+        let entry = f.entry;
+        f.block_mut(entry).push(Op::MovI {
+            dst: cond,
+            src: IOperand::Imm(1),
+        });
+        f.block_mut(entry).push(Op::Jmp(h1));
+        f.block_mut(h1).push(Op::Br {
+            cond,
+            then_bb: h2,
+            else_bb: exit,
+        });
+        f.block_mut(h2).push(Op::Br {
+            cond,
+            then_bb: b2,
+            else_bb: latch1,
+        });
+        f.block_mut(b2).push(Op::Jmp(h2));
+        f.block_mut(latch1).push(Op::Jmp(h1));
+        f.block_mut(exit).push(Op::Ret(None));
+        f
+    }
+
+    #[test]
+    fn cfg_edges() {
+        let f = single_loop();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs[f.entry.index()], vec![BlockId(1)]);
+        assert_eq!(cfg.succs[1], vec![BlockId(2), BlockId(3)]);
+        assert_eq!(cfg.preds[1].len(), 2); // entry and body
+        assert_eq!(cfg.rpo[0], f.entry);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        // entry -> (a, b) -> join
+        let mut f = Function::new("f");
+        let cond = f.new_vreg(Type::Int);
+        let a = f.new_block();
+        let b = f.new_block();
+        let join = f.new_block();
+        let entry = f.entry;
+        f.block_mut(entry).push(Op::MovI {
+            dst: cond,
+            src: IOperand::Imm(0),
+        });
+        f.block_mut(entry).push(Op::Br {
+            cond,
+            then_bb: a,
+            else_bb: b,
+        });
+        f.block_mut(a).push(Op::Jmp(join));
+        f.block_mut(b).push(Op::Jmp(join));
+        f.block_mut(join).push(Op::Ret(None));
+
+        let cfg = Cfg::build(&f);
+        let idom = cfg.immediate_dominators();
+        assert_eq!(idom[join.index()], Some(entry));
+        assert_eq!(idom[a.index()], Some(entry));
+        assert!(cfg.dominates(&idom, entry, join));
+        assert!(!cfg.dominates(&idom, a, join));
+    }
+
+    #[test]
+    fn loop_depths_single() {
+        let f = single_loop();
+        let li = LoopInfo::compute(&f);
+        assert_eq!(li.depth_of(f.entry), 0);
+        assert_eq!(li.depth_of(BlockId(1)), 1); // header
+        assert_eq!(li.depth_of(BlockId(2)), 1); // body
+        assert_eq!(li.depth_of(BlockId(3)), 0); // exit
+        assert_eq!(li.headers.len(), 1);
+    }
+
+    #[test]
+    fn loop_depths_nested() {
+        let f = nested_loops();
+        let li = LoopInfo::compute(&f);
+        assert_eq!(li.depth_of(BlockId(1)), 1); // h1
+        assert_eq!(li.depth_of(BlockId(2)), 2); // h2
+        assert_eq!(li.depth_of(BlockId(3)), 2); // b2
+        assert_eq!(li.depth_of(BlockId(4)), 1); // latch1
+        assert_eq!(li.depth_of(BlockId(5)), 0); // exit
+        assert_eq!(li.headers.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_block_handled() {
+        let mut f = single_loop();
+        let dead = f.new_block();
+        f.block_mut(dead).push(Op::Ret(None));
+        let cfg = Cfg::build(&f);
+        assert!(!cfg.is_reachable(dead));
+        let idom = cfg.immediate_dominators();
+        assert_eq!(idom[dead.index()], None);
+        // Loop analysis must not panic on unreachable blocks.
+        let li = LoopInfo::compute(&f);
+        assert_eq!(li.depth_of(dead), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Human-readable printing of IR programs and operations.
+
+use crate::func::{Function, ParamKind, Program};
+use crate::ops::Op;
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::MovI { dst, src } => write!(f, "{dst} = movi {src}"),
+            Op::MovF { dst, src } => write!(f, "{dst} = movf {src}"),
+            Op::IBin { kind, dst, lhs, rhs } => write!(f, "{dst} = {kind} {lhs}, {rhs}"),
+            Op::ICmp { kind, dst, lhs, rhs } => write!(f, "{dst} = icmp.{kind} {lhs}, {rhs}"),
+            Op::INeg { dst, src } => write!(f, "{dst} = ineg {src}"),
+            Op::INot { dst, src } => write!(f, "{dst} = inot {src}"),
+            Op::FBin { kind, dst, lhs, rhs } => write!(f, "{dst} = {kind} {lhs}, {rhs}"),
+            Op::FCmp { kind, dst, lhs, rhs } => write!(f, "{dst} = fcmp.{kind} {lhs}, {rhs}"),
+            Op::FMac { acc, a, b } => write!(f, "{acc} = fmac {acc}, {a}, {b}"),
+            Op::FNeg { dst, src } => write!(f, "{dst} = fneg {src}"),
+            Op::ItoF { dst, src } => write!(f, "{dst} = itof {src}"),
+            Op::FtoI { dst, src } => write!(f, "{dst} = ftoi {src}"),
+            Op::Load { dst, addr } => write!(f, "{dst} = load {addr}"),
+            Op::Store { src, addr } => write!(f, "store {addr}, {src}"),
+            Op::Call { dst, callee, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = ")?;
+                }
+                write!(f, "call {callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Op::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => write!(f, "br {cond}, {then_bb}, {else_bb}"),
+            Op::Jmp(b) => write!(f, "jmp {b}"),
+            Op::Ret(Some(v)) => write!(f, "ret {v}"),
+            Op::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+impl Function {
+    /// Render the function as readable IR text.
+    #[must_use]
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "fn {}(", self.name);
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            match p.kind {
+                ParamKind::Value(t) => {
+                    let _ = write!(out, "{t} {}", p.name);
+                }
+                ParamKind::Array(t) => {
+                    let _ = write!(out, "{t} {}[]", p.name);
+                }
+            }
+        }
+        let _ = write!(out, ")");
+        if let Some(t) = self.ret {
+            let _ = write!(out, " -> {t}");
+        }
+        let _ = writeln!(out, " {{");
+        for l in &self.locals {
+            let _ = writeln!(out, "  local {} {}[{}]", l.ty, l.name, l.size);
+        }
+        for (id, block) in self.iter_blocks() {
+            let _ = writeln!(out, "{id}:");
+            for op in &block.ops {
+                let _ = writeln!(out, "    {op}");
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+impl Program {
+    /// Render the whole program as readable IR text.
+    #[must_use]
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, g) in self.globals.iter().enumerate() {
+            let _ = writeln!(out, "global g{i} {} {}[{}]", g.ty, g.name, g.size);
+        }
+        for f in &self.funcs {
+            let _ = writeln!(out);
+            out.push_str(&f.dump());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::func::{Function, Program};
+    use crate::ops::{IOperand, Op};
+    use crate::Type;
+
+    #[test]
+    fn dump_round_trip_smoke() {
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        let v = f.new_vreg(Type::Int);
+        let entry = f.entry;
+        f.block_mut(entry).push(Op::MovI {
+            dst: v,
+            src: IOperand::Imm(3),
+        });
+        f.block_mut(entry).push(Op::Ret(None));
+        p.add_function(f);
+        let text = p.dump();
+        assert!(text.contains("fn main()"), "{text}");
+        assert!(text.contains("%0 = movi #3"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+}

@@ -1,0 +1,611 @@
+//! Programs, functions, basic blocks, and their structural validation.
+
+use crate::ids::{BlockId, FuncId, GlobalId, LocalId, VReg};
+use crate::ops::{Arg, MemBase, Op};
+use crate::Type;
+use dsp_machine::Word;
+
+/// A program-level variable or array resident in data memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Source-level name.
+    pub name: String,
+    /// Element type.
+    pub ty: Type,
+    /// Size in words; 1 for scalars.
+    pub size: u32,
+    /// Initial values for the first `init.len()` words (rest are zero).
+    pub init: Vec<Word>,
+}
+
+/// A stack-allocated local array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalArray {
+    /// Source-level name.
+    pub name: String,
+    /// Element type.
+    pub ty: Type,
+    /// Size in words.
+    pub size: u32,
+}
+
+/// How a parameter is passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// A scalar passed by value.
+    Value(Type),
+    /// An array passed by reference (base address).
+    Array(Type),
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Source-level name.
+    pub name: String,
+    /// Passing convention and element type.
+    pub kind: ParamKind,
+}
+
+/// A basic block: a maximal straight-line sequence of operations ending
+/// in a terminator.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The operations, in program order. The last one must be a
+    /// terminator once the function is complete.
+    pub ops: Vec<Op>,
+}
+
+impl Block {
+    /// Append an operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// The terminator, if the block is complete.
+    #[must_use]
+    pub fn terminator(&self) -> Option<&Op> {
+        self.ops.last().filter(|op| op.is_terminator())
+    }
+
+    /// True if the block ends in a terminator.
+    #[must_use]
+    pub fn is_terminated(&self) -> bool {
+        self.terminator().is_some()
+    }
+}
+
+/// A compiled function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Source-level name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Return type, if the function returns a value.
+    pub ret: Option<Type>,
+    /// Type of every virtual register, indexed by [`VReg`].
+    pub vregs: Vec<Type>,
+    /// Basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// The entry block.
+    pub entry: BlockId,
+    /// Stack-allocated local arrays, indexed by [`LocalId`].
+    pub locals: Vec<LocalArray>,
+}
+
+impl Function {
+    /// Create an empty function with a fresh entry block.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Function {
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            ret: None,
+            vregs: Vec::new(),
+            blocks: vec![Block::default()],
+            entry: BlockId(0),
+            locals: Vec::new(),
+        }
+    }
+
+    /// Allocate a fresh virtual register of type `ty`.
+    pub fn new_vreg(&mut self, ty: Type) -> VReg {
+        let id = VReg(self.vregs.len() as u32);
+        self.vregs.push(ty);
+        id
+    }
+
+    /// Allocate a fresh, empty basic block.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::default());
+        id
+    }
+
+    /// Add a stack-allocated local array.
+    pub fn new_local(&mut self, name: impl Into<String>, ty: Type, size: u32) -> LocalId {
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(LocalArray {
+            name: name.into(),
+            ty,
+            size,
+        });
+        id
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// The type of a virtual register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn vreg_ty(&self, v: VReg) -> Type {
+        self.vregs[v.index()]
+    }
+
+    /// Iterate over `(BlockId, &Block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total number of operations across all blocks.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.ops.len()).sum()
+    }
+}
+
+/// A whole program: globals plus functions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Memory-resident globals, indexed by [`GlobalId`].
+    pub globals: Vec<Global>,
+    /// Functions, indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+    /// The entry function, conventionally `main`.
+    pub main: Option<FuncId>,
+}
+
+impl Program {
+    /// Create an empty program.
+    #[must_use]
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Add a global; returns its id.
+    pub fn add_global(&mut self, g: Global) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(g);
+        id
+    }
+
+    /// Add a function; returns its id. If the function is named `main`
+    /// and no entry is set yet, it becomes the program entry.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        if f.name == "main" && self.main.is_none() {
+            self.main = Some(id);
+        }
+        self.funcs.push(f);
+        id
+    }
+
+    /// Shared access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Look up a function by name.
+    #[must_use]
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Look up a global by name.
+    #[must_use]
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
+    }
+
+    /// The element type of the object a [`MemBase`] denotes, seen from
+    /// inside function `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base is out of range for the program/function.
+    #[must_use]
+    pub fn base_ty(&self, f: &Function, base: MemBase) -> Type {
+        match base {
+            MemBase::Global(g) => self.globals[g.index()].ty,
+            MemBase::Local(l) => f.locals[l.index()].ty,
+            MemBase::Param(i) => match f.params[i].kind {
+                ParamKind::Array(ty) | ParamKind::Value(ty) => ty,
+            },
+        }
+    }
+
+    /// Check structural and type invariants of the whole program.
+    ///
+    /// Verified per function: every block is terminated exactly at its
+    /// end; registers, blocks, globals, locals and params referenced by
+    /// operations are in range; operand and destination types match the
+    /// operation (integer ops use `Int` registers, float ops `Float`,
+    /// array indices are `Int`); call sites match callee signatures; and
+    /// `main`, when set, takes no parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(m) = self.main {
+            if m.index() >= self.funcs.len() {
+                return Err(format!("main {m} out of range"));
+            }
+            if !self.func(m).params.is_empty() {
+                return Err("main must take no parameters".into());
+            }
+        }
+        for (fi, f) in self.funcs.iter().enumerate() {
+            self.validate_function(f)
+                .map_err(|e| format!("fn{fi} `{}`: {e}", f.name))?;
+        }
+        Ok(())
+    }
+
+    fn validate_function(&self, f: &Function) -> Result<(), String> {
+        if f.entry.index() >= f.blocks.len() {
+            return Err(format!("entry {} out of range", f.entry));
+        }
+        for (bi, block) in f.iter_blocks() {
+            if !block.is_terminated() {
+                return Err(format!("{bi} is not terminated"));
+            }
+            for (oi, op) in block.ops.iter().enumerate() {
+                let last = oi + 1 == block.ops.len();
+                if op.is_terminator() && !last {
+                    return Err(format!("{bi} op {oi}: terminator before end of block"));
+                }
+                self.validate_op(f, op)
+                    .map_err(|e| format!("{bi} op {oi} `{op:?}`: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_op(&self, f: &Function, op: &Op) -> Result<(), String> {
+        let ty = |v: VReg| -> Result<Type, String> {
+            f.vregs
+                .get(v.index())
+                .copied()
+                .ok_or_else(|| format!("{v} out of range"))
+        };
+        let expect = |v: VReg, want: Type| -> Result<(), String> {
+            let got = ty(v)?;
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!("{v} has type {got}, expected {want}"))
+            }
+        };
+        let check_base = |base: MemBase| -> Result<(), String> {
+            match base {
+                MemBase::Global(g) if g.index() >= self.globals.len() => {
+                    Err(format!("{g} out of range"))
+                }
+                MemBase::Local(l) if l.index() >= f.locals.len() => {
+                    Err(format!("{l} out of range"))
+                }
+                MemBase::Param(i) if i >= f.params.len() => Err(format!("param {i} out of range")),
+                MemBase::Param(i) => match f.params[i].kind {
+                    ParamKind::Array(_) => Ok(()),
+                    ParamKind::Value(_) => Err(format!("param {i} is not an array")),
+                },
+                _ => Ok(()),
+            }
+        };
+        match op {
+            Op::MovI { dst, src } => {
+                expect(*dst, Type::Int)?;
+                if let Some(r) = src.reg() {
+                    expect(r, Type::Int)?;
+                }
+            }
+            Op::MovF { dst, src } => {
+                expect(*dst, Type::Float)?;
+                if let Some(r) = src.reg() {
+                    expect(r, Type::Float)?;
+                }
+            }
+            Op::IBin { dst, lhs, rhs, .. } | Op::ICmp { dst, lhs, rhs, .. } => {
+                expect(*dst, Type::Int)?;
+                expect(*lhs, Type::Int)?;
+                if let Some(r) = rhs.reg() {
+                    expect(r, Type::Int)?;
+                }
+            }
+            Op::INeg { dst, src } | Op::INot { dst, src } => {
+                expect(*dst, Type::Int)?;
+                expect(*src, Type::Int)?;
+            }
+            Op::FBin { dst, lhs, rhs, .. } => {
+                expect(*dst, Type::Float)?;
+                expect(*lhs, Type::Float)?;
+                expect(*rhs, Type::Float)?;
+            }
+            Op::FCmp { dst, lhs, rhs, .. } => {
+                expect(*dst, Type::Int)?;
+                expect(*lhs, Type::Float)?;
+                expect(*rhs, Type::Float)?;
+            }
+            Op::FNeg { dst, src } => {
+                expect(*dst, Type::Float)?;
+                expect(*src, Type::Float)?;
+            }
+            Op::FMac { acc, a, b } => {
+                expect(*acc, Type::Float)?;
+                expect(*a, Type::Float)?;
+                expect(*b, Type::Float)?;
+            }
+            Op::ItoF { dst, src } => {
+                expect(*dst, Type::Float)?;
+                expect(*src, Type::Int)?;
+            }
+            Op::FtoI { dst, src } => {
+                expect(*dst, Type::Int)?;
+                expect(*src, Type::Float)?;
+            }
+            Op::Load { dst, addr } => {
+                check_base(addr.base)?;
+                if let Some(i) = addr.index {
+                    expect(i, Type::Int)?;
+                }
+                expect(*dst, self.base_ty(f, addr.base))?;
+            }
+            Op::Store { src, addr } => {
+                check_base(addr.base)?;
+                if let Some(i) = addr.index {
+                    expect(i, Type::Int)?;
+                }
+                expect(*src, self.base_ty(f, addr.base))?;
+            }
+            Op::Call { dst, callee, args } => {
+                let callee = self
+                    .funcs
+                    .get(callee.index())
+                    .ok_or_else(|| format!("{callee} out of range"))?;
+                if callee.params.len() != args.len() {
+                    return Err(format!(
+                        "call to `{}` passes {} args, expected {}",
+                        callee.name,
+                        args.len(),
+                        callee.params.len()
+                    ));
+                }
+                for (a, p) in args.iter().zip(&callee.params) {
+                    match (a, p.kind) {
+                        (Arg::Value(v), ParamKind::Value(t)) => expect(*v, t)?,
+                        (Arg::Array(b), ParamKind::Array(t)) => {
+                            check_base(*b)?;
+                            let got = self.base_ty(f, *b);
+                            if got != t {
+                                return Err(format!(
+                                    "array arg has element type {got}, expected {t}"
+                                ));
+                            }
+                        }
+                        (Arg::Value(_), ParamKind::Array(_)) => {
+                            return Err(format!("param `{}` expects an array", p.name));
+                        }
+                        (Arg::Array(_), ParamKind::Value(_)) => {
+                            return Err(format!("param `{}` expects a scalar", p.name));
+                        }
+                    }
+                }
+                match (dst, callee.ret) {
+                    (Some(d), Some(t)) => expect(*d, t)?,
+                    (Some(_), None) => {
+                        return Err(format!("`{}` returns no value", callee.name));
+                    }
+                    _ => {}
+                }
+            }
+            Op::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                expect(*cond, Type::Int)?;
+                for b in [then_bb, else_bb] {
+                    if b.index() >= f.blocks.len() {
+                        return Err(format!("{b} out of range"));
+                    }
+                }
+            }
+            Op::Jmp(b) => {
+                if b.index() >= f.blocks.len() {
+                    return Err(format!("{b} out of range"));
+                }
+            }
+            Op::Ret(v) => match (v, f.ret) {
+                (Some(v), Some(t)) => expect(*v, t)?,
+                (Some(_), None) => return Err("void function returns a value".into()),
+                (None, Some(_)) => return Err("non-void function returns nothing".into()),
+                (None, None) => {}
+            },
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::IOperand;
+    use dsp_machine::IntBinKind;
+
+    fn simple_program() -> Program {
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        let v = f.new_vreg(Type::Int);
+        let entry = f.entry;
+        f.block_mut(entry).push(Op::MovI {
+            dst: v,
+            src: IOperand::Imm(1),
+        });
+        f.block_mut(entry).push(Op::Ret(None));
+        p.add_function(f);
+        p
+    }
+
+    #[test]
+    fn main_auto_detected() {
+        let p = simple_program();
+        assert_eq!(p.main, Some(FuncId(0)));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let mut p = simple_program();
+        p.funcs[0].blocks[0].ops.pop();
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("not terminated"), "{err}");
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        let vi = f.new_vreg(Type::Int);
+        let vf = f.new_vreg(Type::Float);
+        let entry = f.entry;
+        f.block_mut(entry).push(Op::IBin {
+            kind: IntBinKind::Add,
+            dst: vi,
+            lhs: vi,
+            rhs: IOperand::Reg(vf),
+        });
+        f.block_mut(entry).push(Op::Ret(None));
+        p.add_function(f);
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("expected int"), "{err}");
+    }
+
+    #[test]
+    fn call_signature_checked() {
+        let mut p = Program::new();
+        let mut callee = Function::new("callee");
+        callee.params.push(Param {
+            name: "x".into(),
+            kind: ParamKind::Value(Type::Int),
+        });
+        let entry = callee.entry;
+        callee.block_mut(entry).push(Op::Ret(None));
+        let callee_id = p.add_function(callee);
+
+        let mut main = Function::new("main");
+        let entry = main.entry;
+        main.block_mut(entry).push(Op::Call {
+            dst: None,
+            callee: callee_id,
+            args: vec![],
+        });
+        main.block_mut(entry).push(Op::Ret(None));
+        p.add_function(main);
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("passes 0 args"), "{err}");
+    }
+
+    #[test]
+    fn load_type_follows_global() {
+        let mut p = Program::new();
+        let g = p.add_global(Global {
+            name: "coef".into(),
+            ty: Type::Float,
+            size: 8,
+            init: vec![],
+        });
+        let mut f = Function::new("main");
+        let vf = f.new_vreg(Type::Float);
+        let entry = f.entry;
+        f.block_mut(entry).push(Op::Load {
+            dst: vf,
+            addr: MemRef::direct(MemBase::Global(g), 0),
+        });
+        f.block_mut(entry).push(Op::Ret(None));
+        p.add_function(f);
+        assert!(p.validate().is_ok());
+    }
+
+    use crate::ops::MemRef;
+
+    #[test]
+    fn terminator_mid_block_rejected() {
+        let mut p = simple_program();
+        p.funcs[0].blocks[0]
+            .ops
+            .insert(0, Op::Jmp(BlockId(0)));
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("terminator before end"), "{err}");
+    }
+
+    #[test]
+    fn main_with_params_rejected() {
+        let mut p = simple_program();
+        p.funcs[0].params.push(Param {
+            name: "x".into(),
+            kind: ParamKind::Value(Type::Int),
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn op_count_sums_blocks() {
+        let p = simple_program();
+        assert_eq!(p.func(FuncId(0)).op_count(), 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! Typed index newtypes for IR entities.
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a `usize` index.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A virtual register. The owning [`crate::Function`] records its type.
+    VReg,
+    "%"
+);
+id_newtype!(
+    /// A basic block within a function.
+    BlockId,
+    "bb"
+);
+id_newtype!(
+    /// A function within a [`crate::Program`].
+    FuncId,
+    "fn"
+);
+id_newtype!(
+    /// A global variable or array within a [`crate::Program`].
+    GlobalId,
+    "g"
+);
+id_newtype!(
+    /// A stack-allocated local array within a function.
+    LocalId,
+    "l"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(VReg(7).to_string(), "%7");
+        assert_eq!(BlockId(2).to_string(), "bb2");
+        assert_eq!(FuncId(0).to_string(), "fn0");
+        assert_eq!(GlobalId(1).to_string(), "g1");
+        assert_eq!(LocalId(3).to_string(), "l3");
+        assert_eq!(VReg(9).index(), 9);
+    }
+}

@@ -1,0 +1,980 @@
+//! Binary encoding of VLIW instructions.
+//!
+//! DSPs keep code small with "tightly-encoded instructions that specify
+//! the parallel execution of multiple independent operations" (paper
+//! §1.1). This module defines such an encoding for the model machine:
+//!
+//! * each instruction starts with one 32-bit **header** word holding a
+//!   9-bit slot-occupancy mask and a 9-bit extension mask;
+//! * each occupied slot contributes one 32-bit **operation** word
+//!   (5-bit opcode + packed fields), followed by one optional 32-bit
+//!   **extension** word when a field (a large immediate, address, or a
+//!   float constant) does not fit inline.
+//!
+//! Empty slots cost nothing, so straight-line scalar code stays
+//! compact while wide loop kernels pay only for the slots they fill.
+//! [`VliwProgram::encoded_words`](crate::VliwProgram) measures whole
+//! programs, giving a concrete alternative to the paper's
+//! "instructions are the same size as data" assumption in the
+//! first-order cost model.
+
+use crate::insts::{
+    AddrOp, CmpKind, FpBinKind, FpOp, InstAddr, IntBinKind, IntOp, IntOperand, MemAddr, MemOp,
+    PcuOp, VliwInst,
+};
+use crate::regs::{AReg, FReg, IReg, Reg, RegClass};
+use crate::Bank;
+
+/// A decoding failure (corrupt or truncated stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Word offset where decoding failed.
+    pub at: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error at word {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------
+// Bit packing helpers
+// ---------------------------------------------------------------------
+
+/// Incremental writer of fields into a 32-bit operation word, plus an
+/// optional extension word.
+#[derive(Debug, Default)]
+struct OpWord {
+    bits: u32,
+    used: u32,
+    ext: Option<u32>,
+}
+
+impl OpWord {
+    fn push(&mut self, value: u32, width: u32) {
+        debug_assert!(width == 32 || value < (1 << width), "field overflow");
+        debug_assert!(self.used + width <= 32, "op word overflow");
+        self.bits |= value << self.used;
+        self.used += width;
+    }
+
+    fn push_signed(&mut self, value: i32, width: u32) {
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        self.push((value as u32) & mask, width);
+    }
+}
+
+/// Incremental reader of fields from an operation word.
+#[derive(Debug)]
+struct OpRead {
+    bits: u32,
+    used: u32,
+    ext: Option<u32>,
+}
+
+impl OpRead {
+    fn take(&mut self, width: u32) -> u32 {
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let v = (self.bits >> self.used) & mask;
+        self.used += width;
+        v
+    }
+
+    fn take_signed(&mut self, width: u32) -> i32 {
+        let raw = self.take(width);
+        // Sign-extend.
+        let shift = 32 - width;
+        ((raw << shift) as i32) >> shift
+    }
+}
+
+/// Signed value fits in `width` bits?
+fn fits_signed(v: i64, width: u32) -> bool {
+    let lo = -(1i64 << (width - 1));
+    let hi = (1i64 << (width - 1)) - 1;
+    (lo..=hi).contains(&v)
+}
+
+/// Unsigned value fits in `width` bits?
+fn fits_unsigned(v: u32, width: u32) -> bool {
+    width >= 32 || u64::from(v) < (1u64 << width)
+}
+
+// ---------------------------------------------------------------------
+// Field encodings
+// ---------------------------------------------------------------------
+
+const OP_INT_BIN: u32 = 0;
+const OP_INT_CMP: u32 = 1;
+const OP_INT_MOVI: u32 = 2;
+const OP_INT_MOV: u32 = 3;
+const OP_INT_NEG: u32 = 4;
+const OP_INT_NOT: u32 = 5;
+const OP_FP_BIN: u32 = 6;
+const OP_FP_MAC: u32 = 7;
+const OP_FP_CMP: u32 = 8;
+const OP_FP_MOVI: u32 = 9;
+const OP_FP_MOV: u32 = 10;
+const OP_FP_NEG: u32 = 11;
+const OP_FP_ITOF: u32 = 12;
+const OP_FP_FTOI: u32 = 13;
+const OP_ADDR_LEA: u32 = 14;
+const OP_ADDR_ADDIDX: u32 = 15;
+const OP_ADDR_ADDIMM: u32 = 16;
+const OP_ADDR_MOV: u32 = 17;
+const OP_ADDR_TOINT: u32 = 18;
+const OP_ADDR_FROMINT: u32 = 19;
+const OP_MEM_LOAD: u32 = 20;
+const OP_MEM_STORE: u32 = 21;
+const OP_PCU_JUMP: u32 = 22;
+const OP_PCU_BNZ: u32 = 23;
+const OP_PCU_BZ: u32 = 24;
+const OP_PCU_CALL: u32 = 25;
+const OP_PCU_RET: u32 = 26;
+const OP_PCU_HALT: u32 = 27;
+
+fn int_bin_code(k: IntBinKind) -> u32 {
+    match k {
+        IntBinKind::Add => 0,
+        IntBinKind::Sub => 1,
+        IntBinKind::Mul => 2,
+        IntBinKind::Div => 3,
+        IntBinKind::Rem => 4,
+        IntBinKind::And => 5,
+        IntBinKind::Or => 6,
+        IntBinKind::Xor => 7,
+        IntBinKind::Shl => 8,
+        IntBinKind::Shr => 9,
+    }
+}
+
+fn int_bin_kind(code: u32) -> Option<IntBinKind> {
+    Some(match code {
+        0 => IntBinKind::Add,
+        1 => IntBinKind::Sub,
+        2 => IntBinKind::Mul,
+        3 => IntBinKind::Div,
+        4 => IntBinKind::Rem,
+        5 => IntBinKind::And,
+        6 => IntBinKind::Or,
+        7 => IntBinKind::Xor,
+        8 => IntBinKind::Shl,
+        9 => IntBinKind::Shr,
+        _ => return None,
+    })
+}
+
+fn cmp_code(k: CmpKind) -> u32 {
+    match k {
+        CmpKind::Eq => 0,
+        CmpKind::Ne => 1,
+        CmpKind::Lt => 2,
+        CmpKind::Le => 3,
+        CmpKind::Gt => 4,
+        CmpKind::Ge => 5,
+    }
+}
+
+fn cmp_kind(code: u32) -> Option<CmpKind> {
+    Some(match code {
+        0 => CmpKind::Eq,
+        1 => CmpKind::Ne,
+        2 => CmpKind::Lt,
+        3 => CmpKind::Le,
+        4 => CmpKind::Gt,
+        5 => CmpKind::Ge,
+        _ => return None,
+    })
+}
+
+fn fp_bin_code(k: FpBinKind) -> u32 {
+    match k {
+        FpBinKind::Add => 0,
+        FpBinKind::Sub => 1,
+        FpBinKind::Mul => 2,
+        FpBinKind::Div => 3,
+    }
+}
+
+fn fp_bin_kind(code: u32) -> FpBinKind {
+    match code & 3 {
+        0 => FpBinKind::Add,
+        1 => FpBinKind::Sub,
+        2 => FpBinKind::Mul,
+        _ => FpBinKind::Div,
+    }
+}
+
+fn reg_code(r: Reg) -> u32 {
+    let class = match r.class() {
+        RegClass::Addr => 0,
+        RegClass::Int => 1,
+        RegClass::Float => 2,
+    };
+    class << 5 | r.index() as u32
+}
+
+fn reg_from(code: u32) -> Option<Reg> {
+    let idx = (code & 31) as u8;
+    Some(match code >> 5 {
+        0 => Reg::Addr(AReg(idx)),
+        1 => Reg::Int(IReg(idx)),
+        2 => Reg::Float(FReg(idx)),
+        _ => return None,
+    })
+}
+
+/// Encode an immediate: returns `(mode_bit, inline_value)` and stashes
+/// an extension word when it does not fit.
+fn encode_imm_signed(w: &mut OpWord, v: i32, inline_width: u32) {
+    if fits_signed(i64::from(v), inline_width) {
+        w.push(0, 1);
+        w.push_signed(v, inline_width);
+    } else {
+        w.push(1, 1);
+        w.push(0, inline_width);
+        w.ext = Some(v as u32);
+    }
+}
+
+fn decode_imm_signed(r: &mut OpRead, inline_width: u32) -> i32 {
+    let ext = r.take(1) == 1;
+    let inline = r.take_signed(inline_width);
+    if ext {
+        r.ext.take().map_or(inline, |w| w as i32)
+    } else {
+        inline
+    }
+}
+
+fn encode_imm_unsigned(w: &mut OpWord, v: u32, inline_width: u32) {
+    if fits_unsigned(v, inline_width) {
+        w.push(0, 1);
+        w.push(v, inline_width);
+    } else {
+        w.push(1, 1);
+        w.push(0, inline_width);
+        w.ext = Some(v);
+    }
+}
+
+fn decode_imm_unsigned(r: &mut OpRead, inline_width: u32) -> u32 {
+    let ext = r.take(1) == 1;
+    let inline = r.take(inline_width);
+    if ext {
+        r.ext.take().unwrap_or(inline)
+    } else {
+        inline
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-op encoding
+// ---------------------------------------------------------------------
+
+fn encode_int(op: &IntOp) -> OpWord {
+    let mut w = OpWord::default();
+    match *op {
+        IntOp::Bin { kind, dst, lhs, rhs } => {
+            w.push(OP_INT_BIN, 5);
+            w.push(int_bin_code(kind), 4);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(lhs.0), 5);
+            match rhs {
+                IntOperand::Reg(r) => {
+                    w.push(0, 1);
+                    w.push(u32::from(r.0), 5);
+                }
+                IntOperand::Imm(v) => {
+                    w.push(1, 1);
+                    encode_imm_signed(&mut w, v, 11);
+                }
+            }
+        }
+        IntOp::Cmp { kind, dst, lhs, rhs } => {
+            w.push(OP_INT_CMP, 5);
+            w.push(cmp_code(kind), 3);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(lhs.0), 5);
+            match rhs {
+                IntOperand::Reg(r) => {
+                    w.push(0, 1);
+                    w.push(u32::from(r.0), 5);
+                }
+                IntOperand::Imm(v) => {
+                    w.push(1, 1);
+                    encode_imm_signed(&mut w, v, 12);
+                }
+            }
+        }
+        IntOp::MovImm { dst, imm } => {
+            w.push(OP_INT_MOVI, 5);
+            w.push(u32::from(dst.0), 5);
+            encode_imm_signed(&mut w, imm, 21);
+        }
+        IntOp::Mov { dst, src } => {
+            w.push(OP_INT_MOV, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(src.0), 5);
+        }
+        IntOp::Neg { dst, src } => {
+            w.push(OP_INT_NEG, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(src.0), 5);
+        }
+        IntOp::Not { dst, src } => {
+            w.push(OP_INT_NOT, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(src.0), 5);
+        }
+    }
+    w
+}
+
+fn decode_int(r: &mut OpRead, opcode: u32) -> Option<IntOp> {
+    Some(match opcode {
+        OP_INT_BIN => {
+            let kind = int_bin_kind(r.take(4))?;
+            let dst = IReg(r.take(5) as u8);
+            let lhs = IReg(r.take(5) as u8);
+            let rhs = if r.take(1) == 0 {
+                IntOperand::Reg(IReg(r.take(5) as u8))
+            } else {
+                IntOperand::Imm(decode_imm_signed(r, 11))
+            };
+            IntOp::Bin { kind, dst, lhs, rhs }
+        }
+        OP_INT_CMP => {
+            let kind = cmp_kind(r.take(3))?;
+            let dst = IReg(r.take(5) as u8);
+            let lhs = IReg(r.take(5) as u8);
+            let rhs = if r.take(1) == 0 {
+                IntOperand::Reg(IReg(r.take(5) as u8))
+            } else {
+                IntOperand::Imm(decode_imm_signed(r, 12))
+            };
+            IntOp::Cmp { kind, dst, lhs, rhs }
+        }
+        OP_INT_MOVI => {
+            let dst = IReg(r.take(5) as u8);
+            let imm = decode_imm_signed(r, 21);
+            IntOp::MovImm { dst, imm }
+        }
+        OP_INT_MOV => IntOp::Mov {
+            dst: IReg(r.take(5) as u8),
+            src: IReg(r.take(5) as u8),
+        },
+        OP_INT_NEG => IntOp::Neg {
+            dst: IReg(r.take(5) as u8),
+            src: IReg(r.take(5) as u8),
+        },
+        OP_INT_NOT => IntOp::Not {
+            dst: IReg(r.take(5) as u8),
+            src: IReg(r.take(5) as u8),
+        },
+        _ => return None,
+    })
+}
+
+fn encode_fp(op: &FpOp) -> OpWord {
+    let mut w = OpWord::default();
+    match *op {
+        FpOp::Bin { kind, dst, lhs, rhs } => {
+            w.push(OP_FP_BIN, 5);
+            w.push(fp_bin_code(kind), 2);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(lhs.0), 5);
+            w.push(u32::from(rhs.0), 5);
+        }
+        FpOp::Mac { dst, a, b } => {
+            w.push(OP_FP_MAC, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(a.0), 5);
+            w.push(u32::from(b.0), 5);
+        }
+        FpOp::Cmp { kind, dst, lhs, rhs } => {
+            w.push(OP_FP_CMP, 5);
+            w.push(cmp_code(kind), 3);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(lhs.0), 5);
+            w.push(u32::from(rhs.0), 5);
+        }
+        FpOp::MovImm { dst, imm } => {
+            w.push(OP_FP_MOVI, 5);
+            w.push(u32::from(dst.0), 5);
+            // Floats always travel in the extension word.
+            w.ext = Some(imm.to_bits());
+        }
+        FpOp::Mov { dst, src } => {
+            w.push(OP_FP_MOV, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(src.0), 5);
+        }
+        FpOp::Neg { dst, src } => {
+            w.push(OP_FP_NEG, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(src.0), 5);
+        }
+        FpOp::CvtItoF { dst, src } => {
+            w.push(OP_FP_ITOF, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(src.0), 5);
+        }
+        FpOp::CvtFtoI { dst, src } => {
+            w.push(OP_FP_FTOI, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(src.0), 5);
+        }
+    }
+    w
+}
+
+fn decode_fp(r: &mut OpRead, opcode: u32) -> Option<FpOp> {
+    Some(match opcode {
+        OP_FP_BIN => FpOp::Bin {
+            kind: fp_bin_kind(r.take(2)),
+            dst: FReg(r.take(5) as u8),
+            lhs: FReg(r.take(5) as u8),
+            rhs: FReg(r.take(5) as u8),
+        },
+        OP_FP_MAC => FpOp::Mac {
+            dst: FReg(r.take(5) as u8),
+            a: FReg(r.take(5) as u8),
+            b: FReg(r.take(5) as u8),
+        },
+        OP_FP_CMP => FpOp::Cmp {
+            kind: cmp_kind(r.take(3))?,
+            dst: IReg(r.take(5) as u8),
+            lhs: FReg(r.take(5) as u8),
+            rhs: FReg(r.take(5) as u8),
+        },
+        OP_FP_MOVI => FpOp::MovImm {
+            dst: FReg(r.take(5) as u8),
+            imm: f32::from_bits(r.ext.take()?),
+        },
+        OP_FP_MOV => FpOp::Mov {
+            dst: FReg(r.take(5) as u8),
+            src: FReg(r.take(5) as u8),
+        },
+        OP_FP_NEG => FpOp::Neg {
+            dst: FReg(r.take(5) as u8),
+            src: FReg(r.take(5) as u8),
+        },
+        OP_FP_ITOF => FpOp::CvtItoF {
+            dst: FReg(r.take(5) as u8),
+            src: IReg(r.take(5) as u8),
+        },
+        OP_FP_FTOI => FpOp::CvtFtoI {
+            dst: IReg(r.take(5) as u8),
+            src: FReg(r.take(5) as u8),
+        },
+        _ => return None,
+    })
+}
+
+fn encode_addr(op: &AddrOp) -> OpWord {
+    let mut w = OpWord::default();
+    match *op {
+        AddrOp::Lea { dst, addr } => {
+            w.push(OP_ADDR_LEA, 5);
+            w.push(u32::from(dst.0), 5);
+            encode_imm_unsigned(&mut w, addr, 21);
+        }
+        AddrOp::AddIndex { dst, base, index } => {
+            w.push(OP_ADDR_ADDIDX, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(base.0), 5);
+            w.push(u32::from(index.0), 5);
+        }
+        AddrOp::AddImm { dst, base, imm } => {
+            w.push(OP_ADDR_ADDIMM, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(base.0), 5);
+            encode_imm_signed(&mut w, imm, 16);
+        }
+        AddrOp::Mov { dst, src } => {
+            w.push(OP_ADDR_MOV, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(src.0), 5);
+        }
+        AddrOp::ToInt { dst, src } => {
+            w.push(OP_ADDR_TOINT, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(src.0), 5);
+        }
+        AddrOp::FromInt { dst, src } => {
+            w.push(OP_ADDR_FROMINT, 5);
+            w.push(u32::from(dst.0), 5);
+            w.push(u32::from(src.0), 5);
+        }
+    }
+    w
+}
+
+fn decode_addr(r: &mut OpRead, opcode: u32) -> Option<AddrOp> {
+    Some(match opcode {
+        OP_ADDR_LEA => AddrOp::Lea {
+            dst: AReg(r.take(5) as u8),
+            addr: decode_imm_unsigned(r, 21),
+        },
+        OP_ADDR_ADDIDX => AddrOp::AddIndex {
+            dst: AReg(r.take(5) as u8),
+            base: AReg(r.take(5) as u8),
+            index: IReg(r.take(5) as u8),
+        },
+        OP_ADDR_ADDIMM => AddrOp::AddImm {
+            dst: AReg(r.take(5) as u8),
+            base: AReg(r.take(5) as u8),
+            imm: decode_imm_signed(r, 16),
+        },
+        OP_ADDR_MOV => AddrOp::Mov {
+            dst: AReg(r.take(5) as u8),
+            src: AReg(r.take(5) as u8),
+        },
+        OP_ADDR_TOINT => AddrOp::ToInt {
+            dst: IReg(r.take(5) as u8),
+            src: AReg(r.take(5) as u8),
+        },
+        OP_ADDR_FROMINT => AddrOp::FromInt {
+            dst: AReg(r.take(5) as u8),
+            src: IReg(r.take(5) as u8),
+        },
+        _ => return None,
+    })
+}
+
+fn encode_mem(op: &MemOp) -> OpWord {
+    let mut w = OpWord::default();
+    let (code, reg, addr, bank) = match *op {
+        MemOp::Load { dst, addr, bank } => (OP_MEM_LOAD, dst, addr, bank),
+        MemOp::Store { src, addr, bank } => (OP_MEM_STORE, src, addr, bank),
+    };
+    w.push(code, 5);
+    w.push(reg_code(reg), 7);
+    w.push(u32::from(bank == Bank::Y), 1);
+    match addr {
+        MemAddr::Absolute(a) => {
+            w.push(0, 2);
+            encode_imm_unsigned(&mut w, a, 16);
+        }
+        MemAddr::Base { base, offset } => {
+            w.push(1, 2);
+            w.push(u32::from(base.0), 5);
+            encode_imm_signed(&mut w, offset, 11);
+        }
+        MemAddr::AbsIndex { addr, index } => {
+            w.push(2, 2);
+            w.push(u32::from(index.0), 5);
+            encode_imm_signed(&mut w, addr, 11);
+        }
+        MemAddr::BaseIndex {
+            base,
+            index,
+            offset,
+        } => {
+            w.push(3, 2);
+            w.push(u32::from(base.0), 5);
+            w.push(u32::from(index.0), 5);
+            encode_imm_signed(&mut w, offset, 6);
+        }
+    }
+    w
+}
+
+fn decode_mem(r: &mut OpRead, opcode: u32) -> Option<MemOp> {
+    let reg = reg_from(r.take(7))?;
+    let bank = if r.take(1) == 1 { Bank::Y } else { Bank::X };
+    let addr = match r.take(2) {
+        0 => MemAddr::Absolute(decode_imm_unsigned(r, 16)),
+        1 => MemAddr::Base {
+            base: AReg(r.take(5) as u8),
+            offset: decode_imm_signed(r, 11),
+        },
+        2 => {
+            let index = IReg(r.take(5) as u8);
+            MemAddr::AbsIndex {
+                addr: decode_imm_signed(r, 11),
+                index,
+            }
+        }
+        _ => MemAddr::BaseIndex {
+            base: AReg(r.take(5) as u8),
+            index: IReg(r.take(5) as u8),
+            offset: decode_imm_signed(r, 6),
+        },
+    };
+    Some(match opcode {
+        OP_MEM_LOAD => MemOp::Load {
+            dst: reg,
+            addr,
+            bank,
+        },
+        OP_MEM_STORE => MemOp::Store {
+            src: reg,
+            addr,
+            bank,
+        },
+        _ => return None,
+    })
+}
+
+fn encode_pcu(op: &PcuOp) -> OpWord {
+    let mut w = OpWord::default();
+    match *op {
+        PcuOp::Jump(t) => {
+            w.push(OP_PCU_JUMP, 5);
+            encode_imm_unsigned(&mut w, t.0, 22);
+        }
+        PcuOp::BranchNz { cond, target } => {
+            w.push(OP_PCU_BNZ, 5);
+            w.push(u32::from(cond.0), 5);
+            encode_imm_unsigned(&mut w, target.0, 17);
+        }
+        PcuOp::BranchZ { cond, target } => {
+            w.push(OP_PCU_BZ, 5);
+            w.push(u32::from(cond.0), 5);
+            encode_imm_unsigned(&mut w, target.0, 17);
+        }
+        PcuOp::Call(t) => {
+            w.push(OP_PCU_CALL, 5);
+            encode_imm_unsigned(&mut w, t.0, 22);
+        }
+        PcuOp::Ret => w.push(OP_PCU_RET, 5),
+        PcuOp::Halt => w.push(OP_PCU_HALT, 5),
+    }
+    w
+}
+
+fn decode_pcu(r: &mut OpRead, opcode: u32) -> Option<PcuOp> {
+    Some(match opcode {
+        OP_PCU_JUMP => PcuOp::Jump(InstAddr(decode_imm_unsigned(r, 22))),
+        OP_PCU_BNZ => PcuOp::BranchNz {
+            cond: IReg(r.take(5) as u8),
+            target: InstAddr(decode_imm_unsigned(r, 17)),
+        },
+        OP_PCU_BZ => PcuOp::BranchZ {
+            cond: IReg(r.take(5) as u8),
+            target: InstAddr(decode_imm_unsigned(r, 17)),
+        },
+        OP_PCU_CALL => PcuOp::Call(InstAddr(decode_imm_unsigned(r, 22))),
+        OP_PCU_RET => PcuOp::Ret,
+        OP_PCU_HALT => PcuOp::Halt,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Instruction-level encoding
+// ---------------------------------------------------------------------
+
+/// Encode one instruction, appending its words to `out`. Returns the
+/// number of words written (1 header + occupied slots + extensions).
+pub fn encode_inst(inst: &VliwInst, out: &mut Vec<u32>) -> usize {
+    let slots: [Option<OpWord>; 9] = [
+        inst.pcu.as_ref().map(encode_pcu),
+        inst.mu0.as_ref().map(encode_mem),
+        inst.mu1.as_ref().map(encode_mem),
+        inst.au0.as_ref().map(encode_addr),
+        inst.au1.as_ref().map(encode_addr),
+        inst.du0.as_ref().map(encode_int),
+        inst.du1.as_ref().map(encode_int),
+        inst.fpu0.as_ref().map(encode_fp),
+        inst.fpu1.as_ref().map(encode_fp),
+    ];
+    let mut slot_mask = 0u32;
+    let mut ext_mask = 0u32;
+    for (i, s) in slots.iter().enumerate() {
+        if let Some(w) = s {
+            slot_mask |= 1 << i;
+            if w.ext.is_some() {
+                ext_mask |= 1 << i;
+            }
+        }
+    }
+    let header = slot_mask | (ext_mask << 9);
+    let start = out.len();
+    out.push(header);
+    for s in slots.iter().flatten() {
+        out.push(s.bits);
+        if let Some(e) = s.ext {
+            out.push(e);
+        }
+    }
+    out.len() - start
+}
+
+/// Decode one instruction starting at `words[at]`. Returns the
+/// instruction and the number of words consumed.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation or invalid opcodes.
+pub fn decode_inst(words: &[u32], at: usize) -> Result<(VliwInst, usize), DecodeError> {
+    let header = *words.get(at).ok_or(DecodeError {
+        at,
+        msg: "missing header".into(),
+    })?;
+    let slot_mask = header & 0x1FF;
+    let ext_mask = (header >> 9) & 0x1FF;
+    let mut cursor = at + 1;
+    let mut inst = VliwInst::new();
+    for slot in 0..9u32 {
+        if slot_mask & (1 << slot) == 0 {
+            continue;
+        }
+        let bits = *words.get(cursor).ok_or(DecodeError {
+            at: cursor,
+            msg: "truncated operation word".into(),
+        })?;
+        cursor += 1;
+        let ext = if ext_mask & (1 << slot) != 0 {
+            let e = *words.get(cursor).ok_or(DecodeError {
+                at: cursor,
+                msg: "truncated extension word".into(),
+            })?;
+            cursor += 1;
+            Some(e)
+        } else {
+            None
+        };
+        let mut r = OpRead { bits, used: 0, ext };
+        let opcode = r.take(5);
+        let bad = |what: &str| DecodeError {
+            at: cursor - 1,
+            msg: format!("invalid {what} opcode {opcode} in slot {slot}"),
+        };
+        match slot {
+            0 => inst.pcu = Some(decode_pcu(&mut r, opcode).ok_or_else(|| bad("pcu"))?),
+            1 => inst.mu0 = Some(decode_mem(&mut r, opcode).ok_or_else(|| bad("mem"))?),
+            2 => inst.mu1 = Some(decode_mem(&mut r, opcode).ok_or_else(|| bad("mem"))?),
+            3 => inst.au0 = Some(decode_addr(&mut r, opcode).ok_or_else(|| bad("addr"))?),
+            4 => inst.au1 = Some(decode_addr(&mut r, opcode).ok_or_else(|| bad("addr"))?),
+            5 => inst.du0 = Some(decode_int(&mut r, opcode).ok_or_else(|| bad("int"))?),
+            6 => inst.du1 = Some(decode_int(&mut r, opcode).ok_or_else(|| bad("int"))?),
+            7 => inst.fpu0 = Some(decode_fp(&mut r, opcode).ok_or_else(|| bad("fp"))?),
+            8 => inst.fpu1 = Some(decode_fp(&mut r, opcode).ok_or_else(|| bad("fp"))?),
+            _ => unreachable!("slot range"),
+        }
+    }
+    Ok((inst, cursor - at))
+}
+
+/// Encode a whole instruction stream.
+#[must_use]
+pub fn encode_stream(insts: &[VliwInst]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(insts.len() * 3);
+    for inst in insts {
+        encode_inst(inst, &mut out);
+    }
+    out
+}
+
+/// Decode a whole instruction stream.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on the first malformed instruction.
+pub fn decode_stream(words: &[u32]) -> Result<Vec<VliwInst>, DecodeError> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at < words.len() {
+        let (inst, used) = decode_inst(words, at)?;
+        out.push(inst);
+        at += used;
+    }
+    Ok(out)
+}
+
+impl crate::program::VliwProgram {
+    /// Size of the program's code in 32-bit words under the tight
+    /// binary encoding — an alternative to the cost model's
+    /// "one word per instruction" assumption.
+    #[must_use]
+    pub fn encoded_words(&self) -> u64 {
+        encode_stream(&self.insts).len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insts::VliwInst;
+
+    fn round_trip(inst: &VliwInst) {
+        let mut words = Vec::new();
+        let n = encode_inst(inst, &mut words);
+        assert_eq!(n, words.len());
+        let (decoded, used) = decode_inst(&words, 0).expect("decodes");
+        assert_eq!(used, n);
+        assert_eq!(&decoded, inst, "round trip failed: {words:08x?}");
+    }
+
+    #[test]
+    fn empty_instruction_is_one_word() {
+        let inst = VliwInst::new();
+        let mut words = Vec::new();
+        assert_eq!(encode_inst(&inst, &mut words), 1);
+        round_trip(&inst);
+    }
+
+    #[test]
+    fn full_instruction_round_trips() {
+        let mut inst = VliwInst::new();
+        inst.pcu = Some(PcuOp::BranchNz {
+            cond: IReg(7),
+            target: InstAddr(12345),
+        });
+        inst.mu0 = Some(MemOp::Load {
+            dst: Reg::Float(FReg(30)),
+            addr: MemAddr::AbsIndex {
+                addr: -3,
+                index: IReg(9),
+            },
+            bank: Bank::X,
+        });
+        inst.mu1 = Some(MemOp::Store {
+            src: Reg::Int(IReg(1)),
+            addr: MemAddr::BaseIndex {
+                base: AReg(31),
+                index: IReg(2),
+                offset: -17,
+            },
+            bank: Bank::Y,
+        });
+        inst.au0 = Some(AddrOp::Lea {
+            dst: AReg(31),
+            addr: 4_000_000_000,
+        });
+        inst.au1 = Some(AddrOp::AddImm {
+            dst: AReg(30),
+            base: AReg(30),
+            imm: -40_000,
+        });
+        inst.du0 = Some(IntOp::Bin {
+            kind: IntBinKind::Shr,
+            dst: IReg(31),
+            lhs: IReg(0),
+            rhs: IntOperand::Imm(-1024),
+        });
+        inst.du1 = Some(IntOp::MovImm {
+            dst: IReg(15),
+            imm: i32::MIN,
+        });
+        inst.fpu0 = Some(FpOp::Mac {
+            dst: FReg(9),
+            a: FReg(10),
+            b: FReg(11),
+        });
+        inst.fpu1 = Some(FpOp::MovImm {
+            dst: FReg(0),
+            imm: -0.0,
+        });
+        round_trip(&inst);
+    }
+
+    #[test]
+    fn immediates_at_inline_boundaries() {
+        for imm in [
+            0,
+            1,
+            -1,
+            1023,
+            1024,
+            -1024,
+            -1025,
+            (1 << 20) - 1,
+            1 << 20,
+            i32::MAX,
+            i32::MIN,
+        ] {
+            let mut inst = VliwInst::new();
+            inst.du0 = Some(IntOp::MovImm {
+                dst: IReg(3),
+                imm,
+            });
+            inst.du1 = Some(IntOp::Bin {
+                kind: IntBinKind::Add,
+                dst: IReg(4),
+                lhs: IReg(5),
+                rhs: IntOperand::Imm(imm),
+            });
+            round_trip(&inst);
+        }
+    }
+
+    #[test]
+    fn float_bit_patterns_survive() {
+        for bits in [0u32, 0x8000_0000, 0x7FC0_0001, 0xFF80_0000, 0x3F80_0000] {
+            let mut inst = VliwInst::new();
+            inst.fpu0 = Some(FpOp::MovImm {
+                dst: FReg(1),
+                imm: f32::from_bits(bits),
+            });
+            let mut words = Vec::new();
+            encode_inst(&inst, &mut words);
+            let (decoded, _) = decode_inst(&words, 0).unwrap();
+            let Some(FpOp::MovImm { imm, .. }) = decoded.fpu0 else {
+                panic!("wrong decode");
+            };
+            assert_eq!(imm.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn every_pcu_form_round_trips() {
+        for op in [
+            PcuOp::Jump(InstAddr(0)),
+            PcuOp::Jump(InstAddr(u32::MAX)),
+            PcuOp::BranchZ {
+                cond: IReg(31),
+                target: InstAddr(1 << 20),
+            },
+            PcuOp::Call(InstAddr(77)),
+            PcuOp::Ret,
+            PcuOp::Halt,
+        ] {
+            let mut inst = VliwInst::new();
+            inst.pcu = Some(op);
+            round_trip(&inst);
+        }
+    }
+
+    #[test]
+    fn stream_round_trips_and_is_compact() {
+        let mut a = VliwInst::new();
+        a.du0 = Some(IntOp::MovImm {
+            dst: IReg(1),
+            imm: 5,
+        });
+        let mut b = VliwInst::new();
+        b.pcu = Some(PcuOp::Halt);
+        b.mu0 = Some(MemOp::Load {
+            dst: Reg::Int(IReg(2)),
+            addr: MemAddr::Absolute(10),
+            bank: Bank::X,
+        });
+        let insts = vec![a, b, VliwInst::new()];
+        let words = encode_stream(&insts);
+        // 1+1, 1+2, 1 words.
+        assert_eq!(words.len(), 6);
+        assert_eq!(decode_stream(&words).unwrap(), insts);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut inst = VliwInst::new();
+        inst.du0 = Some(IntOp::MovImm {
+            dst: IReg(1),
+            imm: 5,
+        });
+        let mut words = Vec::new();
+        encode_inst(&inst, &mut words);
+        words.pop();
+        assert!(decode_stream(&words).is_err());
+    }
+}

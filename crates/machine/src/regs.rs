@@ -1,0 +1,195 @@
+//! Physical register files.
+//!
+//! The model architecture has three register files of 32 registers each
+//! (Figure 2 of the paper): an address register file used by the address
+//! units and memory units, an integer register file used by the data
+//! units, and a floating-point register file used by the FPUs.
+//!
+//! Unlike the Motorola DSP56001 (where bank X data must flow through the
+//! X0/X1 registers and bank Y data through Y0/Y1), this architecture
+//! places **no restrictions** on which registers may hold data from which
+//! bank. The paper relies on this orthogonality to decouple register
+//! allocation from data partitioning (§2).
+
+/// Number of registers in each of the three register files.
+pub const NUM_REGS_PER_FILE: usize = 32;
+
+macro_rules! reg_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u8);
+
+        impl $name {
+            /// The register's index within its file.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+reg_newtype!(
+    /// An address register (file of 32), read by the address units and used
+    /// as base registers by the memory units.
+    AReg,
+    "a"
+);
+reg_newtype!(
+    /// An integer register (file of 32), used by the integer data units and
+    /// as the source/destination of integer loads and stores.
+    IReg,
+    "r"
+);
+reg_newtype!(
+    /// A floating-point register (file of 32), used by the FPUs and as the
+    /// source/destination of floating-point loads and stores.
+    FReg,
+    "f"
+);
+
+/// Conventional register assignments used by the compiler runtime model.
+///
+/// The two program stacks of the paper (§3.1, "we allocate two program
+/// stacks, one for each memory bank, each with its own stack and frame
+/// pointers") occupy the top four address registers.
+impl AReg {
+    /// Stack pointer for the stack residing in bank X.
+    pub const SP_X: AReg = AReg(31);
+    /// Stack pointer for the stack residing in bank Y.
+    pub const SP_Y: AReg = AReg(30);
+    /// First address register available for general allocation.
+    pub const FIRST_ALLOCATABLE: AReg = AReg(0);
+    /// Number of address registers the register allocator may use
+    /// (everything below the reserved stack pointers).
+    pub const NUM_ALLOCATABLE: usize = 30;
+}
+
+/// A register of any class, as stored to / loaded from memory.
+///
+/// Memory operations may move either integer or floating-point registers;
+/// the bank does not care which file the datum comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// An address register.
+    Addr(AReg),
+    /// An integer register.
+    Int(IReg),
+    /// A floating-point register.
+    Float(FReg),
+}
+
+impl Reg {
+    /// The class of this register.
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        match self {
+            Reg::Addr(_) => RegClass::Addr,
+            Reg::Int(_) => RegClass::Int,
+            Reg::Float(_) => RegClass::Float,
+        }
+    }
+
+    /// The register's index within its file.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Reg::Addr(r) => r.index(),
+            Reg::Int(r) => r.index(),
+            Reg::Float(r) => r.index(),
+        }
+    }
+}
+
+impl From<AReg> for Reg {
+    fn from(r: AReg) -> Reg {
+        Reg::Addr(r)
+    }
+}
+
+impl From<IReg> for Reg {
+    fn from(r: IReg) -> Reg {
+        Reg::Int(r)
+    }
+}
+
+impl From<FReg> for Reg {
+    fn from(r: FReg) -> Reg {
+        Reg::Float(r)
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reg::Addr(r) => write!(f, "{r}"),
+            Reg::Int(r) => write!(f, "{r}"),
+            Reg::Float(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// One of the three register files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// The address register file.
+    Addr,
+    /// The integer register file.
+    Int,
+    /// The floating-point register file.
+    Float,
+}
+
+impl RegClass {
+    /// All register classes.
+    pub const ALL: [RegClass; 3] = [RegClass::Addr, RegClass::Int, RegClass::Float];
+}
+
+impl std::fmt::Display for RegClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegClass::Addr => write!(f, "addr"),
+            RegClass::Int => write!(f, "int"),
+            RegClass::Float => write!(f, "float"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AReg(3).to_string(), "a3");
+        assert_eq!(IReg(0).to_string(), "r0");
+        assert_eq!(FReg(31).to_string(), "f31");
+        assert_eq!(Reg::from(IReg(5)).to_string(), "r5");
+    }
+
+    #[test]
+    fn reg_class_round_trip() {
+        assert_eq!(Reg::from(AReg(1)).class(), RegClass::Addr);
+        assert_eq!(Reg::from(IReg(1)).class(), RegClass::Int);
+        assert_eq!(Reg::from(FReg(1)).class(), RegClass::Float);
+    }
+
+    #[test]
+    fn stack_pointers_are_reserved_above_allocatable_range() {
+        assert!(AReg::SP_X.index() >= AReg::NUM_ALLOCATABLE);
+        assert!(AReg::SP_Y.index() >= AReg::NUM_ALLOCATABLE);
+        assert_ne!(AReg::SP_X, AReg::SP_Y);
+    }
+
+    #[test]
+    fn index_matches_raw() {
+        assert_eq!(Reg::from(FReg(9)).index(), 9);
+    }
+}

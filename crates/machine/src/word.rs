@@ -1,0 +1,141 @@
+//! The 32-bit machine word.
+//!
+//! Data memory, registers and immediates all hold 32-bit words. A word has
+//! no inherent type: integer operations view it as a two's-complement
+//! `i32`, floating-point operations as an IEEE-754 `f32`. This mirrors the
+//! model architecture of the paper, whose register files and buses are all
+//! 32 bits wide.
+
+/// A raw 32-bit machine word.
+///
+/// ```
+/// use dsp_machine::Word;
+///
+/// let w = Word::from_i32(-7);
+/// assert_eq!(w.as_i32(), -7);
+///
+/// let f = Word::from_f32(1.5);
+/// assert_eq!(f.as_f32(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Word(pub u32);
+
+impl Word {
+    /// The all-zero word.
+    pub const ZERO: Word = Word(0);
+
+    /// Construct a word from a signed integer.
+    #[must_use]
+    pub fn from_i32(v: i32) -> Word {
+        Word(v as u32)
+    }
+
+    /// Construct a word from a float.
+    #[must_use]
+    pub fn from_f32(v: f32) -> Word {
+        Word(v.to_bits())
+    }
+
+    /// View the word as a signed integer.
+    #[must_use]
+    pub fn as_i32(self) -> i32 {
+        self.0 as i32
+    }
+
+    /// View the word as a float.
+    #[must_use]
+    pub fn as_f32(self) -> f32 {
+        f32::from_bits(self.0)
+    }
+
+    /// True if the word is non-zero (the machine's branch condition).
+    #[must_use]
+    pub fn is_truthy(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl From<i32> for Word {
+    fn from(v: i32) -> Word {
+        Word::from_i32(v)
+    }
+}
+
+impl From<f32> for Word {
+    fn from(v: f32) -> Word {
+        Word::from_f32(v)
+    }
+}
+
+impl std::fmt::Display for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl std::fmt::UpperHex for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl std::fmt::Binary for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl std::fmt::Octal for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        for v in [0, 1, -1, i32::MAX, i32::MIN, 42, -42] {
+            assert_eq!(Word::from_i32(v).as_i32(), v);
+        }
+    }
+
+    #[test]
+    fn float_round_trip() {
+        for v in [0.0f32, 1.0, -1.0, 3.5, -0.25, f32::MAX, f32::MIN_POSITIVE] {
+            assert_eq!(Word::from_f32(v).as_f32(), v);
+        }
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let w = Word::from_f32(f32::NAN);
+        assert!(w.as_f32().is_nan());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Word::ZERO.is_truthy());
+        assert!(Word::from_i32(1).is_truthy());
+        assert!(Word::from_i32(-1).is_truthy());
+        // Negative zero as float is bit pattern 0x8000_0000, which is truthy:
+        // the machine branches on raw bits, as real integer pipelines do.
+        assert!(Word::from_f32(-0.0).is_truthy());
+    }
+
+    #[test]
+    fn display_formats() {
+        let w = Word(0xDEAD_BEEF);
+        assert_eq!(format!("{w}"), "0xdeadbeef");
+        assert_eq!(format!("{w:x}"), "deadbeef");
+        assert_eq!(format!("{w:X}"), "DEADBEEF");
+    }
+}

@@ -1,0 +1,137 @@
+//! Image compression using the Discrete Cosine Transform (paper
+//! `compress`, a5).
+//!
+//! JPEG-style pipeline on 8×8 blocks: separable 2D DCT (two passes of
+//! coefficient-matrix multiplication), uniform quantization with a
+//! standard luminance table, and a run-length count of zero
+//! coefficients. The DCT inner loops pair the pixel block against the
+//! cosine coefficient table — classic partitionable traffic.
+
+use crate::data::{i32_list, pixels, quantize};
+use crate::{Benchmark, Kind};
+
+/// Image width (multiple of 8).
+const W: usize = 32;
+/// Image height (multiple of 8).
+const H: usize = 24;
+
+/// Build the `compress` benchmark.
+#[must_use]
+pub fn compress() -> Benchmark {
+    let img = pixels(401, W * H);
+    // DCT-II coefficient matrix, row-major: c[u*8+x] = s(u) cos((2x+1)uπ/16).
+    let mut dct = Vec::with_capacity(64);
+    for u in 0..8 {
+        let s = if u == 0 {
+            (1.0f32 / 8.0).sqrt()
+        } else {
+            (2.0f32 / 8.0).sqrt()
+        };
+        for x in 0..8 {
+            dct.push(quantize(
+                s * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI / 16.0).cos(),
+            ));
+        }
+    }
+    // JPEG luminance quantization table.
+    let quant: [i32; 64] = [
+        16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40,
+        57, 69, 56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35,
+        55, 64, 81, 104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112,
+        100, 103, 99,
+    ];
+    let blocks = (W / 8) * (H / 8);
+    let source = format!(
+        "int img[{size}] = {{{img}}};
+float dct[64] = {{{dct}}};
+int quant[64] = {{{quant}}};
+float block[64];
+float tmp[64];
+float coef[64];
+int qcoef[{qsize}];
+int zero_runs[{blocks}];
+
+void main() {{
+    int bx; int by; int u; int v; int x; int b;
+    b = 0;
+    for (by = 0; by < {bh}; by++) {{
+        for (bx = 0; bx < {bw}; bx++) {{
+            int px; int py;
+            /* Load the block, level-shifted. */
+            for (py = 0; py < 8; py++)
+                for (px = 0; px < 8; px++)
+                    block[py * 8 + px] =
+                        (float) (img[(by * 8 + py) * {W} + bx * 8 + px] - 128);
+
+            /* Row DCT: tmp = block * dctT. */
+            for (py = 0; py < 8; py++)
+                for (u = 0; u < 8; u++) {{
+                    float acc; acc = 0.0;
+                    for (x = 0; x < 8; x++)
+                        acc += block[py * 8 + x] * dct[u * 8 + x];
+                    tmp[py * 8 + u] = acc;
+                }}
+
+            /* Column DCT: coef = dct * tmp. */
+            for (v = 0; v < 8; v++)
+                for (u = 0; u < 8; u++) {{
+                    float acc; acc = 0.0;
+                    for (x = 0; x < 8; x++)
+                        acc += dct[v * 8 + x] * tmp[x * 8 + u];
+                    coef[v * 8 + u] = acc;
+                }}
+
+            /* Quantize and count zeros. */
+            {{
+                int zeros; zeros = 0;
+                for (u = 0; u < 64; u++) {{
+                    int q;
+                    q = (int) (coef[u] / (float) quant[u]);
+                    qcoef[b * 64 + u] = q;
+                    if (q == 0) zeros++;
+                }}
+                zero_runs[b] = zeros;
+            }}
+            b++;
+        }}
+    }}
+}}
+",
+        size = W * H,
+        qsize = blocks * 64,
+        bw = W / 8,
+        bh = H / 8,
+        img = i32_list(&img),
+        dct = crate::data::f32_list(&dct),
+        quant = i32_list(&quant),
+    );
+    Benchmark {
+        name: "compress".into(),
+        kind: Kind::Application,
+        description: "Image compression using the Discrete Cosine Transform".into(),
+        source,
+        check_globals: vec!["qcoef".into(), "zero_runs".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compress_quantizes_blocks() {
+        let b = compress();
+        let program = dsp_frontend::compile_str(&b.source).unwrap();
+        let mut interp = dsp_ir::Interpreter::new(&program);
+        interp.run().unwrap();
+        let runs: Vec<i32> = interp
+            .global_mem_by_name("zero_runs")
+            .unwrap()
+            .iter()
+            .map(|w| w.as_i32())
+            .collect();
+        // Quantization produces plenty of zeros in every block.
+        assert!(runs.iter().all(|&z| (0..=64).contains(&z)));
+        assert!(runs.iter().sum::<i32>() > 0);
+    }
+}

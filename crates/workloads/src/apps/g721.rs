@@ -1,0 +1,291 @@
+//! CCITT G.721 ADPCM speech codec implementations (paper
+//! `G721MLencode`, `G721MLdecode`, `G721WFencode`; a8–a10).
+//!
+//! G.721 transmits 32 kbit/s ADPCM: a 4-bit adaptive quantizer around
+//! an adaptive predictor with two poles and six zeros. The paper used
+//! two independent implementations ("ML" and "WF") of the encoder plus
+//! the ML decoder, and reports that *none* of them gains from any
+//! memory-bank scheme — every sample is one long serial dependence
+//! chain through scalar state, with table lookups whose addresses
+//! depend on just-computed values.
+//!
+//! The versions here preserve that structure: the ML pair uses a
+//! floating-point signal path, the WF encoder an integer/shift-based
+//! one; all three carry the standard 2-pole/6-zero predictor update.
+
+use crate::data::{i32_list, Lcg};
+use crate::{Benchmark, Kind};
+
+/// Number of speech samples.
+const N: usize = 360;
+
+fn speech_samples(seed: u32) -> Vec<i32> {
+    let mut rng = Lcg::new(seed);
+    (0..N)
+        .map(|i| {
+            let t = i as f64;
+            let v = 5000.0 * (t * 0.11).sin() + 2000.0 * (t * 0.041).cos();
+            (v as i32) + rng.next_range(301) - 150
+        })
+        .collect()
+}
+
+/// The shared predictor/quantizer body of the ML (floating-point)
+/// implementation.
+fn ml_core() -> &'static str {
+    r"
+/* Adaptive predictor state: 2 poles, 6 zeros. */
+float a1; float a2;
+float b[6];
+float dq[6];
+float sr1; float sr2;
+float step;
+
+float predict() {
+    int i; float acc;
+    acc = a1 * sr1 + a2 * sr2;
+    for (i = 0; i < 6; i++)
+        acc += b[i] * dq[i];
+    return acc;
+}
+
+void update(float d, float srv) {
+    int i;
+    /* Zero coefficients: sign-sign LMS. */
+    for (i = 0; i < 6; i++) {
+        float g;
+        if (d * dq[i] >= 0.0) g = 0.005; else g = -0.005;
+        b[i] = b[i] * 0.996 + g;
+        if (b[i] > 2.0) b[i] = 2.0;
+        if (b[i] < -2.0) b[i] = -2.0;
+    }
+    /* Shift the difference delay line. */
+    for (i = 5; i > 0; i--)
+        dq[i] = dq[i - 1];
+    dq[0] = d;
+    /* Pole coefficients, leaky adaptation with stability clamps. */
+    {
+        float g1;
+        if (srv * sr1 >= 0.0) g1 = 0.006; else g1 = -0.006;
+        a1 = a1 * 0.994 + g1;
+        if (a1 > 0.9) a1 = 0.9;
+        if (a1 < -0.9) a1 = -0.9;
+        if (srv * sr2 >= 0.0) a2 = a2 * 0.994 + 0.002;
+        else a2 = a2 * 0.994 - 0.002;
+        if (a2 > 0.75 - a1) a2 = 0.75 - a1;
+        if (a2 < -0.75) a2 = -0.75;
+    }
+    sr2 = sr1;
+    sr1 = srv;
+    /* Step-size adaptation. */
+    if (d < 0.0) d = -d;
+    if (d > step) step = step * 1.05 + 8.0;
+    else step = step * 0.98 + 1.0;
+    if (step < 16.0) step = 16.0;
+    if (step > 8000.0) step = 8000.0;
+}
+"
+}
+
+/// Build the `G721MLencode` benchmark.
+#[must_use]
+pub fn g721_ml_encode() -> Benchmark {
+    let speech = speech_samples(801);
+    let source = format!(
+        "int speech[{N}] = {{{speech}}};
+int code[{N}];
+{core}
+void main() {{
+    int n;
+    a1 = 0.0; a2 = 0.0; sr1 = 0.0; sr2 = 0.0; step = 32.0;
+    for (n = 0; n < {N}; n++) {{
+        float se; float d; float dqv; int i; int sign;
+        se = predict();
+        d = (float) speech[n] - se;
+        if (d < 0.0) {{ sign = 8; d = -d; }} else sign = 0;
+        /* 3-bit magnitude quantization against the adaptive step. */
+        i = 0;
+        if (d >= step) {{ i = i | 4; d -= step; }}
+        if (d >= step / 2.0) {{ i = i | 2; d -= step / 2.0; }}
+        if (d >= step / 4.0) i = i | 1;
+        code[n] = sign | i;
+        /* Inverse quantizer and state update. */
+        dqv = step * ((float) i / 4.0 + 0.125);
+        if (sign) dqv = -dqv;
+        update(dqv, se + dqv);
+    }}
+}}
+",
+        speech = i32_list(&speech),
+        core = ml_core(),
+    );
+    Benchmark {
+        name: "G721MLencode".into(),
+        kind: Kind::Application,
+        description: "CCITT G.721 ADPCM speech encoder (ML implementation)".into(),
+        source,
+        check_globals: vec!["code".into()],
+    }
+}
+
+/// Build the `G721MLdecode` benchmark: decodes the ML encoder's output
+/// (generated offline by the same algorithm).
+#[must_use]
+pub fn g721_ml_decode() -> Benchmark {
+    // Deterministic 4-bit code stream resembling encoder output.
+    let mut rng = Lcg::new(803);
+    let codes: Vec<i32> = (0..N).map(|_| rng.next_range(16)).collect();
+    let source = format!(
+        "int code[{N}] = {{{codes}}};
+int pcm[{N}];
+{core}
+void main() {{
+    int n;
+    a1 = 0.0; a2 = 0.0; sr1 = 0.0; sr2 = 0.0; step = 32.0;
+    for (n = 0; n < {N}; n++) {{
+        float se; float dqv; float srv; int c; int mag;
+        se = predict();
+        c = code[n];
+        mag = c & 7;
+        dqv = step * ((float) mag / 4.0 + 0.125);
+        if (c & 8) dqv = -dqv;
+        srv = se + dqv;
+        if (srv > 32767.0) srv = 32767.0;
+        if (srv < -32768.0) srv = -32768.0;
+        pcm[n] = (int) srv;
+        update(dqv, srv);
+    }}
+}}
+",
+        codes = i32_list(&codes),
+        core = ml_core(),
+    );
+    Benchmark {
+        name: "G721MLdecode".into(),
+        kind: Kind::Application,
+        description: "CCITT G.721 ADPCM speech decoder (ML implementation)".into(),
+        source,
+        check_globals: vec!["pcm".into()],
+    }
+}
+
+/// Build the `G721WFencode` benchmark: an independent, integer
+/// (shift/compare) implementation of the same encoder.
+#[must_use]
+pub fn g721_wf_encode() -> Benchmark {
+    let speech = speech_samples(805);
+    let source = format!(
+        "int speech[{N}] = {{{speech}}};
+int code[{N}];
+int wb[6];
+int wdq[6];
+int wa1; int wa2; int wsr1; int wsr2; int wstep;
+
+int wpredict() {{
+    int i; int acc;
+    acc = (wa1 * wsr1 + wa2 * wsr2) >> 7;
+    for (i = 0; i < 6; i++)
+        acc += (wb[i] * wdq[i]) >> 7;
+    return acc;
+}}
+
+void main() {{
+    int n; int i;
+    wa1 = 0; wa2 = 0; wsr1 = 0; wsr2 = 0; wstep = 32;
+    for (n = 0; n < {N}; n++) {{
+        int se; int d; int sign; int mag; int dqv; int srv;
+        se = wpredict();
+        d = speech[n] - se;
+        if (d < 0) {{ sign = 8; d = -d; }} else sign = 0;
+        mag = 0;
+        if (d >= wstep) {{ mag = mag | 4; d -= wstep; }}
+        if (d >= wstep >> 1) {{ mag = mag | 2; d -= wstep >> 1; }}
+        if (d >= wstep >> 2) mag = mag | 1;
+        code[n] = sign | mag;
+        dqv = (wstep * mag) >> 2;
+        dqv = dqv + (wstep >> 3);
+        if (sign) dqv = -dqv;
+        srv = se + dqv;
+        /* Sign-sign LMS on the zeros. */
+        for (i = 0; i < 6; i++) {{
+            int up;
+            if (dqv >= 0) {{ if (wdq[i] >= 0) up = 1; else up = -1; }}
+            else {{ if (wdq[i] >= 0) up = -1; else up = 1; }}
+            wb[i] = wb[i] - (wb[i] >> 8) + up;
+            if (wb[i] > 256) wb[i] = 256;
+            if (wb[i] < -256) wb[i] = -256;
+        }}
+        for (i = 5; i > 0; i--)
+            wdq[i] = wdq[i - 1];
+        wdq[0] = dqv;
+        /* Poles. */
+        if (srv >= 0) {{ if (wsr1 >= 0) wa1 = wa1 - (wa1 >> 7) + 1;
+                         else wa1 = wa1 - (wa1 >> 7) - 1; }}
+        else {{ if (wsr1 >= 0) wa1 = wa1 - (wa1 >> 7) - 1;
+                else wa1 = wa1 - (wa1 >> 7) + 1; }}
+        if (wa1 > 116) wa1 = 116;
+        if (wa1 < -116) wa1 = -116;
+        if (srv >= 0) {{ if (wsr2 >= 0) wa2 = wa2 - (wa2 >> 7) + 1;
+                         else wa2 = wa2 - (wa2 >> 7) - 1; }}
+        else {{ if (wsr2 >= 0) wa2 = wa2 - (wa2 >> 7) - 1;
+                else wa2 = wa2 - (wa2 >> 7) + 1; }}
+        if (wa2 > 96) wa2 = 96;
+        if (wa2 < -96) wa2 = -96;
+        wsr2 = wsr1;
+        wsr1 = srv;
+        /* Step adaptation. */
+        if (mag >= 4) wstep = wstep + (wstep >> 4) + 8;
+        else wstep = wstep - (wstep >> 5) + 1;
+        if (wstep < 16) wstep = 16;
+        if (wstep > 8192) wstep = 8192;
+    }}
+}}
+",
+        speech = i32_list(&speech),
+    );
+    Benchmark {
+        name: "G721WFencode".into(),
+        kind: Kind::Application,
+        description: "CCITT G.721 ADPCM speech encoder (WF implementation)".into(),
+        source,
+        check_globals: vec!["code".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(b: &Benchmark, out: &str) -> Vec<i32> {
+        let program = dsp_frontend::compile_str(&b.source)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let mut interp = dsp_ir::Interpreter::new(&program);
+        interp.run().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        interp
+            .global_mem_by_name(out)
+            .unwrap()
+            .iter()
+            .map(|w| w.as_i32())
+            .collect()
+    }
+
+    #[test]
+    fn ml_encoder_produces_four_bit_codes() {
+        let codes = run(&g721_ml_encode(), "code");
+        assert!(codes.iter().all(|&c| (0..16).contains(&c)));
+        assert!(codes.iter().any(|&c| c != 0));
+    }
+
+    #[test]
+    fn ml_decoder_produces_bounded_pcm() {
+        let pcm = run(&g721_ml_decode(), "pcm");
+        assert!(pcm.iter().all(|&v| (-32768..=32767).contains(&v)));
+    }
+
+    #[test]
+    fn wf_encoder_produces_four_bit_codes() {
+        let codes = run(&g721_wf_encode(), "code");
+        assert!(codes.iter().all(|&c| (0..16).contains(&c)));
+        assert!(codes.iter().any(|&c| c != 0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Image enhancement using histogram equalization (paper `histogram`,
+//! a6).
+//!
+//! Three passes: build the intensity histogram (`hist[img[i]]++` — a
+//! serial load/modify/store chain through a data-dependent address),
+//! scan it into a cumulative distribution, and remap the image through
+//! the resulting lookup table (`lut[img[i]]`, another data-dependent
+//! chain). The paper found this program gains **nothing** from any
+//! scheme — even the dual-ported Ideal — because there simply are no
+//! independent memory-access pairs to exploit.
+
+use crate::data::{i32_list, pixels};
+use crate::{Benchmark, Kind};
+
+/// Image size in pixels.
+const N: usize = 640;
+/// Intensity levels.
+const LEVELS: usize = 256;
+
+/// Build the `histogram` benchmark.
+#[must_use]
+pub fn histogram() -> Benchmark {
+    let img = pixels(501, N);
+    let source = format!(
+        "int img[{N}] = {{{img}}};
+int hist[{LEVELS}];
+int cdf[{LEVELS}];
+int lut[{LEVELS}];
+int out[{N}];
+
+void main() {{
+    int i; int sum; int cdf_min; int denom;
+
+    /* Histogram: serial load-modify-store through img[i]. */
+    for (i = 0; i < {N}; i++)
+        hist[img[i]] += 1;
+
+    /* Cumulative distribution (loop-carried dependence). */
+    sum = 0;
+    for (i = 0; i < {LEVELS}; i++) {{
+        sum += hist[i];
+        cdf[i] = sum;
+    }}
+
+    /* First nonzero CDF entry. */
+    cdf_min = 0;
+    i = 0;
+    while (i < {LEVELS}) {{
+        if (cdf[i] > 0) {{ cdf_min = cdf[i]; i = {LEVELS}; }}
+        else i++;
+    }}
+
+    /* Equalization lookup table. */
+    denom = {N} - cdf_min;
+    if (denom < 1) denom = 1;
+    for (i = 0; i < {LEVELS}; i++) {{
+        int v;
+        v = (cdf[i] - cdf_min) * {lm1} / denom;
+        if (v < 0) v = 0;
+        if (v > {lm1}) v = {lm1};
+        lut[i] = v;
+    }}
+
+    /* Remap the image. */
+    for (i = 0; i < {N}; i++)
+        out[i] = lut[img[i]];
+}}
+",
+        lm1 = LEVELS - 1,
+        img = i32_list(&img),
+    );
+    Benchmark {
+        name: "histogram".into(),
+        kind: Kind::Application,
+        description: "Image enhancement using histogram equalization".into(),
+        source,
+        check_globals: vec!["out".into(), "hist".into(), "lut".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_every_pixel() {
+        let b = histogram();
+        let program = dsp_frontend::compile_str(&b.source).unwrap();
+        let mut interp = dsp_ir::Interpreter::new(&program);
+        interp.run().unwrap();
+        let hist: Vec<i32> = interp
+            .global_mem_by_name("hist")
+            .unwrap()
+            .iter()
+            .map(|w| w.as_i32())
+            .collect();
+        assert_eq!(hist.iter().sum::<i32>(), N as i32);
+        let out: Vec<i32> = interp
+            .global_mem_by_name("out")
+            .unwrap()
+            .iter()
+            .map(|w| w.as_i32())
+            .collect();
+        assert!(out.iter().all(|&v| (0..=255).contains(&v)));
+    }
+}

@@ -1,0 +1,59 @@
+//! The DSP application benchmarks (paper Table 2).
+//!
+//! Eleven complete programs from speech processing, image processing
+//! and data communication, re-implemented in DSP-C from their published
+//! algorithm descriptions. Each preserves the *memory-parallelism
+//! structure* the paper reports for it:
+//!
+//! * `lpc` — dominated by an autocorrelation with a dynamic lag, the
+//!   paper's Figure-6 pattern: partitioning alone barely helps, partial
+//!   duplication nearly reaches the dual-ported ideal;
+//! * `spectral` — same-array butterfly accesses inside a store-heavy
+//!   in-place transform: duplication's bookkeeping stores eat its gain;
+//! * `histogram` and the three `G721*` codecs — serial dependence
+//!   chains and control code: no memory parallelism for *any* scheme;
+//! * `edge_detect` / `compress` — regular image loops whose array pairs
+//!   partition cleanly;
+//! * `adpcm`, `V32encode`, `trellis` — mixtures of control code and
+//!   small parallel loops with modest gains.
+
+mod adpcm;
+mod compress;
+mod edge_detect;
+mod g721;
+mod histogram;
+mod lpc;
+mod spectral;
+mod trellis;
+mod v32;
+
+pub use adpcm::adpcm;
+pub use compress::compress;
+pub use edge_detect::edge_detect;
+pub use g721::{g721_ml_decode, g721_ml_encode, g721_wf_encode};
+pub use histogram::histogram;
+pub use lpc::lpc;
+pub use spectral::spectral;
+pub use trellis::trellis;
+pub use v32::v32encode;
+
+use crate::Benchmark;
+
+/// The eleven applications of Table 2, in the order of Figure 8
+/// (a1 … a11).
+#[must_use]
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        adpcm(),
+        lpc(),
+        spectral(),
+        edge_detect(),
+        compress(),
+        histogram(),
+        v32encode(),
+        g721_ml_encode(),
+        g721_ml_decode(),
+        g721_wf_encode(),
+        trellis(),
+    ]
+}

@@ -1,0 +1,142 @@
+//! Spectral analysis by periodogram averaging (paper `spectral`, a3).
+//!
+//! Welch's method: overlapping segments are windowed, transformed with
+//! an in-place radix-2 FFT, and their squared magnitudes averaged into
+//! a power-spectral-density estimate. The in-place butterflies access
+//! `segre[i]`/`segre[ip]` (and the imaginary twins) — same-array pairs
+//! that partitioning cannot split — **and** store four results per
+//! butterfly, so marking the segment buffers for duplication doubles a
+//! large store stream. That is exactly why the paper found partial
+//! duplication *less* effective than plain CB partitioning here
+//! (Dup 1.06 vs CB 1.09 in Table 3).
+
+use crate::data::{f32_list, quantize, tone_signal};
+use crate::{Benchmark, Kind};
+
+/// Input length.
+const SAMPLES: usize = 192;
+/// Segment (FFT) length; power of two.
+const SEG: usize = 64;
+/// Hop between segments (50 % overlap).
+const HOP: usize = 32;
+
+/// Build the `spectral` benchmark.
+#[must_use]
+pub fn spectral() -> Benchmark {
+    let signal = tone_signal(201, SAMPLES);
+    let window: Vec<f32> = (0..SEG)
+        .map(|i| {
+            quantize(0.5 - 0.5 * (std::f32::consts::TAU * i as f32 / SEG as f32).cos())
+        })
+        .collect();
+    let wr: Vec<f32> = (0..SEG / 2)
+        .map(|i| quantize((std::f32::consts::TAU * i as f32 / SEG as f32).cos()))
+        .collect();
+    let wi: Vec<f32> = (0..SEG / 2)
+        .map(|i| quantize(-(std::f32::consts::TAU * i as f32 / SEG as f32).sin()))
+        .collect();
+    let nseg = (SAMPLES - SEG) / HOP + 1;
+    let log2 = SEG.trailing_zeros();
+    let source = format!(
+        "float signal[{SAMPLES}] = {{{signal}}};
+float window[{SEG}] = {{{window}}};
+float wr[{half}] = {{{wr}}};
+float wi[{half}] = {{{wi}}};
+float segre[{SEG}];
+float segim[{SEG}];
+float psd[{half}];
+
+void main() {{
+    int seg; int i; int j; int k; int stage;
+    int le; int le1; int widx; int wstep; int ip;
+    float tr; float ti; float ur; float ui;
+
+    for (seg = 0; seg < {nseg}; seg++) {{
+        int base; base = seg * {HOP};
+
+        /* Windowed segment, zero imaginary part. */
+        for (i = 0; i < {SEG}; i++) {{
+            segre[i] = signal[base + i] * window[i];
+            segim[i] = 0.0;
+        }}
+
+        /* Bit-reverse permutation. */
+        j = 0;
+        for (i = 0; i < {segm1}; i++) {{
+            if (i < j) {{
+                tr = segre[i]; segre[i] = segre[j]; segre[j] = tr;
+                ti = segim[i]; segim[i] = segim[j]; segim[j] = ti;
+            }}
+            k = {half};
+            while (k <= j) {{ j = j - k; k = k / 2; }}
+            j = j + k;
+        }}
+
+        /* In-place butterflies: same-array accesses at i and i+le1. */
+        le = 1;
+        for (stage = 0; stage < {log2}; stage++) {{
+            le1 = le;
+            le = le * 2;
+            wstep = {SEG} / le;
+            for (j = 0; j < le1; j++) {{
+                widx = j * wstep;
+                ur = wr[widx];
+                ui = wi[widx];
+                for (i = j; i < {SEG}; i += le) {{
+                    ip = i + le1;
+                    tr = ur * segre[ip] - ui * segim[ip];
+                    ti = ur * segim[ip] + ui * segre[ip];
+                    segre[ip] = segre[i] - tr;
+                    segim[ip] = segim[i] - ti;
+                    segre[i] = segre[i] + tr;
+                    segim[i] = segim[i] + ti;
+                }}
+            }}
+        }}
+
+        /* Accumulate the periodogram. */
+        for (k = 0; k < {half}; k++)
+            psd[k] += segre[k] * segre[k] + segim[k] * segim[k];
+    }}
+
+    /* Average. */
+    for (k = 0; k < {half}; k++)
+        psd[k] = psd[k] / {nseg}.0;
+}}
+",
+        half = SEG / 2,
+        segm1 = SEG - 1,
+        signal = f32_list(&signal),
+        window = f32_list(&window),
+        wr = f32_list(&wr),
+        wi = f32_list(&wi),
+    );
+    Benchmark {
+        name: "spectral".into(),
+        kind: Kind::Application,
+        description: "Spectral analysis using periodogram averaging".into(),
+        source,
+        check_globals: vec!["psd".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectral_produces_finite_psd() {
+        let b = spectral();
+        let program = dsp_frontend::compile_str(&b.source).unwrap();
+        let mut interp = dsp_ir::Interpreter::new(&program);
+        interp.run().unwrap();
+        let psd: Vec<f32> = interp
+            .global_mem_by_name("psd")
+            .unwrap()
+            .iter()
+            .map(|w| w.as_f32())
+            .collect();
+        assert!(psd.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(psd.iter().any(|&v| v > 0.0));
+    }
+}

@@ -1,0 +1,190 @@
+//! Trellis (Viterbi) decoder (paper `trellis`, a11).
+//!
+//! Soft-decision Viterbi decoding of the rate-1/2, constraint-length-3
+//! convolutional code (generators 7, 5). The add-compare-select loop
+//! reads the old path metrics and the two branch metrics while writing
+//! the new metrics and survivor bits — traffic the partitioner can
+//! split across the banks for a modest gain (the paper measured 5 %).
+
+use crate::data::{i32_list, Lcg};
+use crate::{Benchmark, Kind};
+
+/// Number of information bits.
+const NBITS: usize = 120;
+/// Trellis states (constraint length 3).
+const STATES: usize = 4;
+
+/// Encode with generators 7 (111) and 5 (101) and add deterministic
+/// "soft" noise, producing 3-bit soft symbols (0 = strong 0, 7 =
+/// strong 1).
+fn encode_soft(bits: &[i32], seed: u32) -> (Vec<i32>, Vec<i32>) {
+    let mut rng = Lcg::new(seed);
+    let mut s1 = 0;
+    let mut s2 = 0;
+    let mut soft0 = Vec::with_capacity(bits.len());
+    let mut soft1 = Vec::with_capacity(bits.len());
+    for &b in bits {
+        let c0 = b ^ s1 ^ s2; // 111
+        let c1 = b ^ s2; // 101
+        s2 = s1;
+        s1 = b;
+        let jitter0 = rng.next_range(3) - 1;
+        let jitter1 = rng.next_range(3) - 1;
+        soft0.push((c0 * 7 + jitter0).clamp(0, 7));
+        soft1.push((c1 * 7 + jitter1).clamp(0, 7));
+    }
+    (soft0, soft1)
+}
+
+/// Build the `trellis` benchmark.
+#[must_use]
+pub fn trellis() -> Benchmark {
+    let info = crate::data::bits(901, NBITS - 2);
+    let mut bits = info;
+    bits.push(0); // tail bits flush the encoder
+    bits.push(0);
+    let (soft0, soft1) = encode_soft(&bits, 903);
+    // Precomputed trellis structure: for each state s, predecessors
+    // p0/p1 and the expected code bits on those transitions.
+    // State = (s1, s2) bits; transition from p on input b: new state
+    // (b, p1_bit).
+    let mut pred0 = [0i32; STATES];
+    let mut pred1 = [0i32; STATES];
+    let mut exp00 = [0i32; STATES]; // expected c0 on pred0 edge
+    let mut exp01 = [0i32; STATES];
+    let mut exp10 = [0i32; STATES];
+    let mut exp11 = [0i32; STATES];
+    for s in 0..STATES {
+        let b = (s >> 1) & 1; // newest bit in state
+        let mut preds = Vec::new();
+        for p in 0..STATES {
+            // from p = (p1, p2), input b -> (b, p1)
+            if (p >> 1) & 1 == s & 1 {
+                preds.push(p);
+            }
+        }
+        assert_eq!(preds.len(), 2);
+        pred0[s] = preds[0] as i32;
+        pred1[s] = preds[1] as i32;
+        for (k, &p) in preds.iter().enumerate() {
+            let p1 = (p >> 1) & 1;
+            let p2 = p & 1;
+            let c0 = (b ^ p1 ^ p2) as i32;
+            let c1 = (b ^ p2) as i32;
+            if k == 0 {
+                exp00[s] = c0;
+                exp01[s] = c1;
+            } else {
+                exp10[s] = c0;
+                exp11[s] = c1;
+            }
+        }
+    }
+    let source = format!(
+        "int soft0[{NBITS}] = {{{soft0}}};
+int soft1[{NBITS}] = {{{soft1}}};
+int pred0[{STATES}] = {{{pred0}}};
+int pred1[{STATES}] = {{{pred1}}};
+int exp00[{STATES}] = {{{exp00}}};
+int exp01[{STATES}] = {{{exp01}}};
+int exp10[{STATES}] = {{{exp10}}};
+int exp11[{STATES}] = {{{exp11}}};
+int pm_old[{STATES}];
+int pm_new[{STATES}];
+int survivor[{surv}];
+int decoded[{NBITS}];
+
+int branch_metric(int soft, int expected) {{
+    if (expected) return 7 - soft;
+    return soft;
+}}
+
+void main() {{
+    int t; int s; int i;
+    pm_old[0] = 0;
+    for (s = 1; s < {STATES}; s++) pm_old[s] = 1000;
+
+    for (t = 0; t < {NBITS}; t++) {{
+        int r0; int r1;
+        r0 = soft0[t];
+        r1 = soft1[t];
+        for (s = 0; s < {STATES}; s++) {{
+            int m0; int m1;
+            m0 = pm_old[pred0[s]]
+               + branch_metric(r0, exp00[s]) + branch_metric(r1, exp01[s]);
+            m1 = pm_old[pred1[s]]
+               + branch_metric(r0, exp10[s]) + branch_metric(r1, exp11[s]);
+            if (m0 <= m1) {{
+                pm_new[s] = m0;
+                survivor[t * {STATES} + s] = pred0[s];
+            }} else {{
+                pm_new[s] = m1;
+                survivor[t * {STATES} + s] = pred1[s];
+            }}
+        }}
+        for (s = 0; s < {STATES}; s++)
+            pm_old[s] = pm_new[s];
+    }}
+
+    /* Traceback from the best final state. */
+    {{
+        int best; int bm; int state;
+        best = 0; bm = pm_old[0];
+        for (s = 1; s < {STATES}; s++)
+            if (pm_old[s] < bm) {{ bm = pm_old[s]; best = s; }}
+        state = best;
+        for (i = {NBITS} - 1; i >= 0; i--) {{
+            decoded[i] = (state >> 1) & 1;
+            state = survivor[i * {STATES} + state];
+        }}
+    }}
+}}
+",
+        surv = NBITS * STATES,
+        soft0 = i32_list(&soft0),
+        soft1 = i32_list(&soft1),
+        pred0 = i32_list(&pred0),
+        pred1 = i32_list(&pred1),
+        exp00 = i32_list(&exp00),
+        exp01 = i32_list(&exp01),
+        exp10 = i32_list(&exp10),
+        exp11 = i32_list(&exp11),
+    );
+    Benchmark {
+        name: "trellis".into(),
+        kind: Kind::Application,
+        description: "Trellis (Viterbi) decoder".into(),
+        source,
+        check_globals: vec!["decoded".into(), "pm_old".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoder_recovers_the_transmitted_bits() {
+        let b = trellis();
+        let program = dsp_frontend::compile_str(&b.source).unwrap();
+        let mut interp = dsp_ir::Interpreter::new(&program);
+        interp.run().unwrap();
+        let decoded: Vec<i32> = interp
+            .global_mem_by_name("decoded")
+            .unwrap()
+            .iter()
+            .map(|w| w.as_i32())
+            .collect();
+        // With the mild jitter used, Viterbi decodes the stream with at
+        // most a few errors.
+        let mut sent = crate::data::bits(901, NBITS - 2);
+        sent.push(0);
+        sent.push(0);
+        let errors: usize = sent
+            .iter()
+            .zip(&decoded)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(errors <= 3, "{errors} bit errors");
+    }
+}

@@ -1,0 +1,179 @@
+//! Deterministic input-data generation for the benchmark programs.
+//!
+//! All benchmarks use fixed seeds so every run — test, bench, or
+//! example — executes exactly the same computation.
+
+/// A small deterministic linear-congruential generator (Numerical
+/// Recipes constants), independent of any external crate so workload
+/// data can never drift.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u32,
+}
+
+impl Lcg {
+    /// Create a generator with the given seed.
+    #[must_use]
+    pub fn new(seed: u32) -> Lcg {
+        Lcg { state: seed }
+    }
+
+    /// Next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self
+            .state
+            .wrapping_mul(1_664_525)
+            .wrapping_add(1_013_904_223);
+        self.state
+    }
+
+    /// Uniform float in `[-1, 1)` with limited precision (so decimal
+    /// formatting round-trips exactly).
+    pub fn next_f32(&mut self) -> f32 {
+        let v = (self.next_u32() >> 16) as i32 - 32_768; // [-32768, 32767]
+        v as f32 / 32_768.0
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_range(&mut self, bound: u32) -> i32 {
+        assert!(bound > 0, "bound must be positive");
+        (self.next_u32() % bound) as i32
+    }
+}
+
+/// Format a float so the DSP-C lexer parses back the identical `f32`.
+#[must_use]
+pub fn fmt_f32(v: f32) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:e}")
+    }
+}
+
+/// Render a float initializer list.
+#[must_use]
+pub fn f32_list(values: &[f32]) -> String {
+    values.iter().map(|&v| fmt_f32(v)).collect::<Vec<_>>().join(", ")
+}
+
+/// Render an int initializer list.
+#[must_use]
+pub fn i32_list(values: &[i32]) -> String {
+    values
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// `n` pseudo-random floats in `[-1, 1)`.
+#[must_use]
+pub fn noise(seed: u32, n: usize) -> Vec<f32> {
+    let mut rng = Lcg::new(seed);
+    (0..n).map(|_| rng.next_f32()).collect()
+}
+
+/// A deterministic multi-tone test signal: a sum of two sinusoids plus
+/// low-level noise, quantized for exact formatting.
+#[must_use]
+pub fn tone_signal(seed: u32, n: usize) -> Vec<f32> {
+    let mut rng = Lcg::new(seed);
+    (0..n)
+        .map(|i| {
+            let t = i as f32;
+            let s = (0.45 * (t * 0.19).sin() + 0.3 * (t * 0.047).sin()) + 0.1 * rng.next_f32();
+            quantize(s)
+        })
+        .collect()
+}
+
+/// Sine table of length `n` scaled by `amp`, quantized.
+#[must_use]
+pub fn sine_table(n: usize, amp: f32) -> Vec<f32> {
+    (0..n)
+        .map(|i| quantize(amp * (std::f32::consts::TAU * i as f32 / n as f32).sin()))
+        .collect()
+}
+
+/// Cosine table of length `n` scaled by `amp`, quantized.
+#[must_use]
+pub fn cosine_table(n: usize, amp: f32) -> Vec<f32> {
+    (0..n)
+        .map(|i| quantize(amp * (std::f32::consts::TAU * i as f32 / n as f32).cos()))
+        .collect()
+}
+
+/// Quantize to 2^-15 steps so decimal formatting is exact and fixed
+/// across platforms.
+#[must_use]
+pub fn quantize(v: f32) -> f32 {
+    (v * 32_768.0).round() / 32_768.0
+}
+
+/// `n` pseudo-random pixel values in `[0, 256)`.
+#[must_use]
+pub fn pixels(seed: u32, n: usize) -> Vec<i32> {
+    let mut rng = Lcg::new(seed);
+    (0..n).map(|_| rng.next_range(256)).collect()
+}
+
+/// `n` pseudo-random bits.
+#[must_use]
+pub fn bits(seed: u32, n: usize) -> Vec<i32> {
+    let mut rng = Lcg::new(seed);
+    (0..n).map(|_| rng.next_range(2)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let a: Vec<u32> = {
+            let mut r = Lcg::new(42);
+            (0..5).map(|_| r.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = Lcg::new(42);
+            (0..5).map(|_| r.next_u32()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fmt_round_trips() {
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, -0.25, 3.25159, -0.007, 123_456.78] {
+            let s = fmt_f32(v);
+            let parsed: f32 = s.parse().expect("parses");
+            assert_eq!(parsed, v, "{s}");
+        }
+        let mut rng = Lcg::new(7);
+        for _ in 0..1000 {
+            let v = rng.next_f32();
+            let parsed: f32 = fmt_f32(v).parse().unwrap();
+            assert_eq!(parsed, v);
+        }
+    }
+
+    #[test]
+    fn quantized_signals_format_exactly() {
+        for v in tone_signal(3, 64) {
+            let parsed: f32 = fmt_f32(v).parse().unwrap();
+            assert_eq!(parsed, v);
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let px = pixels(1, 100);
+        assert!(px.iter().all(|&p| (0..256).contains(&p)));
+        let bs = bits(1, 100);
+        assert!(bs.iter().all(|&b| b == 0 || b == 1));
+    }
+}

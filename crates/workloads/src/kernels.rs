@@ -1,0 +1,414 @@
+//! The DSP kernel benchmarks (paper Table 1).
+//!
+//! Six core signal-processing algorithms, each instantiated at a large
+//! and a small size, exactly as in the paper: `fft_1024`, `fft_256`,
+//! `fir_256_64`, `fir_32_1`, `iir_4_64`, `iir_1_1`, `latnrm_32_64`,
+//! `latnrm_8_1`, `lmsfir_32_64`, `lmsfir_8_1`, `mult_10_10`,
+//! `mult_4_4`. Input signals and coefficients are deterministic
+//! ([`crate::data`]), baked into the generated DSP-C source as
+//! initializer lists.
+
+use crate::data::{f32_list, noise, quantize, sine_table, tone_signal};
+use crate::{Benchmark, Kind};
+
+/// `taps`-tap FIR filter over `samples` output samples
+/// (`fir_256_64`, `fir_32_1`).
+#[must_use]
+pub fn fir(taps: usize, samples: usize) -> Benchmark {
+    let c = sine_table(taps, 0.9);
+    let x = tone_signal(11, taps + samples);
+    let source = format!(
+        "float c[{taps}] = {{{c}}};
+float x[{len}] = {{{x}}};
+float y[{samples}];
+
+void main() {{
+    int n; int k;
+    for (n = 0; n < {samples}; n++) {{
+        float acc; acc = 0.0;
+        for (k = 0; k < {taps}; k++)
+            acc += c[k] * x[n + k];
+        y[n] = acc;
+    }}
+}}
+",
+        len = taps + samples,
+        c = f32_list(&c),
+        x = f32_list(&x),
+    );
+    Benchmark {
+        name: format!("fir_{taps}_{samples}"),
+        kind: Kind::Kernel,
+        description: format!("{taps}-tap FIR filter processing {samples} samples"),
+        source,
+        check_globals: vec!["y".into()],
+    }
+}
+
+/// Radix-2, in-place, decimation-in-time FFT of `n` points
+/// (`fft_1024`, `fft_256`). `n` must be a power of two.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+#[must_use]
+pub fn fft(n: usize) -> Benchmark {
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    let re = tone_signal(5, n);
+    let im = vec![0.0f32; n];
+    let wr = cosine_half_table(n);
+    let wi = sine_half_table(n);
+    let log2n = n.trailing_zeros();
+    let source = format!(
+        "float re[{n}] = {{{re}}};
+float im[{n}] = {{{im}}};
+float wr[{half}] = {{{wr}}};
+float wi[{half}] = {{{wi}}};
+
+void main() {{
+    int i; int j; int k; int stage;
+    int le; int le1; int widx; int wstep; int ip;
+    float tr; float ti; float ur; float ui;
+
+    /* Bit-reverse permutation. */
+    j = 0;
+    for (i = 0; i < {nm1}; i++) {{
+        if (i < j) {{
+            tr = re[i]; re[i] = re[j]; re[j] = tr;
+            ti = im[i]; im[i] = im[j]; im[j] = ti;
+        }}
+        k = {half};
+        while (k <= j) {{ j = j - k; k = k / 2; }}
+        j = j + k;
+    }}
+
+    /* Butterfly stages. */
+    le = 1;
+    for (stage = 0; stage < {log2n}; stage++) {{
+        le1 = le;
+        le = le * 2;
+        wstep = {n} / le;
+        for (j = 0; j < le1; j++) {{
+            widx = j * wstep;
+            ur = wr[widx];
+            ui = wi[widx];
+            for (i = j; i < {n}; i += le) {{
+                ip = i + le1;
+                tr = ur * re[ip] - ui * im[ip];
+                ti = ur * im[ip] + ui * re[ip];
+                re[ip] = re[i] - tr;
+                im[ip] = im[i] - ti;
+                re[i] = re[i] + tr;
+                im[i] = im[i] + ti;
+            }}
+        }}
+    }}
+}}
+",
+        half = n / 2,
+        nm1 = n - 1,
+        re = f32_list(&re),
+        im = f32_list(&im),
+        wr = f32_list(&wr),
+        wi = f32_list(&wi),
+    );
+    Benchmark {
+        name: format!("fft_{n}"),
+        kind: Kind::Kernel,
+        description: format!("radix-2 in-place decimation-in-time FFT, {n} points"),
+        source,
+        check_globals: vec!["re".into(), "im".into()],
+    }
+}
+
+fn cosine_half_table(n: usize) -> Vec<f32> {
+    (0..n / 2)
+        .map(|i| quantize((std::f32::consts::TAU * i as f32 / n as f32).cos()))
+        .collect()
+}
+
+fn sine_half_table(n: usize) -> Vec<f32> {
+    (0..n / 2)
+        .map(|i| quantize(-(std::f32::consts::TAU * i as f32 / n as f32).sin()))
+        .collect()
+}
+
+/// Cascaded-biquad IIR filter: `sections` direct-form-II sections over
+/// `samples` samples (`iir_4_64`, `iir_1_1`).
+#[must_use]
+pub fn iir(sections: usize, samples: usize) -> Benchmark {
+    // Mild, stable coefficients.
+    let a1: Vec<f32> = (0..sections).map(|s| quantize(-0.5 + 0.05 * s as f32)).collect();
+    let a2: Vec<f32> = (0..sections).map(|s| quantize(0.25 - 0.02 * s as f32)).collect();
+    let b0: Vec<f32> = (0..sections).map(|s| quantize(0.3 + 0.01 * s as f32)).collect();
+    let b1: Vec<f32> = (0..sections).map(|_| quantize(0.15)).collect();
+    let b2: Vec<f32> = (0..sections).map(|s| quantize(0.05 + 0.005 * s as f32)).collect();
+    let x = tone_signal(23, samples);
+    let source = format!(
+        "float a1[{sections}] = {{{a1}}};
+float a2[{sections}] = {{{a2}}};
+float b0[{sections}] = {{{b0}}};
+float b1[{sections}] = {{{b1}}};
+float b2[{sections}] = {{{b2}}};
+float w1[{sections}];
+float w2[{sections}];
+float x[{samples}] = {{{x}}};
+float y[{samples}];
+
+void main() {{
+    int n; int s;
+    for (n = 0; n < {samples}; n++) {{
+        float v; float w0;
+        v = x[n];
+        for (s = 0; s < {sections}; s++) {{
+            w0 = v - a1[s] * w1[s] - a2[s] * w2[s];
+            v = b0[s] * w0 + b1[s] * w1[s] + b2[s] * w2[s];
+            w2[s] = w1[s];
+            w1[s] = w0;
+        }}
+        y[n] = v;
+    }}
+}}
+",
+        a1 = f32_list(&a1),
+        a2 = f32_list(&a2),
+        b0 = f32_list(&b0),
+        b1 = f32_list(&b1),
+        b2 = f32_list(&b2),
+        x = f32_list(&x),
+    );
+    Benchmark {
+        name: format!("iir_{sections}_{samples}"),
+        kind: Kind::Kernel,
+        description: format!("IIR filter, {sections} biquad section(s), {samples} samples"),
+        source,
+        check_globals: vec!["y".into()],
+    }
+}
+
+/// Normalized lattice filter of the given `order` over `samples`
+/// samples (`latnrm_32_64`, `latnrm_8_1`).
+#[must_use]
+pub fn latnrm(order: usize, samples: usize) -> Benchmark {
+    let k: Vec<f32> = (0..order)
+        .map(|m| quantize(0.8 * (0.37 * (m as f32 + 1.0)).sin() / (m as f32 + 2.0).sqrt()))
+        .collect();
+    let c: Vec<f32> = (0..order)
+        .map(|m| quantize((1.0 - 0.6 * (0.21 * m as f32).sin().powi(2)).sqrt()))
+        .collect();
+    let x = tone_signal(31, samples);
+    let source = format!(
+        "float k[{order}] = {{{k}}};
+float c[{order}] = {{{c}}};
+float d[{order}];
+float x[{samples}] = {{{x}}};
+float y[{samples}];
+
+void main() {{
+    int n; int m;
+    for (n = 0; n < {samples}; n++) {{
+        float f; float b; float dm;
+        f = x[n];
+        b = x[n];
+        for (m = 0; m < {order}; m++) {{
+            dm = d[m];
+            f = c[m] * f + k[m] * dm;
+            b = k[m] * f + c[m] * dm;
+            d[m] = b;
+        }}
+        y[n] = f;
+    }}
+}}
+",
+        k = f32_list(&k),
+        c = f32_list(&c),
+        x = f32_list(&x),
+    );
+    Benchmark {
+        name: format!("latnrm_{order}_{samples}"),
+        kind: Kind::Kernel,
+        description: format!("normalized lattice filter, order {order}, {samples} samples"),
+        source,
+        check_globals: vec!["y".into()],
+    }
+}
+
+/// Least-mean-squares adaptive FIR: `taps` coefficients adapting over
+/// `samples` samples (`lmsfir_32_64`, `lmsfir_8_1`).
+#[must_use]
+pub fn lmsfir(taps: usize, samples: usize) -> Benchmark {
+    let x = tone_signal(41, taps + samples);
+    let d = tone_signal(43, samples);
+    let source = format!(
+        "float c[{taps}];
+float x[{len}] = {{{x}}};
+float d[{samples}] = {{{d}}};
+float y[{samples}];
+float err[{samples}];
+
+void main() {{
+    int n; int kk;
+    float mu; mu = 0.01;
+    for (n = 0; n < {samples}; n++) {{
+        float acc; float e;
+        acc = 0.0;
+        for (kk = 0; kk < {taps}; kk++)
+            acc += c[kk] * x[n + kk];
+        y[n] = acc;
+        e = mu * (d[n] - acc);
+        err[n] = e;
+        for (kk = 0; kk < {taps}; kk++)
+            c[kk] += e * x[n + kk];
+    }}
+}}
+",
+        len = taps + samples,
+        x = f32_list(&x),
+        d = f32_list(&d),
+    );
+    Benchmark {
+        name: format!("lmsfir_{taps}_{samples}"),
+        kind: Kind::Kernel,
+        description: format!("LMS adaptive FIR filter, {taps} taps, {samples} samples"),
+        source,
+        check_globals: vec!["y".into(), "err".into(), "c".into()],
+    }
+}
+
+/// Dense matrix multiply `C = A × B`, `n × n` (`mult_10_10`,
+/// `mult_4_4`).
+#[must_use]
+pub fn matmul(n: usize) -> Benchmark {
+    let a = noise(51, n * n);
+    let b = noise(53, n * n);
+    let source = format!(
+        "float A[{nn}] = {{{a}}};
+float B[{nn}] = {{{b}}};
+float C[{nn}];
+
+void main() {{
+    int i; int j; int k;
+    for (i = 0; i < {n}; i++)
+        for (j = 0; j < {n}; j++) {{
+            float acc; acc = 0.0;
+            for (k = 0; k < {n}; k++)
+                acc += A[i * {n} + k] * B[k * {n} + j];
+            C[i * {n} + j] = acc;
+        }}
+}}
+",
+        nn = n * n,
+        a = f32_list(&a),
+        b = f32_list(&b),
+    );
+    Benchmark {
+        name: format!("mult_{n}_{n}"),
+        kind: Kind::Kernel,
+        description: format!("{n}x{n} matrix multiplication"),
+        source,
+        check_globals: vec!["C".into()],
+    }
+}
+
+/// The twelve kernel benchmarks of Table 1, in figure order
+/// (k1 … k12).
+#[must_use]
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        fft(1024),
+        fft(256),
+        fir(256, 64),
+        fir(32, 1),
+        iir(4, 64),
+        iir(1, 1),
+        latnrm(32, 64),
+        latnrm(8, 1),
+        lmsfir(32, 64),
+        lmsfir(8, 1),
+        matmul(10),
+        matmul(4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_sources_compile_and_run_in_interpreter() {
+        // Use the small variants to keep the test quick; the large ones
+        // run in the integration suite.
+        for b in [fir(32, 1), iir(1, 1), latnrm(8, 1), lmsfir(8, 1), matmul(4), fft(256)] {
+            let program = dsp_frontend::compile_str(&b.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let mut interp = dsp_ir::Interpreter::new(&program);
+            interp.run().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            for g in &b.check_globals {
+                assert!(
+                    program.global_by_name(g).is_some(),
+                    "{}: missing {g}",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fft_is_correct_against_reference() {
+        let b = fft(256);
+        let program = dsp_frontend::compile_str(&b.source).unwrap();
+        let mut interp = dsp_ir::Interpreter::new(&program);
+        interp.run().unwrap();
+        let re: Vec<f32> = interp
+            .global_mem_by_name("re")
+            .unwrap()
+            .iter()
+            .map(|w| w.as_f32())
+            .collect();
+        let im: Vec<f32> = interp
+            .global_mem_by_name("im")
+            .unwrap()
+            .iter()
+            .map(|w| w.as_f32())
+            .collect();
+        // Reference DFT in f64.
+        let x = crate::data::tone_signal(5, 256);
+        for k in [0usize, 1, 17, 128, 255] {
+            let mut sr = 0f64;
+            let mut si = 0f64;
+            for (n, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * n) as f64 / 256.0;
+                sr += f64::from(v) * ang.cos();
+                si += f64::from(v) * ang.sin();
+            }
+            assert!(
+                (f64::from(re[k]) - sr).abs() < 0.05 && (f64::from(im[k]) - si).abs() < 0.05,
+                "bin {k}: got ({}, {}), want ({sr:.4}, {si:.4})",
+                re[k],
+                im[k]
+            );
+        }
+    }
+
+    #[test]
+    fn twelve_kernels_with_paper_names() {
+        let names: Vec<String> = all().into_iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "fft_1024",
+                "fft_256",
+                "fir_256_64",
+                "fir_32_1",
+                "iir_4_64",
+                "iir_1_1",
+                "latnrm_32_64",
+                "latnrm_8_1",
+                "lmsfir_32_64",
+                "lmsfir_8_1",
+                "mult_10_10",
+                "mult_4_4",
+            ]
+        );
+    }
+}

@@ -1,0 +1,106 @@
+#![warn(missing_docs)]
+//! The benchmark suite of the paper: 12 DSP kernels (Table 1) and 11
+//! DSP applications (Table 2), written in DSP-C with deterministic,
+//! baked-in input data.
+//!
+//! Each [`Benchmark`] carries its source text and the list of globals
+//! whose final contents define correctness: the [`runner`] executes the
+//! compiled program on the simulator and compares those globals,
+//! word-for-word, against the reference interpreter.
+//!
+//! # Example
+//!
+//! ```
+//! use dsp_backend::Strategy;
+//! use dsp_workloads::{kernels, runner};
+//!
+//! let bench = kernels::fir(32, 1);
+//! let m = runner::measure(&bench, Strategy::CbPartition)?;
+//! assert!(m.cycles > 0);
+//! # Ok::<(), dsp_workloads::runner::RunError>(())
+//! ```
+
+pub mod apps;
+pub mod data;
+pub mod kernels;
+pub mod runner;
+
+/// Kernel or full application (paper Tables 1 and 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A signal-processing loop kernel.
+    Kernel,
+    /// A complete embedded application.
+    Application,
+}
+
+impl std::fmt::Display for Kind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Kind::Kernel => write!(f, "kernel"),
+            Kind::Application => write!(f, "application"),
+        }
+    }
+}
+
+/// One benchmark program.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Name, matching the paper's tables (e.g. `fir_256_64`, `lpc`).
+    pub name: String,
+    /// Kernel or application.
+    pub kind: Kind,
+    /// One-line description (paper Table 1/2 wording).
+    pub description: String,
+    /// The DSP-C source text.
+    pub source: String,
+    /// Globals whose final values define the benchmark's correctness.
+    pub check_globals: Vec<String>,
+}
+
+/// All 23 benchmarks: the 12 kernels followed by the 11 applications,
+/// in the order of Figures 7 and 8.
+#[must_use]
+pub fn all() -> Vec<Benchmark> {
+    let mut out = kernels::all();
+    out.extend(apps::all());
+    out
+}
+
+/// Look up a benchmark by its paper name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_complete() {
+        let suite = all();
+        assert_eq!(suite.len(), 23);
+        assert_eq!(suite.iter().filter(|b| b.kind == Kind::Kernel).count(), 12);
+        assert_eq!(
+            suite.iter().filter(|b| b.kind == Kind::Application).count(),
+            11
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = all();
+        let mut names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 23);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("lpc").is_some());
+        assert!(by_name("fft_1024").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+}

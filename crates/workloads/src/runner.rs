@@ -1,0 +1,223 @@
+//! Compile-run-verify harness for the benchmarks.
+//!
+//! [`measure`] compiles a benchmark under one [`Strategy`], executes it
+//! on the simulator, verifies every checked global against the
+//! reference interpreter, and reports the paper's metrics: cycles and
+//! the first-order memory cost `X + Y + 2·S + I` (§4.2), with `S`
+//! measured as the stack high-water mark of the run.
+
+use dsp_backend::{compile_ir, CompileError, Strategy};
+use dsp_ir::{InterpError, Interpreter, Program};
+use dsp_sim::{SimError, SimOptions, SimStats, Simulator};
+
+use crate::Benchmark;
+
+/// The result of measuring one (benchmark, strategy) pair.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// Cycles executed.
+    pub cycles: u64,
+    /// Memory cost in words: `X + Y + 2·S + I` with measured `S`.
+    pub memory_cost: u64,
+    /// Static data words in bank X / bank Y.
+    pub static_words: (u32, u32),
+    /// Measured stack high-water mark (the `S` term).
+    pub stack_words: u32,
+    /// Instruction-memory words (`I` term).
+    pub inst_words: u32,
+    /// Full simulator statistics.
+    pub stats: SimStats,
+    /// Number of variables the allocator duplicated.
+    pub duplicated_vars: usize,
+}
+
+/// Errors from the harness.
+#[derive(Debug)]
+pub enum RunError {
+    /// The benchmark source failed to compile.
+    Compile(CompileError),
+    /// The reference interpreter failed.
+    Interp(InterpError),
+    /// The simulator failed.
+    Sim(SimError),
+    /// A checked global differed from the interpreter.
+    Mismatch {
+        /// The offending global.
+        global: String,
+        /// Description of the first difference.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Compile(e) => write!(f, "compile error: {e}"),
+            RunError::Interp(e) => write!(f, "interpreter error: {e}"),
+            RunError::Sim(e) => write!(f, "simulator error: {e}"),
+            RunError::Mismatch { global, detail } => {
+                write!(f, "global `{global}` mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<CompileError> for RunError {
+    fn from(e: CompileError) -> RunError {
+        RunError::Compile(e)
+    }
+}
+
+impl From<InterpError> for RunError {
+    fn from(e: InterpError) -> RunError {
+        RunError::Interp(e)
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> RunError {
+        RunError::Sim(e)
+    }
+}
+
+/// Compile and parse the benchmark source into IR (cached by callers
+/// that measure several strategies).
+///
+/// # Errors
+///
+/// Returns [`RunError::Compile`] on front-end failure.
+pub fn frontend(bench: &Benchmark) -> Result<Program, RunError> {
+    dsp_frontend::compile_str(&bench.source)
+        .map_err(|e| RunError::Compile(CompileError::Frontend(e)))
+}
+
+/// Measure one (benchmark, strategy) pair, verifying correctness.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] on compile/run failure or output mismatch.
+pub fn measure(bench: &Benchmark, strategy: Strategy) -> Result<Measurement, RunError> {
+    let ir = frontend(bench)?;
+    measure_ir(bench, &ir, strategy)
+}
+
+/// [`measure`] with a pre-parsed IR program (avoids re-lexing the
+/// baked-in data tables for every strategy).
+///
+/// # Errors
+///
+/// Returns a [`RunError`] on compile/run failure or output mismatch.
+pub fn measure_ir(
+    bench: &Benchmark,
+    ir: &Program,
+    strategy: Strategy,
+) -> Result<Measurement, RunError> {
+    // Reference run.
+    let mut interp = Interpreter::new(ir);
+    interp.run()?;
+
+    // Compiled run.
+    let out = compile_ir(ir, strategy)?;
+    let mut sim = Simulator::new(
+        &out.program,
+        SimOptions {
+            dual_ported: strategy.dual_ported(),
+            ..SimOptions::default()
+        },
+    );
+    let stats = sim.run()?;
+
+    // Verify.
+    for name in &bench.check_globals {
+        let want = interp
+            .global_mem_by_name(name)
+            .ok_or_else(|| RunError::Mismatch {
+                global: name.clone(),
+                detail: "missing in interpreter".into(),
+            })?;
+        let got = sim.read_symbol(name).ok_or_else(|| RunError::Mismatch {
+            global: name.clone(),
+            detail: "missing in simulator".into(),
+        })?;
+        for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+            if w != g {
+                return Err(RunError::Mismatch {
+                    global: name.clone(),
+                    detail: format!(
+                        "[{strategy}] index {i}: interpreter {w:?}, simulator {g:?}"
+                    ),
+                });
+            }
+        }
+        if let Some(copy) = sim.read_symbol_copy(name) {
+            if copy != got {
+                return Err(RunError::Mismatch {
+                    global: name.clone(),
+                    detail: format!("[{strategy}] duplicated copies diverged"),
+                });
+            }
+        }
+    }
+
+    let stack = stats.max_stack_words();
+    let memory_cost = u64::from(out.program.x_static_words)
+        + u64::from(out.program.y_static_words)
+        + 2 * u64::from(stack)
+        + u64::from(out.program.inst_count());
+    Ok(Measurement {
+        name: bench.name.clone(),
+        strategy,
+        cycles: stats.cycles,
+        memory_cost,
+        static_words: (out.program.x_static_words, out.program.y_static_words),
+        stack_words: stack,
+        inst_words: out.program.inst_count(),
+        stats,
+        duplicated_vars: out.alloc.duplicated().len(),
+    })
+}
+
+/// Measure a benchmark under every strategy; the IR front-end runs only
+/// once.
+///
+/// # Errors
+///
+/// Returns the first [`RunError`] encountered.
+pub fn measure_all(bench: &Benchmark) -> Result<Vec<Measurement>, RunError> {
+    let ir = frontend(bench)?;
+    Strategy::ALL
+        .iter()
+        .map(|&s| measure_ir(bench, &ir, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_small_kernel_all_strategies() {
+        let bench = crate::kernels::fir(8, 4);
+        let ms = measure_all(&bench).expect("all strategies run");
+        assert_eq!(ms.len(), Strategy::ALL.len());
+        let base = ms[0].cycles;
+        for m in &ms {
+            assert!(m.cycles > 0 && m.cycles <= base + 8);
+            assert!(m.memory_cost > 0);
+        }
+    }
+
+    #[test]
+    fn ideal_never_slower_than_cb() {
+        let bench = crate::kernels::matmul(4);
+        let cb = measure(&bench, Strategy::CbPartition).unwrap();
+        let ideal = measure(&bench, Strategy::Ideal).unwrap();
+        assert!(ideal.cycles <= cb.cycles);
+    }
+}

@@ -1,0 +1,161 @@
+//! Full-suite verification: every benchmark × every strategy executes
+//! on the simulator and matches the reference interpreter word for
+//! word, and the headline *shapes* of the paper's results hold.
+
+use dsp_backend::Strategy;
+use dsp_workloads::runner::{measure_all, Measurement};
+use dsp_workloads::{all, by_name, Kind};
+
+fn cycles_of(ms: &[Measurement], s: Strategy) -> u64 {
+    ms.iter().find(|m| m.strategy == s).expect("measured").cycles
+}
+
+fn gain(base: u64, opt: u64) -> f64 {
+    (base as f64 / opt as f64 - 1.0) * 100.0
+}
+
+/// Every benchmark, every strategy: correct execution (the comparison
+/// against the interpreter happens inside `measure_all`).
+#[test]
+fn entire_suite_is_correct_under_every_strategy() {
+    for bench in all() {
+        let ms = measure_all(&bench)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let base = cycles_of(&ms, Strategy::Baseline);
+        let ideal = cycles_of(&ms, Strategy::Ideal);
+        assert!(
+            ideal <= base,
+            "{}: Ideal ({ideal}) must not lose to baseline ({base})",
+            bench.name
+        );
+        for m in &ms {
+            // Ideal (dual-ported memory) is a *near* lower bound: the
+            // greedy list scheduler follows a descendant-count priority
+            // heuristic, and CB's forced bank diversity occasionally
+            // steers it to a slightly better schedule than the fully
+            // flexible Ideal claims do (observed on iir_4_64, ~12 %).
+            // No scheme may beat Ideal by more than that heuristic
+            // noise.
+            assert!(
+                (m.cycles as f64) * 1.15 + 2.0 >= ideal as f64,
+                "{} [{}]: {} cycles far below the Ideal bound {ideal}",
+                bench.name,
+                m.strategy,
+                m.cycles
+            );
+        }
+    }
+}
+
+/// Figure 7's shape: CB partitioning helps every kernel and lands at or
+/// near the dual-ported ideal.
+#[test]
+fn kernels_gain_substantially_and_cb_tracks_ideal() {
+    let mut cb_gains = Vec::new();
+    for bench in all().into_iter().filter(|b| b.kind == Kind::Kernel) {
+        let ms = measure_all(&bench).unwrap();
+        let base = cycles_of(&ms, Strategy::Baseline);
+        let cb = cycles_of(&ms, Strategy::CbPartition);
+        let ideal = cycles_of(&ms, Strategy::Ideal);
+        let g_cb = gain(base, cb);
+        let g_ideal = gain(base, ideal);
+        assert!(
+            cb < base,
+            "{}: CB must improve on the baseline ({cb} vs {base})",
+            bench.name
+        );
+        // CB reaches most of the ideal headroom on kernels.
+        assert!(
+            g_cb >= 0.5 * g_ideal,
+            "{}: CB gain {g_cb:.1}% too far from ideal {g_ideal:.1}%",
+            bench.name
+        );
+        cb_gains.push(g_cb);
+    }
+    let avg = cb_gains.iter().sum::<f64>() / cb_gains.len() as f64;
+    assert!(
+        avg >= 10.0,
+        "average kernel gain should be well into double digits, got {avg:.1}%"
+    );
+}
+
+/// The paper's \"no parallelism\" group: histogram and the three G721
+/// codecs gain (almost) nothing even with a dual-ported memory.
+#[test]
+fn serial_applications_gain_nothing() {
+    for name in ["histogram", "G721MLencode", "G721MLdecode", "G721WFencode"] {
+        let bench = by_name(name).unwrap();
+        let ms = measure_all(&bench).unwrap();
+        let base = cycles_of(&ms, Strategy::Baseline);
+        let ideal = cycles_of(&ms, Strategy::Ideal);
+        let g = gain(base, ideal);
+        assert!(
+            g < 5.0,
+            "{name}: ideal gain should be marginal, got {g:.1}%"
+        );
+    }
+}
+
+/// The lpc story (paper §4.1): partitioning alone gains little because
+/// the autocorrelation reads one array twice; partial duplication
+/// recovers most of the ideal gain.
+#[test]
+fn lpc_needs_duplication() {
+    let bench = by_name("lpc").unwrap();
+    let ms = measure_all(&bench).unwrap();
+    let base = cycles_of(&ms, Strategy::Baseline);
+    let cb = cycles_of(&ms, Strategy::CbPartition);
+    let dup = cycles_of(&ms, Strategy::PartialDup);
+    let ideal = cycles_of(&ms, Strategy::Ideal);
+    let (g_cb, g_dup, g_ideal) = (gain(base, cb), gain(base, dup), gain(base, ideal));
+    assert!(
+        g_dup > g_cb + 5.0,
+        "duplication must clearly beat CB: dup {g_dup:.1}% vs cb {g_cb:.1}%"
+    );
+    assert!(
+        g_dup >= 0.6 * g_ideal,
+        "duplication should recover most of ideal: {g_dup:.1}% vs {g_ideal:.1}%"
+    );
+}
+
+/// Duplication actually duplicates on exactly the programs the paper
+/// names (lpc, spectral, V32encode among the applications).
+#[test]
+fn duplication_candidates_match_the_paper() {
+    for bench in all().into_iter().filter(|b| b.kind == Kind::Application) {
+        let m = dsp_workloads::runner::measure(&bench, Strategy::PartialDup).unwrap();
+        let expect_dup = matches!(bench.name.as_str(), "lpc" | "spectral" | "V32encode");
+        assert_eq!(
+            m.duplicated_vars > 0,
+            expect_dup,
+            "{}: duplicated {} variables",
+            bench.name,
+            m.duplicated_vars
+        );
+    }
+}
+
+/// Full duplication is never cheaper than partial duplication in
+/// memory, and partial duplication's cost stays close to CB's
+/// (Table 3's cost columns).
+#[test]
+fn duplication_cost_ordering() {
+    for name in ["lpc", "spectral", "V32encode", "edge_detect"] {
+        let bench = by_name(name).unwrap();
+        let ms = measure_all(&bench).unwrap();
+        let cost = |s: Strategy| {
+            ms.iter()
+                .find(|m| m.strategy == s)
+                .expect("measured")
+                .memory_cost
+        };
+        assert!(
+            cost(Strategy::FullDup) >= cost(Strategy::PartialDup),
+            "{name}: full-dup memory must dominate partial"
+        );
+        assert!(
+            cost(Strategy::PartialDup) >= cost(Strategy::CbPartition),
+            "{name}: partial-dup memory must not undercut CB"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! The paper's Figure 6: an autocorrelation loop reads the *same* array
+//! at two dynamic offsets — no partitioning can split one array across
+//! two banks, so only partial data duplication (or a dual-ported
+//! memory) exposes the parallelism.
+//!
+//! Run: `cargo run --example autocorrelation`
+
+use dualbank::bankalloc::Var;
+use dualbank::{run_source, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 6 of the paper, wrapped in a lag sweep as lpc uses it.
+    let src = "
+        float signal[128] = {1.0, 2.0, 3.0};
+        float R[24];
+        float out;
+        void main() {
+            int n; int m; float acc;
+            for (m = 1; m <= 24; m++)
+                for (n = 0; n < 128 - m; n++)
+                    R[m - 1] += signal[n] * signal[n + m];
+            acc = 0.0;
+            for (n = 0; n < 24; n++) acc += R[n];
+            out = acc;
+        }";
+
+    // What does the allocation pass see?
+    let out = dualbank::compile_source(src, Strategy::PartialDup)?;
+    println!("duplicated variables:");
+    for v in out.alloc.duplicated() {
+        match v {
+            Var::Global(g) => println!("  {} (global)", out.ir.globals[g.index()].name),
+            other => println!("  {other}"),
+        }
+    }
+    println!("\ninterference graph:\n{}", out.alloc.graph.to_dot());
+
+    println!("strategy   cycles  memory words");
+    println!("---------------------------------");
+    let mut baseline = 0u64;
+    for strategy in [
+        Strategy::Baseline,
+        Strategy::CbPartition,
+        Strategy::PartialDup,
+        Strategy::FullDup,
+        Strategy::Ideal,
+    ] {
+        let r = run_source(src, strategy)?;
+        if strategy == Strategy::Baseline {
+            baseline = r.cycles;
+        }
+        let gain = (baseline as f64 / r.cycles as f64 - 1.0) * 100.0;
+        println!(
+            "{:<9} {:>7}  {:>12}  ({gain:+.1}%)",
+            strategy.label(),
+            r.cycles,
+            r.memory_cost(),
+        );
+    }
+    println!(
+        "\nPartitioning cannot split `signal` against itself; duplication\n\
+         stores a copy in each bank and recovers nearly the dual-ported\n\
+         gain at a fraction of full duplication's memory cost — the\n\
+         paper's lpc story (3% -> 34%, §4.1)."
+    );
+    Ok(())
+}

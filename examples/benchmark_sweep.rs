@@ -1,0 +1,36 @@
+//! Sweep any benchmark of the paper's suite (or all of them) across
+//! every compilation strategy.
+//!
+//! Run: `cargo run --release --example benchmark_sweep [name]`
+//!
+//! With no argument, all 23 benchmarks run; with a name (`lpc`,
+//! `fft_1024`, …) only that one.
+
+use dualbank::backend::Strategy;
+use dualbank::workloads::{self, runner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1);
+    let benches = match arg.as_deref() {
+        Some(name) => {
+            let b = workloads::by_name(name)
+                .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            vec![b]
+        }
+        None => workloads::all(),
+    };
+    println!(
+        "{:<14} {:>6}  {:>9} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7}",
+        "benchmark", "kind", "Base", "CB", "Pr", "Dup", "SelDup", "FullDup", "Ideal"
+    );
+    for bench in benches {
+        let ms = runner::measure_all(&bench)?;
+        assert_eq!(ms.len(), Strategy::ALL.len());
+        print!("{:<14} {:>6} ", bench.name, bench.kind.to_string());
+        for m in &ms {
+            print!(" {:>8}", m.cycles);
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,247 @@
+//! `dualbank` — command-line driver for the dual-bank DSP toolchain.
+//!
+//! ```text
+//! dualbank run <file.c> [--strategy S] [--globals]
+//! dualbank compile <file.c> [--strategy S] [--emit asm|ir|bin]
+//! dualbank sweep <file.c>
+//! dualbank bench <name|all>
+//! dualbank list
+//! ```
+
+use std::process::ExitCode;
+
+use dualbank::{backend, workloads, SimOptions, Simulator, Strategy};
+
+fn usage() -> &'static str {
+    "dualbank — compiler & simulator for the dual-bank VLIW DSP\n\
+     \n\
+     USAGE:\n\
+     \x20 dualbank run <file.c> [--strategy S] [--globals] [--fuel N]\n\
+     \x20     compile and simulate; print cycles and memory cost\n\
+     \x20 dualbank compile <file.c> [--strategy S] [--emit asm|ir|bin]\n\
+     \x20     print the compiled program (default: asm disassembly)\n\
+     \x20 dualbank sweep <file.c>\n\
+     \x20     compare all compilation strategies\n\
+     \x20 dualbank bench <name|all>\n\
+     \x20     run paper benchmark(s) across all strategies\n\
+     \x20 dualbank list\n\
+     \x20     list the paper's 23 benchmarks\n\
+     \n\
+     STRATEGIES: base cb pr dup seldup fulldup ideal (default: cb)"
+}
+
+fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "base" | "baseline" => Strategy::Baseline,
+        "cb" => Strategy::CbPartition,
+        "pr" | "profile" => Strategy::ProfileWeighted,
+        "dup" | "partial" => Strategy::PartialDup,
+        "seldup" | "selective" => Strategy::SelectiveDup,
+        "fulldup" | "full" => Strategy::FullDup,
+        "ideal" => Strategy::Ideal,
+        other => return Err(format!("unknown strategy `{other}`")),
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        println!("{}", usage());
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "compile" => cmd_compile(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
+        "list" => {
+            for b in workloads::all() {
+                println!("{:<14} {:>12}  {}", b.name, b.kind.to_string(), b.description);
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+fn read_source(args: &[String]) -> Result<String, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && flag_is_not_value(args, a))
+        .ok_or("missing input file")?;
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// True if `candidate` is not the value of a `--flag value` pair.
+fn flag_is_not_value(args: &[String], candidate: &String) -> bool {
+    match args.iter().position(|a| a == candidate) {
+        Some(i) if i > 0 => !args[i - 1].starts_with("--"),
+        _ => true,
+    }
+}
+
+fn strategy_of(args: &[String]) -> Result<Strategy, String> {
+    match flag_value(args, "--strategy") {
+        Some(s) => parse_strategy(&s),
+        None => Ok(Strategy::CbPartition),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let src = read_source(args)?;
+    let strategy = strategy_of(args)?;
+    let fuel: u64 = match flag_value(args, "--fuel") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--fuel expects a cycle count, got `{v}`"))?,
+        None => 10_000_000,
+    };
+    let out = backend::compile_source(&src, strategy).map_err(|e| e.to_string())?;
+    let mut sim = Simulator::new(
+        &out.program,
+        SimOptions {
+            dual_ported: strategy.dual_ported(),
+            fuel,
+        },
+    );
+    let stats = sim.run().map_err(|e| e.to_string())?;
+    let globals: Vec<(String, Vec<dualbank::Word>)> = out
+        .program
+        .symbols
+        .iter()
+        .map(|s| (s.name.clone(), sim.read_symbol(&s.name).expect("symbol")))
+        .collect();
+    let result = dualbank::RunResult {
+        cycles: stats.cycles,
+        stats,
+        program: out.program,
+        globals,
+    };
+    println!("strategy:        {strategy}");
+    println!("cycles:          {}", result.cycles);
+    println!("instructions:    {}", result.program.inst_count());
+    println!("dual-mem cycles: {}", result.stats.dual_mem_cycles);
+    println!("ops/cycle:       {:.2}", result.stats.ops_per_cycle());
+    println!("memory cost:     {} words (X+Y+2S+I)", result.memory_cost());
+    if args.iter().any(|a| a == "--globals") {
+        println!("\nglobals:");
+        for (name, words) in &result.globals {
+            let rendered: Vec<String> = words
+                .iter()
+                .take(16)
+                .map(|w| format!("{:#x}", w.0))
+                .collect();
+            let ellipsis = if words.len() > 16 { " …" } else { "" };
+            println!("  {name:<16} [{}{ellipsis}]", rendered.join(", "));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let src = read_source(args)?;
+    let strategy = strategy_of(args)?;
+    let emit = flag_value(args, "--emit").unwrap_or_else(|| "asm".into());
+    let out = backend::compile_source(&src, strategy).map_err(|e| e.to_string())?;
+    match emit.as_str() {
+        "asm" => print!("{}", out.program.disassemble()),
+        "ir" => print!("{}", out.ir.dump()),
+        "bin" => {
+            let words = dualbank::machine::encode_stream(&out.program.insts);
+            println!(
+                "; {} instructions, {} encoded words",
+                out.program.inst_count(),
+                words.len()
+            );
+            for chunk in words.chunks(8) {
+                let hex: Vec<String> = chunk.iter().map(|w| format!("{w:08x}")).collect();
+                println!("{}", hex.join(" "));
+            }
+        }
+        other => return Err(format!("unknown --emit `{other}` (asm|ir|bin)")),
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let src = read_source(args)?;
+    println!(
+        "{:<8} {:>10} {:>8} {:>10} {:>10}",
+        "strategy", "cycles", "gain %", "insts", "mem words"
+    );
+    let mut base = 0u64;
+    for strategy in Strategy::ALL {
+        let out = backend::compile_source(&src, strategy).map_err(|e| e.to_string())?;
+        let mut sim = Simulator::new(
+            &out.program,
+            SimOptions {
+                dual_ported: strategy.dual_ported(),
+                ..SimOptions::default()
+            },
+        );
+        let stats = sim.run().map_err(|e| format!("[{strategy}] {e}"))?;
+        if strategy == Strategy::Baseline {
+            base = stats.cycles;
+        }
+        let gain = (base as f64 / stats.cycles as f64 - 1.0) * 100.0;
+        let mem = u64::from(out.program.x_static_words)
+            + u64::from(out.program.y_static_words)
+            + 2 * u64::from(stats.max_stack_words())
+            + u64::from(out.program.inst_count());
+        println!(
+            "{:<8} {:>10} {:>8.1} {:>10} {:>10}",
+            strategy.label(),
+            stats.cycles,
+            gain,
+            out.program.inst_count(),
+            mem
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("missing benchmark name (or `all`)")?;
+    let benches = if name == "all" {
+        workloads::all()
+    } else {
+        vec![workloads::by_name(name).ok_or_else(|| {
+            format!("unknown benchmark `{name}` (try `dualbank list`)")
+        })?]
+    };
+    print!("{:<14}", "benchmark");
+    for s in Strategy::ALL {
+        print!(" {:>9}", s.label());
+    }
+    println!();
+    for bench in benches {
+        let ms = workloads::runner::measure_all(&bench).map_err(|e| e.to_string())?;
+        print!("{:<14}", bench.name);
+        for m in &ms {
+            print!(" {:>9}", m.cycles);
+        }
+        println!();
+    }
+    Ok(())
+}
