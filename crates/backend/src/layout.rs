@@ -45,12 +45,12 @@ impl DataLayout {
         let mut symbols = Vec::new();
 
         let place = |gi: usize,
-                         x_cursor: &mut u32,
-                         y_cursor: &mut u32,
-                         x_image: &mut DataImage,
-                         y_image: &mut DataImage,
-                         symbols: &mut Vec<DataSymbol>,
-                         global_addr: &mut Vec<u32>| {
+                     x_cursor: &mut u32,
+                     y_cursor: &mut u32,
+                     x_image: &mut DataImage,
+                     y_image: &mut DataImage,
+                     symbols: &mut Vec<DataSymbol>,
+                     global_addr: &mut Vec<u32>| {
             let g = &program.globals[gi];
             let id = GlobalId(gi as u32);
             let dup = alloc.is_duplicated_global(id);
@@ -195,10 +195,7 @@ impl FrameLayout {
         }
         let mut local_off = Vec::with_capacity(f.locals.len());
         for (li, l) in f.locals.iter().enumerate() {
-            let bank = alloc.bank_of_base(
-                func,
-                dsp_ir::MemBase::Local(dsp_ir::LocalId(li as u32)),
-            );
+            let bank = alloc.bank_of_base(func, dsp_ir::MemBase::Local(dsp_ir::LocalId(li as u32)));
             match bank {
                 Bank::X => {
                     local_off.push((Bank::X, x));

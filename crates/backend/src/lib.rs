@@ -49,7 +49,7 @@ pub mod regalloc;
 pub mod schedule;
 
 use dsp_bankalloc::{AllocOptions, BankAllocation, DuplicationMode, WeightKind};
-use dsp_ir::{FuncId, InterpError, Interpreter, Program};
+use dsp_ir::{ExecStats, FuncId, InterpError, Interpreter, Program};
 use dsp_machine::VliwProgram;
 
 /// The compilation configurations evaluated in the paper.
@@ -220,53 +220,178 @@ pub fn compile_ir_with(
     strategy: Strategy,
     config: CompileConfig,
 ) -> Result<CompileOutput, CompileError> {
+    compile_ir_timed(program, strategy, config).map(|(out, _)| out)
+}
+
+/// Per-stage wall times for one compilation, in pipeline order. The
+/// shared-stage fields (`opt`, `profile`) are zero when the caller
+/// supplied a pre-optimized IR or cached profile — `dsp-driver` reports
+/// those stages once per source instead of once per strategy.
+#[derive(Debug, Clone, Default)]
+pub struct CompileTimings {
+    /// Machine-independent optimization (whole pipeline).
+    pub opt: std::time::Duration,
+    /// Per-pass breakdown of `opt`, in first-run order.
+    pub opt_passes: Vec<opt::PassTime>,
+    /// Profiling interpreter run (Pr/SelDup only).
+    pub profile: std::time::Duration,
+    /// Trial compaction: interference-graph construction.
+    pub trial_compaction: std::time::Duration,
+    /// X/Y graph partitioning.
+    pub partition: std::time::Duration,
+    /// Register allocation, summed over functions.
+    pub regalloc: std::time::Duration,
+    /// LIR lowering (instruction selection, frames), summed over
+    /// functions.
+    pub lower: std::time::Duration,
+    /// Final operation compaction into VLIW instructions.
+    pub final_pack: std::time::Duration,
+    /// Linking and layout.
+    pub link: std::time::Duration,
+}
+
+impl CompileTimings {
+    /// Total wall time across all recorded stages.
+    #[must_use]
+    pub fn total(&self) -> std::time::Duration {
+        self.opt
+            + self.profile
+            + self.trial_compaction
+            + self.partition
+            + self.regalloc
+            + self.lower
+            + self.final_pack
+            + self.link
+    }
+}
+
+/// Run the profiling interpreter over an (optimized) IR program,
+/// producing the execution statistics that drive the `Pr` and `SelDup`
+/// allocation strategies.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Profile`] if the program traps.
+pub fn profile_ir(ir: &Program) -> Result<ExecStats, CompileError> {
+    let mut interp = Interpreter::new(ir);
+    let (_, stats) = interp.run().map_err(CompileError::Profile)?;
+    Ok(stats)
+}
+
+/// [`compile_ir_with`] reporting per-stage wall times.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for allocation, code generation, or
+/// scheduling failures, or if the program lacks `main`.
+pub fn compile_ir_timed(
+    program: &Program,
+    strategy: Strategy,
+    config: CompileConfig,
+) -> Result<(CompileOutput, CompileTimings), CompileError> {
     if program.main.is_none() {
         return Err(CompileError::NoMain);
     }
     let mut ir = program.clone();
-    opt::optimize(&mut ir);
+    let opt_start = std::time::Instant::now();
+    let opt_passes = opt::optimize_timed(&mut ir);
+    let mut timings = CompileTimings {
+        opt: opt_start.elapsed(),
+        opt_passes,
+        ..CompileTimings::default()
+    };
+    let profile = match strategy {
+        Strategy::ProfileWeighted | Strategy::SelectiveDup => {
+            let profile_start = std::time::Instant::now();
+            let stats = profile_ir(&ir)?;
+            timings.profile = profile_start.elapsed();
+            Some(stats)
+        }
+        _ => None,
+    };
+    let (out, back) = compile_optimized(&ir, strategy, config, profile.as_ref())?;
+    timings.trial_compaction = back.trial_compaction;
+    timings.partition = back.partition;
+    timings.regalloc = back.regalloc;
+    timings.lower = back.lower;
+    timings.final_pack = back.final_pack;
+    timings.link = back.link;
+    Ok((out, timings))
+}
 
-    let alloc = match strategy {
-        Strategy::Baseline | Strategy::Ideal => BankAllocation::all_in_x(&ir),
-        Strategy::CbPartition => {
-            BankAllocation::compute(&ir, &AllocOptions::default(), None)
-        }
-        Strategy::ProfileWeighted => {
-            let mut interp = Interpreter::new(&ir);
-            let (_, stats) = interp.run().map_err(CompileError::Profile)?;
-            let opts = AllocOptions {
-                weights: WeightKind::Profile,
-                ..AllocOptions::default()
-            };
-            BankAllocation::compute(&ir, &opts, Some(&stats))
-        }
-        Strategy::PartialDup => {
-            let opts = AllocOptions {
-                duplication: DuplicationMode::Partial,
-                ..AllocOptions::default()
-            };
-            BankAllocation::compute(&ir, &opts, None)
-        }
-        Strategy::SelectiveDup => {
-            let mut interp = Interpreter::new(&ir);
-            let (_, stats) = interp.run().map_err(CompileError::Profile)?;
-            let opts = AllocOptions {
-                weights: WeightKind::Profile,
-                duplication: DuplicationMode::Selective,
-                ..AllocOptions::default()
-            };
-            BankAllocation::compute(&ir, &opts, Some(&stats))
-        }
-        Strategy::FullDup => {
-            let opts = AllocOptions {
-                duplication: DuplicationMode::Full,
-                ..AllocOptions::default()
-            };
-            BankAllocation::compute(&ir, &opts, None)
-        }
+/// Compile an **already optimized** IR program under one strategy.
+///
+/// This is the back half of [`compile_ir_timed`]: callers that sweep
+/// several strategies over one program (notably `dsp-driver`) optimize
+/// and profile once, then call this per strategy — the results are
+/// bit-identical to running [`compile_ir`] per strategy, because the
+/// optimizer and profiler are deterministic and strategy-independent.
+///
+/// `profile` is required by [`Strategy::ProfileWeighted`] and
+/// [`Strategy::SelectiveDup`] and is computed on the fly (and timed)
+/// when absent; other strategies ignore it.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for allocation, code generation, or
+/// scheduling failures, or if the program lacks `main`.
+pub fn compile_optimized(
+    ir: &Program,
+    strategy: Strategy,
+    config: CompileConfig,
+    profile: Option<&ExecStats>,
+) -> Result<(CompileOutput, CompileTimings), CompileError> {
+    if ir.main.is_none() {
+        return Err(CompileError::NoMain);
+    }
+    let mut timings = CompileTimings::default();
+    let local_profile;
+    let profile = match strategy {
+        Strategy::ProfileWeighted | Strategy::SelectiveDup => match profile {
+            Some(stats) => Some(stats),
+            None => {
+                let profile_start = std::time::Instant::now();
+                local_profile = profile_ir(ir)?;
+                timings.profile = profile_start.elapsed();
+                Some(&local_profile)
+            }
+        },
+        _ => None,
     };
 
-    let data_layout = layout::DataLayout::compute(&ir, &alloc);
+    let alloc_opts = |weights, duplication| AllocOptions {
+        weights,
+        duplication,
+        ..AllocOptions::default()
+    };
+    let alloc = match strategy {
+        Strategy::Baseline | Strategy::Ideal => BankAllocation::all_in_x(ir),
+        Strategy::CbPartition => BankAllocation::compute(ir, &AllocOptions::default(), None),
+        Strategy::ProfileWeighted => BankAllocation::compute(
+            ir,
+            &alloc_opts(WeightKind::Profile, DuplicationMode::None),
+            profile,
+        ),
+        Strategy::PartialDup => BankAllocation::compute(
+            ir,
+            &alloc_opts(WeightKind::LoopDepth, DuplicationMode::Partial),
+            None,
+        ),
+        Strategy::SelectiveDup => BankAllocation::compute(
+            ir,
+            &alloc_opts(WeightKind::Profile, DuplicationMode::Selective),
+            profile,
+        ),
+        Strategy::FullDup => BankAllocation::compute(
+            ir,
+            &alloc_opts(WeightKind::LoopDepth, DuplicationMode::Full),
+            None,
+        ),
+    };
+    timings.trial_compaction = alloc.timings.trial_compaction;
+    timings.partition = alloc.timings.partition;
+
+    let data_layout = layout::DataLayout::compute(ir, &alloc);
     let ideal = strategy.dual_ported();
     let mut linked_funcs = Vec::with_capacity(ir.funcs.len());
     let lir_opts = lirgen::LirGenOptions {
@@ -274,23 +399,33 @@ pub fn compile_ir_with(
     };
     for fi in 0..ir.funcs.len() {
         let func = FuncId(fi as u32);
-        let lir = lirgen::lower_function_with(&ir, func, &alloc, &data_layout, lir_opts)?;
+        let (lir, lir_times) =
+            lirgen::lower_function_timed(ir, func, &alloc, &data_layout, lir_opts)?;
+        timings.regalloc += lir_times.regalloc;
+        timings.lower += lir_times.lower;
+        let pack_start = std::time::Instant::now();
         let mut blocks = Vec::with_capacity(lir.blocks.len());
         for ops in &lir.blocks {
             blocks.push(schedule::schedule_block(ops, ideal)?);
         }
+        timings.final_pack += pack_start.elapsed();
         linked_funcs.push(link::LinkFunction {
             name: lir.name.clone(),
             blocks,
             entry: lir.entry,
         });
     }
-    let program = link::link(&ir, linked_funcs, &data_layout);
+    let link_start = std::time::Instant::now();
+    let program = link::link(ir, linked_funcs, &data_layout);
+    timings.link = link_start.elapsed();
     debug_assert_eq!(program.validate(ideal), Ok(()), "linker emitted bad code");
-    Ok(CompileOutput {
-        program,
-        alloc,
-        ir,
-        strategy,
-    })
+    Ok((
+        CompileOutput {
+            program,
+            alloc,
+            ir: ir.clone(),
+            strategy,
+        },
+        timings,
+    ))
 }

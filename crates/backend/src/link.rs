@@ -8,9 +8,7 @@
 use std::collections::HashMap;
 
 use dsp_ir::{BlockId, FuncId, Program};
-use dsp_machine::{
-    AReg, AddrOp, InstAddr, Label, PcuOp, VliwFunction, VliwInst, VliwProgram,
-};
+use dsp_machine::{AReg, AddrOp, InstAddr, Label, PcuOp, VliwFunction, VliwInst, VliwProgram};
 
 use crate::layout::{DataLayout, STACK_WORDS};
 use crate::schedule::{BlockTerm, ScheduledBlock};

@@ -16,9 +16,7 @@
 use dsp_bankalloc::BankAllocation;
 use dsp_ir::ops::{Arg, MemBase, MemRef, Op};
 use dsp_ir::{BlockId, FuncId, Function, ParamKind, Program, Type, VReg};
-use dsp_machine::{
-    AReg, AddrOp, Bank, FReg, FpOp, IReg, IntOp, IntOperand, MemAddr, MemOp, Reg,
-};
+use dsp_machine::{AReg, AddrOp, Bank, FReg, FpOp, IReg, IntOp, IntOperand, MemAddr, MemOp, Reg};
 use dsp_sched::MemClaim;
 
 use crate::conv;
@@ -91,9 +89,37 @@ pub fn lower_function_with(
     layout: &DataLayout,
     options: LirGenOptions,
 ) -> Result<LirFunction, LirGenError> {
+    lower_function_timed(program, func, alloc, layout, options).map(|(lir, _)| lir)
+}
+
+/// Wall times of the two phases of lowering one function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LirGenTimings {
+    /// Register allocation ([`allocate`]).
+    pub regalloc: std::time::Duration,
+    /// Instruction selection and frame construction (everything else).
+    pub lower: std::time::Duration,
+}
+
+/// [`lower_function_with`], reporting per-phase wall times.
+///
+/// # Errors
+///
+/// Returns [`LirGenError`] when a signature or call site exceeds the
+/// argument-register convention.
+pub fn lower_function_timed(
+    program: &Program,
+    func: FuncId,
+    alloc: &BankAllocation,
+    layout: &DataLayout,
+    options: LirGenOptions,
+) -> Result<(LirFunction, LirGenTimings), LirGenError> {
+    let start = std::time::Instant::now();
     let f = program.func(func);
     check_arg_counts(f)?;
+    let regalloc_start = std::time::Instant::now();
     let asn = allocate(f);
+    let regalloc_time = regalloc_start.elapsed();
 
     // The save set: every allocatable register the body writes, the
     // homes of scalar and array parameters, and the spill scratches if
@@ -171,12 +197,17 @@ pub fn lower_function_with(
     prologue.push(LirOp::Jump(f.entry));
     blocks.push(prologue);
 
-    Ok(LirFunction {
+    let lir = LirFunction {
         name: f.name.clone(),
         blocks,
         entry: prologue_id,
         frame,
-    })
+    };
+    let timings = LirGenTimings {
+        regalloc: regalloc_time,
+        lower: start.elapsed().saturating_sub(regalloc_time),
+    };
+    Ok((lir, timings))
 }
 
 /// The index of parameter `pi` among the *array* parameters.
@@ -338,8 +369,7 @@ impl Cx<'_> {
                 let (lbank, off) = self.frame.local_off[l.index()];
                 debug_assert_eq!(lbank, bank, "local bank mismatch");
                 let sp = sp_of(bank);
-                let disp =
-                    off as i32 + addr.offset - self.frame.frame_words(bank) as i32;
+                let disp = off as i32 + addr.offset - self.frame.frame_words(bank) as i32;
                 match idx {
                     None => MemAddr::Base {
                         base: sp,
@@ -397,7 +427,12 @@ impl Cx<'_> {
                 out.push(LirOp::Fp(lir));
                 self.finish_write(*dst, out);
             }
-            Op::IBin { kind, dst, lhs, rhs } => {
+            Op::IBin {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let a = self.read_i(*lhs, 0, out);
                 let b = match rhs {
                     dsp_ir::ops::IOperand::Imm(c) => IntOperand::Imm(*c),
@@ -412,7 +447,12 @@ impl Cx<'_> {
                 }));
                 self.finish_write(*dst, out);
             }
-            Op::ICmp { kind, dst, lhs, rhs } => {
+            Op::ICmp {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let a = self.read_i(*lhs, 0, out);
                 let b = match rhs {
                     dsp_ir::ops::IOperand::Imm(c) => IntOperand::Imm(*c),
@@ -439,7 +479,12 @@ impl Cx<'_> {
                 out.push(LirOp::Int(IntOp::Not { dst: d, src: s }));
                 self.finish_write(*dst, out);
             }
-            Op::FBin { kind, dst, lhs, rhs } => {
+            Op::FBin {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let a = self.read_f(*lhs, 0, out);
                 let b = self.read_f(*rhs, 1, out);
                 let d = self.write_f(*dst);
@@ -451,7 +496,12 @@ impl Cx<'_> {
                 }));
                 self.finish_write(*dst, out);
             }
-            Op::FCmp { kind, dst, lhs, rhs } => {
+            Op::FCmp {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let a = self.read_f(*lhs, 0, out);
                 let b = self.read_f(*rhs, 1, out);
                 let d = self.write_i(*dst);
@@ -484,7 +534,11 @@ impl Cx<'_> {
                         s
                     }
                 };
-                out.push(LirOp::Fp(FpOp::Mac { dst: d, a: fa, b: fb }));
+                out.push(LirOp::Fp(FpOp::Mac {
+                    dst: d,
+                    a: fa,
+                    b: fb,
+                }));
                 if let Loc::Spill(slot) = self.asn.of(*acc) {
                     self.spill_store(slot, Reg::Float(d), out);
                 }
@@ -626,8 +680,7 @@ impl Cx<'_> {
                                     AddrOp::AddImm {
                                         dst,
                                         base: sp_of(bank),
-                                        imm: off as i32
-                                            - self.frame.frame_words(bank) as i32,
+                                        imm: off as i32 - self.frame.frame_words(bank) as i32,
                                     }
                                 }
                                 MemBase::Param(pi) => AddrOp::Mov {
@@ -881,7 +934,10 @@ mod tests {
         let banks: Vec<Bank> = dup_stores
             .iter()
             .filter_map(|o| match o {
-                LirOp::Mem { op: MemOp::Store { bank, .. }, .. } => Some(*bank),
+                LirOp::Mem {
+                    op: MemOp::Store { bank, .. },
+                    ..
+                } => Some(*bank),
                 _ => None,
             })
             .collect();

@@ -214,10 +214,7 @@ mod tests {
         });
         f.block_mut(e).push(Op::Store {
             src: a,
-            addr: dsp_ir::MemRef::direct(
-                dsp_ir::MemBase::Global(dsp_ir::GlobalId(0)),
-                0,
-            ),
+            addr: dsp_ir::MemRef::direct(dsp_ir::MemBase::Global(dsp_ir::GlobalId(0)), 0),
         });
         f.block_mut(e).push(Op::Ret(None));
         run(&mut f);
@@ -246,10 +243,7 @@ mod tests {
         let e = f.entry;
         f.block_mut(e).push(Op::Load {
             dst: a,
-            addr: dsp_ir::MemRef::direct(
-                dsp_ir::MemBase::Global(dsp_ir::GlobalId(0)),
-                0,
-            ),
+            addr: dsp_ir::MemRef::direct(dsp_ir::MemBase::Global(dsp_ir::GlobalId(0)), 0),
         });
         f.block_mut(e).push(Op::Ret(None));
         run(&mut f);

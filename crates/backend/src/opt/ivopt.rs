@@ -100,7 +100,13 @@ fn rewrite_loop(f: &mut Function, looop: &NaturalLoop) {
                 continue;
             }
             for (oi, op) in block.ops.iter().enumerate() {
-                let Op::IBin { kind, dst, lhs, rhs } = op else {
+                let Op::IBin {
+                    kind,
+                    dst,
+                    lhs,
+                    rhs,
+                } = op
+                else {
                     continue;
                 };
                 if def_count_fn.get(dst) != Some(&1) || ivs.contains_key(dst) {
@@ -130,7 +136,9 @@ fn rewrite_loop(f: &mut Function, looop: &NaturalLoop) {
                 } else {
                     None
                 };
-                let Some((ivreg, dstep)) = found else { continue };
+                let Some((ivreg, dstep)) = found else {
+                    continue;
+                };
                 candidate = Some((bi, oi, *dst, op.clone(), ivreg, dstep));
                 break 'outer;
             }
@@ -236,9 +244,7 @@ mod tests {
             }
             let graph = DepGraph::build(&block.ops);
             for &l in &loads {
-                let gated = graph
-                    .pred_edges(l)
-                    .any(|e| e.kind == dsp_ir::DepKind::Flow);
+                let gated = graph.pred_edges(l).any(|e| e.kind == dsp_ir::DepKind::Flow);
                 assert!(
                     !gated,
                     "load at op {l} still waits on an in-block computation:\n{}",

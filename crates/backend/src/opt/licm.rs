@@ -94,10 +94,7 @@ fn hoist_loop(f: &mut Function, looop: &NaturalLoop) {
             // The candidate must execute on every iteration and its def
             // must dominate all its uses: require its block to dominate
             // every latch and every use block.
-            let dominates_latches = looop
-                .latches
-                .iter()
-                .all(|&l| cfg.dominates(&idom, bi, l));
+            let dominates_latches = looop.latches.iter().all(|&l| cfg.dominates(&idom, bi, l));
             if !dominates_latches {
                 continue;
             }
@@ -260,9 +257,15 @@ mod tests {
             .iter_blocks()
             .filter(|(bi, _)| info.depth_of(*bi) == 2)
             .flat_map(|(_, b)| &b.ops)
-            .filter(
-                |o| matches!(o, Op::IBin { kind: dsp_machine::IntBinKind::Mul, .. }),
-            )
+            .filter(|o| {
+                matches!(
+                    o,
+                    Op::IBin {
+                        kind: dsp_machine::IntBinKind::Mul,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(inner_muls, 0, "i*4 must hoist out of the j loop");
     }

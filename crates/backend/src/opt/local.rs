@@ -73,8 +73,10 @@ impl ExprKey {
             Op::INeg { src, .. } => ExprKey::INeg(*src),
             Op::INot { src, .. } => ExprKey::INot(*src),
             Op::FBin { kind, lhs, rhs, .. } => {
-                let commutative =
-                    matches!(kind, dsp_machine::FpBinKind::Add | dsp_machine::FpBinKind::Mul);
+                let commutative = matches!(
+                    kind,
+                    dsp_machine::FpBinKind::Add | dsp_machine::FpBinKind::Mul
+                );
                 if commutative && rhs.0 < lhs.0 {
                     ExprKey::FBin(*kind, *rhs, *lhs)
                 } else {
@@ -91,9 +93,7 @@ impl ExprKey {
 
     fn mentions(&self, v: VReg) -> bool {
         match *self {
-            ExprKey::IBin(_, a, b) | ExprKey::ICmp(_, a, b) => {
-                a == v || b == IKeyOperand::Reg(v)
-            }
+            ExprKey::IBin(_, a, b) | ExprKey::ICmp(_, a, b) => a == v || b == IKeyOperand::Reg(v),
             ExprKey::FBin(_, a, b) | ExprKey::FCmp(_, a, b) => a == v || b == v,
             ExprKey::INeg(a)
             | ExprKey::INot(a)
@@ -177,9 +177,10 @@ fn run_block(ops: &mut Vec<Op>, vreg_types: &[dsp_ir::Type]) {
         }
         match op {
             Op::Load { dst, addr }
-                if addr.index != Some(*dst) && !avail.iter().any(|(r, _)| r == addr) => {
-                    avail.push((*addr, *dst));
-                }
+                if addr.index != Some(*dst) && !avail.iter().any(|(r, _)| r == addr) =>
+            {
+                avail.push((*addr, *dst));
+            }
             Op::Store { src, addr } => {
                 avail.retain(|(r, _)| !dsp_ir::depgraph::refs_may_overlap(r, addr));
                 avail.push((*addr, *src));
@@ -220,10 +221,9 @@ fn run_block(ops: &mut Vec<Op>, vreg_types: &[dsp_ir::Type]) {
                 | Op::MovF {
                     src: FOperand::Reg(s),
                     ..
+                } if *s != d => {
+                    facts.insert(d, Fact::Copy(*s));
                 }
-                    if *s != d => {
-                        facts.insert(d, Fact::Copy(*s));
-                    }
                 _ => {}
             }
         }
@@ -282,7 +282,12 @@ fn fold(op: &mut Op, facts: &HashMap<VReg, Fact>) {
         }
     };
     let new = match op {
-        Op::IBin { kind, dst, lhs, rhs } => {
+        Op::IBin {
+            kind,
+            dst,
+            lhs,
+            rhs,
+        } => {
             let rc = match rhs {
                 IOperand::Imm(c) => Some(*c),
                 IOperand::Reg(r) => const_i(*r),
@@ -296,7 +301,12 @@ fn fold(op: &mut Op, facts: &HashMap<VReg, Fact>) {
                 _ => None,
             }
         }
-        Op::ICmp { kind, dst, lhs, rhs } => {
+        Op::ICmp {
+            kind,
+            dst,
+            lhs,
+            rhs,
+        } => {
             let rc = match rhs {
                 IOperand::Imm(c) => Some(*c),
                 IOperand::Reg(r) => const_i(*r),
@@ -309,7 +319,12 @@ fn fold(op: &mut Op, facts: &HashMap<VReg, Fact>) {
                 _ => None,
             }
         }
-        Op::FBin { kind, dst, lhs, rhs } => match (const_f(*lhs), const_f(*rhs)) {
+        Op::FBin {
+            kind,
+            dst,
+            lhs,
+            rhs,
+        } => match (const_f(*lhs), const_f(*rhs)) {
             (Some(a), Some(b)) => Some(Op::MovF {
                 dst: *dst,
                 src: FOperand::Imm(eval_fbin(*kind, a, b)),
@@ -319,7 +334,12 @@ fn fold(op: &mut Op, facts: &HashMap<VReg, Fact>) {
             // float algebra alone.
             _ => None,
         },
-        Op::FCmp { kind, dst, lhs, rhs } => match (const_f(*lhs), const_f(*rhs)) {
+        Op::FCmp {
+            kind,
+            dst,
+            lhs,
+            rhs,
+        } => match (const_f(*lhs), const_f(*rhs)) {
             (Some(a), Some(b)) => Some(Op::MovI {
                 dst: *dst,
                 src: IOperand::Imm(i32::from(eval_fcmp(*kind, a, b))),
@@ -376,7 +396,11 @@ mod tests {
     use dsp_ir::Type;
 
     fn count_kind(f: &Function, pred: impl Fn(&Op) -> bool) -> usize {
-        f.blocks.iter().flat_map(|b| &b.ops).filter(|o| pred(o)).count()
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| pred(o))
+            .count()
     }
 
     #[test]

@@ -59,10 +59,9 @@ fn retarget(f: &mut Function, from: BlockId, old: BlockId, new: BlockId) {
                     *else_bb = new;
                 }
             }
-            Op::Jmp(b)
-                if *b == old => {
-                    *b = new;
-                }
+            Op::Jmp(b) if *b == old => {
+                *b = new;
+            }
             _ => {}
         }
     }

@@ -148,7 +148,15 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.ops)
-            .filter(|o| matches!(o, Op::FBin { kind: FpBinKind::Mul, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    Op::FBin {
+                        kind: FpBinKind::Mul,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(muls, 0);
     }

@@ -27,32 +27,70 @@ pub mod rotate;
 
 use dsp_ir::Program;
 
+/// Wall time spent in one optimization pass, summed over every
+/// invocation and every function in the pipeline run.
+#[derive(Debug, Clone)]
+pub struct PassTime {
+    /// Pass name as listed in the module docs (e.g. `licm`, `ivopt`).
+    pub pass: &'static str,
+    /// Accumulated wall time.
+    pub time: std::time::Duration,
+}
+
+/// Accumulate `elapsed` under `pass`, keeping first-run order.
+fn record(acc: &mut Vec<PassTime>, pass: &'static str, elapsed: std::time::Duration) {
+    if let Some(entry) = acc.iter_mut().find(|p| p.pass == pass) {
+        entry.time += elapsed;
+    } else {
+        acc.push(PassTime {
+            pass,
+            time: elapsed,
+        });
+    }
+}
+
+fn timed(acc: &mut Vec<PassTime>, pass: &'static str, f: impl FnOnce()) {
+    let start = std::time::Instant::now();
+    f();
+    record(acc, pass, start.elapsed());
+}
+
 /// Run the full optimization pipeline to a fixed point (bounded).
 pub fn optimize(program: &mut Program) {
+    let _ = optimize_timed(program);
+}
+
+/// [`optimize`], reporting per-pass wall times (summed across
+/// functions and pipeline rounds, in first-run order).
+pub fn optimize_timed(program: &mut Program) -> Vec<PassTime> {
+    let mut acc = Vec::new();
     for f in &mut program.funcs {
-        local::run(f);
-        dce::run(f);
-        dce::remove_unreachable(f);
-        loops::merge_blocks(f);
+        timed(&mut acc, "local", || local::run(f));
+        timed(&mut acc, "dce", || dce::run(f));
+        timed(&mut acc, "unreachable", || dce::remove_unreachable(f));
+        timed(&mut acc, "merge", || loops::merge_blocks(f));
         // Two rounds let derived induction variables chain (e.g.
         // `B[k*10 + j]` needs the `k*10` IV before the `+ j` IV).
         for _ in 0..2 {
-            loops::insert_preheaders(f);
-            licm::run(f);
-            ivopt::run(f);
-            local::run(f);
-            dce::run(f);
+            timed(&mut acc, "preheaders", || {
+                loops::insert_preheaders(f);
+            });
+            timed(&mut acc, "licm", || licm::run(f));
+            timed(&mut acc, "ivopt", || ivopt::run(f));
+            timed(&mut acc, "local", || local::run(f));
+            timed(&mut acc, "dce", || dce::run(f));
         }
-        macfuse::run(f);
-        rotate::run(f);
-        loops::thread_jumps(f);
-        dce::remove_unreachable(f);
-        loops::merge_blocks(f);
-        local::run(f);
-        dce::run(f);
-        dce::run_liveness(f);
+        timed(&mut acc, "macfuse", || macfuse::run(f));
+        timed(&mut acc, "rotate", || rotate::run(f));
+        timed(&mut acc, "thread", || loops::thread_jumps(f));
+        timed(&mut acc, "unreachable", || dce::remove_unreachable(f));
+        timed(&mut acc, "merge", || loops::merge_blocks(f));
+        timed(&mut acc, "local", || local::run(f));
+        timed(&mut acc, "dce", || dce::run(f));
+        timed(&mut acc, "faint-dce", || dce::run_liveness(f));
     }
     debug_assert_eq!(program.validate(), Ok(()), "optimizer broke the program");
+    acc
 }
 
 #[cfg(test)]
@@ -93,7 +131,10 @@ mod tests {
                      out = acc;
                    }";
         let (_, before, after) = check_out(src);
-        assert!(after <= before, "optimizer grew the program: {before} -> {after}");
+        assert!(
+            after <= before,
+            "optimizer grew the program: {before} -> {after}"
+        );
     }
 
     #[test]

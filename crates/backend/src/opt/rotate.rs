@@ -188,7 +188,10 @@ fn rotate_one(f: &mut Function) -> bool {
             continue;
         }
         // Header body must be recomputable at the latch.
-        if !header_ops[..header_ops.len() - 1].iter().all(is_recomputable) {
+        if !header_ops[..header_ops.len() - 1]
+            .iter()
+            .all(is_recomputable)
+        {
             continue;
         }
         let cloned: Vec<Op> = header_ops[..header_ops.len() - 1].to_vec();

@@ -9,7 +9,6 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-
 use dsp_ir::{Function, Type, VReg};
 
 use crate::conv::{FIRST_ALLOC, NUM_ALLOC};
@@ -174,8 +173,7 @@ pub fn allocate(f: &Function) -> Assignment {
             .filter(|iv| f.vreg_ty(iv.vreg) == class)
             .collect();
         list.sort_by_key(|iv| (iv.start, iv.vreg));
-        let mut free: VecDeque<u8> =
-            (FIRST_ALLOC..FIRST_ALLOC + NUM_ALLOC as u8).collect();
+        let mut free: VecDeque<u8> = (FIRST_ALLOC..FIRST_ALLOC + NUM_ALLOC as u8).collect();
         // Active intervals: (end, vreg, reg).
         let mut active: Vec<(u32, VReg, u8)> = Vec::new();
         for iv in list {
@@ -247,9 +245,7 @@ mod tests {
 
     #[test]
     fn small_function_gets_registers() {
-        let f = main_fn(
-            "int out; void main() { int a; int b; a = 1; b = 2; out = a + b; }",
-        );
+        let f = main_fn("int out; void main() { int a; int b; a = 1; b = 2; out = a + b; }");
         let asn = allocate(&f);
         assert_eq!(asn.spill_slots, 0);
         for l in &asn.loc {

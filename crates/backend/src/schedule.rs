@@ -139,11 +139,9 @@ pub fn build_claims(ops: &[LirOp], ideal: bool) -> Vec<OpClaim> {
             LirOp::Int(_) => OpClaim::Class(UnitClass::Int),
             LirOp::Fp(_) => OpClaim::Class(UnitClass::Fp),
             LirOp::Addr(_) => OpClaim::Class(UnitClass::Addr),
-            LirOp::Mem { meta, .. } => OpClaim::Mem(if ideal {
-                MemClaim::Either
-            } else {
-                meta.claim
-            }),
+            LirOp::Mem { meta, .. } => {
+                OpClaim::Mem(if ideal { MemClaim::Either } else { meta.claim })
+            }
             LirOp::DupStorePair { .. } => OpClaim::MemPair,
             LirOp::Jump(_) | LirOp::Br { .. } | LirOp::Call { .. } | LirOp::Ret { .. } => {
                 OpClaim::Unit(FuncUnit::Pcu)

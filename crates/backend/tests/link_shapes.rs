@@ -31,9 +31,7 @@ fn entry_stub_initializes_both_stacks_then_calls_main() {
 #[test]
 fn straightline_code_has_no_redundant_jumps() {
     // One basic block body: nothing to jump over.
-    let p = compile(
-        "int out; void main() { int a; int b; a = 2; b = 3; out = a * b; }",
-    );
+    let p = compile("int out; void main() { int a; int b; a = 2; b = 3; out = a * b; }");
     let jumps = p
         .insts
         .iter()
@@ -79,12 +77,7 @@ fn if_else_uses_inverted_branch_for_fallthrough() {
     let branches = p
         .insts
         .iter()
-        .filter(|i| {
-            matches!(
-                i.pcu,
-                Some(PcuOp::BranchNz { .. } | PcuOp::BranchZ { .. })
-            )
-        })
+        .filter(|i| matches!(i.pcu, Some(PcuOp::BranchNz { .. } | PcuOp::BranchZ { .. })))
         .count();
     assert_eq!(branches, 1, "{}", p.disassemble());
 }

@@ -6,7 +6,6 @@ use dsp_backend::{compile_source, Strategy};
 use dsp_ir::Interpreter;
 use dsp_sim::{SimOptions, Simulator};
 
-
 /// Compile and simulate under `strategy`; compare the named globals
 /// against the interpreter; return the cycle count.
 fn check(src: &str, strategy: Strategy, globals: &[&str]) -> u64 {
@@ -27,9 +26,12 @@ fn check(src: &str, strategy: Strategy, globals: &[&str]) -> u64 {
             ..SimOptions::default()
         },
     );
-    let stats = sim
-        .run()
-        .unwrap_or_else(|e| panic!("[{strategy}] simulation failed: {e}\n{}", out.program.disassemble()));
+    let stats = sim.run().unwrap_or_else(|e| {
+        panic!(
+            "[{strategy}] simulation failed: {e}\n{}",
+            out.program.disassemble()
+        )
+    });
 
     for name in globals {
         let want = interp
@@ -39,7 +41,8 @@ fn check(src: &str, strategy: Strategy, globals: &[&str]) -> u64 {
             .read_symbol(name)
             .unwrap_or_else(|| panic!("symbol {name} missing"));
         assert_eq!(
-            want, &got[..],
+            want,
+            &got[..],
             "[{strategy}] global `{name}` differs from the interpreter"
         );
         // Duplicated symbols must have coherent copies.
@@ -236,7 +239,10 @@ fn duplication_beats_cb_on_autocorrelation() {
     let cb = check(src, Strategy::CbPartition, &["out"]);
     let dup = check(src, Strategy::PartialDup, &["out"]);
     let ideal = check(src, Strategy::Ideal, &["out"]);
-    assert!(dup < cb, "duplication must pay off here: dup {dup} vs cb {cb}");
+    assert!(
+        dup < cb,
+        "duplication must pay off here: dup {dup} vs cb {cb}"
+    );
     // Partitioning alone cannot split same-array accesses — exactly the
     // paper's lpc observation (§4.1): CB gains little or nothing here.
     assert!(cb <= base, "cb {cb} vs base {base}");

@@ -10,42 +10,24 @@
 //!
 //! Run: `cargo bench -p dsp-bench --bench ablation_weights`
 
-use dsp_backend::{compile_ir, Strategy};
+use dsp_backend::Strategy;
 use dsp_bankalloc::{
     build_interference, greedy_partition, refined_partition, AliasClasses, AllocOptions,
     BankAllocation, WeightKind, WeightMode,
 };
-use dsp_bench::{gain_pct, render_table};
+use dsp_bench::{gain_pct, measure_strategies, render_table};
 use dsp_sim::{SimOptions, Simulator};
 use dsp_workloads::runner::frontend;
 
-fn cycles_with_weights(
-    ir: &dsp_ir::Program,
-    weights: WeightKind,
-    stats: Option<&dsp_ir::ExecStats>,
-) -> u64 {
-    // Mirror the driver but with an explicit weight choice.
+/// Cycles under uniform edge weights — no [`Strategy`] maps to this
+/// ablation, so it drives the pipeline pieces directly.
+fn uniform_cycles(ir: &dsp_ir::Program) -> u64 {
     let mut opt_ir = ir.clone();
     dsp_backend::opt::optimize(&mut opt_ir);
     let opts = AllocOptions {
-        weights,
+        weights: WeightKind::Uniform,
         ..AllocOptions::default()
     };
-    let _alloc = BankAllocation::compute(&opt_ir, &opts, stats);
-    // Reuse the driver for actual code generation by selecting the
-    // matching strategy where one exists; uniform weights need the
-    // manual path below.
-    let strategy = match weights {
-        WeightKind::LoopDepth => Some(Strategy::CbPartition),
-        WeightKind::Profile => Some(Strategy::ProfileWeighted),
-        WeightKind::Uniform => None,
-    };
-    if let Some(s) = strategy {
-        let out = compile_ir(ir, s).expect("compiles");
-        let mut sim = Simulator::new(&out.program, SimOptions::default());
-        return sim.run().expect("runs").cycles;
-    }
-    // Uniform weights: drive the pipeline pieces directly.
     let alloc = BankAllocation::compute(&opt_ir, &opts, None);
     let layout = dsp_backend::layout::DataLayout::compute(&opt_ir, &alloc);
     let mut funcs = Vec::new();
@@ -80,19 +62,21 @@ fn main() {
         .collect();
     let mut rows = Vec::new();
     for bench in dsp_workloads::all() {
+        // Loop-depth weights are CB partitioning; profile weights are
+        // Pr — both measured through the shared driver engine (one
+        // parse/optimize/profile per source, artifacts cached).
+        let ms = measure_strategies(
+            &bench,
+            &[
+                Strategy::Baseline,
+                Strategy::CbPartition,
+                Strategy::ProfileWeighted,
+            ],
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let (base, depth, prof) = (ms[0].cycles, ms[1].cycles, ms[2].cycles);
         let ir = frontend(&bench).expect("frontend");
-        let base = {
-            let out = compile_ir(&ir, Strategy::Baseline).expect("compiles");
-            let mut sim = Simulator::new(&out.program, SimOptions::default());
-            sim.run().expect("runs").cycles
-        };
-        let mut opt_ir = ir.clone();
-        dsp_backend::opt::optimize(&mut opt_ir);
-        let mut interp = dsp_ir::Interpreter::new(&opt_ir);
-        let (_, stats) = interp.run().expect("profiles");
-        let depth = cycles_with_weights(&ir, WeightKind::LoopDepth, None);
-        let prof = cycles_with_weights(&ir, WeightKind::Profile, Some(&stats));
-        let unif = cycles_with_weights(&ir, WeightKind::Uniform, None);
+        let unif = uniform_cycles(&ir);
         rows.push(vec![
             bench.name.clone(),
             format!("{:.1}", gain_pct(base, depth)),
@@ -135,4 +119,5 @@ fn main() {
          precluding more sophisticated partitioners; the refined costs above\n\
          confirm there is little left on the table."
     );
+    println!("\n{}", dsp_bench::telemetry_footer());
 }

@@ -1,11 +1,16 @@
-//! Criterion timings of the compiler's core algorithms, checking the
-//! paper's complexity claims: interference-graph construction is
-//! `O(B·n²)` in block size, greedy partitioning `O(v²)` in variable
-//! count (§3.1), and whole-program compilation stays interactive.
+//! Timings of the compiler's core algorithms, checking the paper's
+//! complexity claims: interference-graph construction is `O(B·n²)` in
+//! block size, greedy partitioning `O(v²)` in variable count (§3.1),
+//! and whole-program compilation stays interactive.
 //!
 //! Run: `cargo bench -p dsp-bench --bench algo_scaling`
+//!
+//! Timing uses the same min-of-batches harness as `dsp-driver`'s
+//! telemetry layer: wall-clock medians over fixed-iteration batches,
+//! no external benchmarking dependency.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use dsp_backend::Strategy;
 use dsp_bankalloc::{greedy_partition, InterferenceGraph, Var};
 use dsp_ir::GlobalId;
@@ -56,46 +61,57 @@ fn synthetic_graph(v: usize) -> InterferenceGraph {
     g
 }
 
-fn bench_compaction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compaction");
+/// Median wall-time per call of `f`, over `samples` batches of `iters`
+/// calls each.
+fn time_median(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut per_call: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_call.sort_by(f64::total_cmp);
+    per_call[per_call.len() / 2]
+}
+
+fn human(seconds: f64) -> String {
+    if seconds >= 1e-3 {
+        format!("{:8.3} ms", seconds * 1e3)
+    } else {
+        format!("{:8.3} µs", seconds * 1e6)
+    }
+}
+
+fn main() {
+    println!("algo_scaling — medians of 20 batches\n");
+
+    println!("compaction (block size n, 8 arrays)");
     for &n in &[16usize, 64, 256] {
         let (ops, claims) = synthetic_block(n, 8);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| compact_ir_block(&ops, &claims, None).expect("schedules"));
+        let t = time_median(20, 50, || {
+            compact_ir_block(&ops, &claims, None).expect("schedules");
         });
+        println!("  n = {n:>4}  {}", human(t));
     }
-    group.finish();
-}
 
-fn bench_partitioner(c: &mut Criterion) {
-    let mut group = c.benchmark_group("greedy_partition");
+    println!("greedy_partition (variable count v)");
     for &v in &[8usize, 32, 128, 512] {
         let g = synthetic_graph(v);
-        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
-            b.iter(|| greedy_partition(&g));
+        let iters = if v >= 512 { 5 } else { 50 };
+        let t = time_median(20, iters, || {
+            let _ = greedy_partition(&g);
         });
+        println!("  v = {v:>4}  {}", human(t));
     }
-    group.finish();
-}
 
-fn bench_whole_compile(c: &mut Criterion) {
+    println!("whole-program compile (fir 32×1, CB)");
     let bench = dsp_workloads::kernels::fir(32, 1);
     let ir = dsp_workloads::runner::frontend(&bench).expect("frontend");
-    c.bench_function("compile_fir_32_1_cb", |b| {
-        b.iter(|| dsp_backend::compile_ir(&ir, Strategy::CbPartition).expect("compiles"));
+    let t = time_median(20, 10, || {
+        dsp_backend::compile_ir(&ir, Strategy::CbPartition).expect("compiles");
     });
+    println!("  cb       {}", human(t));
 }
-
-fn quick() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1))
-        .sample_size(20)
-}
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_compaction, bench_partitioner, bench_whole_compile
-}
-criterion_main!(benches);

@@ -63,4 +63,5 @@ fn main() {
          sides of the CI ratio; the paper's conclusion — duplication's\n\
          memory overhead verdicts — should barely move."
     );
+    println!("\n{}", dsp_bench::telemetry_footer());
 }

@@ -11,10 +11,17 @@ use dsp_workloads::kernels;
 fn main() {
     println!("== Figure 7: Performance Gain for DSP Kernels ==");
     println!("   (percent improvement over the single-bank baseline)\n");
-    let headers: Vec<String> = ["kernel", "CB %", "Ideal %", "base cyc", "CB cyc", "Ideal cyc"]
-        .iter()
-        .map(ToString::to_string)
-        .collect();
+    let headers: Vec<String> = [
+        "kernel",
+        "CB %",
+        "Ideal %",
+        "base cyc",
+        "CB cyc",
+        "Ideal cyc",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
     let mut rows = Vec::new();
     let mut cb_gains = Vec::new();
     let mut ideal_gains = Vec::new();
@@ -51,4 +58,5 @@ fn main() {
         "Paper: kernel CB gains 13%-49% (average 29%), CB identical or\n\
          nearly identical to Ideal on every kernel."
     );
+    println!("\n{}", dsp_bench::telemetry_footer());
 }

@@ -49,4 +49,5 @@ fn main() {
          (Pr) change little; spectral's duplication bookkeeping erodes its\n\
          gain below plain CB."
     );
+    println!("\n{}", dsp_bench::telemetry_footer());
 }

@@ -73,4 +73,5 @@ fn main() {
          the designer's performance/area priorities (§4.2); edge_detect is\n\
          a control with no candidates."
     );
+    println!("\n{}", dsp_bench::telemetry_footer());
 }

@@ -62,4 +62,5 @@ fn main() {
          Ideal 1.09 / 0.99 / 1.10. Full duplication is never\n\
          cost-effective; partial duplication's extra memory is marginal."
     );
+    println!("\n{}", dsp_bench::telemetry_footer());
 }

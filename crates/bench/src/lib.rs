@@ -10,14 +10,17 @@
 //! | `fig8_applications` | Figure 8 — application gain, CB / Pr / Dup / Ideal |
 //! | `table3_cost` | Table 3 — PG / CI / PCR for Full Dup, Partial Dup, CB, Ideal |
 //! | `ablation_weights` | §4.1 ablation — loop-depth vs profile vs uniform edge weights |
-//! | `algo_scaling` | Criterion timings of the partitioner and scheduler |
+//! | `algo_scaling` | wall-clock scaling of the partitioner and scheduler |
 //!
 //! Absolute cycle counts differ from the paper's (different substrate,
 //! different benchmark data); the *shape* — who wins, by roughly what
 //! factor, where the crossovers fall — is the reproduction target.
 
+use std::sync::OnceLock;
+
 use dsp_backend::Strategy;
-use dsp_workloads::runner::{measure_ir, Measurement, RunError};
+use dsp_driver::{Engine, EngineError, RunReport};
+use dsp_workloads::runner::{Measurement, RunError};
 use dsp_workloads::Benchmark;
 
 /// Percentage gain of `opt` cycles over `base` cycles.
@@ -26,8 +29,32 @@ pub fn gain_pct(base: u64, opt: u64) -> f64 {
     (base as f64 / opt as f64 - 1.0) * 100.0
 }
 
-/// Measure a benchmark under the given strategies (front-end runs
-/// once).
+/// The process-wide [`Engine`] every bench target shares: repeated
+/// measurements of the same (source, strategy) pair — common when one
+/// target tabulates several overlapping strategy sets — compile exactly
+/// once, and `parse`/`optimize`/`profile`/`reference` run once per
+/// source across the whole process.
+pub fn shared_engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(Engine::default)
+}
+
+/// Run a full benches × strategies matrix on the [`shared_engine`],
+/// returning the structured report (stage times, cache stats, JSON).
+///
+/// # Errors
+///
+/// Returns the first failing job in matrix order.
+pub fn sweep_report(
+    benches: &[Benchmark],
+    strategies: &[Strategy],
+) -> Result<RunReport, EngineError> {
+    shared_engine().run_matrix(benches, strategies)
+}
+
+/// Measure a benchmark under the given strategies via the
+/// [`shared_engine`] (parse/optimize/profile run once per source,
+/// compiled artifacts are reused across calls).
 ///
 /// # Errors
 ///
@@ -36,11 +63,25 @@ pub fn measure_strategies(
     bench: &Benchmark,
     strategies: &[Strategy],
 ) -> Result<Vec<Measurement>, RunError> {
-    let ir = dsp_workloads::runner::frontend(bench)?;
-    strategies
-        .iter()
-        .map(|&s| measure_ir(bench, &ir, s))
-        .collect()
+    let report = shared_engine()
+        .run_matrix(std::slice::from_ref(bench), strategies)
+        .map_err(|e| e.error)?;
+    Ok(report.jobs.into_iter().map(|j| j.measurement).collect())
+}
+
+/// One-line cache/timing summary of the [`shared_engine`], printed by
+/// bench targets after their tables.
+#[must_use]
+pub fn telemetry_footer() -> String {
+    let c = shared_engine().cache().stats();
+    format!(
+        "[driver] cache: {} hits / {} misses ({:.0}% hit rate) — artifacts compiled {}, reused {}",
+        c.hits(),
+        c.misses(),
+        c.hit_rate() * 100.0,
+        c.artifact_misses,
+        c.artifact_hits,
+    )
 }
 
 /// Render an aligned text table.

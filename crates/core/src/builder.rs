@@ -87,8 +87,7 @@ pub fn build_interference(
 ) -> BuildResult {
     let mut graph = InterferenceGraph::new();
     let mut dup_candidates = BTreeSet::new();
-    let mut dup_stats: std::collections::HashMap<Var, DupStats> =
-        std::collections::HashMap::new();
+    let mut dup_stats: std::collections::HashMap<Var, DupStats> = std::collections::HashMap::new();
     // Every alias class is a node even if never co-accessed.
     for class in alias.classes() {
         if !matches!(class, Var::ParamSlot(..)) {
@@ -169,9 +168,7 @@ pub fn build_interference(
             .iter()
             .map(|m| match m {
                 Var::Global(g) => u64::from(program.globals[g.index()].size),
-                Var::Local(func, l) => {
-                    u64::from(program.func(*func).locals[l.index()].size)
-                }
+                Var::Local(func, l) => u64::from(program.func(*func).locals[l.index()].size),
                 Var::ParamSlot(..) => 0,
             })
             .sum();

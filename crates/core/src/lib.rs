@@ -114,6 +114,17 @@ pub struct AllocOptions {
     pub partitioner: PartitionerKind,
 }
 
+/// Wall times of the two phases of the data-allocation pass, for the
+/// pipeline telemetry of `dsp-driver`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllocTimings {
+    /// Trial compaction: per-block candidate scheduling that builds the
+    /// interference graph (phase 2 of the pass).
+    pub trial_compaction: std::time::Duration,
+    /// Graph partitioning across the X/Y banks (phase 3).
+    pub partition: std::time::Duration,
+}
+
 /// The result of the data-allocation pass: a bank for every variable
 /// (alias class) plus the set of duplicated variables.
 #[derive(Debug, Clone)]
@@ -127,6 +138,8 @@ pub struct BankAllocation {
     pub partition_cost: u64,
     /// The greedy trace (empty for non-greedy partitioners).
     pub trace: Vec<partition::Move>,
+    /// Wall times of the pass's phases.
+    pub timings: AllocTimings,
 }
 
 impl BankAllocation {
@@ -152,11 +165,13 @@ impl BankAllocation {
                 WeightMode::Profile(profile.expect("profile weights need ExecStats"))
             }
         };
+        let build_start = std::time::Instant::now();
         let BuildResult {
             mut graph,
             dup_candidates,
             dup_stats,
         } = build_interference(program, &alias, mode);
+        let trial_compaction = build_start.elapsed();
 
         // Only classes made entirely of globals (and parameter slots)
         // can be duplicated: both copies of a global live at the same
@@ -189,11 +204,13 @@ impl BankAllocation {
         for v in &duplicated {
             graph.remove_node(*v);
         }
+        let partition_start = std::time::Instant::now();
         let part = match options.partitioner {
             PartitionerKind::Greedy => greedy_partition(&graph),
             PartitionerKind::Refined => refined_partition(&graph),
             PartitionerKind::Exhaustive => exhaustive_partition(&graph),
         };
+        let partition = partition_start.elapsed();
         let mut class_bank = part.bank.clone();
         // Duplicated variables live in both banks; their home is X.
         for v in &duplicated {
@@ -206,6 +223,10 @@ impl BankAllocation {
             graph,
             partition_cost: part.cost,
             trace: part.trace,
+            timings: AllocTimings {
+                trial_compaction,
+                partition,
+            },
         }
     }
 
@@ -214,11 +235,7 @@ impl BankAllocation {
     #[must_use]
     pub fn all_in_x(program: &Program) -> BankAllocation {
         let alias = AliasClasses::build(program);
-        let class_bank = alias
-            .classes()
-            .into_iter()
-            .map(|c| (c, Bank::X))
-            .collect();
+        let class_bank = alias.classes().into_iter().map(|c| (c, Bank::X)).collect();
         BankAllocation {
             alias,
             class_bank,
@@ -226,6 +243,7 @@ impl BankAllocation {
             graph: InterferenceGraph::new(),
             partition_cost: 0,
             trace: Vec::new(),
+            timings: AllocTimings::default(),
         }
     }
 

@@ -1,0 +1,429 @@
+//! Content-hashed artifact cache.
+//!
+//! A sweep evaluates the same source under several strategies, and the
+//! front half of the pipeline — parsing, machine-independent
+//! optimization, the profiling run, and the reference-interpreter run —
+//! is strategy-independent. The cache splits the pipeline at exactly
+//! those seams:
+//!
+//! * **prepared** — parse + optimize, keyed on the FNV-1a hash of the
+//!   source text; shared by every strategy of a source.
+//! * **profile** — the profiling interpreter run over the optimized IR
+//!   (`Pr`/`SelDup` only); one per source.
+//! * **reference** — the reference interpreter's final global values,
+//!   used for verification; one per source.
+//! * **artifact** — the fully compiled [`CompileOutput`], keyed on
+//!   (source hash, [`CompileConfig`], [`Strategy`]); a repeated sweep
+//!   compiles each pair exactly once.
+//!
+//! Every layer stores its value in an [`OnceLock`] fetched from the map
+//! under a short-lived mutex, so concurrent workers asking for the same
+//! key block on one computation instead of duplicating it. The miss
+//! count of a layer therefore equals the number of distinct keys ever
+//! requested — a deterministic quantity, independent of thread
+//! scheduling.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use dsp_backend::opt::PassTime;
+use dsp_backend::{
+    compile_optimized, profile_ir, CompileConfig, CompileError, CompileOutput, CompileTimings,
+    Strategy,
+};
+use dsp_bankalloc::Var;
+use dsp_ir::{ExecStats, InterpError, Program};
+use dsp_machine::Word;
+use dsp_workloads::runner;
+
+/// FNV-1a hash of a byte string — the cache's content hash.
+///
+/// 64 bits is ample for the handful of sources a sweep sees; the cache
+/// is in-memory and process-local, so a collision could only arise
+/// within one run over attacker-free inputs.
+#[must_use]
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Stable index of a strategy (position in [`Strategy::ALL`]).
+fn strategy_index(strategy: Strategy) -> u8 {
+    Strategy::ALL
+        .iter()
+        .position(|&s| s == strategy)
+        .map_or(u8::MAX, |i| i as u8)
+}
+
+/// Encode a [`CompileConfig`] into cache-key bits.
+fn config_key(config: CompileConfig) -> u64 {
+    u64::from(config.interrupt_safe_dup)
+}
+
+/// Cache key of one compiled artifact: (source text, driver
+/// configuration, strategy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// [`content_hash`] of the source text.
+    pub source: u64,
+    /// Encoded [`CompileConfig`].
+    pub config: u64,
+    /// Index into [`Strategy::ALL`].
+    pub strategy: u8,
+}
+
+impl ArtifactKey {
+    /// Build the key for a (source, config, strategy) triple.
+    #[must_use]
+    pub fn new(source: &str, config: CompileConfig, strategy: Strategy) -> ArtifactKey {
+        ArtifactKey {
+            source: content_hash(source.as_bytes()),
+            config: config_key(config),
+            strategy: strategy_index(strategy),
+        }
+    }
+}
+
+/// Snapshot of per-layer hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Parse+optimize layer hits.
+    pub prepared_hits: u64,
+    /// Parse+optimize layer misses (distinct sources compiled).
+    pub prepared_misses: u64,
+    /// Profiling-run hits.
+    pub profile_hits: u64,
+    /// Profiling-run misses.
+    pub profile_misses: u64,
+    /// Reference-run hits.
+    pub reference_hits: u64,
+    /// Reference-run misses.
+    pub reference_misses: u64,
+    /// Compiled-artifact hits.
+    pub artifact_hits: u64,
+    /// Compiled-artifact misses (distinct (source, config, strategy)
+    /// triples compiled).
+    pub artifact_misses: u64,
+}
+
+impl CacheStats {
+    /// Total hits across all layers.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.prepared_hits + self.profile_hits + self.reference_hits + self.artifact_hits
+    }
+
+    /// Total misses across all layers.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.prepared_misses + self.profile_misses + self.reference_misses + self.artifact_misses
+    }
+
+    /// Fraction of lookups served from cache, `0.0` when idle.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+/// Reference snapshot: final words of every global, by name.
+pub type ReferenceGlobals = Vec<(String, Vec<Word>)>;
+
+/// Strategy-independent front half of the pipeline for one source:
+/// parsed IR, optimized IR, and lazily computed profile/reference runs.
+pub struct PreparedSource {
+    /// [`content_hash`] of the source text.
+    pub source_hash: u64,
+    /// Front-end output (pre-optimization) — the reference
+    /// interpreter's subject.
+    pub ir: Program,
+    /// Optimized IR — the subject of every per-strategy compilation.
+    pub opt_ir: Program,
+    /// Wall time of the front end.
+    pub parse_time: Duration,
+    /// Wall time of the optimization pipeline.
+    pub opt_time: Duration,
+    /// Per-pass breakdown of `opt_time`.
+    pub opt_passes: Vec<PassTime>,
+    profile: OnceLock<(Result<ExecStats, CompileError>, Duration)>,
+    reference: OnceLock<(Result<ReferenceGlobals, InterpError>, Duration)>,
+}
+
+/// A fully compiled (source, config, strategy) artifact with its
+/// per-stage wall times.
+pub struct CompiledArtifact {
+    /// The compiled program, allocation, and optimized IR.
+    pub output: CompileOutput,
+    /// Back-half stage times recorded when this artifact was built
+    /// (`opt`/`profile` are zero — those stages live in
+    /// [`PreparedSource`]).
+    pub timings: CompileTimings,
+}
+
+impl CompiledArtifact {
+    /// Data words occupied by duplicated variables (the second copy
+    /// only), i.e. the memory the duplication strategies trade for
+    /// cycles.
+    #[must_use]
+    pub fn duplicated_words(&self) -> u64 {
+        let ir = &self.output.ir;
+        self.output
+            .alloc
+            .duplicated()
+            .iter()
+            .map(|v| match *v {
+                Var::Global(g) => u64::from(ir.globals[g.0 as usize].size),
+                Var::Local(f, l) => u64::from(ir.funcs[f.0 as usize].locals[l.0 as usize].size),
+                // Array params alias caller storage; no copy of their own.
+                Var::ParamSlot(..) => 0,
+            })
+            .sum()
+    }
+}
+
+type Slot<T> = Arc<OnceLock<T>>;
+type CacheMap<K, T> = Mutex<HashMap<K, Slot<Result<Arc<T>, CompileError>>>>;
+
+/// Fetch-or-insert the [`OnceLock`] slot for `key`; the map lock is
+/// held only for the lookup, never during computation.
+fn slot<K: Eq + Hash, T>(map: &Mutex<HashMap<K, Slot<T>>>, key: K) -> Slot<T> {
+    map.lock()
+        .expect("cache mutex poisoned")
+        .entry(key)
+        .or_default()
+        .clone()
+}
+
+fn count(fresh: bool, hits: &AtomicU64, misses: &AtomicU64) {
+    if fresh {
+        misses.fetch_add(1, Ordering::Relaxed);
+    } else {
+        hits.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide artifact cache shared by all workers of an engine.
+#[derive(Default)]
+pub struct ArtifactCache {
+    prepared: CacheMap<u64, PreparedSource>,
+    artifacts: CacheMap<ArtifactKey, CompiledArtifact>,
+    prepared_hits: AtomicU64,
+    prepared_misses: AtomicU64,
+    profile_hits: AtomicU64,
+    profile_misses: AtomicU64,
+    reference_hits: AtomicU64,
+    reference_misses: AtomicU64,
+    artifact_hits: AtomicU64,
+    artifact_misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::default()
+    }
+
+    /// Parse and optimize `source`, or return the cached result.
+    ///
+    /// The boolean is `true` when this call was served from cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (cached) front-end error for unparsable sources.
+    pub fn prepared(&self, source: &str) -> Result<(Arc<PreparedSource>, bool), CompileError> {
+        let hash = content_hash(source.as_bytes());
+        let cell = slot(&self.prepared, hash);
+        let mut fresh = false;
+        let result = cell.get_or_init(|| {
+            fresh = true;
+            prepare(source, hash)
+        });
+        count(fresh, &self.prepared_hits, &self.prepared_misses);
+        result.clone().map(|p| (p, !fresh))
+    }
+
+    /// The profiling run over `prep.opt_ir`, computed at most once per
+    /// source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Profile`] if the profiling run traps.
+    pub fn profile<'a>(
+        &self,
+        prep: &'a PreparedSource,
+    ) -> Result<(&'a ExecStats, Duration, bool), CompileError> {
+        let mut fresh = false;
+        let (result, time) = prep.profile.get_or_init(|| {
+            fresh = true;
+            let start = Instant::now();
+            (profile_ir(&prep.opt_ir), start.elapsed())
+        });
+        count(fresh, &self.profile_hits, &self.profile_misses);
+        match result {
+            Ok(stats) => Ok((stats, *time, !fresh)),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The reference interpreter's final global values for `prep.ir`,
+    /// computed at most once per source.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (cached) [`InterpError`] if the reference run traps.
+    pub fn reference<'a>(
+        &self,
+        prep: &'a PreparedSource,
+    ) -> Result<(&'a ReferenceGlobals, Duration, bool), InterpError> {
+        let mut fresh = false;
+        let (result, time) = prep.reference.get_or_init(|| {
+            fresh = true;
+            let start = Instant::now();
+            (runner::reference_globals(&prep.ir), start.elapsed())
+        });
+        count(fresh, &self.reference_hits, &self.reference_misses);
+        match result {
+            Ok(globals) => Ok((globals, *time, !fresh)),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Compile `prep.opt_ir` under `strategy`, or return the cached
+    /// artifact. `profile` must be supplied for the profile-driven
+    /// strategies (fetch it via [`ArtifactCache::profile`]).
+    ///
+    /// The boolean is `true` when this call was served from cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (cached) back-end error.
+    pub fn artifact(
+        &self,
+        prep: &PreparedSource,
+        strategy: Strategy,
+        config: CompileConfig,
+        profile: Option<&ExecStats>,
+    ) -> Result<(Arc<CompiledArtifact>, bool), CompileError> {
+        let key = ArtifactKey {
+            source: prep.source_hash,
+            config: config_key(config),
+            strategy: strategy_index(strategy),
+        };
+        let cell = slot(&self.artifacts, key);
+        let mut fresh = false;
+        let result = cell.get_or_init(|| {
+            fresh = true;
+            compile_optimized(&prep.opt_ir, strategy, config, profile)
+                .map(|(output, timings)| Arc::new(CompiledArtifact { output, timings }))
+        });
+        count(fresh, &self.artifact_hits, &self.artifact_misses);
+        result.clone().map(|a| (a, !fresh))
+    }
+
+    /// Snapshot the hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            prepared_hits: self.prepared_hits.load(Ordering::Relaxed),
+            prepared_misses: self.prepared_misses.load(Ordering::Relaxed),
+            profile_hits: self.profile_hits.load(Ordering::Relaxed),
+            profile_misses: self.profile_misses.load(Ordering::Relaxed),
+            reference_hits: self.reference_hits.load(Ordering::Relaxed),
+            reference_misses: self.reference_misses.load(Ordering::Relaxed),
+            artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
+            artifact_misses: self.artifact_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn prepare(source: &str, hash: u64) -> Result<Arc<PreparedSource>, CompileError> {
+    let parse_start = Instant::now();
+    let ir = dsp_frontend::compile_str(source)?;
+    let parse_time = parse_start.elapsed();
+    let mut opt_ir = ir.clone();
+    let opt_start = Instant::now();
+    let opt_passes = dsp_backend::opt::optimize_timed(&mut opt_ir);
+    let opt_time = opt_start.elapsed();
+    Ok(Arc::new(PreparedSource {
+        source_hash: hash,
+        ir,
+        opt_ir,
+        parse_time,
+        opt_time,
+        opt_passes,
+        profile: OnceLock::new(),
+        reference: OnceLock::new(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int out; void main() { out = 7; }";
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(content_hash(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn prepared_is_cached_by_content() {
+        let cache = ArtifactCache::new();
+        let (a, hit_a) = cache.prepared(SRC).unwrap();
+        let (b, hit_b) = cache.prepared(SRC).unwrap();
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.prepared_misses, stats.prepared_hits), (1, 1));
+    }
+
+    #[test]
+    fn artifact_key_separates_config_and_strategy() {
+        let dup = CompileConfig {
+            interrupt_safe_dup: true,
+        };
+        let k1 = ArtifactKey::new(SRC, CompileConfig::default(), Strategy::CbPartition);
+        let k2 = ArtifactKey::new(SRC, dup, Strategy::CbPartition);
+        let k3 = ArtifactKey::new(SRC, CompileConfig::default(), Strategy::Baseline);
+        let k4 = ArtifactKey::new(
+            "int out; void main() { out = 8; }",
+            CompileConfig::default(),
+            Strategy::CbPartition,
+        );
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        assert_ne!(k1, k4);
+        assert_eq!(
+            k1,
+            ArtifactKey::new(SRC, CompileConfig::default(), Strategy::CbPartition)
+        );
+    }
+
+    #[test]
+    fn front_end_errors_are_cached_too() {
+        let cache = ArtifactCache::new();
+        assert!(cache.prepared("not a program").is_err());
+        assert!(cache.prepared("not a program").is_err());
+        let stats = cache.stats();
+        assert_eq!((stats.prepared_misses, stats.prepared_hits), (1, 1));
+    }
+}

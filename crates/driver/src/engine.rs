@@ -1,0 +1,269 @@
+//! Work-queue engine: fans a strategy×workload job matrix out over OS
+//! threads, with every worker sharing one [`ArtifactCache`].
+//!
+//! Determinism: workers only *claim* jobs from an atomic counter; each
+//! job's computation is pure (compilation and simulation are
+//! deterministic functions of the source, config, and strategy), and
+//! results land in a per-job slot that is read back in matrix order.
+//! A parallel run is therefore bit-identical to `jobs = 1` in every
+//! field except wall times and the per-job `*_cached` flags (which job
+//! of a source reaches the cache first is schedule-dependent; the
+//! per-layer totals are not).
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dsp_backend::{CompileConfig, Strategy};
+use dsp_sim::{SimOptions, Simulator};
+use dsp_workloads::runner::{self, RunError};
+use dsp_workloads::Benchmark;
+
+use crate::cache::ArtifactCache;
+use crate::report::{CacheFlags, JobReport, RunReport, StageTimes};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Worker-thread count; `0` means [`std::thread::available_parallelism`].
+    pub jobs: usize,
+    /// Driver-level compile configuration applied to every job.
+    pub config: CompileConfig,
+    /// Simulator fuel (cycle budget) per job.
+    pub fuel: u64,
+    /// Verify every simulated run against the reference interpreter
+    /// (skipped automatically for benchmarks with no checked globals).
+    pub verify: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            jobs: 0,
+            config: CompileConfig::default(),
+            fuel: SimOptions::default().fuel,
+            verify: true,
+        }
+    }
+}
+
+/// A job that failed, with enough context to report it.
+#[derive(Debug)]
+pub struct EngineError {
+    /// Benchmark name.
+    pub bench: String,
+    /// Strategy under which the job failed.
+    pub strategy: Strategy,
+    /// The underlying failure.
+    pub error: RunError,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]: {}", self.bench, self.strategy, self.error)
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// The batch compile-and-simulate engine.
+#[derive(Default)]
+pub struct Engine {
+    opts: EngineOptions,
+    cache: ArtifactCache,
+}
+
+impl Engine {
+    /// An engine with the given options and an empty cache.
+    #[must_use]
+    pub fn new(opts: EngineOptions) -> Engine {
+        Engine {
+            opts,
+            cache: ArtifactCache::new(),
+        }
+    }
+
+    /// The engine's options.
+    #[must_use]
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// The shared artifact cache (persists across `run_matrix` calls,
+    /// so a repeated sweep is served from cache).
+    #[must_use]
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Worker threads that a matrix of `njobs` jobs would use.
+    #[must_use]
+    pub fn worker_count(&self, njobs: usize) -> usize {
+        let configured = if self.opts.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.opts.jobs
+        };
+        configured.max(1).min(njobs.max(1))
+    }
+
+    /// Run the full `benches` × `strategies` matrix and collect a
+    /// [`RunReport`] with per-job measurements, stage times, and cache
+    /// statistics. Jobs are reported bench-major, in argument order,
+    /// regardless of execution interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing job in matrix order (remaining jobs
+    /// still run to completion).
+    pub fn run_matrix(
+        &self,
+        benches: &[Benchmark],
+        strategies: &[Strategy],
+    ) -> Result<RunReport, EngineError> {
+        let jobs: Vec<(&Benchmark, Strategy)> = benches
+            .iter()
+            .flat_map(|b| strategies.iter().map(move |&s| (b, s)))
+            .collect();
+        let workers = self.worker_count(jobs.len());
+        let started = Instant::now();
+
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<JobReport, RunError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let ji = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(bench, strategy)) = jobs.get(ji) else {
+                        break;
+                    };
+                    let outcome = self.run_job(bench, strategy);
+                    *results[ji].lock().expect("result slot poisoned") = Some(outcome);
+                });
+            }
+        });
+
+        let mut reports = Vec::with_capacity(jobs.len());
+        for (ji, cell) in results.into_iter().enumerate() {
+            let (bench, strategy) = jobs[ji];
+            match cell.into_inner().expect("result slot poisoned") {
+                Some(Ok(report)) => reports.push(report),
+                Some(Err(error)) => {
+                    return Err(EngineError {
+                        bench: bench.name.clone(),
+                        strategy,
+                        error,
+                    })
+                }
+                None => unreachable!("job {ji} was never claimed"),
+            }
+        }
+        Ok(RunReport {
+            strategies: strategies.to_vec(),
+            workers,
+            wall_time: started.elapsed(),
+            cache: self.cache.stats(),
+            jobs: reports,
+        })
+    }
+
+    /// Run the whole 23-benchmark suite under `strategies`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_matrix`].
+    pub fn run_suite(&self, strategies: &[Strategy]) -> Result<RunReport, EngineError> {
+        self.run_matrix(&dsp_workloads::all(), strategies)
+    }
+
+    /// Compile, simulate, and verify one (benchmark, strategy) pair,
+    /// going through the cache for every strategy-independent stage.
+    fn run_job(&self, bench: &Benchmark, strategy: Strategy) -> Result<JobReport, RunError> {
+        let (prep, prepared_cached) = self.cache.prepared(&bench.source)?;
+
+        let needs_profile = matches!(strategy, Strategy::ProfileWeighted | Strategy::SelectiveDup);
+        let (profile, profile_time, profile_cached) = if needs_profile {
+            let (stats, time, cached) = self.cache.profile(&prep)?;
+            (Some(stats), time, cached)
+        } else {
+            (None, Duration::ZERO, false)
+        };
+
+        let (artifact, artifact_cached) =
+            self.cache
+                .artifact(&prep, strategy, self.opts.config, profile)?;
+
+        let sim_start = Instant::now();
+        let mut sim = Simulator::new(
+            &artifact.output.program,
+            SimOptions {
+                dual_ported: strategy.dual_ported(),
+                fuel: self.opts.fuel,
+            },
+        );
+        let stats = sim.run()?;
+        let simulate = sim_start.elapsed();
+
+        let mut verify = Duration::ZERO;
+        let mut reference_time = Duration::ZERO;
+        let mut reference_cached = None;
+        if self.opts.verify && !bench.check_globals.is_empty() {
+            let verify_start = Instant::now();
+            let (reference, ref_time, ref_cached) = self.cache.reference(&prep)?;
+            runner::verify_sim(bench, strategy, &sim, reference)?;
+            let total = verify_start.elapsed();
+            // When this job computed the reference run (a miss), that
+            // time is reported under the `reference` stage, not here.
+            verify = if ref_cached {
+                total
+            } else {
+                total.saturating_sub(ref_time)
+            };
+            reference_time = ref_time;
+            reference_cached = Some(ref_cached);
+        }
+
+        let measurement = runner::build_measurement(bench, &artifact.output, stats);
+        Ok(JobReport {
+            bench: bench.name.clone(),
+            kind: bench.kind,
+            strategy,
+            partition_cost: artifact.output.alloc.partition_cost,
+            duplicated_words: artifact.duplicated_words(),
+            measurement,
+            cached: CacheFlags {
+                prepared: prepared_cached,
+                profile: needs_profile.then_some(profile_cached),
+                reference: reference_cached,
+                artifact: artifact_cached,
+            },
+            stages: StageTimes {
+                parse: prep.parse_time,
+                opt: prep.opt_time,
+                opt_passes: prep
+                    .opt_passes
+                    .iter()
+                    .map(|p| (p.pass.to_string(), p.time))
+                    .collect(),
+                profile: profile_time,
+                trial_compaction: artifact.timings.trial_compaction,
+                partition: artifact.timings.partition,
+                regalloc: artifact.timings.regalloc,
+                lower: artifact.timings.lower,
+                final_pack: artifact.timings.final_pack,
+                link: artifact.timings.link,
+                reference: reference_time,
+                simulate,
+                verify,
+            },
+        })
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+//! `dsp-driver` — parallel batch compile-and-simulate engine.
+//!
+//! The paper's evaluation is a matrix: 23 benchmarks × 7 strategies,
+//! each cell a compile + simulate + verify job. This crate runs that
+//! matrix as a work queue over OS threads, with three guarantees:
+//!
+//! 1. **Bit-identical results.** A parallel run produces exactly the
+//!    measurements of the serial path (`runner::measure_ir` per cell):
+//!    jobs only share work at strategy-independent seams (parse,
+//!    optimize, profile, reference run), and each of those stages is a
+//!    deterministic function of the source.
+//! 2. **Exactly-once work.** The [`cache::ArtifactCache`] keys every
+//!    stage on the content hash of its inputs; concurrent workers
+//!    asking for the same key block on one computation.
+//! 3. **Telemetry.** Every job reports per-stage wall times (parse →
+//!    … → simulate → verify) and counters (cycles, dual-memory cycles,
+//!    bank conflicts, duplication footprint) in a [`RunReport`] that
+//!    renders as JSON or as human tables.
+//!
+//! ```text
+//!  benches × strategies          workers (std::thread)
+//!  ┌───────────────────┐   ┌──────────────────────────────┐
+//!  │ job queue (atomic │──▶│ prepare ─ profile ─ compile  │
+//!  │  claim counter)   │   │    │         │        │      │
+//!  └───────────────────┘   │    ▼         ▼        ▼      │
+//!                          │  ArtifactCache (content-hash │
+//!                          │   keyed, OnceLock slots)     │
+//!                          │          │                   │
+//!                          │          ▼                   │
+//!                          │  simulate ─ verify           │
+//!                          └──────────────┬───────────────┘
+//!                                         ▼
+//!                          RunReport (per-job slots, read
+//!                          back in matrix order → JSON/table)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use dsp_backend::Strategy;
+//! use dsp_driver::{Engine, EngineOptions};
+//!
+//! let engine = Engine::new(EngineOptions { jobs: 2, ..EngineOptions::default() });
+//! let bench = dsp_workloads::kernels::fir(8, 4);
+//! let report = engine.run_matrix(&[bench], &Strategy::ALL)?;
+//! assert_eq!(report.jobs.len(), 7);
+//! assert!(report.to_json().contains("dualbank-run-report/v1"));
+//! # Ok::<(), dsp_driver::EngineError>(())
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod report;
+
+pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
+pub use engine::{Engine, EngineError, EngineOptions};
+pub use report::{CacheFlags, JobReport, RunReport, StageTimes};

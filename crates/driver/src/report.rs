@@ -1,0 +1,443 @@
+//! Structured run reports: per-job measurements and stage times,
+//! rendered as JSON (schema `dualbank-run-report/v1`, documented in
+//! `docs/run_report_schema.md`) or as human-readable tables.
+
+use std::time::Duration;
+
+use dsp_backend::Strategy;
+use dsp_workloads::runner::Measurement;
+use dsp_workloads::Kind;
+
+use crate::cache::CacheStats;
+
+/// Which cache layers served this job (`None` = layer not consulted).
+/// Schedule-dependent under parallelism — the per-layer totals in
+/// [`CacheStats`] are the deterministic view.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheFlags {
+    /// Parse+optimize served from cache.
+    pub prepared: bool,
+    /// Profiling run served from cache (profile-driven strategies only).
+    pub profile: Option<bool>,
+    /// Reference run served from cache (verifying jobs only).
+    pub reference: Option<bool>,
+    /// Compiled artifact served from cache.
+    pub artifact: bool,
+}
+
+/// Wall time of every pipeline stage for one job. Stages shared across
+/// strategies (`parse`, `opt`, `profile`, `reference`) report the time
+/// recorded when the shared work was done, so jobs of one source repeat
+/// the same value — sum them per-source, not per-job.
+#[derive(Debug, Clone)]
+pub struct StageTimes {
+    /// Front end (lex, parse, IR construction).
+    pub parse: Duration,
+    /// Machine-independent optimization pipeline.
+    pub opt: Duration,
+    /// Per-pass breakdown of `opt`, in first-run order.
+    pub opt_passes: Vec<(String, Duration)>,
+    /// Profiling interpreter run (profile-driven strategies only).
+    pub profile: Duration,
+    /// Interference-graph construction via trial compaction.
+    pub trial_compaction: Duration,
+    /// X/Y graph partitioning.
+    pub partition: Duration,
+    /// Register allocation.
+    pub regalloc: Duration,
+    /// LIR lowering.
+    pub lower: Duration,
+    /// Final VLIW compaction.
+    pub final_pack: Duration,
+    /// Link and layout.
+    pub link: Duration,
+    /// Reference interpreter run (verification baseline).
+    pub reference: Duration,
+    /// Cycle-accurate simulation.
+    pub simulate: Duration,
+    /// Word-for-word comparison against the reference.
+    pub verify: Duration,
+}
+
+/// The outcome of one (benchmark, strategy) job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Benchmark name.
+    pub bench: String,
+    /// Kernel or application.
+    pub kind: Kind,
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// Cycles, memory cost, and simulator statistics.
+    pub measurement: Measurement,
+    /// The partitioner's objective value (estimated serialized accesses).
+    pub partition_cost: u64,
+    /// Data words spent on duplicated copies.
+    pub duplicated_words: u64,
+    /// Which cache layers served this job.
+    pub cached: CacheFlags,
+    /// Per-stage wall times.
+    pub stages: StageTimes,
+}
+
+/// The full result of an [`Engine::run_matrix`](crate::Engine::run_matrix)
+/// call.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Strategies swept, in column order.
+    pub strategies: Vec<Strategy>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// End-to-end wall time of the matrix.
+    pub wall_time: Duration,
+    /// Cache counters at completion (cumulative over the engine's life).
+    pub cache: CacheStats,
+    /// Per-job reports, bench-major in matrix order.
+    pub jobs: Vec<JobReport>,
+}
+
+impl RunReport {
+    /// The report for one (benchmark, strategy) pair.
+    #[must_use]
+    pub fn job(&self, bench: &str, strategy: Strategy) -> Option<&JobReport> {
+        self.jobs
+            .iter()
+            .find(|j| j.bench == bench && j.strategy == strategy)
+    }
+
+    /// Benchmark names in first-appearance order.
+    #[must_use]
+    pub fn bench_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for j in &self.jobs {
+            if names.last() != Some(&j.bench.as_str()) && !names.contains(&j.bench.as_str()) {
+                names.push(&j.bench);
+            }
+        }
+        names
+    }
+
+    /// Cycle counts as a benchmark × strategy table.
+    #[must_use]
+    pub fn cycles_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<14} {:>12}", "benchmark", "kind"));
+        for s in &self.strategies {
+            out.push_str(&format!(" {:>9}", s.label()));
+        }
+        out.push('\n');
+        for name in self.bench_names() {
+            let kind = self
+                .jobs
+                .iter()
+                .find(|j| j.bench == name)
+                .map_or(String::new(), |j| j.kind.to_string());
+            out.push_str(&format!("{name:<14} {kind:>12}"));
+            for &s in &self.strategies {
+                match self.job(name, s) {
+                    Some(j) => out.push_str(&format!(" {:>9}", j.measurement.cycles)),
+                    None => out.push_str(&format!(" {:>9}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Aggregate per-stage wall times over the whole matrix, counting
+    /// shared stages once per source rather than once per job.
+    #[must_use]
+    pub fn stage_totals(&self) -> Vec<(&'static str, Duration)> {
+        let mut totals: Vec<(&'static str, Duration)> = vec![
+            ("parse", Duration::ZERO),
+            ("opt", Duration::ZERO),
+            ("profile", Duration::ZERO),
+            ("trial_compaction", Duration::ZERO),
+            ("partition", Duration::ZERO),
+            ("regalloc", Duration::ZERO),
+            ("lower", Duration::ZERO),
+            ("final_pack", Duration::ZERO),
+            ("link", Duration::ZERO),
+            ("reference", Duration::ZERO),
+            ("simulate", Duration::ZERO),
+            ("verify", Duration::ZERO),
+        ];
+        let mut add = |name: &str, d: Duration| {
+            if let Some(t) = totals.iter_mut().find(|(n, _)| *n == name) {
+                t.1 += d;
+            }
+        };
+        for j in &self.jobs {
+            // Shared stages: count only for the job that paid them.
+            if !j.cached.prepared {
+                add("parse", j.stages.parse);
+                add("opt", j.stages.opt);
+            }
+            if j.cached.profile == Some(false) {
+                add("profile", j.stages.profile);
+            }
+            if j.cached.reference == Some(false) {
+                add("reference", j.stages.reference);
+            }
+            if !j.cached.artifact {
+                add("trial_compaction", j.stages.trial_compaction);
+                add("partition", j.stages.partition);
+                add("regalloc", j.stages.regalloc);
+                add("lower", j.stages.lower);
+                add("final_pack", j.stages.final_pack);
+                add("link", j.stages.link);
+            }
+            // Per-job stages always count.
+            add("simulate", j.stages.simulate);
+            add("verify", j.stages.verify);
+        }
+        totals
+    }
+
+    /// Human-readable stage summary (aggregate times + cache line).
+    #[must_use]
+    pub fn stage_table(&self) -> String {
+        let totals = self.stage_totals();
+        let grand: Duration = totals.iter().map(|(_, d)| *d).sum();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>10} {:>7}\n",
+            "stage", "total ms", "share"
+        ));
+        for (name, d) in &totals {
+            let share = if grand.is_zero() {
+                0.0
+            } else {
+                d.as_secs_f64() / grand.as_secs_f64() * 100.0
+            };
+            out.push_str(&format!(
+                "{:<18} {:>10.3} {:>6.1}%\n",
+                name,
+                d.as_secs_f64() * 1e3,
+                share
+            ));
+        }
+        out.push_str(&format!(
+            "\njobs: {}   workers: {}   wall: {:.3}s   cpu (staged): {:.3}s\n",
+            self.jobs.len(),
+            self.workers,
+            self.wall_time.as_secs_f64(),
+            grand.as_secs_f64(),
+        ));
+        let c = &self.cache;
+        out.push_str(&format!(
+            "cache: {} hits / {} misses ({:.0}% hit rate; prepared {}/{}, profile {}/{}, reference {}/{}, artifact {}/{})\n",
+            c.hits(),
+            c.misses(),
+            c.hit_rate() * 100.0,
+            c.prepared_hits,
+            c.prepared_hits + c.prepared_misses,
+            c.profile_hits,
+            c.profile_hits + c.profile_misses,
+            c.reference_hits,
+            c.reference_hits + c.reference_misses,
+            c.artifact_hits,
+            c.artifact_hits + c.artifact_misses,
+        ));
+        out
+    }
+
+    /// Serialize to JSON (schema `dualbank-run-report/v1`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new(0);
+        o.str("schema", "dualbank-run-report/v1");
+        o.num("workers", self.workers as u64);
+        o.f64("wall_time_ms", ms(self.wall_time));
+        o.raw(
+            "strategies",
+            &format!(
+                "[{}]",
+                self.strategies
+                    .iter()
+                    .map(|s| json_string(s.label()))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+        o.raw("cache", &cache_json(&self.cache));
+        let jobs: Vec<String> = self.jobs.iter().map(job_json).collect();
+        o.raw("jobs", &format!("[\n{}\n  ]", jobs.join(",\n")));
+        o.finish()
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn cache_json(c: &CacheStats) -> String {
+    let layer = |h: u64, m: u64| format!("{{\"hits\": {h}, \"misses\": {m}}}");
+    format!(
+        "{{\"prepared\": {}, \"profile\": {}, \"reference\": {}, \"artifact\": {}, \"hit_rate\": {}}}",
+        layer(c.prepared_hits, c.prepared_misses),
+        layer(c.profile_hits, c.profile_misses),
+        layer(c.reference_hits, c.reference_misses),
+        layer(c.artifact_hits, c.artifact_misses),
+        json_f64(c.hit_rate()),
+    )
+}
+
+fn job_json(j: &JobReport) -> String {
+    let m = &j.measurement;
+    let s = &j.stages;
+    let stage_fields = [
+        ("parse", s.parse),
+        ("opt", s.opt),
+        ("profile", s.profile),
+        ("trial_compaction", s.trial_compaction),
+        ("partition", s.partition),
+        ("regalloc", s.regalloc),
+        ("lower", s.lower),
+        ("final_pack", s.final_pack),
+        ("link", s.link),
+        ("reference", s.reference),
+        ("simulate", s.simulate),
+        ("verify", s.verify),
+    ];
+    let stages = stage_fields
+        .iter()
+        .map(|(n, d)| format!("{}: {}", json_string(n), json_f64(ms(*d))))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let passes = s
+        .opt_passes
+        .iter()
+        .map(|(n, d)| format!("{}: {}", json_string(n), json_f64(ms(*d))))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let opt_bool = |b: Option<bool>| match b {
+        None => "null".to_string(),
+        Some(v) => v.to_string(),
+    };
+    format!(
+        "    {{\"benchmark\": {}, \"kind\": {}, \"strategy\": {}, \
+         \"cycles\": {}, \"memory_cost\": {}, \
+         \"static_words\": {{\"x\": {}, \"y\": {}}}, \"stack_words\": {}, \"inst_words\": {}, \
+         \"partition_cost\": {}, \"duplicated_vars\": {}, \"duplicated_words\": {}, \
+         \"sim\": {{\"ops\": {}, \"loads\": {}, \"stores\": {}, \"dual_mem_cycles\": {}, \"bank_conflict_cycles\": {}}}, \
+         \"cached\": {{\"prepared\": {}, \"profile\": {}, \"reference\": {}, \"artifact\": {}}}, \
+         \"stage_ms\": {{{stages}}}, \"opt_pass_ms\": {{{passes}}}}}",
+        json_string(&j.bench),
+        json_string(&j.kind.to_string()),
+        json_string(j.strategy.label()),
+        m.cycles,
+        m.memory_cost,
+        m.static_words.0,
+        m.static_words.1,
+        m.stack_words,
+        m.inst_words,
+        j.partition_cost,
+        m.duplicated_vars,
+        j.duplicated_words,
+        m.stats.ops,
+        m.stats.loads,
+        m.stats.stores,
+        m.stats.dual_mem_cycles,
+        m.stats.bank_conflict_cycles,
+        j.cached.prepared,
+        opt_bool(j.cached.profile),
+        opt_bool(j.cached.reference),
+        j.cached.artifact,
+    )
+}
+
+/// Escape and quote a JSON string.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a finite f64 as a JSON number (3 decimal places).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal top-level JSON object builder.
+struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    fn new(_indent: usize) -> JsonObject {
+        JsonObject {
+            buf: "{\n".to_string(),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push_str(",\n");
+        }
+        self.first = false;
+        self.buf.push_str("  ");
+        self.buf.push_str(&json_string(k));
+        self.buf.push_str(": ");
+    }
+
+    fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push_str(&json_string(v));
+    }
+
+    fn num(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+
+    fn f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.buf.push_str(&json_f64(v));
+    }
+
+    fn raw(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push_str(v);
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push_str("\n}\n");
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_strings_escape() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_numbers_stay_finite() {
+        assert_eq!(json_f64(1.5), "1.500");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

@@ -1,0 +1,168 @@
+//! Cache-layer behavior: hit/miss accounting, invalidation on source
+//! and config changes, and isolation between strategies.
+
+use dsp_backend::{CompileConfig, Strategy};
+use dsp_driver::{ArtifactCache, Engine, EngineOptions};
+
+const SRC_A: &str = "float A[8] = {1,2,3,4,5,6,7,8};
+                     float B[8] = {8,7,6,5,4,3,2,1};
+                     float out;
+                     void main() {
+                       int i; float acc; acc = 0.0;
+                       for (i = 0; i < 8; i++) acc += A[i] * B[i];
+                       out = acc;
+                     }";
+
+/// Same program with one changed initializer — different content hash.
+const SRC_B: &str = "float A[8] = {1,2,3,4,5,6,7,9};
+                     float B[8] = {8,7,6,5,4,3,2,1};
+                     float out;
+                     void main() {
+                       int i; float acc; acc = 0.0;
+                       for (i = 0; i < 8; i++) acc += A[i] * B[i];
+                       out = acc;
+                     }";
+
+#[test]
+fn sweep_compiles_each_pair_exactly_once() {
+    let cache = ArtifactCache::new();
+    for _round in 0..3 {
+        for strategy in Strategy::ALL {
+            let (prep, _) = cache.prepared(SRC_A).expect("prepare");
+            let profile = match strategy {
+                Strategy::ProfileWeighted | Strategy::SelectiveDup => {
+                    Some(cache.profile(&prep).expect("profile").0)
+                }
+                _ => None,
+            };
+            cache
+                .artifact(&prep, strategy, CompileConfig::default(), profile)
+                .expect("compile");
+        }
+    }
+    let stats = cache.stats();
+    // One source, three rounds: 1 prepared miss, 20 hits.
+    assert_eq!(stats.prepared_misses, 1);
+    assert_eq!(stats.prepared_hits, 20);
+    // One profiling run shared by Pr and SelDup across all rounds.
+    assert_eq!(stats.profile_misses, 1);
+    assert_eq!(stats.profile_hits, 5);
+    // Seven artifacts compiled once each; rounds 2 and 3 fully cached.
+    assert_eq!(stats.artifact_misses, 7);
+    assert_eq!(stats.artifact_hits, 14);
+    assert!(stats.hit_rate() > 0.8);
+}
+
+#[test]
+fn source_change_invalidates_artifacts() {
+    let cache = ArtifactCache::new();
+    let (prep_a, _) = cache.prepared(SRC_A).unwrap();
+    let (prep_b, _) = cache.prepared(SRC_B).unwrap();
+    let (art_a, hit_a) = cache
+        .artifact(
+            &prep_a,
+            Strategy::CbPartition,
+            CompileConfig::default(),
+            None,
+        )
+        .unwrap();
+    let (art_b, hit_b) = cache
+        .artifact(
+            &prep_b,
+            Strategy::CbPartition,
+            CompileConfig::default(),
+            None,
+        )
+        .unwrap();
+    assert!(!hit_a && !hit_b, "distinct sources must both miss");
+    assert_eq!(cache.stats().prepared_misses, 2);
+    assert_eq!(cache.stats().artifact_misses, 2);
+    // The compiled data differs where the source differs.
+    assert_ne!(
+        art_a.output.ir.globals[0].init,
+        art_b.output.ir.globals[0].init
+    );
+}
+
+#[test]
+fn config_change_invalidates_artifacts() {
+    let cache = ArtifactCache::new();
+    let (prep, _) = cache.prepared(SRC_A).unwrap();
+    let plain = CompileConfig::default();
+    let safe = CompileConfig {
+        interrupt_safe_dup: true,
+    };
+    let (_, hit1) = cache
+        .artifact(&prep, Strategy::PartialDup, plain, None)
+        .unwrap();
+    let (_, hit2) = cache
+        .artifact(&prep, Strategy::PartialDup, safe, None)
+        .unwrap();
+    let (_, hit3) = cache
+        .artifact(&prep, Strategy::PartialDup, plain, None)
+        .unwrap();
+    assert!(!hit1, "first config is a miss");
+    assert!(!hit2, "changed config must recompile");
+    assert!(hit3, "original config is still cached");
+    // The shared front half is reused across configs.
+    assert_eq!(cache.stats().prepared_misses, 1);
+}
+
+#[test]
+fn no_cross_strategy_contamination() {
+    let cache = ArtifactCache::new();
+    let (prep, _) = cache.prepared(SRC_A).unwrap();
+    let mut outputs = Vec::new();
+    for strategy in Strategy::ALL {
+        let profile = match strategy {
+            Strategy::ProfileWeighted | Strategy::SelectiveDup => {
+                Some(cache.profile(&prep).expect("profile").0)
+            }
+            _ => None,
+        };
+        let (art, hit) = cache
+            .artifact(&prep, strategy, CompileConfig::default(), profile)
+            .unwrap();
+        assert!(!hit, "each strategy is its own cache entry");
+        outputs.push(art);
+    }
+    for (art, strategy) in outputs.iter().zip(Strategy::ALL) {
+        assert_eq!(
+            art.output.strategy, strategy,
+            "artifact carries its own strategy"
+        );
+    }
+    // The strategies genuinely differ in output: the baseline puts
+    // everything in X; CB splits the banks.
+    let base = &outputs[0].output.program;
+    let cb = &outputs[1].output.program;
+    assert_eq!(base.y_static_words, 0);
+    assert!(cb.y_static_words > 0);
+}
+
+#[test]
+fn engine_reports_hits_on_repeated_run() {
+    // Acceptance check: repeating a sweep on one engine serves every
+    // compile from cache — hit rate strictly positive and higher than
+    // the first pass.
+    let eng = Engine::new(EngineOptions {
+        jobs: 2,
+        ..EngineOptions::default()
+    });
+    let bench = dsp_workloads::kernels::fir(16, 4);
+    let first = eng
+        .run_matrix(std::slice::from_ref(&bench), &Strategy::ALL)
+        .unwrap();
+    let rate_first = first.cache.hit_rate();
+    let second = eng.run_matrix(&[bench], &Strategy::ALL).unwrap();
+    let rate_second = second.cache.hit_rate();
+    assert!(rate_first > 0.0, "shared stages hit within one sweep");
+    assert!(
+        rate_second > rate_first,
+        "repeat run must raise the hit rate ({rate_first} -> {rate_second})"
+    );
+    assert_eq!(
+        first.cache.artifact_misses, second.cache.artifact_misses,
+        "repeat run compiles nothing new"
+    );
+}

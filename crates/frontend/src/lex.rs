@@ -318,9 +318,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let text = &src[start..i];

@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn arithmetic_and_precedence() {
-        assert_eq!(out_i32("int out; void main() { out = 2 + 3 * 4 - 6 / 2; }"), 11);
+        assert_eq!(
+            out_i32("int out; void main() { out = 2 + 3 * 4 - 6 / 2; }"),
+            11
+        );
     }
 
     #[test]

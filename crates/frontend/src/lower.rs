@@ -8,9 +8,7 @@
 
 use std::collections::HashMap;
 
-use crate::ast::{
-    Ast, BinOp, Expr, FuncDef, GlobalDecl, Item, LValue, Literal, Stmt, Ty, UnOp,
-};
+use crate::ast::{Ast, BinOp, Expr, FuncDef, GlobalDecl, Item, LValue, Literal, Stmt, Ty, UnOp};
 use crate::lex::Pos;
 use dsp_ir::ops::{Arg, FOperand, IOperand, MemBase, MemRef, Op};
 use dsp_ir::{BlockId, FuncId, Function, Global, GlobalId, Param, ParamKind, Program, Type, VReg};

@@ -198,9 +198,9 @@ impl Parser {
         if self.peek() != &Tok::RParen {
             loop {
                 let ppos = self.pos();
-                let ty = self
-                    .try_ty()
-                    .ok_or_else(|| self.err(format!("expected parameter type, found {}", self.peek())))?;
+                let ty = self.try_ty().ok_or_else(|| {
+                    self.err(format!("expected parameter type, found {}", self.peek()))
+                })?;
                 let pname = self.ident()?;
                 let mut is_array = false;
                 if self.peek() == &Tok::LBracket {
@@ -624,7 +624,10 @@ mod tests {
                 } => {
                     assert!(init.is_some());
                     assert!(cond.is_some());
-                    assert!(matches!(**step.as_ref().unwrap(), Stmt::Incr { delta: 1, .. }));
+                    assert!(matches!(
+                        **step.as_ref().unwrap(),
+                        Stmt::Incr { delta: 1, .. }
+                    ));
                 }
                 other => panic!("expected for, got {other:?}"),
             },
@@ -641,7 +644,12 @@ mod tests {
         let Stmt::Assign { value, .. } = &f.body[1] else {
             panic!()
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
             panic!("expected Add at top, got {value:?}")
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -657,7 +665,12 @@ mod tests {
             panic!()
         };
         // Cast binds tighter than +.
-        let Expr::Binary { op: BinOp::Add, lhs, .. } = value else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            lhs,
+            ..
+        } = value
+        else {
             panic!("{value:?}")
         };
         assert!(matches!(**lhs, Expr::Cast { ty: Ty::Int, .. }));
@@ -708,7 +721,10 @@ mod tests {
             panic!()
         };
         assert!(else_s.is_empty());
-        let Stmt::If { else_s: inner_else, .. } = &then_s[0] else {
+        let Stmt::If {
+            else_s: inner_else, ..
+        } = &then_s[0]
+        else {
             panic!()
         };
         assert_eq!(inner_else.len(), 1);

@@ -113,17 +113,20 @@ impl DepGraph {
                 // Memory dependences.
                 match (a, b) {
                     (Op::Store { addr: ra, .. }, Op::Load { addr: rb, .. })
-                        if refs_may_overlap(ra, rb) => {
-                            add(i, j, DepKind::Flow);
-                        }
+                        if refs_may_overlap(ra, rb) =>
+                    {
+                        add(i, j, DepKind::Flow);
+                    }
                     (Op::Load { addr: ra, .. }, Op::Store { addr: rb, .. })
-                        if refs_may_overlap(ra, rb) => {
-                            add(i, j, DepKind::Anti);
-                        }
+                        if refs_may_overlap(ra, rb) =>
+                    {
+                        add(i, j, DepKind::Anti);
+                    }
                     (Op::Store { addr: ra, .. }, Op::Store { addr: rb, .. })
-                        if refs_may_overlap(ra, rb) => {
-                            add(i, j, DepKind::Output);
-                        }
+                        if refs_may_overlap(ra, rb) =>
+                    {
+                        add(i, j, DepKind::Output);
+                    }
                     _ => {}
                 }
                 // Calls are barriers for memory and for each other.

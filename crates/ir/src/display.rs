@@ -8,12 +8,32 @@ impl std::fmt::Display for Op {
         match self {
             Op::MovI { dst, src } => write!(f, "{dst} = movi {src}"),
             Op::MovF { dst, src } => write!(f, "{dst} = movf {src}"),
-            Op::IBin { kind, dst, lhs, rhs } => write!(f, "{dst} = {kind} {lhs}, {rhs}"),
-            Op::ICmp { kind, dst, lhs, rhs } => write!(f, "{dst} = icmp.{kind} {lhs}, {rhs}"),
+            Op::IBin {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => write!(f, "{dst} = {kind} {lhs}, {rhs}"),
+            Op::ICmp {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => write!(f, "{dst} = icmp.{kind} {lhs}, {rhs}"),
             Op::INeg { dst, src } => write!(f, "{dst} = ineg {src}"),
             Op::INot { dst, src } => write!(f, "{dst} = inot {src}"),
-            Op::FBin { kind, dst, lhs, rhs } => write!(f, "{dst} = {kind} {lhs}, {rhs}"),
-            Op::FCmp { kind, dst, lhs, rhs } => write!(f, "{dst} = fcmp.{kind} {lhs}, {rhs}"),
+            Op::FBin {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => write!(f, "{dst} = {kind} {lhs}, {rhs}"),
+            Op::FCmp {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => write!(f, "{dst} = fcmp.{kind} {lhs}, {rhs}"),
             Op::FMac { acc, a, b } => write!(f, "{acc} = fmac {acc}, {a}, {b}"),
             Op::FNeg { dst, src } => write!(f, "{dst} = fneg {src}"),
             Op::ItoF { dst, src } => write!(f, "{dst} = itof {src}"),

@@ -586,9 +586,7 @@ mod tests {
     #[test]
     fn terminator_mid_block_rejected() {
         let mut p = simple_program();
-        p.funcs[0].blocks[0]
-            .ops
-            .insert(0, Op::Jmp(BlockId(0)));
+        p.funcs[0].blocks[0].ops.insert(0, Op::Jmp(BlockId(0)));
         let err = p.validate().unwrap_err();
         assert!(err.contains("terminator before end"), "{err}");
     }

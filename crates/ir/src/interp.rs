@@ -182,7 +182,11 @@ impl<'p> Interpreter<'p> {
         }
     }
 
-    fn call(&mut self, func: FuncId, args: &[(Option<Word>, Option<ArrPlace>)]) -> Result<Option<Word>, InterpError> {
+    fn call(
+        &mut self,
+        func: FuncId,
+        args: &[(Option<Word>, Option<ArrPlace>)],
+    ) -> Result<Option<Word>, InterpError> {
         let f = self.program.func(func);
         let frame_idx = self.frames.len();
         let mut frame = Frame {
@@ -201,8 +205,7 @@ impl<'p> Interpreter<'p> {
         for (i, (p, a)) in f.params.iter().zip(args).enumerate() {
             match p.kind {
                 ParamKind::Value(_) => {
-                    frame.vregs[scalar_vreg as usize] =
-                        a.0.expect("validated call passes scalar");
+                    frame.vregs[scalar_vreg as usize] = a.0.expect("validated call passes scalar");
                     scalar_vreg += 1;
                 }
                 ParamKind::Array(_) => {
@@ -252,12 +255,22 @@ impl<'p> Interpreter<'p> {
                     let v = self.foperand(frame, src);
                     self.set(frame, dst, Word::from_f32(v));
                 }
-                Op::IBin { kind, dst, lhs, rhs } => {
+                Op::IBin {
+                    kind,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     let a = self.get(frame, lhs).as_i32();
                     let b = self.ioperand(frame, rhs);
                     self.set(frame, dst, Word::from_i32(eval_ibin(kind, a, b)));
                 }
-                Op::ICmp { kind, dst, lhs, rhs } => {
+                Op::ICmp {
+                    kind,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     let a = self.get(frame, lhs).as_i32();
                     let b = self.ioperand(frame, rhs);
                     self.set(frame, dst, Word::from_i32(i32::from(eval_icmp(kind, a, b))));
@@ -270,12 +283,22 @@ impl<'p> Interpreter<'p> {
                     let v = self.get(frame, src).as_i32();
                     self.set(frame, dst, Word::from_i32(!v));
                 }
-                Op::FBin { kind, dst, lhs, rhs } => {
+                Op::FBin {
+                    kind,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     let a = self.get(frame, lhs).as_f32();
                     let b = self.get(frame, rhs).as_f32();
                     self.set(frame, dst, Word::from_f32(eval_fbin(kind, a, b)));
                 }
-                Op::FCmp { kind, dst, lhs, rhs } => {
+                Op::FCmp {
+                    kind,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     let a = self.get(frame, lhs).as_f32();
                     let b = self.get(frame, rhs).as_f32();
                     self.set(frame, dst, Word::from_i32(i32::from(eval_fcmp(kind, a, b))));
@@ -391,7 +414,11 @@ impl<'p> Interpreter<'p> {
         let (place, idx) = self.effective(frame, r);
         let (name, size) = self.place_info(place);
         if idx < 0 || idx >= i64::from(size) {
-            return Err(InterpError::OutOfBounds { name, index: idx, size });
+            return Err(InterpError::OutOfBounds {
+                name,
+                index: idx,
+                size,
+            });
         }
         Ok(match place {
             ArrPlace::Global(g) => self.globals[g.index()][idx as usize],
@@ -403,7 +430,11 @@ impl<'p> Interpreter<'p> {
         let (place, idx) = self.effective(frame, r);
         let (name, size) = self.place_info(place);
         if idx < 0 || idx >= i64::from(size) {
-            return Err(InterpError::OutOfBounds { name, index: idx, size });
+            return Err(InterpError::OutOfBounds {
+                name,
+                index: idx,
+                size,
+            });
         }
         match place {
             ArrPlace::Global(g) => self.globals[g.index()][idx as usize] = w,
@@ -518,9 +549,18 @@ mod tests {
         let body = f.new_block();
         let exit = f.new_block();
         let entry = f.entry;
-        f.block_mut(entry).push(Op::MovI { dst: i, src: IOperand::Imm(0) });
-        f.block_mut(entry).push(Op::MovI { dst: n, src: IOperand::Imm(4) });
-        f.block_mut(entry).push(Op::MovI { dst: acc, src: IOperand::Imm(0) });
+        f.block_mut(entry).push(Op::MovI {
+            dst: i,
+            src: IOperand::Imm(0),
+        });
+        f.block_mut(entry).push(Op::MovI {
+            dst: n,
+            src: IOperand::Imm(4),
+        });
+        f.block_mut(entry).push(Op::MovI {
+            dst: acc,
+            src: IOperand::Imm(0),
+        });
         f.block_mut(entry).push(Op::Jmp(header));
         f.block_mut(header).push(Op::ICmp {
             kind: CmpKind::Lt,
@@ -528,7 +568,11 @@ mod tests {
             lhs: i,
             rhs: IOperand::Reg(n),
         });
-        f.block_mut(header).push(Op::Br { cond, then_bb: body, else_bb: exit });
+        f.block_mut(header).push(Op::Br {
+            cond,
+            then_bb: body,
+            else_bb: exit,
+        });
         f.block_mut(body).push(Op::Load {
             dst: elt,
             addr: MemRef::indexed(MemBase::Global(a), i, 0),

@@ -566,10 +566,7 @@ mod tests {
         let op = Op::Call {
             dst: Some(VReg(9)),
             callee: FuncId(1),
-            args: vec![
-                Arg::Value(VReg(4)),
-                Arg::Array(MemBase::Local(LocalId(0))),
-            ],
+            args: vec![Arg::Value(VReg(4)), Arg::Array(MemBase::Local(LocalId(0)))],
         };
         assert_eq!(op.def(), Some(VReg(9)));
         assert_eq!(op.uses(), vec![VReg(4)]);

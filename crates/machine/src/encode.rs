@@ -64,7 +64,11 @@ impl OpWord {
     }
 
     fn push_signed(&mut self, value: i32, width: u32) {
-        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
         self.push((value as u32) & mask, width);
     }
 }
@@ -79,7 +83,11 @@ struct OpRead {
 
 impl OpRead {
     fn take(&mut self, width: u32) -> u32 {
-        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
         let v = (self.bits >> self.used) & mask;
         self.used += width;
         v
@@ -280,7 +288,12 @@ fn decode_imm_unsigned(r: &mut OpRead, inline_width: u32) -> u32 {
 fn encode_int(op: &IntOp) -> OpWord {
     let mut w = OpWord::default();
     match *op {
-        IntOp::Bin { kind, dst, lhs, rhs } => {
+        IntOp::Bin {
+            kind,
+            dst,
+            lhs,
+            rhs,
+        } => {
             w.push(OP_INT_BIN, 5);
             w.push(int_bin_code(kind), 4);
             w.push(u32::from(dst.0), 5);
@@ -296,7 +309,12 @@ fn encode_int(op: &IntOp) -> OpWord {
                 }
             }
         }
-        IntOp::Cmp { kind, dst, lhs, rhs } => {
+        IntOp::Cmp {
+            kind,
+            dst,
+            lhs,
+            rhs,
+        } => {
             w.push(OP_INT_CMP, 5);
             w.push(cmp_code(kind), 3);
             w.push(u32::from(dst.0), 5);
@@ -347,7 +365,12 @@ fn decode_int(r: &mut OpRead, opcode: u32) -> Option<IntOp> {
             } else {
                 IntOperand::Imm(decode_imm_signed(r, 11))
             };
-            IntOp::Bin { kind, dst, lhs, rhs }
+            IntOp::Bin {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            }
         }
         OP_INT_CMP => {
             let kind = cmp_kind(r.take(3))?;
@@ -358,7 +381,12 @@ fn decode_int(r: &mut OpRead, opcode: u32) -> Option<IntOp> {
             } else {
                 IntOperand::Imm(decode_imm_signed(r, 12))
             };
-            IntOp::Cmp { kind, dst, lhs, rhs }
+            IntOp::Cmp {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            }
         }
         OP_INT_MOVI => {
             let dst = IReg(r.take(5) as u8);
@@ -384,7 +412,12 @@ fn decode_int(r: &mut OpRead, opcode: u32) -> Option<IntOp> {
 fn encode_fp(op: &FpOp) -> OpWord {
     let mut w = OpWord::default();
     match *op {
-        FpOp::Bin { kind, dst, lhs, rhs } => {
+        FpOp::Bin {
+            kind,
+            dst,
+            lhs,
+            rhs,
+        } => {
             w.push(OP_FP_BIN, 5);
             w.push(fp_bin_code(kind), 2);
             w.push(u32::from(dst.0), 5);
@@ -397,7 +430,12 @@ fn encode_fp(op: &FpOp) -> OpWord {
             w.push(u32::from(a.0), 5);
             w.push(u32::from(b.0), 5);
         }
-        FpOp::Cmp { kind, dst, lhs, rhs } => {
+        FpOp::Cmp {
+            kind,
+            dst,
+            lhs,
+            rhs,
+        } => {
             w.push(OP_FP_CMP, 5);
             w.push(cmp_code(kind), 3);
             w.push(u32::from(dst.0), 5);
@@ -893,10 +931,7 @@ mod tests {
             i32::MIN,
         ] {
             let mut inst = VliwInst::new();
-            inst.du0 = Some(IntOp::MovImm {
-                dst: IReg(3),
-                imm,
-            });
+            inst.du0 = Some(IntOp::MovImm { dst: IReg(3), imm });
             inst.du1 = Some(IntOp::Bin {
                 kind: IntBinKind::Add,
                 dst: IReg(4),

@@ -471,8 +471,18 @@ pub enum IntOp {
 impl std::fmt::Display for IntOp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IntOp::Bin { kind, dst, lhs, rhs } => write!(f, "{kind} {dst}, {lhs}, {rhs}"),
-            IntOp::Cmp { kind, dst, lhs, rhs } => write!(f, "s{kind} {dst}, {lhs}, {rhs}"),
+            IntOp::Bin {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => write!(f, "{kind} {dst}, {lhs}, {rhs}"),
+            IntOp::Cmp {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => write!(f, "s{kind} {dst}, {lhs}, {rhs}"),
             IntOp::MovImm { dst, imm } => write!(f, "movi {dst}, #{imm}"),
             IntOp::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
             IntOp::Neg { dst, src } => write!(f, "neg {dst}, {src}"),
@@ -581,9 +591,19 @@ pub enum FpOp {
 impl std::fmt::Display for FpOp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FpOp::Bin { kind, dst, lhs, rhs } => write!(f, "{kind} {dst}, {lhs}, {rhs}"),
+            FpOp::Bin {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => write!(f, "{kind} {dst}, {lhs}, {rhs}"),
             FpOp::Mac { dst, a, b } => write!(f, "fmac {dst}, {a}, {b}"),
-            FpOp::Cmp { kind, dst, lhs, rhs } => write!(f, "fs{kind} {dst}, {lhs}, {rhs}"),
+            FpOp::Cmp {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => write!(f, "fs{kind} {dst}, {lhs}, {rhs}"),
             FpOp::MovImm { dst, imm } => write!(f, "fmovi {dst}, #{imm}"),
             FpOp::Mov { dst, src } => write!(f, "fmov {dst}, {src}"),
             FpOp::Neg { dst, src } => write!(f, "fneg {dst}, {src}"),
@@ -784,7 +804,10 @@ mod tests {
     fn op_count_counts_all_slots() {
         let mut inst = VliwInst::new();
         inst.pcu = Some(PcuOp::Halt);
-        inst.du0 = Some(IntOp::MovImm { dst: IReg(1), imm: 3 });
+        inst.du0 = Some(IntOp::MovImm {
+            dst: IReg(1),
+            imm: 3,
+        });
         inst.mu1 = Some(load(Bank::Y));
         assert_eq!(inst.op_count(), 3);
         assert_eq!(inst.mem_op_count(), 1);

@@ -49,11 +49,11 @@ pub mod program;
 pub mod regs;
 pub mod word;
 
+pub use encode::{decode_inst, decode_stream, encode_inst, encode_stream, DecodeError};
 pub use insts::{
     AddrOp, CmpKind, FpBinKind, FpOp, FuncUnit, InstAddr, IntBinKind, IntOp, IntOperand, MemAddr,
     MemOp, PcuOp, UnitClass, VliwInst, NUM_FUNC_UNITS,
 };
-pub use encode::{decode_inst, decode_stream, encode_inst, encode_stream, DecodeError};
 pub use program::{DataImage, DataSymbol, Label, VliwFunction, VliwProgram};
 pub use regs::{AReg, FReg, IReg, Reg, RegClass, NUM_REGS_PER_FILE};
 pub use word::Word;

@@ -230,9 +230,7 @@ impl VliwProgram {
                 use crate::insts::PcuOp;
                 let target = match op {
                     PcuOp::Jump(t) | PcuOp::Call(t) => Some(*t),
-                    PcuOp::BranchNz { target, .. } | PcuOp::BranchZ { target, .. } => {
-                        Some(*target)
-                    }
+                    PcuOp::BranchNz { target, .. } | PcuOp::BranchZ { target, .. } => Some(*target),
                     PcuOp::Ret | PcuOp::Halt => None,
                 };
                 if let Some(t) = target {

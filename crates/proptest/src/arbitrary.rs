@@ -1,0 +1,76 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::{BoxedStrategy, Strategy};
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the whole domain of `T` (mirrors `proptest::arbitrary::any`).
+#[must_use]
+pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+    Arb(std::marker::PhantomData).boxed()
+}
+
+struct Arb<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Arb<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Floats draw raw bit patterns, so infinities and NaNs occur — exactly
+// what the encoding round-trip properties want to exercise.
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_sign_and_magnitude() {
+        let mut rng = TestRng::from_seed(9);
+        let ints = any::<i32>();
+        let (mut neg, mut pos) = (false, false);
+        for _ in 0..100 {
+            let v = ints.gen_value(&mut rng);
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos);
+    }
+}

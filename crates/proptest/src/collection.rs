@@ -1,0 +1,49 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// A size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange(std::ops::Range<usize>);
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        SizeRange(r)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange(n..n + 1)
+    }
+}
+
+/// Vectors of `element` with a length drawn from `size`.
+pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    let SizeRange(range) = size.into();
+    BoxedStrategy::new(move |rng| {
+        let len = rng.usize_in(range.clone());
+        (0..len).map(|_| element.gen_value(rng)).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let mut rng = TestRng::from_seed(11);
+        let strat = vec(0u8..10, 2..5);
+        for _ in 0..100 {
+            let v = strat.gen_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// `Some(value)` half the time, `None` the other half — proptest's
+/// default `Probability`.
+pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    BoxedStrategy::new(move |rng| {
+        if rng.chance(50) {
+            Some(inner.gen_value(rng))
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn of_produces_both_variants() {
+        let mut rng = TestRng::from_seed(13);
+        let strat = of(0u8..4);
+        let (mut some, mut none) = (false, false);
+        for _ in 0..100 {
+            match strat.gen_value(&mut rng) {
+                Some(_) => some = true,
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+}

@@ -1,0 +1,269 @@
+//! The [`Strategy`] trait and core combinators.
+
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree or shrinking: a strategy
+/// is just a deterministic function of the [`TestRng`] stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng| f(inner.gen_value(rng)))
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case and
+    /// `recurse` wraps a strategy for depth-`d` values into one for
+    /// depth-`d+1` values. At every level the generator chooses
+    /// uniformly between recursing and falling back to a leaf, so
+    /// depth (and size) stay bounded. `_desired_size` and
+    /// `_expected_branch` are accepted for API compatibility.
+    fn prop_recursive<F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat);
+            strat = union(vec![leaf.clone(), deeper]);
+        }
+        strat
+    }
+
+    /// Type-erase into a clonable [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng| inner.gen_value(rng))
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy {
+            generate: Rc::clone(&self.generate),
+        }
+    }
+}
+
+impl<T: 'static> BoxedStrategy<T> {
+    /// Wrap a generator function.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy {
+            generate: Rc::new(f),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// A strategy producing one fixed value (by clone).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between `arms` (the engine behind `prop_oneof!`).
+///
+/// # Panics
+///
+/// Panics if `arms` is empty.
+pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy::new(move |rng| {
+        let pick = rng.below(arms.len() as u64) as usize;
+        arms[pick].gen_value(rng)
+    })
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Strings-from-pattern support: a `&str` used as a strategy.
+///
+/// Real proptest interprets the string as a full regex; this stand-in
+/// only honors a trailing `{m,n}` repetition count and otherwise draws
+/// printable characters (ASCII plus a sprinkling of multi-byte code
+/// points, matching the `\PC` character-class use in this workspace).
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repeat_suffix(self).unwrap_or((0, 64));
+        let len = rng.usize_in(lo..hi + 1);
+        const EXTRA: [char; 8] = ['ল', 'é', '日', 'π', 'Ω', '±', '€', '\u{1F3B5}'];
+        (0..len)
+            .map(|_| {
+                if rng.chance(12) {
+                    EXTRA[rng.below(EXTRA.len() as u64) as usize]
+                } else {
+                    char::from(0x20 + rng.below(0x5f) as u8)
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_repeat_suffix(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let brace = body.rfind('{')?;
+    let (lo, hi) = body[brace + 1..].split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut rng = TestRng::from_seed(1);
+        let strat = (0u8..4, (-8i32..8).prop_map(|v| v * 2)).prop_map(|(a, b)| (a, b));
+        for _ in 0..200 {
+            let (a, b) = strat.gen_value(&mut rng);
+            assert!(a < 4);
+            assert!((-16..16).contains(&b) && b % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut rng = TestRng::from_seed(2);
+        let strat = union(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.gen_value(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+                    .boxed()
+            });
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            assert!(depth(&strat.gen_value(&mut rng)) <= 4);
+        }
+    }
+
+    #[test]
+    fn str_pattern_respects_repeat_suffix() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..50 {
+            let s = "\\PC{0,20}".gen_value(&mut rng);
+            assert!(s.chars().count() <= 20);
+            assert!(!s.chars().any(char::is_control));
+        }
+    }
+}

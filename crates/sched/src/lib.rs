@@ -266,8 +266,7 @@ pub fn compact(
                     // Unit taken. For memory operations this is the
                     // event the data-allocation pass listens for.
                     if matches!(input.claims[i], OpClaim::Mem(_)) {
-                        if let (Some(res), Some(observer)) = (resident_mem, mem_conflict.as_mut())
-                        {
+                        if let (Some(res), Some(observer)) = (resident_mem, mem_conflict.as_mut()) {
                             observer(res, i);
                         }
                     }
@@ -467,8 +466,7 @@ mod tests {
     #[test]
     fn dual_ported_memory_packs_same_bank_loads() {
         let ops = vec![load(0, 0), load(1, 1)];
-        let sched =
-            compact_ir_block(&ops, &[MemClaim::Either, MemClaim::Either], None).unwrap();
+        let sched = compact_ir_block(&ops, &[MemClaim::Either, MemClaim::Either], None).unwrap();
         assert_eq!(sched.len(), 1);
     }
 
@@ -496,11 +494,11 @@ mod tests {
         // Chain of 3 (high priority head) + 2 independent movs competing
         // for the 2 DU slots. The chain head must win a slot in cycle 0.
         let ops = vec![
-            movi(9, 7),      // independent
-            movi(8, 7),      // independent
-            movi(0, 1),      // chain head, priority 2
-            add(1, 0, 0),    // chain
-            add(2, 1, 1),    // chain
+            movi(9, 7),   // independent
+            movi(8, 7),   // independent
+            movi(0, 1),   // chain head, priority 2
+            add(1, 0, 0), // chain
+            add(2, 1, 1), // chain
         ];
         let sched = compact_ir_block(&ops, &[], None).unwrap();
         assert_eq!(sched.op_cycle[2], 0, "{sched:?}");

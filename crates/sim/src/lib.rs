@@ -56,6 +56,10 @@ pub struct SimStats {
     /// Cycles in which both memory units were busy — the parallelism the
     /// paper's techniques try to create.
     pub dual_mem_cycles: u64,
+    /// Cycles in which both memory units hit the *same* bank. Only a
+    /// dual-ported (Ideal) memory allows this; the count is exactly the
+    /// bandwidth real banked hardware could not have delivered.
+    pub bank_conflict_cycles: u64,
     /// High-water mark of the bank-X stack, in words above its base.
     pub max_stack_x: u32,
     /// High-water mark of the bank-Y stack, in words above its base.
@@ -233,6 +237,13 @@ impl<'p> Simulator<'p> {
         self.stats.ops += inst.op_count() as u64;
         if inst.mem_op_count() == 2 {
             self.stats.dual_mem_cycles += 1;
+            let bank_of = |op: &Option<MemOp>| match op {
+                Some(MemOp::Load { bank, .. } | MemOp::Store { bank, .. }) => Some(*bank),
+                None => None,
+            };
+            if bank_of(&inst.mu0) == bank_of(&inst.mu1) {
+                self.stats.bank_conflict_cycles += 1;
+            }
         }
         for (idx, unit) in dsp_machine::FuncUnit::ALL.iter().enumerate() {
             let occupied = match unit {
@@ -347,28 +358,42 @@ impl<'p> Simulator<'p> {
             IntOperand::Imm(v) => v,
         };
         match *op {
-            IntOp::Bin { kind, dst, lhs, rhs } => {
+            IntOp::Bin {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let v = eval_ibin(kind, self.iregs[lhs.index()].as_i32(), iop(rhs));
                 (dst, Word::from_i32(v))
             }
-            IntOp::Cmp { kind, dst, lhs, rhs } => {
+            IntOp::Cmp {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let v = eval_icmp(kind, self.iregs[lhs.index()].as_i32(), iop(rhs));
                 (dst, Word::from_i32(i32::from(v)))
             }
             IntOp::MovImm { dst, imm } => (dst, Word::from_i32(imm)),
             IntOp::Mov { dst, src } => (dst, self.iregs[src.index()]),
-            IntOp::Neg { dst, src } => {
-                (dst, Word::from_i32(self.iregs[src.index()].as_i32().wrapping_neg()))
-            }
-            IntOp::Not { dst, src } => {
-                (dst, Word::from_i32(!self.iregs[src.index()].as_i32()))
-            }
+            IntOp::Neg { dst, src } => (
+                dst,
+                Word::from_i32(self.iregs[src.index()].as_i32().wrapping_neg()),
+            ),
+            IntOp::Not { dst, src } => (dst, Word::from_i32(!self.iregs[src.index()].as_i32())),
         }
     }
 
     fn eval_fp(&self, op: &FpOp) -> (Reg, Word) {
         match *op {
-            FpOp::Bin { kind, dst, lhs, rhs } => {
+            FpOp::Bin {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let a = self.fregs[lhs.index()].as_f32();
                 let b = self.fregs[rhs.index()].as_f32();
                 (Reg::Float(dst), Word::from_f32(eval_fbin(kind, a, b)))
@@ -378,22 +403,33 @@ impl<'p> Simulator<'p> {
                 let v = acc + self.fregs[a.index()].as_f32() * self.fregs[b.index()].as_f32();
                 (Reg::Float(dst), Word::from_f32(v))
             }
-            FpOp::Cmp { kind, dst, lhs, rhs } => {
+            FpOp::Cmp {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let a = self.fregs[lhs.index()].as_f32();
                 let b = self.fregs[rhs.index()].as_f32();
-                (Reg::Int(dst), Word::from_i32(i32::from(eval_fcmp(kind, a, b))))
+                (
+                    Reg::Int(dst),
+                    Word::from_i32(i32::from(eval_fcmp(kind, a, b))),
+                )
             }
             FpOp::MovImm { dst, imm } => (Reg::Float(dst), Word::from_f32(imm)),
             FpOp::Mov { dst, src } => (Reg::Float(dst), self.fregs[src.index()]),
-            FpOp::Neg { dst, src } => {
-                (Reg::Float(dst), Word::from_f32(-self.fregs[src.index()].as_f32()))
-            }
-            FpOp::CvtItoF { dst, src } => {
-                (Reg::Float(dst), Word::from_f32(self.iregs[src.index()].as_i32() as f32))
-            }
-            FpOp::CvtFtoI { dst, src } => {
-                (Reg::Int(dst), Word::from_i32(self.fregs[src.index()].as_f32() as i32))
-            }
+            FpOp::Neg { dst, src } => (
+                Reg::Float(dst),
+                Word::from_f32(-self.fregs[src.index()].as_f32()),
+            ),
+            FpOp::CvtItoF { dst, src } => (
+                Reg::Float(dst),
+                Word::from_f32(self.iregs[src.index()].as_i32() as f32),
+            ),
+            FpOp::CvtFtoI { dst, src } => (
+                Reg::Int(dst),
+                Word::from_i32(self.fregs[src.index()].as_f32() as i32),
+            ),
         }
     }
 

@@ -257,8 +257,8 @@ mod tests {
     use super::*;
 
     fn run(b: &Benchmark, out: &str) -> Vec<i32> {
-        let program = dsp_frontend::compile_str(&b.source)
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let program =
+            dsp_frontend::compile_str(&b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let mut interp = dsp_ir::Interpreter::new(&program);
         interp.run().unwrap_or_else(|e| panic!("{}: {e}", b.name));
         interp

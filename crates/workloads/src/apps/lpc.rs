@@ -24,10 +24,7 @@ pub fn lpc() -> Benchmark {
     let speech = tone_signal(101, SAMPLES);
     let window: Vec<f32> = (0..FRAME)
         .map(|i| {
-            quantize(
-                0.54 - 0.46
-                    * (std::f32::consts::TAU * i as f32 / (FRAME as f32 - 1.0)).cos(),
-            )
+            quantize(0.54 - 0.46 * (std::f32::consts::TAU * i as f32 / (FRAME as f32 - 1.0)).cos())
         })
         .collect();
     let frames = SAMPLES / FRAME;

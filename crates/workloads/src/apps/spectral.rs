@@ -25,9 +25,7 @@ const HOP: usize = 32;
 pub fn spectral() -> Benchmark {
     let signal = tone_signal(201, SAMPLES);
     let window: Vec<f32> = (0..SEG)
-        .map(|i| {
-            quantize(0.5 - 0.5 * (std::f32::consts::TAU * i as f32 / SEG as f32).cos())
-        })
+        .map(|i| quantize(0.5 - 0.5 * (std::f32::consts::TAU * i as f32 / SEG as f32).cos()))
         .collect();
     let wr: Vec<f32> = (0..SEG / 2)
         .map(|i| quantize((std::f32::consts::TAU * i as f32 / SEG as f32).cos()))

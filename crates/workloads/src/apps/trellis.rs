@@ -180,11 +180,7 @@ mod tests {
         let mut sent = crate::data::bits(901, NBITS - 2);
         sent.push(0);
         sent.push(0);
-        let errors: usize = sent
-            .iter()
-            .zip(&decoded)
-            .filter(|(a, b)| a != b)
-            .count();
+        let errors: usize = sent.iter().zip(&decoded).filter(|(a, b)| a != b).count();
         assert!(errors <= 3, "{errors} bit errors");
     }
 }

@@ -58,7 +58,11 @@ pub fn fmt_f32(v: f32) -> String {
 /// Render a float initializer list.
 #[must_use]
 pub fn f32_list(values: &[f32]) -> String {
-    values.iter().map(|&v| fmt_f32(v)).collect::<Vec<_>>().join(", ")
+    values
+        .iter()
+        .map(|&v| fmt_f32(v))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Render an int initializer list.

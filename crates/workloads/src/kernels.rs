@@ -138,11 +138,19 @@ fn sine_half_table(n: usize) -> Vec<f32> {
 #[must_use]
 pub fn iir(sections: usize, samples: usize) -> Benchmark {
     // Mild, stable coefficients.
-    let a1: Vec<f32> = (0..sections).map(|s| quantize(-0.5 + 0.05 * s as f32)).collect();
-    let a2: Vec<f32> = (0..sections).map(|s| quantize(0.25 - 0.02 * s as f32)).collect();
-    let b0: Vec<f32> = (0..sections).map(|s| quantize(0.3 + 0.01 * s as f32)).collect();
+    let a1: Vec<f32> = (0..sections)
+        .map(|s| quantize(-0.5 + 0.05 * s as f32))
+        .collect();
+    let a2: Vec<f32> = (0..sections)
+        .map(|s| quantize(0.25 - 0.02 * s as f32))
+        .collect();
+    let b0: Vec<f32> = (0..sections)
+        .map(|s| quantize(0.3 + 0.01 * s as f32))
+        .collect();
     let b1: Vec<f32> = (0..sections).map(|_| quantize(0.15)).collect();
-    let b2: Vec<f32> = (0..sections).map(|s| quantize(0.05 + 0.005 * s as f32)).collect();
+    let b2: Vec<f32> = (0..sections)
+        .map(|s| quantize(0.05 + 0.005 * s as f32))
+        .collect();
     let x = tone_signal(23, samples);
     let source = format!(
         "float a1[{sections}] = {{{a1}}};
@@ -338,9 +346,16 @@ mod tests {
     fn kernel_sources_compile_and_run_in_interpreter() {
         // Use the small variants to keep the test quick; the large ones
         // run in the integration suite.
-        for b in [fir(32, 1), iir(1, 1), latnrm(8, 1), lmsfir(8, 1), matmul(4), fft(256)] {
-            let program = dsp_frontend::compile_str(&b.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        for b in [
+            fir(32, 1),
+            iir(1, 1),
+            latnrm(8, 1),
+            lmsfir(8, 1),
+            matmul(4),
+            fft(256),
+        ] {
+            let program =
+                dsp_frontend::compile_str(&b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let mut interp = dsp_ir::Interpreter::new(&program);
             interp.run().unwrap_or_else(|e| panic!("{}: {e}", b.name));
             for g in &b.check_globals {

@@ -8,6 +8,7 @@
 
 use dsp_backend::{compile_ir, CompileError, Strategy};
 use dsp_ir::{InterpError, Interpreter, Program};
+use dsp_machine::Word;
 use dsp_sim::{SimError, SimOptions, SimStats, Simulator};
 
 use crate::Benchmark;
@@ -107,36 +108,52 @@ pub fn measure(bench: &Benchmark, strategy: Strategy) -> Result<Measurement, Run
     measure_ir(bench, &ir, strategy)
 }
 
-/// [`measure`] with a pre-parsed IR program (avoids re-lexing the
-/// baked-in data tables for every strategy).
+/// Run the reference interpreter over the benchmark's IR and return the
+/// final words of every global, by name.
+///
+/// The result is strategy-independent, so callers that sweep several
+/// strategies (notably `dsp-driver`) run this once per benchmark and
+/// verify each compiled configuration against the same snapshot.
 ///
 /// # Errors
 ///
-/// Returns a [`RunError`] on compile/run failure or output mismatch.
-pub fn measure_ir(
-    bench: &Benchmark,
-    ir: &Program,
-    strategy: Strategy,
-) -> Result<Measurement, RunError> {
-    // Reference run.
+/// Returns [`InterpError`] if the reference run traps (the only way
+/// this can fail — kept narrow and `Clone` so `dsp-driver` can cache
+/// the outcome).
+pub fn reference_globals(ir: &Program) -> Result<Vec<(String, Vec<Word>)>, InterpError> {
     let mut interp = Interpreter::new(ir);
     interp.run()?;
+    Ok(ir
+        .globals
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| {
+            (
+                g.name.clone(),
+                interp.global_mem(dsp_ir::GlobalId(gi as u32)).to_vec(),
+            )
+        })
+        .collect())
+}
 
-    // Compiled run.
-    let out = compile_ir(ir, strategy)?;
-    let mut sim = Simulator::new(
-        &out.program,
-        SimOptions {
-            dual_ported: strategy.dual_ported(),
-            ..SimOptions::default()
-        },
-    );
-    let stats = sim.run()?;
-
-    // Verify.
+/// Verify a simulated run against a reference snapshot from
+/// [`reference_globals`]: every checked global must match word for
+/// word, and duplicated copies must agree with their primaries.
+///
+/// # Errors
+///
+/// Returns [`RunError::Mismatch`] on the first difference.
+pub fn verify_sim(
+    bench: &Benchmark,
+    strategy: Strategy,
+    sim: &Simulator,
+    reference: &[(String, Vec<Word>)],
+) -> Result<(), RunError> {
     for name in &bench.check_globals {
-        let want = interp
-            .global_mem_by_name(name)
+        let want = reference
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, w)| w.as_slice())
             .ok_or_else(|| RunError::Mismatch {
                 global: name.clone(),
                 detail: "missing in interpreter".into(),
@@ -149,9 +166,7 @@ pub fn measure_ir(
             if w != g {
                 return Err(RunError::Mismatch {
                     global: name.clone(),
-                    detail: format!(
-                        "[{strategy}] index {i}: interpreter {w:?}, simulator {g:?}"
-                    ),
+                    detail: format!("[{strategy}] index {i}: interpreter {w:?}, simulator {g:?}"),
                 });
             }
         }
@@ -164,15 +179,25 @@ pub fn measure_ir(
             }
         }
     }
+    Ok(())
+}
 
+/// Assemble a [`Measurement`] from a compiled artifact and the
+/// statistics of its simulated run.
+#[must_use]
+pub fn build_measurement(
+    bench: &Benchmark,
+    out: &dsp_backend::CompileOutput,
+    stats: SimStats,
+) -> Measurement {
     let stack = stats.max_stack_words();
     let memory_cost = u64::from(out.program.x_static_words)
         + u64::from(out.program.y_static_words)
         + 2 * u64::from(stack)
         + u64::from(out.program.inst_count());
-    Ok(Measurement {
+    Measurement {
         name: bench.name.clone(),
-        strategy,
+        strategy: out.strategy,
         cycles: stats.cycles,
         memory_cost,
         static_words: (out.program.x_static_words, out.program.y_static_words),
@@ -180,7 +205,34 @@ pub fn measure_ir(
         inst_words: out.program.inst_count(),
         stats,
         duplicated_vars: out.alloc.duplicated().len(),
-    })
+    }
+}
+
+/// [`measure`] with a pre-parsed IR program (avoids re-lexing the
+/// baked-in data tables for every strategy).
+///
+/// # Errors
+///
+/// Returns a [`RunError`] on compile/run failure or output mismatch.
+pub fn measure_ir(
+    bench: &Benchmark,
+    ir: &Program,
+    strategy: Strategy,
+) -> Result<Measurement, RunError> {
+    let reference = reference_globals(ir)?;
+
+    let out = compile_ir(ir, strategy)?;
+    let mut sim = Simulator::new(
+        &out.program,
+        SimOptions {
+            dual_ported: strategy.dual_ported(),
+            ..SimOptions::default()
+        },
+    );
+    let stats = sim.run()?;
+
+    verify_sim(bench, strategy, &sim, &reference)?;
+    Ok(build_measurement(bench, &out, stats))
 }
 
 /// Measure a benchmark under every strategy; the IR front-end runs only

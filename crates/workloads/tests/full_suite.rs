@@ -7,7 +7,10 @@ use dsp_workloads::runner::{measure_all, Measurement};
 use dsp_workloads::{all, by_name, Kind};
 
 fn cycles_of(ms: &[Measurement], s: Strategy) -> u64 {
-    ms.iter().find(|m| m.strategy == s).expect("measured").cycles
+    ms.iter()
+        .find(|m| m.strategy == s)
+        .expect("measured")
+        .cycles
 }
 
 fn gain(base: u64, opt: u64) -> f64 {
@@ -19,8 +22,7 @@ fn gain(base: u64, opt: u64) -> f64 {
 #[test]
 fn entire_suite_is_correct_under_every_strategy() {
     for bench in all() {
-        let ms = measure_all(&bench)
-            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let ms = measure_all(&bench).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         let base = cycles_of(&ms, Strategy::Baseline);
         let ideal = cycles_of(&ms, Strategy::Ideal);
         assert!(

@@ -1,36 +1,38 @@
 //! Sweep any benchmark of the paper's suite (or all of them) across
-//! every compilation strategy.
+//! every compilation strategy, through the parallel driver engine.
 //!
-//! Run: `cargo run --release --example benchmark_sweep [name]`
+//! Run: `cargo run --release --example benchmark_sweep [name] [jobs]`
 //!
 //! With no argument, all 23 benchmarks run; with a name (`lpc`,
-//! `fft_1024`, …) only that one.
+//! `fft_1024`, …) only that one. The second argument sets the worker
+//! count (default: all cores) — results are bit-identical for any
+//! value.
 
 use dualbank::backend::Strategy;
-use dualbank::workloads::{self, runner};
+use dualbank::driver::{Engine, EngineOptions};
+use dualbank::workloads;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let arg = std::env::args().nth(1);
-    let benches = match arg.as_deref() {
+    let name = std::env::args().nth(1);
+    let jobs: usize = match std::env::args().nth(2) {
+        Some(n) => n.parse()?,
+        None => 0,
+    };
+    let benches = match name.as_deref() {
         Some(name) => {
-            let b = workloads::by_name(name)
-                .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            let b =
+                workloads::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
             vec![b]
         }
         None => workloads::all(),
     };
-    println!(
-        "{:<14} {:>6}  {:>9} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7}",
-        "benchmark", "kind", "Base", "CB", "Pr", "Dup", "SelDup", "FullDup", "Ideal"
-    );
-    for bench in benches {
-        let ms = runner::measure_all(&bench)?;
-        assert_eq!(ms.len(), Strategy::ALL.len());
-        print!("{:<14} {:>6} ", bench.name, bench.kind.to_string());
-        for m in &ms {
-            print!(" {:>8}", m.cycles);
-        }
-        println!();
-    }
+    let engine = Engine::new(EngineOptions {
+        jobs,
+        ..EngineOptions::default()
+    });
+    let report = engine.run_matrix(&benches, &Strategy::ALL)?;
+    print!("{}", report.cycles_table());
+    println!();
+    print!("{}", report.stage_table());
     Ok(())
 }

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (a, b, w) in built.graph.iter_edges() {
         println!("  {} -- {}  weight {w}", name(a), name(b));
     }
-    println!("\ninitial cost (all variables in bank X): {}", built.graph.total_weight());
+    println!(
+        "\ninitial cost (all variables in bank X): {}",
+        built.graph.total_weight()
+    );
 
     let partition = greedy_partition(&built.graph);
     for (step, mv) in partition.trace.iter().enumerate() {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate: build, tests, formatting, lints.
+#
+# Run from the repository root:
+#
+#   scripts/check.sh
+#
+# Pass extra cargo flags via CARGO_FLAGS (e.g. CARGO_FLAGS=--offline).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=${CARGO_FLAGS:-}
+
+echo "== cargo build --release =="
+cargo build --release --workspace $CARGO_FLAGS
+
+echo "== cargo test -q =="
+cargo test -q --workspace $CARGO_FLAGS
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets $CARGO_FLAGS -- -D warnings
+
+echo "All checks passed."

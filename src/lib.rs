@@ -15,7 +15,10 @@
 //!   generation, and linking for the 9-unit VLIW model DSP;
 //! * [`sim`] — the cycle-counting instruction-set simulator;
 //! * [`workloads`] — the paper's 12 kernel and 11 application
-//!   benchmarks, rewritten in DSP-C.
+//!   benchmarks, rewritten in DSP-C;
+//! * [`driver`] — the parallel batch engine that fans the
+//!   strategy×workload matrix over worker threads with a content-hashed
+//!   artifact cache and per-stage telemetry.
 //!
 //! # Quickstart
 //!
@@ -37,6 +40,7 @@
 
 pub use dsp_backend as backend;
 pub use dsp_bankalloc as bankalloc;
+pub use dsp_driver as driver;
 pub use dsp_frontend as frontend;
 pub use dsp_ir as ir;
 pub use dsp_machine as machine;

@@ -3,13 +3,14 @@
 //! ```text
 //! dualbank run <file.c> [--strategy S] [--globals]
 //! dualbank compile <file.c> [--strategy S] [--emit asm|ir|bin]
-//! dualbank sweep <file.c>
-//! dualbank bench <name|all>
+//! dualbank sweep <file.c> [--jobs N] [--json <path>]
+//! dualbank bench <name|all> [--jobs N] [--json <path>] [--stages]
 //! dualbank list
 //! ```
 
 use std::process::ExitCode;
 
+use dualbank::driver::{Engine, EngineOptions};
 use dualbank::{backend, workloads, SimOptions, Simulator, Strategy};
 
 fn usage() -> &'static str {
@@ -20,12 +21,19 @@ fn usage() -> &'static str {
      \x20     compile and simulate; print cycles and memory cost\n\
      \x20 dualbank compile <file.c> [--strategy S] [--emit asm|ir|bin]\n\
      \x20     print the compiled program (default: asm disassembly)\n\
-     \x20 dualbank sweep <file.c>\n\
+     \x20 dualbank sweep <file.c> [--jobs N] [--json <path>]\n\
      \x20     compare all compilation strategies\n\
-     \x20 dualbank bench <name|all>\n\
+     \x20 dualbank bench <name|all> [--jobs N] [--json <path>] [--stages]\n\
      \x20     run paper benchmark(s) across all strategies\n\
      \x20 dualbank list\n\
      \x20     list the paper's 23 benchmarks\n\
+     \n\
+     OPTIONS:\n\
+     \x20 --jobs N    worker threads (default: all cores); results are\n\
+     \x20             bit-identical for every N\n\
+     \x20 --json P    also write the full run report (cycles, stage\n\
+     \x20             times, cache stats) as JSON to P (`-` = stdout)\n\
+     \x20 --stages    print the per-stage time and cache summary\n\
      \n\
      STRATEGIES: base cb pr dup seldup fulldup ideal (default: cb)"
 }
@@ -73,7 +81,12 @@ fn run(args: &[String]) -> Result<(), String> {
         "bench" => cmd_bench(&args[1..]),
         "list" => {
             for b in workloads::all() {
-                println!("{:<14} {:>12}  {}", b.name, b.kind.to_string(), b.description);
+                println!(
+                    "{:<14} {:>12}  {}",
+                    b.name,
+                    b.kind.to_string(),
+                    b.description
+                );
             }
             Ok(())
         }
@@ -184,41 +197,77 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Build an engine from the shared `--jobs` flag.
+fn engine_of(args: &[String]) -> Result<Engine, String> {
+    let jobs = match flag_value(args, "--jobs") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--jobs expects a thread count, got `{v}`"))?,
+        None => 0,
+    };
+    Ok(Engine::new(EngineOptions {
+        jobs,
+        ..EngineOptions::default()
+    }))
+}
+
+/// Honor `--json <path>` (`-` writes to stdout).
+fn emit_json(args: &[String], report: &dualbank::driver::RunReport) -> Result<(), String> {
+    let Some(path) = flag_value(args, "--json") else {
+        return Ok(());
+    };
+    let json = report.to_json();
+    if path == "-" {
+        print!("{json}");
+        Ok(())
+    } else {
+        std::fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))
+    }
+}
+
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let src = read_source(args)?;
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--") && flag_is_not_value(args, a))
+        .map_or_else(|| "sweep".to_string(), |p| p.clone());
+    // Wrap the input file as an ad-hoc benchmark. No checked globals:
+    // there is no ground truth for arbitrary user code, so the engine
+    // skips the reference-interpreter verification.
+    let bench = workloads::Benchmark {
+        name,
+        kind: workloads::Kind::Application,
+        description: String::new(),
+        source: src,
+        check_globals: Vec::new(),
+    };
+    let engine = engine_of(args)?;
+    let report = engine
+        .run_matrix(std::slice::from_ref(&bench), &Strategy::ALL)
+        .map_err(|e| e.to_string())?;
     println!(
         "{:<8} {:>10} {:>8} {:>10} {:>10}",
         "strategy", "cycles", "gain %", "insts", "mem words"
     );
-    let mut base = 0u64;
-    for strategy in Strategy::ALL {
-        let out = backend::compile_source(&src, strategy).map_err(|e| e.to_string())?;
-        let mut sim = Simulator::new(
-            &out.program,
-            SimOptions {
-                dual_ported: strategy.dual_ported(),
-                ..SimOptions::default()
-            },
-        );
-        let stats = sim.run().map_err(|e| format!("[{strategy}] {e}"))?;
-        if strategy == Strategy::Baseline {
-            base = stats.cycles;
-        }
-        let gain = (base as f64 / stats.cycles as f64 - 1.0) * 100.0;
-        let mem = u64::from(out.program.x_static_words)
-            + u64::from(out.program.y_static_words)
-            + 2 * u64::from(stats.max_stack_words())
-            + u64::from(out.program.inst_count());
+    let base = report
+        .job(&bench.name, Strategy::Baseline)
+        .map_or(0, |j| j.measurement.cycles);
+    for &strategy in &report.strategies {
+        let Some(job) = report.job(&bench.name, strategy) else {
+            continue;
+        };
+        let m = &job.measurement;
+        let gain = (base as f64 / m.cycles as f64 - 1.0) * 100.0;
         println!(
             "{:<8} {:>10} {:>8.1} {:>10} {:>10}",
             strategy.label(),
-            stats.cycles,
+            m.cycles,
             gain,
-            out.program.inst_count(),
-            mem
+            m.inst_words,
+            m.memory_cost
         );
     }
-    Ok(())
+    emit_json(args, &report)
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
@@ -226,22 +275,31 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let benches = if name == "all" {
         workloads::all()
     } else {
-        vec![workloads::by_name(name).ok_or_else(|| {
-            format!("unknown benchmark `{name}` (try `dualbank list`)")
-        })?]
+        vec![workloads::by_name(name)
+            .ok_or_else(|| format!("unknown benchmark `{name}` (try `dualbank list`)"))?]
     };
+    let engine = engine_of(args)?;
+    let report = engine
+        .run_matrix(&benches, &Strategy::ALL)
+        .map_err(|e| e.to_string())?;
     print!("{:<14}", "benchmark");
-    for s in Strategy::ALL {
+    for s in &report.strategies {
         print!(" {:>9}", s.label());
     }
     println!();
-    for bench in benches {
-        let ms = workloads::runner::measure_all(&bench).map_err(|e| e.to_string())?;
+    for bench in &benches {
         print!("{:<14}", bench.name);
-        for m in &ms {
-            print!(" {:>9}", m.cycles);
+        for &s in &report.strategies {
+            match report.job(&bench.name, s) {
+                Some(j) => print!(" {:>9}", j.measurement.cycles),
+                None => print!(" {:>9}", "-"),
+            }
         }
         println!();
     }
-    Ok(())
+    if args.iter().any(|a| a == "--stages") {
+        println!();
+        print!("{}", report.stage_table());
+    }
+    emit_json(args, &report)
 }

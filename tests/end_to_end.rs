@@ -18,7 +18,10 @@ fn fir_quickstart_journey() {
     let cb = run_source(src, Strategy::CbPartition).expect("cb runs");
     assert!(cb.cycles < base.cycles, "{} !< {}", cb.cycles, base.cycles);
     assert_eq!(base.global("out"), cb.global("out"));
-    assert_eq!(cb.global("out").unwrap()[0].as_f32(), 1.0 * 0.5 + 2.0 * 0.25);
+    assert_eq!(
+        cb.global("out").unwrap()[0].as_f32(),
+        1.0 * 0.5 + 2.0 * 0.25
+    );
 }
 
 #[test]
@@ -48,8 +51,7 @@ fn whole_benchmark_suite_is_reachable_from_the_facade() {
     let suite = dualbank::workloads::all();
     assert_eq!(suite.len(), 23);
     let bench = dualbank::workloads::by_name("fir_32_1").expect("exists");
-    let m = dualbank::workloads::runner::measure(&bench, Strategy::CbPartition)
-        .expect("measures");
+    let m = dualbank::workloads::runner::measure(&bench, Strategy::CbPartition).expect("measures");
     assert!(m.cycles > 0);
 }
 

@@ -8,8 +8,8 @@
 use proptest::prelude::*;
 
 use dualbank::bankalloc::{
-    exhaustive_partition, greedy_partition, partition_cost, refined_partition,
-    InterferenceGraph, Var,
+    exhaustive_partition, greedy_partition, partition_cost, refined_partition, InterferenceGraph,
+    Var,
 };
 use dualbank::ir::GlobalId;
 use dualbank::Strategy as CompileStrategy;
@@ -112,10 +112,18 @@ fn render_expr(e: &Expr, in_loop: bool) -> String {
         Expr::ArrayI(a, ix) => format!("ia{}[{}]", a, ix.render(in_loop)),
         Expr::ArrayF(a, ix) => format!("fa{}[{}]", a, ix.render(in_loop)),
         Expr::Bin(op, l, r) => {
-            format!("({} {op} {})", render_expr(l, in_loop), render_expr(r, in_loop))
+            format!(
+                "({} {op} {})",
+                render_expr(l, in_loop),
+                render_expr(r, in_loop)
+            )
         }
         Expr::FBin(op, l, r) => {
-            format!("({} {op} {})", render_expr(l, in_loop), render_expr(r, in_loop))
+            format!(
+                "({} {op} {})",
+                render_expr(l, in_loop),
+                render_expr(r, in_loop)
+            )
         }
     }
 }
@@ -242,7 +250,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
         max_shrink_iters: 200,
-        .. ProptestConfig::default()
     })]
 
     /// Compiled execution equals interpretation, for every strategy, on
@@ -313,8 +320,8 @@ proptest! {
 mod encoding {
     use super::*;
     use dualbank::machine::{
-        decode_stream, encode_stream, AReg, AddrOp, Bank, CmpKind, FReg, FpBinKind, FpOp,
-        IReg, InstAddr, IntBinKind, IntOp, IntOperand, MemAddr, MemOp, PcuOp, Reg, VliwInst,
+        decode_stream, encode_stream, AReg, AddrOp, Bank, CmpKind, FReg, FpBinKind, FpOp, IReg,
+        InstAddr, IntBinKind, IntOp, IntOperand, MemAddr, MemOp, PcuOp, Reg, VliwInst,
     };
 
     fn ireg() -> BoxedStrategy<IReg> {
@@ -376,10 +383,22 @@ mod encoding {
 
     fn int_op() -> BoxedStrategy<IntOp> {
         prop_oneof![
-            (int_bin_kind(), ireg(), ireg(), int_operand())
-                .prop_map(|(kind, dst, lhs, rhs)| IntOp::Bin { kind, dst, lhs, rhs }),
-            (cmp_kind(), ireg(), ireg(), int_operand())
-                .prop_map(|(kind, dst, lhs, rhs)| IntOp::Cmp { kind, dst, lhs, rhs }),
+            (int_bin_kind(), ireg(), ireg(), int_operand()).prop_map(|(kind, dst, lhs, rhs)| {
+                IntOp::Bin {
+                    kind,
+                    dst,
+                    lhs,
+                    rhs,
+                }
+            }),
+            (cmp_kind(), ireg(), ireg(), int_operand()).prop_map(|(kind, dst, lhs, rhs)| {
+                IntOp::Cmp {
+                    kind,
+                    dst,
+                    lhs,
+                    rhs,
+                }
+            }),
             (ireg(), any::<i32>()).prop_map(|(dst, imm)| IntOp::MovImm { dst, imm }),
             (ireg(), ireg()).prop_map(|(dst, src)| IntOp::Mov { dst, src }),
             (ireg(), ireg()).prop_map(|(dst, src)| IntOp::Neg { dst, src }),
@@ -396,11 +415,19 @@ mod encoding {
             Just(FpBinKind::Div),
         ];
         prop_oneof![
-            (kind, freg(), freg(), freg())
-                .prop_map(|(kind, dst, lhs, rhs)| FpOp::Bin { kind, dst, lhs, rhs }),
+            (kind, freg(), freg(), freg()).prop_map(|(kind, dst, lhs, rhs)| FpOp::Bin {
+                kind,
+                dst,
+                lhs,
+                rhs
+            }),
             (freg(), freg(), freg()).prop_map(|(dst, a, b)| FpOp::Mac { dst, a, b }),
-            (cmp_kind(), ireg(), freg(), freg())
-                .prop_map(|(kind, dst, lhs, rhs)| FpOp::Cmp { kind, dst, lhs, rhs }),
+            (cmp_kind(), ireg(), freg(), freg()).prop_map(|(kind, dst, lhs, rhs)| FpOp::Cmp {
+                kind,
+                dst,
+                lhs,
+                rhs
+            }),
             (freg(), any::<f32>()).prop_map(|(dst, imm)| FpOp::MovImm { dst, imm }),
             (freg(), freg()).prop_map(|(dst, src)| FpOp::Mov { dst, src }),
             (freg(), freg()).prop_map(|(dst, src)| FpOp::Neg { dst, src }),
@@ -413,10 +440,16 @@ mod encoding {
     fn addr_op() -> BoxedStrategy<AddrOp> {
         prop_oneof![
             (areg(), any::<u32>()).prop_map(|(dst, addr)| AddrOp::Lea { dst, addr }),
-            (areg(), areg(), ireg())
-                .prop_map(|(dst, base, index)| AddrOp::AddIndex { dst, base, index }),
-            (areg(), areg(), any::<i32>())
-                .prop_map(|(dst, base, imm)| AddrOp::AddImm { dst, base, imm }),
+            (areg(), areg(), ireg()).prop_map(|(dst, base, index)| AddrOp::AddIndex {
+                dst,
+                base,
+                index
+            }),
+            (areg(), areg(), any::<i32>()).prop_map(|(dst, base, imm)| AddrOp::AddImm {
+                dst,
+                base,
+                imm
+            }),
             (areg(), areg()).prop_map(|(dst, src)| AddrOp::Mov { dst, src }),
             (ireg(), areg()).prop_map(|(dst, src)| AddrOp::ToInt { dst, src }),
             (areg(), ireg()).prop_map(|(dst, src)| AddrOp::FromInt { dst, src }),
@@ -429,8 +462,11 @@ mod encoding {
             any::<u32>().prop_map(MemAddr::Absolute),
             (areg(), any::<i32>()).prop_map(|(base, offset)| MemAddr::Base { base, offset }),
             (any::<i32>(), ireg()).prop_map(|(addr, index)| MemAddr::AbsIndex { addr, index }),
-            (areg(), ireg(), any::<i32>())
-                .prop_map(|(base, index, offset)| MemAddr::BaseIndex { base, index, offset }),
+            (areg(), ireg(), any::<i32>()).prop_map(|(base, index, offset)| MemAddr::BaseIndex {
+                base,
+                index,
+                offset
+            }),
         ]
         .boxed()
     }
@@ -446,10 +482,14 @@ mod encoding {
     fn pcu_op() -> BoxedStrategy<PcuOp> {
         prop_oneof![
             any::<u32>().prop_map(|t| PcuOp::Jump(InstAddr(t))),
-            (ireg(), any::<u32>())
-                .prop_map(|(cond, t)| PcuOp::BranchNz { cond, target: InstAddr(t) }),
-            (ireg(), any::<u32>())
-                .prop_map(|(cond, t)| PcuOp::BranchZ { cond, target: InstAddr(t) }),
+            (ireg(), any::<u32>()).prop_map(|(cond, t)| PcuOp::BranchNz {
+                cond,
+                target: InstAddr(t)
+            }),
+            (ireg(), any::<u32>()).prop_map(|(cond, t)| PcuOp::BranchZ {
+                cond,
+                target: InstAddr(t)
+            }),
             any::<u32>().prop_map(|t| PcuOp::Call(InstAddr(t))),
             Just(PcuOp::Ret),
             Just(PcuOp::Halt),
@@ -508,6 +548,18 @@ mod encoding {
 // ---------------------------------------------------------------------
 // Front-end robustness
 // ---------------------------------------------------------------------
+
+/// Replay of the shrunk failure cases recorded in
+/// `properties.proptest-regressions`. The offline proptest stand-in
+/// cannot parse upstream proptest's seed format, so the inputs those
+/// seeds shrink to are inlined here and must stay in sync with that
+/// file.
+#[test]
+fn regression_seeds_replay() {
+    // cc d31702…b3af: shrinks to src = "ল" (multi-byte identifier start
+    // once made the lexer slice mid-codepoint).
+    let _ = dualbank::frontend::compile_str("ল");
+}
 
 proptest! {
     /// The front-end must never panic: arbitrary byte soup yields
