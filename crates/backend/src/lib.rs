@@ -108,6 +108,30 @@ impl Strategy {
             Strategy::Ideal => "Ideal",
         }
     }
+
+    /// Parse a strategy name as accepted by every user-facing surface
+    /// (CLI flags, serve request bodies): the paper label
+    /// (case-insensitive) or its common aliases.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted names.
+    pub fn parse(name: &str) -> Result<Strategy, String> {
+        Ok(match name.to_ascii_lowercase().as_str() {
+            "base" | "baseline" => Strategy::Baseline,
+            "cb" => Strategy::CbPartition,
+            "pr" | "profile" => Strategy::ProfileWeighted,
+            "dup" | "partial" => Strategy::PartialDup,
+            "seldup" | "selective" => Strategy::SelectiveDup,
+            "fulldup" | "full" => Strategy::FullDup,
+            "ideal" => Strategy::Ideal,
+            other => {
+                return Err(format!(
+                "unknown strategy `{other}` (expected one of: base cb pr dup seldup fulldup ideal)"
+            ))
+            }
+        })
+    }
 }
 
 impl std::fmt::Display for Strategy {

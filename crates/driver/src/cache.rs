@@ -18,13 +18,27 @@
 //!
 //! Every layer stores its value in an [`OnceLock`] fetched from the map
 //! under a short-lived mutex, so concurrent workers asking for the same
-//! key block on one computation instead of duplicating it. The miss
-//! count of a layer therefore equals the number of distinct keys ever
-//! requested — a deterministic quantity, independent of thread
-//! scheduling.
+//! key block on one computation instead of duplicating it. For an
+//! unbounded cache, the miss count of a layer therefore equals the
+//! number of distinct keys ever requested — a deterministic quantity,
+//! independent of thread scheduling.
+//!
+//! # Bounding
+//!
+//! A batch sweep can afford an unbounded cache (23 sources × 7
+//! strategies), but a long-running server cannot: every novel request
+//! body would pin a parsed program and a compiled artifact forever.
+//! [`ArtifactCache::bounded`] caps the `prepared` and `artifact` maps
+//! at a fixed entry count with least-recently-used eviction; evictions
+//! are counted per layer in [`CacheStats`]. Eviction only drops the
+//! map's reference — in-flight users of an evicted slot hold their own
+//! `Arc` and finish normally; a later request recomputes. (The
+//! profile/reference sub-results ride inside their `PreparedSource`
+//! entry and are evicted with it.)
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -113,6 +127,12 @@ pub struct CacheStats {
     /// Compiled-artifact misses (distinct (source, config, strategy)
     /// triples compiled).
     pub artifact_misses: u64,
+    /// Prepared-source entries dropped by LRU eviction (bounded caches
+    /// only).
+    pub prepared_evictions: u64,
+    /// Compiled-artifact entries dropped by LRU eviction (bounded
+    /// caches only).
+    pub artifact_evictions: u64,
 }
 
 impl CacheStats {
@@ -137,6 +157,12 @@ impl CacheStats {
         } else {
             self.hits() as f64 / total as f64
         }
+    }
+
+    /// Total LRU evictions across all layers.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.prepared_evictions + self.artifact_evictions
     }
 }
 
@@ -196,16 +222,80 @@ impl CompiledArtifact {
 }
 
 type Slot<T> = Arc<OnceLock<T>>;
-type CacheMap<K, T> = Mutex<HashMap<K, Slot<Result<Arc<T>, CompileError>>>>;
 
-/// Fetch-or-insert the [`OnceLock`] slot for `key`; the map lock is
-/// held only for the lookup, never during computation.
-fn slot<K: Eq + Hash, T>(map: &Mutex<HashMap<K, Slot<T>>>, key: K) -> Slot<T> {
-    map.lock()
-        .expect("cache mutex poisoned")
-        .entry(key)
-        .or_default()
-        .clone()
+/// One map entry: the computation slot plus its recency stamp.
+struct Entry<T> {
+    slot: Slot<T>,
+    last_used: u64,
+}
+
+impl<T> Default for Entry<T> {
+    fn default() -> Entry<T> {
+        Entry {
+            slot: Arc::default(),
+            last_used: 0,
+        }
+    }
+}
+
+struct LayerInner<K, T> {
+    map: HashMap<K, Entry<T>>,
+    /// Monotonic access counter; the entry with the smallest stamp is
+    /// the LRU victim.
+    tick: u64,
+}
+
+/// One cache layer: a keyed map of [`OnceLock`] slots with optional
+/// LRU bounding.
+struct Layer<K, T> {
+    inner: Mutex<LayerInner<K, T>>,
+    capacity: Option<NonZeroUsize>,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, T> Layer<K, T> {
+    fn new(capacity: Option<NonZeroUsize>) -> Layer<K, T> {
+        Layer {
+            inner: Mutex::new(LayerInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch-or-insert the [`OnceLock`] slot for `key`; the map lock is
+    /// held only for the lookup (and a possible O(n) eviction scan),
+    /// never during computation.
+    fn slot(&self, key: K) -> Slot<T> {
+        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.entry(key).or_default();
+        entry.last_used = tick;
+        let slot = entry.slot.clone();
+        if let Some(cap) = self.capacity {
+            if inner.map.len() > cap.get() {
+                // ≥ 2 entries and the just-touched one carries the
+                // newest stamp, so the minimum is always another key.
+                if let Some(victim) = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    inner.map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        slot
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("cache mutex poisoned").map.len()
+    }
 }
 
 fn count(fresh: bool, hits: &AtomicU64, misses: &AtomicU64) {
@@ -217,10 +307,9 @@ fn count(fresh: bool, hits: &AtomicU64, misses: &AtomicU64) {
 }
 
 /// The process-wide artifact cache shared by all workers of an engine.
-#[derive(Default)]
 pub struct ArtifactCache {
-    prepared: CacheMap<u64, PreparedSource>,
-    artifacts: CacheMap<ArtifactKey, CompiledArtifact>,
+    prepared: Layer<u64, Result<Arc<PreparedSource>, CompileError>>,
+    artifacts: Layer<ArtifactKey, Result<Arc<CompiledArtifact>, CompileError>>,
     prepared_hits: AtomicU64,
     prepared_misses: AtomicU64,
     profile_hits: AtomicU64,
@@ -231,11 +320,46 @@ pub struct ArtifactCache {
     artifact_misses: AtomicU64,
 }
 
+impl Default for ArtifactCache {
+    fn default() -> ArtifactCache {
+        ArtifactCache::with_capacity(None)
+    }
+}
+
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (batch sweeps: every layer retained).
     #[must_use]
     pub fn new() -> ArtifactCache {
         ArtifactCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries in each of the
+    /// `prepared` and `artifact` layers, evicting least-recently-used
+    /// entries beyond that (long-running servers: bounded memory).
+    #[must_use]
+    pub fn bounded(capacity: NonZeroUsize) -> ArtifactCache {
+        ArtifactCache::with_capacity(Some(capacity))
+    }
+
+    fn with_capacity(capacity: Option<NonZeroUsize>) -> ArtifactCache {
+        ArtifactCache {
+            prepared: Layer::new(capacity),
+            artifacts: Layer::new(capacity),
+            prepared_hits: AtomicU64::new(0),
+            prepared_misses: AtomicU64::new(0),
+            profile_hits: AtomicU64::new(0),
+            profile_misses: AtomicU64::new(0),
+            reference_hits: AtomicU64::new(0),
+            reference_misses: AtomicU64::new(0),
+            artifact_hits: AtomicU64::new(0),
+            artifact_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Entries currently resident in the (prepared, artifact) layers.
+    #[must_use]
+    pub fn resident(&self) -> (usize, usize) {
+        (self.prepared.len(), self.artifacts.len())
     }
 
     /// Parse and optimize `source`, or return the cached result.
@@ -247,7 +371,7 @@ impl ArtifactCache {
     /// Returns the (cached) front-end error for unparsable sources.
     pub fn prepared(&self, source: &str) -> Result<(Arc<PreparedSource>, bool), CompileError> {
         let hash = content_hash(source.as_bytes());
-        let cell = slot(&self.prepared, hash);
+        let cell = self.prepared.slot(hash);
         let mut fresh = false;
         let result = cell.get_or_init(|| {
             fresh = true;
@@ -324,7 +448,7 @@ impl ArtifactCache {
             config: config_key(config),
             strategy: strategy_index(strategy),
         };
-        let cell = slot(&self.artifacts, key);
+        let cell = self.artifacts.slot(key);
         let mut fresh = false;
         let result = cell.get_or_init(|| {
             fresh = true;
@@ -347,6 +471,8 @@ impl ArtifactCache {
             reference_misses: self.reference_misses.load(Ordering::Relaxed),
             artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
             artifact_misses: self.artifact_misses.load(Ordering::Relaxed),
+            prepared_evictions: self.prepared.evictions.load(Ordering::Relaxed),
+            artifact_evictions: self.artifacts.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -416,6 +542,55 @@ mod tests {
             k1,
             ArtifactKey::new(SRC, CompileConfig::default(), Strategy::CbPartition)
         );
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_entries() {
+        let cache = ArtifactCache::bounded(NonZeroUsize::new(2).unwrap());
+        let src_b = "int out; void main() { out = 8; }";
+        let src_c = "int out; void main() { out = 9; }";
+        cache.prepared(SRC).unwrap(); // {A}
+        cache.prepared(src_b).unwrap(); // {A, B}
+        cache.prepared(SRC).unwrap(); // touch A: B is now LRU
+        cache.prepared(src_c).unwrap(); // {A, C} — evicts B
+        assert_eq!(cache.resident().0, 2);
+        let (_, hit) = cache.prepared(SRC).unwrap();
+        assert!(hit, "recently-used entry must survive eviction");
+        let (_, hit) = cache.prepared(src_b).unwrap(); // recompute; evicts C
+        assert!(!hit, "LRU entry must have been evicted");
+        let stats = cache.stats();
+        assert_eq!(stats.prepared_evictions, 2);
+        assert_eq!(stats.evictions(), 2);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ArtifactCache::new();
+        for i in 0..16 {
+            cache
+                .prepared(&format!("int out; void main() {{ out = {i}; }}"))
+                .unwrap();
+        }
+        assert_eq!(cache.resident().0, 16);
+        assert_eq!(cache.stats().evictions(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_artifacts_independently() {
+        let cache = ArtifactCache::bounded(NonZeroUsize::new(1).unwrap());
+        let (prep, _) = cache.prepared(SRC).unwrap();
+        let cfg = CompileConfig::default();
+        cache
+            .artifact(&prep, Strategy::Baseline, cfg, None)
+            .unwrap();
+        cache
+            .artifact(&prep, Strategy::CbPartition, cfg, None)
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(cache.resident().1, 1);
+        assert_eq!(stats.artifact_evictions, 1);
+        // The prepared layer only ever held one entry — no evictions.
+        assert_eq!(stats.prepared_evictions, 0);
     }
 
     #[test]

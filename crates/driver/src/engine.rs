@@ -23,6 +23,28 @@ use dsp_workloads::Benchmark;
 use crate::cache::ArtifactCache;
 use crate::report::{CacheFlags, JobReport, RunReport, StageTimes};
 
+/// Parse a user-supplied worker/`--jobs` count.
+///
+/// The one validation point for every thread-count knob in the
+/// workspace (CLI `--jobs`, `dsp-serve --workers`, the load
+/// generator's `--connections`): the count must be a positive
+/// integer. `0` is rejected here — "use all cores" is spelled by
+/// omitting the flag, not by passing zero.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming `flag` on empty,
+/// non-numeric, or zero input.
+pub fn parse_worker_count(flag: &str, input: &str) -> Result<usize, String> {
+    match input.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{flag} must be at least 1 (omit the flag to use all cores)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("{flag} expects a positive integer, got `{input}`")),
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineOptions {
@@ -35,6 +57,10 @@ pub struct EngineOptions {
     /// Verify every simulated run against the reference interpreter
     /// (skipped automatically for benchmarks with no checked globals).
     pub verify: bool,
+    /// Per-layer artifact-cache capacity; `None` = unbounded (batch
+    /// sweeps), `Some(n)` = LRU-bounded to `n` entries per layer
+    /// (long-running servers).
+    pub cache_capacity: Option<NonZeroUsize>,
 }
 
 impl Default for EngineOptions {
@@ -44,6 +70,7 @@ impl Default for EngineOptions {
             config: CompileConfig::default(),
             fuel: SimOptions::default().fuel,
             verify: true,
+            cache_capacity: None,
         }
     }
 }
@@ -79,13 +106,15 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// An engine with the given options and an empty cache.
+    /// An engine with the given options and an empty cache (bounded by
+    /// [`EngineOptions::cache_capacity`] when set).
     #[must_use]
     pub fn new(opts: EngineOptions) -> Engine {
-        Engine {
-            opts,
-            cache: ArtifactCache::new(),
-        }
+        let cache = match opts.cache_capacity {
+            Some(cap) => ArtifactCache::bounded(cap),
+            None => ArtifactCache::new(),
+        };
+        Engine { opts, cache }
     }
 
     /// The engine's options.
@@ -265,5 +294,33 @@ impl Engine {
                 verify,
             },
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_accepts_positive_integers() {
+        assert_eq!(parse_worker_count("--jobs", "1"), Ok(1));
+        assert_eq!(parse_worker_count("--jobs", "64"), Ok(64));
+    }
+
+    #[test]
+    fn worker_count_rejects_zero_with_a_clear_error() {
+        let err = parse_worker_count("--jobs", "0").unwrap_err();
+        assert!(err.contains("--jobs"), "error should name the flag: {err}");
+        assert!(err.contains("at least 1"), "error should say why: {err}");
+        let err = parse_worker_count("--workers", "0").unwrap_err();
+        assert!(err.contains("--workers"));
+    }
+
+    #[test]
+    fn worker_count_rejects_garbage() {
+        for bad in ["", "x", "-1", "1.5", "1e3"] {
+            let err = parse_worker_count("--jobs", bad).unwrap_err();
+            assert!(err.contains("positive integer"), "{bad:?} -> {err}");
+        }
     }
 }

@@ -51,8 +51,9 @@
 
 pub mod cache;
 pub mod engine;
+pub mod json;
 pub mod report;
 
 pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
-pub use engine::{Engine, EngineError, EngineOptions};
+pub use engine::{parse_worker_count, Engine, EngineError, EngineOptions};
 pub use report::{CacheFlags, JobReport, RunReport, StageTimes};

@@ -9,6 +9,7 @@ use dsp_workloads::runner::Measurement;
 use dsp_workloads::Kind;
 
 use crate::cache::CacheStats;
+use crate::json::{escape as json_string, number as json_f64, ObjectWriter};
 
 /// Which cache layers served this job (`None` = layer not consulted).
 /// Schedule-dependent under parallelism — the per-layer totals in
@@ -245,7 +246,7 @@ impl RunReport {
     /// Serialize to JSON (schema `dualbank-run-report/v1`).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut o = JsonObject::new(0);
+        let mut o = ObjectWriter::new();
         o.str("schema", "dualbank-run-report/v1");
         o.num("workers", self.workers as u64);
         o.f64("wall_time_ms", ms(self.wall_time));
@@ -261,7 +262,7 @@ impl RunReport {
             ),
         );
         o.raw("cache", &cache_json(&self.cache));
-        let jobs: Vec<String> = self.jobs.iter().map(job_json).collect();
+        let jobs: Vec<String> = self.jobs.iter().map(JobReport::to_json).collect();
         o.raw("jobs", &format!("[\n{}\n  ]", jobs.join(",\n")));
         o.finish()
     }
@@ -273,14 +274,26 @@ fn ms(d: Duration) -> f64 {
 
 fn cache_json(c: &CacheStats) -> String {
     let layer = |h: u64, m: u64| format!("{{\"hits\": {h}, \"misses\": {m}}}");
+    let evicting =
+        |h: u64, m: u64, e: u64| format!("{{\"hits\": {h}, \"misses\": {m}, \"evictions\": {e}}}");
     format!(
         "{{\"prepared\": {}, \"profile\": {}, \"reference\": {}, \"artifact\": {}, \"hit_rate\": {}}}",
-        layer(c.prepared_hits, c.prepared_misses),
+        evicting(c.prepared_hits, c.prepared_misses, c.prepared_evictions),
         layer(c.profile_hits, c.profile_misses),
         layer(c.reference_hits, c.reference_misses),
-        layer(c.artifact_hits, c.artifact_misses),
+        evicting(c.artifact_hits, c.artifact_misses, c.artifact_evictions),
         json_f64(c.hit_rate()),
     )
+}
+
+impl JobReport {
+    /// Serialize this job as one JSON object (the element shape of the
+    /// `jobs` array in `dualbank-run-report/v1`; also the core of the
+    /// `dsp-serve` `/compile` response).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        job_json(self)
+    }
 }
 
 fn job_json(j: &JobReport) -> String {
@@ -345,99 +358,4 @@ fn job_json(j: &JobReport) -> String {
         opt_bool(j.cached.reference),
         j.cached.artifact,
     )
-}
-
-/// Escape and quote a JSON string.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Render a finite f64 as a JSON number (3 decimal places).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.3}")
-    } else {
-        "null".to_string()
-    }
-}
-
-/// Minimal top-level JSON object builder.
-struct JsonObject {
-    buf: String,
-    first: bool,
-}
-
-impl JsonObject {
-    fn new(_indent: usize) -> JsonObject {
-        JsonObject {
-            buf: "{\n".to_string(),
-            first: true,
-        }
-    }
-
-    fn key(&mut self, k: &str) {
-        if !self.first {
-            self.buf.push_str(",\n");
-        }
-        self.first = false;
-        self.buf.push_str("  ");
-        self.buf.push_str(&json_string(k));
-        self.buf.push_str(": ");
-    }
-
-    fn str(&mut self, k: &str, v: &str) {
-        self.key(k);
-        self.buf.push_str(&json_string(v));
-    }
-
-    fn num(&mut self, k: &str, v: u64) {
-        self.key(k);
-        self.buf.push_str(&v.to_string());
-    }
-
-    fn f64(&mut self, k: &str, v: f64) {
-        self.key(k);
-        self.buf.push_str(&json_f64(v));
-    }
-
-    fn raw(&mut self, k: &str, v: &str) {
-        self.key(k);
-        self.buf.push_str(v);
-    }
-
-    fn finish(mut self) -> String {
-        self.buf.push_str("\n}\n");
-        self.buf
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn json_strings_escape() {
-        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
-        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
-    }
-
-    #[test]
-    fn json_numbers_stay_finite() {
-        assert_eq!(json_f64(1.5), "1.500");
-        assert_eq!(json_f64(f64::NAN), "null");
-    }
 }

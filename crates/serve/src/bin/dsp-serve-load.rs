@@ -1,0 +1,286 @@
+//! `dsp-serve-load` — a closed-loop load generator for `dsp-serve`.
+//!
+//! Opens N persistent connections, fires M requests on each, and
+//! reports throughput, latency percentiles, and per-status counts.
+//! With `--spawn`, it hosts an in-process server on a free port first,
+//! so a single command produces a self-contained measurement:
+//!
+//! ```text
+//! dsp-serve-load --spawn --connections 4 --requests 250
+//! dsp-serve-load --addr 127.0.0.1:8230 --endpoint healthz
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dsp_serve::client::ClientConn;
+use dsp_serve::{Server, ServerConfig};
+
+const USAGE: &str = "dsp-serve-load — load generator for dsp-serve
+
+USAGE:
+  dsp-serve-load (--addr HOST:PORT | --spawn) [options]
+
+OPTIONS:
+  --addr A          target server (mutually exclusive with --spawn)
+  --spawn           host an in-process server on a free port first
+  --connections N   concurrent persistent connections (default 4)
+  --requests M      requests per connection (default 100)
+  --endpoint E      compile | sweep | healthz (default compile)
+  --strategy S      strategy for compile bodies (default cb)
+  --source PATH     DSP-C file to post (default: a built-in FIR kernel)
+  --workers N       (--spawn only) server worker threads (default: cores)
+";
+
+/// A small but real kernel: every request compiles + simulates this
+/// unless `--source` overrides it. After the first request the engine
+/// cache serves the compiled artifact, which is the steady state a
+/// server sees under repeated traffic.
+const DEFAULT_SOURCE: &str = "
+float A[64]; float B[64]; float out;
+void main() {
+  int i; float acc; acc = 0.0;
+  for (i = 0; i < 64; i++) acc += A[i] * B[i];
+  out = acc;
+}";
+
+struct Args {
+    addr: Option<String>,
+    spawn: bool,
+    connections: usize,
+    requests: usize,
+    endpoint: String,
+    strategy: String,
+    source: Option<String>,
+    workers: usize,
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let count = |flag: &str, default: usize| -> Result<usize, String> {
+        match flag_value(argv, flag) {
+            Some(v) => dsp_driver::parse_worker_count(flag, &v),
+            None => Ok(default),
+        }
+    };
+    let args = Args {
+        addr: flag_value(argv, "--addr"),
+        spawn: argv.iter().any(|a| a == "--spawn"),
+        connections: count("--connections", 4)?,
+        requests: count("--requests", 100)?,
+        endpoint: flag_value(argv, "--endpoint").unwrap_or_else(|| "compile".to_string()),
+        strategy: flag_value(argv, "--strategy").unwrap_or_else(|| "cb".to_string()),
+        source: flag_value(argv, "--source"),
+        workers: match flag_value(argv, "--workers") {
+            Some(v) => dsp_driver::parse_worker_count("--workers", &v)?,
+            None => 0,
+        },
+    };
+    if args.spawn == args.addr.is_some() {
+        return Err("exactly one of --addr or --spawn is required".to_string());
+    }
+    if !matches!(args.endpoint.as_str(), "compile" | "sweep" | "healthz") {
+        return Err(format!(
+            "--endpoint must be compile, sweep, or healthz, got `{}`",
+            args.endpoint
+        ));
+    }
+    dsp_backend::Strategy::parse(&args.strategy)?;
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+
+    // Optionally host the target ourselves.
+    let mut spawned = None;
+    let addr = if args.spawn {
+        let server = Server::bind(ServerConfig {
+            workers: args.workers,
+            ..ServerConfig::default()
+        })
+        .map_err(|e| format!("cannot bind server: {e}"))?;
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run());
+        spawned = Some((handle, thread));
+        addr
+    } else {
+        args.addr.clone().expect("validated by parse_args")
+    };
+
+    let source = match &args.source {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+        }
+        None => DEFAULT_SOURCE.to_string(),
+    };
+    let (method, path, body) = match args.endpoint.as_str() {
+        "healthz" => ("GET", "/healthz", None),
+        "sweep" => (
+            "POST",
+            "/sweep",
+            Some(format!(
+                "{{\"source\": {}}}",
+                dsp_driver::json::escape(&source)
+            )),
+        ),
+        _ => (
+            "POST",
+            "/compile",
+            Some(format!(
+                "{{\"source\": {}, \"strategy\": {}}}",
+                dsp_driver::json::escape(&source),
+                dsp_driver::json::escape(&args.strategy)
+            )),
+        ),
+    };
+    let body = Arc::new(body);
+
+    println!(
+        "target {addr} · {} connections × {} requests · endpoint /{}",
+        args.connections, args.requests, args.endpoint
+    );
+
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for _ in 0..args.connections {
+        let addr = addr.clone();
+        let body = Arc::clone(&body);
+        let requests = args.requests;
+        threads.push(std::thread::spawn(move || -> ConnStats {
+            let mut stats = ConnStats::default();
+            let mut conn = match ClientConn::connect(&addr, Duration::from_secs(30)) {
+                Ok(c) => c,
+                Err(_) => {
+                    stats.connect_failures += 1;
+                    return stats;
+                }
+            };
+            for _ in 0..requests {
+                let t0 = Instant::now();
+                match conn.request(method, path, body.as_deref()) {
+                    Ok(resp) => {
+                        stats.latencies_micros.push(elapsed_micros(t0));
+                        *stats.statuses.entry(resp.status).or_insert(0) += 1;
+                    }
+                    Err(_) => {
+                        stats.dropped += 1;
+                        // The server closes after errors; reconnect.
+                        match ClientConn::connect(&addr, Duration::from_secs(30)) {
+                            Ok(c) => conn = c,
+                            Err(_) => {
+                                stats.connect_failures += 1;
+                                return stats;
+                            }
+                        }
+                    }
+                }
+            }
+            stats
+        }));
+    }
+
+    let mut all = ConnStats::default();
+    for t in threads {
+        let s = t.join().map_err(|_| "load thread panicked".to_string())?;
+        all.merge(s);
+    }
+    let wall = started.elapsed();
+
+    if let Some((handle, thread)) = spawned {
+        handle.shutdown();
+        thread
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?
+            .map_err(|e| format!("server failed: {e}"))?;
+    }
+
+    let ok = all.statuses.get(&200).copied().unwrap_or(0);
+    let total: u64 = all.statuses.values().sum();
+    println!(
+        "\n{total} responses in {:.3}s · {:.1} req/s · {ok} × 200",
+        wall.as_secs_f64(),
+        total as f64 / wall.as_secs_f64()
+    );
+    for (status, n) in &all.statuses {
+        if *status != 200 {
+            println!("  {n} × {status}");
+        }
+    }
+    println!(
+        "dropped connections: {} · connect failures: {}",
+        all.dropped, all.connect_failures
+    );
+
+    let mut lat = all.latencies_micros;
+    lat.sort_unstable();
+    if !lat.is_empty() {
+        let pct = |p: f64| {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let idx = ((lat.len() as f64 * p).ceil() as usize).clamp(1, lat.len()) - 1;
+            lat[idx] as f64 / 1e3
+        };
+        println!(
+            "latency ms: p50 {:.2} · p90 {:.2} · p99 {:.2} · max {:.2}",
+            pct(0.50),
+            pct(0.90),
+            pct(0.99),
+            *lat.last().expect("non-empty") as f64 / 1e3
+        );
+    }
+    if all.dropped > 0
+        || all.connect_failures > 0
+        || total < (args.connections * args.requests) as u64
+    {
+        return Err("some requests failed or were dropped".to_string());
+    }
+    Ok(())
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn elapsed_micros(t0: Instant) -> u64 {
+    t0.elapsed().as_micros() as u64
+}
+
+#[derive(Default)]
+struct ConnStats {
+    latencies_micros: Vec<u64>,
+    statuses: std::collections::BTreeMap<u16, u64>,
+    dropped: u64,
+    connect_failures: u64,
+}
+
+impl ConnStats {
+    fn merge(&mut self, other: ConnStats) {
+        self.latencies_micros.extend(other.latencies_micros);
+        for (status, n) in other.statuses {
+            *self.statuses.entry(status).or_insert(0) += n;
+        }
+        self.dropped += other.dropped;
+        self.connect_failures += other.connect_failures;
+    }
+}

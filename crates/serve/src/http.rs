@@ -1,0 +1,302 @@
+//! Hand-rolled HTTP/1.1: request reading and response writing over a
+//! [`TcpStream`].
+//!
+//! Scope is exactly what the service needs — `Content-Length` bodies,
+//! keep-alive, and hard limits (header size, body size, read timeout)
+//! so a malformed or hostile peer can never wedge or panic a worker.
+//! No chunked transfer encoding, no TLS, no HTTP/2: callers that need
+//! those put a real proxy in front.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line + headers (pre-body) in bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …) as sent.
+    pub method: String,
+    /// Request target, query string stripped.
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to keep the connection open
+    /// (HTTP/1.1 default unless `Connection: close`).
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Peer closed the connection before sending anything (normal end
+    /// of a keep-alive session).
+    Closed,
+    /// The socket read timed out mid-request or while idle.
+    TimedOut,
+    /// Declared `Content-Length` exceeds the server's limit → 413.
+    BodyTooLarge {
+        /// Declared length.
+        declared: usize,
+        /// Server limit.
+        limit: usize,
+    },
+    /// Anything unparsable → 400.
+    Malformed(&'static str),
+    /// Transport failure.
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> RequestError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => RequestError::TimedOut,
+            _ => RequestError::Io(e),
+        }
+    }
+}
+
+/// Read one request from `stream`, enforcing [`MAX_HEADER_BYTES`] and
+/// `max_body`.
+///
+/// # Errors
+///
+/// See [`RequestError`]; `Closed` is the clean keep-alive ending.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Read until the blank line ending the header block.
+    let header_end = loop {
+        if let Some(pos) = find_crlfcrlf(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(RequestError::Malformed("header block too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Err(RequestError::Closed)
+            } else {
+                Err(RequestError::Malformed("connection closed mid-request"))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| RequestError::Malformed("non-UTF-8 header block"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(RequestError::Malformed("bad request line")),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(RequestError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed("bad header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| RequestError::Malformed("bad Content-Length"))?,
+    };
+    if content_length > max_body {
+        return Err(RequestError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+
+    // Body bytes already read past the header block, then the rest.
+    let mut body = buf[header_end + 4..].to_vec();
+    if body.len() > content_length {
+        // Pipelined extra bytes are not supported; treat as malformed
+        // rather than silently desyncing the connection.
+        return Err(RequestError::Malformed("body longer than Content-Length"));
+    }
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(RequestError::Malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(RequestError::Malformed("body longer than Content-Length"));
+        }
+    }
+    Ok(Request { body, ..request })
+}
+
+fn find_crlfcrlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One response to write.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) — e.g. `Retry-After`.
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            format!("{{\"error\": {}}}\n", dsp_driver::json::escape(message)),
+        )
+    }
+
+    /// Add a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.extra_headers.push((name, value));
+        self
+    }
+
+    /// Serialize and write this response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_lookup_is_case_normalized() {
+        let r = Request {
+            method: "GET".into(),
+            path: "/".into(),
+            headers: vec![("content-length".into(), "3".into())],
+            body: Vec::new(),
+        };
+        assert_eq!(r.header("content-length"), Some("3"));
+        assert_eq!(r.header("x-missing"), None);
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let r = Request {
+            method: "GET".into(),
+            path: "/".into(),
+            headers: vec![("connection".into(), "Close".into())],
+            body: Vec::new(),
+        };
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn reason_phrases_cover_emitted_codes() {
+        for code in [200, 400, 404, 405, 408, 413, 500, 503, 504] {
+            assert_ne!(reason(code), "Unknown", "missing phrase for {code}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+//! `dsp-serve` — the bank-partitioning pipeline as a long-running
+//! network service.
+//!
+//! A hand-rolled HTTP/1.1 server on [`std::net::TcpListener`] (the
+//! build container has no registry access, so there is no tokio /
+//! hyper / serde — everything here is `std`-only, like the vendored
+//! `proptest` shim). An accept loop feeds a bounded connection queue
+//! drained by a worker pool; workers parse requests and call into the
+//! shared [`dsp_driver::Engine`], so every request benefits from the
+//! same 4-layer content-hashed artifact cache — a repeated kernel
+//! compiles once and then serves from memory.
+//!
+//! # Endpoints
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /compile` | DSP-C source + strategy → cycles, bank stats, optional LIR listing |
+//! | `POST /sweep` | strategy × workload matrix → `dualbank-run-report/v1` JSON |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | Prometheus text: requests, latency histograms, queue, 503s, cache |
+//! | `POST /admin/shutdown` | graceful drain |
+//!
+//! # Robustness
+//!
+//! * **Backpressure** — a full queue answers `503` with `Retry-After`
+//!   instead of queueing unboundedly.
+//! * **Deadlines** — compute requests exceeding the configured
+//!   wall-clock budget answer `504`; the abandoned job is bounded by
+//!   simulator fuel.
+//! * **Input limits** — oversized bodies get `413`, malformed requests
+//!   `400`; no peer input can panic a worker.
+//! * **Graceful shutdown** — draining finishes queued and in-flight
+//!   requests before [`Server::run`] returns.
+//!
+//! # Example
+//!
+//! ```
+//! use dsp_serve::{Server, ServerConfig, client::ClientConn};
+//! use std::time::Duration;
+//!
+//! let server = Server::bind(ServerConfig {
+//!     workers: 2,
+//!     ..ServerConfig::default()
+//! })?;
+//! let addr = server.local_addr();
+//! let handle = server.handle();
+//! let thread = std::thread::spawn(move || server.run());
+//!
+//! let mut conn = ClientConn::connect(addr, Duration::from_secs(10))?;
+//! let resp = conn.request("GET", "/healthz", None)?;
+//! assert_eq!(resp.status, 200);
+//!
+//! handle.shutdown();
+//! thread.join().unwrap()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use metrics::Metrics;
+pub use queue::{BoundedQueue, PushError};
+pub use server::{Server, ServerConfig, ServerHandle};

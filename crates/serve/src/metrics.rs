@@ -1,0 +1,364 @@
+//! Server telemetry rendered in the Prometheus text exposition format
+//! (`GET /metrics`).
+//!
+//! Everything is lock-free counters except the per-(endpoint, status)
+//! request map, which sits behind a short-lived mutex — `/metrics`
+//! scrapes are rare next to request traffic. Cache counters are not
+//! mirrored here: the scrape snapshots [`CacheStats`] straight from
+//! the engine, so the two views can never drift.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dsp_driver::CacheStats;
+
+/// Histogram bucket upper bounds, in seconds.
+const BUCKETS: [f64; 9] = [0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1.0, 5.0];
+
+/// A fixed-bucket latency histogram (Prometheus `histogram` type).
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS.len()],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, d: Duration) {
+        let secs = d.as_secs_f64();
+        for (i, &bound) in BUCKETS.iter().enumerate() {
+            if secs <= bound {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        self.sum_micros
+            .fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, out: &mut String, name: &str, endpoint: &str) {
+        for (i, &bound) in BUCKETS.iter().enumerate() {
+            let n = self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{endpoint=\"{endpoint}\",le=\"{bound}\"}} {n}"
+            );
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {count}"
+        );
+        let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        let _ = writeln!(out, "{name}_sum{{endpoint=\"{endpoint}\"}} {sum:.6}");
+        let _ = writeln!(out, "{name}_count{{endpoint=\"{endpoint}\"}} {count}");
+    }
+}
+
+/// All server counters.
+pub struct Metrics {
+    started: Instant,
+    /// Requests by (normalized endpoint, status code).
+    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// End-to-end handling latency of the two compute endpoints.
+    compile_latency: Histogram,
+    sweep_latency: Histogram,
+    /// Connections accepted (including ones later rejected with 503).
+    pub connections_total: AtomicU64,
+    /// Connections answered 503 because the queue was full.
+    pub rejected_total: AtomicU64,
+    /// Compute requests answered 504 (deadline exceeded).
+    pub timeouts_total: AtomicU64,
+    /// Workers currently handling a connection.
+    pub workers_busy: AtomicUsize,
+}
+
+impl Metrics {
+    /// Fresh, zeroed counters.
+    #[must_use]
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            requests: Mutex::new(BTreeMap::new()),
+            compile_latency: Histogram::default(),
+            sweep_latency: Histogram::default(),
+            connections_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            timeouts_total: AtomicU64::new(0),
+            workers_busy: AtomicUsize::new(0),
+        }
+    }
+
+    /// Normalize a request path to a bounded endpoint label (unknown
+    /// paths collapse into `other` so label cardinality stays fixed).
+    #[must_use]
+    pub fn endpoint_label(path: &str) -> &'static str {
+        match path {
+            "/compile" => "compile",
+            "/sweep" => "sweep",
+            "/healthz" => "healthz",
+            "/metrics" => "metrics",
+            "/admin/shutdown" => "shutdown",
+            _ => "other",
+        }
+    }
+
+    /// Count one finished request and, for the compute endpoints,
+    /// record its latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request-map mutex is poisoned.
+    pub fn record_request(&self, endpoint: &'static str, status: u16, latency: Duration) {
+        *self
+            .requests
+            .lock()
+            .expect("metrics mutex poisoned")
+            .entry((endpoint, status))
+            .or_insert(0) += 1;
+        match endpoint {
+            "compile" => self.compile_latency.observe(latency),
+            "sweep" => self.sweep_latency.observe(latency),
+            _ => {}
+        }
+    }
+
+    /// Total requests recorded for `endpoint` (any status).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request-map mutex is poisoned.
+    #[must_use]
+    pub fn requests_for(&self, endpoint: &str) -> u64 {
+        self.requests
+            .lock()
+            .expect("metrics mutex poisoned")
+            .iter()
+            .filter(|((e, _), _)| *e == endpoint)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Render the Prometheus text format. `queue_depth`,
+    /// `queue_capacity`, and `workers` describe the live server;
+    /// `cache` and `resident` are snapshotted from the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request-map mutex is poisoned.
+    #[must_use]
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        workers: usize,
+        cache: &CacheStats,
+        resident: (usize, usize),
+    ) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut gauge = |name: &str, help: &str, value: String| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            "dsp_serve_up",
+            "1 while the server is running.",
+            "1".to_string(),
+        );
+        gauge(
+            "dsp_serve_uptime_seconds",
+            "Seconds since the server started.",
+            format!("{:.3}", self.started.elapsed().as_secs_f64()),
+        );
+        gauge(
+            "dsp_serve_queue_depth",
+            "Connections waiting in the accept queue.",
+            queue_depth.to_string(),
+        );
+        gauge(
+            "dsp_serve_queue_capacity",
+            "Accept-queue capacity (pushes beyond this are 503s).",
+            queue_capacity.to_string(),
+        );
+        gauge(
+            "dsp_serve_workers",
+            "Worker threads serving connections.",
+            workers.to_string(),
+        );
+        gauge(
+            "dsp_serve_workers_busy",
+            "Workers currently handling a connection.",
+            self.workers_busy.load(Ordering::Relaxed).to_string(),
+        );
+
+        let counter_head = |out: &mut String, name: &str, help: &str| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+        };
+        counter_head(
+            &mut out,
+            "dsp_serve_connections_total",
+            "TCP connections accepted.",
+        );
+        let _ = writeln!(
+            out,
+            "dsp_serve_connections_total {}",
+            self.connections_total.load(Ordering::Relaxed)
+        );
+        counter_head(
+            &mut out,
+            "dsp_serve_rejected_total",
+            "Connections answered 503 because the queue was full.",
+        );
+        let _ = writeln!(
+            out,
+            "dsp_serve_rejected_total {}",
+            self.rejected_total.load(Ordering::Relaxed)
+        );
+        counter_head(
+            &mut out,
+            "dsp_serve_deadline_timeouts_total",
+            "Compute requests answered 504 (per-request deadline exceeded).",
+        );
+        let _ = writeln!(
+            out,
+            "dsp_serve_deadline_timeouts_total {}",
+            self.timeouts_total.load(Ordering::Relaxed)
+        );
+
+        counter_head(
+            &mut out,
+            "dsp_serve_requests_total",
+            "Finished HTTP requests by endpoint and status.",
+        );
+        for ((endpoint, status), n) in self.requests.lock().expect("metrics mutex poisoned").iter()
+        {
+            let _ = writeln!(
+                out,
+                "dsp_serve_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {n}"
+            );
+        }
+
+        let name = "dsp_serve_request_duration_seconds";
+        let _ = writeln!(
+            out,
+            "# HELP {name} End-to-end handling latency of compute endpoints."
+        );
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        self.compile_latency.render(&mut out, name, "compile");
+        self.sweep_latency.render(&mut out, name, "sweep");
+
+        counter_head(
+            &mut out,
+            "dsp_serve_cache_hits_total",
+            "Engine artifact-cache hits by layer.",
+        );
+        for (layer, n) in [
+            ("prepared", cache.prepared_hits),
+            ("profile", cache.profile_hits),
+            ("reference", cache.reference_hits),
+            ("artifact", cache.artifact_hits),
+        ] {
+            let _ = writeln!(out, "dsp_serve_cache_hits_total{{layer=\"{layer}\"}} {n}");
+        }
+        counter_head(
+            &mut out,
+            "dsp_serve_cache_misses_total",
+            "Engine artifact-cache misses by layer.",
+        );
+        for (layer, n) in [
+            ("prepared", cache.prepared_misses),
+            ("profile", cache.profile_misses),
+            ("reference", cache.reference_misses),
+            ("artifact", cache.artifact_misses),
+        ] {
+            let _ = writeln!(out, "dsp_serve_cache_misses_total{{layer=\"{layer}\"}} {n}");
+        }
+        counter_head(
+            &mut out,
+            "dsp_serve_cache_evictions_total",
+            "Engine artifact-cache LRU evictions by layer.",
+        );
+        for (layer, n) in [
+            ("prepared", cache.prepared_evictions),
+            ("artifact", cache.artifact_evictions),
+        ] {
+            let _ = writeln!(
+                out,
+                "dsp_serve_cache_evictions_total{{layer=\"{layer}\"}} {n}"
+            );
+        }
+        let name = "dsp_serve_cache_resident";
+        let _ = writeln!(out, "# HELP {name} Entries resident in the cache by layer.");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name}{{layer=\"prepared\"}} {}", resident.0);
+        let _ = writeln!(out, "{name}{{layer=\"artifact\"}} {}", resident.1);
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(500)); // ≤ 0.001
+        h.observe(Duration::from_millis(20)); // ≤ 0.025
+        h.observe(Duration::from_secs(10)); // only +Inf
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets[0].load(Ordering::Relaxed), 1);
+        let le_25ms = BUCKETS.iter().position(|&b| b == 0.025).unwrap();
+        assert_eq!(h.buckets[le_25ms].load(Ordering::Relaxed), 2);
+        assert_eq!(h.buckets[BUCKETS.len() - 1].load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn render_contains_all_families() {
+        let m = Metrics::new();
+        m.record_request("compile", 200, Duration::from_millis(3));
+        m.record_request("healthz", 200, Duration::from_micros(10));
+        m.rejected_total.fetch_add(2, Ordering::Relaxed);
+        let text = m.render(1, 64, 4, &CacheStats::default(), (0, 0));
+        for family in [
+            "dsp_serve_up 1",
+            "dsp_serve_queue_depth 1",
+            "dsp_serve_queue_capacity 64",
+            "dsp_serve_workers 4",
+            "dsp_serve_rejected_total 2",
+            "dsp_serve_deadline_timeouts_total 0",
+            "dsp_serve_requests_total{endpoint=\"compile\",status=\"200\"} 1",
+            "dsp_serve_request_duration_seconds_bucket{endpoint=\"compile\",le=\"+Inf\"} 1",
+            "dsp_serve_cache_hits_total{layer=\"prepared\"} 0",
+            "dsp_serve_cache_evictions_total{layer=\"artifact\"} 0",
+        ] {
+            assert!(text.contains(family), "missing `{family}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn unknown_paths_collapse_to_other() {
+        assert_eq!(Metrics::endpoint_label("/compile"), "compile");
+        assert_eq!(Metrics::endpoint_label("/nope"), "other");
+        assert_eq!(Metrics::endpoint_label("/compile/x"), "other");
+    }
+}

@@ -1,0 +1,170 @@
+//! A bounded MPMC queue on `Mutex` + `Condvar` — the server's
+//! backpressure point.
+//!
+//! The accept loop [`try_push`](BoundedQueue::try_push)es connections
+//! and turns `Full` into an HTTP 503 with `Retry-After`; workers block
+//! in [`pop`](BoundedQueue::pop). [`close`](BoundedQueue::close) makes
+//! `pop` drain what is queued and then return `None`, which is how a
+//! graceful shutdown finishes in-flight work without accepting more.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity (backpressure → 503).
+    Full(T),
+    /// The queue is closed (shutdown in progress).
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity FIFO shared by the accept loop and the workers.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue admitting at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue mutex poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue without blocking; refuses when full or closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back inside [`PushError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex is poisoned.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while the queue is open and empty. Returns
+    /// `None` once the queue is closed **and** drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex is poisoned.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Close the queue: no further pushes; `pop` drains then ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex is poisoned.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue mutex poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = BoundedQueue::new(3);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_with_the_item() {
+        let q = BoundedQueue::new(1);
+        q.try_push("a").unwrap();
+        assert_eq!(q.try_push("b"), Err(PushError::Full("b")));
+    }
+
+    #[test]
+    fn closed_queue_drains_then_ends() {
+        let q = BoundedQueue::new(2);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed(8)));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

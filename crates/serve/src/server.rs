@@ -1,0 +1,523 @@
+//! The server: accept loop → bounded queue → worker pool → engine.
+//!
+//! ```text
+//!             ┌─────────────┐   try_push    ┌──────────────────┐
+//!  clients ──▶│ accept loop │──────────────▶│ BoundedQueue<Tcp> │
+//!             │ (run thread)│  full → 503   └────────┬─────────┘
+//!             └─────────────┘                        │ pop
+//!                                     ┌──────────────▼─────────────┐
+//!                                     │ workers: parse HTTP, route │
+//!                                     │  /compile /sweep → engine  │
+//!                                     │  (helper thread + deadline)│
+//!                                     └──────────────┬─────────────┘
+//!                                                    ▼
+//!                                        dsp-driver Engine + cache
+//!                                          (shared via Arc)
+//! ```
+//!
+//! Each queued item is one TCP connection; a worker owns it for its
+//! keep-alive lifetime (bounded by the socket read timeout). Compute
+//! requests run on a helper thread so the worker can enforce the
+//! wall-clock deadline and answer 504 — the abandoned computation is
+//! bounded by simulator fuel, so it cannot leak a thread forever.
+//!
+//! Graceful shutdown (the `/admin/shutdown` endpoint or
+//! [`ServerHandle::shutdown`]) stops the accept loop, closes the
+//! queue, lets workers drain queued connections, and joins them.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use dsp_backend::Strategy;
+use dsp_driver::json::{self, ObjectWriter, Value};
+use dsp_driver::{Engine, EngineOptions};
+use dsp_workloads::{Benchmark, Kind};
+
+use crate::http::{read_request, Request, RequestError, Response};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+
+/// Everything tunable about a server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks a free port.
+    pub addr: String,
+    /// Worker threads; `0` means [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Accept-queue capacity (connections beyond this get 503).
+    pub queue_capacity: usize,
+    /// Wall-clock deadline per compute request (`/compile`, `/sweep`);
+    /// exceeding it answers 504.
+    pub deadline: Duration,
+    /// Maximum request-body size in bytes (beyond → 413).
+    pub max_body: usize,
+    /// Simulator fuel per job (runaway guard under the deadline).
+    pub fuel: u64,
+    /// Engine cache bound (entries per layer); `None` = unbounded.
+    pub cache_capacity: Option<NonZeroUsize>,
+    /// Socket read timeout — also the idle keep-alive lifetime, so a
+    /// silent client cannot pin a worker.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(10),
+            max_body: 1024 * 1024,
+            fuel: 200_000_000,
+            cache_capacity: NonZeroUsize::new(256),
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    engine: Engine,
+    queue: BoundedQueue<TcpStream>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    workers: usize,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// Remote control for a running [`Server`] (cloneable, thread-safe).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful shutdown: stop accepting, drain queued and
+    /// in-flight requests, then let [`Server::run`] return. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.queue.close();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind to `config.addr` and build the engine. The server is not
+    /// serving until [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+        } else {
+            config.workers
+        };
+        let engine = Engine::new(EngineOptions {
+            // One engine thread per job: concurrency comes from the
+            // worker pool, not from fanning out inside a request.
+            jobs: 1,
+            fuel: config.fuel,
+            cache_capacity: config.cache_capacity,
+            ..EngineOptions::default()
+        });
+        let queue = BoundedQueue::new(config.queue_capacity);
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                config,
+                engine,
+                queue,
+                metrics: Metrics::new(),
+                shutdown: AtomicBool::new(false),
+                workers,
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle for shutting the server down from another thread.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.local_addr,
+        }
+    }
+
+    /// Serve until a graceful shutdown is requested, then drain and
+    /// return. Runs the accept loop on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop transport failures (individual
+    /// per-connection errors are handled, not propagated).
+    pub fn run(self) -> io::Result<()> {
+        let mut workers = Vec::with_capacity(self.shared.workers);
+        for i in 0..self.shared.workers {
+            let shared = Arc::clone(&self.shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dsp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            self.shared
+                .metrics
+                .connections_total
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_read_timeout(Some(self.shared.config.read_timeout));
+            let _ = stream.set_nodelay(true);
+            match self.shared.queue.try_push(stream) {
+                Ok(()) => {}
+                Err(PushError::Full(mut stream)) => {
+                    self.shared
+                        .metrics
+                        .rejected_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::error(503, "server is at capacity, retry shortly")
+                        .with_header("Retry-After", "1".to_string());
+                    let _ = resp.write_to(&mut stream, false);
+                }
+                Err(PushError::Closed(_)) => break,
+            }
+        }
+
+        // Shutdown: close the queue (idempotent), drain, join.
+        self.shared.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(mut stream) = shared.queue.pop() {
+        shared.metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
+        handle_connection(shared, &mut stream);
+        shared.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Serve one connection for its keep-alive lifetime. Never panics on
+/// peer input: every parse failure maps to a 4xx and a close.
+fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
+    loop {
+        let request = match read_request(stream, shared.config.max_body) {
+            Ok(r) => r,
+            Err(RequestError::Closed | RequestError::TimedOut | RequestError::Io(_)) => return,
+            Err(RequestError::BodyTooLarge { declared, limit }) => {
+                let msg =
+                    format!("request body of {declared} bytes exceeds the {limit}-byte limit");
+                let _ = Response::error(413, &msg).write_to(stream, false);
+                return;
+            }
+            Err(RequestError::Malformed(why)) => {
+                let _ = Response::error(400, why).write_to(stream, false);
+                return;
+            }
+        };
+
+        let started = Instant::now();
+        let endpoint = Metrics::endpoint_label(&request.path);
+        let (response, trigger_shutdown) = route(shared, &request);
+        shared
+            .metrics
+            .record_request(endpoint, response.status, started.elapsed());
+
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst) || trigger_shutdown;
+        let keep_alive = request.keep_alive() && !shutting_down;
+        if response.write_to(stream, keep_alive).is_err() {
+            return;
+        }
+        if trigger_shutdown {
+            // After answering: stop accepting and drain.
+            ServerHandle {
+                shared: Arc::clone(shared),
+                addr: stream.local_addr().unwrap_or_else(|_| {
+                    // Fallback never used in practice; shutdown() only
+                    // needs the addr for the accept-loop wakeup.
+                    "127.0.0.1:0".parse().expect("static addr")
+                }),
+            }
+            .shutdown();
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Dispatch one request. The bool asks the caller to begin shutdown
+/// after the response is written.
+fn route(shared: &Arc<Shared>, request: &Request) -> (Response, bool) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (
+            Response::json(200, "{\"status\": \"ok\"}\n".to_string()),
+            false,
+        ),
+        ("GET", "/metrics") => {
+            let text = shared.metrics.render(
+                shared.queue.len(),
+                shared.config.queue_capacity,
+                shared.workers,
+                &shared.engine.cache().stats(),
+                shared.engine.cache().resident(),
+            );
+            (Response::text(200, &text), false)
+        }
+        ("POST", "/compile") => (handle_compile(shared, &request.body), false),
+        ("POST", "/sweep") => (handle_sweep(shared, &request.body), false),
+        ("POST", "/admin/shutdown") => (
+            Response::json(200, "{\"status\": \"draining\"}\n".to_string()),
+            true,
+        ),
+        (_, "/healthz" | "/metrics" | "/compile" | "/sweep" | "/admin/shutdown") => (
+            Response::error(405, "method not allowed for this path"),
+            false,
+        ),
+        _ => (Response::error(404, "no such endpoint"), false),
+    }
+}
+
+/// Parse a request body as a JSON object.
+fn parse_body(body: &[u8]) -> Result<Value, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+    let value =
+        json::parse(text).map_err(|e| Response::error(400, &format!("invalid JSON body: {e}")))?;
+    if matches!(value, Value::Object(_)) {
+        Ok(value)
+    } else {
+        Err(Response::error(400, "request body must be a JSON object"))
+    }
+}
+
+fn parse_strategies(body: &Value) -> Result<Vec<Strategy>, Response> {
+    match body.get("strategies") {
+        None => Ok(Strategy::ALL.to_vec()),
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| Response::error(400, "`strategies` must be an array of names"))?;
+            if items.is_empty() {
+                return Err(Response::error(400, "`strategies` must not be empty"));
+            }
+            items
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .ok_or_else(|| {
+                            Response::error(400, "`strategies` must contain only strings")
+                        })
+                        .and_then(|name| {
+                            Strategy::parse(name).map_err(|e| Response::error(400, &e))
+                        })
+                })
+                .collect()
+        }
+    }
+}
+
+/// Run `job` on a helper thread, waiting at most `deadline`. `None`
+/// means the deadline passed; the helper keeps running detached but is
+/// bounded by simulator fuel.
+fn with_deadline<T: Send + 'static>(
+    deadline: Duration,
+    job: impl FnOnce() -> T + Send + 'static,
+) -> Option<T> {
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name("dsp-serve-job".to_string())
+        .spawn(move || {
+            let _ = tx.send(job());
+        });
+    if spawned.is_err() {
+        return None;
+    }
+    rx.recv_timeout(deadline).ok()
+}
+
+fn deadline_response(shared: &Shared) -> Response {
+    shared
+        .metrics
+        .timeouts_total
+        .fetch_add(1, Ordering::Relaxed);
+    Response::error(
+        504,
+        &format!(
+            "request exceeded the {}ms deadline",
+            shared.config.deadline.as_millis()
+        ),
+    )
+}
+
+/// `POST /compile`: `{"source": "...", "strategy": "cb", "lir": true}`
+/// → one compiled-and-simulated job.
+fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let body = match parse_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(source) = body.get("source").and_then(Value::as_str) else {
+        return Response::error(400, "`source` (string) is required");
+    };
+    let strategy = match body.get("strategy") {
+        None => Strategy::CbPartition,
+        Some(v) => match v.as_str().map(Strategy::parse) {
+            Some(Ok(s)) => s,
+            Some(Err(e)) => return Response::error(400, &e),
+            None => return Response::error(400, "`strategy` must be a string"),
+        },
+    };
+    let want_lir = match body.get("lir") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return Response::error(400, "`lir` must be a boolean"),
+        },
+    };
+
+    let bench = Benchmark {
+        name: "request".to_string(),
+        kind: Kind::Application,
+        description: String::new(),
+        source: source.to_string(),
+        check_globals: Vec::new(),
+    };
+    let worker = Arc::clone(shared);
+    let outcome = with_deadline(shared.config.deadline, move || {
+        let report = worker
+            .engine
+            .run_matrix(std::slice::from_ref(&bench), &[strategy])?;
+        // The artifact is resident in the cache the job just went
+        // through; fetch it back only to render the listing.
+        let listing = if want_lir {
+            let (prep, _) = worker.engine.cache().prepared(&bench.source)?;
+            let profile = if matches!(strategy, Strategy::ProfileWeighted | Strategy::SelectiveDup)
+            {
+                Some(worker.engine.cache().profile(&prep)?.0)
+            } else {
+                None
+            };
+            let config = worker.engine.options().config;
+            let (artifact, _) = worker
+                .engine
+                .cache()
+                .artifact(&prep, strategy, config, profile)?;
+            Some(artifact.output.program.disassemble())
+        } else {
+            None
+        };
+        Ok::<_, Box<dyn std::error::Error + Send + Sync>>((report, listing))
+    });
+
+    match outcome {
+        None => deadline_response(shared),
+        Some(Err(e)) => Response::error(400, &format!("compilation failed: {e}")),
+        Some(Ok((report, listing))) => {
+            let job = &report.jobs[0];
+            let mut o = ObjectWriter::new();
+            o.str("schema", "dualbank-compile-response/v1");
+            o.raw("job", &job.to_json());
+            if let Some(lir) = listing {
+                o.str("lir", &lir);
+            }
+            Response::json(200, o.finish())
+        }
+    }
+}
+
+/// `POST /sweep`: `{"source": "..."}` or `{"bench": "fir_32_1"|"all"}`
+/// plus optional `"strategies"` → a full `dualbank-run-report/v1`.
+fn handle_sweep(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let body = match parse_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let strategies = match parse_strategies(&body) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let benches = match (body.get("source"), body.get("bench")) {
+        (Some(_), Some(_)) => {
+            return Response::error(400, "`source` and `bench` are mutually exclusive")
+        }
+        (Some(v), None) => {
+            let Some(source) = v.as_str() else {
+                return Response::error(400, "`source` must be a string");
+            };
+            vec![Benchmark {
+                name: "request".to_string(),
+                kind: Kind::Application,
+                description: String::new(),
+                source: source.to_string(),
+                check_globals: Vec::new(),
+            }]
+        }
+        (None, Some(v)) => {
+            let Some(name) = v.as_str() else {
+                return Response::error(400, "`bench` must be a string");
+            };
+            if name == "all" {
+                dsp_workloads::all()
+            } else {
+                match dsp_workloads::by_name(name) {
+                    Some(b) => vec![b],
+                    None => {
+                        return Response::error(400, &format!("unknown benchmark `{name}`"));
+                    }
+                }
+            }
+        }
+        (None, None) => {
+            return Response::error(400, "one of `source` or `bench` (string) is required")
+        }
+    };
+
+    let worker = Arc::clone(shared);
+    let outcome = with_deadline(shared.config.deadline, move || {
+        worker.engine.run_matrix(&benches, &strategies)
+    });
+    match outcome {
+        None => deadline_response(shared),
+        Some(Err(e)) => Response::error(400, &format!("sweep failed: {e}")),
+        Some(Ok(report)) => Response::json(200, report.to_json()),
+    }
+}

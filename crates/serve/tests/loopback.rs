@@ -1,0 +1,369 @@
+//! Loopback integration tests: a real server on 127.0.0.1:0, driven
+//! over real sockets.
+//!
+//! Covers the acceptance criteria: a served `/compile` is bit-identical
+//! to a direct engine run, a full queue answers 503, a runaway request
+//! answers 504, `/metrics` has the documented shape, and malformed or
+//! oversized input never kills the server.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use dsp_driver::json::{self, Value};
+use dsp_driver::{Engine, EngineOptions};
+use dsp_serve::client::ClientConn;
+use dsp_serve::{Server, ServerConfig, ServerHandle};
+use dsp_workloads::{Benchmark, Kind};
+
+const FIR_SRC: &str = "
+float A[32]; float B[32]; float out;
+void main() {
+  int i; float acc; acc = 0.0;
+  for (i = 0; i < 32; i++) acc += A[i] * B[i];
+  out = acc;
+}";
+
+/// A program whose simulation runs far past any test deadline (the
+/// server's fuel bound still terminates it in the background).
+const SLOW_SRC: &str = "
+int x;
+void main() {
+  int i; int j;
+  for (i = 0; i < 1000000; i++)
+    for (j = 0; j < 1000; j++)
+      x = x + 1;
+}";
+
+struct TestServer {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl TestServer {
+    fn start(config: ServerConfig) -> TestServer {
+        let server = Server::bind(config).expect("bind 127.0.0.1:0");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            handle,
+            thread,
+        }
+    }
+
+    fn connect(&self) -> ClientConn {
+        ClientConn::connect(self.addr, Duration::from_secs(30)).expect("connect")
+    }
+
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread
+            .join()
+            .expect("server thread")
+            .expect("server run");
+    }
+}
+
+fn small_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    }
+}
+
+fn compile_body(source: &str, strategy: &str) -> String {
+    format!(
+        "{{\"source\": {}, \"strategy\": {}}}",
+        json::escape(source),
+        json::escape(strategy)
+    )
+}
+
+#[test]
+fn served_compile_is_bit_identical_to_direct_engine_run() {
+    let server = TestServer::start(small_config());
+    let mut conn = server.connect();
+
+    let resp = conn
+        .request("POST", "/compile", Some(&compile_body(FIR_SRC, "cb")))
+        .expect("request");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    let doc = json::parse(&resp.text()).expect("valid JSON response");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("dualbank-compile-response/v1")
+    );
+    let job = doc.get("job").expect("job object");
+
+    // The same job, straight through the engine (fuel matches the
+    // server's default so the configurations are identical).
+    let engine = Engine::new(EngineOptions {
+        jobs: 1,
+        fuel: ServerConfig::default().fuel,
+        ..EngineOptions::default()
+    });
+    let bench = Benchmark {
+        name: "request".to_string(),
+        kind: Kind::Application,
+        description: String::new(),
+        source: FIR_SRC.to_string(),
+        check_globals: Vec::new(),
+    };
+    let report = engine
+        .run_matrix(
+            std::slice::from_ref(&bench),
+            &[dsp_backend::Strategy::CbPartition],
+        )
+        .expect("direct run");
+    let direct = &report.jobs[0];
+
+    let num = |v: &Value, k: &str| {
+        v.get(k)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("missing numeric field {k} in {}", resp.text()))
+    };
+    let m = &direct.measurement;
+    assert_eq!(num(job, "cycles"), m.cycles);
+    assert_eq!(num(job, "memory_cost"), m.memory_cost);
+    assert_eq!(num(job, "stack_words"), u64::from(m.stack_words));
+    assert_eq!(num(job, "inst_words"), u64::from(m.inst_words));
+    assert_eq!(num(job, "partition_cost"), direct.partition_cost);
+    assert_eq!(num(job, "duplicated_words"), direct.duplicated_words);
+    let static_words = job.get("static_words").expect("static_words");
+    assert_eq!(num(static_words, "x"), u64::from(m.static_words.0));
+    assert_eq!(num(static_words, "y"), u64::from(m.static_words.1));
+    let sim = job.get("sim").expect("sim object");
+    assert_eq!(num(sim, "ops"), m.stats.ops);
+    assert_eq!(num(sim, "loads"), m.stats.loads);
+    assert_eq!(num(sim, "stores"), m.stats.stores);
+    assert_eq!(num(sim, "dual_mem_cycles"), m.stats.dual_mem_cycles);
+    assert_eq!(
+        num(sim, "bank_conflict_cycles"),
+        m.stats.bank_conflict_cycles
+    );
+
+    // A repeat of the same request is served from cache and still
+    // bit-identical.
+    let resp2 = conn
+        .request("POST", "/compile", Some(&compile_body(FIR_SRC, "cb")))
+        .expect("request");
+    assert_eq!(resp2.status, 200);
+    let doc2 = json::parse(&resp2.text()).expect("valid JSON");
+    assert_eq!(
+        doc2.get("job")
+            .and_then(|j| j.get("cycles"))
+            .and_then(Value::as_u64),
+        Some(m.cycles)
+    );
+    assert_eq!(
+        doc2.get("job")
+            .and_then(|j| j.get("cached"))
+            .and_then(|c| c.get("artifact"))
+            .and_then(Value::as_bool),
+        Some(true),
+        "second request should hit the artifact cache"
+    );
+
+    server.stop();
+}
+
+#[test]
+fn compile_can_return_an_lir_listing() {
+    let server = TestServer::start(small_config());
+    let mut conn = server.connect();
+    let body = format!(
+        "{{\"source\": {}, \"strategy\": \"cb\", \"lir\": true}}",
+        json::escape(FIR_SRC)
+    );
+    let resp = conn
+        .request("POST", "/compile", Some(&body))
+        .expect("request");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    let doc = json::parse(&resp.text()).expect("valid JSON");
+    let lir = doc.get("lir").and_then(Value::as_str).expect("lir listing");
+    assert!(!lir.is_empty());
+    server.stop();
+}
+
+#[test]
+fn sweep_returns_a_run_report() {
+    let server = TestServer::start(small_config());
+    let mut conn = server.connect();
+    let body = "{\"bench\": \"fir_32_1\", \"strategies\": [\"base\", \"cb\", \"ideal\"]}";
+    let resp = conn.request("POST", "/sweep", Some(body)).expect("request");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    let doc = json::parse(&resp.text()).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("dualbank-run-report/v1")
+    );
+    assert_eq!(
+        doc.get("jobs")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(3)
+    );
+    server.stop();
+}
+
+#[test]
+fn full_queue_answers_503_with_retry_after() {
+    // 1 worker, queue of 1: the worker is pinned by one idle
+    // connection, a second idles in the queue, so a third must be
+    // rejected at accept time.
+    let server = TestServer::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    });
+
+    let pinned = TcpStream::connect(server.addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(150)); // worker pops it
+    let queued = TcpStream::connect(server.addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(150)); // sits in queue
+
+    let mut rejected = server.connect();
+    let resp = rejected
+        .request("GET", "/healthz", None)
+        .expect("server must answer the rejected connection");
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    let text = resp.text();
+    assert!(text.contains("capacity"), "{text}");
+
+    // Free the worker before joining so shutdown is immediate.
+    drop(pinned);
+    drop(queued);
+    server.stop();
+}
+
+#[test]
+fn deadline_answers_504() {
+    let server = TestServer::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        deadline: Duration::from_millis(200),
+        // Plenty of fuel so the job reliably outlives the deadline;
+        // the abandoned thread dies with the test process.
+        fuel: 2_000_000_000,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    });
+    let mut conn = server.connect();
+    let resp = conn
+        .request("POST", "/compile", Some(&compile_body(SLOW_SRC, "base")))
+        .expect("request");
+    assert_eq!(resp.status, 504, "body: {}", resp.text());
+    assert!(resp.text().contains("deadline"), "{}", resp.text());
+
+    // The worker is free again afterwards.
+    let mut again = server.connect();
+    let health = again.request("GET", "/healthz", None).expect("request");
+    assert_eq!(health.status, 200);
+    server.stop();
+}
+
+#[test]
+fn metrics_expose_the_documented_families() {
+    let server = TestServer::start(small_config());
+    let mut conn = server.connect();
+    conn.request("POST", "/compile", Some(&compile_body(FIR_SRC, "cb")))
+        .expect("request");
+    conn.request("GET", "/healthz", None).expect("request");
+    let resp = conn.request("GET", "/metrics", None).expect("request");
+    assert_eq!(resp.status, 200);
+    let text = resp.text();
+    for family in [
+        "# TYPE dsp_serve_up gauge",
+        "# TYPE dsp_serve_queue_depth gauge",
+        "dsp_serve_queue_capacity 8",
+        "dsp_serve_workers 2",
+        "# TYPE dsp_serve_workers_busy gauge",
+        "# TYPE dsp_serve_connections_total counter",
+        "# TYPE dsp_serve_rejected_total counter",
+        "# TYPE dsp_serve_deadline_timeouts_total counter",
+        "dsp_serve_requests_total{endpoint=\"compile\",status=\"200\"} 1",
+        "dsp_serve_requests_total{endpoint=\"healthz\",status=\"200\"} 1",
+        "# TYPE dsp_serve_request_duration_seconds histogram",
+        "dsp_serve_request_duration_seconds_bucket{endpoint=\"compile\",le=\"+Inf\"} 1",
+        "dsp_serve_request_duration_seconds_count{endpoint=\"compile\"} 1",
+        "dsp_serve_cache_hits_total{layer=\"prepared\"}",
+        "dsp_serve_cache_misses_total{layer=\"artifact\"} 1",
+        "dsp_serve_cache_evictions_total{layer=\"prepared\"} 0",
+        "dsp_serve_cache_resident{layer=\"artifact\"} 1",
+    ] {
+        assert!(text.contains(family), "missing `{family}` in:\n{text}");
+    }
+    server.stop();
+}
+
+#[test]
+fn hostile_input_never_kills_the_server() {
+    let server = TestServer::start(small_config());
+
+    // Raw garbage → 400.
+    let mut garbage = server.connect();
+    let resp = garbage.raw(b"NOT HTTP AT ALL\r\n\r\n").expect("response");
+    assert_eq!(resp.status, 400);
+
+    // Oversized body (declared) → 413 without reading it all.
+    let mut big = server.connect();
+    let resp = big
+        .raw(b"POST /compile HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+        .expect("response");
+    assert_eq!(resp.status, 413);
+
+    // Bad JSON → 400 with an error envelope.
+    let mut bad_json = server.connect();
+    let resp = bad_json
+        .request("POST", "/compile", Some("{not json"))
+        .expect("response");
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("error"));
+
+    // Valid JSON, missing fields → 400.
+    let mut missing = server.connect();
+    let resp = missing
+        .request("POST", "/compile", Some("{}"))
+        .expect("response");
+    assert_eq!(resp.status, 400);
+
+    // Source that does not compile → 400, not a panic.
+    let mut uncompilable = server.connect();
+    let resp = uncompilable
+        .request("POST", "/compile", Some(&compile_body("int $!bad", "cb")))
+        .expect("response");
+    assert_eq!(resp.status, 400);
+
+    // Unknown path → 404; wrong method → 405.
+    let mut nav = server.connect();
+    let resp = nav.request("GET", "/nope", None).expect("response");
+    assert_eq!(resp.status, 404);
+    let resp = nav.request("GET", "/compile", None).expect("response");
+    assert_eq!(resp.status, 405);
+
+    // After all of that, the server still works.
+    let mut alive = server.connect();
+    let resp = alive.request("GET", "/healthz", None).expect("response");
+    assert_eq!(resp.status, 200);
+    server.stop();
+}
+
+#[test]
+fn admin_shutdown_drains_and_stops() {
+    let server = TestServer::start(small_config());
+    let mut conn = server.connect();
+    let resp = conn
+        .request("POST", "/admin/shutdown", None)
+        .expect("response");
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("draining"));
+    // run() must return on its own; join with the handle path too
+    // (idempotent shutdown).
+    server.stop();
+}

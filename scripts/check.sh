@@ -23,4 +23,9 @@ cargo fmt --all --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets $CARGO_FLAGS -- -D warnings
 
+echo "== dsp-serve loopback smoke test =="
+# Self-contained: spawns a server on a free port, drives /compile over
+# 2 keep-alive connections, and exits nonzero on any dropped request.
+./target/release/dsp-serve-load --spawn --connections 2 --requests 25
+
 echo "All checks passed."

@@ -5,12 +5,15 @@
 //! dualbank compile <file.c> [--strategy S] [--emit asm|ir|bin]
 //! dualbank sweep <file.c> [--jobs N] [--json <path>]
 //! dualbank bench <name|all> [--jobs N] [--json <path>] [--stages]
+//! dualbank serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]
 //! dualbank list
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use dualbank::driver::{Engine, EngineOptions};
+use dsp_serve::{Server, ServerConfig};
+use dualbank::driver::{parse_worker_count, Engine, EngineOptions};
 use dualbank::{backend, workloads, SimOptions, Simulator, Strategy};
 
 fn usage() -> &'static str {
@@ -25,6 +28,9 @@ fn usage() -> &'static str {
      \x20     compare all compilation strategies\n\
      \x20 dualbank bench <name|all> [--jobs N] [--json <path>] [--stages]\n\
      \x20     run paper benchmark(s) across all strategies\n\
+     \x20 dualbank serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]\n\
+     \x20               [--max-body-kb N] [--cache-capacity N] [--fuel N]\n\
+     \x20     serve compile/sweep over HTTP (see docs/serving.md)\n\
      \x20 dualbank list\n\
      \x20     list the paper's 23 benchmarks\n\
      \n\
@@ -36,19 +42,6 @@ fn usage() -> &'static str {
      \x20 --stages    print the per-stage time and cache summary\n\
      \n\
      STRATEGIES: base cb pr dup seldup fulldup ideal (default: cb)"
-}
-
-fn parse_strategy(s: &str) -> Result<Strategy, String> {
-    Ok(match s.to_ascii_lowercase().as_str() {
-        "base" | "baseline" => Strategy::Baseline,
-        "cb" => Strategy::CbPartition,
-        "pr" | "profile" => Strategy::ProfileWeighted,
-        "dup" | "partial" => Strategy::PartialDup,
-        "seldup" | "selective" => Strategy::SelectiveDup,
-        "fulldup" | "full" => Strategy::FullDup,
-        "ideal" => Strategy::Ideal,
-        other => return Err(format!("unknown strategy `{other}`")),
-    })
 }
 
 fn main() -> ExitCode {
@@ -79,6 +72,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "compile" => cmd_compile(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "list" => {
             for b in workloads::all() {
                 println!(
@@ -116,7 +110,7 @@ fn flag_is_not_value(args: &[String], candidate: &String) -> bool {
 
 fn strategy_of(args: &[String]) -> Result<Strategy, String> {
     match flag_value(args, "--strategy") {
-        Some(s) => parse_strategy(&s),
+        Some(s) => Strategy::parse(&s),
         None => Ok(Strategy::CbPartition),
     }
 }
@@ -200,9 +194,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
 /// Build an engine from the shared `--jobs` flag.
 fn engine_of(args: &[String]) -> Result<Engine, String> {
     let jobs = match flag_value(args, "--jobs") {
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("--jobs expects a thread count, got `{v}`"))?,
+        Some(v) => parse_worker_count("--jobs", &v)?,
         None => 0,
     };
     Ok(Engine::new(EngineOptions {
@@ -302,4 +294,54 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         print!("{}", report.stage_table());
     }
     emit_json(args, &report)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    if let Some(addr) = flag_value(args, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(v) = flag_value(args, "--workers") {
+        config.workers = parse_worker_count("--workers", &v)?;
+    }
+    if let Some(v) = flag_value(args, "--queue") {
+        config.queue_capacity = parse_worker_count("--queue", &v)?;
+    }
+    if let Some(v) = flag_value(args, "--deadline-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("--deadline-ms expects milliseconds, got `{v}`"))?;
+        config.deadline = Duration::from_millis(ms);
+    }
+    if let Some(v) = flag_value(args, "--max-body-kb") {
+        let kb: usize = v
+            .parse()
+            .map_err(|_| format!("--max-body-kb expects a size, got `{v}`"))?;
+        config.max_body = kb * 1024;
+    }
+    if let Some(v) = flag_value(args, "--cache-capacity") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| format!("--cache-capacity expects an entry count, got `{v}`"))?;
+        config.cache_capacity = std::num::NonZeroUsize::new(n); // 0 = unbounded
+    }
+    if let Some(v) = flag_value(args, "--fuel") {
+        config.fuel = v
+            .parse()
+            .map_err(|_| format!("--fuel expects a cycle count, got `{v}`"))?;
+    }
+    let server = Server::bind(config.clone()).map_err(|e| format!("cannot bind: {e}"))?;
+    println!("dsp-serve listening on http://{}", server.local_addr());
+    println!(
+        "  queue {} · deadline {}ms · max body {} KiB · cache capacity {}",
+        config.queue_capacity,
+        config.deadline.as_millis(),
+        config.max_body / 1024,
+        config
+            .cache_capacity
+            .map_or("unbounded".to_string(), |c| c.to_string()),
+    );
+    println!("  endpoints: POST /compile · POST /sweep · GET /healthz · GET /metrics");
+    println!("  graceful shutdown: POST /admin/shutdown (drains in-flight requests)");
+    server.run().map_err(|e| format!("server failed: {e}"))
 }
