@@ -29,12 +29,19 @@
 //! strategies), but a long-running server cannot: every novel request
 //! body would pin a parsed program and a compiled artifact forever.
 //! [`ArtifactCache::bounded`] caps the `prepared` and `artifact` maps
-//! at a fixed entry count with least-recently-used eviction; evictions
-//! are counted per layer in [`CacheStats`]. Eviction only drops the
-//! map's reference — in-flight users of an evicted slot hold their own
-//! `Arc` and finish normally; a later request recomputes. (The
-//! profile/reference sub-results ride inside their `PreparedSource`
-//! entry and are evicted with it.)
+//! at a fixed entry count with least-recently-used eviction, and
+//! [`ArtifactCache::with_limits`] adds a per-layer byte budget over
+//! *estimated* resident sizes (the dominant vectors — IR ops, VLIW
+//! instructions, data-image words — at fixed per-element costs; sizes
+//! are recorded when a fresh computation lands, so an entry being
+//! computed is briefly accounted at zero). Whichever bound is exceeded
+//! first evicts; evictions and evicted bytes are counted per layer in
+//! [`CacheStats`]. Eviction only drops the map's reference — in-flight
+//! users of an evicted slot hold their own `Arc` and finish normally;
+//! a later request recomputes. A single entry larger than the byte
+//! budget stays resident (the cache never evicts below one entry).
+//! (The profile/reference sub-results ride inside their
+//! `PreparedSource` entry and are evicted with it.)
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -50,7 +57,7 @@ use dsp_backend::{
 };
 use dsp_bankalloc::Var;
 use dsp_ir::{ExecStats, InterpError, Program};
-use dsp_machine::Word;
+use dsp_machine::{VliwInst, Word};
 use dsp_workloads::runner;
 
 /// FNV-1a hash of a byte string — the cache's content hash.
@@ -133,6 +140,14 @@ pub struct CacheStats {
     /// Compiled-artifact entries dropped by LRU eviction (bounded
     /// caches only).
     pub artifact_evictions: u64,
+    /// Estimated bytes resident in the prepared layer.
+    pub prepared_bytes: u64,
+    /// Estimated bytes resident in the artifact layer.
+    pub artifact_bytes: u64,
+    /// Estimated bytes dropped from the prepared layer by eviction.
+    pub prepared_evicted_bytes: u64,
+    /// Estimated bytes dropped from the artifact layer by eviction.
+    pub artifact_evicted_bytes: u64,
 }
 
 impl CacheStats {
@@ -163,6 +178,18 @@ impl CacheStats {
     #[must_use]
     pub fn evictions(&self) -> u64 {
         self.prepared_evictions + self.artifact_evictions
+    }
+
+    /// Estimated bytes resident across the bounded layers.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.prepared_bytes + self.artifact_bytes
+    }
+
+    /// Estimated bytes dropped by eviction across the bounded layers.
+    #[must_use]
+    pub fn evicted_bytes(&self) -> u64 {
+        self.prepared_evicted_bytes + self.artifact_evicted_bytes
     }
 }
 
@@ -223,10 +250,12 @@ impl CompiledArtifact {
 
 type Slot<T> = Arc<OnceLock<T>>;
 
-/// One map entry: the computation slot plus its recency stamp.
+/// One map entry: the computation slot, its recency stamp, and its
+/// estimated size (zero until the computation lands and records it).
 struct Entry<T> {
     slot: Slot<T>,
     last_used: u64,
+    bytes: u64,
 }
 
 impl<T> Default for Entry<T> {
@@ -234,6 +263,7 @@ impl<T> Default for Entry<T> {
         Entry {
             slot: Arc::default(),
             last_used: 0,
+            bytes: 0,
         }
     }
 }
@@ -243,30 +273,37 @@ struct LayerInner<K, T> {
     /// Monotonic access counter; the entry with the smallest stamp is
     /// the LRU victim.
     tick: u64,
+    /// Sum of every entry's recorded `bytes`.
+    bytes: u64,
 }
 
 /// One cache layer: a keyed map of [`OnceLock`] slots with optional
-/// LRU bounding.
+/// LRU bounding by entry count and/or estimated bytes.
 struct Layer<K, T> {
     inner: Mutex<LayerInner<K, T>>,
     capacity: Option<NonZeroUsize>,
+    max_bytes: Option<u64>,
     evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, T> Layer<K, T> {
-    fn new(capacity: Option<NonZeroUsize>) -> Layer<K, T> {
+    fn new(capacity: Option<NonZeroUsize>, max_bytes: Option<u64>) -> Layer<K, T> {
         Layer {
             inner: Mutex::new(LayerInner {
                 map: HashMap::new(),
                 tick: 0,
+                bytes: 0,
             }),
             capacity,
+            max_bytes,
             evictions: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
         }
     }
 
     /// Fetch-or-insert the [`OnceLock`] slot for `key`; the map lock is
-    /// held only for the lookup (and a possible O(n) eviction scan),
+    /// held only for the lookup (and a possible O(n²) eviction scan),
     /// never during computation.
     fn slot(&self, key: K) -> Slot<T> {
         let mut inner = self.inner.lock().expect("cache mutex poisoned");
@@ -275,26 +312,60 @@ impl<K: Eq + Hash + Clone, T> Layer<K, T> {
         let entry = inner.map.entry(key).or_default();
         entry.last_used = tick;
         let slot = entry.slot.clone();
-        if let Some(cap) = self.capacity {
-            if inner.map.len() > cap.get() {
-                // ≥ 2 entries and the just-touched one carries the
-                // newest stamp, so the minimum is always another key.
-                if let Some(victim) = inner
-                    .map
-                    .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| k.clone())
-                {
-                    inner.map.remove(&victim);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                }
+        self.enforce(&mut inner);
+        slot
+    }
+
+    /// Record the estimated size of `key`'s computed value and re-apply
+    /// the bounds. Recording counts as a touch, so the entry that just
+    /// finished computing is not the immediate LRU victim.
+    fn record_bytes(&self, key: &K, bytes: u64) {
+        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Some(entry) = inner.map.get_mut(key) else {
+            // Evicted while computing; nothing resident to account.
+            return;
+        };
+        let old = entry.bytes;
+        entry.bytes = bytes;
+        entry.last_used = tick;
+        inner.bytes = inner.bytes - old + bytes;
+        self.enforce(&mut inner);
+    }
+
+    /// Evict LRU entries until both bounds hold, but never below one
+    /// entry — the just-touched key must survive its own insertion, and
+    /// a single over-budget entry is better resident than thrashing.
+    fn enforce(&self, inner: &mut LayerInner<K, T>) {
+        loop {
+            let over_count = self.capacity.is_some_and(|cap| inner.map.len() > cap.get());
+            let over_bytes = self.max_bytes.is_some_and(|max| inner.bytes > max);
+            if (!over_count && !over_bytes) || inner.map.len() <= 1 {
+                return;
+            }
+            let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            if let Some(entry) = inner.map.remove(&victim) {
+                inner.bytes -= entry.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evicted_bytes.fetch_add(entry.bytes, Ordering::Relaxed);
             }
         }
-        slot
     }
 
     fn len(&self) -> usize {
         self.inner.lock().expect("cache mutex poisoned").map.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.inner.lock().expect("cache mutex poisoned").bytes
     }
 }
 
@@ -322,7 +393,7 @@ pub struct ArtifactCache {
 
 impl Default for ArtifactCache {
     fn default() -> ArtifactCache {
-        ArtifactCache::with_capacity(None)
+        ArtifactCache::with_limits(None, None)
     }
 }
 
@@ -338,13 +409,16 @@ impl ArtifactCache {
     /// entries beyond that (long-running servers: bounded memory).
     #[must_use]
     pub fn bounded(capacity: NonZeroUsize) -> ArtifactCache {
-        ArtifactCache::with_capacity(Some(capacity))
+        ArtifactCache::with_limits(Some(capacity), None)
     }
 
-    fn with_capacity(capacity: Option<NonZeroUsize>) -> ArtifactCache {
+    /// An empty cache bounded by entry count and/or estimated bytes,
+    /// each applied per layer; `None` leaves that bound off.
+    #[must_use]
+    pub fn with_limits(capacity: Option<NonZeroUsize>, max_bytes: Option<u64>) -> ArtifactCache {
         ArtifactCache {
-            prepared: Layer::new(capacity),
-            artifacts: Layer::new(capacity),
+            prepared: Layer::new(capacity, max_bytes),
+            artifacts: Layer::new(capacity, max_bytes),
             prepared_hits: AtomicU64::new(0),
             prepared_misses: AtomicU64::new(0),
             profile_hits: AtomicU64::new(0),
@@ -360,6 +434,12 @@ impl ArtifactCache {
     #[must_use]
     pub fn resident(&self) -> (usize, usize) {
         (self.prepared.len(), self.artifacts.len())
+    }
+
+    /// Estimated bytes resident in the (prepared, artifact) layers.
+    #[must_use]
+    pub fn resident_bytes(&self) -> (u64, u64) {
+        (self.prepared.bytes(), self.artifacts.bytes())
     }
 
     /// Parse and optimize `source`, or return the cached result.
@@ -378,6 +458,9 @@ impl ArtifactCache {
             prepare(source, hash)
         });
         count(fresh, &self.prepared_hits, &self.prepared_misses);
+        if fresh {
+            self.prepared.record_bytes(&hash, prepared_bytes(result));
+        }
         result.clone().map(|p| (p, !fresh))
     }
 
@@ -456,6 +539,9 @@ impl ArtifactCache {
                 .map(|(output, timings)| Arc::new(CompiledArtifact { output, timings }))
         });
         count(fresh, &self.artifact_hits, &self.artifact_misses);
+        if fresh {
+            self.artifacts.record_bytes(&key, artifact_bytes(result));
+        }
         result.clone().map(|a| (a, !fresh))
     }
 
@@ -473,7 +559,51 @@ impl ArtifactCache {
             artifact_misses: self.artifact_misses.load(Ordering::Relaxed),
             prepared_evictions: self.prepared.evictions.load(Ordering::Relaxed),
             artifact_evictions: self.artifacts.evictions.load(Ordering::Relaxed),
+            prepared_bytes: self.prepared.bytes(),
+            artifact_bytes: self.artifacts.bytes(),
+            prepared_evicted_bytes: self.prepared.evicted_bytes.load(Ordering::Relaxed),
+            artifact_evicted_bytes: self.artifacts.evicted_bytes.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Estimated heap footprint of an IR program: the dominant vectors
+/// (ops, globals' init words) at fixed per-element costs; names and
+/// small per-item vecs ride in the constants.
+fn program_bytes(p: &Program) -> u64 {
+    const OP_BYTES: u64 = 48;
+    const GLOBAL_BYTES: u64 = 64;
+    const FUNC_BYTES: u64 = 192;
+    let ops: u64 = p.funcs.iter().map(|f| f.op_count() as u64).sum();
+    let init: u64 = p.globals.iter().map(|g| g.init.len() as u64).sum();
+    ops * OP_BYTES
+        + init * std::mem::size_of::<Word>() as u64
+        + p.globals.len() as u64 * GLOBAL_BYTES
+        + p.funcs.len() as u64 * FUNC_BYTES
+}
+
+/// Cached errors occupy a nominal footprint: the message, not a program.
+const ERROR_BYTES: u64 = 64;
+
+fn prepared_bytes(entry: &Result<Arc<PreparedSource>, CompileError>) -> u64 {
+    match entry {
+        // Both IR copies; the lazily filled profile/reference slots are
+        // small next to them and ride in the constant.
+        Ok(p) => program_bytes(&p.ir) + program_bytes(&p.opt_ir) + 256,
+        Err(_) => ERROR_BYTES,
+    }
+}
+
+fn artifact_bytes(entry: &Result<Arc<CompiledArtifact>, CompileError>) -> u64 {
+    match entry {
+        Ok(a) => {
+            let prog = &a.output.program;
+            let insts = prog.insts.len() as u64 * std::mem::size_of::<VliwInst>() as u64;
+            let data = (prog.x_image.init.len() + prog.y_image.init.len()) as u64
+                * std::mem::size_of::<Word>() as u64;
+            insts + data + program_bytes(&a.output.ir) + 512
+        }
+        Err(_) => ERROR_BYTES,
     }
 }
 
@@ -591,6 +721,53 @@ mod tests {
         assert_eq!(stats.artifact_evictions, 1);
         // The prepared layer only ever held one entry — no evictions.
         assert_eq!(stats.prepared_evictions, 0);
+    }
+
+    #[test]
+    fn byte_budget_evicts_down_to_one_entry() {
+        // A 1-byte budget can never hold two entries; each new source
+        // must push out the previous one, but the newest always stays.
+        let cache = ArtifactCache::with_limits(None, Some(1));
+        cache.prepared(SRC).unwrap();
+        let (first_bytes, _) = cache.resident_bytes();
+        assert!(first_bytes > 1, "estimate must exceed the tiny budget");
+        assert_eq!(cache.stats().prepared_evictions, 0, "sole entry stays");
+
+        cache.prepared("int out; void main() { out = 8; }").unwrap();
+        let stats = cache.stats();
+        assert_eq!(cache.resident().0, 1, "budget holds one entry at most");
+        assert_eq!(stats.prepared_evictions, 1);
+        assert_eq!(stats.prepared_evicted_bytes, first_bytes);
+        let (_, hit) = cache.prepared(SRC).unwrap();
+        assert!(!hit, "evicted source must recompute");
+    }
+
+    #[test]
+    fn byte_budget_bounds_artifacts_independently() {
+        let cache = ArtifactCache::with_limits(None, Some(1));
+        let (prep, _) = cache.prepared(SRC).unwrap();
+        let cfg = CompileConfig::default();
+        cache
+            .artifact(&prep, Strategy::Baseline, cfg, None)
+            .unwrap();
+        cache
+            .artifact(&prep, Strategy::CbPartition, cfg, None)
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(cache.resident().1, 1);
+        assert_eq!(stats.artifact_evictions, 1);
+        assert!(stats.artifact_evicted_bytes > 0);
+        assert!(stats.artifact_bytes > 0);
+    }
+
+    #[test]
+    fn unbounded_cache_accounts_bytes_without_evicting() {
+        let cache = ArtifactCache::new();
+        cache.prepared(SRC).unwrap();
+        let stats = cache.stats();
+        assert!(stats.prepared_bytes > 0);
+        assert_eq!(stats.evicted_bytes(), 0);
+        assert_eq!(stats.resident_bytes(), stats.prepared_bytes);
     }
 
     #[test]

@@ -1,26 +1,33 @@
-//! Work-queue engine: fans a strategy×workload job matrix out over OS
-//! threads, with every worker sharing one [`ArtifactCache`].
+//! The batch engine as a thin pipeline over the shared
+//! [`dsp_exec::Executor`].
 //!
-//! Determinism: workers only *claim* jobs from an atomic counter; each
-//! job's computation is pure (compilation and simulation are
-//! deterministic functions of the source, config, and strategy), and
-//! results land in a per-job slot that is read back in matrix order.
-//! A parallel run is therefore bit-identical to `jobs = 1` in every
-//! field except wall times and the per-job `*_cached` flags (which job
-//! of a source reaches the cache first is schedule-dependent; the
-//! per-layer totals are not).
+//! Since PR 3 the engine owns no threads of its own: a matrix run
+//! submits one task per (benchmark, strategy) cell to a work-queue
+//! executor — either a private one sized by [`EngineOptions::jobs`]
+//! ([`Engine::new`]) or one shared with other engines and with
+//! `dsp-serve`'s request handling ([`Engine::with_executor`]). Each
+//! task is the pure pipeline parse → optimize → profile → partition →
+//! compile → simulate, split at the [`ArtifactCache`] seams so
+//! strategy-independent stages are computed once per source.
+//!
+//! Determinism: each cell's computation is a pure function of (source,
+//! config, strategy), and [`MatrixRun`] reads results back through
+//! per-job handles in matrix order. A parallel run is therefore
+//! bit-identical to `jobs = 1` in every field except wall times and
+//! the per-job `*_cached` flags (which job of a source reaches the
+//! cache first is schedule-dependent; the per-layer totals are not).
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dsp_backend::{CompileConfig, Strategy};
+use dsp_exec::{CancelToken, Executor, JobHandle, Priority, WaitOutcome};
 use dsp_sim::{SimOptions, Simulator};
 use dsp_workloads::runner::{self, RunError};
 use dsp_workloads::Benchmark;
 
-use crate::cache::ArtifactCache;
+use crate::cache::{ArtifactCache, CacheStats};
 use crate::report::{CacheFlags, JobReport, RunReport, StageTimes};
 
 /// Parse a user-supplied worker/`--jobs` count.
@@ -48,7 +55,9 @@ pub fn parse_worker_count(flag: &str, input: &str) -> Result<usize, String> {
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineOptions {
-    /// Worker-thread count; `0` means [`std::thread::available_parallelism`].
+    /// Worker-thread count of the engine's private executor; `0` means
+    /// [`std::thread::available_parallelism`]. Ignored by
+    /// [`Engine::with_executor`] — there the shared pool's size rules.
     pub jobs: usize,
     /// Driver-level compile configuration applied to every job.
     pub config: CompileConfig,
@@ -61,6 +70,10 @@ pub struct EngineOptions {
     /// sweeps), `Some(n)` = LRU-bounded to `n` entries per layer
     /// (long-running servers).
     pub cache_capacity: Option<NonZeroUsize>,
+    /// Per-layer artifact-cache byte budget (estimated resident bytes);
+    /// `None` = unbounded. Composes with `cache_capacity`: whichever
+    /// bound is exceeded first evicts.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl Default for EngineOptions {
@@ -71,6 +84,7 @@ impl Default for EngineOptions {
             fuel: SimOptions::default().fuel,
             verify: true,
             cache_capacity: None,
+            cache_max_bytes: None,
         }
     }
 }
@@ -99,22 +113,38 @@ impl std::error::Error for EngineError {
 }
 
 /// The batch compile-and-simulate engine.
-#[derive(Default)]
 pub struct Engine {
     opts: EngineOptions,
-    cache: ArtifactCache,
+    cache: Arc<ArtifactCache>,
+    exec: Arc<Executor>,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new(EngineOptions::default())
+    }
 }
 
 impl Engine {
-    /// An engine with the given options and an empty cache (bounded by
-    /// [`EngineOptions::cache_capacity`] when set).
+    /// An engine with the given options, an empty cache (bounded by
+    /// [`EngineOptions::cache_capacity`] / `cache_max_bytes` when set),
+    /// and a private executor of [`EngineOptions::jobs`] workers.
     #[must_use]
     pub fn new(opts: EngineOptions) -> Engine {
-        let cache = match opts.cache_capacity {
-            Some(cap) => ArtifactCache::bounded(cap),
-            None => ArtifactCache::new(),
-        };
-        Engine { opts, cache }
+        let exec = Arc::new(Executor::new(opts.jobs));
+        Engine::with_executor(opts, exec)
+    }
+
+    /// An engine submitting to an existing shared executor instead of
+    /// spawning its own pool — how `dsp-serve` and the CLI give every
+    /// engine in the process one machine-sized scheduler.
+    #[must_use]
+    pub fn with_executor(opts: EngineOptions, exec: Arc<Executor>) -> Engine {
+        let cache = Arc::new(ArtifactCache::with_limits(
+            opts.cache_capacity,
+            opts.cache_max_bytes,
+        ));
+        Engine { opts, cache, exec }
     }
 
     /// The engine's options.
@@ -130,17 +160,58 @@ impl Engine {
         &self.cache
     }
 
-    /// Worker threads that a matrix of `njobs` jobs would use.
+    /// The executor this engine submits to.
+    #[must_use]
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.exec
+    }
+
+    /// Worker threads that a matrix of `njobs` jobs could use.
     #[must_use]
     pub fn worker_count(&self, njobs: usize) -> usize {
-        let configured = if self.opts.jobs == 0 {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            self.opts.jobs
-        };
-        configured.max(1).min(njobs.max(1))
+        self.exec.workers().max(1).min(njobs.max(1))
+    }
+
+    /// Submit the full `benches` × `strategies` matrix to the executor
+    /// without waiting: one task per cell, all under `priority` and
+    /// `token`. The returned [`MatrixRun`] hands back per-job results
+    /// in matrix order as they complete — the streaming building block
+    /// for `dsp-serve`'s chunked `/sweep` responses.
+    #[must_use]
+    pub fn submit_matrix(
+        &self,
+        benches: &[Benchmark],
+        strategies: &[Strategy],
+        priority: Priority,
+        token: CancelToken,
+    ) -> MatrixRun {
+        let pairs: Vec<(String, Strategy)> = benches
+            .iter()
+            .flat_map(|b| strategies.iter().map(move |&s| (b.name.clone(), s)))
+            .collect();
+        let workers = self.worker_count(pairs.len());
+        let started = Instant::now();
+        let handles = benches
+            .iter()
+            .flat_map(|b| strategies.iter().map(move |&s| (b, s)))
+            .map(|(bench, strategy)| {
+                let cache = Arc::clone(&self.cache);
+                let opts = self.opts;
+                let bench = bench.clone();
+                self.exec.submit(priority, Some(&token), move || {
+                    run_job(&cache, &opts, &bench, strategy)
+                })
+            })
+            .collect();
+        MatrixRun {
+            pairs,
+            handles,
+            strategies: strategies.to_vec(),
+            workers,
+            started,
+            cache: Arc::clone(&self.cache),
+            token,
+        }
     }
 
     /// Run the full `benches` × `strategies` matrix and collect a
@@ -157,51 +228,8 @@ impl Engine {
         benches: &[Benchmark],
         strategies: &[Strategy],
     ) -> Result<RunReport, EngineError> {
-        let jobs: Vec<(&Benchmark, Strategy)> = benches
-            .iter()
-            .flat_map(|b| strategies.iter().map(move |&s| (b, s)))
-            .collect();
-        let workers = self.worker_count(jobs.len());
-        let started = Instant::now();
-
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Result<JobReport, RunError>>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let ji = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(bench, strategy)) = jobs.get(ji) else {
-                        break;
-                    };
-                    let outcome = self.run_job(bench, strategy);
-                    *results[ji].lock().expect("result slot poisoned") = Some(outcome);
-                });
-            }
-        });
-
-        let mut reports = Vec::with_capacity(jobs.len());
-        for (ji, cell) in results.into_iter().enumerate() {
-            let (bench, strategy) = jobs[ji];
-            match cell.into_inner().expect("result slot poisoned") {
-                Some(Ok(report)) => reports.push(report),
-                Some(Err(error)) => {
-                    return Err(EngineError {
-                        bench: bench.name.clone(),
-                        strategy,
-                        error,
-                    })
-                }
-                None => unreachable!("job {ji} was never claimed"),
-            }
-        }
-        Ok(RunReport {
-            strategies: strategies.to_vec(),
-            workers,
-            wall_time: started.elapsed(),
-            cache: self.cache.stats(),
-            jobs: reports,
-        })
+        self.submit_matrix(benches, strategies, Priority::Batch, CancelToken::new())
+            .into_report()
     }
 
     /// Run the whole 23-benchmark suite under `strategies`.
@@ -212,89 +240,234 @@ impl Engine {
     pub fn run_suite(&self, strategies: &[Strategy]) -> Result<RunReport, EngineError> {
         self.run_matrix(&dsp_workloads::all(), strategies)
     }
+}
 
-    /// Compile, simulate, and verify one (benchmark, strategy) pair,
-    /// going through the cache for every strategy-independent stage.
-    fn run_job(&self, bench: &Benchmark, strategy: Strategy) -> Result<JobReport, RunError> {
-        let (prep, prepared_cached) = self.cache.prepared(&bench.source)?;
+/// An in-flight matrix: one submitted task per (benchmark, strategy)
+/// cell, results retrievable per job in matrix order.
+pub struct MatrixRun {
+    pairs: Vec<(String, Strategy)>,
+    handles: Vec<JobHandle<Result<JobReport, RunError>>>,
+    strategies: Vec<Strategy>,
+    workers: usize,
+    started: Instant,
+    cache: Arc<ArtifactCache>,
+    token: CancelToken,
+}
 
-        let needs_profile = matches!(strategy, Strategy::ProfileWeighted | Strategy::SelectiveDup);
-        let (profile, profile_time, profile_cached) = if needs_profile {
-            let (stats, time, cached) = self.cache.profile(&prep)?;
-            (Some(stats), time, cached)
-        } else {
-            (None, Duration::ZERO, false)
-        };
+impl MatrixRun {
+    /// Number of jobs in the matrix.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
 
-        let (artifact, artifact_cached) =
-            self.cache
-                .artifact(&prep, strategy, self.opts.config, profile)?;
+    /// True for an empty matrix.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
 
-        let sim_start = Instant::now();
-        let mut sim = Simulator::new(
-            &artifact.output.program,
-            SimOptions {
-                dual_ported: strategy.dual_ported(),
-                fuel: self.opts.fuel,
-            },
-        );
-        let stats = sim.run()?;
-        let simulate = sim_start.elapsed();
+    /// The (benchmark name, strategy) of job `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn pair(&self, i: usize) -> (&str, Strategy) {
+        let (name, strategy) = &self.pairs[i];
+        (name, *strategy)
+    }
 
-        let mut verify = Duration::ZERO;
-        let mut reference_time = Duration::ZERO;
-        let mut reference_cached = None;
-        if self.opts.verify && !bench.check_globals.is_empty() {
-            let verify_start = Instant::now();
-            let (reference, ref_time, ref_cached) = self.cache.reference(&prep)?;
-            runner::verify_sim(bench, strategy, &sim, reference)?;
-            let total = verify_start.elapsed();
-            // When this job computed the reference run (a miss), that
-            // time is reported under the `reference` stage, not here.
-            verify = if ref_cached {
-                total
-            } else {
-                total.saturating_sub(ref_time)
-            };
-            reference_time = ref_time;
-            reference_cached = Some(ref_cached);
+    /// Executor workers this matrix could use (capped by job count).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Strategies swept, in column order.
+    #[must_use]
+    pub fn strategies(&self) -> &[Strategy] {
+        &self.strategies
+    }
+
+    /// The cancel token shared by every job of this matrix.
+    #[must_use]
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Cancel every job of this matrix still queued; running jobs
+    /// finish (bounded by simulator fuel).
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Wall time since submission.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Cache counters of the engine that submitted this matrix.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Block until job `i` completes; `None` if it was cancelled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn wait_job(&self, i: usize) -> Option<Result<JobReport, RunError>> {
+        self.handles[i].wait()
+    }
+
+    /// Wait for job `i` until `deadline` at the latest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn wait_job_until(
+        &self,
+        i: usize,
+        deadline: Instant,
+    ) -> WaitOutcome<Result<JobReport, RunError>> {
+        self.handles[i].wait_until(deadline)
+    }
+
+    /// Wait for every job and assemble the [`RunReport`] (jobs in
+    /// matrix order).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing job in matrix order (remaining jobs
+    /// still run to completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job was cancelled (cancel-aware callers stream via
+    /// [`MatrixRun::wait_job_until`] instead) or if a job panicked.
+    pub fn into_report(self) -> Result<RunReport, EngineError> {
+        let outcomes: Vec<Option<Result<JobReport, RunError>>> =
+            self.handles.iter().map(JobHandle::wait).collect();
+        let wall_time = self.started.elapsed();
+        let mut reports = Vec::with_capacity(outcomes.len());
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let (bench, strategy) = &self.pairs[i];
+            match outcome {
+                Some(Ok(report)) => reports.push(report),
+                Some(Err(error)) => {
+                    return Err(EngineError {
+                        bench: bench.clone(),
+                        strategy: *strategy,
+                        error,
+                    })
+                }
+                None => panic!("engine job {bench} [{strategy}] panicked or was cancelled"),
+            }
         }
-
-        let measurement = runner::build_measurement(bench, &artifact.output, stats);
-        Ok(JobReport {
-            bench: bench.name.clone(),
-            kind: bench.kind,
-            strategy,
-            partition_cost: artifact.output.alloc.partition_cost,
-            duplicated_words: artifact.duplicated_words(),
-            measurement,
-            cached: CacheFlags {
-                prepared: prepared_cached,
-                profile: needs_profile.then_some(profile_cached),
-                reference: reference_cached,
-                artifact: artifact_cached,
-            },
-            stages: StageTimes {
-                parse: prep.parse_time,
-                opt: prep.opt_time,
-                opt_passes: prep
-                    .opt_passes
-                    .iter()
-                    .map(|p| (p.pass.to_string(), p.time))
-                    .collect(),
-                profile: profile_time,
-                trial_compaction: artifact.timings.trial_compaction,
-                partition: artifact.timings.partition,
-                regalloc: artifact.timings.regalloc,
-                lower: artifact.timings.lower,
-                final_pack: artifact.timings.final_pack,
-                link: artifact.timings.link,
-                reference: reference_time,
-                simulate,
-                verify,
-            },
+        Ok(RunReport {
+            strategies: self.strategies,
+            workers: self.workers,
+            wall_time,
+            cache: self.cache.stats(),
+            jobs: reports,
         })
     }
+}
+
+/// Compile, simulate, and verify one (benchmark, strategy) pair, going
+/// through `cache` for every strategy-independent stage. This is the
+/// executor task body: a pure function of its arguments.
+///
+/// # Errors
+///
+/// Propagates the first failing pipeline stage.
+pub fn run_job(
+    cache: &ArtifactCache,
+    opts: &EngineOptions,
+    bench: &Benchmark,
+    strategy: Strategy,
+) -> Result<JobReport, RunError> {
+    let (prep, prepared_cached) = cache.prepared(&bench.source)?;
+
+    let needs_profile = matches!(strategy, Strategy::ProfileWeighted | Strategy::SelectiveDup);
+    let (profile, profile_time, profile_cached) = if needs_profile {
+        let (stats, time, cached) = cache.profile(&prep)?;
+        (Some(stats), time, cached)
+    } else {
+        (None, Duration::ZERO, false)
+    };
+
+    let (artifact, artifact_cached) = cache.artifact(&prep, strategy, opts.config, profile)?;
+
+    let sim_start = Instant::now();
+    let mut sim = Simulator::new(
+        &artifact.output.program,
+        SimOptions {
+            dual_ported: strategy.dual_ported(),
+            fuel: opts.fuel,
+        },
+    );
+    let stats = sim.run()?;
+    let simulate = sim_start.elapsed();
+
+    let mut verify = Duration::ZERO;
+    let mut reference_time = Duration::ZERO;
+    let mut reference_cached = None;
+    if opts.verify && !bench.check_globals.is_empty() {
+        let verify_start = Instant::now();
+        let (reference, ref_time, ref_cached) = cache.reference(&prep)?;
+        runner::verify_sim(bench, strategy, &sim, reference)?;
+        let total = verify_start.elapsed();
+        // When this job computed the reference run (a miss), that
+        // time is reported under the `reference` stage, not here.
+        verify = if ref_cached {
+            total
+        } else {
+            total.saturating_sub(ref_time)
+        };
+        reference_time = ref_time;
+        reference_cached = Some(ref_cached);
+    }
+
+    let measurement = runner::build_measurement(bench, &artifact.output, stats);
+    Ok(JobReport {
+        bench: bench.name.clone(),
+        kind: bench.kind,
+        strategy,
+        partition_cost: artifact.output.alloc.partition_cost,
+        duplicated_words: artifact.duplicated_words(),
+        measurement,
+        cached: CacheFlags {
+            prepared: prepared_cached,
+            profile: needs_profile.then_some(profile_cached),
+            reference: reference_cached,
+            artifact: artifact_cached,
+        },
+        stages: StageTimes {
+            parse: prep.parse_time,
+            opt: prep.opt_time,
+            opt_passes: prep
+                .opt_passes
+                .iter()
+                .map(|p| (p.pass.to_string(), p.time))
+                .collect(),
+            profile: profile_time,
+            trial_compaction: artifact.timings.trial_compaction,
+            partition: artifact.timings.partition,
+            regalloc: artifact.timings.regalloc,
+            lower: artifact.timings.lower,
+            final_pack: artifact.timings.final_pack,
+            link: artifact.timings.link,
+            reference: reference_time,
+            simulate,
+            verify,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -322,5 +495,55 @@ mod tests {
             let err = parse_worker_count("--jobs", bad).unwrap_err();
             assert!(err.contains("positive integer"), "{bad:?} -> {err}");
         }
+    }
+
+    #[test]
+    fn engines_can_share_one_executor() {
+        let exec = Arc::new(Executor::new(2));
+        let a = Engine::with_executor(EngineOptions::default(), Arc::clone(&exec));
+        let b = Engine::with_executor(EngineOptions::default(), Arc::clone(&exec));
+        let bench = dsp_workloads::kernels::fir(8, 4);
+        let ra = a
+            .run_matrix(std::slice::from_ref(&bench), &[Strategy::Baseline])
+            .unwrap();
+        let rb = b
+            .run_matrix(std::slice::from_ref(&bench), &[Strategy::Baseline])
+            .unwrap();
+        assert_eq!(ra.jobs[0].measurement.cycles, rb.jobs[0].measurement.cycles);
+        // Both matrices ran on the shared pool.
+        assert_eq!(exec.stats().executed_batch, 2);
+    }
+
+    #[test]
+    fn cancelled_matrix_resolves_queued_jobs_as_cancelled() {
+        // A 1-worker executor occupied by a gate keeps the matrix
+        // queued; cancelling then must resolve every job without
+        // running it.
+        let exec = Arc::new(Executor::new(1));
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        let gate = exec.submit(Priority::Batch, None, move || {
+            entered_tx.send(()).unwrap();
+            rx.recv().unwrap();
+        });
+        entered_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("gate must start");
+
+        let engine = Engine::with_executor(EngineOptions::default(), Arc::clone(&exec));
+        let bench = dsp_workloads::kernels::fir(8, 4);
+        let run = engine.submit_matrix(
+            std::slice::from_ref(&bench),
+            &Strategy::ALL,
+            Priority::Batch,
+            CancelToken::new(),
+        );
+        run.cancel();
+        tx.send(()).unwrap();
+        gate.wait().unwrap();
+        for i in 0..run.len() {
+            assert!(run.wait_job(i).is_none(), "job {i} must be cancelled");
+        }
+        assert_eq!(engine.cache().stats().misses(), 0, "no work may have run");
     }
 }

@@ -2,8 +2,10 @@
 //! `dsp-driver` — parallel batch compile-and-simulate engine.
 //!
 //! The paper's evaluation is a matrix: 23 benchmarks × 7 strategies,
-//! each cell a compile + simulate + verify job. This crate runs that
-//! matrix as a work queue over OS threads, with three guarantees:
+//! each cell a compile + simulate + verify job. This crate submits
+//! that matrix, one task per cell, to the shared [`dsp_exec`] work
+//! queue (a private pool per engine by default, or a process-wide one
+//! via [`Engine::with_executor`]), with three guarantees:
 //!
 //! 1. **Bit-identical results.** A parallel run produces exactly the
 //!    measurements of the serial path (`runner::measure_ir` per cell):
@@ -55,5 +57,10 @@ pub mod json;
 pub mod report;
 
 pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
-pub use engine::{parse_worker_count, Engine, EngineError, EngineOptions};
-pub use report::{CacheFlags, JobReport, RunReport, StageTimes};
+pub use engine::{parse_worker_count, Engine, EngineError, EngineOptions, MatrixRun};
+pub use report::{
+    sweep_json_prefix, sweep_json_tail, CacheFlags, JobReport, RunReport, StageTimes,
+};
+// The shared scheduler's vocabulary, re-exported so engine callers
+// need not depend on `dsp-exec` directly.
+pub use dsp_exec::{CancelToken, Executor, ExecutorStats, JobHandle, Priority, WaitOutcome};

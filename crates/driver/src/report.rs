@@ -9,7 +9,7 @@ use dsp_workloads::runner::Measurement;
 use dsp_workloads::Kind;
 
 use crate::cache::CacheStats;
-use crate::json::{escape as json_string, number as json_f64, ObjectWriter};
+use crate::json::{escape as json_string, number as json_f64};
 
 /// Which cache layers served this job (`None` = layer not consulted).
 /// Schedule-dependent under parallelism — the per-layer totals in
@@ -244,28 +244,51 @@ impl RunReport {
     }
 
     /// Serialize to JSON (schema `dualbank-run-report/v1`).
+    ///
+    /// Assembled from exactly the pieces a streamed response is made
+    /// of — [`sweep_json_prefix`], one [`JobReport::to_json`] chunk per
+    /// job, [`sweep_json_tail`] — so a chunked `/sweep` stream
+    /// reassembles byte-identically to this buffered form.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut o = ObjectWriter::new();
-        o.str("schema", "dualbank-run-report/v1");
-        o.num("workers", self.workers as u64);
-        o.f64("wall_time_ms", ms(self.wall_time));
-        o.raw(
-            "strategies",
-            &format!(
-                "[{}]",
-                self.strategies
-                    .iter()
-                    .map(|s| json_string(s.label()))
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ),
-        );
-        o.raw("cache", &cache_json(&self.cache));
         let jobs: Vec<String> = self.jobs.iter().map(JobReport::to_json).collect();
-        o.raw("jobs", &format!("[\n{}\n  ]", jobs.join(",\n")));
-        o.finish()
+        format!(
+            "{}{}{}",
+            sweep_json_prefix(self.workers, &self.strategies),
+            jobs.join(",\n"),
+            sweep_json_tail(self.wall_time, &self.cache, false),
+        )
     }
+}
+
+/// The head of a `dualbank-run-report/v1` document: everything known
+/// at submission time (schema, workers, strategies) up to and
+/// including the opening of the `jobs` array. A streamed `/sweep`
+/// response sends this as its first chunk.
+#[must_use]
+pub fn sweep_json_prefix(workers: usize, strategies: &[Strategy]) -> String {
+    let strats = strategies
+        .iter()
+        .map(|s| json_string(s.label()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n  \"schema\": \"dualbank-run-report/v1\",\n  \"workers\": {workers},\n  \
+         \"strategies\": [{strats}],\n  \"jobs\": [\n"
+    )
+}
+
+/// The tail of a `dualbank-run-report/v1` document: everything only
+/// known at completion time (wall time, cache counters, whether the
+/// job list was truncated by a deadline). A streamed `/sweep` response
+/// sends this as its final chunk.
+#[must_use]
+pub fn sweep_json_tail(wall_time: Duration, cache: &CacheStats, truncated: bool) -> String {
+    format!(
+        "\n  ],\n  \"wall_time_ms\": {},\n  \"cache\": {},\n  \"truncated\": {truncated}\n}}\n",
+        json_f64(ms(wall_time)),
+        cache_json(cache),
+    )
 }
 
 fn ms(d: Duration) -> f64 {
@@ -274,14 +297,30 @@ fn ms(d: Duration) -> f64 {
 
 fn cache_json(c: &CacheStats) -> String {
     let layer = |h: u64, m: u64| format!("{{\"hits\": {h}, \"misses\": {m}}}");
-    let evicting =
-        |h: u64, m: u64, e: u64| format!("{{\"hits\": {h}, \"misses\": {m}, \"evictions\": {e}}}");
+    let evicting = |h: u64, m: u64, e: u64, b: u64, eb: u64| {
+        format!(
+            "{{\"hits\": {h}, \"misses\": {m}, \"evictions\": {e}, \
+             \"bytes\": {b}, \"evicted_bytes\": {eb}}}"
+        )
+    };
     format!(
         "{{\"prepared\": {}, \"profile\": {}, \"reference\": {}, \"artifact\": {}, \"hit_rate\": {}}}",
-        evicting(c.prepared_hits, c.prepared_misses, c.prepared_evictions),
+        evicting(
+            c.prepared_hits,
+            c.prepared_misses,
+            c.prepared_evictions,
+            c.prepared_bytes,
+            c.prepared_evicted_bytes
+        ),
         layer(c.profile_hits, c.profile_misses),
         layer(c.reference_hits, c.reference_misses),
-        evicting(c.artifact_hits, c.artifact_misses, c.artifact_evictions),
+        evicting(
+            c.artifact_hits,
+            c.artifact_misses,
+            c.artifact_evictions,
+            c.artifact_bytes,
+            c.artifact_evicted_bytes
+        ),
         json_f64(c.hit_rate()),
     )
 }
@@ -358,4 +397,74 @@ fn job_json(j: &JobReport) -> String {
         opt_bool(j.cached.reference),
         j.cached.artifact,
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_report() -> RunReport {
+        let engine = crate::Engine::new(crate::EngineOptions {
+            jobs: 1,
+            ..crate::EngineOptions::default()
+        });
+        let bench = dsp_workloads::kernels::fir(8, 4);
+        engine
+            .run_matrix(&[bench], &[Strategy::Baseline, Strategy::CbPartition])
+            .expect("fir sweep")
+    }
+
+    #[test]
+    fn buffered_json_is_prefix_plus_jobs_plus_tail() {
+        // The invariant the chunked /sweep stream rests on: the
+        // buffered document is literally the concatenation of the
+        // pieces the server streams.
+        let report = sample_report();
+        let mut assembled = sweep_json_prefix(report.workers, &report.strategies);
+        for (i, job) in report.jobs.iter().enumerate() {
+            if i > 0 {
+                assembled.push_str(",\n");
+            }
+            assembled.push_str(&job.to_json());
+        }
+        assembled.push_str(&sweep_json_tail(report.wall_time, &report.cache, false));
+        assert_eq!(report.to_json(), assembled);
+    }
+
+    #[test]
+    fn report_json_parses_and_carries_the_new_fields() {
+        let report = sample_report();
+        let doc = json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("dualbank-run-report/v1")
+        );
+        assert_eq!(
+            doc.get("truncated").and_then(json::Value::as_bool),
+            Some(false)
+        );
+        let cache = doc.get("cache").expect("cache object");
+        for layer in ["prepared", "artifact"] {
+            let l = cache.get(layer).expect("bounded layer");
+            assert!(l.get("bytes").and_then(json::Value::as_u64).is_some());
+            assert!(l
+                .get("evicted_bytes")
+                .and_then(json::Value::as_u64)
+                .is_some());
+        }
+        assert_eq!(
+            doc.get("jobs")
+                .and_then(json::Value::as_array)
+                .map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn truncated_tail_marks_the_document() {
+        let tail = sweep_json_tail(Duration::from_millis(5), &CacheStats::default(), true);
+        assert!(tail.contains("\"truncated\": true"));
+        assert!(tail.ends_with("}\n"));
+    }
 }

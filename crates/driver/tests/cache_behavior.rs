@@ -141,6 +141,46 @@ fn no_cross_strategy_contamination() {
 }
 
 #[test]
+fn engine_byte_budget_bounds_the_cache() {
+    // First measure how big one source's footprint is, then give an
+    // engine a budget that holds roughly one source and sweep two:
+    // eviction must kick in, and the resident estimate must respect
+    // the budget (the cache only keeps one over-budget entry).
+    let probe = Engine::new(EngineOptions {
+        jobs: 1,
+        ..EngineOptions::default()
+    });
+    let bench_a = dsp_workloads::kernels::fir(16, 4);
+    let bench_b = dsp_workloads::kernels::iir(8, 16);
+    probe
+        .run_matrix(std::slice::from_ref(&bench_a), &Strategy::ALL)
+        .unwrap();
+    let one_source = probe.cache().stats().resident_bytes();
+
+    let eng = Engine::new(EngineOptions {
+        jobs: 1,
+        cache_max_bytes: Some(one_source / 2),
+        ..EngineOptions::default()
+    });
+    eng.run_matrix(
+        &[bench_a, bench_b],
+        &[Strategy::Baseline, Strategy::CbPartition],
+    )
+    .unwrap();
+    let stats = eng.cache().stats();
+    assert!(stats.evictions() > 0, "budget must force evictions");
+    assert!(stats.evicted_bytes() > 0);
+    let (prepared_resident, artifact_resident) = eng.cache().resident_bytes();
+    // Each layer may retain one over-budget entry; beyond that the
+    // budget holds.
+    assert!(
+        prepared_resident <= one_source && artifact_resident <= one_source,
+        "resident estimate must stay near the budget \
+         ({prepared_resident} + {artifact_resident} vs {one_source})"
+    );
+}
+
+#[test]
 fn engine_reports_hits_on_repeated_run() {
     // Acceptance check: repeating a sweep on one engine serves every
     // compile from cache — hit rate strictly positive and higher than

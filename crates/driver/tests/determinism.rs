@@ -4,8 +4,10 @@
 //! costs, simulator counters — and the cache totals must aggregate
 //! order-independently.
 
+use std::sync::Arc;
+
 use dsp_backend::Strategy;
-use dsp_driver::{Engine, EngineOptions, RunReport};
+use dsp_driver::{Engine, EngineOptions, Executor, RunReport};
 use dsp_workloads::runner;
 
 /// Every deterministic field of a job, in matrix order. Wall times and
@@ -80,6 +82,35 @@ fn full_sweep_parallel_matches_serial() {
     // Cache accounting is order-independent: per-layer totals match
     // exactly even though which job hit/missed differs per schedule.
     assert_eq!(serial.cache, parallel.cache);
+}
+
+#[test]
+fn sweep_through_shared_executor_matches_serial() {
+    // The dsp-serve deployment shape: one machine-sized executor shared
+    // by everything that computes. A sweep submitted through it must be
+    // bit-identical to a private serial engine, and its per-worker
+    // telemetry must show the whole pool participating.
+    let serial = engine(1)
+        .run_matrix(&dsp_workloads::all()[..8], &Strategy::ALL)
+        .expect("serial sweep succeeds");
+
+    let exec = Arc::new(Executor::new(4));
+    let shared = Engine::with_executor(EngineOptions::default(), Arc::clone(&exec));
+    let report = shared
+        .run_matrix(&dsp_workloads::all()[..8], &Strategy::ALL)
+        .expect("shared-executor sweep succeeds");
+
+    assert_eq!(report.workers, 4);
+    assert_eq!(fingerprints(&serial), fingerprints(&report));
+    assert_eq!(serial.cache, report.cache);
+
+    let stats = exec.stats();
+    assert_eq!(stats.executed_batch, 8 * Strategy::ALL.len() as u64);
+    assert!(
+        stats.per_worker_executed.iter().all(|&n| n > 0),
+        "every executor worker must have run jobs: {:?}",
+        stats.per_worker_executed
+    );
 }
 
 #[test]

@@ -3,11 +3,16 @@
 //! Opens N persistent connections, fires M requests on each, and
 //! reports throughput, latency percentiles, and per-status counts.
 //! With `--spawn`, it hosts an in-process server on a free port first,
-//! so a single command produces a self-contained measurement:
+//! so a single command produces a self-contained measurement. With
+//! `--mixed`, compile traffic runs concurrently with `bench` sweeps on
+//! extra connections, and the run fails unless every sweep comes back
+//! complete with an identical `jobs[]` array — the scheduler-under-load
+//! smoke test CI runs:
 //!
 //! ```text
 //! dsp-serve-load --spawn --connections 4 --requests 250
 //! dsp-serve-load --addr 127.0.0.1:8230 --endpoint healthz
+//! dsp-serve-load --spawn --mixed --requests 25 --sweep-requests 2
 //! ```
 
 use std::process::ExitCode;
@@ -31,6 +36,12 @@ OPTIONS:
   --strategy S      strategy for compile bodies (default cb)
   --source PATH     DSP-C file to post (default: a built-in FIR kernel)
   --workers N       (--spawn only) server worker threads (default: cores)
+  --jobs N          (--spawn only) compute-executor threads (default: cores)
+  --mixed           run sweep traffic concurrently with the compile
+                    connections; fail on drops, truncation, or sweep
+                    responses whose jobs[] arrays differ
+  --sweep-requests N  (--mixed) total sweeps to issue (default 2)
+  --bench B         (--mixed) benchmark for sweep bodies (default all)
 ";
 
 /// A small but real kernel: every request compiles + simulates this
@@ -54,6 +65,10 @@ struct Args {
     strategy: String,
     source: Option<String>,
     workers: usize,
+    jobs: usize,
+    mixed: bool,
+    sweep_requests: usize,
+    bench: String,
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -82,6 +97,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             Some(v) => dsp_driver::parse_worker_count("--workers", &v)?,
             None => 0,
         },
+        jobs: match flag_value(argv, "--jobs") {
+            Some(v) => dsp_driver::parse_worker_count("--jobs", &v)?,
+            None => 0,
+        },
+        mixed: argv.iter().any(|a| a == "--mixed"),
+        sweep_requests: count("--sweep-requests", 2)?,
+        bench: flag_value(argv, "--bench").unwrap_or_else(|| "all".to_string()),
     };
     if args.spawn == args.addr.is_some() {
         return Err("exactly one of --addr or --spawn is required".to_string());
@@ -120,6 +142,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let addr = if args.spawn {
         let server = Server::bind(ServerConfig {
             workers: args.workers,
+            jobs: args.jobs,
             ..ServerConfig::default()
         })
         .map_err(|e| format!("cannot bind server: {e}"))?;
@@ -140,7 +163,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     };
     let (method, path, body) = match args.endpoint.as_str() {
         "healthz" => ("GET", "/healthz", None),
-        "sweep" => (
+        "sweep" if !args.mixed => (
             "POST",
             "/sweep",
             Some(format!(
@@ -161,11 +184,60 @@ fn run(argv: &[String]) -> Result<(), String> {
     let body = Arc::new(body);
 
     println!(
-        "target {addr} · {} connections × {} requests · endpoint /{}",
-        args.connections, args.requests, args.endpoint
+        "target {addr} · {} connections × {} requests · endpoint /{}{}",
+        args.connections,
+        args.requests,
+        if args.mixed {
+            "compile"
+        } else {
+            &args.endpoint
+        },
+        if args.mixed {
+            format!(
+                " + {} concurrent `{}` sweeps",
+                args.sweep_requests, args.bench
+            )
+        } else {
+            String::new()
+        },
     );
 
     let started = Instant::now();
+
+    // Mixed mode: one extra connection issuing bench sweeps while the
+    // compile connections hammer away.
+    let sweeper = args.mixed.then(|| {
+        let addr = addr.clone();
+        let body = format!("{{\"bench\": {}}}", dsp_driver::json::escape(&args.bench));
+        let sweeps = args.sweep_requests;
+        std::thread::spawn(move || -> SweepStats {
+            let mut stats = SweepStats::default();
+            let Ok(mut conn) = ClientConn::connect(&addr, Duration::from_secs(120)) else {
+                stats.dropped += 1;
+                return stats;
+            };
+            for _ in 0..sweeps {
+                match conn.request("POST", "/sweep", Some(&body)) {
+                    Ok(resp) if resp.status == 200 => {
+                        stats.chunks_min = stats.chunks_min.min(resp.chunks);
+                        stats.bodies.push(resp.text());
+                    }
+                    Ok(resp) => {
+                        stats.bad_status.push(resp.status);
+                    }
+                    Err(_) => {
+                        stats.dropped += 1;
+                        match ClientConn::connect(&addr, Duration::from_secs(120)) {
+                            Ok(c) => conn = c,
+                            Err(_) => return stats,
+                        }
+                    }
+                }
+            }
+            stats
+        })
+    });
+
     let mut threads = Vec::new();
     for _ in 0..args.connections {
         let addr = addr.clone();
@@ -209,6 +281,10 @@ fn run(argv: &[String]) -> Result<(), String> {
         let s = t.join().map_err(|_| "load thread panicked".to_string())?;
         all.merge(s);
     }
+    let sweep_stats = match sweeper {
+        Some(t) => Some(t.join().map_err(|_| "sweep thread panicked".to_string())?),
+        None => None,
+    };
     let wall = started.elapsed();
 
     if let Some((handle, thread)) = spawned {
@@ -226,8 +302,13 @@ fn run(argv: &[String]) -> Result<(), String> {
         wall.as_secs_f64(),
         total as f64 / wall.as_secs_f64()
     );
+    // 503 (queue full) and 504 (deadline) are distinct overload signals
+    // from a dropped connection — report each on its own.
+    let rejected = all.statuses.get(&503).copied().unwrap_or(0);
+    let timeouts = all.statuses.get(&504).copied().unwrap_or(0);
+    println!("rejected (503): {rejected} · deadline timeouts (504): {timeouts}");
     for (status, n) in &all.statuses {
-        if *status != 200 {
+        if !matches!(*status, 200 | 503 | 504) {
             println!("  {n} × {status}");
         }
     }
@@ -252,6 +333,10 @@ fn run(argv: &[String]) -> Result<(), String> {
             *lat.last().expect("non-empty") as f64 / 1e3
         );
     }
+
+    if let Some(s) = &sweep_stats {
+        check_sweeps(s, args.sweep_requests)?;
+    }
     if all.dropped > 0
         || all.connect_failures > 0
         || total < (args.connections * args.requests) as u64
@@ -259,6 +344,56 @@ fn run(argv: &[String]) -> Result<(), String> {
         return Err("some requests failed or were dropped".to_string());
     }
     Ok(())
+}
+
+/// Mixed-mode verdict: every sweep answered 200, streamed in more than
+/// one chunk, finished untruncated, and carried a `jobs[]` array whose
+/// deterministic fields are identical to every other sweep's.
+fn check_sweeps(stats: &SweepStats, expected: usize) -> Result<(), String> {
+    if stats.dropped > 0 || !stats.bad_status.is_empty() || stats.bodies.len() != expected {
+        return Err(format!(
+            "sweeps: {} of {expected} ok, {} dropped, bad statuses {:?}",
+            stats.bodies.len(),
+            stats.dropped,
+            stats.bad_status
+        ));
+    }
+    let jobs: Vec<String> = stats
+        .bodies
+        .iter()
+        .map(|b| jobs_section(b))
+        .collect::<Result<_, _>>()?;
+    for body in &stats.bodies {
+        if !body.contains("\"truncated\": false") {
+            return Err("a sweep response was truncated by the deadline".to_string());
+        }
+    }
+    if jobs.windows(2).any(|w| w[0] != w[1]) {
+        return Err("sweep responses returned non-identical jobs[] arrays".to_string());
+    }
+    println!(
+        "sweeps: {expected} × 200 · jobs[] identical · ≥{} chunks each",
+        stats.chunks_min
+    );
+    Ok(())
+}
+
+/// Slice the `jobs[]` array out of a run-report document, keeping only
+/// each job's deterministic prefix. Wall times, cache totals, and
+/// per-job `cached`/`stage_ms` flags legitimately vary run to run; the
+/// measurements must not.
+fn jobs_section(body: &str) -> Result<String, String> {
+    let start = body
+        .find("\"jobs\": [\n")
+        .ok_or_else(|| "sweep response has no jobs[] array".to_string())?;
+    let end = body
+        .rfind("\n  ],")
+        .ok_or_else(|| "sweep response has no jobs[] terminator".to_string())?;
+    Ok(body[start..end]
+        .lines()
+        .map(|l| l.split(", \"cached\": ").next().unwrap_or(l))
+        .collect::<Vec<_>>()
+        .join("\n"))
 }
 
 #[allow(clippy::cast_possible_truncation)]
@@ -272,6 +407,24 @@ struct ConnStats {
     statuses: std::collections::BTreeMap<u16, u64>,
     dropped: u64,
     connect_failures: u64,
+}
+
+struct SweepStats {
+    bodies: Vec<String>,
+    bad_status: Vec<u16>,
+    dropped: u64,
+    chunks_min: usize,
+}
+
+impl Default for SweepStats {
+    fn default() -> SweepStats {
+        SweepStats {
+            bodies: Vec::new(),
+            bad_status: Vec::new(),
+            dropped: 0,
+            chunks_min: usize::MAX,
+        }
+    }
 }
 
 impl ConnStats {

@@ -13,7 +13,11 @@ pub struct ClientResponse {
     pub status: u16,
     /// Headers with lowercased names.
     pub headers: Vec<(String, String)>,
-    /// The body.
+    /// How many chunks carried the body: 0 for a plain
+    /// `Content-Length` response, the on-wire chunk count for a
+    /// `Transfer-Encoding: chunked` one.
+    pub chunks: usize,
+    /// The body, with any chunked framing already removed.
     pub body: Vec<u8>,
 }
 
@@ -122,12 +126,26 @@ impl ClientConn {
             .filter_map(|l| l.split_once(':'))
             .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
             .collect();
+        let chunked = headers
+            .iter()
+            .find(|(n, _)| n == "transfer-encoding")
+            .is_some_and(|(_, v)| v.eq_ignore_ascii_case("chunked"));
+        let mut rest = buf[header_end + 4..].to_vec();
+        if chunked {
+            let (body, chunks) = self.read_chunked(&mut rest)?;
+            return Ok(ClientResponse {
+                status,
+                headers,
+                chunks,
+                body,
+            });
+        }
         let content_length: usize = headers
             .iter()
             .find(|(n, _)| n == "content-length")
             .and_then(|(_, v)| v.parse().ok())
             .unwrap_or(0);
-        let mut body = buf[header_end + 4..].to_vec();
+        let mut body = rest;
         while body.len() < content_length {
             let n = self.stream.read(&mut chunk)?;
             if n == 0 {
@@ -142,7 +160,63 @@ impl ClientConn {
         Ok(ClientResponse {
             status,
             headers,
+            chunks: 0,
             body,
         })
+    }
+
+    /// Decode a chunked body: `rest` holds bytes already read past the
+    /// header block. Returns the reassembled body and the chunk count.
+    fn read_chunked(&mut self, rest: &mut Vec<u8>) -> io::Result<(Vec<u8>, usize)> {
+        let mut body = Vec::new();
+        let mut chunks = 0usize;
+        loop {
+            let line_end = self.fill_until_crlf(rest)?;
+            let size_line = std::str::from_utf8(&rest[..line_end])
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size line"))?;
+            // Chunk extensions (after ';') are legal; we ignore them.
+            let size_hex = size_line.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_hex, 16)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+            // Chunk data plus its trailing CRLF.
+            let needed = line_end + 2 + size + 2;
+            let mut chunk = [0u8; 4096];
+            while rest.len() < needed {
+                let n = self.stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-chunk",
+                    ));
+                }
+                rest.extend_from_slice(&chunk[..n]);
+            }
+            if size == 0 {
+                // The terminator's own CRLF pair ends the stream (no
+                // trailers are ever sent by dsp-serve).
+                return Ok((body, chunks));
+            }
+            body.extend_from_slice(&rest[line_end + 2..line_end + 2 + size]);
+            chunks += 1;
+            rest.drain(..needed);
+        }
+    }
+
+    /// Read until `rest` contains a CRLF; return its offset.
+    fn fill_until_crlf(&mut self, rest: &mut Vec<u8>) -> io::Result<usize> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = rest.windows(2).position(|w| w == b"\r\n") {
+                return Ok(pos);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-chunk-header",
+                ));
+            }
+            rest.extend_from_slice(&chunk[..n]);
+        }
     }
 }

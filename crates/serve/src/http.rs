@@ -2,10 +2,11 @@
 //! [`TcpStream`].
 //!
 //! Scope is exactly what the service needs — `Content-Length` bodies,
-//! keep-alive, and hard limits (header size, body size, read timeout)
-//! so a malformed or hostile peer can never wedge or panic a worker.
-//! No chunked transfer encoding, no TLS, no HTTP/2: callers that need
-//! those put a real proxy in front.
+//! keep-alive, chunked transfer encoding for streamed responses
+//! ([`ChunkedWriter`]), and hard limits (header size, body size, read
+//! timeout) so a malformed or hostile peer can never wedge or panic a
+//! worker. No TLS, no HTTP/2: callers that need those put a real proxy
+//! in front.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -22,6 +23,9 @@ pub struct Request {
     pub path: String,
     /// Headers with lowercased names, in arrival order.
     pub headers: Vec<(String, String)>,
+    /// True for an `HTTP/1.0` request — no chunked transfer encoding,
+    /// and keep-alive only when asked for explicitly.
+    pub http1_0: bool,
     /// The body (empty when no `Content-Length`).
     pub body: Vec<u8>,
 }
@@ -37,12 +41,18 @@ impl Request {
     }
 
     /// True when the client asked to keep the connection open
-    /// (HTTP/1.1 default unless `Connection: close`).
+    /// (HTTP/1.1 default unless `Connection: close`; HTTP/1.0 only
+    /// with an explicit `Connection: keep-alive`).
     #[must_use]
     pub fn keep_alive(&self) -> bool {
-        !self
-            .header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        if self.http1_0 {
+            self.header("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+        } else {
+            !self
+                .header("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        }
     }
 }
 
@@ -129,6 +139,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         method: method.to_string(),
         path: target.split('?').next().unwrap_or(target).to_string(),
         headers,
+        http1_0: version == "HTTP/1.0",
         body: Vec::new(),
     };
 
@@ -248,6 +259,70 @@ impl Response {
     }
 }
 
+/// A streamed response body using `Transfer-Encoding: chunked`.
+///
+/// [`ChunkedWriter::start`] writes the status line and headers; each
+/// [`chunk`](ChunkedWriter::chunk) ships one piece of the body as it
+/// becomes available; [`finish`](ChunkedWriter::finish) terminates the
+/// stream. Only meaningful for HTTP/1.1 peers — HTTP/1.0 callers must
+/// buffer instead.
+#[derive(Debug)]
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Write the response head and return a writer for the body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn start(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+        keep_alive: bool,
+    ) -> io::Result<ChunkedWriter<'a>> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+            status,
+            reason(status),
+            content_type,
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        stream.write_all(head.as_bytes())?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Ship one body piece. Empty input is skipped — a zero-length
+    /// chunk would terminate the stream on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        // Flush per chunk: the point of streaming is that the peer sees
+        // each result as it completes, not when the OS buffer fills.
+        self.stream.flush()
+    }
+
+    /// Terminate the stream with the zero-length chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
 /// Reason phrase for the status codes this server emits.
 #[must_use]
 pub fn reason(status: u16) -> &'static str {
@@ -275,6 +350,7 @@ mod tests {
             method: "GET".into(),
             path: "/".into(),
             headers: vec![("content-length".into(), "3".into())],
+            http1_0: false,
             body: Vec::new(),
         };
         assert_eq!(r.header("content-length"), Some("3"));
@@ -288,9 +364,27 @@ mod tests {
             method: "GET".into(),
             path: "/".into(),
             headers: vec![("connection".into(), "Close".into())],
+            http1_0: false,
             body: Vec::new(),
         };
         assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn http10_defaults_to_close_unless_asked() {
+        let old = Request {
+            method: "GET".into(),
+            path: "/".into(),
+            headers: Vec::new(),
+            http1_0: true,
+            body: Vec::new(),
+        };
+        assert!(!old.keep_alive());
+        let asked = Request {
+            headers: vec![("connection".into(), "Keep-Alive".into())],
+            ..old
+        };
+        assert!(asked.keep_alive());
     }
 
     #[test]

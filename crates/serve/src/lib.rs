@@ -6,10 +6,18 @@
 //! build container has no registry access, so there is no tokio /
 //! hyper / serde — everything here is `std`-only, like the vendored
 //! `proptest` shim). An accept loop feeds a bounded connection queue
-//! drained by a worker pool; workers parse requests and call into the
-//! shared [`dsp_driver::Engine`], so every request benefits from the
-//! same 4-layer content-hashed artifact cache — a repeated kernel
+//! drained by a worker pool; workers parse requests and submit compute
+//! to the one machine-sized [`dsp_driver::Executor`] shared with the
+//! [`dsp_driver::Engine`] — `/compile` at interactive priority,
+//! `/sweep` cells as batch jobs — so every request benefits from the
+//! same 4-layer content-hashed artifact cache, and a repeated kernel
 //! compiles once and then serves from memory.
+//!
+//! `/sweep` responses stream: the server decomposes the matrix into
+//! per-cell jobs and sends each completed `jobs[]` entry as an
+//! HTTP/1.1 chunk, in submission order, so the reassembled body is
+//! byte-identical to the buffered report (HTTP/1.0 clients get the
+//! buffered fallback).
 //!
 //! # Endpoints
 //!
@@ -25,9 +33,11 @@
 //!
 //! * **Backpressure** — a full queue answers `503` with `Retry-After`
 //!   instead of queueing unboundedly.
-//! * **Deadlines** — compute requests exceeding the configured
-//!   wall-clock budget answer `504`; the abandoned job is bounded by
-//!   simulator fuel.
+//! * **Deadlines** — a compute request exceeding the configured
+//!   wall-clock budget before any byte is sent answers `504` and its
+//!   remaining queued jobs are cancelled; a sweep that times out
+//!   mid-stream closes with a well-formed `"truncated": true` tail
+//!   instead. Abandoned in-flight work is bounded by simulator fuel.
 //! * **Input limits** — oversized bodies get `413`, malformed requests
 //!   `400`; no peer input can panic a worker.
 //! * **Graceful shutdown** — draining finishes queued and in-flight

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use dsp_driver::CacheStats;
+use dsp_driver::{CacheStats, ExecutorStats};
 
 /// Histogram bucket upper bounds, in seconds.
 const BUCKETS: [f64; 9] = [0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1.0, 5.0];
@@ -80,6 +80,9 @@ pub struct Metrics {
     pub rejected_total: AtomicU64,
     /// Compute requests answered 504 (deadline exceeded).
     pub timeouts_total: AtomicU64,
+    /// Streamed sweeps cut short by their deadline after the first
+    /// result was already on the wire (`"truncated": true` tail).
+    pub truncations_total: AtomicU64,
     /// Workers currently handling a connection.
     pub workers_busy: AtomicUsize,
 }
@@ -96,6 +99,7 @@ impl Metrics {
             connections_total: AtomicU64::new(0),
             rejected_total: AtomicU64::new(0),
             timeouts_total: AtomicU64::new(0),
+            truncations_total: AtomicU64::new(0),
             workers_busy: AtomicUsize::new(0),
         }
     }
@@ -152,7 +156,8 @@ impl Metrics {
 
     /// Render the Prometheus text format. `queue_depth`,
     /// `queue_capacity`, and `workers` describe the live server;
-    /// `cache` and `resident` are snapshotted from the engine.
+    /// `cache`, `resident`, and `exec` are snapshotted from the engine
+    /// and its shared executor.
     ///
     /// # Panics
     ///
@@ -165,6 +170,7 @@ impl Metrics {
         workers: usize,
         cache: &CacheStats,
         resident: (usize, usize),
+        exec: &ExecutorStats,
     ) -> String {
         let mut out = String::with_capacity(4096);
         let mut gauge = |name: &str, help: &str, value: String| {
@@ -237,6 +243,16 @@ impl Metrics {
             "dsp_serve_deadline_timeouts_total {}",
             self.timeouts_total.load(Ordering::Relaxed)
         );
+        counter_head(
+            &mut out,
+            "dsp_serve_sweep_truncated_total",
+            "Streamed sweeps cut short by the deadline mid-response.",
+        );
+        let _ = writeln!(
+            out,
+            "dsp_serve_sweep_truncated_total {}",
+            self.truncations_total.load(Ordering::Relaxed)
+        );
 
         counter_head(
             &mut out,
@@ -300,11 +316,83 @@ impl Metrics {
                 "dsp_serve_cache_evictions_total{{layer=\"{layer}\"}} {n}"
             );
         }
+        counter_head(
+            &mut out,
+            "dsp_serve_cache_evicted_bytes_total",
+            "Estimated bytes released by cache evictions, by layer.",
+        );
+        for (layer, n) in [
+            ("prepared", cache.prepared_evicted_bytes),
+            ("artifact", cache.artifact_evicted_bytes),
+        ] {
+            let _ = writeln!(
+                out,
+                "dsp_serve_cache_evicted_bytes_total{{layer=\"{layer}\"}} {n}"
+            );
+        }
         let name = "dsp_serve_cache_resident";
         let _ = writeln!(out, "# HELP {name} Entries resident in the cache by layer.");
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name}{{layer=\"prepared\"}} {}", resident.0);
         let _ = writeln!(out, "{name}{{layer=\"artifact\"}} {}", resident.1);
+        let name = "dsp_serve_cache_bytes";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Estimated bytes resident in the cache by layer."
+        );
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name}{{layer=\"prepared\"}} {}", cache.prepared_bytes);
+        let _ = writeln!(out, "{name}{{layer=\"artifact\"}} {}", cache.artifact_bytes);
+
+        let gauge_head = |out: &mut String, name: &str, help: &str| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+        };
+        gauge_head(
+            &mut out,
+            "dsp_serve_exec_workers",
+            "Threads in the shared compute executor.",
+        );
+        let _ = writeln!(out, "dsp_serve_exec_workers {}", exec.workers);
+        gauge_head(
+            &mut out,
+            "dsp_serve_exec_busy",
+            "Executor threads currently running a job.",
+        );
+        let _ = writeln!(out, "dsp_serve_exec_busy {}", exec.busy);
+        let name = "dsp_serve_exec_queue_depth";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Jobs queued in the executor by priority."
+        );
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(
+            out,
+            "{name}{{priority=\"interactive\"}} {}",
+            exec.queued_interactive
+        );
+        let _ = writeln!(out, "{name}{{priority=\"batch\"}} {}", exec.queued_batch);
+        counter_head(
+            &mut out,
+            "dsp_serve_exec_jobs_total",
+            "Jobs the executor has run, by priority.",
+        );
+        let _ = writeln!(
+            out,
+            "dsp_serve_exec_jobs_total{{priority=\"interactive\"}} {}",
+            exec.executed_interactive
+        );
+        let _ = writeln!(
+            out,
+            "dsp_serve_exec_jobs_total{{priority=\"batch\"}} {}",
+            exec.executed_batch
+        );
+        counter_head(
+            &mut out,
+            "dsp_serve_exec_cancelled_total",
+            "Jobs discarded from the executor queue by cancellation.",
+        );
+        let _ = writeln!(out, "dsp_serve_exec_cancelled_total {}", exec.cancelled);
         out
     }
 }
@@ -338,7 +426,12 @@ mod tests {
         m.record_request("compile", 200, Duration::from_millis(3));
         m.record_request("healthz", 200, Duration::from_micros(10));
         m.rejected_total.fetch_add(2, Ordering::Relaxed);
-        let text = m.render(1, 64, 4, &CacheStats::default(), (0, 0));
+        let exec = ExecutorStats {
+            workers: 2,
+            executed_interactive: 5,
+            ..ExecutorStats::default()
+        };
+        let text = m.render(1, 64, 4, &CacheStats::default(), (0, 0), &exec);
         for family in [
             "dsp_serve_up 1",
             "dsp_serve_queue_depth 1",
@@ -346,10 +439,17 @@ mod tests {
             "dsp_serve_workers 4",
             "dsp_serve_rejected_total 2",
             "dsp_serve_deadline_timeouts_total 0",
+            "dsp_serve_sweep_truncated_total 0",
             "dsp_serve_requests_total{endpoint=\"compile\",status=\"200\"} 1",
             "dsp_serve_request_duration_seconds_bucket{endpoint=\"compile\",le=\"+Inf\"} 1",
             "dsp_serve_cache_hits_total{layer=\"prepared\"} 0",
             "dsp_serve_cache_evictions_total{layer=\"artifact\"} 0",
+            "dsp_serve_cache_evicted_bytes_total{layer=\"prepared\"} 0",
+            "dsp_serve_cache_bytes{layer=\"artifact\"} 0",
+            "dsp_serve_exec_workers 2",
+            "dsp_serve_exec_queue_depth{priority=\"batch\"} 0",
+            "dsp_serve_exec_jobs_total{priority=\"interactive\"} 5",
+            "dsp_serve_exec_cancelled_total 0",
         ] {
             assert!(text.contains(family), "missing `{family}` in:\n{text}");
         }

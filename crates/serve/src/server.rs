@@ -1,4 +1,5 @@
-//! The server: accept loop → bounded queue → worker pool → engine.
+//! The server: accept loop → bounded queue → connection workers →
+//! shared compute executor.
 //!
 //! ```text
 //!             ┌─────────────┐   try_push    ┌──────────────────┐
@@ -7,8 +8,13 @@
 //!             └─────────────┘                        │ pop
 //!                                     ┌──────────────▼─────────────┐
 //!                                     │ workers: parse HTTP, route │
-//!                                     │  /compile /sweep → engine  │
-//!                                     │  (helper thread + deadline)│
+//!                                     │ submit jobs, stream results│
+//!                                     └──────────────┬─────────────┘
+//!                                         submit     │  wait/stream
+//!                                     ┌──────────────▼─────────────┐
+//!                                     │  dsp-exec shared executor  │
+//!                                     │ /compile = Interactive     │
+//!                                     │ /sweep cells = Batch       │
 //!                                     └──────────────┬─────────────┘
 //!                                                    ▼
 //!                                        dsp-driver Engine + cache
@@ -16,10 +22,17 @@
 //! ```
 //!
 //! Each queued item is one TCP connection; a worker owns it for its
-//! keep-alive lifetime (bounded by the socket read timeout). Compute
-//! requests run on a helper thread so the worker can enforce the
-//! wall-clock deadline and answer 504 — the abandoned computation is
-//! bounded by simulator fuel, so it cannot leak a thread forever.
+//! keep-alive lifetime (bounded by the socket read timeout). Connection
+//! workers never compile inline: compute requests are decomposed into
+//! per-cell jobs on the process-wide [`Executor`] — `/compile` at
+//! [`Priority::Interactive`] so it jumps queued sweep work, `/sweep`
+//! cells at [`Priority::Batch`]. The worker waits on job handles under
+//! the request deadline; a `/sweep` to an HTTP/1.1 peer streams its
+//! `jobs[]` array back with `Transfer-Encoding: chunked` as cells
+//! finish, in matrix order. On deadline, still-queued cells are
+//! cancelled out of the executor; a sweep that already streamed output
+//! closes the document with `"truncated": true`, and only a request
+//! with nothing on the wire yet gets a 504.
 //!
 //! Graceful shutdown (the `/admin/shutdown` endpoint or
 //! [`ServerHandle::shutdown`]) stops the accept loop, closes the
@@ -29,15 +42,18 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dsp_backend::Strategy;
 use dsp_driver::json::{self, ObjectWriter, Value};
-use dsp_driver::{Engine, EngineOptions};
+use dsp_driver::{
+    sweep_json_prefix, sweep_json_tail, CancelToken, Engine, EngineOptions, Executor, JobReport,
+    MatrixRun, Priority, WaitOutcome,
+};
 use dsp_workloads::{Benchmark, Kind};
 
-use crate::http::{read_request, Request, RequestError, Response};
+use crate::http::{read_request, ChunkedWriter, Request, RequestError, Response};
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
 
@@ -46,8 +62,14 @@ use crate::queue::{BoundedQueue, PushError};
 pub struct ServerConfig {
     /// Bind address; port `0` picks a free port.
     pub addr: String,
-    /// Worker threads; `0` means [`std::thread::available_parallelism`].
+    /// Connection-worker threads; `0` means
+    /// [`std::thread::available_parallelism`].
     pub workers: usize,
+    /// Compute-executor threads; `0` means
+    /// [`std::thread::available_parallelism`]. One executor serves
+    /// every request, so this — not `workers` — sizes the machine's
+    /// compile throughput.
+    pub jobs: usize,
     /// Accept-queue capacity (connections beyond this get 503).
     pub queue_capacity: usize,
     /// Wall-clock deadline per compute request (`/compile`, `/sweep`);
@@ -59,6 +81,10 @@ pub struct ServerConfig {
     pub fuel: u64,
     /// Engine cache bound (entries per layer); `None` = unbounded.
     pub cache_capacity: Option<NonZeroUsize>,
+    /// Engine cache byte budget (estimated bytes per layer); `None` =
+    /// unbounded. Composes with `cache_capacity`: whichever limit is
+    /// hit first evicts.
+    pub cache_max_bytes: Option<u64>,
     /// Socket read timeout — also the idle keep-alive lifetime, so a
     /// silent client cannot pin a worker.
     pub read_timeout: Duration,
@@ -69,11 +95,13 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 0,
+            jobs: 0,
             queue_capacity: 64,
             deadline: Duration::from_secs(10),
             max_body: 1024 * 1024,
             fuel: 200_000_000,
             cache_capacity: NonZeroUsize::new(256),
+            cache_max_bytes: None,
             read_timeout: Duration::from_secs(5),
         }
     }
@@ -136,14 +164,18 @@ impl Server {
         } else {
             config.workers
         };
-        let engine = Engine::new(EngineOptions {
-            // One engine thread per job: concurrency comes from the
-            // worker pool, not from fanning out inside a request.
-            jobs: 1,
-            fuel: config.fuel,
-            cache_capacity: config.cache_capacity,
-            ..EngineOptions::default()
-        });
+        // One machine-sized executor for every compute job in the
+        // process; connection workers only parse, submit, and stream.
+        let exec = Arc::new(Executor::new(config.jobs));
+        let engine = Engine::with_executor(
+            EngineOptions {
+                fuel: config.fuel,
+                cache_capacity: config.cache_capacity,
+                cache_max_bytes: config.cache_max_bytes,
+                ..EngineOptions::default()
+            },
+            exec,
+        );
         let queue = BoundedQueue::new(config.queue_capacity);
         Ok(Server {
             listener,
@@ -163,6 +195,13 @@ impl Server {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// How many job workers the shared executor runs (resolved from
+    /// [`ServerConfig::jobs`], where 0 means all cores).
+    #[must_use]
+    pub fn executor_workers(&self) -> usize {
+        self.shared.engine.executor().workers()
     }
 
     /// A handle for shutting the server down from another thread.
@@ -256,6 +295,21 @@ fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
 
         let started = Instant::now();
         let endpoint = Metrics::endpoint_label(&request.path);
+
+        // `/sweep` writes its own response — chunked for HTTP/1.1
+        // peers — so it bypasses the buffered route path.
+        if request.method == "POST" && request.path == "/sweep" {
+            let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+            let outcome = handle_sweep(shared, &request, stream, keep_alive);
+            shared
+                .metrics
+                .record_request(endpoint, outcome.status, started.elapsed());
+            if !outcome.io_ok || !keep_alive {
+                return;
+            }
+            continue;
+        }
+
         let (response, trigger_shutdown) = route(shared, &request);
         shared
             .metrics
@@ -299,11 +353,11 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Response, bool) {
                 shared.workers,
                 &shared.engine.cache().stats(),
                 shared.engine.cache().resident(),
+                &shared.engine.executor().stats(),
             );
             (Response::text(200, &text), false)
         }
         ("POST", "/compile") => (handle_compile(shared, &request.body), false),
-        ("POST", "/sweep") => (handle_sweep(shared, &request.body), false),
         ("POST", "/admin/shutdown") => (
             Response::json(200, "{\"status\": \"draining\"}\n".to_string()),
             true,
@@ -355,25 +409,6 @@ fn parse_strategies(body: &Value) -> Result<Vec<Strategy>, Response> {
     }
 }
 
-/// Run `job` on a helper thread, waiting at most `deadline`. `None`
-/// means the deadline passed; the helper keeps running detached but is
-/// bounded by simulator fuel.
-fn with_deadline<T: Send + 'static>(
-    deadline: Duration,
-    job: impl FnOnce() -> T + Send + 'static,
-) -> Option<T> {
-    let (tx, rx) = mpsc::channel();
-    let spawned = std::thread::Builder::new()
-        .name("dsp-serve-job".to_string())
-        .spawn(move || {
-            let _ = tx.send(job());
-        });
-    if spawned.is_err() {
-        return None;
-    }
-    rx.recv_timeout(deadline).ok()
-}
-
 fn deadline_response(shared: &Shared) -> Response {
     shared
         .metrics
@@ -421,67 +456,80 @@ fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
         source: source.to_string(),
         check_globals: Vec::new(),
     };
-    let worker = Arc::clone(shared);
-    let outcome = with_deadline(shared.config.deadline, move || {
-        let report = worker
-            .engine
-            .run_matrix(std::slice::from_ref(&bench), &[strategy])?;
-        // The artifact is resident in the cache the job just went
-        // through; fetch it back only to render the listing.
-        let listing = if want_lir {
-            let (prep, _) = worker.engine.cache().prepared(&bench.source)?;
-            let profile = if matches!(strategy, Strategy::ProfileWeighted | Strategy::SelectiveDup)
-            {
-                Some(worker.engine.cache().profile(&prep)?.0)
-            } else {
-                None
-            };
-            let config = worker.engine.options().config;
-            let (artifact, _) = worker
-                .engine
-                .cache()
-                .artifact(&prep, strategy, config, profile)?;
-            Some(artifact.output.program.disassemble())
-        } else {
-            None
-        };
-        Ok::<_, Box<dyn std::error::Error + Send + Sync>>((report, listing))
-    });
-
-    match outcome {
-        None => deadline_response(shared),
-        Some(Err(e)) => Response::error(400, &format!("compilation failed: {e}")),
-        Some(Ok((report, listing))) => {
-            let job = &report.jobs[0];
-            let mut o = ObjectWriter::new();
-            o.str("schema", "dualbank-compile-response/v1");
-            o.raw("job", &job.to_json());
-            if let Some(lir) = listing {
-                o.str("lir", &lir);
-            }
-            Response::json(200, o.finish())
+    // Interactive priority: a point query is dequeued ahead of any
+    // queued sweep cells, waiting only on jobs already running.
+    let deadline = Instant::now() + shared.config.deadline;
+    let run = shared.engine.submit_matrix(
+        std::slice::from_ref(&bench),
+        &[strategy],
+        Priority::Interactive,
+        CancelToken::new(),
+    );
+    let job = match run.wait_job_until(0, deadline) {
+        WaitOutcome::TimedOut => {
+            run.cancel();
+            return deadline_response(shared);
         }
+        WaitOutcome::Cancelled => return Response::error(500, "compile job failed to run"),
+        WaitOutcome::Done(Err(e)) => {
+            return Response::error(400, &format!("compilation failed: {e}"))
+        }
+        WaitOutcome::Done(Ok(job)) => job,
+    };
+    // The artifact is resident in the cache the job just went through;
+    // fetch it back (a cache hit) only to render the listing.
+    let listing = if want_lir {
+        match render_lir(shared, &bench.source, strategy) {
+            Ok(l) => Some(l),
+            Err(e) => return Response::error(400, &format!("compilation failed: {e}")),
+        }
+    } else {
+        None
+    };
+    let mut o = ObjectWriter::new();
+    o.str("schema", "dualbank-compile-response/v1");
+    o.raw("job", &job.to_json());
+    if let Some(lir) = listing {
+        o.str("lir", &lir);
     }
+    Response::json(200, o.finish())
 }
 
-/// `POST /sweep`: `{"source": "..."}` or `{"bench": "fir_32_1"|"all"}`
-/// plus optional `"strategies"` → a full `dualbank-run-report/v1`.
-fn handle_sweep(shared: &Arc<Shared>, body: &[u8]) -> Response {
-    let body = match parse_body(body) {
-        Ok(v) => v,
-        Err(resp) => return resp,
+/// Disassemble the artifact `/compile` just produced (served from the
+/// cache; recompiles inline only if it was already evicted).
+fn render_lir(
+    shared: &Shared,
+    source: &str,
+    strategy: Strategy,
+) -> Result<String, Box<dyn std::error::Error + Send + Sync>> {
+    let cache = shared.engine.cache();
+    let (prep, _) = cache.prepared(source)?;
+    let profile = if matches!(strategy, Strategy::ProfileWeighted | Strategy::SelectiveDup) {
+        Some(cache.profile(&prep)?.0)
+    } else {
+        None
     };
-    let strategies = match parse_strategies(&body) {
-        Ok(s) => s,
-        Err(resp) => return resp,
-    };
+    let config = shared.engine.options().config;
+    let (artifact, _) = cache.artifact(&prep, strategy, config, profile)?;
+    Ok(artifact.output.program.disassemble())
+}
+
+/// Parse a `/sweep` body — `{"source": "..."}` or
+/// `{"bench": "fir_32_1"|"all"}` plus optional `"strategies"` — into
+/// the benchmark × strategy matrix to run.
+fn parse_sweep_targets(body: &[u8]) -> Result<(Vec<Benchmark>, Vec<Strategy>), Response> {
+    let body = parse_body(body)?;
+    let strategies = parse_strategies(&body)?;
     let benches = match (body.get("source"), body.get("bench")) {
         (Some(_), Some(_)) => {
-            return Response::error(400, "`source` and `bench` are mutually exclusive")
+            return Err(Response::error(
+                400,
+                "`source` and `bench` are mutually exclusive",
+            ))
         }
         (Some(v), None) => {
             let Some(source) = v.as_str() else {
-                return Response::error(400, "`source` must be a string");
+                return Err(Response::error(400, "`source` must be a string"));
             };
             vec![Benchmark {
                 name: "request".to_string(),
@@ -493,7 +541,7 @@ fn handle_sweep(shared: &Arc<Shared>, body: &[u8]) -> Response {
         }
         (None, Some(v)) => {
             let Some(name) = v.as_str() else {
-                return Response::error(400, "`bench` must be a string");
+                return Err(Response::error(400, "`bench` must be a string"));
             };
             if name == "all" {
                 dsp_workloads::all()
@@ -501,23 +549,194 @@ fn handle_sweep(shared: &Arc<Shared>, body: &[u8]) -> Response {
                 match dsp_workloads::by_name(name) {
                     Some(b) => vec![b],
                     None => {
-                        return Response::error(400, &format!("unknown benchmark `{name}`"));
+                        return Err(Response::error(400, &format!("unknown benchmark `{name}`")));
                     }
                 }
             }
         }
         (None, None) => {
-            return Response::error(400, "one of `source` or `bench` (string) is required")
+            return Err(Response::error(
+                400,
+                "one of `source` or `bench` (string) is required",
+            ))
         }
     };
+    Ok((benches, strategies))
+}
 
-    let worker = Arc::clone(shared);
-    let outcome = with_deadline(shared.config.deadline, move || {
-        worker.engine.run_matrix(&benches, &strategies)
-    });
-    match outcome {
-        None => deadline_response(shared),
-        Some(Err(e)) => Response::error(400, &format!("sweep failed: {e}")),
-        Some(Ok(report)) => Response::json(200, report.to_json()),
+/// How a self-writing handler left the connection.
+struct SweepOutcome {
+    /// Status for the request log/metrics.
+    status: u16,
+    /// False once a write failed — the connection must close.
+    io_ok: bool,
+}
+
+fn finish_buffered(resp: &Response, stream: &mut TcpStream, keep_alive: bool) -> SweepOutcome {
+    SweepOutcome {
+        status: resp.status,
+        io_ok: resp.write_to(stream, keep_alive).is_ok(),
     }
+}
+
+/// `POST /sweep`: submit the matrix as batch jobs on the shared
+/// executor and stream the `dualbank-run-report/v1` document back
+/// chunk-by-chunk as cells finish, in matrix order.
+///
+/// Deadline semantics: the first cell decides the status line — if it
+/// is not done by the deadline, everything is cancelled and the answer
+/// is a plain 504. Once streaming has begun, hitting the deadline
+/// cancels the remaining queued cells and closes the document with
+/// `"truncated": true` (the status line is already on the wire, so it
+/// stays 200). HTTP/1.0 peers cannot take chunked encoding and get the
+/// same document buffered.
+fn handle_sweep(
+    shared: &Arc<Shared>,
+    request: &Request,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+) -> SweepOutcome {
+    let (benches, strategies) = match parse_sweep_targets(&request.body) {
+        Ok(t) => t,
+        Err(resp) => return finish_buffered(&resp, stream, keep_alive),
+    };
+    let deadline = Instant::now() + shared.config.deadline;
+    let run =
+        shared
+            .engine
+            .submit_matrix(&benches, &strategies, Priority::Batch, CancelToken::new());
+
+    // Nothing is on the wire yet, so the first cell can still change
+    // the status line.
+    let first = match run.wait_job_until(0, deadline) {
+        WaitOutcome::TimedOut => {
+            run.cancel();
+            return finish_buffered(&deadline_response(shared), stream, keep_alive);
+        }
+        WaitOutcome::Cancelled => {
+            return finish_buffered(
+                &Response::error(500, "sweep job failed to run"),
+                stream,
+                keep_alive,
+            )
+        }
+        WaitOutcome::Done(Err(e)) => {
+            run.cancel();
+            return finish_buffered(
+                &Response::error(400, &format!("sweep failed: {e}")),
+                stream,
+                keep_alive,
+            );
+        }
+        WaitOutcome::Done(Ok(job)) => job,
+    };
+
+    if request.http1_0 {
+        return sweep_buffered(shared, &run, &first, deadline, stream, keep_alive);
+    }
+
+    let mut writer = match ChunkedWriter::start(stream, 200, "application/json", keep_alive) {
+        Ok(w) => w,
+        Err(_) => {
+            run.cancel();
+            return SweepOutcome {
+                status: 200,
+                io_ok: false,
+            };
+        }
+    };
+    let mut truncated = false;
+    let mut io = writer
+        .chunk(sweep_json_prefix(run.workers(), run.strategies()).as_bytes())
+        .and_then(|()| writer.chunk(first.to_json().as_bytes()));
+    if io.is_ok() {
+        for i in 1..run.len() {
+            match run.wait_job_until(i, deadline) {
+                WaitOutcome::Done(Ok(job)) => {
+                    io = writer.chunk(format!(",\n{}", job.to_json()).as_bytes());
+                    if io.is_err() {
+                        break;
+                    }
+                }
+                WaitOutcome::TimedOut => {
+                    // Take the still-queued cells out of the executor
+                    // and close the document honestly.
+                    run.cancel();
+                    shared
+                        .metrics
+                        .truncations_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    truncated = true;
+                    break;
+                }
+                WaitOutcome::Done(Err(_)) | WaitOutcome::Cancelled => {
+                    // A failed cell cannot change the already-sent
+                    // status line; end the document as truncated.
+                    run.cancel();
+                    truncated = true;
+                    break;
+                }
+            }
+        }
+    }
+    if io.is_err() {
+        // The peer went away mid-stream: stop computing for it.
+        run.cancel();
+        return SweepOutcome {
+            status: 200,
+            io_ok: false,
+        };
+    }
+    let tail = sweep_json_tail(run.elapsed(), &run.cache_stats(), truncated);
+    if writer.chunk(tail.as_bytes()).is_err() {
+        run.cancel();
+        return SweepOutcome {
+            status: 200,
+            io_ok: false,
+        };
+    }
+    SweepOutcome {
+        status: 200,
+        io_ok: writer.finish().is_ok(),
+    }
+}
+
+/// The `/sweep` fallback for HTTP/1.0 peers: same document, same
+/// deadline semantics, buffered with a `Content-Length`.
+fn sweep_buffered(
+    shared: &Arc<Shared>,
+    run: &MatrixRun,
+    first: &JobReport,
+    deadline: Instant,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+) -> SweepOutcome {
+    let mut jobs = vec![first.to_json()];
+    let mut truncated = false;
+    for i in 1..run.len() {
+        match run.wait_job_until(i, deadline) {
+            WaitOutcome::Done(Ok(job)) => jobs.push(job.to_json()),
+            WaitOutcome::TimedOut => {
+                run.cancel();
+                shared
+                    .metrics
+                    .truncations_total
+                    .fetch_add(1, Ordering::Relaxed);
+                truncated = true;
+                break;
+            }
+            WaitOutcome::Done(Err(_)) | WaitOutcome::Cancelled => {
+                run.cancel();
+                truncated = true;
+                break;
+            }
+        }
+    }
+    let body = format!(
+        "{}{}{}",
+        sweep_json_prefix(run.workers(), run.strategies()),
+        jobs.join(",\n"),
+        sweep_json_tail(run.elapsed(), &run.cache_stats(), truncated)
+    );
+    finish_buffered(&Response::json(200, body), stream, keep_alive)
 }

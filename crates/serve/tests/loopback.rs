@@ -210,6 +210,196 @@ fn sweep_returns_a_run_report() {
     server.stop();
 }
 
+/// The deterministic view of a run-report document: the `jobs[]` array
+/// with each job cut at its schedule-dependent suffix (`cached` flags
+/// and stage wall times). Two runs of the same matrix must agree on
+/// this view exactly, whatever the transport or worker count.
+fn deterministic_jobs(body: &str) -> String {
+    let start = body.find("\"jobs\": [\n").expect("jobs[] present");
+    let end = body.rfind("\n  ],").expect("jobs[] terminator present");
+    body[start..end]
+        .lines()
+        .map(|l| l.split(", \"cached\": ").next().unwrap_or(l))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn sweep_streams_chunked_and_matches_the_buffered_document() {
+    let server = TestServer::start(ServerConfig {
+        workers: 2,
+        jobs: 2,
+        queue_capacity: 8,
+        read_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    });
+    let mut conn = server.connect();
+    let body = "{\"bench\": \"fir_32_1\"}"; // × all 7 strategies
+
+    // HTTP/1.1: the response must arrive as a multi-chunk stream.
+    let resp = conn.request("POST", "/sweep", Some(body)).expect("request");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+    assert!(
+        resp.chunks > 1,
+        "a 7-job sweep must stream in more than one chunk, got {}",
+        resp.chunks
+    );
+    let doc = json::parse(&resp.text()).expect("reassembled stream is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("dualbank-run-report/v1")
+    );
+    assert_eq!(
+        doc.get("jobs")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(7)
+    );
+    assert_eq!(doc.get("truncated").and_then(Value::as_bool), Some(false));
+
+    // The same request from an HTTP/1.0 peer gets the buffered
+    // fallback; the deterministic view must match the stream exactly.
+    let raw = format!(
+        "POST /sweep HTTP/1.0\r\nConnection: keep-alive\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let resp10 = conn.raw(raw.as_bytes()).expect("HTTP/1.0 request");
+    assert_eq!(resp10.status, 200, "body: {}", resp10.text());
+    assert_eq!(resp10.header("transfer-encoding"), None);
+    assert_eq!(resp10.chunks, 0, "HTTP/1.0 response must be buffered");
+    assert_eq!(
+        deterministic_jobs(&resp.text()),
+        deterministic_jobs(&resp10.text()),
+        "chunked and buffered sweeps must agree on every deterministic field"
+    );
+    server.stop();
+}
+
+#[test]
+fn deadline_truncates_a_streamed_sweep_into_a_well_formed_document() {
+    // A full-suite sweep cannot finish inside a 2-second deadline on a
+    // single executor thread (161 debug-mode jobs), but the first cell
+    // comfortably can: the stream must start, then be cut short with a
+    // well-formed `"truncated": true` tail — never a 504, never a
+    // broken document.
+    let server = TestServer::start(ServerConfig {
+        workers: 1,
+        jobs: 1,
+        queue_capacity: 4,
+        deadline: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    });
+    let mut conn = server.connect();
+    let resp = conn
+        .request("POST", "/sweep", Some("{\"bench\": \"all\"}"))
+        .expect("request");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    let doc = json::parse(&resp.text()).expect("truncated stream is still valid JSON");
+    assert_eq!(doc.get("truncated").and_then(Value::as_bool), Some(true));
+    let jobs = doc
+        .get("jobs")
+        .and_then(Value::as_array)
+        .map(<[Value]>::len)
+        .expect("jobs array");
+    assert!(
+        (1..23 * 7).contains(&jobs),
+        "truncated sweep should carry some but not all jobs, got {jobs}"
+    );
+
+    // The truncation is counted immediately…
+    let metrics = conn.request("GET", "/metrics", None).expect("metrics");
+    let text = metrics.text();
+    assert!(
+        text.contains("dsp_serve_sweep_truncated_total 1"),
+        "missing truncation count in:\n{text}"
+    );
+    // …and the still-queued cells drain as cancellations once the
+    // worker finishes its in-flight cell (poll: cancellation is
+    // counted at dequeue time, not at cancel time).
+    let mut cancelled = 0;
+    for _ in 0..150 {
+        let text = conn
+            .request("GET", "/metrics", None)
+            .expect("metrics")
+            .text();
+        cancelled = text
+            .lines()
+            .find_map(|l| l.strip_prefix("dsp_serve_exec_cancelled_total "))
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("cancelled counter present");
+        if cancelled > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    assert!(
+        cancelled > 0,
+        "deadline must cancel still-queued sweep cells, got {cancelled}"
+    );
+    server.stop();
+}
+
+#[test]
+fn interactive_compile_overtakes_an_in_flight_sweep() {
+    // One executor thread, so a 23-cell sweep keeps the pool busy for
+    // a while. A /compile submitted mid-sweep is Interactive: it waits
+    // only on the one running cell, not the whole queue, so it must
+    // complete while the sweep is still streaming.
+    let server = TestServer::start(ServerConfig {
+        workers: 2,
+        jobs: 1,
+        queue_capacity: 8,
+        deadline: Duration::from_secs(120),
+        read_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    });
+    let addr = server.addr;
+    let sweep = std::thread::spawn(move || {
+        let mut conn = ClientConn::connect(addr, Duration::from_secs(300)).expect("connect");
+        conn.request(
+            "POST",
+            "/sweep",
+            Some("{\"bench\": \"all\", \"strategies\": [\"base\"]}"),
+        )
+    });
+    // Give the sweep time to submit its matrix and start running.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut conn = server.connect();
+    let resp = conn
+        .request("POST", "/compile", Some(&compile_body(FIR_SRC, "cb")))
+        .expect("request");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+
+    // Snapshot metrics before the sweep completes: the compile is done
+    // (interactive job executed) while the sweep is still in flight.
+    let metrics = conn.request("GET", "/metrics", None).expect("metrics");
+    let text = metrics.text();
+    assert!(
+        text.contains("dsp_serve_exec_jobs_total{priority=\"interactive\"} 1"),
+        "compile must run as an interactive executor job:\n{text}"
+    );
+    assert!(
+        !text.contains("dsp_serve_requests_total{endpoint=\"sweep\""),
+        "the sweep must still be streaming when the compile finishes:\n{text}"
+    );
+
+    let sweep_resp = sweep.join().expect("sweep thread").expect("sweep request");
+    assert_eq!(sweep_resp.status, 200, "body: {}", sweep_resp.text());
+    let doc = json::parse(&sweep_resp.text()).expect("valid JSON");
+    assert_eq!(doc.get("truncated").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        doc.get("jobs")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(23)
+    );
+    server.stop();
+}
+
 #[test]
 fn full_queue_answers_503_with_retry_after() {
     // 1 worker, queue of 1: the worker is pinned by one idle
@@ -296,6 +486,12 @@ fn metrics_expose_the_documented_families() {
         "dsp_serve_cache_misses_total{layer=\"artifact\"} 1",
         "dsp_serve_cache_evictions_total{layer=\"prepared\"} 0",
         "dsp_serve_cache_resident{layer=\"artifact\"} 1",
+        "# TYPE dsp_serve_cache_bytes gauge",
+        "dsp_serve_cache_evicted_bytes_total{layer=\"artifact\"} 0",
+        "# TYPE dsp_serve_sweep_truncated_total counter",
+        "# TYPE dsp_serve_exec_workers gauge",
+        "dsp_serve_exec_jobs_total{priority=\"interactive\"} 1",
+        "dsp_serve_exec_cancelled_total 0",
     ] {
         assert!(text.contains(family), "missing `{family}` in:\n{text}");
     }

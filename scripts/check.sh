@@ -28,4 +28,12 @@ echo "== dsp-serve loopback smoke test =="
 # 2 keep-alive connections, and exits nonzero on any dropped request.
 ./target/release/dsp-serve-load --spawn --connections 2 --requests 25
 
+echo "== dsp-serve mixed-load smoke test =="
+# One bench-all /sweep streaming concurrently with /compile traffic
+# through the shared executor. Exits nonzero on any dropped request,
+# any truncated sweep, or sweep jobs whose deterministic fields
+# (cycles, memory cost, bank stats) differ between runs.
+./target/release/dsp-serve-load --spawn --mixed --connections 2 --requests 25 \
+  --sweep-requests 2 --bench all
+
 echo "All checks passed."

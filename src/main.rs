@@ -5,7 +5,7 @@
 //! dualbank compile <file.c> [--strategy S] [--emit asm|ir|bin]
 //! dualbank sweep <file.c> [--jobs N] [--json <path>]
 //! dualbank bench <name|all> [--jobs N] [--json <path>] [--stages]
-//! dualbank serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]
+//! dualbank serve [--addr A] [--workers N] [--jobs N] [--queue N] [--deadline-ms N]
 //! dualbank list
 //! ```
 
@@ -28,9 +28,12 @@ fn usage() -> &'static str {
      \x20     compare all compilation strategies\n\
      \x20 dualbank bench <name|all> [--jobs N] [--json <path>] [--stages]\n\
      \x20     run paper benchmark(s) across all strategies\n\
-     \x20 dualbank serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]\n\
-     \x20               [--max-body-kb N] [--cache-capacity N] [--fuel N]\n\
-     \x20     serve compile/sweep over HTTP (see docs/serving.md)\n\
+     \x20 dualbank serve [--addr A] [--workers N] [--jobs N] [--queue N]\n\
+     \x20               [--deadline-ms N] [--max-body-kb N] [--cache-capacity N]\n\
+     \x20               [--cache-max-kb N] [--fuel N]\n\
+     \x20     serve compile/sweep over HTTP (see docs/serving.md);\n\
+     \x20     --workers sizes the connection pool, --jobs the shared\n\
+     \x20     compile/simulate executor (default: all cores)\n\
      \x20 dualbank list\n\
      \x20     list the paper's 23 benchmarks\n\
      \n\
@@ -304,6 +307,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(v) = flag_value(args, "--workers") {
         config.workers = parse_worker_count("--workers", &v)?;
     }
+    if let Some(v) = flag_value(args, "--jobs") {
+        config.jobs = parse_worker_count("--jobs", &v)?;
+    }
     if let Some(v) = flag_value(args, "--queue") {
         config.queue_capacity = parse_worker_count("--queue", &v)?;
     }
@@ -325,6 +331,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|_| format!("--cache-capacity expects an entry count, got `{v}`"))?;
         config.cache_capacity = std::num::NonZeroUsize::new(n); // 0 = unbounded
     }
+    if let Some(v) = flag_value(args, "--cache-max-kb") {
+        let kb: u64 = v
+            .parse()
+            .map_err(|_| format!("--cache-max-kb expects a size, got `{v}`"))?;
+        config.cache_max_bytes = (kb > 0).then_some(kb * 1024); // 0 = unbounded
+    }
     if let Some(v) = flag_value(args, "--fuel") {
         config.fuel = v
             .parse()
@@ -333,13 +345,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let server = Server::bind(config.clone()).map_err(|e| format!("cannot bind: {e}"))?;
     println!("dsp-serve listening on http://{}", server.local_addr());
     println!(
-        "  queue {} · deadline {}ms · max body {} KiB · cache capacity {}",
+        "  queue {} · deadline {}ms · max body {} KiB · cache capacity {} · cache bytes {}",
         config.queue_capacity,
         config.deadline.as_millis(),
         config.max_body / 1024,
         config
             .cache_capacity
             .map_or("unbounded".to_string(), |c| c.to_string()),
+        config
+            .cache_max_bytes
+            .map_or("unbounded".to_string(), |b| format!("{} KiB", b / 1024)),
+    );
+    println!(
+        "  executor: {} job worker(s) shared by /compile (interactive) and /sweep (batch)",
+        server.executor_workers()
     );
     println!("  endpoints: POST /compile · POST /sweep · GET /healthz · GET /metrics");
     println!("  graceful shutdown: POST /admin/shutdown (drains in-flight requests)");
