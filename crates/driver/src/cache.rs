@@ -12,9 +12,16 @@
 //!   (`Pr`/`SelDup` only); one per source.
 //! * **reference** — the reference interpreter's final global values,
 //!   used for verification; one per source.
-//! * **artifact** — the fully compiled [`CompileOutput`], keyed on
-//!   (source hash, [`CompileConfig`], [`Strategy`]); a repeated sweep
-//!   compiles each pair exactly once.
+//! * **artifact** — the fully compiled program (a distilled
+//!   [`CompileOutput`]), keyed on (source hash, [`CompileConfig`],
+//!   [`Strategy`]); a repeated sweep compiles each pair exactly once.
+//!
+//! Below the in-memory artifact layer sits an optional **disk tier**
+//! ([`crate::store::DiskStore`]): an in-memory miss first tries to
+//! rehydrate the artifact from a content-addressed on-disk entry, and
+//! a fresh compile is published back (atomic temp-file + rename), so
+//! a restarted process warms from previous work. Each cell is a pure
+//! function of its key, which is what makes artifacts safely durable.
 //!
 //! Every layer stores its value in an [`OnceLock`] fetched from the map
 //! under a short-lived mutex, so concurrent workers asking for the same
@@ -57,8 +64,10 @@ use dsp_backend::{
 };
 use dsp_bankalloc::Var;
 use dsp_ir::{ExecStats, InterpError, Program};
-use dsp_machine::{VliwInst, Word};
+use dsp_machine::{VliwInst, VliwProgram, Word};
 use dsp_workloads::runner;
+
+use crate::store::{DiskStats, DiskStore};
 
 /// FNV-1a hash of a byte string — the cache's content hash.
 ///
@@ -148,6 +157,8 @@ pub struct CacheStats {
     pub prepared_evicted_bytes: u64,
     /// Estimated bytes dropped from the artifact layer by eviction.
     pub artifact_evicted_bytes: u64,
+    /// Disk-tier counters; `None` when no disk store is configured.
+    pub disk: Option<DiskStats>,
 }
 
 impl CacheStats {
@@ -218,9 +229,27 @@ pub struct PreparedSource {
 
 /// A fully compiled (source, config, strategy) artifact with its
 /// per-stage wall times.
+///
+/// This is the cache's *durable* shape: exactly the fields a job needs
+/// after compilation (the linked program, the report scalars, and the
+/// back-half stage times), with the interference graph, allocation
+/// trace, and IR of the in-flight [`CompileOutput`] distilled away.
+/// That keeps resident entries small and makes the artifact
+/// serializable for the disk tier (see [`crate::store`]).
 pub struct CompiledArtifact {
-    /// The compiled program, allocation, and optimized IR.
-    pub output: CompileOutput,
+    /// The linked, executable program.
+    pub program: VliwProgram,
+    /// Strategy this artifact was compiled under.
+    pub strategy: Strategy,
+    /// The partitioner's objective value (estimated serialized
+    /// accesses).
+    pub partition_cost: u64,
+    /// Number of variables the allocator duplicated.
+    pub duplicated_vars: usize,
+    /// Data words occupied by duplicated variables (the second copy
+    /// only), i.e. the memory the duplication strategies trade for
+    /// cycles.
+    pub duplicated_words: u64,
     /// Back-half stage times recorded when this artifact was built
     /// (`opt`/`profile` are zero — those stages live in
     /// [`PreparedSource`]).
@@ -228,13 +257,13 @@ pub struct CompiledArtifact {
 }
 
 impl CompiledArtifact {
-    /// Data words occupied by duplicated variables (the second copy
-    /// only), i.e. the memory the duplication strategies trade for
-    /// cycles.
+    /// Distill a freshly compiled [`CompileOutput`] into the durable
+    /// artifact shape, computing the duplication footprint while the
+    /// allocation and IR are still at hand.
     #[must_use]
-    pub fn duplicated_words(&self) -> u64 {
-        let ir = &self.output.ir;
-        self.output
+    pub fn from_output(output: CompileOutput, timings: CompileTimings) -> CompiledArtifact {
+        let ir = &output.ir;
+        let duplicated_words = output
             .alloc
             .duplicated()
             .iter()
@@ -244,7 +273,15 @@ impl CompiledArtifact {
                 // Array params alias caller storage; no copy of their own.
                 Var::ParamSlot(..) => 0,
             })
-            .sum()
+            .sum();
+        CompiledArtifact {
+            program: output.program,
+            strategy: output.strategy,
+            partition_cost: output.alloc.partition_cost,
+            duplicated_vars: output.alloc.duplicated().len(),
+            duplicated_words,
+            timings,
+        }
     }
 }
 
@@ -381,6 +418,11 @@ fn count(fresh: bool, hits: &AtomicU64, misses: &AtomicU64) {
 pub struct ArtifactCache {
     prepared: Layer<u64, Result<Arc<PreparedSource>, CompileError>>,
     artifacts: Layer<ArtifactKey, Result<Arc<CompiledArtifact>, CompileError>>,
+    /// Optional disk tier under the artifact layer: consulted on an
+    /// in-memory miss, written behind on a fresh compile. Every disk
+    /// failure is absorbed by the store (counted, never propagated),
+    /// so a broken disk degrades the cache to in-memory operation.
+    store: Option<Arc<DiskStore>>,
     prepared_hits: AtomicU64,
     prepared_misses: AtomicU64,
     profile_hits: AtomicU64,
@@ -416,9 +458,24 @@ impl ArtifactCache {
     /// each applied per layer; `None` leaves that bound off.
     #[must_use]
     pub fn with_limits(capacity: Option<NonZeroUsize>, max_bytes: Option<u64>) -> ArtifactCache {
+        ArtifactCache::with_store(capacity, max_bytes, None)
+    }
+
+    /// [`ArtifactCache::with_limits`] plus a disk tier under the
+    /// artifact layer. An in-memory artifact miss first consults the
+    /// store; a fresh compile is published to it. The store's failure
+    /// handling is entirely internal: every IO error is counted in
+    /// [`DiskStats`] and the cache continues in-memory.
+    #[must_use]
+    pub fn with_store(
+        capacity: Option<NonZeroUsize>,
+        max_bytes: Option<u64>,
+        store: Option<Arc<DiskStore>>,
+    ) -> ArtifactCache {
         ArtifactCache {
             prepared: Layer::new(capacity, max_bytes),
             artifacts: Layer::new(capacity, max_bytes),
+            store,
             prepared_hits: AtomicU64::new(0),
             prepared_misses: AtomicU64::new(0),
             profile_hits: AtomicU64::new(0),
@@ -428,6 +485,12 @@ impl ArtifactCache {
             artifact_hits: AtomicU64::new(0),
             artifact_misses: AtomicU64::new(0),
         }
+    }
+
+    /// The disk tier, when one is configured.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.as_ref()
     }
 
     /// Entries currently resident in the (prepared, artifact) layers.
@@ -514,7 +577,12 @@ impl ArtifactCache {
     /// artifact. `profile` must be supplied for the profile-driven
     /// strategies (fetch it via [`ArtifactCache::profile`]).
     ///
-    /// The boolean is `true` when this call was served from cache.
+    /// The first boolean is `true` when this call was served from the
+    /// in-memory layer. The second reports the disk tier: `None` when
+    /// no store is configured or the in-memory layer hit (disk not
+    /// consulted), `Some(true)` when the artifact was rehydrated from
+    /// disk, `Some(false)` when the disk was consulted, missed, and
+    /// the artifact was compiled (then published back).
     ///
     /// # Errors
     ///
@@ -525,7 +593,7 @@ impl ArtifactCache {
         strategy: Strategy,
         config: CompileConfig,
         profile: Option<&ExecStats>,
-    ) -> Result<(Arc<CompiledArtifact>, bool), CompileError> {
+    ) -> Result<(Arc<CompiledArtifact>, bool, Option<bool>), CompileError> {
         let key = ArtifactKey {
             source: prep.source_hash,
             config: config_key(config),
@@ -533,16 +601,31 @@ impl ArtifactCache {
         };
         let cell = self.artifacts.slot(key);
         let mut fresh = false;
+        let mut disk = None;
         let result = cell.get_or_init(|| {
             fresh = true;
-            compile_optimized(&prep.opt_ir, strategy, config, profile)
-                .map(|(output, timings)| Arc::new(CompiledArtifact { output, timings }))
+            if let Some(store) = &self.store {
+                if let Some(artifact) = store.load(&key) {
+                    disk = Some(true);
+                    return Ok(artifact);
+                }
+                disk = Some(false);
+            }
+            let compiled = compile_optimized(&prep.opt_ir, strategy, config, profile)
+                .map(|(output, timings)| Arc::new(CompiledArtifact::from_output(output, timings)));
+            if let (Some(store), Ok(artifact)) = (&self.store, &compiled) {
+                // Write-behind: failures are counted in the store and
+                // never surface — errors (disk full, torn writes) only
+                // cost future warm starts, not this job.
+                store.publish(&key, artifact);
+            }
+            compiled
         });
         count(fresh, &self.artifact_hits, &self.artifact_misses);
         if fresh {
             self.artifacts.record_bytes(&key, artifact_bytes(result));
         }
-        result.clone().map(|a| (a, !fresh))
+        result.clone().map(|a| (a, !fresh, disk))
     }
 
     /// Snapshot the hit/miss counters.
@@ -563,6 +646,7 @@ impl ArtifactCache {
             artifact_bytes: self.artifacts.bytes(),
             prepared_evicted_bytes: self.prepared.evicted_bytes.load(Ordering::Relaxed),
             artifact_evicted_bytes: self.artifacts.evicted_bytes.load(Ordering::Relaxed),
+            disk: self.store.as_ref().map(|s| s.stats()),
         }
     }
 }
@@ -597,11 +681,16 @@ fn prepared_bytes(entry: &Result<Arc<PreparedSource>, CompileError>) -> u64 {
 fn artifact_bytes(entry: &Result<Arc<CompiledArtifact>, CompileError>) -> u64 {
     match entry {
         Ok(a) => {
-            let prog = &a.output.program;
+            // Per-symbol/function/label metadata at a fixed cost; the
+            // instruction and data vectors dominate.
+            const SYMBOL_BYTES: u64 = 96;
+            let prog = &a.program;
             let insts = prog.insts.len() as u64 * std::mem::size_of::<VliwInst>() as u64;
             let data = (prog.x_image.init.len() + prog.y_image.init.len()) as u64
                 * std::mem::size_of::<Word>() as u64;
-            insts + data + program_bytes(&a.output.ir) + 512
+            let meta = (prog.symbols.len() + prog.functions.len() + prog.labels.len()) as u64
+                * SYMBOL_BYTES;
+            insts + data + meta + 512
         }
         Err(_) => ERROR_BYTES,
     }

@@ -18,6 +18,7 @@
 //! cache first is schedule-dependent; the per-layer totals are not).
 
 use std::num::NonZeroUsize;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,6 +30,7 @@ use dsp_workloads::Benchmark;
 
 use crate::cache::{ArtifactCache, CacheStats};
 use crate::report::{CacheFlags, JobReport, RunReport, StageTimes};
+use crate::store::DiskStore;
 
 /// Parse a user-supplied worker/`--jobs` count.
 ///
@@ -52,8 +54,64 @@ pub fn parse_worker_count(flag: &str, input: &str) -> Result<usize, String> {
     }
 }
 
+/// Parse a cache byte-budget flag given in KiB (`--cache-max-kb`,
+/// `--cache-disk-max-kb`). `0` means **disabled** (unbounded) and
+/// returns `None` — the documented spelling for "no byte budget",
+/// consistent across the CLI and `dsp-serve`.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming `flag` on empty or
+/// non-numeric input.
+pub fn parse_byte_budget(flag: &str, input: &str) -> Result<Option<u64>, String> {
+    match input.parse::<u64>() {
+        Ok(0) => Ok(None),
+        Ok(kb) => Ok(Some(kb.saturating_mul(1024))),
+        Err(_) => Err(format!(
+            "{flag} expects a size in KiB (0 disables the bound), got `{input}`"
+        )),
+    }
+}
+
+/// Parse a cache entry-capacity flag (`--cache-capacity`). `0` means
+/// **disabled** (unbounded) and returns `None`, mirroring
+/// [`parse_byte_budget`].
+///
+/// # Errors
+///
+/// Returns a human-readable message naming `flag` on empty or
+/// non-numeric input.
+pub fn parse_entry_budget(flag: &str, input: &str) -> Result<Option<NonZeroUsize>, String> {
+    match input.parse::<usize>() {
+        Ok(n) => Ok(NonZeroUsize::new(n)),
+        Err(_) => Err(format!(
+            "{flag} expects an entry count (0 disables the bound), got `{input}`"
+        )),
+    }
+}
+
+/// Validate a `--cache-dir` argument: non-empty, and not an existing
+/// non-directory (a typo'd file path would silently degrade the store
+/// to a no-op; catch it at the flag instead). The directory itself
+/// need not exist — the store creates it.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming `flag` for empty input or a
+/// path that exists but is not a directory.
+pub fn parse_cache_dir(flag: &str, input: &str) -> Result<PathBuf, String> {
+    if input.is_empty() {
+        return Err(format!("{flag} expects a directory path"));
+    }
+    let path = PathBuf::from(input);
+    if path.exists() && !path.is_dir() {
+        return Err(format!("{flag}: `{input}` exists and is not a directory"));
+    }
+    Ok(path)
+}
+
 /// Engine configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Worker-thread count of the engine's private executor; `0` means
     /// [`std::thread::available_parallelism`]. Ignored by
@@ -74,6 +132,14 @@ pub struct EngineOptions {
     /// `None` = unbounded. Composes with `cache_capacity`: whichever
     /// bound is exceeded first evicts.
     pub cache_max_bytes: Option<u64>,
+    /// Directory of the persistent artifact store ([`DiskStore`]);
+    /// `None` = in-memory only. The engine opens the store at
+    /// construction (startup sweep included) and consults it on every
+    /// in-memory artifact miss.
+    pub cache_dir: Option<PathBuf>,
+    /// Byte budget of the on-disk store (LRU-by-mtime eviction);
+    /// `None` = unbounded. Only meaningful with `cache_dir`.
+    pub cache_disk_max_bytes: Option<u64>,
 }
 
 impl Default for EngineOptions {
@@ -85,6 +151,8 @@ impl Default for EngineOptions {
             verify: true,
             cache_capacity: None,
             cache_max_bytes: None,
+            cache_dir: None,
+            cache_disk_max_bytes: None,
         }
     }
 }
@@ -140,9 +208,26 @@ impl Engine {
     /// engine in the process one machine-sized scheduler.
     #[must_use]
     pub fn with_executor(opts: EngineOptions, exec: Arc<Executor>) -> Engine {
-        let cache = Arc::new(ArtifactCache::with_limits(
+        let store = opts
+            .cache_dir
+            .as_deref()
+            .map(|dir| Arc::new(DiskStore::open_default(dir, opts.cache_disk_max_bytes)));
+        Engine::with_cache_store(opts, exec, store)
+    }
+
+    /// [`Engine::with_executor`] over an explicit (possibly absent)
+    /// disk store — the seam the fault-injection suite uses to hand
+    /// the engine a store whose IO layer misbehaves on cue.
+    #[must_use]
+    pub fn with_cache_store(
+        opts: EngineOptions,
+        exec: Arc<Executor>,
+        store: Option<Arc<DiskStore>>,
+    ) -> Engine {
+        let cache = Arc::new(ArtifactCache::with_store(
             opts.cache_capacity,
             opts.cache_max_bytes,
+            store,
         ));
         Engine { opts, cache, exec }
     }
@@ -196,7 +281,7 @@ impl Engine {
             .flat_map(|b| strategies.iter().map(move |&s| (b, s)))
             .map(|(bench, strategy)| {
                 let cache = Arc::clone(&self.cache);
-                let opts = self.opts;
+                let opts = self.opts.clone();
                 let bench = bench.clone();
                 self.exec.submit(priority, Some(&token), move || {
                     run_job(&cache, &opts, &bench, strategy)
@@ -402,11 +487,12 @@ pub fn run_job(
         (None, Duration::ZERO, false)
     };
 
-    let (artifact, artifact_cached) = cache.artifact(&prep, strategy, opts.config, profile)?;
+    let (artifact, artifact_cached, artifact_disk) =
+        cache.artifact(&prep, strategy, opts.config, profile)?;
 
     let sim_start = Instant::now();
     let mut sim = Simulator::new(
-        &artifact.output.program,
+        &artifact.program,
         SimOptions {
             dual_ported: strategy.dual_ported(),
             fuel: opts.fuel,
@@ -434,19 +520,26 @@ pub fn run_job(
         reference_cached = Some(ref_cached);
     }
 
-    let measurement = runner::build_measurement(bench, &artifact.output, stats);
+    let measurement = runner::measure_program(
+        &bench.name,
+        &artifact.program,
+        artifact.strategy,
+        artifact.duplicated_vars,
+        stats,
+    );
     Ok(JobReport {
         bench: bench.name.clone(),
         kind: bench.kind,
         strategy,
-        partition_cost: artifact.output.alloc.partition_cost,
-        duplicated_words: artifact.duplicated_words(),
+        partition_cost: artifact.partition_cost,
+        duplicated_words: artifact.duplicated_words,
         measurement,
         cached: CacheFlags {
             prepared: prepared_cached,
             profile: needs_profile.then_some(profile_cached),
             reference: reference_cached,
             artifact: artifact_cached,
+            artifact_disk,
         },
         stages: StageTimes {
             parse: prep.parse_time,
@@ -495,6 +588,51 @@ mod tests {
             let err = parse_worker_count("--jobs", bad).unwrap_err();
             assert!(err.contains("positive integer"), "{bad:?} -> {err}");
         }
+    }
+
+    #[test]
+    fn byte_budget_zero_means_disabled() {
+        // `0` is the documented "unbounded" spelling on every byte
+        // knob, CLI and serve alike.
+        assert_eq!(parse_byte_budget("--cache-max-kb", "0"), Ok(None));
+        assert_eq!(
+            parse_byte_budget("--cache-max-kb", "64"),
+            Ok(Some(64 * 1024))
+        );
+        assert_eq!(
+            parse_byte_budget("--cache-disk-max-kb", "1"),
+            Ok(Some(1024))
+        );
+        for bad in ["", "x", "-1", "1.5"] {
+            let err = parse_byte_budget("--cache-max-kb", bad).unwrap_err();
+            assert!(err.contains("--cache-max-kb"), "{bad:?} -> {err}");
+            assert!(err.contains("0 disables"), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn entry_budget_zero_means_disabled() {
+        assert_eq!(parse_entry_budget("--cache-capacity", "0"), Ok(None));
+        assert_eq!(
+            parse_entry_budget("--cache-capacity", "8"),
+            Ok(NonZeroUsize::new(8))
+        );
+        let err = parse_entry_budget("--cache-capacity", "nope").unwrap_err();
+        assert!(err.contains("--cache-capacity"));
+    }
+
+    #[test]
+    fn cache_dir_rejects_empty_and_non_directories() {
+        let err = parse_cache_dir("--cache-dir", "").unwrap_err();
+        assert!(err.contains("--cache-dir"));
+        // A nonexistent path is fine — the store creates it.
+        assert!(parse_cache_dir("--cache-dir", "/tmp/definitely-new-dir").is_ok());
+        // An existing file is a typo, not a cache.
+        let file = std::env::temp_dir().join(format!("cache-dir-test-{}", std::process::id()));
+        std::fs::write(&file, b"x").unwrap();
+        let err = parse_cache_dir("--cache-dir", file.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("not a directory"), "{err}");
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

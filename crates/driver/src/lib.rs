@@ -55,11 +55,18 @@ pub mod cache;
 pub mod engine;
 pub mod json;
 pub mod report;
+pub mod store;
 
-pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
-pub use engine::{parse_worker_count, Engine, EngineError, EngineOptions, MatrixRun};
+pub use cache::{ArtifactCache, ArtifactKey, CacheStats, CompiledArtifact};
+pub use engine::{
+    parse_byte_budget, parse_cache_dir, parse_entry_budget, parse_worker_count, Engine,
+    EngineError, EngineOptions, MatrixRun,
+};
 pub use report::{
     sweep_json_prefix, sweep_json_tail, CacheFlags, JobReport, RunReport, StageTimes,
+};
+pub use store::{
+    DiskStats, DiskStore, DiskSweep, FaultIo, FaultKind, FaultOp, FaultPlan, StdIo, StoreIo,
 };
 // The shared scheduler's vocabulary, re-exported so engine callers
 // need not depend on `dsp-exec` directly.

@@ -24,6 +24,11 @@ pub struct CacheFlags {
     pub reference: Option<bool>,
     /// Compiled artifact served from cache.
     pub artifact: bool,
+    /// Disk tier's verdict on an in-memory artifact miss: `None` when
+    /// no disk store is configured or the memory layer hit (disk not
+    /// consulted), `Some(true)` when the artifact was rehydrated from
+    /// disk, `Some(false)` when disk missed and the job compiled.
+    pub artifact_disk: Option<bool>,
 }
 
 /// Wall time of every pipeline stage for one job. Stages shared across
@@ -259,6 +264,30 @@ impl RunReport {
             sweep_json_tail(self.wall_time, &self.cache, false),
         )
     }
+
+    /// The report's **deterministic projection**: every per-job result
+    /// field (cycles, memory cost, partition cost, simulator counters)
+    /// with all schedule- and environment-dependent fields removed —
+    /// wall times, stage times, worker count, cache flags and
+    /// counters. Two runs of the same matrix — cold, warmed from disk,
+    /// or degraded by injected disk faults — must produce
+    /// byte-identical projections; the crash-safety and
+    /// fault-injection suites assert exactly that.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        let strats = self
+            .strategies
+            .iter()
+            .map(|s| json_string(s.label()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let jobs: Vec<String> = self.jobs.iter().map(job_core_json).collect();
+        format!(
+            "{{\n  \"schema\": \"dualbank-run-report-deterministic/v1\",\n  \
+             \"strategies\": [{strats}],\n  \"jobs\": [\n{}\n  ]\n}}\n",
+            jobs.join(",\n"),
+        )
+    }
 }
 
 /// The head of a `dualbank-run-report/v1` document: everything known
@@ -303,8 +332,23 @@ fn cache_json(c: &CacheStats) -> String {
              \"bytes\": {b}, \"evicted_bytes\": {eb}}}"
         )
     };
+    let disk = match &c.disk {
+        None => "null".to_string(),
+        Some(d) => format!(
+            "{{\"hits\": {}, \"misses\": {}, \"errors\": {}, \"quarantined\": {}, \
+             \"evictions\": {}, \"evicted_bytes\": {}, \"bytes\": {}, \"entries\": {}}}",
+            d.hits,
+            d.misses,
+            d.errors,
+            d.quarantined,
+            d.evictions,
+            d.evicted_bytes,
+            d.bytes,
+            d.entries
+        ),
+    };
     format!(
-        "{{\"prepared\": {}, \"profile\": {}, \"reference\": {}, \"artifact\": {}, \"hit_rate\": {}}}",
+        "{{\"prepared\": {}, \"profile\": {}, \"reference\": {}, \"artifact\": {}, \"disk\": {disk}, \"hit_rate\": {}}}",
         evicting(
             c.prepared_hits,
             c.prepared_misses,
@@ -336,7 +380,6 @@ impl JobReport {
 }
 
 fn job_json(j: &JobReport) -> String {
-    let m = &j.measurement;
     let s = &j.stages;
     let stage_fields = [
         ("parse", s.parse),
@@ -368,13 +411,30 @@ fn job_json(j: &JobReport) -> String {
         Some(v) => v.to_string(),
     };
     format!(
+        "{}, \
+         \"cached\": {{\"prepared\": {}, \"profile\": {}, \"reference\": {}, \"artifact\": {}, \"artifact_disk\": {}}}, \
+         \"stage_ms\": {{{stages}}}, \"opt_pass_ms\": {{{passes}}}}}",
+        job_core_json(j).strip_suffix('}').expect("core is an object"),
+        j.cached.prepared,
+        opt_bool(j.cached.profile),
+        opt_bool(j.cached.reference),
+        j.cached.artifact,
+        opt_bool(j.cached.artifact_disk),
+    )
+}
+
+/// The deterministic core of one job's JSON object: every result field,
+/// none of the schedule-dependent ones. [`job_json`] extends this with
+/// `cached`/`stage_ms`/`opt_pass_ms`;
+/// [`RunReport::deterministic_json`] emits it verbatim.
+fn job_core_json(j: &JobReport) -> String {
+    let m = &j.measurement;
+    format!(
         "    {{\"benchmark\": {}, \"kind\": {}, \"strategy\": {}, \
          \"cycles\": {}, \"memory_cost\": {}, \
          \"static_words\": {{\"x\": {}, \"y\": {}}}, \"stack_words\": {}, \"inst_words\": {}, \
          \"partition_cost\": {}, \"duplicated_vars\": {}, \"duplicated_words\": {}, \
-         \"sim\": {{\"ops\": {}, \"loads\": {}, \"stores\": {}, \"dual_mem_cycles\": {}, \"bank_conflict_cycles\": {}}}, \
-         \"cached\": {{\"prepared\": {}, \"profile\": {}, \"reference\": {}, \"artifact\": {}}}, \
-         \"stage_ms\": {{{stages}}}, \"opt_pass_ms\": {{{passes}}}}}",
+         \"sim\": {{\"ops\": {}, \"loads\": {}, \"stores\": {}, \"dual_mem_cycles\": {}, \"bank_conflict_cycles\": {}}}}}",
         json_string(&j.bench),
         json_string(&j.kind.to_string()),
         json_string(j.strategy.label()),
@@ -392,10 +452,6 @@ fn job_json(j: &JobReport) -> String {
         m.stats.stores,
         m.stats.dual_mem_cycles,
         m.stats.bank_conflict_cycles,
-        j.cached.prepared,
-        opt_bool(j.cached.profile),
-        opt_bool(j.cached.reference),
-        j.cached.artifact,
     )
 }
 

@@ -58,7 +58,7 @@ fn source_change_invalidates_artifacts() {
     let cache = ArtifactCache::new();
     let (prep_a, _) = cache.prepared(SRC_A).unwrap();
     let (prep_b, _) = cache.prepared(SRC_B).unwrap();
-    let (art_a, hit_a) = cache
+    let (art_a, hit_a, _) = cache
         .artifact(
             &prep_a,
             Strategy::CbPartition,
@@ -66,7 +66,7 @@ fn source_change_invalidates_artifacts() {
             None,
         )
         .unwrap();
-    let (art_b, hit_b) = cache
+    let (art_b, hit_b, _) = cache
         .artifact(
             &prep_b,
             Strategy::CbPartition,
@@ -78,9 +78,10 @@ fn source_change_invalidates_artifacts() {
     assert_eq!(cache.stats().prepared_misses, 2);
     assert_eq!(cache.stats().artifact_misses, 2);
     // The compiled data differs where the source differs.
-    assert_ne!(
-        art_a.output.ir.globals[0].init,
-        art_b.output.ir.globals[0].init
+    assert!(
+        art_a.program.x_image.init != art_b.program.x_image.init
+            || art_a.program.y_image.init != art_b.program.y_image.init,
+        "changed initializer must change a data image"
     );
 }
 
@@ -92,13 +93,13 @@ fn config_change_invalidates_artifacts() {
     let safe = CompileConfig {
         interrupt_safe_dup: true,
     };
-    let (_, hit1) = cache
+    let (_, hit1, _) = cache
         .artifact(&prep, Strategy::PartialDup, plain, None)
         .unwrap();
-    let (_, hit2) = cache
+    let (_, hit2, _) = cache
         .artifact(&prep, Strategy::PartialDup, safe, None)
         .unwrap();
-    let (_, hit3) = cache
+    let (_, hit3, _) = cache
         .artifact(&prep, Strategy::PartialDup, plain, None)
         .unwrap();
     assert!(!hit1, "first config is a miss");
@@ -120,22 +121,19 @@ fn no_cross_strategy_contamination() {
             }
             _ => None,
         };
-        let (art, hit) = cache
+        let (art, hit, _) = cache
             .artifact(&prep, strategy, CompileConfig::default(), profile)
             .unwrap();
         assert!(!hit, "each strategy is its own cache entry");
         outputs.push(art);
     }
     for (art, strategy) in outputs.iter().zip(Strategy::ALL) {
-        assert_eq!(
-            art.output.strategy, strategy,
-            "artifact carries its own strategy"
-        );
+        assert_eq!(art.strategy, strategy, "artifact carries its own strategy");
     }
     // The strategies genuinely differ in output: the baseline puts
     // everything in X; CB splits the banks.
-    let base = &outputs[0].output.program;
-    let cb = &outputs[1].output.program;
+    let base = &outputs[0].program;
+    let cb = &outputs[1].program;
     assert_eq!(base.y_static_words, 0);
     assert!(cb.y_static_words > 0);
 }

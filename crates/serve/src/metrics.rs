@@ -348,6 +348,58 @@ impl Metrics {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} gauge");
         };
+
+        // Disk-tier families: only present when a persistent store is
+        // configured, so dashboards can tell "no disk" from "disk idle".
+        if let Some(disk) = &cache.disk {
+            for (name, help, n) in [
+                (
+                    "dsp_serve_cache_disk_hits_total",
+                    "Artifacts rehydrated from the on-disk store.",
+                    disk.hits,
+                ),
+                (
+                    "dsp_serve_cache_disk_misses_total",
+                    "On-disk store lookups that found no entry.",
+                    disk.misses,
+                ),
+                (
+                    "dsp_serve_cache_disk_errors_total",
+                    "Disk-store IO failures absorbed (degraded to in-memory).",
+                    disk.errors,
+                ),
+                (
+                    "dsp_serve_cache_disk_quarantined_total",
+                    "Corrupt on-disk entries moved to quarantine.",
+                    disk.quarantined,
+                ),
+                (
+                    "dsp_serve_cache_disk_evictions_total",
+                    "On-disk entries dropped by the byte-budget LRU.",
+                    disk.evictions,
+                ),
+                (
+                    "dsp_serve_cache_disk_evicted_bytes_total",
+                    "Bytes released by on-disk evictions.",
+                    disk.evicted_bytes,
+                ),
+            ] {
+                counter_head(&mut out, name, help);
+                let _ = writeln!(out, "{name} {n}");
+            }
+            gauge_head(
+                &mut out,
+                "dsp_serve_cache_disk_bytes",
+                "Bytes resident in the on-disk store.",
+            );
+            let _ = writeln!(out, "dsp_serve_cache_disk_bytes {}", disk.bytes);
+            gauge_head(
+                &mut out,
+                "dsp_serve_cache_disk_entries",
+                "Entries resident in the on-disk store.",
+            );
+            let _ = writeln!(out, "dsp_serve_cache_disk_entries {}", disk.entries);
+        }
         gauge_head(
             &mut out,
             "dsp_serve_exec_workers",
@@ -431,7 +483,15 @@ mod tests {
             executed_interactive: 5,
             ..ExecutorStats::default()
         };
-        let text = m.render(1, 64, 4, &CacheStats::default(), (0, 0), &exec);
+        let stats = CacheStats {
+            disk: Some(dsp_driver::DiskStats {
+                hits: 3,
+                bytes: 4096,
+                ..dsp_driver::DiskStats::default()
+            }),
+            ..CacheStats::default()
+        };
+        let text = m.render(1, 64, 4, &stats, (0, 0), &exec);
         for family in [
             "dsp_serve_up 1",
             "dsp_serve_queue_depth 1",
@@ -446,6 +506,12 @@ mod tests {
             "dsp_serve_cache_evictions_total{layer=\"artifact\"} 0",
             "dsp_serve_cache_evicted_bytes_total{layer=\"prepared\"} 0",
             "dsp_serve_cache_bytes{layer=\"artifact\"} 0",
+            "dsp_serve_cache_disk_hits_total 3",
+            "dsp_serve_cache_disk_misses_total 0",
+            "dsp_serve_cache_disk_errors_total 0",
+            "dsp_serve_cache_disk_quarantined_total 0",
+            "dsp_serve_cache_disk_bytes 4096",
+            "dsp_serve_cache_disk_entries 0",
             "dsp_serve_exec_workers 2",
             "dsp_serve_exec_queue_depth{priority=\"batch\"} 0",
             "dsp_serve_exec_jobs_total{priority=\"interactive\"} 5",
@@ -453,6 +519,22 @@ mod tests {
         ] {
             assert!(text.contains(family), "missing `{family}` in:\n{text}");
         }
+    }
+
+    #[test]
+    fn disk_families_absent_without_a_store() {
+        // "No disk tier configured" must be distinguishable from
+        // "disk tier idle": the families only render with a store.
+        let m = Metrics::new();
+        let text = m.render(
+            0,
+            64,
+            1,
+            &CacheStats::default(),
+            (0, 0),
+            &ExecutorStats::default(),
+        );
+        assert!(!text.contains("dsp_serve_cache_disk"), "{text}");
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! in [`pop`](BoundedQueue::pop). [`close`](BoundedQueue::close) makes
 //! `pop` drain what is queued and then return `None`, which is how a
 //! graceful shutdown finishes in-flight work without accepting more.
+//!
+//! The `expect("queue mutex poisoned")` calls below are deliberate and
+//! not reachable from the network: the mutex guards a few field moves
+//! that cannot panic, so the lock can only be poisoned if the process
+//! is already crashing for another reason. No request payload, however
+//! hostile, can trip them — the loopback suite's hostile-input tests
+//! pin that down.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};

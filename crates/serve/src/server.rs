@@ -41,6 +41,7 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::num::NonZeroUsize;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -85,6 +86,15 @@ pub struct ServerConfig {
     /// unbounded. Composes with `cache_capacity`: whichever limit is
     /// hit first evicts.
     pub cache_max_bytes: Option<u64>,
+    /// Directory of the persistent on-disk artifact store; `None` =
+    /// in-memory only. On boot the store's startup sweep warms the
+    /// engine from entries published by previous processes; every disk
+    /// failure degrades to in-memory operation (counted in `/metrics`,
+    /// never fatal).
+    pub cache_dir: Option<PathBuf>,
+    /// Byte budget of the on-disk store (LRU-by-mtime eviction);
+    /// `None` = unbounded. Only meaningful with `cache_dir`.
+    pub cache_disk_max_bytes: Option<u64>,
     /// Socket read timeout — also the idle keep-alive lifetime, so a
     /// silent client cannot pin a worker.
     pub read_timeout: Duration,
@@ -102,6 +112,8 @@ impl Default for ServerConfig {
             fuel: 200_000_000,
             cache_capacity: NonZeroUsize::new(256),
             cache_max_bytes: None,
+            cache_dir: None,
+            cache_disk_max_bytes: None,
             read_timeout: Duration::from_secs(5),
         }
     }
@@ -172,6 +184,8 @@ impl Server {
                 fuel: config.fuel,
                 cache_capacity: config.cache_capacity,
                 cache_max_bytes: config.cache_max_bytes,
+                cache_dir: config.cache_dir.clone(),
+                cache_disk_max_bytes: config.cache_disk_max_bytes,
                 ..EngineOptions::default()
             },
             exec,
@@ -202,6 +216,14 @@ impl Server {
     #[must_use]
     pub fn executor_workers(&self) -> usize {
         self.shared.engine.executor().workers()
+    }
+
+    /// The persistent store's startup-sweep report, when
+    /// [`ServerConfig::cache_dir`] is set — what the boot banner prints
+    /// as the warm-start summary.
+    #[must_use]
+    pub fn disk_sweep(&self) -> Option<&dsp_driver::DiskSweep> {
+        self.shared.engine.cache().store().map(|s| s.sweep())
     }
 
     /// A handle for shutting the server down from another thread.
@@ -324,11 +346,12 @@ fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
             // After answering: stop accepting and drain.
             ServerHandle {
                 shared: Arc::clone(shared),
-                addr: stream.local_addr().unwrap_or_else(|_| {
-                    // Fallback never used in practice; shutdown() only
-                    // needs the addr for the accept-loop wakeup.
-                    "127.0.0.1:0".parse().expect("static addr")
-                }),
+                // Fallback never used in practice; shutdown() only
+                // needs the addr for the accept-loop wakeup. Built
+                // infallibly — no parse/expect on the request path.
+                addr: stream
+                    .local_addr()
+                    .unwrap_or_else(|_| SocketAddr::from(([127, 0, 0, 1], 0))),
             }
             .shutdown();
         }
@@ -510,8 +533,8 @@ fn render_lir(
         None
     };
     let config = shared.engine.options().config;
-    let (artifact, _) = cache.artifact(&prep, strategy, config, profile)?;
-    Ok(artifact.output.program.disassemble())
+    let (artifact, _, _) = cache.artifact(&prep, strategy, config, profile)?;
+    Ok(artifact.program.disassemble())
 }
 
 /// Parse a `/sweep` body — `{"source": "..."}` or

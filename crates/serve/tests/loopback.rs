@@ -563,3 +563,77 @@ fn admin_shutdown_drains_and_stops() {
     // (idempotent shutdown).
     server.stop();
 }
+
+#[test]
+fn disk_backed_server_warm_starts_and_exposes_disk_metrics() {
+    let dir = std::env::temp_dir().join(format!("dualbank-serve-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk_config = || ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..small_config()
+    };
+
+    // First server: the compile misses disk, then publishes.
+    let server = TestServer::start(disk_config());
+    let mut conn = server.connect();
+    let resp = conn
+        .request("POST", "/compile", Some(&compile_body(FIR_SRC, "cb")))
+        .expect("request");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    let text = server
+        .connect()
+        .request("GET", "/metrics", None)
+        .expect("request")
+        .text();
+    assert!(
+        text.contains("dsp_serve_cache_disk_misses_total 1"),
+        "cold compile must miss disk:\n{text}"
+    );
+    assert!(text.contains("dsp_serve_cache_disk_entries 1"), "{text}");
+    server.stop();
+
+    // Second server over the same directory: warm start — the same
+    // compile rehydrates from disk. A hostile request first must not
+    // disturb the store (it never reaches the cache).
+    let server = TestServer::start(disk_config());
+    let resp = server
+        .connect()
+        .raw(b"POST /compile HTTP/1.1\r\nContent-Length: nonsense\r\n\r\n")
+        .expect("response");
+    assert_eq!(resp.status, 400, "unparsable Content-Length is a 400");
+    let mut conn = server.connect();
+    let resp = conn
+        .request("POST", "/compile", Some(&compile_body(FIR_SRC, "cb")))
+        .expect("request");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    let text = server
+        .connect()
+        .request("GET", "/metrics", None)
+        .expect("request")
+        .text();
+    assert!(
+        text.contains("dsp_serve_cache_disk_hits_total 1"),
+        "warm compile must hit disk:\n{text}"
+    );
+    assert!(
+        text.contains("dsp_serve_cache_disk_quarantined_total 0"),
+        "{text}"
+    );
+    server.stop();
+
+    // A store-less server must not emit the disk families at all, so
+    // dashboards can tell "no disk configured" from "disk idle".
+    let server = TestServer::start(small_config());
+    let text = server
+        .connect()
+        .request("GET", "/metrics", None)
+        .expect("request")
+        .text();
+    assert!(
+        !text.contains("dsp_serve_cache_disk"),
+        "disk families must be absent without a store:\n{text}"
+    );
+    server.stop();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

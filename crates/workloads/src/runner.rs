@@ -8,7 +8,7 @@
 
 use dsp_backend::{compile_ir, CompileError, Strategy};
 use dsp_ir::{InterpError, Interpreter, Program};
-use dsp_machine::Word;
+use dsp_machine::{VliwProgram, Word};
 use dsp_sim::{SimError, SimOptions, SimStats, Simulator};
 
 use crate::Benchmark;
@@ -190,21 +190,42 @@ pub fn build_measurement(
     out: &dsp_backend::CompileOutput,
     stats: SimStats,
 ) -> Measurement {
+    measure_program(
+        &bench.name,
+        &out.program,
+        out.strategy,
+        out.alloc.duplicated().len(),
+        stats,
+    )
+}
+
+/// [`build_measurement`] for callers that no longer hold the full
+/// [`dsp_backend::CompileOutput`] — everything a measurement needs is
+/// the linked program, the strategy, and the duplicated-variable count
+/// (which is how the driver's disk-rehydrated artifacts are measured).
+#[must_use]
+pub fn measure_program(
+    name: &str,
+    program: &VliwProgram,
+    strategy: Strategy,
+    duplicated_vars: usize,
+    stats: SimStats,
+) -> Measurement {
     let stack = stats.max_stack_words();
-    let memory_cost = u64::from(out.program.x_static_words)
-        + u64::from(out.program.y_static_words)
+    let memory_cost = u64::from(program.x_static_words)
+        + u64::from(program.y_static_words)
         + 2 * u64::from(stack)
-        + u64::from(out.program.inst_count());
+        + u64::from(program.inst_count());
     Measurement {
-        name: bench.name.clone(),
-        strategy: out.strategy,
+        name: name.to_string(),
+        strategy,
         cycles: stats.cycles,
         memory_cost,
-        static_words: (out.program.x_static_words, out.program.y_static_words),
+        static_words: (program.x_static_words, program.y_static_words),
         stack_words: stack,
-        inst_words: out.program.inst_count(),
+        inst_words: program.inst_count(),
         stats,
-        duplicated_vars: out.alloc.duplicated().len(),
+        duplicated_vars,
     }
 }
 

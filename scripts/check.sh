@@ -36,4 +36,32 @@ echo "== dsp-serve mixed-load smoke test =="
 ./target/release/dsp-serve-load --spawn --mixed --connections 2 --requests 25 \
   --sweep-requests 2 --bench all
 
+echo "== persistent-cache crash smoke test =="
+# Kill a sweep mid-run, restart over the crashed store, and require the
+# warmed report to be byte-identical to a cold store-less run. The
+# atomic tmp-file+rename publish means a SIGKILL at any instant must
+# leave zero quarantined entries.
+CACHE_DIR=$(mktemp -d)
+trap 'rm -rf "$CACHE_DIR"' EXIT
+./target/release/dualbank bench all --jobs 1 --cache-dir "$CACHE_DIR" \
+  >/dev/null 2>&1 &
+KILL_PID=$!
+sleep 0.3
+kill -9 "$KILL_PID" 2>/dev/null || true
+wait "$KILL_PID" 2>/dev/null || true
+./target/release/dualbank bench all --jobs 1 --cache-dir "$CACHE_DIR" \
+  --json "$CACHE_DIR/warm.json" --deterministic >/dev/null 2>"$CACHE_DIR/stderr"
+grep -q ' 0 quarantined' "$CACHE_DIR/stderr" \
+  || { echo "FAIL: crash left quarantined entries"; cat "$CACHE_DIR/stderr"; exit 1; }
+./target/release/dualbank bench all --jobs 1 \
+  --json "$CACHE_DIR/cold.json" --deterministic >/dev/null
+cmp "$CACHE_DIR/warm.json" "$CACHE_DIR/cold.json" \
+  || { echo "FAIL: post-crash warm report differs from cold run"; exit 1; }
+
+echo "== persistent-cache fault-injection suite =="
+# Every store IO site failing in turn (open/read/write/fsync/rename/
+# remove/list), plus torn-write and bit-rot scenarios — already built
+# above; -q keeps the gate output short.
+cargo test -q -p dsp-driver $CARGO_FLAGS --test store_faults --test disk_store
+
 echo "All checks passed."

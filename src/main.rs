@@ -13,7 +13,10 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use dsp_serve::{Server, ServerConfig};
-use dualbank::driver::{parse_worker_count, Engine, EngineOptions};
+use dualbank::driver::{
+    parse_byte_budget, parse_cache_dir, parse_entry_budget, parse_worker_count, Engine,
+    EngineOptions,
+};
 use dualbank::{backend, workloads, SimOptions, Simulator, Strategy};
 
 fn usage() -> &'static str {
@@ -24,13 +27,14 @@ fn usage() -> &'static str {
      \x20     compile and simulate; print cycles and memory cost\n\
      \x20 dualbank compile <file.c> [--strategy S] [--emit asm|ir|bin]\n\
      \x20     print the compiled program (default: asm disassembly)\n\
-     \x20 dualbank sweep <file.c> [--jobs N] [--json <path>]\n\
+     \x20 dualbank sweep <file.c> [--jobs N] [--json <path>] [--cache-dir D]\n\
      \x20     compare all compilation strategies\n\
-     \x20 dualbank bench <name|all> [--jobs N] [--json <path>] [--stages]\n\
+     \x20 dualbank bench <name|all> [--jobs N] [--json <path>] [--stages] [--cache-dir D]\n\
      \x20     run paper benchmark(s) across all strategies\n\
      \x20 dualbank serve [--addr A] [--workers N] [--jobs N] [--queue N]\n\
      \x20               [--deadline-ms N] [--max-body-kb N] [--cache-capacity N]\n\
-     \x20               [--cache-max-kb N] [--fuel N]\n\
+     \x20               [--cache-max-kb N] [--cache-dir D] [--cache-disk-max-kb N]\n\
+     \x20               [--fuel N]\n\
      \x20     serve compile/sweep over HTTP (see docs/serving.md);\n\
      \x20     --workers sizes the connection pool, --jobs the shared\n\
      \x20     compile/simulate executor (default: all cores)\n\
@@ -42,7 +46,16 @@ fn usage() -> &'static str {
      \x20             bit-identical for every N\n\
      \x20 --json P    also write the full run report (cycles, stage\n\
      \x20             times, cache stats) as JSON to P (`-` = stdout)\n\
+     \x20 --deterministic  with --json, emit only the reproducible core\n\
+     \x20             (no wall times or cache flags) — byte-identical\n\
+     \x20             across runs, worker counts, and cache states\n\
      \x20 --stages    print the per-stage time and cache summary\n\
+     \x20 --cache-dir D         persistent artifact store: warm-start\n\
+     \x20             compiles from D, publish fresh ones back (crash-\n\
+     \x20             safe; corrupt entries are quarantined, IO errors\n\
+     \x20             degrade to in-memory operation)\n\
+     \x20 --cache-disk-max-kb N bound the on-disk store (LRU by mtime;\n\
+     \x20             0 = unbounded, like --cache-max-kb)\n\
      \n\
      STRATEGIES: base cb pr dup seldup fulldup ideal (default: cb)"
 }
@@ -194,24 +207,58 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Build an engine from the shared `--jobs` flag.
+/// Build an engine from the shared `--jobs` / `--cache-dir` /
+/// `--cache-disk-max-kb` flags.
 fn engine_of(args: &[String]) -> Result<Engine, String> {
     let jobs = match flag_value(args, "--jobs") {
         Some(v) => parse_worker_count("--jobs", &v)?,
         None => 0,
     };
-    Ok(Engine::new(EngineOptions {
+    let cache_dir = match flag_value(args, "--cache-dir") {
+        Some(v) => Some(parse_cache_dir("--cache-dir", &v)?),
+        None => None,
+    };
+    let cache_disk_max_bytes = match flag_value(args, "--cache-disk-max-kb") {
+        Some(v) => parse_byte_budget("--cache-disk-max-kb", &v)?,
+        None => None,
+    };
+    let engine = Engine::new(EngineOptions {
         jobs,
+        cache_dir,
+        cache_disk_max_bytes,
         ..EngineOptions::default()
-    }))
+    });
+    if let Some(store) = engine.cache().store() {
+        let sweep = store.sweep();
+        if let Some(err) = &sweep.error {
+            eprintln!("warning: cache dir unusable, running in-memory only: {err}");
+        } else {
+            eprintln!(
+                "cache: {} — {} artifact(s) recovered ({} KiB), {} quarantined, {} tmp cleaned",
+                store.dir().display(),
+                sweep.recovered,
+                sweep.bytes / 1024,
+                sweep.quarantined,
+                sweep.tmp_cleaned,
+            );
+        }
+    }
+    Ok(engine)
 }
 
-/// Honor `--json <path>` (`-` writes to stdout).
+/// Honor `--json <path>` (`-` writes to stdout). With `--deterministic`
+/// the report is projected down to its machine-reproducible core —
+/// byte-identical across runs, worker counts, and cache temperature —
+/// so crash-recovery checks can compare documents with a plain `diff`.
 fn emit_json(args: &[String], report: &dualbank::driver::RunReport) -> Result<(), String> {
     let Some(path) = flag_value(args, "--json") else {
         return Ok(());
     };
-    let json = report.to_json();
+    let json = if args.iter().any(|a| a == "--deterministic") {
+        report.deterministic_json()
+    } else {
+        report.to_json()
+    };
     if path == "-" {
         print!("{json}");
         Ok(())
@@ -326,16 +373,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.max_body = kb * 1024;
     }
     if let Some(v) = flag_value(args, "--cache-capacity") {
-        let n: usize = v
-            .parse()
-            .map_err(|_| format!("--cache-capacity expects an entry count, got `{v}`"))?;
-        config.cache_capacity = std::num::NonZeroUsize::new(n); // 0 = unbounded
+        config.cache_capacity = parse_entry_budget("--cache-capacity", &v)?; // 0 = unbounded
     }
     if let Some(v) = flag_value(args, "--cache-max-kb") {
-        let kb: u64 = v
-            .parse()
-            .map_err(|_| format!("--cache-max-kb expects a size, got `{v}`"))?;
-        config.cache_max_bytes = (kb > 0).then_some(kb * 1024); // 0 = unbounded
+        config.cache_max_bytes = parse_byte_budget("--cache-max-kb", &v)?; // 0 = unbounded
+    }
+    if let Some(v) = flag_value(args, "--cache-dir") {
+        config.cache_dir = Some(parse_cache_dir("--cache-dir", &v)?);
+    }
+    if let Some(v) = flag_value(args, "--cache-disk-max-kb") {
+        config.cache_disk_max_bytes = parse_byte_budget("--cache-disk-max-kb", &v)?;
+        // 0 = unbounded
     }
     if let Some(v) = flag_value(args, "--fuel") {
         config.fuel = v
@@ -360,6 +408,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "  executor: {} job worker(s) shared by /compile (interactive) and /sweep (batch)",
         server.executor_workers()
     );
+    if let Some(sweep) = server.disk_sweep() {
+        match &sweep.error {
+            Some(err) => println!("  cache dir unusable, in-memory only: {err}"),
+            None => println!(
+                "  warm start: {} artifact(s) recovered ({} KiB), {} quarantined, {} tmp cleaned",
+                sweep.recovered,
+                sweep.bytes / 1024,
+                sweep.quarantined,
+                sweep.tmp_cleaned,
+            ),
+        }
+    }
     println!("  endpoints: POST /compile · POST /sweep · GET /healthz · GET /metrics");
     println!("  graceful shutdown: POST /admin/shutdown (drains in-flight requests)");
     server.run().map_err(|e| format!("server failed: {e}"))
