@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 use dsp_backend::{CompileConfig, Strategy};
 use dsp_exec::{CancelToken, Executor, JobHandle, Priority, WaitOutcome};
 use dsp_sim::{SimOptions, Simulator};
+use dsp_trace::{families, SpanCtx, Tracer};
 use dsp_workloads::runner::{self, RunError};
 use dsp_workloads::Benchmark;
 
@@ -140,6 +141,12 @@ pub struct EngineOptions {
     /// Byte budget of the on-disk store (LRU-by-mtime eviction);
     /// `None` = unbounded. Only meaningful with `cache_dir`.
     pub cache_disk_max_bytes: Option<u64>,
+    /// Span recorder shared with the executor and every job: each cell
+    /// records a `cell` span with per-stage children and cache
+    /// decisions, and feeds the stage-duration histograms. Defaults to
+    /// [`Tracer::disabled`], which makes all of it a no-op; trace IDs
+    /// and timestamps never reach deterministic report projections.
+    pub tracer: Arc<Tracer>,
 }
 
 impl Default for EngineOptions {
@@ -153,6 +160,7 @@ impl Default for EngineOptions {
             cache_max_bytes: None,
             cache_dir: None,
             cache_disk_max_bytes: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -199,7 +207,7 @@ impl Engine {
     /// and a private executor of [`EngineOptions::jobs`] workers.
     #[must_use]
     pub fn new(opts: EngineOptions) -> Engine {
-        let exec = Arc::new(Executor::new(opts.jobs));
+        let exec = Arc::new(Executor::with_tracer(opts.jobs, Arc::clone(&opts.tracer)));
         Engine::with_executor(opts, exec)
     }
 
@@ -262,6 +270,10 @@ impl Engine {
     /// `token`. The returned [`MatrixRun`] hands back per-job results
     /// in matrix order as they complete — the streaming building block
     /// for `dsp-serve`'s chunked `/sweep` responses.
+    ///
+    /// Every cell's spans (queue wait, run, per-stage children) are
+    /// parented under `ctx` — the request's trace for a served matrix,
+    /// or [`SpanCtx::NONE`] / [`Tracer::new_trace`] for batch runs.
     #[must_use]
     pub fn submit_matrix(
         &self,
@@ -269,6 +281,7 @@ impl Engine {
         strategies: &[Strategy],
         priority: Priority,
         token: CancelToken,
+        ctx: SpanCtx,
     ) -> MatrixRun {
         let pairs: Vec<(String, Strategy)> = benches
             .iter()
@@ -283,8 +296,8 @@ impl Engine {
                 let cache = Arc::clone(&self.cache);
                 let opts = self.opts.clone();
                 let bench = bench.clone();
-                self.exec.submit(priority, Some(&token), move || {
-                    run_job(&cache, &opts, &bench, strategy)
+                self.exec.submit_ctx(priority, Some(&token), ctx, move || {
+                    run_job(&cache, &opts, &bench, strategy, ctx)
                 })
             })
             .collect();
@@ -313,8 +326,15 @@ impl Engine {
         benches: &[Benchmark],
         strategies: &[Strategy],
     ) -> Result<RunReport, EngineError> {
-        self.submit_matrix(benches, strategies, Priority::Batch, CancelToken::new())
-            .into_report()
+        let ctx = self.opts.tracer.new_trace();
+        self.submit_matrix(
+            benches,
+            strategies,
+            Priority::Batch,
+            CancelToken::new(),
+            ctx,
+        )
+        .into_report()
     }
 
     /// Run the whole 23-benchmark suite under `strategies`.
@@ -466,7 +486,18 @@ impl MatrixRun {
 
 /// Compile, simulate, and verify one (benchmark, strategy) pair, going
 /// through `cache` for every strategy-independent stage. This is the
-/// executor task body: a pure function of its arguments.
+/// executor task body: a pure function of its arguments (the tracer in
+/// `opts` records timing as a side channel but never feeds back into
+/// results).
+///
+/// With an enabled tracer the job records one `cell` span under
+/// `parent` with per-stage children: live `prepared` / `profile` /
+/// `artifact` / `verify` spans carrying their cache decision as an
+/// attribute, and stages whose wall times the pipeline already
+/// measures (`parse`, `opt`, compile sub-stages, `reference`,
+/// `simulate`) backfilled from those durations. Stage times feed the
+/// [`families::STAGE`] histogram only when this job actually computed
+/// the stage — cache hits would double-count the original compute.
 ///
 /// # Errors
 ///
@@ -476,19 +507,88 @@ pub fn run_job(
     opts: &EngineOptions,
     bench: &Benchmark,
     strategy: Strategy,
+    parent: SpanCtx,
 ) -> Result<JobReport, RunError> {
-    let (prep, prepared_cached) = cache.prepared(&bench.source)?;
+    let tracer = &opts.tracer;
+    let mut cell = tracer.span("cell", "engine", parent);
+    cell.attr("bench", &bench.name);
+    if tracer.is_enabled() {
+        cell.attr("strategy", &strategy.to_string());
+    }
+    let cell_ctx = cell.ctx();
+
+    let (prep, prepared_cached) = {
+        let mut span = tracer.span("prepared", "stage", cell_ctx);
+        let (prep, cached) = cache.prepared(&bench.source)?;
+        span.attr("cache", if cached { "hit" } else { "miss" });
+        if !cached {
+            if let Some(anchor) = span.start_instant() {
+                let ctx = span.ctx();
+                tracer.record_span("parse", "stage", ctx, anchor, prep.parse_time, Vec::new());
+                tracer.record_span(
+                    "opt",
+                    "stage",
+                    ctx,
+                    anchor + prep.parse_time,
+                    prep.opt_time,
+                    Vec::new(),
+                );
+            }
+            tracer.observe(families::STAGE, "parse", prep.parse_time);
+            tracer.observe(families::STAGE, "opt", prep.opt_time);
+        }
+        (prep, cached)
+    };
 
     let needs_profile = matches!(strategy, Strategy::ProfileWeighted | Strategy::SelectiveDup);
     let (profile, profile_time, profile_cached) = if needs_profile {
+        let mut span = tracer.span("profile", "stage", cell_ctx);
         let (stats, time, cached) = cache.profile(&prep)?;
+        span.attr("cache", if cached { "hit" } else { "miss" });
+        if !cached {
+            tracer.observe(families::STAGE, "profile", time);
+        }
         (Some(stats), time, cached)
     } else {
         (None, Duration::ZERO, false)
     };
 
-    let (artifact, artifact_cached, artifact_disk) =
-        cache.artifact(&prep, strategy, opts.config, profile)?;
+    let (artifact, artifact_cached, artifact_disk) = {
+        let mut span = tracer.span("artifact", "stage", cell_ctx);
+        let (artifact, cached, disk) = cache.artifact(&prep, strategy, opts.config, profile)?;
+        span.attr(
+            "cache",
+            if cached {
+                "memory-hit"
+            } else if disk == Some(true) {
+                "disk-hit"
+            } else {
+                "compiled"
+            },
+        );
+        if !cached && disk != Some(true) {
+            // A fresh compile: backfill its sub-stages end to end in
+            // pipeline order, anchored at this span's start.
+            if let Some(anchor) = span.start_instant() {
+                let t = &artifact.timings;
+                let ctx = span.ctx();
+                let mut at = anchor;
+                for (name, dur) in [
+                    ("trial_compaction", t.trial_compaction),
+                    ("partition", t.partition),
+                    ("regalloc", t.regalloc),
+                    ("lower", t.lower),
+                    ("final_pack", t.final_pack),
+                    ("link", t.link),
+                ] {
+                    tracer.record_span(name, "stage", ctx, at, dur, Vec::new());
+                    tracer.observe(families::STAGE, name, dur);
+                    at += dur;
+                }
+            }
+        }
+        (artifact, cached, disk)
+    };
 
     let sim_start = Instant::now();
     let mut sim = Simulator::new(
@@ -500,6 +600,15 @@ pub fn run_job(
     );
     let stats = sim.run()?;
     let simulate = sim_start.elapsed();
+    tracer.record_span(
+        "simulate",
+        "stage",
+        cell_ctx,
+        sim_start,
+        simulate,
+        Vec::new(),
+    );
+    tracer.observe(families::STAGE, "simulate", simulate);
 
     let mut verify = Duration::ZERO;
     let mut reference_time = Duration::ZERO;
@@ -518,6 +627,31 @@ pub fn run_job(
         };
         reference_time = ref_time;
         reference_cached = Some(ref_cached);
+        if tracer.is_enabled() {
+            let vctx = tracer.record_span(
+                "verify",
+                "stage",
+                cell_ctx,
+                verify_start,
+                total,
+                vec![(
+                    "reference_cache",
+                    if ref_cached { "hit" } else { "miss" }.to_string(),
+                )],
+            );
+            if !ref_cached {
+                tracer.record_span(
+                    "reference",
+                    "stage",
+                    vctx,
+                    verify_start,
+                    ref_time,
+                    Vec::new(),
+                );
+                tracer.observe(families::STAGE, "reference", ref_time);
+            }
+            tracer.observe(families::STAGE, "verify", verify);
+        }
     }
 
     let measurement = runner::measure_program(
@@ -675,6 +809,7 @@ mod tests {
             &Strategy::ALL,
             Priority::Batch,
             CancelToken::new(),
+            SpanCtx::NONE,
         );
         run.cancel();
         tx.send(()).unwrap();
@@ -683,5 +818,114 @@ mod tests {
             assert!(run.wait_job(i).is_none(), "job {i} must be cancelled");
         }
         assert_eq!(engine.cache().stats().misses(), 0, "no work may have run");
+    }
+
+    #[test]
+    fn traced_matrix_records_stage_spans_and_histograms() {
+        let tracer = Tracer::new(4096);
+        let engine = Engine::new(EngineOptions {
+            jobs: 1,
+            tracer: Arc::clone(&tracer),
+            ..EngineOptions::default()
+        });
+        let bench = dsp_workloads::kernels::fir(8, 4);
+        let report = engine
+            .run_matrix(std::slice::from_ref(&bench), &[Strategy::CbPartition])
+            .unwrap();
+        assert_eq!(report.jobs.len(), 1);
+
+        // The worker's `exec.run` guard drops just *after* the job
+        // handle resolves, so give it a moment to land in the ring.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let spans = loop {
+            let spans = tracer.snapshot(usize::MAX);
+            if spans.iter().any(|s| s.name == "exec.run") {
+                break spans;
+            }
+            assert!(Instant::now() < deadline, "exec.run span never appeared");
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        let find = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing span `{name}`"))
+        };
+        let cell = find("cell");
+        assert!(cell
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "bench" && v == &bench.name));
+        assert_ne!(cell.trace, 0, "run_matrix mints a trace id");
+        // Live stage spans hang off the cell; the executor's wait/run
+        // spans join the same trace.
+        for name in ["prepared", "artifact", "simulate", "exec.wait", "exec.run"] {
+            assert_eq!(
+                find(name).trace,
+                cell.trace,
+                "span `{name}` joins the trace"
+            );
+        }
+        for name in ["prepared", "artifact", "simulate"] {
+            assert_eq!(find(name).parent, cell.span, "span `{name}` nests in cell");
+        }
+        // A cold cache means fresh computes: compile sub-stages are
+        // backfilled under the artifact span…
+        let artifact = find("artifact");
+        assert!(artifact
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "cache" && v == "compiled"));
+        for name in ["trial_compaction", "partition", "regalloc", "lower"] {
+            assert_eq!(find(name).parent, artifact.span);
+        }
+        // …and the stage histogram family saw them.
+        let fam = tracer.family_snapshot(families::STAGE);
+        let labels: Vec<&str> = fam.iter().map(|(l, _)| l.as_str()).collect();
+        for stage in ["parse", "opt", "partition", "regalloc", "simulate"] {
+            assert!(
+                labels.contains(&stage),
+                "stage histogram for `{stage}`: {labels:?}"
+            );
+        }
+
+        // A second identical run hits the cache: the artifact span now
+        // says so, and stage histograms gain no compile observations.
+        let partition_count = fam
+            .iter()
+            .find(|(l, _)| l == "partition")
+            .map(|(_, s)| s.count)
+            .unwrap();
+        let _ = engine
+            .run_matrix(std::slice::from_ref(&bench), &[Strategy::CbPartition])
+            .unwrap();
+        let spans = tracer.snapshot(usize::MAX);
+        assert!(
+            spans.iter().filter(|s| s.name == "artifact").any(|s| s
+                .attrs
+                .iter()
+                .any(|(k, v)| *k == "cache" && v == "memory-hit")),
+            "second run must record a memory-hit artifact span"
+        );
+        let fam = tracer.family_snapshot(families::STAGE);
+        assert_eq!(
+            fam.iter()
+                .find(|(l, _)| l == "partition")
+                .map(|(_, s)| s.count)
+                .unwrap(),
+            partition_count,
+            "cache hits must not double-count stage durations"
+        );
+    }
+
+    #[test]
+    fn untraced_engine_is_the_default_and_records_nothing() {
+        let engine = Engine::default();
+        assert!(!engine.options().tracer.is_enabled());
+        let bench = dsp_workloads::kernels::fir(8, 4);
+        engine
+            .run_matrix(std::slice::from_ref(&bench), &[Strategy::Baseline])
+            .unwrap();
+        assert!(engine.options().tracer.snapshot(8).is_empty());
     }
 }

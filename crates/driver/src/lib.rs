@@ -71,3 +71,6 @@ pub use store::{
 // The shared scheduler's vocabulary, re-exported so engine callers
 // need not depend on `dsp-exec` directly.
 pub use dsp_exec::{CancelToken, Executor, ExecutorStats, JobHandle, Priority, WaitOutcome};
+// Likewise the tracing vocabulary: engine callers parent their spans
+// and read back histograms through these.
+pub use dsp_trace::{SpanCtx, Tracer};

@@ -377,6 +377,24 @@ impl JobReport {
     pub fn to_json(&self) -> String {
         job_json(self)
     }
+
+    /// [`JobReport::to_json`] with a serving-layer `"request_id"`
+    /// field appended (after the schedule-dependent `cached` block, so
+    /// deterministic-projection consumers that cut the line at
+    /// `"cached"` are unaffected). `None` renders identically to
+    /// [`JobReport::to_json`].
+    #[must_use]
+    pub fn to_json_tagged(&self, request_id: Option<&str>) -> String {
+        let json = self.to_json();
+        match request_id {
+            None => json,
+            Some(id) => format!(
+                "{}, \"request_id\": {}}}",
+                json.strip_suffix('}').expect("job json is an object"),
+                json_string(id)
+            ),
+        }
+    }
 }
 
 fn job_json(j: &JobReport) -> String {
@@ -469,6 +487,30 @@ mod tests {
         engine
             .run_matrix(&[bench], &[Strategy::Baseline, Strategy::CbPartition])
             .expect("fir sweep")
+    }
+
+    #[test]
+    fn tagged_job_json_appends_request_id_after_cached() {
+        let report = sample_report();
+        let job = &report.jobs[0];
+        assert_eq!(job.to_json_tagged(None), job.to_json());
+        let tagged = job.to_json_tagged(Some("req-42"));
+        let doc = json::parse(&tagged).expect("tagged job JSON parses");
+        assert_eq!(
+            doc.get("request_id").and_then(|v| v.as_str()),
+            Some("req-42")
+        );
+        // The tag lands after the schedule-dependent block: consumers
+        // that cut the line at `"cached"` (the deterministic identity
+        // check in dsp-serve-load) see an unchanged prefix.
+        assert_eq!(
+            tagged.split(", \"cached\": ").next(),
+            job.to_json().split(", \"cached\": ").next(),
+        );
+        // Quotes in a hostile client-supplied ID stay escaped.
+        assert!(job
+            .to_json_tagged(Some("a\"b"))
+            .contains("\"request_id\": \"a\\\"b\""));
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //! * **Telemetry.** [`Executor::stats`] snapshots queue depths, busy
 //!   workers, per-priority execution counts, and a per-worker executed
 //!   count, so "did this sweep use the whole machine" is observable.
+//! * **Tracing.** A pool built with [`Executor::with_tracer`] records
+//!   one `exec.wait` span (time from submit to dequeue) and one
+//!   `exec.run` span per executed task, parented under the submitter's
+//!   [`SpanCtx`] via [`Executor::submit_ctx`], and feeds the
+//!   queue-wait latency histogram per priority class. With the default
+//!   disabled tracer all of this is a no-op.
 //!
 //! Tasks must never block on other tasks' handles (submit-and-wait is
 //! for *callers* of the pool, not for tasks inside it); every user in
@@ -46,6 +52,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+pub use dsp_trace::{SpanCtx, Tracer};
 
 /// Scheduling class of a submitted task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,6 +206,12 @@ enum TaskMode {
 struct Task {
     token: Option<CancelToken>,
     priority: Priority,
+    /// Trace context of the submitter; queue-wait and run spans are
+    /// parented under it.
+    ctx: SpanCtx,
+    /// When the task was enqueued — only sampled when the pool's
+    /// tracer is enabled, so the disabled path takes no clock reads.
+    submitted: Option<Instant>,
     run: Box<dyn FnOnce(TaskMode) + Send>,
 }
 
@@ -216,6 +230,14 @@ struct Inner {
     executed_batch: AtomicU64,
     cancelled: AtomicU64,
     per_worker_executed: Vec<AtomicU64>,
+    tracer: Arc<Tracer>,
+}
+
+fn class_label(priority: Priority) -> &'static str {
+    match priority {
+        Priority::Interactive => "interactive",
+        Priority::Batch => "batch",
+    }
 }
 
 /// Telemetry snapshot of an [`Executor`].
@@ -256,9 +278,18 @@ pub struct Executor {
 
 impl Executor {
     /// A pool of `threads` workers; `0` means
-    /// [`std::thread::available_parallelism`].
+    /// [`std::thread::available_parallelism`]. Tracing is disabled;
+    /// use [`Executor::with_tracer`] to record spans.
     #[must_use]
     pub fn new(threads: usize) -> Executor {
+        Executor::with_tracer(threads, Tracer::disabled())
+    }
+
+    /// A pool whose workers record `exec.wait` / `exec.run` spans and
+    /// queue-wait histograms on `tracer` (a no-op when the tracer is
+    /// disabled).
+    #[must_use]
+    pub fn with_tracer(threads: usize, tracer: Arc<Tracer>) -> Executor {
         let workers = if threads == 0 {
             std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
         } else {
@@ -277,6 +308,7 @@ impl Executor {
             executed_batch: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             per_worker_executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            tracer,
         });
         for i in 0..workers {
             let inner = Arc::clone(&inner);
@@ -311,6 +343,27 @@ impl Executor {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.submit_ctx(priority, token, SpanCtx::NONE, f)
+    }
+
+    /// [`Executor::submit`] with a trace context: the task's
+    /// `exec.wait` and `exec.run` spans are parented under `ctx`, so a
+    /// request's trace shows where its cells waited and ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex is poisoned.
+    pub fn submit_ctx<T, F>(
+        &self,
+        priority: Priority,
+        token: Option<&CancelToken>,
+        ctx: SpanCtx,
+        f: F,
+    ) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
         let shared = Arc::new(HandleShared {
             state: Mutex::new(JobState::Pending),
             done: Condvar::new(),
@@ -327,6 +380,8 @@ impl Executor {
         let task = Task {
             token: token.cloned(),
             priority,
+            ctx,
+            submitted: self.inner.tracer.is_enabled().then(Instant::now),
             run,
         };
         {
@@ -422,7 +477,28 @@ fn worker_loop(inner: &Inner, index: usize) {
             Priority::Interactive => inner.executed_interactive.fetch_add(1, Ordering::Relaxed),
             Priority::Batch => inner.executed_batch.fetch_add(1, Ordering::Relaxed),
         };
-        (task.run)(TaskMode::Run);
+        let class = class_label(task.priority);
+        if let Some(submitted) = task.submitted {
+            // Backfill the time this task spent queued, anchored at
+            // its submit instant so the trace nests correctly.
+            let wait = submitted.elapsed();
+            inner.tracer.record_span(
+                "exec.wait",
+                "exec",
+                task.ctx,
+                submitted,
+                wait,
+                vec![("class", class.to_string())],
+            );
+            inner
+                .tracer
+                .observe(dsp_trace::families::QUEUE_WAIT, class, wait);
+        }
+        {
+            let mut span = inner.tracer.span("exec.run", "exec", task.ctx);
+            span.attr("class", class);
+            (task.run)(TaskMode::Run);
+        }
         inner.busy.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -577,5 +653,56 @@ mod tests {
     fn zero_means_available_parallelism() {
         let exec = Executor::new(0);
         assert!(exec.workers() >= 1);
+    }
+
+    #[test]
+    fn traced_pool_records_wait_and_run_spans() {
+        let tracer = Tracer::new(64);
+        let exec = Executor::with_tracer(1, Arc::clone(&tracer));
+        let root = tracer.new_trace();
+        let h = exec.submit_ctx(Priority::Interactive, None, root, || 5);
+        assert_eq!(h.wait(), Some(5));
+        // The run span records just *after* the handle resolves (the
+        // guard drops once the task body returns), so poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let spans = loop {
+            let spans = tracer.snapshot(16);
+            if spans.iter().any(|s| s.name == "exec.run") {
+                break spans;
+            }
+            assert!(Instant::now() < deadline, "run span never appeared");
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        let wait = spans
+            .iter()
+            .find(|s| s.name == "exec.wait")
+            .expect("wait span");
+        let run = spans
+            .iter()
+            .find(|s| s.name == "exec.run")
+            .expect("run span");
+        for s in [wait, run] {
+            assert_eq!(s.trace, root.trace, "spans join the submitter's trace");
+            assert_eq!(s.parent, root.span);
+            assert!(s
+                .attrs
+                .iter()
+                .any(|(k, v)| *k == "class" && v == "interactive"));
+        }
+        let fam = tracer.family_snapshot(dsp_trace::families::QUEUE_WAIT);
+        assert_eq!(fam.len(), 1);
+        assert_eq!(fam[0].0, "interactive");
+        assert_eq!(fam[0].1.count, 1);
+    }
+
+    #[test]
+    fn untraced_submit_samples_no_clock() {
+        // Executor::new uses a disabled tracer: tasks must carry no
+        // submit timestamp and record nothing.
+        let tracer = Tracer::disabled();
+        let exec = Executor::with_tracer(1, Arc::clone(&tracer));
+        assert_eq!(exec.submit(Priority::Batch, None, || 1).wait(), Some(1));
+        assert!(tracer.snapshot(4).is_empty());
+        assert!(tracer.family_names().is_empty());
     }
 }

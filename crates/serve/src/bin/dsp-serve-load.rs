@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use dsp_serve::client::ClientConn;
 use dsp_serve::{Server, ServerConfig};
+use dsp_trace::Histogram;
 
 const USAGE: &str = "dsp-serve-load — load generator for dsp-serve
 
@@ -238,10 +239,15 @@ fn run(argv: &[String]) -> Result<(), String> {
         })
     });
 
+    // One shared log-bucketed histogram for every connection: the same
+    // buckets the server's `/metrics` families use, so the percentiles
+    // printed here and scraped there are directly comparable.
+    let hist = Arc::new(Histogram::new());
     let mut threads = Vec::new();
     for _ in 0..args.connections {
         let addr = addr.clone();
         let body = Arc::clone(&body);
+        let hist = Arc::clone(&hist);
         let requests = args.requests;
         threads.push(std::thread::spawn(move || -> ConnStats {
             let mut stats = ConnStats::default();
@@ -256,7 +262,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 let t0 = Instant::now();
                 match conn.request(method, path, body.as_deref()) {
                     Ok(resp) => {
-                        stats.latencies_micros.push(elapsed_micros(t0));
+                        hist.observe(t0.elapsed());
                         *stats.statuses.entry(resp.status).or_insert(0) += 1;
                     }
                     Err(_) => {
@@ -317,21 +323,34 @@ fn run(argv: &[String]) -> Result<(), String> {
         all.dropped, all.connect_failures
     );
 
-    let mut lat = all.latencies_micros;
-    lat.sort_unstable();
-    if !lat.is_empty() {
-        let pct = |p: f64| {
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            let idx = ((lat.len() as f64 * p).ceil() as usize).clamp(1, lat.len()) - 1;
-            lat[idx] as f64 / 1e3
-        };
+    // Percentiles come from the histogram buckets (each is the upper
+    // bound of the bucket holding that rank), exactly as a Prometheus
+    // query over the server-side families would compute them.
+    let snap = hist.snapshot();
+    if snap.count > 0 {
         println!(
             "latency ms: p50 {:.2} · p90 {:.2} · p99 {:.2} · max {:.2}",
-            pct(0.50),
-            pct(0.90),
-            pct(0.99),
-            *lat.last().expect("non-empty") as f64 / 1e3
+            snap.quantile(0.50) * 1e3,
+            snap.quantile(0.90) * 1e3,
+            snap.quantile(0.99) * 1e3,
+            snap.max_seconds() * 1e3
         );
+        println!("latency histogram ({} samples):", snap.count);
+        for (i, n) in snap.buckets.iter().enumerate() {
+            if *n > 0 {
+                println!(
+                    "  ≤ {:>9.3} ms  {n}",
+                    dsp_trace::bucket_bound_seconds(i) * 1e3
+                );
+            }
+        }
+        if snap.overflow > 0 {
+            println!(
+                "  > {:>9.3} ms  {}",
+                dsp_trace::bucket_bound_seconds(dsp_trace::FINITE_BUCKETS - 1) * 1e3,
+                snap.overflow
+            );
+        }
     }
 
     if let Some(s) = &sweep_stats {
@@ -396,14 +415,8 @@ fn jobs_section(body: &str) -> Result<String, String> {
         .join("\n"))
 }
 
-#[allow(clippy::cast_possible_truncation)]
-fn elapsed_micros(t0: Instant) -> u64 {
-    t0.elapsed().as_micros() as u64
-}
-
 #[derive(Default)]
 struct ConnStats {
-    latencies_micros: Vec<u64>,
     statuses: std::collections::BTreeMap<u16, u64>,
     dropped: u64,
     connect_failures: u64,
@@ -429,7 +442,6 @@ impl Default for SweepStats {
 
 impl ConnStats {
     fn merge(&mut self, other: ConnStats) {
-        self.latencies_micros.extend(other.latencies_micros);
         for (status, n) in other.statuses {
             *self.statuses.entry(status).or_insert(0) += n;
         }

@@ -21,6 +21,9 @@ pub struct Request {
     pub method: String,
     /// Request target, query string stripped.
     pub path: String,
+    /// The raw query string (after `?`, without it); empty when the
+    /// target has none.
+    pub query: String,
     /// Headers with lowercased names, in arrival order.
     pub headers: Vec<(String, String)>,
     /// True for an `HTTP/1.0` request — no chunked transfer encoding,
@@ -135,9 +138,14 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
     let request = Request {
         method: method.to_string(),
-        path: target.split('?').next().unwrap_or(target).to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
         headers,
         http1_0: version == "HTTP/1.0",
         body: Vec::new(),
@@ -282,14 +290,22 @@ impl<'a> ChunkedWriter<'a> {
         status: u16,
         content_type: &str,
         keep_alive: bool,
+        extra_headers: &[(&str, String)],
     ) -> io::Result<ChunkedWriter<'a>> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n",
             status,
             reason(status),
             content_type,
             if keep_alive { "keep-alive" } else { "close" },
         );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         Ok(ChunkedWriter { stream })
     }
@@ -349,6 +365,7 @@ mod tests {
         let r = Request {
             method: "GET".into(),
             path: "/".into(),
+            query: String::new(),
             headers: vec![("content-length".into(), "3".into())],
             http1_0: false,
             body: Vec::new(),
@@ -363,6 +380,7 @@ mod tests {
         let r = Request {
             method: "GET".into(),
             path: "/".into(),
+            query: String::new(),
             headers: vec![("connection".into(), "Close".into())],
             http1_0: false,
             body: Vec::new(),
@@ -375,6 +393,7 @@ mod tests {
         let old = Request {
             method: "GET".into(),
             path: "/".into(),
+            query: String::new(),
             headers: Vec::new(),
             http1_0: true,
             body: Vec::new(),

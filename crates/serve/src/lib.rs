@@ -27,7 +27,22 @@
 //! | `POST /sweep` | strategy × workload matrix → `dualbank-run-report/v1` JSON |
 //! | `GET /healthz` | liveness |
 //! | `GET /metrics` | Prometheus text: requests, latency histograms, queue, 503s, cache |
+//! | `GET /debug/trace?n=K` | most recent `K` finished spans (request → queue wait → stages) |
 //! | `POST /admin/shutdown` | graceful drain |
+//!
+//! # Observability
+//!
+//! Every request gets a root span and a correlation ID: a sane
+//! client-supplied `X-Request-Id` is reused, otherwise one is minted
+//! from the trace ID. The ID is echoed in the `X-Request-Id` response
+//! header, appears as `"request_id"` in `/compile` responses and on
+//! each streamed `/sweep` job object, and links the request to its
+//! spans in `GET /debug/trace`. Latency distributions (request by
+//! endpoint/status, executor queue wait by class, pipeline stage
+//! duration) render as `dsp_serve_*_seconds` histogram families in
+//! `/metrics`. Set [`ServerConfig::trace`] to `false` for the no-op
+//! recorder: no spans, no IDs, no histogram families, zero overhead.
+//! See `docs/observability.md`.
 //!
 //! # Robustness
 //!

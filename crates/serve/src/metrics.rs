@@ -5,15 +5,22 @@
 //! request map, which sits behind a short-lived mutex — `/metrics`
 //! scrapes are rare next to request traffic. Cache counters are not
 //! mirrored here: the scrape snapshots [`CacheStats`] straight from
-//! the engine, so the two views can never drift.
+//! the engine, so the two views can never drift. Likewise the
+//! `dsp_serve_*_seconds` histogram families (request latency by
+//! endpoint and status, executor queue wait by class, pipeline stage
+//! duration by stage) render straight from the shared tracer's
+//! log-bucketed histograms, and are absent entirely when tracing is
+//! disabled — mirroring how the disk-cache families are absent
+//! without a store.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use dsp_driver::{CacheStats, ExecutorStats};
+use dsp_driver::{CacheStats, ExecutorStats, Tracer};
+use dsp_trace::{families, HistogramSnapshot};
 
 /// Histogram bucket upper bounds, in seconds.
 const BUCKETS: [f64; 9] = [0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1.0, 5.0];
@@ -85,12 +92,17 @@ pub struct Metrics {
     pub truncations_total: AtomicU64,
     /// Workers currently handling a connection.
     pub workers_busy: AtomicUsize,
+    /// The server's shared tracer — source of the latency histogram
+    /// families (request, queue wait, stage).
+    tracer: Arc<Tracer>,
 }
 
 impl Metrics {
-    /// Fresh, zeroed counters.
+    /// Fresh, zeroed counters. `tracer` is the server's shared span
+    /// recorder; its histogram families render into `/metrics` (pass
+    /// [`Tracer::disabled`] to omit them).
     #[must_use]
-    pub fn new() -> Metrics {
+    pub fn new(tracer: Arc<Tracer>) -> Metrics {
         Metrics {
             started: Instant::now(),
             requests: Mutex::new(BTreeMap::new()),
@@ -101,6 +113,7 @@ impl Metrics {
             timeouts_total: AtomicU64::new(0),
             truncations_total: AtomicU64::new(0),
             workers_busy: AtomicUsize::new(0),
+            tracer,
         }
     }
 
@@ -113,6 +126,7 @@ impl Metrics {
             "/sweep" => "sweep",
             "/healthz" => "healthz",
             "/metrics" => "metrics",
+            "/debug/trace" => "trace",
             "/admin/shutdown" => "shutdown",
             _ => "other",
         }
@@ -135,6 +149,13 @@ impl Metrics {
             "compile" => self.compile_latency.observe(latency),
             "sweep" => self.sweep_latency.observe(latency),
             _ => {}
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.observe(
+                families::HTTP_REQUEST,
+                &format!("{endpoint}|{status}"),
+                latency,
+            );
         }
     }
 
@@ -445,13 +466,82 @@ impl Metrics {
             "Jobs discarded from the executor queue by cancellation.",
         );
         let _ = writeln!(out, "dsp_serve_exec_cancelled_total {}", exec.cancelled);
+        self.render_trace_histograms(&mut out);
         out
     }
+
+    /// Render the tracer-fed histogram families. Nothing renders when
+    /// tracing is disabled (and a family with no observations yet is
+    /// omitted, like an endpoint that has seen no requests).
+    fn render_trace_histograms(&self, out: &mut String) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let http = self.tracer.family_snapshot(families::HTTP_REQUEST);
+        if !http.is_empty() {
+            let name = "dsp_serve_http_request_seconds";
+            let _ = writeln!(
+                out,
+                "# HELP {name} End-to-end HTTP request latency by endpoint and status."
+            );
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (label, snap) in &http {
+                // The tracer stores one flat label; split it back into
+                // the two Prometheus labels it was composed from.
+                let (endpoint, status) = label.split_once('|').unwrap_or((label.as_str(), ""));
+                let labels = format!("endpoint=\"{endpoint}\",status=\"{status}\"");
+                render_log_histogram(out, name, &labels, snap);
+            }
+        }
+        for (family, name, key, help) in [
+            (
+                families::QUEUE_WAIT,
+                "dsp_serve_exec_queue_wait_seconds",
+                "class",
+                "Executor queue wait (submit to dequeue) by priority class.",
+            ),
+            (
+                families::STAGE,
+                "dsp_serve_stage_seconds",
+                "stage",
+                "Compile/simulate pipeline stage duration (fresh computes only).",
+            ),
+        ] {
+            let fam = self.tracer.family_snapshot(family);
+            if fam.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (label, snap) in &fam {
+                let labels = format!("{key}=\"{label}\"");
+                render_log_histogram(out, name, &labels, snap);
+            }
+        }
+    }
+}
+
+/// One log-bucketed tracer histogram in Prometheus exposition form:
+/// cumulative `_bucket` lines per finite bound, `+Inf`, `_sum` in
+/// seconds, `_count`.
+fn render_log_histogram(out: &mut String, name: &str, labels: &str, snap: &HistogramSnapshot) {
+    let mut cum = 0u64;
+    for (i, n) in snap.buckets.iter().enumerate() {
+        cum += n;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels},le=\"{}\"}} {cum}",
+            dsp_trace::bucket_bound_seconds(i)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels},le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(out, "{name}_sum{{{labels}}} {:.6}", snap.sum_seconds());
+    let _ = writeln!(out, "{name}_count{{{labels}}} {}", snap.count);
 }
 
 impl Default for Metrics {
     fn default() -> Metrics {
-        Metrics::new()
+        Metrics::new(Tracer::disabled())
     }
 }
 
@@ -474,7 +564,7 @@ mod tests {
 
     #[test]
     fn render_contains_all_families() {
-        let m = Metrics::new();
+        let m = Metrics::new(Tracer::disabled());
         m.record_request("compile", 200, Duration::from_millis(3));
         m.record_request("healthz", 200, Duration::from_micros(10));
         m.rejected_total.fetch_add(2, Ordering::Relaxed);
@@ -525,7 +615,7 @@ mod tests {
     fn disk_families_absent_without_a_store() {
         // "No disk tier configured" must be distinguishable from
         // "disk tier idle": the families only render with a store.
-        let m = Metrics::new();
+        let m = Metrics::new(Tracer::disabled());
         let text = m.render(
             0,
             64,
@@ -542,5 +632,96 @@ mod tests {
         assert_eq!(Metrics::endpoint_label("/compile"), "compile");
         assert_eq!(Metrics::endpoint_label("/nope"), "other");
         assert_eq!(Metrics::endpoint_label("/compile/x"), "other");
+        assert_eq!(Metrics::endpoint_label("/debug/trace"), "trace");
+    }
+
+    fn render_default(m: &Metrics) -> String {
+        m.render(
+            0,
+            64,
+            1,
+            &CacheStats::default(),
+            (0, 0),
+            &ExecutorStats::default(),
+        )
+    }
+
+    #[test]
+    fn trace_families_render_with_an_enabled_tracer() {
+        let tracer = Tracer::new(64);
+        let m = Metrics::new(Arc::clone(&tracer));
+        m.record_request("sweep", 200, Duration::from_millis(3));
+        m.record_request("sweep", 429, Duration::from_micros(40));
+        tracer.observe(
+            dsp_trace::families::QUEUE_WAIT,
+            "interactive",
+            Duration::from_micros(90),
+        );
+        tracer.observe(
+            dsp_trace::families::STAGE,
+            "partition",
+            Duration::from_millis(7),
+        );
+        let text = render_default(&m);
+        for line in [
+            "# TYPE dsp_serve_http_request_seconds histogram",
+            "dsp_serve_http_request_seconds_count{endpoint=\"sweep\",status=\"200\"} 1",
+            "dsp_serve_http_request_seconds_count{endpoint=\"sweep\",status=\"429\"} 1",
+            "# TYPE dsp_serve_exec_queue_wait_seconds histogram",
+            "dsp_serve_exec_queue_wait_seconds_count{class=\"interactive\"} 1",
+            "# TYPE dsp_serve_stage_seconds histogram",
+            "dsp_serve_stage_seconds_count{stage=\"partition\"} 1",
+        ] {
+            assert!(text.contains(line), "missing `{line}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn trace_histogram_buckets_are_monotone_and_sum_matches() {
+        let tracer = Tracer::new(64);
+        let m = Metrics::new(Arc::clone(&tracer));
+        m.record_request("compile", 200, Duration::from_micros(300));
+        m.record_request("compile", 200, Duration::from_millis(12));
+        let text = render_default(&m);
+        let prefix = "dsp_serve_http_request_seconds_bucket{endpoint=\"compile\",status=\"200\"";
+        let mut last = 0u64;
+        let mut bucket_lines = 0usize;
+        let mut inf = None;
+        for line in text.lines().filter(|l| l.starts_with(prefix)) {
+            bucket_lines += 1;
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last, "non-monotone bucket line: {line}");
+            last = value;
+            if line.contains("le=\"+Inf\"") {
+                inf = Some(value);
+            }
+        }
+        assert_eq!(bucket_lines, dsp_trace::FINITE_BUCKETS + 1);
+        assert_eq!(inf, Some(2), "+Inf bucket must equal the count");
+        let count_line =
+            "dsp_serve_http_request_seconds_count{endpoint=\"compile\",status=\"200\"} 2";
+        assert!(text.contains(count_line), "{text}");
+        let sum: f64 = text
+            .lines()
+            .find(|l| l.starts_with("dsp_serve_http_request_seconds_sum"))
+            .and_then(|l| l.rsplit(' ').next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((sum - 0.0123).abs() < 1e-6, "sum {sum} != 0.0123");
+    }
+
+    #[test]
+    fn trace_families_absent_when_tracing_disabled() {
+        let m = Metrics::new(Tracer::disabled());
+        m.record_request("sweep", 200, Duration::from_millis(3));
+        let text = render_default(&m);
+        for family in [
+            "dsp_serve_http_request_seconds",
+            "dsp_serve_exec_queue_wait_seconds",
+            "dsp_serve_stage_seconds",
+        ] {
+            assert!(!text.contains(family), "unexpected `{family}` in:\n{text}");
+        }
     }
 }

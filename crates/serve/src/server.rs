@@ -50,7 +50,7 @@ use dsp_backend::Strategy;
 use dsp_driver::json::{self, ObjectWriter, Value};
 use dsp_driver::{
     sweep_json_prefix, sweep_json_tail, CancelToken, Engine, EngineOptions, Executor, JobReport,
-    MatrixRun, Priority, WaitOutcome,
+    MatrixRun, Priority, SpanCtx, Tracer, WaitOutcome,
 };
 use dsp_workloads::{Benchmark, Kind};
 
@@ -98,6 +98,10 @@ pub struct ServerConfig {
     /// Socket read timeout — also the idle keep-alive lifetime, so a
     /// silent client cannot pin a worker.
     pub read_timeout: Duration,
+    /// Whether to record spans and latency histograms (request IDs,
+    /// `/debug/trace`, the `dsp_serve_*_seconds` metric families).
+    /// Disabling reduces the server to the exact pre-tracing hot path.
+    pub trace: bool,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +119,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             cache_disk_max_bytes: None,
             read_timeout: Duration::from_secs(5),
+            trace: true,
         }
     }
 }
@@ -124,6 +129,7 @@ struct Shared {
     engine: Engine,
     queue: BoundedQueue<TcpStream>,
     metrics: Metrics,
+    tracer: Arc<Tracer>,
     shutdown: AtomicBool,
     workers: usize,
 }
@@ -176,9 +182,18 @@ impl Server {
         } else {
             config.workers
         };
+        // One tracer feeds every layer: request spans here, queue-wait
+        // spans in the executor, stage spans in the engine, histogram
+        // families in `/metrics`. Disabled = the no-op recorder.
+        let tracer = if config.trace {
+            Tracer::new(8192)
+        } else {
+            Tracer::disabled()
+        };
+        dsp_trace::log::route_events_to(&tracer);
         // One machine-sized executor for every compute job in the
         // process; connection workers only parse, submit, and stream.
-        let exec = Arc::new(Executor::new(config.jobs));
+        let exec = Arc::new(Executor::with_tracer(config.jobs, Arc::clone(&tracer)));
         let engine = Engine::with_executor(
             EngineOptions {
                 fuel: config.fuel,
@@ -186,6 +201,7 @@ impl Server {
                 cache_max_bytes: config.cache_max_bytes,
                 cache_dir: config.cache_dir.clone(),
                 cache_disk_max_bytes: config.cache_disk_max_bytes,
+                tracer: Arc::clone(&tracer),
                 ..EngineOptions::default()
             },
             exec,
@@ -198,7 +214,8 @@ impl Server {
                 config,
                 engine,
                 queue,
-                metrics: Metrics::new(),
+                metrics: Metrics::new(Arc::clone(&tracer)),
+                tracer,
                 shutdown: AtomicBool::new(false),
                 workers,
             }),
@@ -317,12 +334,34 @@ fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
 
         let started = Instant::now();
         let endpoint = Metrics::endpoint_label(&request.path);
+        // Root span of this request's trace; executor queue-wait and
+        // pipeline-stage spans parent onto it. A no-op when tracing is
+        // disabled (ctx stays `SpanCtx::NONE`, attrs are dropped).
+        let mut span = shared
+            .tracer
+            .span("http.request", "serve", shared.tracer.new_trace());
+        let root = span.ctx();
+        let req_id = request_id(&request, root);
+        span.attr("method", &request.method);
+        span.attr("path", &request.path);
+        if let Some(id) = &req_id {
+            span.attr("request_id", id);
+        }
 
         // `/sweep` writes its own response — chunked for HTTP/1.1
         // peers — so it bypasses the buffered route path.
         if request.method == "POST" && request.path == "/sweep" {
             let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
-            let outcome = handle_sweep(shared, &request, stream, keep_alive);
+            let outcome = handle_sweep(
+                shared,
+                &request,
+                stream,
+                keep_alive,
+                root,
+                req_id.as_deref(),
+            );
+            span.attr("status", &outcome.status.to_string());
+            drop(span);
             shared
                 .metrics
                 .record_request(endpoint, outcome.status, started.elapsed());
@@ -332,7 +371,13 @@ fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
             continue;
         }
 
-        let (response, trigger_shutdown) = route(shared, &request);
+        let (response, trigger_shutdown) = route(shared, &request, root, req_id.as_deref());
+        let response = match &req_id {
+            Some(id) => response.with_header("X-Request-Id", id.clone()),
+            None => response,
+        };
+        span.attr("status", &response.status.to_string());
+        drop(span);
         shared
             .metrics
             .record_request(endpoint, response.status, started.elapsed());
@@ -363,7 +408,12 @@ fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
 
 /// Dispatch one request. The bool asks the caller to begin shutdown
 /// after the response is written.
-fn route(shared: &Arc<Shared>, request: &Request) -> (Response, bool) {
+fn route(
+    shared: &Arc<Shared>,
+    request: &Request,
+    root: SpanCtx,
+    req_id: Option<&str>,
+) -> (Response, bool) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (
             Response::json(200, "{\"status\": \"ok\"}\n".to_string()),
@@ -380,17 +430,72 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (Response, bool) {
             );
             (Response::text(200, &text), false)
         }
-        ("POST", "/compile") => (handle_compile(shared, &request.body), false),
+        ("GET", "/debug/trace") => (handle_debug_trace(shared, &request.query), false),
+        ("POST", "/compile") => (handle_compile(shared, &request.body, root, req_id), false),
         ("POST", "/admin/shutdown") => (
             Response::json(200, "{\"status\": \"draining\"}\n".to_string()),
             true,
         ),
-        (_, "/healthz" | "/metrics" | "/compile" | "/sweep" | "/admin/shutdown") => (
+        (
+            _,
+            "/healthz" | "/metrics" | "/debug/trace" | "/compile" | "/sweep" | "/admin/shutdown",
+        ) => (
             Response::error(405, "method not allowed for this path"),
             false,
         ),
         _ => (Response::error(404, "no such endpoint"), false),
     }
+}
+
+/// The request's correlation ID: a client-supplied `X-Request-Id`
+/// (sanitized to `[A-Za-z0-9._:-]`, at most 64 chars) wins; otherwise
+/// the trace ID is minted into one; with tracing off and no client
+/// header there is none.
+fn request_id(request: &Request, root: SpanCtx) -> Option<String> {
+    let client: Option<String> = request.header("x-request-id").map(|v| {
+        v.chars()
+            .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+            .take(64)
+            .collect()
+    });
+    match client {
+        Some(id) if !id.is_empty() => Some(id),
+        _ if root.trace != 0 => Some(format!("{:016x}", root.trace)),
+        _ => None,
+    }
+}
+
+/// The value of `key` in a query string like `a=1&b=2` (no percent
+/// decoding — trace parameters are plain integers).
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+/// `GET /debug/trace?n=K`: the most recent `K` finished spans (default
+/// 256, clamped to 1..=4096) as a JSON document, oldest first. 404
+/// when tracing is disabled so probes can tell "off" from "empty".
+fn handle_debug_trace(shared: &Shared, query: &str) -> Response {
+    if !shared.tracer.is_enabled() {
+        return Response::error(404, "tracing is disabled on this server");
+    }
+    let n = query_param(query, "n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(256)
+        .clamp(1, 4096);
+    let spans = shared.tracer.snapshot(n);
+    let mut body = String::with_capacity(64 + spans.len() * 192);
+    body.push_str("{\"schema\": \"dualbank-trace/v1\", \"dropped\": ");
+    body.push_str(&shared.tracer.dropped().to_string());
+    body.push_str(", \"spans\": [");
+    for (i, s) in spans.iter().enumerate() {
+        body.push_str(if i == 0 { "\n" } else { ",\n" });
+        body.push_str(&dsp_trace::export::span_json(s));
+    }
+    body.push_str("]}\n");
+    Response::json(200, body)
 }
 
 /// Parse a request body as a JSON object.
@@ -448,7 +553,12 @@ fn deadline_response(shared: &Shared) -> Response {
 
 /// `POST /compile`: `{"source": "...", "strategy": "cb", "lir": true}`
 /// → one compiled-and-simulated job.
-fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
+fn handle_compile(
+    shared: &Arc<Shared>,
+    body: &[u8],
+    root: SpanCtx,
+    req_id: Option<&str>,
+) -> Response {
     let body = match parse_body(body) {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -487,6 +597,7 @@ fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
         &[strategy],
         Priority::Interactive,
         CancelToken::new(),
+        root,
     );
     let job = match run.wait_job_until(0, deadline) {
         WaitOutcome::TimedOut => {
@@ -511,6 +622,9 @@ fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
     };
     let mut o = ObjectWriter::new();
     o.str("schema", "dualbank-compile-response/v1");
+    if let Some(id) = req_id {
+        o.str("request_id", id);
+    }
     o.raw("job", &job.to_json());
     if let Some(lir) = listing {
         o.str("lir", &lir);
@@ -595,7 +709,16 @@ struct SweepOutcome {
     io_ok: bool,
 }
 
-fn finish_buffered(resp: &Response, stream: &mut TcpStream, keep_alive: bool) -> SweepOutcome {
+fn finish_buffered(
+    resp: Response,
+    req_id: Option<&str>,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+) -> SweepOutcome {
+    let resp = match req_id {
+        Some(id) => resp.with_header("X-Request-Id", id.to_string()),
+        None => resp,
+    };
     SweepOutcome {
         status: resp.status,
         io_ok: resp.write_to(stream, keep_alive).is_ok(),
@@ -618,27 +741,33 @@ fn handle_sweep(
     request: &Request,
     stream: &mut TcpStream,
     keep_alive: bool,
+    root: SpanCtx,
+    req_id: Option<&str>,
 ) -> SweepOutcome {
     let (benches, strategies) = match parse_sweep_targets(&request.body) {
         Ok(t) => t,
-        Err(resp) => return finish_buffered(&resp, stream, keep_alive),
+        Err(resp) => return finish_buffered(resp, req_id, stream, keep_alive),
     };
     let deadline = Instant::now() + shared.config.deadline;
-    let run =
-        shared
-            .engine
-            .submit_matrix(&benches, &strategies, Priority::Batch, CancelToken::new());
+    let run = shared.engine.submit_matrix(
+        &benches,
+        &strategies,
+        Priority::Batch,
+        CancelToken::new(),
+        root,
+    );
 
     // Nothing is on the wire yet, so the first cell can still change
     // the status line.
     let first = match run.wait_job_until(0, deadline) {
         WaitOutcome::TimedOut => {
             run.cancel();
-            return finish_buffered(&deadline_response(shared), stream, keep_alive);
+            return finish_buffered(deadline_response(shared), req_id, stream, keep_alive);
         }
         WaitOutcome::Cancelled => {
             return finish_buffered(
-                &Response::error(500, "sweep job failed to run"),
+                Response::error(500, "sweep job failed to run"),
+                req_id,
                 stream,
                 keep_alive,
             )
@@ -646,7 +775,8 @@ fn handle_sweep(
         WaitOutcome::Done(Err(e)) => {
             run.cancel();
             return finish_buffered(
-                &Response::error(400, &format!("sweep failed: {e}")),
+                Response::error(400, &format!("sweep failed: {e}")),
+                req_id,
                 stream,
                 keep_alive,
             );
@@ -655,10 +785,18 @@ fn handle_sweep(
     };
 
     if request.http1_0 {
-        return sweep_buffered(shared, &run, &first, deadline, stream, keep_alive);
+        return sweep_buffered(shared, &run, &first, deadline, stream, keep_alive, req_id);
     }
 
-    let mut writer = match ChunkedWriter::start(stream, 200, "application/json", keep_alive) {
+    // The request ID rides in the response header and on every job
+    // object, so a streamed document stays attributable even if the
+    // client saves only the body.
+    let extra: Vec<(&str, String)> = req_id
+        .iter()
+        .map(|id| ("X-Request-Id", (*id).to_string()))
+        .collect();
+    let mut writer = match ChunkedWriter::start(stream, 200, "application/json", keep_alive, &extra)
+    {
         Ok(w) => w,
         Err(_) => {
             run.cancel();
@@ -671,12 +809,12 @@ fn handle_sweep(
     let mut truncated = false;
     let mut io = writer
         .chunk(sweep_json_prefix(run.workers(), run.strategies()).as_bytes())
-        .and_then(|()| writer.chunk(first.to_json().as_bytes()));
+        .and_then(|()| writer.chunk(first.to_json_tagged(req_id).as_bytes()));
     if io.is_ok() {
         for i in 1..run.len() {
             match run.wait_job_until(i, deadline) {
                 WaitOutcome::Done(Ok(job)) => {
-                    io = writer.chunk(format!(",\n{}", job.to_json()).as_bytes());
+                    io = writer.chunk(format!(",\n{}", job.to_json_tagged(req_id)).as_bytes());
                     if io.is_err() {
                         break;
                     }
@@ -733,12 +871,13 @@ fn sweep_buffered(
     deadline: Instant,
     stream: &mut TcpStream,
     keep_alive: bool,
+    req_id: Option<&str>,
 ) -> SweepOutcome {
-    let mut jobs = vec![first.to_json()];
+    let mut jobs = vec![first.to_json_tagged(req_id)];
     let mut truncated = false;
     for i in 1..run.len() {
         match run.wait_job_until(i, deadline) {
-            WaitOutcome::Done(Ok(job)) => jobs.push(job.to_json()),
+            WaitOutcome::Done(Ok(job)) => jobs.push(job.to_json_tagged(req_id)),
             WaitOutcome::TimedOut => {
                 run.cancel();
                 shared
@@ -761,5 +900,5 @@ fn sweep_buffered(
         jobs.join(",\n"),
         sweep_json_tail(run.elapsed(), &run.cache_stats(), truncated)
     );
-    finish_buffered(&Response::json(200, body), stream, keep_alive)
+    finish_buffered(Response::json(200, body), req_id, stream, keep_alive)
 }

@@ -499,6 +499,268 @@ fn metrics_expose_the_documented_families() {
 }
 
 #[test]
+fn metrics_expose_trace_histogram_families_with_consistent_sums() {
+    let server = TestServer::start(small_config());
+    let mut conn = server.connect();
+    conn.request("POST", "/compile", Some(&compile_body(FIR_SRC, "cb")))
+        .expect("request");
+    conn.request(
+        "POST",
+        "/sweep",
+        Some("{\"bench\": \"fir_32_1\", \"strategies\": [\"cb\"]}"),
+    )
+    .expect("request");
+    let text = conn
+        .request("GET", "/metrics", None)
+        .expect("request")
+        .text();
+    for family in [
+        "# TYPE dsp_serve_http_request_seconds histogram",
+        "dsp_serve_http_request_seconds_count{endpoint=\"compile\",status=\"200\"} 1",
+        "dsp_serve_http_request_seconds_count{endpoint=\"sweep\",status=\"200\"} 1",
+        "# TYPE dsp_serve_exec_queue_wait_seconds histogram",
+        "dsp_serve_exec_queue_wait_seconds_count{class=\"interactive\"} 1",
+        "dsp_serve_exec_queue_wait_seconds_count{class=\"batch\"} 1",
+        "# TYPE dsp_serve_stage_seconds histogram",
+        "dsp_serve_stage_seconds_count{stage=\"parse\"}",
+        "dsp_serve_stage_seconds_count{stage=\"partition\"}",
+        "dsp_serve_stage_seconds_count{stage=\"simulate\"}",
+    ] {
+        assert!(text.contains(family), "missing `{family}` in:\n{text}");
+    }
+    // Every `_bucket` series must be cumulative (monotone, ending at
+    // `_count` on the `+Inf` bound), and a nonzero `_count` must come
+    // with a nonzero `_sum`.
+    for series in [
+        "dsp_serve_http_request_seconds",
+        "dsp_serve_exec_queue_wait_seconds",
+        "dsp_serve_stage_seconds",
+    ] {
+        let mut counts = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix(series) else {
+                continue;
+            };
+            let (kind, value) = rest.split_once('}').expect("labelled series");
+            let value = value.trim();
+            if let Some(labels) = kind.strip_prefix("_bucket{") {
+                let labels = labels.split(",le=").next().expect("le label");
+                let v: u64 = value.parse().expect("bucket count");
+                let (last, inf) = counts.entry(labels.to_string()).or_insert((0u64, 0u64));
+                assert!(v >= *last, "non-monotone bucket in {series}: {line}");
+                *last = v;
+                if kind.contains("le=\"+Inf\"") {
+                    *inf = v;
+                }
+            } else if let Some(labels) = kind.strip_prefix("_count{") {
+                let v: u64 = value.parse().expect("count");
+                let (_, inf) = counts
+                    .get(labels)
+                    .unwrap_or_else(|| panic!("count without buckets: {line}"));
+                assert_eq!(v, *inf, "+Inf bucket != _count for {series}{{{labels}}}");
+                if v > 0 {
+                    let sum_line = format!("{series}_sum{{{labels}}}");
+                    let sum: f64 = text
+                        .lines()
+                        .find_map(|l| l.strip_prefix(&sum_line))
+                        .expect("sum line present")
+                        .trim()
+                        .parse()
+                        .expect("sum value");
+                    assert!(sum > 0.0, "zero _sum with nonzero _count: {series}{labels}");
+                }
+            }
+        }
+        assert!(!counts.is_empty(), "no series found for {series}");
+    }
+    server.stop();
+}
+
+/// One raw HTTP/1.1 request with arbitrary extra headers.
+fn raw_request(
+    conn: &mut ClientConn,
+    method: &str,
+    path: &str,
+    headers: &str,
+    body: &str,
+) -> dsp_serve::client::ClientResponse {
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{headers}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    conn.raw(raw.as_bytes()).expect("raw request")
+}
+
+#[test]
+fn request_ids_are_echoed_minted_and_sanitized() {
+    let server = TestServer::start(small_config());
+    let mut conn = server.connect();
+
+    // No client ID: the server mints one from the trace ID (16 hex
+    // chars) and puts it in the header and the response body.
+    let resp = conn
+        .request("POST", "/compile", Some(&compile_body(FIR_SRC, "cb")))
+        .expect("request");
+    let minted = resp.header("x-request-id").expect("minted id").to_string();
+    assert_eq!(minted.len(), 16, "trace-derived id is 16 hex chars");
+    assert!(minted.chars().all(|c| c.is_ascii_hexdigit()));
+    let doc = json::parse(&resp.text()).expect("valid JSON");
+    assert_eq!(
+        doc.get("request_id").and_then(Value::as_str),
+        Some(minted.as_str())
+    );
+
+    // A sane client-supplied ID wins and is echoed verbatim.
+    let resp = raw_request(
+        &mut conn,
+        "POST",
+        "/compile",
+        "X-Request-Id: client.id-42\r\n",
+        &compile_body(FIR_SRC, "cb"),
+    );
+    assert_eq!(resp.header("x-request-id"), Some("client.id-42"));
+
+    // A hostile one is sanitized before it is echoed anywhere.
+    let resp = raw_request(
+        &mut conn,
+        "POST",
+        "/compile",
+        "X-Request-Id: abc\"<&>/def\r\n",
+        &compile_body(FIR_SRC, "cb"),
+    );
+    assert_eq!(resp.header("x-request-id"), Some("abcdef"));
+
+    // Non-compute endpoints carry the header too.
+    let resp = conn.request("GET", "/healthz", None).expect("request");
+    assert!(resp.header("x-request-id").is_some());
+    server.stop();
+}
+
+#[test]
+fn sweep_is_followable_end_to_end_by_request_id() {
+    let server = TestServer::start(small_config());
+    let mut conn = server.connect();
+    let resp = raw_request(
+        &mut conn,
+        "POST",
+        "/sweep",
+        "X-Request-Id: e2e-follow-1\r\n",
+        "{\"bench\": \"fir_32_1\", \"strategies\": [\"cb\"]}",
+    );
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    assert_eq!(resp.header("x-request-id"), Some("e2e-follow-1"));
+    let doc = json::parse(&resp.text()).expect("valid JSON");
+    let jobs = doc.get("jobs").and_then(Value::as_array).expect("jobs[]");
+    assert!(!jobs.is_empty());
+    for job in jobs {
+        assert_eq!(
+            job.get("request_id").and_then(Value::as_str),
+            Some("e2e-follow-1"),
+            "every streamed job object carries the request id"
+        );
+    }
+
+    // Find the sweep's root span by its request_id attribute, then
+    // assert its trace covers the whole pipeline: queue wait, the
+    // cell, and every compile stage down to simulation.
+    let resp = conn
+        .request("GET", "/debug/trace?n=4096", None)
+        .expect("request");
+    assert_eq!(resp.status, 200);
+    let doc = json::parse(&resp.text()).expect("valid trace JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("dualbank-trace/v1")
+    );
+    let spans = doc.get("spans").and_then(Value::as_array).expect("spans");
+    let root = spans
+        .iter()
+        .find(|s| {
+            s.get("args")
+                .and_then(|a| a.get("request_id"))
+                .and_then(Value::as_str)
+                == Some("e2e-follow-1")
+        })
+        .expect("the sweep's http.request span is in the ring");
+    assert_eq!(
+        root.get("name").and_then(Value::as_str),
+        Some("http.request")
+    );
+    let trace = root.get("trace").and_then(Value::as_str).expect("trace id");
+    let in_trace: Vec<&str> = spans
+        .iter()
+        .filter(|s| s.get("trace").and_then(Value::as_str) == Some(trace))
+        .filter_map(|s| s.get("name").and_then(Value::as_str))
+        .collect();
+    for name in [
+        "exec.wait",
+        "cell",
+        "prepared",
+        "parse",
+        "opt",
+        "artifact",
+        "trial_compaction",
+        "partition",
+        "regalloc",
+        "lower",
+        "final_pack",
+        "link",
+        "simulate",
+    ] {
+        assert!(
+            in_trace.contains(&name),
+            "span `{name}` missing from the request's trace; got {in_trace:?}"
+        );
+    }
+    server.stop();
+}
+
+#[test]
+fn disabled_tracing_removes_ids_trace_endpoint_and_histograms() {
+    let server = TestServer::start(ServerConfig {
+        trace: false,
+        ..small_config()
+    });
+    let mut conn = server.connect();
+
+    // No minted IDs…
+    let resp = conn
+        .request("POST", "/compile", Some(&compile_body(FIR_SRC, "cb")))
+        .expect("request");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-request-id"), None);
+    assert!(!resp.text().contains("request_id"));
+    // …but a client-supplied ID is still honored (plain echo, no
+    // tracing required).
+    let resp = raw_request(
+        &mut conn,
+        "POST",
+        "/compile",
+        "X-Request-Id: still-here\r\n",
+        &compile_body(FIR_SRC, "cb"),
+    );
+    assert_eq!(resp.header("x-request-id"), Some("still-here"));
+
+    // /debug/trace distinguishes "off" from "empty".
+    let resp = conn.request("GET", "/debug/trace", None).expect("request");
+    assert_eq!(resp.status, 404);
+
+    // And the histogram families disappear from /metrics entirely.
+    let text = conn
+        .request("GET", "/metrics", None)
+        .expect("request")
+        .text();
+    for family in [
+        "dsp_serve_http_request_seconds",
+        "dsp_serve_exec_queue_wait_seconds",
+        "dsp_serve_stage_seconds",
+    ] {
+        assert!(!text.contains(family), "unexpected `{family}` in:\n{text}");
+    }
+    server.stop();
+}
+
+#[test]
 fn hostile_input_never_kills_the_server() {
     let server = TestServer::start(small_config());
 

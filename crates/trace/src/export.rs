@@ -1,0 +1,163 @@
+//! Span exporters: Chrome trace-event JSON (Perfetto /
+//! `chrome://tracing`) and one-object-per-line JSONL.
+//!
+//! The Chrome format uses complete (`"ph": "X"`) events with `ts` and
+//! `dur` in microseconds; viewers nest events on the same `pid`/`tid`
+//! by time containment, which matches how our spans are recorded (a
+//! child runs strictly inside its parent on the same thread, and spans
+//! synthesized from recorded stage durations are anchored inside their
+//! parent's window).
+
+use crate::FinishedSpan;
+use std::fmt::Write as _;
+
+/// Escape a string for embedding in a JSON string literal.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One span as a standalone JSON object (used by JSONL and by the
+/// server's `/debug/trace` endpoint). IDs render as fixed-width hex so
+/// they can be grepped against `X-Request-Id` values.
+#[must_use]
+pub fn span_json(s: &FinishedSpan) -> String {
+    let mut out = format!(
+        "{{\"trace\": \"{:016x}\", \"span\": \"{:016x}\", \"parent\": {}, \
+         \"name\": \"{}\", \"cat\": \"{}\", \"tid\": {}, \"start_us\": {}, \"dur_us\": {}",
+        s.trace,
+        s.span,
+        if s.parent == 0 {
+            "null".to_string()
+        } else {
+            format!("\"{:016x}\"", s.parent)
+        },
+        escape(s.name),
+        escape(s.cat),
+        s.tid,
+        s.start_us,
+        s.dur_us,
+    );
+    if !s.attrs.is_empty() {
+        out.push_str(", \"args\": {");
+        for (i, (k, v)) in s.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": \"{}\"", escape(k), escape(v));
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// All spans as JSONL: one JSON object per line.
+#[must_use]
+pub fn jsonl(spans: &[FinishedSpan]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&span_json(s));
+        out.push('\n');
+    }
+    out
+}
+
+/// All spans as a Chrome trace-event document, loadable in Perfetto
+/// and `chrome://tracing`.
+#[must_use]
+pub fn chrome_trace(spans: &[FinishedSpan]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        } else {
+            out.push('\n');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \
+             \"ts\": {}, \"dur\": {}, \"args\": {{\"trace\": \"{:016x}\", \"span\": \"{:016x}\"",
+            escape(s.name),
+            escape(s.cat),
+            s.tid,
+            s.start_us,
+            s.dur_us,
+            s.trace,
+            s.span,
+        );
+        if s.parent != 0 {
+            let _ = write!(out, ", \"parent\": \"{:016x}\"", s.parent);
+        }
+        for (k, v) in &s.attrs {
+            let _ = write!(out, ", \"{}\": \"{}\"", escape(k), escape(v));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span() -> FinishedSpan {
+        FinishedSpan {
+            trace: 0xabc,
+            span: 0xdef,
+            parent: 0,
+            name: "cell",
+            cat: "engine",
+            tid: 3,
+            start_us: 10,
+            dur_us: 25,
+            attrs: vec![("bench", "fir \"x\"".to_string())],
+        }
+    }
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn span_json_renders_ids_as_hex_and_null_parent() {
+        let j = span_json(&span());
+        assert!(j.contains("\"trace\": \"0000000000000abc\""));
+        assert!(j.contains("\"parent\": null"));
+        assert!(j.contains("\"bench\": \"fir \\\"x\\\"\""));
+    }
+
+    #[test]
+    fn chrome_trace_emits_complete_events() {
+        let doc = chrome_trace(&[span()]);
+        assert!(doc.starts_with("{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["));
+        assert!(doc.contains("\"ph\": \"X\""));
+        assert!(doc.contains("\"ts\": 10, \"dur\": 25"));
+        assert!(doc.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let text = jsonl(&[span(), span()]);
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+}

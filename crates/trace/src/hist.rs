@@ -1,0 +1,218 @@
+//! Log-bucketed latency histograms.
+//!
+//! Buckets are powers of two in microseconds: bucket `i` counts
+//! observations with `bound(i-1) < micros <= bound(i)` where
+//! `bound(i) = 1 << i`. Twenty-six finite buckets cover 1 µs up to
+//! ~33.6 s; anything slower lands in a single overflow bucket. The
+//! exact maximum is tracked separately so `max` (and the top quantiles
+//! of an overflowing distribution) stay exact rather than clamped to a
+//! bucket bound.
+//!
+//! All counters are atomics, so one [`Histogram`] can be shared across
+//! worker threads without a lock; readers take a [`HistogramSnapshot`]
+//! and derive quantiles from the frozen counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of finite buckets (the last bound is `2^25` µs ≈ 33.6 s).
+pub const FINITE_BUCKETS: usize = 26;
+
+/// Upper bound of finite bucket `i`, in microseconds.
+#[must_use]
+pub fn bucket_bound_micros(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// Upper bound of finite bucket `i`, in seconds.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn bucket_bound_seconds(i: usize) -> f64 {
+    bucket_bound_micros(i) as f64 / 1e6
+}
+
+/// A concurrent log-bucketed histogram of durations.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; FINITE_BUCKETS],
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_micros(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Record one duration given in microseconds.
+    pub fn observe_micros(&self, micros: u64) {
+        let idx = bucket_index(micros);
+        if idx < FINITE_BUCKETS {
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Total number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freeze the current counts for reading.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; FINITE_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            overflow: self.overflow.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Smallest bucket whose upper bound is `>= micros`; `FINITE_BUCKETS`
+/// means overflow.
+fn bucket_index(micros: u64) -> usize {
+    if micros <= 1 {
+        0
+    } else {
+        (64 - (micros - 1).leading_zeros()) as usize
+    }
+}
+
+/// A frozen view of a [`Histogram`], from which quantiles derive.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) counts.
+    pub buckets: [u64; FINITE_BUCKETS],
+    /// Observations slower than the last finite bound.
+    pub overflow: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, microseconds.
+    pub sum_micros: u64,
+    /// Largest single observation, microseconds.
+    pub max_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// Sum of all observations in seconds.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_micros as f64 / 1e6
+    }
+
+    /// Largest single observation in seconds.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn max_seconds(&self) -> f64 {
+        self.max_micros as f64 / 1e6
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in seconds, resolved to the upper
+    /// bound of the bucket holding the target rank (so quantiles are
+    /// conservative: never under-reported by more than one bucket
+    /// width). Overflow resolves to the exact recorded maximum.
+    #[must_use]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_bound_seconds(i).min(self.max_seconds());
+            }
+        }
+        self.max_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_the_axis() {
+        // Each observation lands in the smallest bucket whose bound
+        // holds it: bound(i-1) < micros <= bound(i).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        for i in 0..FINITE_BUCKETS {
+            let bound = bucket_bound_micros(i);
+            assert_eq!(bucket_index(bound), i, "bound {bound} must be inclusive");
+            assert_eq!(
+                bucket_index(bound + 1),
+                i + 1,
+                "bound {bound} + 1 spills over"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_bounds() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe_micros(3); // bucket 2, bound 4 µs
+        }
+        for _ in 0..10 {
+            h.observe_micros(1000); // bucket 10, bound 1024 µs
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum_micros, 90 * 3 + 10 * 1000);
+        assert!((s.quantile(0.5) - 4e-6).abs() < 1e-12);
+        assert!((s.quantile(0.9) - 4e-6).abs() < 1e-12);
+        // p99 falls in the slow bucket but is clamped to the true max.
+        assert!((s.quantile(0.99) - 1000e-6).abs() < 1e-12);
+        assert!((s.max_seconds() - 1000e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_resolves_to_the_exact_max() {
+        let h = Histogram::new();
+        h.observe(Duration::from_secs(120));
+        let s = h.snapshot();
+        assert_eq!(s.overflow, 1);
+        assert!((s.quantile(0.5) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.99), 0.0);
+        assert_eq!(s.max_seconds(), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! A tiny leveled stderr logger, optionally routed into a tracer.
+//!
+//! The level comes from `DSP_LOG` (`error`, `warn`, `info`, `debug`;
+//! default `warn`) and is resolved once, so per-call cost when a level
+//! is disabled is one atomic load. When a tracer has been installed
+//! via [`route_events_to`], every emitted line is also recorded as a
+//! zero-duration `log` span, so `/debug/trace` and trace exports show
+//! log events in context.
+
+use crate::Tracer;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-losing conditions.
+    Error = 1,
+    /// Degraded but continuing (the default threshold).
+    Warn = 2,
+    /// One-off lifecycle events: boot banners, warm-start summaries.
+    Info = 3,
+    /// High-volume diagnostics.
+    Debug = 4,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Error,
+            3 => Level::Info,
+            4 => Level::Debug,
+            _ => Level::Warn,
+        }
+    }
+}
+
+/// Cached threshold: 0 = not yet resolved from the environment.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn sink() -> &'static Mutex<Option<Arc<Tracer>>> {
+    static SINK: OnceLock<Mutex<Option<Arc<Tracer>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Parse `DSP_LOG`; unknown or absent values fall back to `warn`.
+fn resolve_from_env() -> Level {
+    match std::env::var("DSP_LOG") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "error" => Level::Error,
+            "info" => Level::Info,
+            "debug" => Level::Debug,
+            _ => Level::Warn,
+        },
+        Err(_) => Level::Warn,
+    }
+}
+
+/// The active threshold (resolving `DSP_LOG` on first use).
+#[must_use]
+pub fn max_level() -> Level {
+    let cached = MAX_LEVEL.load(Ordering::Relaxed);
+    if cached != 0 {
+        return Level::from_u8(cached);
+    }
+    let level = resolve_from_env();
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+    level
+}
+
+/// Override the threshold (tests; takes precedence over `DSP_LOG`).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would be emitted.
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Also record emitted lines as zero-duration spans on `tracer`.
+/// Last installation wins; disabled tracers are ignored.
+pub fn route_events_to(tracer: &Arc<Tracer>) {
+    if tracer.is_enabled() {
+        *sink()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Arc::clone(tracer));
+    }
+}
+
+/// Emit one line at `level`, tagged with a short component name.
+pub fn log(level: Level, target: &str, message: &str) {
+    if !enabled(level) {
+        return;
+    }
+    eprintln!("[{}] {target}: {message}", level.as_str());
+    let tracer = sink()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    if let Some(tracer) = tracer {
+        tracer.record_event(
+            "log",
+            "log",
+            crate::SpanCtx::NONE,
+            vec![
+                ("level", level.as_str().to_string()),
+                ("target", target.to_string()),
+                ("message", message.to_string()),
+            ],
+        );
+    }
+}
+
+/// Emit at [`Level::Error`].
+pub fn error(target: &str, message: &str) {
+    log(Level::Error, target, message);
+}
+
+/// Emit at [`Level::Warn`].
+pub fn warn(target: &str, message: &str) {
+    log(Level::Warn, target, message);
+}
+
+/// Emit at [`Level::Info`].
+pub fn info(target: &str, message: &str) {
+    log(Level::Info, target, message);
+}
+
+/// Emit at [`Level::Debug`].
+pub fn debug(target: &str, message: &str) {
+    log(Level::Debug, target, message);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    // One test: the threshold and the sink are process-global, so
+    // exercising them from parallel #[test] functions would race.
+    #[test]
+    fn threshold_gates_and_routed_lines_become_events() {
+        set_max_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_max_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_max_level(Level::Warn);
+
+        let tracer = Tracer::new(16);
+        route_events_to(&tracer);
+        warn("test", "hello");
+        info("test", "suppressed");
+        let spans = tracer.snapshot(16);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "log");
+        assert!(spans[0]
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "message" && v == "hello"));
+        // Detach so later tests' tracers are unaffected.
+        *sink()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    }
+}

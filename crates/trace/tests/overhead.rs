@@ -1,0 +1,45 @@
+//! Guard: a disabled tracer must be effectively free, so the
+//! instrumentation can stay on hot paths (the executor dequeues and
+//! every pipeline stage) without perturbing benchmark numbers.
+
+use dsp_trace::{families, SpanCtx, Tracer};
+use std::time::{Duration, Instant};
+
+/// Generous per-span budget: a disabled span is one branch and a None
+/// move, a handful of nanoseconds even unoptimized. The 2 µs bound
+/// leaves two orders of magnitude of headroom for debug builds and
+/// loaded CI machines while still catching any accidental allocation,
+/// lock, or syscall sneaking into the disabled path.
+const BUDGET_NANOS_PER_SPAN: u128 = 2_000;
+
+#[test]
+fn disabled_tracing_is_effectively_free() {
+    let tracer = Tracer::disabled();
+    let parent = tracer.new_trace();
+    assert_eq!(parent, SpanCtx::NONE);
+
+    let rounds: u32 = 200_000;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let mut span = tracer.span("guard", "test", parent);
+        span.attr("bench", "fir_32_16");
+        let child = tracer.span("child", "test", span.ctx());
+        drop(child);
+        drop(span);
+        tracer.observe(families::STAGE, "simulate", Duration::from_micros(5));
+    }
+    let elapsed = start.elapsed();
+    // Two span guards + one observe per round.
+    let per_op = elapsed.as_nanos() / u128::from(rounds) / 3;
+    println!("disabled tracing: {per_op} ns/op (budget {BUDGET_NANOS_PER_SPAN})");
+    assert!(
+        per_op < BUDGET_NANOS_PER_SPAN,
+        "disabled tracing cost {per_op} ns/op (budget {BUDGET_NANOS_PER_SPAN} ns): \
+         the no-op path regressed"
+    );
+
+    // And nothing must have been recorded anywhere.
+    assert!(tracer.snapshot(usize::MAX).is_empty());
+    assert!(tracer.family_names().is_empty());
+    assert_eq!(tracer.dropped(), 0);
+}

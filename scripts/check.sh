@@ -49,7 +49,8 @@ KILL_PID=$!
 sleep 0.3
 kill -9 "$KILL_PID" 2>/dev/null || true
 wait "$KILL_PID" 2>/dev/null || true
-./target/release/dualbank bench all --jobs 1 --cache-dir "$CACHE_DIR" \
+# DSP_LOG=info: the warm-start banner (grepped below) logs at info.
+DSP_LOG=info ./target/release/dualbank bench all --jobs 1 --cache-dir "$CACHE_DIR" \
   --json "$CACHE_DIR/warm.json" --deterministic >/dev/null 2>"$CACHE_DIR/stderr"
 grep -q ' 0 quarantined' "$CACHE_DIR/stderr" \
   || { echo "FAIL: crash left quarantined entries"; cat "$CACHE_DIR/stderr"; exit 1; }
@@ -57,6 +58,18 @@ grep -q ' 0 quarantined' "$CACHE_DIR/stderr" \
   --json "$CACHE_DIR/cold.json" --deterministic >/dev/null
 cmp "$CACHE_DIR/warm.json" "$CACHE_DIR/cold.json" \
   || { echo "FAIL: post-crash warm report differs from cold run"; exit 1; }
+
+echo "== trace smoke test =="
+# --trace-out must yield a Perfetto-loadable Chrome trace document
+# with nonzero nested spans, and tracing must not perturb results:
+# the deterministic report is byte-identical with tracing on or off.
+./target/release/dualbank bench fir_32_1 --jobs 2 --trace-out "$CACHE_DIR/trace.json" \
+  --json "$CACHE_DIR/traced.json" --deterministic >/dev/null
+./target/release/dualbank trace-validate "$CACHE_DIR/trace.json"
+./target/release/dualbank bench fir_32_1 --jobs 2 \
+  --json "$CACHE_DIR/untraced.json" --deterministic >/dev/null
+cmp "$CACHE_DIR/traced.json" "$CACHE_DIR/untraced.json" \
+  || { echo "FAIL: tracing perturbed the deterministic report"; exit 1; }
 
 echo "== persistent-cache fault-injection suite =="
 # Every store IO site failing in turn (open/read/write/fsync/rename/

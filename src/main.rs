@@ -10,12 +10,15 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use dsp_serve::{Server, ServerConfig};
+use dsp_trace::log as tracelog;
+use dualbank::driver::json::Value;
 use dualbank::driver::{
     parse_byte_budget, parse_cache_dir, parse_entry_budget, parse_worker_count, Engine,
-    EngineOptions,
+    EngineOptions, Tracer,
 };
 use dualbank::{backend, workloads, SimOptions, Simulator, Strategy};
 
@@ -27,17 +30,21 @@ fn usage() -> &'static str {
      \x20     compile and simulate; print cycles and memory cost\n\
      \x20 dualbank compile <file.c> [--strategy S] [--emit asm|ir|bin]\n\
      \x20     print the compiled program (default: asm disassembly)\n\
-     \x20 dualbank sweep <file.c> [--jobs N] [--json <path>] [--cache-dir D]\n\
+     \x20 dualbank sweep <file.c> [--jobs N] [--json <path>] [--cache-dir D] [--trace-out P]\n\
      \x20     compare all compilation strategies\n\
      \x20 dualbank bench <name|all> [--jobs N] [--json <path>] [--stages] [--cache-dir D]\n\
+     \x20               [--trace-out P]\n\
      \x20     run paper benchmark(s) across all strategies\n\
      \x20 dualbank serve [--addr A] [--workers N] [--jobs N] [--queue N]\n\
      \x20               [--deadline-ms N] [--max-body-kb N] [--cache-capacity N]\n\
      \x20               [--cache-max-kb N] [--cache-dir D] [--cache-disk-max-kb N]\n\
-     \x20               [--fuel N]\n\
+     \x20               [--fuel N] [--no-trace]\n\
      \x20     serve compile/sweep over HTTP (see docs/serving.md);\n\
      \x20     --workers sizes the connection pool, --jobs the shared\n\
      \x20     compile/simulate executor (default: all cores)\n\
+     \x20 dualbank trace-validate <file.json>\n\
+     \x20     sanity-check a --trace-out document (Perfetto-loadable,\n\
+     \x20     complete events, nested spans)\n\
      \x20 dualbank list\n\
      \x20     list the paper's 23 benchmarks\n\
      \n\
@@ -56,6 +63,15 @@ fn usage() -> &'static str {
      \x20             degrade to in-memory operation)\n\
      \x20 --cache-disk-max-kb N bound the on-disk store (LRU by mtime;\n\
      \x20             0 = unbounded, like --cache-max-kb)\n\
+     \x20 --trace-out P  record per-stage spans and write them as a\n\
+     \x20             Chrome trace-event file (open in Perfetto); off\n\
+     \x20             when the flag is absent, with zero overhead\n\
+     \x20 --no-trace  (serve) disable request spans, X-Request-Id\n\
+     \x20             minting, /debug/trace, and latency histograms\n\
+     \n\
+     ENVIRONMENT:\n\
+     \x20 DSP_LOG=error|warn|info|debug   stderr log level (default warn;\n\
+     \x20             info shows cache warm-start and boot banners)\n\
      \n\
      STRATEGIES: base cb pr dup seldup fulldup ideal (default: cb)"
 }
@@ -89,6 +105,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "sweep" => cmd_sweep(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "trace-validate" => cmd_trace_validate(&args[1..]),
         "list" => {
             for b in workloads::all() {
                 println!(
@@ -207,9 +224,25 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The tracer for a batch command: enabled (and destined for `path`)
+/// only when `--trace-out <path>` was given, else the no-op recorder.
+fn tracer_of(args: &[String]) -> (Arc<Tracer>, Option<String>) {
+    match flag_value(args, "--trace-out") {
+        Some(path) => (Tracer::new(65536), Some(path)),
+        None => (Tracer::disabled(), None),
+    }
+}
+
+/// Honor `--trace-out <path>`: write the run's spans as a Chrome
+/// trace-event document (load it in Perfetto or `chrome://tracing`).
+fn write_trace(tracer: &Tracer, path: Option<&str>) -> Result<(), String> {
+    let Some(path) = path else { return Ok(()) };
+    std::fs::write(path, tracer.export_chrome()).map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
 /// Build an engine from the shared `--jobs` / `--cache-dir` /
 /// `--cache-disk-max-kb` flags.
-fn engine_of(args: &[String]) -> Result<Engine, String> {
+fn engine_of(args: &[String], tracer: Arc<Tracer>) -> Result<Engine, String> {
     let jobs = match flag_value(args, "--jobs") {
         Some(v) => parse_worker_count("--jobs", &v)?,
         None => 0,
@@ -222,24 +255,32 @@ fn engine_of(args: &[String]) -> Result<Engine, String> {
         Some(v) => parse_byte_budget("--cache-disk-max-kb", &v)?,
         None => None,
     };
+    tracelog::route_events_to(&tracer);
     let engine = Engine::new(EngineOptions {
         jobs,
         cache_dir,
         cache_disk_max_bytes,
+        tracer,
         ..EngineOptions::default()
     });
     if let Some(store) = engine.cache().store() {
         let sweep = store.sweep();
         if let Some(err) = &sweep.error {
-            eprintln!("warning: cache dir unusable, running in-memory only: {err}");
+            tracelog::warn(
+                "dualbank",
+                &format!("cache dir unusable, running in-memory only: {err}"),
+            );
         } else {
-            eprintln!(
-                "cache: {} — {} artifact(s) recovered ({} KiB), {} quarantined, {} tmp cleaned",
-                store.dir().display(),
-                sweep.recovered,
-                sweep.bytes / 1024,
-                sweep.quarantined,
-                sweep.tmp_cleaned,
+            tracelog::info(
+                "dualbank",
+                &format!(
+                    "cache: {} — {} artifact(s) recovered ({} KiB), {} quarantined, {} tmp cleaned",
+                    store.dir().display(),
+                    sweep.recovered,
+                    sweep.bytes / 1024,
+                    sweep.quarantined,
+                    sweep.tmp_cleaned,
+                ),
             );
         }
     }
@@ -283,10 +324,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         source: src,
         check_globals: Vec::new(),
     };
-    let engine = engine_of(args)?;
+    let (tracer, trace_out) = tracer_of(args);
+    let engine = engine_of(args, Arc::clone(&tracer))?;
     let report = engine
         .run_matrix(std::slice::from_ref(&bench), &Strategy::ALL)
         .map_err(|e| e.to_string())?;
+    write_trace(&tracer, trace_out.as_deref())?;
     println!(
         "{:<8} {:>10} {:>8} {:>10} {:>10}",
         "strategy", "cycles", "gain %", "insts", "mem words"
@@ -320,10 +363,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         vec![workloads::by_name(name)
             .ok_or_else(|| format!("unknown benchmark `{name}` (try `dualbank list`)"))?]
     };
-    let engine = engine_of(args)?;
+    let (tracer, trace_out) = tracer_of(args);
+    let engine = engine_of(args, Arc::clone(&tracer))?;
     let report = engine
         .run_matrix(&benches, &Strategy::ALL)
         .map_err(|e| e.to_string())?;
+    write_trace(&tracer, trace_out.as_deref())?;
     print!("{:<14}", "benchmark");
     for s in &report.strategies {
         print!(" {:>9}", s.label());
@@ -390,6 +435,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("--fuel expects a cycle count, got `{v}`"))?;
     }
+    config.trace = !args.iter().any(|a| a == "--no-trace");
     let server = Server::bind(config.clone()).map_err(|e| format!("cannot bind: {e}"))?;
     println!("dsp-serve listening on http://{}", server.local_addr());
     println!(
@@ -422,5 +468,72 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     println!("  endpoints: POST /compile · POST /sweep · GET /healthz · GET /metrics");
     println!("  graceful shutdown: POST /admin/shutdown (drains in-flight requests)");
+    if config.trace {
+        println!("  tracing: on — X-Request-Id echo, GET /debug/trace, latency histograms");
+    } else {
+        println!("  tracing: off (--no-trace)");
+    }
     server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// A complete (`"ph": "X"`) trace event's time lane: thread, start,
+/// duration, all in microseconds as Chrome's trace format specifies.
+struct CompleteEvent {
+    tid: u64,
+    ts: f64,
+    dur: f64,
+}
+
+/// `dualbank trace-validate <file.json>` — assert a `--trace-out`
+/// document is what Perfetto expects: valid JSON with a `traceEvents`
+/// array of complete events, at least one of which nests inside
+/// another on the same thread lane (proof the parent/child structure
+/// survived export).
+fn cmd_trace_validate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing trace file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let doc = dualbank::driver::json::parse(&text)
+        .map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("`{path}` has no traceEvents array"))?;
+    let complete: Vec<CompleteEvent> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .map(|e| {
+            let num = |k: &str| e.get(k).and_then(Value::as_f64);
+            Ok(CompleteEvent {
+                tid: e.get("tid").and_then(Value::as_u64).unwrap_or(0),
+                ts: num("ts").ok_or_else(|| format!("a complete event in `{path}` has no ts"))?,
+                dur: num("dur")
+                    .ok_or_else(|| format!("a complete event in `{path}` has no dur"))?,
+            })
+        })
+        .collect::<Result<_, String>>()?;
+    if complete.is_empty() {
+        return Err(format!("`{path}` contains no complete (ph=X) events"));
+    }
+    // A child nests when its [ts, ts+dur] interval sits inside a
+    // longer event's interval on the same thread lane.
+    let nested = complete
+        .iter()
+        .filter(|b| {
+            complete.iter().any(|a| {
+                a.tid == b.tid && b.dur < a.dur && b.ts >= a.ts && b.ts + b.dur <= a.ts + a.dur
+            })
+        })
+        .count();
+    if nested == 0 {
+        return Err(format!(
+            "`{path}` has {} complete events but none nest — span parenting is broken",
+            complete.len()
+        ));
+    }
+    println!(
+        "{path}: ok — {} events, {} complete, {nested} nested",
+        events.len(),
+        complete.len()
+    );
+    Ok(())
 }

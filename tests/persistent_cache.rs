@@ -22,8 +22,10 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 fn run(args: &[&str]) -> Output {
+    // The warm-start banner asserted on below logs at info level.
     let out = Command::new(bin())
         .args(args)
+        .env("DSP_LOG", "info")
         .output()
         .expect("spawn dualbank");
     assert!(
