@@ -63,7 +63,8 @@ pub use engine::{
     EngineError, EngineOptions, MatrixRun,
 };
 pub use report::{
-    sweep_json_prefix, sweep_json_tail, CacheFlags, JobReport, RunReport, StageTimes,
+    project_deterministic_json, sweep_json_prefix, sweep_json_tail, CacheFlags, JobReport,
+    RunReport, StageTimes,
 };
 pub use store::{
     DiskStats, DiskStore, DiskSweep, FaultIo, FaultKind, FaultOp, FaultPlan, StdIo, StoreIo,

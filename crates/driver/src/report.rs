@@ -9,7 +9,7 @@ use dsp_workloads::runner::Measurement;
 use dsp_workloads::Kind;
 
 use crate::cache::CacheStats;
-use crate::json::{escape as json_string, number as json_f64};
+use crate::json::{escape as json_string, number as json_f64, Value};
 
 /// Which cache layers served this job (`None` = layer not consulted).
 /// Schedule-dependent under parallelism — the per-layer totals in
@@ -290,6 +290,101 @@ impl RunReport {
     }
 }
 
+/// Rebuild the deterministic projection from a serialized
+/// `dualbank-run-report/v1` document — byte-identical to what
+/// [`RunReport::deterministic_json`] would emit for the run that
+/// produced it. Possible because every field of the projection is an
+/// integer or a string: nothing is lost or reformatted by the JSON
+/// round-trip. This is how a routed multi-replica sweep is compared
+/// against a single-node `--deterministic` report.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem: not a
+/// run-report document, or a job object missing/mistyping a
+/// deterministic field.
+pub fn project_deterministic_json(doc: &str) -> Result<String, String> {
+    let value = crate::json::parse(doc).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema = value.get("schema").and_then(Value::as_str).unwrap_or("");
+    if schema != "dualbank-run-report/v1" {
+        return Err(format!(
+            "expected a dualbank-run-report/v1 document, got schema {schema:?}"
+        ));
+    }
+    let strategies = value
+        .get("strategies")
+        .and_then(Value::as_array)
+        .ok_or("document has no `strategies` array")?;
+    let strats = strategies
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(json_string)
+                .ok_or("`strategies` must contain only strings")
+        })
+        .collect::<Result<Vec<_>, _>>()?
+        .join(", ");
+    let jobs = value
+        .get("jobs")
+        .and_then(Value::as_array)
+        .ok_or("document has no `jobs` array")?;
+    let cores = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| job_core_from_value(j).map_err(|e| format!("job {i}: {e}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(format!(
+        "{{\n  \"schema\": \"dualbank-run-report-deterministic/v1\",\n  \
+         \"strategies\": [{strats}],\n  \"jobs\": [\n{}\n  ]\n}}\n",
+        cores.join(",\n"),
+    ))
+}
+
+/// One parsed job object re-rendered as its [`job_core_json`] line.
+fn job_core_from_value(j: &Value) -> Result<String, String> {
+    let string = |k: &str| {
+        j.get(k)
+            .and_then(Value::as_str)
+            .map(json_string)
+            .ok_or_else(|| format!("missing string field `{k}`"))
+    };
+    let int = |k: &str| {
+        j.get(k)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("missing integer field `{k}`"))
+    };
+    let nested = |outer: &str, k: &str| {
+        j.get(outer)
+            .and_then(|o| o.get(k))
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("missing integer field `{outer}.{k}`"))
+    };
+    Ok(format!(
+        "    {{\"benchmark\": {}, \"kind\": {}, \"strategy\": {}, \
+         \"cycles\": {}, \"memory_cost\": {}, \
+         \"static_words\": {{\"x\": {}, \"y\": {}}}, \"stack_words\": {}, \"inst_words\": {}, \
+         \"partition_cost\": {}, \"duplicated_vars\": {}, \"duplicated_words\": {}, \
+         \"sim\": {{\"ops\": {}, \"loads\": {}, \"stores\": {}, \"dual_mem_cycles\": {}, \"bank_conflict_cycles\": {}}}}}",
+        string("benchmark")?,
+        string("kind")?,
+        string("strategy")?,
+        int("cycles")?,
+        int("memory_cost")?,
+        nested("static_words", "x")?,
+        nested("static_words", "y")?,
+        int("stack_words")?,
+        int("inst_words")?,
+        int("partition_cost")?,
+        int("duplicated_vars")?,
+        int("duplicated_words")?,
+        nested("sim", "ops")?,
+        nested("sim", "loads")?,
+        nested("sim", "stores")?,
+        nested("sim", "dual_mem_cycles")?,
+        nested("sim", "bank_conflict_cycles")?,
+    ))
+}
+
 /// The head of a `dualbank-run-report/v1` document: everything known
 /// at submission time (schema, workers, strategies) up to and
 /// including the opening of the `jobs` array. A streamed `/sweep`
@@ -511,6 +606,45 @@ mod tests {
         assert!(job
             .to_json_tagged(Some("a\"b"))
             .contains("\"request_id\": \"a\\\"b\""));
+    }
+
+    #[test]
+    fn projection_from_json_matches_deterministic_json() {
+        // The property the routed sweep comparison rests on: a
+        // run-report document round-tripped through JSON text projects
+        // to the byte-identical deterministic report, request-id tags
+        // and all schedule-dependent fields dropped on the floor.
+        let report = sample_report();
+        let projected =
+            project_deterministic_json(&report.to_json()).expect("report JSON projects");
+        assert_eq!(projected, report.deterministic_json());
+        // Tagged job objects (what a routed sweep carries) project the
+        // same: the extra `request_id` field is simply not selected.
+        let tagged = format!(
+            "{}{}{}",
+            sweep_json_prefix(report.workers, &report.strategies),
+            report
+                .jobs
+                .iter()
+                .map(|j| j.to_json_tagged(Some("via-router")))
+                .collect::<Vec<_>>()
+                .join(",\n"),
+            sweep_json_tail(report.wall_time, &report.cache, true),
+        );
+        assert_eq!(
+            project_deterministic_json(&tagged).expect("tagged JSON projects"),
+            report.deterministic_json()
+        );
+    }
+
+    #[test]
+    fn projection_rejects_foreign_documents() {
+        assert!(project_deterministic_json("not json").is_err());
+        assert!(project_deterministic_json("{\"schema\": \"other/v1\"}").is_err());
+        let missing_field = "{\"schema\": \"dualbank-run-report/v1\", \"strategies\": [\"cb\"], \
+                             \"jobs\": [{\"benchmark\": \"x\"}]}";
+        let err = project_deterministic_json(missing_field).unwrap_err();
+        assert!(err.contains("job 0"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! Standalone router binary; `dualbank router` is the same front-end.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = dsp_router::run_router(&args) {
+        eprintln!("dsp-router: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,427 @@
+//! Router telemetry in the Prometheus text exposition format
+//! (`GET /metrics` on the router).
+//!
+//! The families the scale-out tier is operated by:
+//!
+//! * `dsp_router_upstream_up{replica}` — ring membership per replica.
+//! * `dsp_router_requests_total{replica,status}` — upstream attempts
+//!   by replica and status (connect failures count as status `"error"`).
+//! * `dsp_router_retries_total` / `dsp_router_retry_budget_tokens` /
+//!   `dsp_router_retry_budget_exhausted_total` — failover pressure.
+//! * `dsp_router_hash_moves_total` — ring membership transitions; each
+//!   remaps exactly one replica's shard (consistent hashing).
+//! * `dsp_router_request_seconds{endpoint,status}` and
+//!   `dsp_router_upstream_seconds{replica}` — latency histograms fed
+//!   through the shared `dsp-trace` tracer (absent with `--no-trace`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dsp_trace::{families, HistogramSnapshot, Tracer};
+
+use crate::replica::{ReplicaSet, RetryBudget};
+
+/// All router counters.
+pub struct RouterMetrics {
+    started: Instant,
+    /// Client-facing requests by (endpoint, status).
+    client_requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// Upstream attempts by (replica address, status label).
+    upstream_requests: Mutex<BTreeMap<(String, String), u64>>,
+    /// Upstream attempts replayed onto another replica.
+    pub retries_total: AtomicU64,
+    /// Retries refused because the token bucket was empty.
+    pub retry_budget_exhausted_total: AtomicU64,
+    /// Connections answered 503 because the accept queue was full.
+    pub rejected_total: AtomicU64,
+    /// Requests answered 503 because no upstream replica was ready.
+    pub no_upstream_total: AtomicU64,
+    /// Fanned-out sweeps closed with `"truncated": true` after a cell
+    /// failed on every allowed attempt.
+    pub sweep_truncations_total: AtomicU64,
+    tracer: Arc<Tracer>,
+}
+
+impl RouterMetrics {
+    /// Fresh, zeroed counters; `tracer` feeds the latency histogram
+    /// families (pass [`Tracer::disabled`] to omit them).
+    #[must_use]
+    pub fn new(tracer: Arc<Tracer>) -> RouterMetrics {
+        RouterMetrics {
+            started: Instant::now(),
+            client_requests: Mutex::new(BTreeMap::new()),
+            upstream_requests: Mutex::new(BTreeMap::new()),
+            retries_total: AtomicU64::new(0),
+            retry_budget_exhausted_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            no_upstream_total: AtomicU64::new(0),
+            sweep_truncations_total: AtomicU64::new(0),
+            tracer,
+        }
+    }
+
+    /// Normalize a request path to a bounded endpoint label.
+    #[must_use]
+    pub fn endpoint_label(path: &str) -> &'static str {
+        match path {
+            "/compile" => "compile",
+            "/sweep" => "sweep",
+            "/healthz" => "healthz",
+            "/readyz" => "readyz",
+            "/metrics" => "metrics",
+            "/replicas" => "replicas",
+            "/debug/trace" => "trace",
+            "/admin/shutdown" => "shutdown",
+            _ => "other",
+        }
+    }
+
+    /// Count one finished client-facing request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request-map mutex is poisoned.
+    pub fn record_request(&self, endpoint: &'static str, status: u16, latency: Duration) {
+        *self
+            .client_requests
+            .lock()
+            .expect("metrics mutex poisoned")
+            .entry((endpoint, status))
+            .or_insert(0) += 1;
+        if self.tracer.is_enabled() {
+            self.tracer.observe(
+                families::HTTP_REQUEST,
+                &format!("{endpoint}|{status}"),
+                latency,
+            );
+        }
+    }
+
+    /// Count one upstream attempt. `status` is the HTTP status the
+    /// replica answered, or `None` for a connect/transport failure
+    /// (rendered as `status="error"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the upstream-map mutex is poisoned.
+    pub fn record_upstream(&self, replica: &str, status: Option<u16>, latency: Duration) {
+        let label = status.map_or_else(|| "error".to_string(), |s| s.to_string());
+        *self
+            .upstream_requests
+            .lock()
+            .expect("metrics mutex poisoned")
+            .entry((replica.to_string(), label))
+            .or_insert(0) += 1;
+        if self.tracer.is_enabled() {
+            self.tracer.observe(families::UPSTREAM, replica, latency);
+        }
+    }
+
+    /// Total client-facing requests recorded for `endpoint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request-map mutex is poisoned.
+    #[must_use]
+    pub fn requests_for(&self, endpoint: &str) -> u64 {
+        self.client_requests
+            .lock()
+            .expect("metrics mutex poisoned")
+            .iter()
+            .filter(|((e, _), _)| *e == endpoint)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Render the Prometheus text format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a metrics mutex is poisoned.
+    #[must_use]
+    pub fn render(
+        &self,
+        set: &ReplicaSet,
+        budget: &RetryBudget,
+        queue_depth: usize,
+        queue_capacity: usize,
+    ) -> String {
+        let mut out = String::with_capacity(4096);
+        let gauge_head = |out: &mut String, name: &str, help: &str| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+        };
+        let counter_head = |out: &mut String, name: &str, help: &str| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+        };
+
+        gauge_head(&mut out, "dsp_router_up", "1 while the router runs.");
+        let _ = writeln!(out, "dsp_router_up 1");
+        gauge_head(
+            &mut out,
+            "dsp_router_uptime_seconds",
+            "Seconds since the router started.",
+        );
+        let _ = writeln!(
+            out,
+            "dsp_router_uptime_seconds {:.3}",
+            self.started.elapsed().as_secs_f64()
+        );
+        gauge_head(
+            &mut out,
+            "dsp_router_queue_depth",
+            "Connections waiting in the accept queue.",
+        );
+        let _ = writeln!(out, "dsp_router_queue_depth {queue_depth}");
+        gauge_head(
+            &mut out,
+            "dsp_router_queue_capacity",
+            "Accept-queue capacity (pushes beyond this are 503s).",
+        );
+        let _ = writeln!(out, "dsp_router_queue_capacity {queue_capacity}");
+
+        gauge_head(
+            &mut out,
+            "dsp_router_upstream_up",
+            "1 while the replica is in the hash ring (ready), 0 while ejected.",
+        );
+        for i in 0..set.len() {
+            let _ = writeln!(
+                out,
+                "dsp_router_upstream_up{{replica=\"{}\"}} {}",
+                set.addr(i),
+                u8::from(set.is_up(i))
+            );
+        }
+        gauge_head(
+            &mut out,
+            "dsp_router_upstream_info",
+            "Announced replica identity per upstream address.",
+        );
+        for i in 0..set.len() {
+            let id = set.announced_id(i).unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "dsp_router_upstream_info{{replica=\"{}\",id=\"{id}\"}} 1",
+                set.addr(i)
+            );
+        }
+
+        counter_head(
+            &mut out,
+            "dsp_router_requests_total",
+            "Upstream attempts by replica and status (connect failures are status=\"error\").",
+        );
+        for ((replica, status), n) in self
+            .upstream_requests
+            .lock()
+            .expect("metrics mutex poisoned")
+            .iter()
+        {
+            let _ = writeln!(
+                out,
+                "dsp_router_requests_total{{replica=\"{replica}\",status=\"{status}\"}} {n}"
+            );
+        }
+        counter_head(
+            &mut out,
+            "dsp_router_client_requests_total",
+            "Finished client-facing requests by endpoint and status.",
+        );
+        for ((endpoint, status), n) in self
+            .client_requests
+            .lock()
+            .expect("metrics mutex poisoned")
+            .iter()
+        {
+            let _ = writeln!(
+                out,
+                "dsp_router_client_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {n}"
+            );
+        }
+
+        for (name, help, n) in [
+            (
+                "dsp_router_retries_total",
+                "Requests replayed onto another replica after a retryable failure.",
+                self.retries_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dsp_router_retry_budget_exhausted_total",
+                "Retries refused because the token bucket was empty.",
+                self.retry_budget_exhausted_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dsp_router_hash_moves_total",
+                "Ring membership transitions (ejections + readmissions); each remaps one replica's shard.",
+                set.hash_moves_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dsp_router_probes_total",
+                "Readiness probes answered ready.",
+                set.probes_ok_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dsp_router_probe_failures_total",
+                "Readiness probes that failed or answered not-ready.",
+                set.probes_failed_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dsp_router_rejected_total",
+                "Connections answered 503 because the accept queue was full.",
+                self.rejected_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dsp_router_no_upstream_total",
+                "Requests answered 503 because no replica was ready.",
+                self.no_upstream_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dsp_router_sweep_truncated_total",
+                "Fanned-out sweeps closed with truncated: true after cell failure.",
+                self.sweep_truncations_total.load(Ordering::Relaxed),
+            ),
+        ] {
+            counter_head(&mut out, name, help);
+            let _ = writeln!(out, "{name} {n}");
+        }
+        gauge_head(
+            &mut out,
+            "dsp_router_retry_budget_tokens",
+            "Retry tokens currently available.",
+        );
+        let _ = writeln!(out, "dsp_router_retry_budget_tokens {:.3}", budget.tokens());
+
+        self.render_trace_histograms(&mut out);
+        out
+    }
+
+    fn render_trace_histograms(&self, out: &mut String) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let http = self.tracer.family_snapshot(families::HTTP_REQUEST);
+        if !http.is_empty() {
+            let name = "dsp_router_request_seconds";
+            let _ = writeln!(
+                out,
+                "# HELP {name} End-to-end routed request latency by endpoint and status."
+            );
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (label, snap) in &http {
+                let (endpoint, status) = label.split_once('|').unwrap_or((label.as_str(), ""));
+                let labels = format!("endpoint=\"{endpoint}\",status=\"{status}\"");
+                render_log_histogram(out, name, &labels, snap);
+            }
+        }
+        let upstream = self.tracer.family_snapshot(families::UPSTREAM);
+        if !upstream.is_empty() {
+            let name = "dsp_router_upstream_seconds";
+            let _ = writeln!(out, "# HELP {name} Upstream attempt latency by replica.");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (label, snap) in &upstream {
+                let labels = format!("replica=\"{label}\"");
+                render_log_histogram(out, name, &labels, snap);
+            }
+        }
+    }
+}
+
+/// One log-bucketed tracer histogram in Prometheus exposition form
+/// (same rendering as `dsp-serve`'s families).
+fn render_log_histogram(out: &mut String, name: &str, labels: &str, snap: &HistogramSnapshot) {
+    let mut cum = 0u64;
+    for (i, n) in snap.buckets.iter().enumerate() {
+        cum += n;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels},le=\"{}\"}} {cum}",
+            dsp_trace::bucket_bound_seconds(i)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels},le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(out, "{name}_sum{{{labels}}} {:.6}", snap.sum_seconds());
+    let _ = writeln!(out, "{name}_count{{{labels}}} {}", snap.count);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_set() -> ReplicaSet {
+        ReplicaSet::new(
+            vec!["127.0.0.1:9201".into(), "127.0.0.1:9202".into()],
+            2,
+            2,
+            2,
+            Duration::from_millis(100),
+        )
+    }
+
+    #[test]
+    fn render_contains_the_documented_families() {
+        let set = sample_set();
+        set.observe(1, false);
+        set.observe(1, false); // eject replica 1
+        set.set_announced_id(0, "r1");
+        let budget = RetryBudget::new(8.0, 0.1);
+        let m = RouterMetrics::new(Tracer::disabled());
+        m.record_request("compile", 200, Duration::from_millis(2));
+        m.record_upstream("127.0.0.1:9201", Some(200), Duration::from_millis(1));
+        m.record_upstream("127.0.0.1:9202", None, Duration::from_millis(1));
+        m.retries_total.fetch_add(1, Ordering::Relaxed);
+        let text = m.render(&set, &budget, 0, 64);
+        for line in [
+            "dsp_router_up 1",
+            "dsp_router_upstream_up{replica=\"127.0.0.1:9201\"} 1",
+            "dsp_router_upstream_up{replica=\"127.0.0.1:9202\"} 0",
+            "dsp_router_upstream_info{replica=\"127.0.0.1:9201\",id=\"r1\"} 1",
+            "dsp_router_requests_total{replica=\"127.0.0.1:9201\",status=\"200\"} 1",
+            "dsp_router_requests_total{replica=\"127.0.0.1:9202\",status=\"error\"} 1",
+            "dsp_router_client_requests_total{endpoint=\"compile\",status=\"200\"} 1",
+            "dsp_router_retries_total 1",
+            "dsp_router_retry_budget_exhausted_total 0",
+            "dsp_router_hash_moves_total 1",
+            "dsp_router_retry_budget_tokens 8.000",
+            "dsp_router_no_upstream_total 0",
+            "dsp_router_sweep_truncated_total 0",
+        ] {
+            assert!(text.contains(line), "missing `{line}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn latency_families_render_only_with_tracing() {
+        let set = sample_set();
+        let budget = RetryBudget::new(8.0, 0.1);
+        let traced = RouterMetrics::new(Tracer::new(64));
+        traced.record_request("compile", 200, Duration::from_millis(2));
+        traced.record_upstream("127.0.0.1:9201", Some(200), Duration::from_micros(700));
+        let text = traced.render(&set, &budget, 0, 64);
+        for line in [
+            "# TYPE dsp_router_request_seconds histogram",
+            "dsp_router_request_seconds_count{endpoint=\"compile\",status=\"200\"} 1",
+            "# TYPE dsp_router_upstream_seconds histogram",
+            "dsp_router_upstream_seconds_count{replica=\"127.0.0.1:9201\"} 1",
+        ] {
+            assert!(text.contains(line), "missing `{line}` in:\n{text}");
+        }
+        let untraced = RouterMetrics::new(Tracer::disabled());
+        untraced.record_request("compile", 200, Duration::from_millis(2));
+        let text = untraced.render(&set, &budget, 0, 64);
+        assert!(!text.contains("dsp_router_request_seconds"), "{text}");
+        assert!(!text.contains("dsp_router_upstream_seconds"), "{text}");
+    }
+
+    #[test]
+    fn unknown_paths_collapse_to_other() {
+        assert_eq!(RouterMetrics::endpoint_label("/compile"), "compile");
+        assert_eq!(RouterMetrics::endpoint_label("/replicas"), "replicas");
+        assert_eq!(RouterMetrics::endpoint_label("/nope"), "other");
+    }
+}

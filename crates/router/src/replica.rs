@@ -1,0 +1,501 @@
+//! The replica table: per-upstream health state, the live hash ring
+//! over the ready members, and a bounded keep-alive connection pool
+//! per replica.
+//!
+//! Health is hysteretic: a replica is ejected from the ring after
+//! `fail_after` consecutive failed observations (probes or request
+//! attempts) and readmitted after `readmit_after` consecutive
+//! successes, so one dropped packet neither ejects a healthy replica
+//! nor readmits a flapping one. Every membership change rebuilds the
+//! ring — cheap, `replicas × VNODES` points — and bumps the
+//! `hash_moves` counter that `dsp_router_hash_moves_total` exposes.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use dsp_serve::client::ClientConn;
+
+use crate::ring::Ring;
+
+/// How one health observation changed the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The replica crossed the failure threshold and left the ring.
+    Ejected,
+    /// The replica crossed the success threshold and rejoined.
+    Readmitted,
+}
+
+/// Mutable health fields, guarded together so threshold crossings and
+/// ring rebuilds are atomic with respect to each other.
+struct Health {
+    up: bool,
+    consecutive_ok: u32,
+    consecutive_fail: u32,
+    /// The replica id the upstream announced via `X-Dsp-Replica`
+    /// (empty until first seen).
+    announced_id: Option<String>,
+}
+
+/// One replica's connection pool: at most `cap` connections exist at
+/// a time (idle + checked out); checkouts beyond that wait.
+struct Pool {
+    idle: Vec<ClientConn>,
+    outstanding: usize,
+}
+
+struct Replica {
+    addr: String,
+    health: Mutex<Health>,
+    pool: Mutex<Pool>,
+    pool_ready: Condvar,
+}
+
+/// The set of upstream replicas plus the consistent-hash ring over the
+/// ready ones.
+pub struct ReplicaSet {
+    replicas: Vec<Replica>,
+    labels: Vec<String>,
+    ring: Mutex<Ring>,
+    pool_cap: usize,
+    fail_after: u32,
+    readmit_after: u32,
+    upstream_timeout: Duration,
+    /// Ring membership transitions (ejections + readmissions). Each
+    /// transition remaps exactly the moving replica's shard.
+    pub hash_moves_total: AtomicU64,
+    /// Probe outcomes, for `/metrics`.
+    pub probes_ok_total: AtomicU64,
+    /// Probe failures, for `/metrics`.
+    pub probes_failed_total: AtomicU64,
+}
+
+/// A checked-out upstream connection. Call [`PooledConn::succeed`] to
+/// return it for reuse; dropping it without that discards the socket
+/// and frees the pool slot (the right thing after any IO error).
+pub struct PooledConn<'a> {
+    set: &'a ReplicaSet,
+    idx: usize,
+    conn: Option<ClientConn>,
+    reused: bool,
+}
+
+impl PooledConn<'_> {
+    /// The live connection.
+    pub fn conn(&mut self) -> &mut ClientConn {
+        self.conn.as_mut().expect("connection present until drop")
+    }
+
+    /// True when this is a reused idle keep-alive socket rather than a
+    /// fresh dial. A transport failure before any response byte on a
+    /// reused socket usually means the replica closed it while idle
+    /// (stale keep-alive) — the caller should discard and redial the
+    /// *same* replica, not fail over.
+    #[must_use]
+    pub fn was_reused(&self) -> bool {
+        self.reused
+    }
+
+    /// Return the connection to the idle pool for keep-alive reuse.
+    pub fn succeed(mut self) {
+        if let Some(conn) = self.conn.take() {
+            self.set.checkin(self.idx, conn);
+        }
+    }
+}
+
+impl Drop for PooledConn<'_> {
+    fn drop(&mut self) {
+        if self.conn.take().is_some() {
+            // Discarded (error path): the socket dies, the slot frees.
+            self.set.release_slot(self.idx);
+        }
+    }
+}
+
+impl ReplicaSet {
+    /// A set over `addrs`, all initially ready (optimistic start: the
+    /// first failed observations eject the truly-dead ones within
+    /// `fail_after` probes).
+    #[must_use]
+    pub fn new(
+        addrs: Vec<String>,
+        pool_cap: usize,
+        fail_after: u32,
+        readmit_after: u32,
+        upstream_timeout: Duration,
+    ) -> ReplicaSet {
+        let replicas: Vec<Replica> = addrs
+            .iter()
+            .map(|addr| Replica {
+                addr: addr.clone(),
+                health: Mutex::new(Health {
+                    up: true,
+                    consecutive_ok: 0,
+                    consecutive_fail: 0,
+                    announced_id: None,
+                }),
+                pool: Mutex::new(Pool {
+                    idle: Vec::new(),
+                    outstanding: 0,
+                }),
+                pool_ready: Condvar::new(),
+            })
+            .collect();
+        let members: Vec<usize> = (0..replicas.len()).collect();
+        let ring = Ring::build(&addrs, &members);
+        ReplicaSet {
+            replicas,
+            labels: addrs,
+            ring: Mutex::new(ring),
+            pool_cap: pool_cap.max(1),
+            fail_after: fail_after.max(1),
+            readmit_after: readmit_after.max(1),
+            upstream_timeout,
+            hash_moves_total: AtomicU64::new(0),
+            probes_ok_total: AtomicU64::new(0),
+            probes_failed_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of configured replicas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True when no replicas are configured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The replica's address (its stable metrics label and ring
+    /// identity).
+    #[must_use]
+    pub fn addr(&self, idx: usize) -> &str {
+        &self.replicas[idx].addr
+    }
+
+    /// Is the replica currently in the ring?
+    ///
+    /// # Panics
+    ///
+    /// Panics if the health mutex is poisoned.
+    #[must_use]
+    pub fn is_up(&self, idx: usize) -> bool {
+        self.replicas[idx].health.lock().expect("health mutex").up
+    }
+
+    /// Replicas currently in the ring.
+    #[must_use]
+    pub fn ready_count(&self) -> usize {
+        (0..self.replicas.len()).filter(|&i| self.is_up(i)).count()
+    }
+
+    /// The replica id the upstream announced, when known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the health mutex is poisoned.
+    #[must_use]
+    pub fn announced_id(&self, idx: usize) -> Option<String> {
+        self.replicas[idx]
+            .health
+            .lock()
+            .expect("health mutex")
+            .announced_id
+            .clone()
+    }
+
+    /// Record the replica id seen in an upstream `X-Dsp-Replica`
+    /// header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the health mutex is poisoned.
+    pub fn set_announced_id(&self, idx: usize, id: &str) {
+        let mut h = self.replicas[idx].health.lock().expect("health mutex");
+        if h.announced_id.as_deref() != Some(id) {
+            h.announced_id = Some(id.to_string());
+        }
+    }
+
+    /// A snapshot of the current ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring mutex is poisoned.
+    #[must_use]
+    pub fn ring(&self) -> Ring {
+        self.ring.lock().expect("ring mutex").clone()
+    }
+
+    /// Record one health observation (a probe result or a request
+    /// attempt's connect-level outcome) and rebuild the ring if the
+    /// replica crossed a threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the health mutex is poisoned.
+    pub fn observe(&self, idx: usize, ok: bool) -> Option<Transition> {
+        let transition = {
+            let mut h = self.replicas[idx].health.lock().expect("health mutex");
+            if ok {
+                h.consecutive_ok += 1;
+                h.consecutive_fail = 0;
+                if !h.up && h.consecutive_ok >= self.readmit_after {
+                    h.up = true;
+                    Some(Transition::Readmitted)
+                } else {
+                    None
+                }
+            } else {
+                h.consecutive_fail += 1;
+                h.consecutive_ok = 0;
+                if h.up && h.consecutive_fail >= self.fail_after {
+                    h.up = false;
+                    Some(Transition::Ejected)
+                } else {
+                    None
+                }
+            }
+        };
+        if transition.is_some() {
+            self.rebuild_ring();
+            self.hash_moves_total.fetch_add(1, Ordering::Relaxed);
+        }
+        transition
+    }
+
+    fn rebuild_ring(&self) {
+        let members: Vec<usize> = (0..self.replicas.len())
+            .filter(|&i| self.is_up(i))
+            .collect();
+        *self.ring.lock().expect("ring mutex") = Ring::build(&self.labels, &members);
+    }
+
+    /// Check out a connection to `idx`, reusing an idle keep-alive
+    /// socket when one exists, dialing a new one otherwise, and
+    /// waiting (bounded) when the pool is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connect failure or when the pool stays exhausted past
+    /// the upstream timeout — both are failover signals for the
+    /// caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool mutex is poisoned.
+    pub fn checkout(&self, idx: usize) -> io::Result<PooledConn<'_>> {
+        let replica = &self.replicas[idx];
+        let mut pool = replica.pool.lock().expect("pool mutex");
+        loop {
+            if let Some(conn) = pool.idle.pop() {
+                pool.outstanding += 1;
+                return Ok(PooledConn {
+                    set: self,
+                    idx,
+                    conn: Some(conn),
+                    reused: true,
+                });
+            }
+            if pool.idle.len() + pool.outstanding < self.pool_cap {
+                pool.outstanding += 1;
+                drop(pool);
+                // Dial outside the lock; a slow connect must not block
+                // the other slots.
+                return match ClientConn::connect(&replica.addr, self.upstream_timeout) {
+                    Ok(conn) => Ok(PooledConn {
+                        set: self,
+                        idx,
+                        conn: Some(conn),
+                        reused: false,
+                    }),
+                    Err(e) => {
+                        self.release_slot(idx);
+                        Err(e)
+                    }
+                };
+            }
+            let (guard, timeout) = replica
+                .pool_ready
+                .wait_timeout(pool, self.upstream_timeout)
+                .expect("pool mutex");
+            pool = guard;
+            if timeout.timed_out() && pool.idle.is_empty() && pool.outstanding >= self.pool_cap {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    format!("connection pool to {} exhausted", replica.addr),
+                ));
+            }
+        }
+    }
+
+    fn checkin(&self, idx: usize, conn: ClientConn) {
+        let replica = &self.replicas[idx];
+        let mut pool = replica.pool.lock().expect("pool mutex");
+        pool.outstanding = pool.outstanding.saturating_sub(1);
+        if pool.idle.len() < self.pool_cap {
+            pool.idle.push(conn);
+        }
+        drop(pool);
+        replica.pool_ready.notify_one();
+    }
+
+    fn release_slot(&self, idx: usize) {
+        let replica = &self.replicas[idx];
+        let mut pool = replica.pool.lock().expect("pool mutex");
+        pool.outstanding = pool.outstanding.saturating_sub(1);
+        drop(pool);
+        replica.pool_ready.notify_one();
+    }
+
+    /// Drop all idle pooled connections (shutdown hygiene).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool mutex is poisoned.
+    pub fn drain_pools(&self) {
+        for r in &self.replicas {
+            r.pool.lock().expect("pool mutex").idle.clear();
+        }
+    }
+}
+
+/// A token-bucket retry budget shared by every request: each incoming
+/// request deposits a fraction of a token, each retry withdraws a
+/// whole one. Under a healthy fleet the bucket sits full and every
+/// failover is allowed; under a gray failure (every request failing)
+/// retries are capped at `deposit` per request, so the fleet sees at
+/// most `1 + deposit` load amplification instead of a retry storm.
+pub struct RetryBudget {
+    tokens: Mutex<f64>,
+    cap: f64,
+    deposit: f64,
+}
+
+impl RetryBudget {
+    /// A budget holding at most `cap` tokens (starts full), earning
+    /// `deposit` per request.
+    #[must_use]
+    pub fn new(cap: f64, deposit: f64) -> RetryBudget {
+        RetryBudget {
+            tokens: Mutex::new(cap),
+            cap,
+            deposit,
+        }
+    }
+
+    /// Credit one incoming request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token mutex is poisoned.
+    pub fn earn(&self) {
+        let mut t = self.tokens.lock().expect("budget mutex");
+        *t = (*t + self.deposit).min(self.cap);
+    }
+
+    /// Try to spend one token for a retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token mutex is poisoned.
+    pub fn try_withdraw(&self) -> bool {
+        let mut t = self.tokens.lock().expect("budget mutex");
+        if *t >= 1.0 {
+            *t -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (a `/metrics` gauge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token mutex is poisoned.
+    #[must_use]
+    pub fn tokens(&self) -> f64 {
+        *self.tokens.lock().expect("budget mutex")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(n: usize) -> ReplicaSet {
+        let addrs = (0..n).map(|i| format!("127.0.0.1:91{i:02}")).collect();
+        ReplicaSet::new(addrs, 2, 2, 2, Duration::from_millis(100))
+    }
+
+    #[test]
+    fn ejection_needs_consecutive_failures_and_readmission_consecutive_successes() {
+        let s = set(2);
+        assert_eq!(s.ready_count(), 2);
+        assert_eq!(s.observe(0, false), None, "one failure must not eject");
+        assert_eq!(s.observe(0, true), None, "success resets the streak");
+        assert_eq!(s.observe(0, false), None);
+        assert_eq!(s.observe(0, false), Some(Transition::Ejected));
+        assert!(!s.is_up(0));
+        assert_eq!(s.ready_count(), 1);
+        assert_eq!(s.hash_moves_total.load(Ordering::Relaxed), 1);
+        // Already down: more failures are not new transitions.
+        assert_eq!(s.observe(0, false), None);
+        assert_eq!(s.observe(0, true), None, "one success must not readmit");
+        assert_eq!(s.observe(0, true), Some(Transition::Readmitted));
+        assert!(s.is_up(0));
+        assert_eq!(s.hash_moves_total.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn ring_tracks_membership() {
+        let s = set(2);
+        let full = s.ring();
+        s.observe(0, false);
+        s.observe(0, false);
+        let half = s.ring();
+        for k in 0..200u64 {
+            let key = crate::ring::fnv1a(&k.to_le_bytes());
+            assert_eq!(half.route(key), Some(1));
+            assert!(full.route(key).is_some());
+        }
+        s.observe(1, false);
+        s.observe(1, false);
+        assert!(s.ring().is_empty());
+        assert_eq!(s.ready_count(), 0);
+    }
+
+    #[test]
+    fn retry_budget_caps_amplification() {
+        let b = RetryBudget::new(2.0, 0.5);
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw(), "empty bucket must refuse");
+        b.earn();
+        assert!(!b.try_withdraw(), "half a token is not a retry");
+        b.earn();
+        assert!(b.try_withdraw());
+        for _ in 0..100 {
+            b.earn();
+        }
+        assert!((b.tokens() - 2.0).abs() < 1e-9, "bucket must cap at 2");
+    }
+
+    #[test]
+    fn pool_bounds_outstanding_connections() {
+        // No listener at this address: checkout dials and fails, but
+        // the slot accounting must survive the error path.
+        let s = set(1);
+        for _ in 0..5 {
+            assert!(s.checkout(0).is_err());
+        }
+        assert_eq!(s.replicas[0].pool.lock().unwrap().outstanding, 0);
+    }
+}

@@ -1,0 +1,1169 @@
+//! The router itself: accept loop → bounded queue → connection
+//! workers, a background readiness prober, and the two proxied
+//! compute paths.
+//!
+//! ```text
+//!            ┌────────────┐        ┌──────────────────────────────┐
+//!  clients ──│ dsp-router │──┬────▶│ replica A  (dsp-serve :8301) │
+//!            │  hash ring │  │     ├──────────────────────────────┤
+//!            │  + retries │  └────▶│ replica B  (dsp-serve :8302) │
+//!            └────────────┘        └──────────────────────────────┘
+//! ```
+//!
+//! `/compile` routes by the shard key of `(source, strategy)` — the
+//! cache-affinity key — so repeated compiles of the same unit land on
+//! the replica whose memory and disk caches already hold the
+//! artifact. On a retryable failure (connect error, transport error
+//! before any response byte, or a complete 5xx answer) the request
+//! replays to the next ring candidate, gated by the shared
+//! [`RetryBudget`]; a transport failure *after* the first response
+//! byte is never replayed — the upstream may have executed the
+//! request — and becomes a 502.
+//!
+//! `/sweep` fans the benchmark × strategy matrix out cell-by-cell,
+//! each cell routed by its own shard key, fetched concurrently by a
+//! bounded worker pool, and reassembled **in matrix order** into a
+//! `dualbank-run-report/v1` document that is wire-shape-compatible
+//! with a single replica's: same prefix, the same job objects, same
+//! tail. Cells are pure compute (idempotent), so unlike `/compile`
+//! they may be replayed even after a response byte was seen — this is
+//! what makes `kill -9` of a replica mid-sweep recoverable. A cell
+//! that fails every allowed attempt closes the document honestly with
+//! `"truncated": true`, exactly like a single node hitting its
+//! deadline mid-stream.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dsp_backend::Strategy;
+use dsp_driver::json::{self, Value};
+use dsp_driver::{sweep_json_prefix, sweep_json_tail, CacheStats, SpanCtx, Tracer};
+use dsp_serve::client::ClientResponse;
+use dsp_serve::http::{read_request, ChunkedWriter, Request, RequestError, Response};
+use dsp_serve::server::parse_sweep_targets;
+use dsp_serve::{BoundedQueue, PushError};
+
+use crate::metrics::RouterMetrics;
+use crate::replica::{ReplicaSet, RetryBudget};
+use crate::ring::shard_key;
+
+/// Everything tunable about a router.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port `0` picks a free port.
+    pub addr: String,
+    /// Upstream `dsp-serve` replica addresses (`host:port`).
+    pub replicas: Vec<String>,
+    /// Connection-worker threads; `0` means
+    /// [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Accept-queue capacity (connections beyond this get 503).
+    pub queue_capacity: usize,
+    /// Maximum request-body size in bytes (beyond → 413).
+    pub max_body: usize,
+    /// Client-side socket read timeout (idle keep-alive lifetime).
+    pub read_timeout: Duration,
+    /// Per-attempt upstream timeout: connect, pool wait, and response
+    /// read are each bounded by it.
+    pub upstream_timeout: Duration,
+    /// How often the background prober checks every replica's
+    /// `/readyz`.
+    pub probe_interval: Duration,
+    /// Consecutive failed observations that eject a replica.
+    pub fail_after: u32,
+    /// Consecutive successful probes that readmit one.
+    pub readmit_after: u32,
+    /// Bounded keep-alive connections per replica (checked out by
+    /// requests and sweep cells alike).
+    pub pool_per_replica: usize,
+    /// Extra attempts per request/cell beyond the first.
+    pub retries: u32,
+    /// Backoff before the first retry (doubles per further retry).
+    pub retry_backoff: Duration,
+    /// Retry-budget token cap (the bucket starts full).
+    pub retry_budget: f64,
+    /// Tokens earned per incoming request or sweep cell.
+    pub retry_deposit: f64,
+    /// Concurrent sweep-cell fetches.
+    pub fanout: usize,
+    /// Whether to record spans and latency histograms.
+    pub trace: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            replicas: Vec::new(),
+            workers: 0,
+            queue_capacity: 64,
+            max_body: 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+            upstream_timeout: Duration::from_secs(30),
+            probe_interval: Duration::from_millis(500),
+            fail_after: 2,
+            readmit_after: 2,
+            pool_per_replica: 4,
+            retries: 2,
+            retry_backoff: Duration::from_millis(10),
+            retry_budget: 16.0,
+            retry_deposit: 0.1,
+            fanout: 4,
+            trace: true,
+        }
+    }
+}
+
+struct Shared {
+    config: RouterConfig,
+    set: ReplicaSet,
+    metrics: RouterMetrics,
+    budget: RetryBudget,
+    queue: BoundedQueue<TcpStream>,
+    tracer: Arc<Tracer>,
+    shutdown: AtomicBool,
+    workers: usize,
+}
+
+/// A bound, not-yet-running router.
+pub struct Router {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// Remote control for a running [`Router`] (cloneable, thread-safe).
+#[derive(Clone)]
+pub struct RouterHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl RouterHandle {
+    /// The router's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful shutdown; replicas are left running.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.queue.close();
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Router {
+    /// Bind to `config.addr`. The router is not serving until
+    /// [`Router::run`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on bind failure or an empty replica list.
+    pub fn bind(config: RouterConfig) -> io::Result<Router> {
+        if config.replicas.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a router needs at least one --replica",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+        } else {
+            config.workers
+        };
+        let tracer = if config.trace {
+            Tracer::new(8192)
+        } else {
+            Tracer::disabled()
+        };
+        let set = ReplicaSet::new(
+            config.replicas.clone(),
+            config.pool_per_replica,
+            config.fail_after,
+            config.readmit_after,
+            config.upstream_timeout,
+        );
+        let budget = RetryBudget::new(config.retry_budget, config.retry_deposit);
+        let queue = BoundedQueue::new(config.queue_capacity);
+        Ok(Router {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                metrics: RouterMetrics::new(Arc::clone(&tracer)),
+                config,
+                set,
+                budget,
+                queue,
+                tracer,
+                shutdown: AtomicBool::new(false),
+                workers,
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle for shutting the router down from another thread.
+    #[must_use]
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.local_addr,
+        }
+    }
+
+    /// Serve until a graceful shutdown is requested. Runs the accept
+    /// loop on the calling thread; connection workers and the
+    /// readiness prober run on background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop transport failures.
+    pub fn run(self) -> io::Result<()> {
+        let mut workers = Vec::with_capacity(self.shared.workers + 1);
+        for i in 0..self.shared.workers {
+            let shared = Arc::clone(&self.shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dsp-router-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&self.shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("dsp-router-prober".to_string())
+                    .spawn(move || prober_loop(&shared))?,
+            );
+        }
+
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let _ = stream.set_read_timeout(Some(self.shared.config.read_timeout));
+            let _ = stream.set_nodelay(true);
+            match self.shared.queue.try_push(stream) {
+                Ok(()) => {}
+                Err(PushError::Full(mut stream)) => {
+                    self.shared
+                        .metrics
+                        .rejected_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::error(503, "router is at capacity, retry shortly")
+                        .with_header("Retry-After", "1".to_string());
+                    let _ = resp.write_to(&mut stream, false);
+                }
+                Err(PushError::Closed(_)) => break,
+            }
+        }
+
+        self.shared.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        self.shared.set.drain_pools();
+        Ok(())
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(mut stream) = shared.queue.pop() {
+        handle_connection(shared, &mut stream);
+    }
+}
+
+/// Probe every replica's `/readyz` on a fresh connection (never a
+/// pooled one — a probe must not contend with request traffic for
+/// pool slots) and feed the outcomes into the hysteretic health state.
+fn prober_loop(shared: &Arc<Shared>) {
+    let probe_timeout = shared.config.upstream_timeout.min(Duration::from_secs(1));
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        for idx in 0..shared.set.len() {
+            let ok = probe_once(shared, idx, probe_timeout);
+            if ok {
+                shared.set.probes_ok_total.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared
+                    .set
+                    .probes_failed_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            shared.set.observe(idx, ok);
+        }
+        // Sleep in short slices so shutdown is prompt.
+        let mut remaining = shared.config.probe_interval;
+        while !remaining.is_zero() && !shared.shutdown.load(Ordering::SeqCst) {
+            let slice = remaining.min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+fn probe_once(shared: &Shared, idx: usize, timeout: Duration) -> bool {
+    let Ok(mut conn) = dsp_serve::client::ClientConn::connect(shared.set.addr(idx), timeout) else {
+        return false;
+    };
+    match conn.request("GET", "/readyz", None) {
+        Ok(resp) => {
+            if let Some(id) = resp.header("x-dsp-replica") {
+                shared.set.set_announced_id(idx, id);
+            }
+            resp.status == 200
+        }
+        Err(_) => false,
+    }
+}
+
+/// Serve one client connection for its keep-alive lifetime.
+fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
+    loop {
+        let request = match read_request(stream, shared.config.max_body) {
+            Ok(r) => r,
+            Err(RequestError::Closed | RequestError::TimedOut | RequestError::Io(_)) => return,
+            Err(RequestError::BodyTooLarge { declared, limit }) => {
+                let msg =
+                    format!("request body of {declared} bytes exceeds the {limit}-byte limit");
+                let _ = Response::error(413, &msg).write_to(stream, false);
+                return;
+            }
+            Err(RequestError::Malformed(why)) => {
+                let _ = Response::error(400, why).write_to(stream, false);
+                return;
+            }
+        };
+
+        let started = Instant::now();
+        let endpoint = RouterMetrics::endpoint_label(&request.path);
+        let mut span = shared
+            .tracer
+            .span("router.request", "router", shared.tracer.new_trace());
+        let root = span.ctx();
+        let req_id = request_id(&request, root);
+        span.attr("method", &request.method);
+        span.attr("path", &request.path);
+        if let Some(id) = &req_id {
+            span.attr("request_id", id);
+        }
+
+        if request.method == "POST" && request.path == "/sweep" {
+            let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+            let outcome = handle_sweep(
+                shared,
+                &request,
+                stream,
+                keep_alive,
+                root,
+                req_id.as_deref(),
+            );
+            span.attr("status", &outcome.status.to_string());
+            drop(span);
+            shared
+                .metrics
+                .record_request(endpoint, outcome.status, started.elapsed());
+            if !outcome.io_ok || !keep_alive {
+                return;
+            }
+            continue;
+        }
+
+        let (response, trigger_shutdown) = route(shared, &request, root, req_id.as_deref());
+        let response = match &req_id {
+            Some(id) => response.with_header("X-Request-Id", id.clone()),
+            None => response,
+        };
+        span.attr("status", &response.status.to_string());
+        drop(span);
+        shared
+            .metrics
+            .record_request(endpoint, response.status, started.elapsed());
+
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst) || trigger_shutdown;
+        let keep_alive = request.keep_alive() && !shutting_down;
+        if response.write_to(stream, keep_alive).is_err() {
+            return;
+        }
+        if trigger_shutdown {
+            RouterHandle {
+                shared: Arc::clone(shared),
+                addr: stream
+                    .local_addr()
+                    .unwrap_or_else(|_| SocketAddr::from(([127, 0, 0, 1], 0))),
+            }
+            .shutdown();
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// The request's correlation ID — the same policy as `dsp-serve`, so
+/// an ID minted here is accepted verbatim by the replica and the
+/// client, the router, and the replica's `/debug/trace` all see one
+/// ID: a client-supplied `X-Request-Id` (sanitized) wins; otherwise
+/// the trace ID is minted into one.
+fn request_id(request: &Request, root: SpanCtx) -> Option<String> {
+    let client: Option<String> = request.header("x-request-id").map(|v| {
+        v.chars()
+            .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+            .take(64)
+            .collect()
+    });
+    match client {
+        Some(id) if !id.is_empty() => Some(id),
+        _ if root.trace != 0 => Some(format!("{:016x}", root.trace)),
+        _ => None,
+    }
+}
+
+fn route(
+    shared: &Arc<Shared>,
+    request: &Request,
+    root: SpanCtx,
+    req_id: Option<&str>,
+) -> (Response, bool) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (
+            Response::json(200, "{\"status\": \"ok\"}\n".to_string()),
+            false,
+        ),
+        // The router is ready when it can route somewhere.
+        ("GET", "/readyz") => {
+            let ready = shared.set.ready_count();
+            if ready == 0 {
+                (Response::error(503, "no upstream replica is ready"), false)
+            } else {
+                (
+                    Response::json(
+                        200,
+                        format!("{{\"status\": \"ready\", \"upstreams\": {ready}}}\n"),
+                    ),
+                    false,
+                )
+            }
+        }
+        ("GET", "/metrics") => {
+            let text = shared.metrics.render(
+                &shared.set,
+                &shared.budget,
+                shared.queue.len(),
+                shared.config.queue_capacity,
+            );
+            (Response::text(200, &text), false)
+        }
+        ("GET", "/replicas") => (replicas_response(shared), false),
+        ("GET", "/debug/trace") => (handle_debug_trace(shared, &request.query), false),
+        ("POST", "/compile") => (proxy_compile(shared, request, root, req_id), false),
+        ("POST", "/admin/shutdown") => (
+            Response::json(200, "{\"status\": \"draining\"}\n".to_string()),
+            true,
+        ),
+        (
+            _,
+            "/healthz" | "/readyz" | "/metrics" | "/replicas" | "/debug/trace" | "/compile"
+            | "/sweep" | "/admin/shutdown",
+        ) => (
+            Response::error(405, "method not allowed for this path"),
+            false,
+        ),
+        _ => (Response::error(404, "no such endpoint"), false),
+    }
+}
+
+/// `GET /replicas`: the fleet as the router sees it.
+fn replicas_response(shared: &Shared) -> Response {
+    let mut body = String::from("{\"schema\": \"dualbank-router-replicas/v1\", \"replicas\": [");
+    for i in 0..shared.set.len() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        let id = shared
+            .set
+            .announced_id(i)
+            .map_or_else(|| "null".to_string(), |id| json::escape(&id));
+        body.push_str(&format!(
+            "{{\"addr\": {}, \"up\": {}, \"id\": {id}}}",
+            json::escape(shared.set.addr(i)),
+            shared.set.is_up(i),
+        ));
+    }
+    body.push_str("]}\n");
+    Response::json(200, body)
+}
+
+fn handle_debug_trace(shared: &Shared, query: &str) -> Response {
+    if !shared.tracer.is_enabled() {
+        return Response::error(404, "tracing is disabled on this router");
+    }
+    let n = query
+        .split('&')
+        .find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == "n").then_some(v)
+        })
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(256)
+        .clamp(1, 4096);
+    let spans = shared.tracer.snapshot(n);
+    let mut body = String::with_capacity(64 + spans.len() * 192);
+    body.push_str("{\"schema\": \"dualbank-trace/v1\", \"dropped\": ");
+    body.push_str(&shared.tracer.dropped().to_string());
+    body.push_str(", \"spans\": [");
+    for (i, s) in spans.iter().enumerate() {
+        body.push_str(if i == 0 { "\n" } else { ",\n" });
+        body.push_str(&dsp_trace::export::span_json(s));
+    }
+    body.push_str("]}\n");
+    Response::json(200, body)
+}
+
+/// One upstream attempt's outcome.
+enum Attempt {
+    /// A complete HTTP response (any status).
+    Answered(ClientResponse),
+    /// A transport failure; `response_started` is the replay-safety
+    /// signal.
+    Transport {
+        response_started: bool,
+        error: String,
+    },
+}
+
+/// One attempt against replica `idx`: check out a pooled connection,
+/// exchange, feed health and metrics.
+///
+/// A transport failure before any response byte on a *reused* pooled
+/// socket is not evidence about the replica — it is almost always a
+/// keep-alive the replica closed while the socket sat idle. Those are
+/// discarded and the exchange redialed against the same replica (the
+/// idle pool is finite, so this terminates at a fresh dial, whose
+/// outcome is authoritative). Without this, an idle-timeout sweep of
+/// the pool would spray cache affinity across the fleet and eject
+/// healthy replicas.
+fn attempt_exchange(
+    shared: &Shared,
+    idx: usize,
+    path: &str,
+    req_id: Option<&str>,
+    body: Option<&str>,
+    root: SpanCtx,
+) -> Attempt {
+    let addr = shared.set.addr(idx);
+    let t0 = Instant::now();
+    let mut span = shared.tracer.span("router.upstream", "router", root);
+    span.attr("replica", addr);
+    let headers: Vec<(&str, &str)> = req_id.iter().map(|id| ("X-Request-Id", *id)).collect();
+    loop {
+        let mut pooled = match shared.set.checkout(idx) {
+            Ok(c) => c,
+            Err(e) => {
+                shared.metrics.record_upstream(addr, None, t0.elapsed());
+                shared.set.observe(idx, false);
+                span.attr("outcome", "connect-error");
+                return Attempt::Transport {
+                    response_started: false,
+                    error: format!("connect to {addr}: {e}"),
+                };
+            }
+        };
+        let stale_candidate = pooled.was_reused();
+        match pooled.conn().exchange("POST", path, &headers, body) {
+            Ok(resp) => {
+                shared
+                    .metrics
+                    .record_upstream(addr, Some(resp.status), t0.elapsed());
+                // Transport-level health: the replica answered, even if
+                // with an error status. Ejection is for dead replicas.
+                shared.set.observe(idx, true);
+                if let Some(id) = resp.header("x-dsp-replica") {
+                    shared.set.set_announced_id(idx, id);
+                }
+                span.attr("status", &resp.status.to_string());
+                pooled.succeed();
+                return Attempt::Answered(resp);
+            }
+            Err(e) if stale_candidate && !e.response_started => {
+                // Stale keep-alive: discard (the drop frees the slot)
+                // and go around — no health or failover consequences.
+                drop(pooled);
+                continue;
+            }
+            Err(e) => {
+                shared.metrics.record_upstream(addr, None, t0.elapsed());
+                shared.set.observe(idx, false);
+                span.attr(
+                    "outcome",
+                    if e.response_started {
+                        "failed-mid-response"
+                    } else {
+                        "failed-before-response"
+                    },
+                );
+                // `pooled` drops here: the broken socket is discarded
+                // and the pool slot freed.
+                return Attempt::Transport {
+                    response_started: e.response_started,
+                    error: format!("{addr}: {e}"),
+                };
+            }
+        }
+    }
+}
+
+/// Spend a retry token (after backoff) or report the budget empty.
+fn take_retry_token(shared: &Shared, attempt: usize) -> bool {
+    if !shared.budget.try_withdraw() {
+        shared
+            .metrics
+            .retry_budget_exhausted_total
+            .fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    shared.metrics.retries_total.fetch_add(1, Ordering::Relaxed);
+    // 10ms, 20ms, 40ms, ... — enough to ride out a replica restart
+    // without stalling interactive traffic.
+    let backoff = shared.config.retry_backoff * (1 << (attempt - 1).min(6)) as u32;
+    std::thread::sleep(backoff);
+    true
+}
+
+/// The `/compile` shard key: hash of `(source, strategy label)`, the
+/// routing-side mirror of the engine's artifact-cache key. An
+/// unparsable body still hashes deterministically (the replica will
+/// produce the 400).
+fn compile_shard_key(body: &[u8]) -> u64 {
+    let parsed = std::str::from_utf8(body)
+        .ok()
+        .and_then(|s| json::parse(s).ok());
+    let source = parsed
+        .as_ref()
+        .and_then(|v| v.get("source"))
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| String::from_utf8_lossy(body).into_owned());
+    let strategy = parsed
+        .as_ref()
+        .and_then(|v| v.get("strategy"))
+        .and_then(Value::as_str)
+        .and_then(|name| Strategy::parse(name).ok())
+        .unwrap_or(Strategy::CbPartition);
+    shard_key(&source, strategy.label())
+}
+
+/// `POST /compile`: route by cache affinity, replay retryable
+/// failures to the next ring candidate, never double-send after the
+/// first response byte.
+fn proxy_compile(
+    shared: &Arc<Shared>,
+    request: &Request,
+    root: SpanCtx,
+    req_id: Option<&str>,
+) -> Response {
+    shared.budget.earn();
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "request body is not UTF-8");
+    };
+    let candidates = shared
+        .set
+        .ring()
+        .candidates(compile_shard_key(&request.body));
+    if candidates.is_empty() {
+        shared
+            .metrics
+            .no_upstream_total
+            .fetch_add(1, Ordering::Relaxed);
+        return Response::error(503, "no upstream replica is ready");
+    }
+    let attempts = candidates.len().min(shared.config.retries as usize + 1);
+    let mut last_error = String::new();
+    for (i, &idx) in candidates.iter().take(attempts).enumerate() {
+        if i > 0 && !take_retry_token(shared, i) {
+            break;
+        }
+        match attempt_exchange(shared, idx, "/compile", req_id, Some(body), root) {
+            Attempt::Answered(resp) if resp.status >= 500 => {
+                // A complete 5xx answer: the replica executed and
+                // failed; safe and explicitly in-contract to replay.
+                last_error = format!("replica {} answered {}", shared.set.addr(idx), resp.status);
+            }
+            Attempt::Answered(resp) => return forward_response(shared, idx, &resp),
+            Attempt::Transport {
+                response_started: true,
+                error,
+            } => {
+                // The upstream began answering, then died: the request
+                // may have executed. Never replay — surface the
+                // ambiguity to the client instead.
+                return Response::error(
+                    502,
+                    &format!("upstream failed mid-response; not replayed: {error}"),
+                );
+            }
+            Attempt::Transport { error, .. } => last_error = error,
+        }
+    }
+    Response::error(502, &format!("no upstream attempt succeeded: {last_error}"))
+}
+
+/// Re-emit an upstream response to the client, tagged with the
+/// replica that served it.
+fn forward_response(shared: &Shared, idx: usize, upstream: &ClientResponse) -> Response {
+    let body = String::from_utf8_lossy(&upstream.body).into_owned();
+    let is_json = upstream
+        .header("content-type")
+        .is_some_and(|ct| ct.contains("json"));
+    let resp = if is_json {
+        Response::json(upstream.status, body)
+    } else {
+        Response::text(upstream.status, &body)
+    };
+    let replica = upstream
+        .header("x-dsp-replica")
+        .map_or_else(|| shared.set.addr(idx).to_string(), str::to_string);
+    resp.with_header("X-Dsp-Replica", replica)
+}
+
+/// One cell of a fanned-out sweep: the sub-request body (a
+/// single-bench, single-strategy `/sweep`) and its shard key.
+struct Cell {
+    body: String,
+    key: u64,
+}
+
+/// Decompose a validated sweep matrix into per-cell sub-requests in
+/// matrix order (bench-major, strategy-minor — the order a single
+/// replica runs and streams them).
+fn decompose_cells(
+    source_mode: bool,
+    benches: &[dsp_workloads::Benchmark],
+    strategies: &[Strategy],
+) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(benches.len() * strategies.len());
+    for bench in benches {
+        for &strategy in strategies {
+            let target = if source_mode {
+                format!("\"source\": {}", json::escape(&bench.source))
+            } else {
+                format!("\"bench\": {}", json::escape(&bench.name))
+            };
+            cells.push(Cell {
+                body: format!(
+                    "{{{target}, \"strategies\": [{}]}}",
+                    json::escape(strategy.label())
+                ),
+                key: shard_key(&bench.source, strategy.label()),
+            });
+        }
+    }
+    cells
+}
+
+/// Extract the job objects of a single-cell sweep response: the text
+/// between the document's `"jobs": [` opener and its closing `],`.
+/// Refuses truncated documents — a cell must deliver all of its jobs
+/// or be retried.
+fn extract_cell_jobs(doc: &str) -> Result<String, String> {
+    if !doc.contains("\"truncated\": false") {
+        return Err("cell response was truncated".to_string());
+    }
+    let open = "\"jobs\": [\n";
+    let start = doc
+        .find(open)
+        .map(|at| at + open.len())
+        .ok_or("cell response has no jobs array")?;
+    let end = doc[start..]
+        .find("\n  ],")
+        .map(|at| start + at)
+        .ok_or("cell response's jobs array is unterminated")?;
+    if doc[start..end].trim().is_empty() {
+        return Err("cell response carried no jobs".to_string());
+    }
+    Ok(doc[start..end].to_string())
+}
+
+/// Fetch one cell with affinity routing and (budget-gated) retries.
+/// Cells are idempotent pure compute, so unlike `/compile` a cell may
+/// be replayed even after a response byte was seen — this is what
+/// makes a replica killed mid-sweep recoverable.
+fn fetch_cell(
+    shared: &Shared,
+    cell: &Cell,
+    root: SpanCtx,
+    req_id: Option<&str>,
+) -> Result<String, String> {
+    shared.budget.earn();
+    let mut last_error = "no ready replica".to_string();
+    for attempt in 0..=shared.config.retries as usize {
+        // A fresh ring snapshot per attempt: a replica ejected a
+        // moment ago (by the prober or another cell's failure) is
+        // already excluded, and its shard has remapped.
+        let candidates = shared.set.ring().candidates(cell.key);
+        if candidates.is_empty() {
+            return Err(last_error);
+        }
+        if attempt > 0 && !take_retry_token(shared, attempt) {
+            return Err(format!("retry budget exhausted after: {last_error}"));
+        }
+        let idx = candidates[attempt.min(candidates.len() - 1)];
+        match attempt_exchange(shared, idx, "/sweep", req_id, Some(&cell.body), root) {
+            Attempt::Answered(resp) if resp.status == 200 => {
+                match extract_cell_jobs(&resp.text()) {
+                    Ok(jobs) => return Ok(jobs),
+                    Err(e) => last_error = format!("{}: {e}", shared.set.addr(idx)),
+                }
+            }
+            Attempt::Answered(resp) if resp.status >= 500 => {
+                last_error = format!("replica {} answered {}", shared.set.addr(idx), resp.status);
+            }
+            Attempt::Answered(resp) => {
+                // A 4xx for a router-built cell body is not going to
+                // change on another replica: fail the cell now.
+                return Err(format!(
+                    "replica {} rejected the cell with {}: {}",
+                    shared.set.addr(idx),
+                    resp.status,
+                    resp.text().trim()
+                ));
+            }
+            Attempt::Transport { error, .. } => last_error = error,
+        }
+    }
+    Err(last_error)
+}
+
+/// How a self-writing handler left the connection.
+struct SweepOutcome {
+    status: u16,
+    io_ok: bool,
+}
+
+fn finish_buffered(
+    resp: Response,
+    req_id: Option<&str>,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+) -> SweepOutcome {
+    let resp = match req_id {
+        Some(id) => resp.with_header("X-Request-Id", id.to_string()),
+        None => resp,
+    };
+    SweepOutcome {
+        status: resp.status,
+        io_ok: resp.write_to(stream, keep_alive).is_ok(),
+    }
+}
+
+/// The fan-in state shared between cell-fetching workers and the
+/// response writer: a slot per cell (filled out of order) and a
+/// cursor handing cells to workers.
+struct FanIn {
+    slots: Mutex<Vec<Option<Result<String, String>>>>,
+    filled: Condvar,
+    next_cell: AtomicUsize,
+    stop: AtomicBool,
+}
+
+impl FanIn {
+    fn new(n: usize) -> FanIn {
+        FanIn {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            filled: Condvar::new(),
+            next_cell: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Worker side: claim the next unfetched cell index.
+    fn claim(&self, n: usize) -> Option<usize> {
+        if self.stop.load(Ordering::SeqCst) {
+            return None;
+        }
+        let i = self.next_cell.fetch_add(1, Ordering::SeqCst);
+        (i < n).then_some(i)
+    }
+
+    fn fill(&self, i: usize, outcome: Result<String, String>) {
+        self.slots.lock().expect("fan-in mutex")[i] = Some(outcome);
+        self.filled.notify_all();
+    }
+
+    /// Writer side: block until slot `i` is filled, then take it.
+    fn take(&self, i: usize) -> Result<String, String> {
+        let mut slots = self.slots.lock().expect("fan-in mutex");
+        loop {
+            if let Some(outcome) = slots[i].take() {
+                return outcome;
+            }
+            slots = self.filled.wait(slots).expect("fan-in mutex");
+        }
+    }
+}
+
+/// `POST /sweep`: decompose, fan out, reassemble in matrix order.
+///
+/// The emitted document is wire-shape-compatible with a single
+/// replica's `/sweep`: [`sweep_json_prefix`] (workers = ready replica
+/// count), the cells' job objects joined in matrix order, and
+/// [`sweep_json_tail`] with zeroed cache counters — per-replica cache
+/// telemetry lives on each replica's `/metrics`, not in a routed
+/// document. Its deterministic projection is byte-identical to a
+/// single node's.
+fn handle_sweep(
+    shared: &Arc<Shared>,
+    request: &Request,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+    root: SpanCtx,
+    req_id: Option<&str>,
+) -> SweepOutcome {
+    shared.budget.earn();
+    let (benches, strategies) = match parse_sweep_targets(&request.body) {
+        Ok(t) => t,
+        Err(resp) => return finish_buffered(resp, req_id, stream, keep_alive),
+    };
+    if shared.set.ring().is_empty() {
+        shared
+            .metrics
+            .no_upstream_total
+            .fetch_add(1, Ordering::Relaxed);
+        return finish_buffered(
+            Response::error(503, "no upstream replica is ready"),
+            req_id,
+            stream,
+            keep_alive,
+        );
+    }
+    let source_mode = std::str::from_utf8(&request.body)
+        .ok()
+        .and_then(|s| json::parse(s).ok())
+        .is_some_and(|v| v.get("source").is_some());
+    let cells = decompose_cells(source_mode, &benches, &strategies);
+    let started = Instant::now();
+
+    let fan = FanIn::new(cells.len());
+    let workers = shared.config.fanout.clamp(1, cells.len());
+    let mut outcome: Option<SweepOutcome> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(i) = fan.claim(cells.len()) {
+                    let out = fetch_cell(shared, &cells[i], root, req_id);
+                    fan.fill(i, out);
+                }
+            });
+        }
+        outcome = Some(write_sweep_response(
+            shared,
+            request,
+            stream,
+            keep_alive,
+            req_id,
+            &strategies,
+            &cells,
+            &fan,
+            started,
+        ));
+        // Writers done (or aborted): stop handing out cells so the
+        // scope can join its workers.
+        fan.stop.store(true, Ordering::SeqCst);
+    });
+    outcome.expect("writer ran inside the scope")
+}
+
+/// The writer half of the sweep fan-in: consume cell slots in matrix
+/// order and stream the document. Split from [`handle_sweep`] so the
+/// scope body stays readable.
+#[allow(clippy::too_many_arguments)]
+fn write_sweep_response(
+    shared: &Arc<Shared>,
+    request: &Request,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+    req_id: Option<&str>,
+    strategies: &[Strategy],
+    cells: &[Cell],
+    fan: &FanIn,
+    started: Instant,
+) -> SweepOutcome {
+    // Like a single node, the first cell decides the status line.
+    let first = match fan.take(0) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            fan.stop.store(true, Ordering::SeqCst);
+            return finish_buffered(
+                Response::error(502, &format!("sweep failed: {e}")),
+                req_id,
+                stream,
+                keep_alive,
+            );
+        }
+    };
+    let prefix = sweep_json_prefix(shared.set.ready_count().max(1), strategies);
+
+    if request.http1_0 {
+        // Buffered fallback for HTTP/1.0 peers: same document.
+        let mut jobs = vec![first];
+        let mut truncated = false;
+        for i in 1..cells.len() {
+            match fan.take(i) {
+                Ok(j) => jobs.push(j),
+                Err(_) => {
+                    truncated = true;
+                    shared
+                        .metrics
+                        .sweep_truncations_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        let body = format!(
+            "{prefix}{}{}",
+            jobs.join(",\n"),
+            sweep_json_tail(started.elapsed(), &CacheStats::default(), truncated)
+        );
+        return finish_buffered(Response::json(200, body), req_id, stream, keep_alive);
+    }
+
+    let extra: Vec<(&str, String)> = req_id
+        .iter()
+        .map(|id| ("X-Request-Id", (*id).to_string()))
+        .collect();
+    let mut writer = match ChunkedWriter::start(stream, 200, "application/json", keep_alive, &extra)
+    {
+        Ok(w) => w,
+        Err(_) => {
+            return SweepOutcome {
+                status: 200,
+                io_ok: false,
+            }
+        }
+    };
+    let mut truncated = false;
+    let mut io = writer
+        .chunk(prefix.as_bytes())
+        .and_then(|()| writer.chunk(first.as_bytes()));
+    if io.is_ok() {
+        for i in 1..cells.len() {
+            match fan.take(i) {
+                Ok(jobs) => {
+                    io = writer.chunk(format!(",\n{jobs}").as_bytes());
+                    if io.is_err() {
+                        break;
+                    }
+                }
+                Err(_) => {
+                    // A cell failed every allowed attempt; the status
+                    // line is already on the wire, so close the
+                    // document honestly — exactly like a single node
+                    // hitting its deadline mid-stream.
+                    truncated = true;
+                    shared
+                        .metrics
+                        .sweep_truncations_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    }
+    if io.is_err() {
+        return SweepOutcome {
+            status: 200,
+            io_ok: false,
+        };
+    }
+    let tail = sweep_json_tail(started.elapsed(), &CacheStats::default(), truncated);
+    if writer.chunk(tail.as_bytes()).is_err() {
+        return SweepOutcome {
+            status: 200,
+            io_ok: false,
+        };
+    }
+    SweepOutcome {
+        status: 200,
+        io_ok: writer.finish().is_ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_follow_matrix_order_and_carry_affinity_keys() {
+        let benches = vec![
+            dsp_workloads::kernels::fir(8, 4),
+            dsp_workloads::kernels::fir(16, 4),
+        ];
+        let strategies = vec![Strategy::Baseline, Strategy::CbPartition];
+        let cells = decompose_cells(false, &benches, &strategies);
+        assert_eq!(cells.len(), 4);
+        // Bench-major, strategy-minor — the single-node stream order.
+        assert!(cells[0].body.contains(&benches[0].name));
+        assert!(cells[0].body.contains(Strategy::Baseline.label()));
+        assert!(cells[1].body.contains(&benches[0].name));
+        assert!(cells[1].body.contains(Strategy::CbPartition.label()));
+        assert!(cells[2].body.contains(&benches[1].name));
+        // Same (source, strategy) → same key; different strategy →
+        // (almost surely) different key.
+        assert_eq!(
+            cells[0].key,
+            shard_key(&benches[0].source, Strategy::Baseline.label())
+        );
+        assert_ne!(cells[0].key, cells[1].key);
+    }
+
+    #[test]
+    fn cell_extraction_takes_exactly_the_job_objects() {
+        let doc = "{\n  \"schema\": \"dualbank-run-report/v1\",\n  \"workers\": 1,\n  \
+                   \"strategies\": [\"cb\"],\n  \"jobs\": [\n    {\"benchmark\": \"x\"}\n  ],\n  \
+                   \"wall_time_ms\": 1.0,\n  \"cache\": {},\n  \"truncated\": false\n}\n";
+        assert_eq!(
+            extract_cell_jobs(doc).expect("well-formed cell"),
+            "    {\"benchmark\": \"x\"}"
+        );
+        let truncated = doc.replace("\"truncated\": false", "\"truncated\": true");
+        assert!(
+            extract_cell_jobs(&truncated).is_err(),
+            "must refuse truncated cells"
+        );
+        assert!(extract_cell_jobs("{}").is_err());
+    }
+
+    #[test]
+    fn compile_shard_key_is_stable_and_strategy_sensitive() {
+        let a = compile_shard_key(br#"{"source": "let x = 1;", "strategy": "cb"}"#);
+        let b = compile_shard_key(br#"{"source": "let x = 1;", "strategy": "cb"}"#);
+        assert_eq!(a, b);
+        let c = compile_shard_key(br#"{"source": "let x = 1;", "strategy": "baseline"}"#);
+        assert_ne!(a, c);
+        // No strategy defaults to cb — the same default the replica
+        // applies, so default-strategy compiles share affinity.
+        let d = compile_shard_key(br#"{"source": "let x = 1;"}"#);
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn binding_requires_replicas() {
+        assert!(Router::bind(RouterConfig::default()).is_err());
+    }
+}

@@ -30,6 +30,9 @@ USAGE:
 
 OPTIONS:
   --addr A          target server (mutually exclusive with --spawn)
+  --targets A,B,C   several targets; connections round-robin across
+                    them (aggregate multi-node throughput — point at
+                    replicas directly or list a router once)
   --spawn           host an in-process server on a free port first
   --connections N   concurrent persistent connections (default 4)
   --requests M      requests per connection (default 100)
@@ -59,6 +62,7 @@ void main() {
 
 struct Args {
     addr: Option<String>,
+    targets: Vec<String>,
     spawn: bool,
     connections: usize,
     requests: usize,
@@ -88,6 +92,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     };
     let args = Args {
         addr: flag_value(argv, "--addr"),
+        targets: flag_value(argv, "--targets")
+            .map(|list| {
+                list.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default(),
         spawn: argv.iter().any(|a| a == "--spawn"),
         connections: count("--connections", 4)?,
         requests: count("--requests", 100)?,
@@ -106,8 +119,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         sweep_requests: count("--sweep-requests", 2)?,
         bench: flag_value(argv, "--bench").unwrap_or_else(|| "all".to_string()),
     };
-    if args.spawn == args.addr.is_some() {
-        return Err("exactly one of --addr or --spawn is required".to_string());
+    let modes = usize::from(args.spawn)
+        + usize::from(args.addr.is_some())
+        + usize::from(!args.targets.is_empty());
+    if modes != 1 {
+        return Err("exactly one of --addr, --targets, or --spawn is required".to_string());
     }
     if !matches!(args.endpoint.as_str(), "compile" | "sweep" | "healthz") {
         return Err(format!(
@@ -138,9 +154,11 @@ fn main() -> ExitCode {
 fn run(argv: &[String]) -> Result<(), String> {
     let args = parse_args(argv)?;
 
-    // Optionally host the target ourselves.
+    // Optionally host the target ourselves. `targets` holds one or
+    // more addresses; connection i talks to targets[i % len] for its
+    // whole life, so a multi-node run splits the connections evenly.
     let mut spawned = None;
-    let addr = if args.spawn {
+    let targets: Vec<String> = if args.spawn {
         let server = Server::bind(ServerConfig {
             workers: args.workers,
             jobs: args.jobs,
@@ -151,9 +169,11 @@ fn run(argv: &[String]) -> Result<(), String> {
         let handle = server.handle();
         let thread = std::thread::spawn(move || server.run());
         spawned = Some((handle, thread));
-        addr
+        vec![addr]
+    } else if let Some(addr) = &args.addr {
+        vec![addr.clone()]
     } else {
-        args.addr.clone().expect("validated by parse_args")
+        args.targets.clone()
     };
 
     let source = match &args.source {
@@ -185,7 +205,8 @@ fn run(argv: &[String]) -> Result<(), String> {
     let body = Arc::new(body);
 
     println!(
-        "target {addr} · {} connections × {} requests · endpoint /{}{}",
+        "target {} · {} connections × {} requests · endpoint /{}{}",
+        targets.join(" + "),
         args.connections,
         args.requests,
         if args.mixed {
@@ -208,7 +229,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     // Mixed mode: one extra connection issuing bench sweeps while the
     // compile connections hammer away.
     let sweeper = args.mixed.then(|| {
-        let addr = addr.clone();
+        let addr = targets[0].clone();
         let body = format!("{{\"bench\": {}}}", dsp_driver::json::escape(&args.bench));
         let sweeps = args.sweep_requests;
         std::thread::spawn(move || -> SweepStats {
@@ -244,8 +265,8 @@ fn run(argv: &[String]) -> Result<(), String> {
     // printed here and scraped there are directly comparable.
     let hist = Arc::new(Histogram::new());
     let mut threads = Vec::new();
-    for _ in 0..args.connections {
-        let addr = addr.clone();
+    for i in 0..args.connections {
+        let addr = targets[i % targets.len()].clone();
         let body = Arc::clone(&body);
         let hist = Arc::clone(&hist);
         let requests = args.requests;

@@ -38,6 +38,29 @@ impl ClientResponse {
     }
 }
 
+/// An [`ClientConn::exchange`] failure, annotated with whether any
+/// response byte had already arrived. A proxy may safely replay the
+/// request elsewhere only while `response_started` is false: once the
+/// upstream began answering, the request may have executed and a
+/// replay could double-apply it.
+#[derive(Debug)]
+pub struct ExchangeError {
+    /// The underlying transport error.
+    pub error: io::Error,
+    /// True when at least one response byte was read before failing.
+    pub response_started: bool,
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.response_started {
+            write!(f, "{} (after response started)", self.error)
+        } else {
+            write!(f, "{} (before any response byte)", self.error)
+        }
+    }
+}
+
 /// A persistent connection to one server.
 pub struct ClientConn {
     stream: TcpStream,
@@ -85,6 +108,53 @@ impl ClientConn {
         self.read_response()
     }
 
+    /// Send one request with arbitrary extra headers and read the
+    /// response, reporting on failure whether any response byte had
+    /// already arrived (the proxy's retry-safety signal).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, timeouts, or an unparsable response;
+    /// the error carries `response_started`.
+    pub fn exchange(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> Result<ClientResponse, ExchangeError> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: dsp-router\r\n");
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        let write = (|| {
+            self.stream.write_all(head.as_bytes())?;
+            if let Some(body) = body {
+                self.stream.write_all(body.as_bytes())?;
+            }
+            self.stream.flush()
+        })();
+        if let Err(error) = write {
+            return Err(ExchangeError {
+                error,
+                response_started: false,
+            });
+        }
+        let mut started = false;
+        self.read_response_flagged(&mut started)
+            .map_err(|error| ExchangeError {
+                error,
+                response_started: started,
+            })
+    }
+
     /// Write raw bytes (for malformed-request tests) and read whatever
     /// response comes back.
     ///
@@ -98,6 +168,14 @@ impl ClientConn {
     }
 
     fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let mut started = false;
+        self.read_response_flagged(&mut started)
+    }
+
+    /// Like [`read_response`](Self::read_response) but flips `started`
+    /// as soon as the first response byte arrives. Only the head loop
+    /// needs the flag: the body/chunk readers run strictly after it.
+    fn read_response_flagged(&mut self, started: &mut bool) -> io::Result<ClientResponse> {
         let mut buf = Vec::with_capacity(1024);
         let mut chunk = [0u8; 4096];
         let header_end = loop {
@@ -111,6 +189,7 @@ impl ClientConn {
                     "connection closed before response head",
                 ));
             }
+            *started = true;
             buf.extend_from_slice(&chunk[..n]);
         };
         let head = std::str::from_utf8(&buf[..header_end])

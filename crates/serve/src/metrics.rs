@@ -125,6 +125,7 @@ impl Metrics {
             "/compile" => "compile",
             "/sweep" => "sweep",
             "/healthz" => "healthz",
+            "/readyz" => "readyz",
             "/metrics" => "metrics",
             "/debug/trace" => "trace",
             "/admin/shutdown" => "shutdown",
@@ -178,12 +179,15 @@ impl Metrics {
     /// Render the Prometheus text format. `queue_depth`,
     /// `queue_capacity`, and `workers` describe the live server;
     /// `cache`, `resident`, and `exec` are snapshotted from the engine
-    /// and its shared executor.
+    /// and its shared executor; `ready` is the readiness state
+    /// (`false` while draining) and `replica` the `--replica-id`
+    /// identity, when configured.
     ///
     /// # Panics
     ///
     /// Panics if the request-map mutex is poisoned.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn render(
         &self,
         queue_depth: usize,
@@ -192,6 +196,8 @@ impl Metrics {
         cache: &CacheStats,
         resident: (usize, usize),
         exec: &ExecutorStats,
+        ready: bool,
+        replica: Option<&str>,
     ) -> String {
         let mut out = String::with_capacity(4096);
         let mut gauge = |name: &str, help: &str, value: String| {
@@ -203,6 +209,11 @@ impl Metrics {
             "dsp_serve_up",
             "1 while the server is running.",
             "1".to_string(),
+        );
+        gauge(
+            "dsp_serve_ready",
+            "1 while accepting work, 0 while draining (mirrors /readyz).",
+            u8::from(ready).to_string(),
         );
         gauge(
             "dsp_serve_uptime_seconds",
@@ -229,6 +240,12 @@ impl Metrics {
             "Workers currently handling a connection.",
             self.workers_busy.load(Ordering::Relaxed).to_string(),
         );
+        if let Some(id) = replica {
+            let name = "dsp_serve_replica_info";
+            let _ = writeln!(out, "# HELP {name} This replica's --replica-id identity.");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name}{{replica=\"{id}\"}} 1");
+        }
 
         let counter_head = |out: &mut String, name: &str, help: &str| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -581,9 +598,11 @@ mod tests {
             }),
             ..CacheStats::default()
         };
-        let text = m.render(1, 64, 4, &stats, (0, 0), &exec);
+        let text = m.render(1, 64, 4, &stats, (0, 0), &exec, true, Some("r1"));
         for family in [
             "dsp_serve_up 1",
+            "dsp_serve_ready 1",
+            "dsp_serve_replica_info{replica=\"r1\"} 1",
             "dsp_serve_queue_depth 1",
             "dsp_serve_queue_capacity 64",
             "dsp_serve_workers 4",
@@ -623,8 +642,27 @@ mod tests {
             &CacheStats::default(),
             (0, 0),
             &ExecutorStats::default(),
+            true,
+            None,
         );
         assert!(!text.contains("dsp_serve_cache_disk"), "{text}");
+        assert!(!text.contains("dsp_serve_replica_info"), "{text}");
+    }
+
+    #[test]
+    fn draining_renders_ready_zero() {
+        let m = Metrics::new(Tracer::disabled());
+        let text = m.render(
+            0,
+            64,
+            1,
+            &CacheStats::default(),
+            (0, 0),
+            &ExecutorStats::default(),
+            false,
+            None,
+        );
+        assert!(text.contains("dsp_serve_ready 0"), "{text}");
     }
 
     #[test]
@@ -643,6 +681,8 @@ mod tests {
             &CacheStats::default(),
             (0, 0),
             &ExecutorStats::default(),
+            true,
+            None,
         )
     }
 

@@ -102,6 +102,18 @@ pub struct ServerConfig {
     /// `/debug/trace`, the `dsp_serve_*_seconds` metric families).
     /// Disabling reduces the server to the exact pre-tracing hot path.
     pub trace: bool,
+    /// This replica's identity in a multi-node fleet: echoed on every
+    /// response as `X-Dsp-Replica` and rendered as
+    /// `dsp_serve_replica_info` in `/metrics`. `None` (single-node)
+    /// adds neither.
+    pub replica_id: Option<String>,
+    /// How long `/admin/shutdown` keeps serving after flipping
+    /// readiness off. During the window `/readyz` answers 503 (load
+    /// balancers eject the replica and drain it from their hash
+    /// rings) while `/healthz` stays 200 and in-flight plus new
+    /// requests still complete. `ZERO` shuts down immediately after
+    /// the shutdown response, the single-node behavior.
+    pub drain_grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +132,8 @@ impl Default for ServerConfig {
             cache_disk_max_bytes: None,
             read_timeout: Duration::from_secs(5),
             trace: true,
+            replica_id: None,
+            drain_grace: Duration::ZERO,
         }
     }
 }
@@ -131,6 +145,9 @@ struct Shared {
     metrics: Metrics,
     tracer: Arc<Tracer>,
     shutdown: AtomicBool,
+    /// Readiness is withdrawn (`/readyz` → 503) ahead of the actual
+    /// shutdown so a drain window can exist between the two.
+    draining: AtomicBool,
     workers: usize,
 }
 
@@ -158,6 +175,7 @@ impl ServerHandle {
     /// Begin a graceful shutdown: stop accepting, drain queued and
     /// in-flight requests, then let [`Server::run`] return. Idempotent.
     pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -217,6 +235,7 @@ impl Server {
                 metrics: Metrics::new(Arc::clone(&tracer)),
                 tracer,
                 shutdown: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
                 workers,
             }),
         })
@@ -376,6 +395,10 @@ fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
             Some(id) => response.with_header("X-Request-Id", id.clone()),
             None => response,
         };
+        let response = match &shared.config.replica_id {
+            Some(rid) => response.with_header("X-Dsp-Replica", rid.clone()),
+            None => response,
+        };
         span.attr("status", &response.status.to_string());
         drop(span);
         shared
@@ -388,8 +411,10 @@ fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
             return;
         }
         if trigger_shutdown {
-            // After answering: stop accepting and drain.
-            ServerHandle {
+            // After answering: stop accepting and drain — immediately
+            // with no grace, else after the drain window during which
+            // the replica keeps serving but reports not-ready.
+            let handle = ServerHandle {
                 shared: Arc::clone(shared),
                 // Fallback never used in practice; shutdown() only
                 // needs the addr for the accept-loop wakeup. Built
@@ -397,8 +422,16 @@ fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
                 addr: stream
                     .local_addr()
                     .unwrap_or_else(|_| SocketAddr::from(([127, 0, 0, 1], 0))),
+            };
+            let grace = shared.config.drain_grace;
+            if grace.is_zero() {
+                handle.shutdown();
+            } else {
+                std::thread::spawn(move || {
+                    std::thread::sleep(grace);
+                    handle.shutdown();
+                });
             }
-            .shutdown();
         }
         if !keep_alive {
             return;
@@ -415,10 +448,28 @@ fn route(
     req_id: Option<&str>,
 ) -> (Response, bool) {
     match (request.method.as_str(), request.path.as_str()) {
+        // Liveness: "the process serves requests" — stays 200 while
+        // draining so orchestrators don't kill a replica that is
+        // gracefully finishing its work.
         ("GET", "/healthz") => (
             Response::json(200, "{\"status\": \"ok\"}\n".to_string()),
             false,
         ),
+        // Readiness: "send me new work" — withdrawn the moment a drain
+        // begins, which is what routers and load balancers probe.
+        ("GET", "/readyz") => {
+            if shared.draining.load(Ordering::SeqCst) {
+                (
+                    Response::error(503, "draining: not ready for new work"),
+                    false,
+                )
+            } else {
+                (
+                    Response::json(200, "{\"status\": \"ready\"}\n".to_string()),
+                    false,
+                )
+            }
+        }
         ("GET", "/metrics") => {
             let text = shared.metrics.render(
                 shared.queue.len(),
@@ -427,18 +478,27 @@ fn route(
                 &shared.engine.cache().stats(),
                 shared.engine.cache().resident(),
                 &shared.engine.executor().stats(),
+                !shared.draining.load(Ordering::SeqCst),
+                shared.config.replica_id.as_deref(),
             );
             (Response::text(200, &text), false)
         }
         ("GET", "/debug/trace") => (handle_debug_trace(shared, &request.query), false),
         ("POST", "/compile") => (handle_compile(shared, &request.body, root, req_id), false),
-        ("POST", "/admin/shutdown") => (
-            Response::json(200, "{\"status\": \"draining\"}\n".to_string()),
-            true,
-        ),
+        ("POST", "/admin/shutdown") => {
+            // Readiness is withdrawn before the response goes out, so
+            // a router probing `/readyz` stops routing here even if
+            // the drain grace keeps the process serving for a while.
+            shared.draining.store(true, Ordering::SeqCst);
+            (
+                Response::json(200, "{\"status\": \"draining\"}\n".to_string()),
+                true,
+            )
+        }
         (
             _,
-            "/healthz" | "/metrics" | "/debug/trace" | "/compile" | "/sweep" | "/admin/shutdown",
+            "/healthz" | "/readyz" | "/metrics" | "/debug/trace" | "/compile" | "/sweep"
+            | "/admin/shutdown",
         ) => (
             Response::error(405, "method not allowed for this path"),
             false,
@@ -653,8 +713,14 @@ fn render_lir(
 
 /// Parse a `/sweep` body — `{"source": "..."}` or
 /// `{"bench": "fir_32_1"|"all"}` plus optional `"strategies"` — into
-/// the benchmark × strategy matrix to run.
-fn parse_sweep_targets(body: &[u8]) -> Result<(Vec<Benchmark>, Vec<Strategy>), Response> {
+/// the benchmark × strategy matrix to run. Public so the router can
+/// decompose the identical matrix into per-cell sub-requests with the
+/// same validation (and the same 400s) a replica would produce.
+///
+/// # Errors
+///
+/// Returns the 400 [`Response`] describing the first body problem.
+pub fn parse_sweep_targets(body: &[u8]) -> Result<(Vec<Benchmark>, Vec<Strategy>), Response> {
     let body = parse_body(body)?;
     let strategies = parse_strategies(&body)?;
     let benches = match (body.get("source"), body.get("bench")) {
@@ -712,11 +778,16 @@ struct SweepOutcome {
 fn finish_buffered(
     resp: Response,
     req_id: Option<&str>,
+    replica: Option<&str>,
     stream: &mut TcpStream,
     keep_alive: bool,
 ) -> SweepOutcome {
     let resp = match req_id {
         Some(id) => resp.with_header("X-Request-Id", id.to_string()),
+        None => resp,
+    };
+    let resp = match replica {
+        Some(rid) => resp.with_header("X-Dsp-Replica", rid.to_string()),
         None => resp,
     };
     SweepOutcome {
@@ -746,7 +817,15 @@ fn handle_sweep(
 ) -> SweepOutcome {
     let (benches, strategies) = match parse_sweep_targets(&request.body) {
         Ok(t) => t,
-        Err(resp) => return finish_buffered(resp, req_id, stream, keep_alive),
+        Err(resp) => {
+            return finish_buffered(
+                resp,
+                req_id,
+                shared.config.replica_id.as_deref(),
+                stream,
+                keep_alive,
+            )
+        }
     };
     let deadline = Instant::now() + shared.config.deadline;
     let run = shared.engine.submit_matrix(
@@ -762,12 +841,19 @@ fn handle_sweep(
     let first = match run.wait_job_until(0, deadline) {
         WaitOutcome::TimedOut => {
             run.cancel();
-            return finish_buffered(deadline_response(shared), req_id, stream, keep_alive);
+            return finish_buffered(
+                deadline_response(shared),
+                req_id,
+                shared.config.replica_id.as_deref(),
+                stream,
+                keep_alive,
+            );
         }
         WaitOutcome::Cancelled => {
             return finish_buffered(
                 Response::error(500, "sweep job failed to run"),
                 req_id,
+                shared.config.replica_id.as_deref(),
                 stream,
                 keep_alive,
             )
@@ -777,6 +863,7 @@ fn handle_sweep(
             return finish_buffered(
                 Response::error(400, &format!("sweep failed: {e}")),
                 req_id,
+                shared.config.replica_id.as_deref(),
                 stream,
                 keep_alive,
             );
@@ -790,11 +877,15 @@ fn handle_sweep(
 
     // The request ID rides in the response header and on every job
     // object, so a streamed document stays attributable even if the
-    // client saves only the body.
-    let extra: Vec<(&str, String)> = req_id
+    // client saves only the body; the replica identity rides with it
+    // so a routed client can see who served the sweep.
+    let mut extra: Vec<(&str, String)> = req_id
         .iter()
         .map(|id| ("X-Request-Id", (*id).to_string()))
         .collect();
+    if let Some(rid) = &shared.config.replica_id {
+        extra.push(("X-Dsp-Replica", rid.clone()));
+    }
     let mut writer = match ChunkedWriter::start(stream, 200, "application/json", keep_alive, &extra)
     {
         Ok(w) => w,
@@ -900,5 +991,11 @@ fn sweep_buffered(
         jobs.join(",\n"),
         sweep_json_tail(run.elapsed(), &run.cache_stats(), truncated)
     );
-    finish_buffered(Response::json(200, body), req_id, stream, keep_alive)
+    finish_buffered(
+        Response::json(200, body),
+        req_id,
+        shared.config.replica_id.as_deref(),
+        stream,
+        keep_alive,
+    )
 }

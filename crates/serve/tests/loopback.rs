@@ -827,6 +827,93 @@ fn admin_shutdown_drains_and_stops() {
 }
 
 #[test]
+fn drain_withdraws_readiness_while_liveness_holds() {
+    let server = TestServer::start(ServerConfig {
+        drain_grace: Duration::from_millis(400),
+        ..small_config()
+    });
+
+    // Before the drain both probes agree and the gauge says ready.
+    let resp = server
+        .connect()
+        .request("GET", "/readyz", None)
+        .expect("readyz");
+    assert_eq!(resp.status, 200);
+    let text = server
+        .connect()
+        .request("GET", "/metrics", None)
+        .expect("metrics")
+        .text();
+    assert!(text.contains("dsp_serve_ready 1"), "{text}");
+
+    let resp = server
+        .connect()
+        .request("POST", "/admin/shutdown", None)
+        .expect("shutdown");
+    assert_eq!(resp.status, 200);
+
+    // During the grace window the process is alive (liveness 200, and
+    // it still answers real work) but not ready (readiness 503) — the
+    // split that lets a router stop routing here without an
+    // orchestrator killing the replica mid-drain.
+    let resp = server
+        .connect()
+        .request("GET", "/healthz", None)
+        .expect("healthz while draining");
+    assert_eq!(resp.status, 200);
+    let resp = server
+        .connect()
+        .request("GET", "/readyz", None)
+        .expect("readyz while draining");
+    assert_eq!(resp.status, 503, "body: {}", resp.text());
+    let text = server
+        .connect()
+        .request("GET", "/metrics", None)
+        .expect("metrics while draining")
+        .text();
+    assert!(text.contains("dsp_serve_ready 0"), "{text}");
+    let resp = server
+        .connect()
+        .request("POST", "/compile", Some(&compile_body(FIR_SRC, "cb")))
+        .expect("compile while draining");
+    assert_eq!(resp.status, 200, "in-flight work finishes during drain");
+
+    server.stop();
+}
+
+#[test]
+fn replica_id_tags_every_response_and_the_metrics() {
+    let server = TestServer::start(ServerConfig {
+        replica_id: Some("r-test".to_string()),
+        ..small_config()
+    });
+
+    let resp = server
+        .connect()
+        .request("POST", "/compile", Some(&compile_body(FIR_SRC, "cb")))
+        .expect("compile");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-dsp-replica"), Some("r-test"));
+    let resp = server
+        .connect()
+        .request("GET", "/healthz", None)
+        .expect("healthz");
+    assert_eq!(resp.header("x-dsp-replica"), Some("r-test"));
+
+    let text = server
+        .connect()
+        .request("GET", "/metrics", None)
+        .expect("metrics")
+        .text();
+    assert!(
+        text.contains("dsp_serve_replica_info{replica=\"r-test\"} 1"),
+        "{text}"
+    );
+
+    server.stop();
+}
+
+#[test]
 fn disk_backed_server_warm_starts_and_exposes_disk_metrics() {
     let dir = std::env::temp_dir().join(format!("dualbank-serve-disk-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

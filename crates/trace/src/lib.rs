@@ -57,6 +57,8 @@ pub mod families {
     pub const QUEUE_WAIT: &str = "exec_queue_wait";
     /// HTTP request latency, labeled `"endpoint|status"`.
     pub const HTTP_REQUEST: &str = "http_request";
+    /// Router → replica attempt latency, labeled by replica address.
+    pub const UPSTREAM: &str = "upstream";
 }
 
 /// A span's identity: the trace it belongs to and its own span ID.

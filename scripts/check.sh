@@ -71,6 +71,62 @@ echo "== trace smoke test =="
 cmp "$CACHE_DIR/traced.json" "$CACHE_DIR/untraced.json" \
   || { echo "FAIL: tracing perturbed the deterministic report"; exit 1; }
 
+echo "== dsp-router multi-node smoke test =="
+# Two replicas behind the router: the routed sweep must reduce to the
+# byte-identical deterministic report of a plain CLI run, draining one
+# replica must be absorbed by the ring, and load pushed through the
+# router afterwards must finish with zero failed requests.
+RDIR=$(mktemp -d)
+RA_PID=""; RB_PID=""; RT_PID=""
+trap 'kill $RA_PID $RB_PID $RT_PID 2>/dev/null || true; rm -rf "$CACHE_DIR" "$RDIR"' EXIT
+# --workers 6 gives each replica connection headroom for the router's
+# pooled keep-alives plus its readiness probes (see docs/serving.md).
+./target/release/dualbank serve --addr 127.0.0.1:0 --jobs 1 --workers 6 \
+  --replica-id ra >"$RDIR/ra.log" 2>&1 & RA_PID=$!
+./target/release/dualbank serve --addr 127.0.0.1:0 --jobs 1 --workers 6 \
+  --replica-id rb >"$RDIR/rb.log" 2>&1 & RB_PID=$!
+node_addr() { # extract host:port from a node's startup banner
+  for _ in $(seq 100); do
+    local a
+    a=$(sed -n 's#^dsp-[a-z-]* listening on http://##p' "$1" | head -n1)
+    if [ -n "$a" ]; then echo "$a"; return 0; fi
+    sleep 0.1
+  done
+  echo "FAIL: no startup banner in $1" >&2; cat "$1" >&2; return 1
+}
+RA_ADDR=$(node_addr "$RDIR/ra.log")
+RB_ADDR=$(node_addr "$RDIR/rb.log")
+./target/release/dsp-router --addr 127.0.0.1:0 --replicas "$RA_ADDR,$RB_ADDR" \
+  >"$RDIR/router.log" 2>&1 & RT_PID=$!
+RT_ADDR=$(node_addr "$RDIR/router.log")
+for _ in $(seq 100); do
+  curl -fsS "http://$RT_ADDR/readyz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS -X POST "http://$RT_ADDR/sweep" -H 'Content-Type: application/json' \
+  -d '{"bench": "fir_32_1"}' >"$RDIR/routed.json"
+./target/release/dualbank report-project "$RDIR/routed.json" >"$RDIR/routed.det.json"
+./target/release/dualbank bench fir_32_1 --jobs 1 \
+  --json "$RDIR/single.json" --deterministic >/dev/null
+cmp "$RDIR/routed.det.json" "$RDIR/single.json" \
+  || { echo "FAIL: routed sweep differs from a single-node run under projection"; exit 1; }
+# Drain one replica and wait for the router to eject it from the ring.
+curl -fsS -X POST "http://$RB_ADDR/admin/shutdown" >/dev/null
+for _ in $(seq 100); do
+  curl -fsS "http://$RT_ADDR/metrics" \
+    | grep -q "dsp_router_upstream_up{replica=\"$RB_ADDR\"} 0" && break
+  sleep 0.1
+done
+curl -fsS "http://$RT_ADDR/metrics" \
+  | grep -q "dsp_router_upstream_up{replica=\"$RB_ADDR\"} 0" \
+  || { echo "FAIL: router never ejected the drained replica"; exit 1; }
+# Load through the router against the surviving replica: the load tool
+# exits nonzero on any failed request.
+./target/release/dsp-serve-load --addr "$RT_ADDR" --connections 2 --requests 25
+kill $RA_PID $RT_PID 2>/dev/null || true
+wait "$RA_PID" "$RT_PID" 2>/dev/null || true
+RA_PID=""; RB_PID=""; RT_PID=""
+
 echo "== persistent-cache fault-injection suite =="
 # Every store IO site failing in turn (open/read/write/fsync/rename/
 # remove/list), plus torn-write and bit-rot scenarios — already built

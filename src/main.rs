@@ -41,7 +41,15 @@ fn usage() -> &'static str {
      \x20               [--fuel N] [--no-trace]\n\
      \x20     serve compile/sweep over HTTP (see docs/serving.md);\n\
      \x20     --workers sizes the connection pool, --jobs the shared\n\
-     \x20     compile/simulate executor (default: all cores)\n\
+     \x20     compile/simulate executor (default: all cores);\n\
+     \x20     --replica-id NAME tags responses/metrics, --drain-ms N\n\
+     \x20     keeps serving in-flight work that long after a drain\n\
+     \x20 dualbank router --replica HOST:PORT [...] [--addr A]\n\
+     \x20     front a fleet of dsp-serve replicas with cache-affinity\n\
+     \x20     routing and failover (`dualbank router --help` for flags)\n\
+     \x20 dualbank report-project [file.json]\n\
+     \x20     reduce a run report (file or stdin) to its deterministic\n\
+     \x20     projection — byte-comparable across nodes and runs\n\
      \x20 dualbank trace-validate <file.json>\n\
      \x20     sanity-check a --trace-out document (Perfetto-loadable,\n\
      \x20     complete events, nested spans)\n\
@@ -105,6 +113,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "sweep" => cmd_sweep(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "router" => dsp_router::run_router(&args[1..]),
+        "report-project" => cmd_report_project(&args[1..]),
         "trace-validate" => cmd_trace_validate(&args[1..]),
         "list" => {
             for b in workloads::all() {
@@ -435,6 +445,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("--fuel expects a cycle count, got `{v}`"))?;
     }
+    if let Some(id) = flag_value(args, "--replica-id") {
+        config.replica_id = Some(id);
+    }
+    if let Some(v) = flag_value(args, "--drain-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("--drain-ms expects milliseconds, got `{v}`"))?;
+        config.drain_grace = Duration::from_millis(ms);
+    }
     config.trace = !args.iter().any(|a| a == "--no-trace");
     let server = Server::bind(config.clone()).map_err(|e| format!("cannot bind: {e}"))?;
     println!("dsp-serve listening on http://{}", server.local_addr());
@@ -474,6 +493,31 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         println!("  tracing: off (--no-trace)");
     }
     server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// `dualbank report-project [file.json]` — reduce a full
+/// `dualbank-run-report/v1` document (from a file, or stdin when the
+/// path is absent or `-`) to its deterministic projection: the exact
+/// bytes `--json --deterministic` emits. This is how multi-node sweep
+/// output is compared against a single node's — wall times and cache
+/// telemetry differ, the projection must not.
+fn cmd_report_project(args: &[String]) -> Result<(), String> {
+    let doc = match args.first().map(String::as_str) {
+        None | Some("-") => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+        }
+    };
+    let projected = dualbank::driver::project_deterministic_json(&doc)?;
+    print!("{projected}");
+    Ok(())
 }
 
 /// A complete (`"ph": "X"`) trace event's time lane: thread, start,
