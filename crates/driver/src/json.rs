@@ -97,6 +97,12 @@ impl ObjectWriter {
         self.buf.push_str(&number(v));
     }
 
+    /// Add a boolean member.
+    pub fn bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
     /// Add a pre-rendered JSON value verbatim.
     pub fn raw(&mut self, k: &str, v: &str) {
         self.key(k);

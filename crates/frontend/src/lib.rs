@@ -38,10 +38,12 @@ pub mod ast;
 pub mod lex;
 pub mod lower;
 pub mod parse;
+pub mod pretty;
 
 pub use lex::Pos;
 pub use lower::LowerError;
 pub use parse::ParseError;
+pub use pretty::print_ast;
 
 /// Any error produced by the front-end.
 #[derive(Debug, Clone, PartialEq)]
@@ -355,6 +357,16 @@ mod tests {
     fn break_outside_loop_rejected() {
         let err = compile_str("void main() { break; }").unwrap_err();
         assert!(err.to_string().contains("outside of a loop"), "{err}");
+    }
+
+    #[test]
+    fn oversized_declarations_rejected() {
+        // Without the front-end budget these would make the reference
+        // interpreter allocate gigabytes before the first instruction.
+        let err = compile_str("int A[2000000000]; void main() { A[0] = 1; }").unwrap_err();
+        assert!(err.to_string().contains("data-memory budget"), "{err}");
+        let err = compile_str("void main() { float t[1500000]; t[0] = 0.0; }").unwrap_err();
+        assert!(err.to_string().contains("data-memory budget"), "{err}");
     }
 
     #[test]

@@ -111,8 +111,27 @@ pub fn lower(ast: &Ast) -> Result<Program, LowerError> {
     Ok(program)
 }
 
+/// Largest data declaration the front-end accepts, in 32-bit words.
+///
+/// Globals live in the X/Y data banks and locals on the 16K-word
+/// machine stack, so nothing near this size can ever run — but the
+/// reference interpreter and the simulator both allocate backing
+/// memory eagerly, so without a front-end bound a one-line hostile
+/// source (`int A[2000000000];`) turns into a multi-gigabyte
+/// allocation on any surface that compiles untrusted text.
+pub const MAX_DECL_WORDS: u32 = 1 << 20;
+
 fn lower_global(g: &GlobalDecl) -> Result<Global, LowerError> {
     let size = g.size.unwrap_or(1);
+    if size > MAX_DECL_WORDS {
+        return Err(LowerError {
+            msg: format!(
+                "`{}` is {size} words; the data-memory budget is {MAX_DECL_WORDS}",
+                g.name
+            ),
+            pos: g.pos,
+        });
+    }
     if g.init.len() as u32 > size {
         return Err(LowerError {
             msg: format!(
@@ -330,6 +349,15 @@ impl<'a> FuncLowerer<'a> {
                 }
                 let binding = match size {
                     Some(n) => {
+                        if *n > MAX_DECL_WORDS {
+                            return Err(LowerError {
+                                msg: format!(
+                                    "`{name}` is {n} words; the data-memory budget \
+                                     is {MAX_DECL_WORDS}"
+                                ),
+                                pos: *pos,
+                            });
+                        }
                         let l = self.f.new_local(name.clone(), ty_of(*ty), *n);
                         Binding::LocalArray(l, *ty)
                     }

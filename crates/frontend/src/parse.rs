@@ -38,16 +38,45 @@ impl From<LexError> for ParseError {
 /// Returns the first lexical or syntactic error encountered.
 pub fn parse(src: &str) -> Result<Ast, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, i: 0 };
+    let mut p = Parser {
+        toks,
+        i: 0,
+        depth: 0,
+    };
     p.parse_unit()
 }
+
+/// Maximum statement/expression nesting the parser accepts. The parser
+/// (and the lowering pass behind it) recurse once per nesting level, so
+/// without a bound a hostile source of the form `((((…))))` or
+/// `{{{{…}}}}` overflows the thread stack — an uncatchable abort
+/// reachable from any surface that parses untrusted text (`dsp-serve`
+/// request bodies, `dualbank fuzz --mutate`). 64 is far beyond any
+/// real program while keeping worst-case recursion shallow enough for
+/// the smallest thread stacks the toolchain runs on (unoptimized
+/// builds spend several KiB of stack per nesting level).
+const MAX_NESTING_DEPTH: u32 = 64;
 
 struct Parser {
     toks: Vec<Spanned>,
     i: usize,
+    /// Current statement + expression nesting level (see
+    /// [`MAX_NESTING_DEPTH`]).
+    depth: u32,
 }
 
 impl Parser {
+    /// Bump the nesting level, erroring out past the limit. Paired
+    /// with a manual decrement in the recursion wrappers.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            Err(self.err(format!("nesting deeper than {MAX_NESTING_DEPTH} levels")))
+        } else {
+            Ok(())
+        }
+    }
+
     fn peek(&self) -> &Tok {
         &self.toks[self.i].tok
     }
@@ -246,6 +275,13 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let r = self.parse_stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         let pos = self.pos();
         match self.peek().clone() {
             Tok::LBrace => Ok(Stmt::Block(self.parse_block()?)),
@@ -509,6 +545,13 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let r = self.parse_unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn parse_unary_inner(&mut self) -> Result<Expr, ParseError> {
         let pos = self.pos();
         match self.peek().clone() {
             Tok::Minus => {
@@ -708,6 +751,34 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        // Expression nesting via parentheses…
+        let deep = format!(
+            "void f() {{ int x; x = {}1{}; }}",
+            "(".repeat(50_000),
+            ")".repeat(50_000)
+        );
+        let err = parse(&deep).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+        // …via unary chains…
+        let deep = format!("void f() {{ int x; x = {}1; }}", "!".repeat(50_000));
+        assert!(parse(&deep).unwrap_err().msg.contains("nesting"));
+        // …and via statement blocks.
+        let deep = format!("void f() {}{}", "{".repeat(50_000), "}".repeat(50_000));
+        assert!(parse(&deep).unwrap_err().msg.contains("nesting"));
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let src = format!(
+            "void f() {{ int x; x = {}1{}; }}",
+            "(".repeat(40),
+            ")".repeat(40)
+        );
+        assert!(parse(&src).is_ok());
     }
 
     #[test]

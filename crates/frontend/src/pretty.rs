@@ -1,0 +1,564 @@
+//! Pretty-printer: AST back to DSP-C source text.
+//!
+//! The inverse of [`crate::parse`]: rendering an [`Ast`] and re-parsing
+//! the output yields a structurally identical AST (positions aside).
+//! This is what lets `dsp-gen` construct programs as trees and still
+//! feed them through every surface that consumes *source text* — the
+//! engine's content-hashed cache, `dsp-serve` request bodies, corpus
+//! files on disk.
+//!
+//! Operator printing is precedence-aware: parentheses appear only where
+//! the tree shape requires them, so shrunk counterexamples stay
+//! readable.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Ast, BinOp, Expr, FuncDef, GlobalDecl, Item, LValue, Literal, Stmt, UnOp};
+
+/// Render a whole translation unit as DSP-C source.
+#[must_use]
+pub fn print_ast(ast: &Ast) -> String {
+    let mut out = String::new();
+    for item in &ast.items {
+        match item {
+            Item::Global(g) => print_global(&mut out, g),
+            Item::Func(f) => print_func(&mut out, f),
+        }
+    }
+    out
+}
+
+fn print_global(out: &mut String, g: &GlobalDecl) {
+    let _ = write!(out, "{} {}", g.ty, g.name);
+    if let Some(size) = g.size {
+        let _ = write!(out, "[{size}]");
+    }
+    if !g.init.is_empty() {
+        if g.size.is_some() {
+            out.push_str(" = {");
+            for (i, lit) in g.init.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_literal(out, *lit);
+            }
+            out.push('}');
+        } else {
+            out.push_str(" = ");
+            print_literal(out, g.init[0]);
+        }
+    }
+    out.push_str(";\n");
+}
+
+fn print_literal(out: &mut String, lit: Literal) {
+    match lit {
+        Literal::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Literal::Float(v) => print_f32(out, v),
+    }
+}
+
+/// Print an `f32` so the lexer reads back the identical bit pattern:
+/// shortest round-trip decimal, always with a float marker (`.0` is
+/// appended to integral values so they lex as `Tok::Float`).
+fn print_f32(out: &mut String, v: f32) {
+    if v.is_finite() && v >= 0.0 {
+        let text = format!("{v}");
+        if text.contains('.') || text.contains('e') {
+            out.push_str(&text);
+        } else {
+            let _ = write!(out, "{text}.0");
+        }
+    } else if v.is_finite() {
+        // Negative literals only exist in initializers; expression
+        // negation is a unary op, so parenthesize defensively.
+        let mut inner = String::new();
+        print_f32(&mut inner, -v);
+        let _ = write!(out, "-{inner}");
+    } else {
+        // No NaN/inf literal syntax exists; approximate with an
+        // overflow expression the lexer accepts. The generator never
+        // produces these, this arm keeps the printer total.
+        out.push_str(if v.is_nan() { "(0.0 / 0.0)" } else { "1e39" });
+    }
+}
+
+fn print_func(out: &mut String, f: &FuncDef) {
+    match f.ret {
+        Some(ty) => {
+            let _ = write!(out, "{ty} {}(", f.name);
+        }
+        None => {
+            let _ = write!(out, "void {}(", f.name);
+        }
+    }
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", p.ty, p.name);
+        if p.is_array {
+            out.push_str("[]");
+        }
+    }
+    out.push_str(") {\n");
+    for s in &f.body {
+        print_stmt(out, s, 1);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_lvalue(out: &mut String, lv: &LValue) {
+    out.push_str(&lv.name);
+    if let Some(ix) = &lv.index {
+        out.push('[');
+        print_expr(out, ix, 0);
+        out.push(']');
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::LocalDecl {
+            name,
+            ty,
+            size,
+            init,
+            ..
+        } => {
+            indent(out, level);
+            let _ = write!(out, "{ty} {name}");
+            if let Some(size) = size {
+                let _ = write!(out, "[{size}]");
+            }
+            if let Some(e) = init {
+                out.push_str(" = ");
+                print_expr(out, e, 0);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign {
+            target, op, value, ..
+        } => {
+            indent(out, level);
+            print_simple_assign(out, target, *op, value);
+            out.push_str(";\n");
+        }
+        Stmt::Incr { target, delta, .. } => {
+            indent(out, level);
+            print_lvalue(out, target);
+            out.push_str(if *delta >= 0 { "++" } else { "--" });
+            out.push_str(";\n");
+        }
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+            ..
+        } => {
+            indent(out, level);
+            out.push_str("if (");
+            print_expr(out, cond, 0);
+            out.push_str(") {\n");
+            for s in then_s {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push('}');
+            if else_s.is_empty() {
+                out.push('\n');
+            } else {
+                out.push_str(" else {\n");
+                for s in else_s {
+                    print_stmt(out, s, level + 1);
+                }
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            indent(out, level);
+            out.push_str("while (");
+            print_expr(out, cond, 0);
+            out.push_str(") {\n");
+            for s in body {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            indent(out, level);
+            out.push_str("for (");
+            if let Some(s) = init {
+                print_inline_stmt(out, s);
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                print_expr(out, c, 0);
+            }
+            out.push_str("; ");
+            if let Some(s) = step {
+                print_inline_stmt(out, s);
+            }
+            out.push_str(") {\n");
+            for s in body {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Break(_) => {
+            indent(out, level);
+            out.push_str("break;\n");
+        }
+        Stmt::Continue(_) => {
+            indent(out, level);
+            out.push_str("continue;\n");
+        }
+        Stmt::Return { value, .. } => {
+            indent(out, level);
+            out.push_str("return");
+            if let Some(e) = value {
+                out.push(' ');
+                print_expr(out, e, 0);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::ExprStmt { expr, .. } => {
+            indent(out, level);
+            print_expr(out, expr, 0);
+            out.push_str(";\n");
+        }
+        Stmt::Block(stmts) => {
+            indent(out, level);
+            out.push_str("{\n");
+            for s in stmts {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// The statement forms legal in `for` headers, printed without the
+/// trailing semicolon or newline.
+fn print_inline_stmt(out: &mut String, s: &Stmt) {
+    match s {
+        Stmt::Assign {
+            target, op, value, ..
+        } => print_simple_assign(out, target, *op, value),
+        Stmt::Incr { target, delta, .. } => {
+            print_lvalue(out, target);
+            out.push_str(if *delta >= 0 { "++" } else { "--" });
+        }
+        Stmt::ExprStmt { expr, .. } => print_expr(out, expr, 0),
+        // The parser never yields other forms in a for-header; print
+        // a full statement sans newline to keep the printer total.
+        other => {
+            let mut tmp = String::new();
+            print_stmt(&mut tmp, other, 0);
+            out.push_str(tmp.trim_end_matches('\n').trim_end_matches(';'));
+        }
+    }
+}
+
+fn print_simple_assign(out: &mut String, target: &LValue, op: Option<BinOp>, value: &Expr) {
+    print_lvalue(out, target);
+    match op {
+        // The grammar only spells `+= -= *= /= %=`; any other combining
+        // operator in a synthesized AST is desugared to `x = x op v` so
+        // the printer's output always re-parses.
+        Some(op)
+            if matches!(
+                op,
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+            ) =>
+        {
+            let _ = write!(out, " {}= ", bin_op_str(op));
+            print_expr(out, value, 0);
+            return;
+        }
+        Some(op) => {
+            out.push_str(" = ");
+            let lhs_expr = match &target.index {
+                Some(idx) => Expr::Index {
+                    name: target.name.clone(),
+                    index: idx.clone(),
+                    pos: target.pos,
+                },
+                None => Expr::Var(target.name.clone(), target.pos),
+            };
+            let desugared = Expr::Binary {
+                op,
+                lhs: Box::new(lhs_expr),
+                rhs: Box::new(value.clone()),
+                pos: target.pos,
+            };
+            print_expr(out, &desugared, 0);
+            return;
+        }
+        None => out.push_str(" = "),
+    }
+    print_expr(out, value, 0);
+}
+
+fn bin_op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+        BinOp::BitAnd => "&",
+        BinOp::BitOr => "|",
+        BinOp::BitXor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+    }
+}
+
+/// Binding level of a binary operator — the same ladder as
+/// `Parser::parse_bin`, so parenthesization decisions agree with the
+/// grammar exactly.
+fn bin_level(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 0,
+        BinOp::And => 1,
+        BinOp::BitOr => 2,
+        BinOp::BitXor => 3,
+        BinOp::BitAnd => 4,
+        BinOp::Eq | BinOp::Ne => 5,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 6,
+        BinOp::Shl | BinOp::Shr => 7,
+        BinOp::Add | BinOp::Sub => 8,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 9,
+    }
+}
+
+/// Print `e` in a context that requires binding level `min_level` or
+/// tighter; parenthesize when the expression binds looser. The parser
+/// associates binary chains to the left (`parse_bin(level + 1)` on the
+/// right), so right children print at `level + 1`.
+fn print_expr(out: &mut String, e: &Expr, min_level: u8) {
+    match e {
+        Expr::IntLit(v, _) => {
+            // `-2147483648` does not lex as a single token (the lexer
+            // bounds literals at i32::MAX); print in a form that
+            // re-parses to the same value.
+            if *v == i32::MIN {
+                out.push_str("(-2147483647 - 1)");
+            } else if *v < 0 {
+                let _ = write!(out, "(-{})", i64::from(*v).unsigned_abs());
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Expr::FloatLit(v, _) => {
+            if *v < 0.0 {
+                out.push('(');
+                print_f32(out, *v);
+                out.push(')');
+            } else {
+                print_f32(out, *v);
+            }
+        }
+        Expr::Var(name, _) => out.push_str(name),
+        Expr::Index { name, index, .. } => {
+            out.push_str(name);
+            out.push('[');
+            print_expr(out, index, 0);
+            out.push(']');
+        }
+        Expr::Call { name, args, .. } => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        Expr::Unary { op, expr, .. } => {
+            out.push_str(match op {
+                UnOp::Neg => "-",
+                UnOp::Not | UnOp::BitNot => "!",
+            });
+            // Unary binds tighter than any binary operator; the
+            // operand must be unary-level too.
+            let mut operand = String::new();
+            print_unary_operand(&mut operand, expr);
+            // `-` followed by an operand that itself starts with `-`
+            // would lex as `--` (decrement); force parentheses.
+            if matches!(op, UnOp::Neg) && operand.starts_with('-') {
+                out.push('(');
+                out.push_str(&operand);
+                out.push(')');
+            } else {
+                out.push_str(&operand);
+            }
+        }
+        Expr::Cast { ty, expr, .. } => {
+            let _ = write!(out, "({ty}) ");
+            print_unary_operand(out, expr);
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let level = bin_level(*op);
+            let parens = level < min_level;
+            if parens {
+                out.push('(');
+            }
+            print_expr(out, lhs, level);
+            let _ = write!(out, " {} ", bin_op_str(*op));
+            print_expr(out, rhs, level + 1);
+            if parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Print the operand of a unary operator or cast: postfix and unary
+/// forms stand alone, anything binary needs parentheses.
+fn print_unary_operand(out: &mut String, e: &Expr) {
+    if matches!(e, Expr::Binary { .. }) {
+        out.push('(');
+        print_expr(out, e, 0);
+        out.push(')');
+    } else {
+        print_expr(out, e, 10);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    /// Strip positions by comparing the *second* round trip: print →
+    /// parse → print must be a fixed point.
+    fn roundtrip(src: &str) {
+        let ast = parse(src).expect("source parses");
+        let printed = print_ast(&ast);
+        let reparsed =
+            parse(&printed).unwrap_or_else(|e| panic!("printed output must parse: {e}\n{printed}"));
+        assert_eq!(
+            printed,
+            print_ast(&reparsed),
+            "print → parse → print is a fixed point"
+        );
+    }
+
+    #[test]
+    fn roundtrips_globals_and_functions() {
+        roundtrip(
+            "int A[4] = {1, -2, 3, 4};
+             float g = -2.5;
+             int out;
+             int helper(int v[], int n) {
+                 int i; int s; s = 0;
+                 for (i = 0; i < n; i++) s += v[i];
+                 return s;
+             }
+             void main() { out = helper(A, 4); }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_all_statement_forms() {
+        roundtrip(
+            "int out;
+             void main() {
+                 int i; int j; float f;
+                 f = 0.5;
+                 out = 0;
+                 while (out < 5) out++;
+                 for (i = 0; i < 4; i++) {
+                     if (i % 2 == 0) continue;
+                     for (j = 0; j < 4; j++) {
+                         if (j == 3) break;
+                         out += i * j;
+                     }
+                 }
+                 if (f > 0.0) out -= 1; else out--;
+                 { out *= 2; }
+             }",
+        );
+    }
+
+    #[test]
+    fn precedence_prints_minimal_parens() {
+        let ast = parse("int out; void main() { out = (1 + 2) * 3 - 4 / (5 - 6); }").unwrap();
+        let printed = print_ast(&ast);
+        assert!(printed.contains("(1 + 2) * 3 - 4 / (5 - 6)"), "{printed}");
+        roundtrip("int out; void main() { out = (1 + 2) * 3 - 4 / (5 - 6); }");
+    }
+
+    #[test]
+    fn left_associative_sub_keeps_rhs_parens() {
+        // 1 - (2 - 3) must NOT print as 1 - 2 - 3.
+        roundtrip("int out; void main() { out = 1 - (2 - 3); }");
+        let ast = parse("int out; void main() { out = 1 - (2 - 3); }").unwrap();
+        assert!(print_ast(&ast).contains("1 - (2 - 3)"));
+    }
+
+    #[test]
+    fn casts_and_unary_roundtrip() {
+        roundtrip(
+            "float out;
+             void main() {
+                 int i; i = 3;
+                 out = (float) -i + (float) (i * 2);
+                 if (!(i > 1 && i < 9) || i == 3) out = -out;
+             }",
+        );
+    }
+
+    #[test]
+    fn extreme_literals_reparse_to_the_same_value() {
+        let ast = parse("int out; void main() { out = 2147483647; out = -2147483647 - 1; }")
+            .expect("parses");
+        let printed = print_ast(&ast);
+        let re = parse(&printed).expect("reparses");
+        assert_eq!(print_ast(&re), printed);
+    }
+
+    #[test]
+    fn float_values_survive_bit_exactly() {
+        for v in [0.0f32, 1.5, 0.1, 1.0e-20, 3.4e38, 7.0] {
+            let mut s = String::new();
+            print_f32(&mut s, v);
+            let src = format!("float g = {s}; void main() {{}}");
+            let ast = parse(&src).expect("parses");
+            let crate::ast::Item::Global(g) = &ast.items[0] else {
+                panic!()
+            };
+            assert_eq!(g.init[0], crate::ast::Literal::Float(v), "{s}");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The differential oracle: one program, every strategy, one verdict.
+//!
+//! A program passes when (a) each of the seven [`Strategy`]s compiles
+//! it, (b) each simulated run's final global memory matches the
+//! reference interpreter word for word (duplicated copies included),
+//! and (c) the `Ideal` dual-ported configuration is at least as fast as
+//! every banked strategy, up to a small greedy-scheduling slack
+//! ([`ideal_slack`]) — the paper's framing is that banking *approaches*
+//! the ideal, so a banked run beating dual-ported memory on cycles by
+//! more than list-scheduler noise means a cost model bug, not a win.
+//!
+//! Every failure is classified into a [`FailureKind`]; the shrinker
+//! only accepts a smaller program when the kind is preserved, so
+//! shrinking a miscompile cannot wander off and "reduce" to an
+//! unrelated front-end error.
+
+use dsp_backend::{compile_ir, Strategy};
+use dsp_ir::Interpreter;
+use dsp_sim::{SimOptions, Simulator};
+use dsp_workloads::runner::{self, RunError};
+use dsp_workloads::{Benchmark, Kind};
+
+/// Knobs for one oracle run.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Interpreter fuel (IR ops) — bounds the reference run.
+    pub interp_fuel: u64,
+    /// Simulator fuel (cycles) per strategy.
+    pub sim_fuel: u64,
+    /// Test-only miscompile injection: when the source contains this
+    /// substring, the oracle reports a synthetic mismatch under
+    /// `CbPartition`. Substring-triggered so the failure survives
+    /// shrinking exactly like a real miscompile would.
+    pub inject_when_contains: Option<String>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            interp_fuel: 20_000_000,
+            sim_fuel: 50_000_000,
+            inject_when_contains: None,
+        }
+    }
+}
+
+/// What went wrong, and under which strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The source failed the front-end — for generated programs this is
+    /// a generator bug, for mutated sources it is expected rejection.
+    Frontend,
+    /// The reference interpreter trapped or ran out of fuel.
+    InterpTrap,
+    /// A strategy's backend refused the program.
+    BackendError(Strategy),
+    /// A strategy's simulated run trapped or ran out of fuel.
+    SimTrap(Strategy),
+    /// A strategy's final memory differed from the interpreter.
+    Mismatch(Strategy),
+    /// A banked strategy finished in fewer cycles than `Ideal`.
+    CycleInvariant(Strategy),
+}
+
+impl FailureKind {
+    /// Stable label used in reports, corpus file names and metadata.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            FailureKind::Frontend => "frontend".into(),
+            FailureKind::InterpTrap => "interp-trap".into(),
+            FailureKind::BackendError(s) => format!("backend-error-{s}"),
+            FailureKind::SimTrap(s) => format!("sim-trap-{s}"),
+            FailureKind::Mismatch(s) => format!("mismatch-{s}"),
+            FailureKind::CycleInvariant(s) => format!("cycle-invariant-{s}"),
+        }
+    }
+}
+
+/// Slack allowed before a strategy beating `Ideal` counts as a
+/// [`FailureKind::CycleInvariant`] failure, as a function of the
+/// faster strategy's cycle count.
+///
+/// With an optimal compactor, Ideal would dominate outright: its
+/// `Either` memory claims make every other strategy's schedule space a
+/// subset of its own (for the shared all-in-X allocation) and
+/// duplication only adds store overhead. But the list scheduler is
+/// *greedy*, and extra pairing freedom occasionally packs a block one
+/// cycle worse — a loop then multiplies that cycle by its trip count,
+/// so the delta scales with how much of the run sits in affected loop
+/// bodies (the shrinker found a program at 4.8 %). The invariant is
+/// for gross violations — a cost-model or pairing bug making Ideal
+/// systematically slower — so we forgive `4 + cycles/8` (~12.5 %) and
+/// fail on anything larger; a campaign additionally checks the
+/// aggregate (summed) cycles, where the noise washes out.
+#[must_use]
+pub fn ideal_slack(cycles: u64) -> u64 {
+    4 + cycles / 8
+}
+
+/// A classified failure with human-readable detail.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The classification (shrink-stable identity of the bug).
+    pub kind: FailureKind,
+    /// Free-form description of the first divergence.
+    pub detail: String,
+}
+
+/// The oracle's verdict on one program.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// All strategies agreed with the reference; per-strategy cycles in
+    /// [`Strategy::ALL`] order.
+    Pass {
+        /// `(strategy, cycles)` for each strategy.
+        cycles: Vec<(Strategy, u64)>,
+    },
+    /// Something diverged.
+    Fail(Failure),
+}
+
+impl Verdict {
+    /// The failure, if any.
+    #[must_use]
+    pub fn failure(&self) -> Option<&Failure> {
+        match self {
+            Verdict::Pass { .. } => None,
+            Verdict::Fail(f) => Some(f),
+        }
+    }
+}
+
+/// Run the full differential oracle over one DSP-C source text.
+#[must_use]
+pub fn diff_source(source: &str, opts: &DiffOptions) -> Verdict {
+    let ir = match dsp_frontend::compile_str(source) {
+        Ok(ir) => ir,
+        Err(e) => {
+            return Verdict::Fail(Failure {
+                kind: FailureKind::Frontend,
+                detail: e.to_string(),
+            })
+        }
+    };
+
+    let mut interp = Interpreter::new(&ir);
+    interp.set_fuel(opts.interp_fuel);
+    if let Err(e) = interp.run() {
+        return Verdict::Fail(Failure {
+            kind: FailureKind::InterpTrap,
+            detail: e.to_string(),
+        });
+    }
+    let reference: Vec<(String, Vec<dsp_machine::Word>)> = ir
+        .globals
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| {
+            (
+                g.name.clone(),
+                interp.global_mem(dsp_ir::GlobalId(gi as u32)).to_vec(),
+            )
+        })
+        .collect();
+
+    // `verify_sim` reads the check list off a Benchmark; wrap the
+    // source with every global checked.
+    let bench = Benchmark {
+        name: "fuzz".into(),
+        kind: Kind::Application,
+        description: "generated program".into(),
+        source: source.to_string(),
+        check_globals: reference.iter().map(|(n, _)| n.clone()).collect(),
+    };
+
+    if let Some(needle) = &opts.inject_when_contains {
+        if source.contains(needle.as_str()) {
+            return Verdict::Fail(Failure {
+                kind: FailureKind::Mismatch(Strategy::CbPartition),
+                detail: format!("injected mismatch: source contains {needle:?}"),
+            });
+        }
+    }
+
+    let mut cycles = Vec::with_capacity(Strategy::ALL.len());
+    for &strategy in &Strategy::ALL {
+        let out = match compile_ir(&ir, strategy) {
+            Ok(out) => out,
+            Err(e) => {
+                return Verdict::Fail(Failure {
+                    kind: FailureKind::BackendError(strategy),
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let mut sim = Simulator::new(
+            &out.program,
+            SimOptions {
+                dual_ported: strategy.dual_ported(),
+                fuel: opts.sim_fuel,
+            },
+        );
+        let stats = match sim.run() {
+            Ok(stats) => stats,
+            Err(e) => {
+                return Verdict::Fail(Failure {
+                    kind: FailureKind::SimTrap(strategy),
+                    detail: e.to_string(),
+                })
+            }
+        };
+        if let Err(e) = runner::verify_sim(&bench, strategy, &sim, &reference) {
+            let detail = match &e {
+                RunError::Mismatch { global, detail } => format!("global `{global}`: {detail}"),
+                other => other.to_string(),
+            };
+            return Verdict::Fail(Failure {
+                kind: FailureKind::Mismatch(strategy),
+                detail,
+            });
+        }
+        cycles.push((strategy, stats.cycles));
+    }
+
+    let ideal = cycles
+        .iter()
+        .find(|(s, _)| *s == Strategy::Ideal)
+        .map_or(0, |&(_, c)| c);
+    for &(strategy, c) in &cycles {
+        if c.saturating_add(ideal_slack(c)) < ideal {
+            return Verdict::Fail(Failure {
+                kind: FailureKind::CycleInvariant(strategy),
+                detail: format!(
+                    "{strategy} finished in {c} cycles, beating Ideal's {ideal} \
+                     by more than the greedy-scheduling slack ({})",
+                    ideal_slack(c)
+                ),
+            });
+        }
+    }
+
+    Verdict::Pass { cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_known_good_program_passes() {
+        let src = "int A[4] = {1, 2, 3, 4}; int out;
+                   void main() { int i; out = 0; for (i = 0; i < 4; i++) out += A[i]; }";
+        let v = diff_source(src, &DiffOptions::default());
+        match v {
+            Verdict::Pass { cycles } => {
+                assert_eq!(cycles.len(), Strategy::ALL.len());
+                assert!(cycles.iter().all(|&(_, c)| c > 0));
+            }
+            Verdict::Fail(f) => panic!("unexpected failure: {} ({})", f.kind.label(), f.detail),
+        }
+    }
+
+    #[test]
+    fn frontend_rejection_is_classified() {
+        let v = diff_source("int ;;;", &DiffOptions::default());
+        assert_eq!(v.failure().unwrap().kind, FailureKind::Frontend);
+    }
+
+    #[test]
+    fn infinite_loop_is_an_interp_trap() {
+        let opts = DiffOptions {
+            interp_fuel: 10_000,
+            ..DiffOptions::default()
+        };
+        let v = diff_source("int out; void main() { while (1) out += 1; }", &opts);
+        assert_eq!(v.failure().unwrap().kind, FailureKind::InterpTrap);
+    }
+
+    #[test]
+    fn injection_hook_reports_a_mismatch() {
+        let opts = DiffOptions {
+            inject_when_contains: Some("out".into()),
+            ..DiffOptions::default()
+        };
+        let v = diff_source("int out; void main() { out = 1; }", &opts);
+        assert_eq!(
+            v.failure().unwrap().kind,
+            FailureKind::Mismatch(Strategy::CbPartition)
+        );
+        // Without the marker the same oracle passes.
+        let v = diff_source("int o; void main() { o = 1; }", &opts);
+        assert!(v.failure().is_none());
+    }
+}

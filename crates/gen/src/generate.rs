@@ -1,0 +1,856 @@
+//! Seeded generator of valid DSP-C programs.
+//!
+//! The generator builds front-end ASTs directly (no string templates)
+//! and is **correct by construction** along the axes the differential
+//! oracle cares about:
+//!
+//! * every program type-checks and lowers — variables are declared
+//!   before use, call arities match, array-typed expressions always
+//!   carry an index;
+//! * every array subscript is in bounds — subscripts are constants
+//!   below the array length, or affine forms `i + c` of a live loop
+//!   counter whose trip count keeps `i + c` under the length;
+//! * every loop terminates — only counted `for (i = 0; i < t; i++)`
+//!   loops are emitted and generated statements never assign to a live
+//!   counter;
+//! * every arithmetic operation is defined — this machine wraps on
+//!   overflow, masks shift counts, and defines division by zero as 0,
+//!   so the generator may emit `/`, `%`, and shifts freely.
+//!
+//! Randomness comes solely from the seed: the same `(seed, GenConfig)`
+//! pair reproduces the same AST on every platform, which is what makes
+//! fuzz reports byte-comparable and corpus entries replayable.
+
+use dsp_frontend::ast::{
+    Ast, BinOp, Expr, FuncDef, GlobalDecl, Item, LValue, Literal, ParamDecl, Stmt, Ty, UnOp,
+};
+use dsp_frontend::Pos;
+
+use crate::rng::Rng;
+
+/// Size knobs for one generated program. Each knob is a cap; the
+/// per-program draw picks actual sizes below it so a campaign with one
+/// config still covers small and large shapes.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum statements in the `main` body (before loop bodies).
+    pub max_stmts: usize,
+    /// Maximum `for`-loop nesting depth.
+    pub max_loop_depth: usize,
+    /// Maximum number of global arrays.
+    pub max_arrays: usize,
+    /// Maximum array length in words (minimum is fixed at
+    /// [`MIN_ARRAY_LEN`]).
+    pub max_array_len: u32,
+    /// Maximum number of global scalars.
+    pub max_scalars: usize,
+    /// Maximum number of helper functions.
+    pub max_funcs: usize,
+    /// Percent chance a declared variable is `float` rather than `int`.
+    pub float_pct: usize,
+}
+
+/// Arrays are never shorter than this, so helper functions may index
+/// array parameters with constants below it without seeing the callee.
+pub const MIN_ARRAY_LEN: u32 = 4;
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_stmts: 12,
+            max_loop_depth: 3,
+            max_arrays: 4,
+            max_array_len: 16,
+            max_scalars: 4,
+            max_funcs: 2,
+            float_pct: 35,
+        }
+    }
+}
+
+/// Zero position for synthesized nodes (the pretty-printer re-derives
+/// real positions when the source is parsed back).
+fn p() -> Pos {
+    Pos { line: 0, col: 0 }
+}
+
+/// An integer literal expression in the form the parser itself would
+/// produce: the parser never folds unary minus into a literal outside
+/// initializer lists, so negative values are spelled `Neg(lit)` — this
+/// keeps print → parse → print a one-step fixed point.
+fn int_lit(v: i32) -> Expr {
+    if v < 0 {
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(Expr::IntLit(-v, p())),
+            pos: p(),
+        }
+    } else {
+        Expr::IntLit(v, p())
+    }
+}
+
+/// [`int_lit`] for float literals.
+fn float_lit(v: f32) -> Expr {
+    if v < 0.0 {
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(Expr::FloatLit(-v, p())),
+            pos: p(),
+        }
+    } else {
+        Expr::FloatLit(v, p())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ArrayInfo {
+    name: String,
+    ty: Ty,
+    len: u32,
+}
+
+#[derive(Debug, Clone)]
+struct HelperInfo {
+    name: String,
+    ret: Ty,
+    /// `(ty, is_array)` per parameter.
+    params: Vec<(Ty, bool)>,
+}
+
+/// A live counted loop: counter variable and trip count.
+#[derive(Debug, Clone)]
+struct LoopVar {
+    name: String,
+    trip: u32,
+}
+
+struct Gen<'a> {
+    rng: Rng,
+    cfg: &'a GenConfig,
+    arrays: Vec<ArrayInfo>,
+    int_scalars: Vec<String>,
+    float_scalars: Vec<String>,
+    helpers: Vec<HelperInfo>,
+    /// Innermost-last stack of live loop counters.
+    loops: Vec<LoopVar>,
+    /// Allow calls in generated expressions (off inside helper bodies
+    /// to keep the call graph acyclic and shallow).
+    calls_allowed: bool,
+}
+
+/// Generate one valid DSP-C program as an AST.
+#[must_use]
+pub fn generate(seed: u64, cfg: &GenConfig) -> Ast {
+    let mut g = Gen {
+        rng: Rng::new(seed),
+        cfg,
+        arrays: Vec::new(),
+        int_scalars: Vec::new(),
+        float_scalars: Vec::new(),
+        helpers: Vec::new(),
+        loops: Vec::new(),
+        calls_allowed: false,
+    };
+    g.program()
+}
+
+/// [`generate`], pretty-printed to DSP-C source text.
+#[must_use]
+pub fn generate_source(seed: u64, cfg: &GenConfig) -> String {
+    dsp_frontend::print_ast(&generate(seed, cfg))
+}
+
+impl Gen<'_> {
+    fn ty(&mut self) -> Ty {
+        if self.rng.chance(self.cfg.float_pct, 100) {
+            Ty::Float
+        } else {
+            Ty::Int
+        }
+    }
+
+    fn literal(&mut self, ty: Ty) -> Literal {
+        match ty {
+            Ty::Int => Literal::Int(self.rng.small_i32()),
+            Ty::Float => Literal::Float(self.float_val()),
+        }
+    }
+
+    /// Small dyadic rationals: exact in f32, exact to print, and their
+    /// sums/products stay well away from overflow for typical trip
+    /// counts.
+    fn float_val(&mut self) -> f32 {
+        self.rng.small_i32() as f32 * 0.25
+    }
+
+    fn program(&mut self) -> Ast {
+        let mut items = Vec::new();
+
+        let n_scalars = self.rng.range(1, self.cfg.max_scalars.max(1));
+        for k in 0..n_scalars {
+            let ty = self.ty();
+            let name = format!("g{k}");
+            match ty {
+                Ty::Int => self.int_scalars.push(name.clone()),
+                Ty::Float => self.float_scalars.push(name.clone()),
+            }
+            let init = if self.rng.chance(1, 2) {
+                vec![self.literal(ty)]
+            } else {
+                Vec::new()
+            };
+            items.push(Item::Global(GlobalDecl {
+                name,
+                ty,
+                size: None,
+                init,
+                pos: p(),
+            }));
+        }
+
+        let n_arrays = self.rng.range(1, self.cfg.max_arrays.max(1));
+        for k in 0..n_arrays {
+            let ty = self.ty();
+            let len = self.rng.range(
+                MIN_ARRAY_LEN as usize,
+                self.cfg.max_array_len.max(MIN_ARRAY_LEN) as usize,
+            ) as u32;
+            let name = format!("A{k}");
+            let n_init = self.rng.range(0, len as usize);
+            let init = (0..n_init).map(|_| self.literal(ty)).collect();
+            self.arrays.push(ArrayInfo {
+                name: name.clone(),
+                ty,
+                len,
+            });
+            items.push(Item::Global(GlobalDecl {
+                name,
+                ty,
+                size: Some(len),
+                init,
+                pos: p(),
+            }));
+        }
+
+        let n_funcs = self.rng.range(0, self.cfg.max_funcs);
+        for k in 0..n_funcs {
+            items.push(Item::Func(self.helper(k)));
+        }
+
+        self.calls_allowed = true;
+        items.push(Item::Func(self.main_func()));
+        Ast { items }
+    }
+
+    /// A helper function over its own parameters and the globals.
+    /// Helpers never call (acyclic by construction) and index array
+    /// parameters only below [`MIN_ARRAY_LEN`].
+    fn helper(&mut self, k: usize) -> FuncDef {
+        let ret = self.ty();
+        let n_params = self.rng.range(1, 3);
+        let mut params = Vec::new();
+        let mut sig = Vec::new();
+        for pi in 0..n_params {
+            let ty = self.ty();
+            let is_array = self.rng.chance(1, 3);
+            params.push(ParamDecl {
+                name: format!("p{pi}"),
+                ty,
+                is_array,
+                pos: p(),
+            });
+            sig.push((ty, is_array));
+        }
+
+        // Inside the body the parameters join the scope; array params
+        // pose as arrays of the minimum guaranteed length.
+        let saved_arrays = self.arrays.clone();
+        let saved_ints = self.int_scalars.clone();
+        let saved_floats = self.float_scalars.clone();
+        for param in &params {
+            if param.is_array {
+                self.arrays.push(ArrayInfo {
+                    name: param.name.clone(),
+                    ty: param.ty,
+                    len: MIN_ARRAY_LEN,
+                });
+            } else {
+                match param.ty {
+                    Ty::Int => self.int_scalars.push(param.name.clone()),
+                    Ty::Float => self.float_scalars.push(param.name.clone()),
+                }
+            }
+        }
+
+        let value = self.expr(ret, 3);
+        let mut body = Vec::new();
+        if self.rng.chance(1, 2) {
+            // An early-return branch exercises multi-block helpers.
+            let cond = self.condition();
+            let early = self.expr(ret, 2);
+            body.push(Stmt::If {
+                cond,
+                then_s: vec![Stmt::Return {
+                    value: Some(early),
+                    pos: p(),
+                }],
+                else_s: Vec::new(),
+                pos: p(),
+            });
+        }
+        body.push(Stmt::Return {
+            value: Some(value),
+            pos: p(),
+        });
+
+        self.arrays = saved_arrays;
+        self.int_scalars = saved_ints;
+        self.float_scalars = saved_floats;
+
+        let name = format!("h{k}");
+        self.helpers.push(HelperInfo {
+            name: name.clone(),
+            ret,
+            params: sig,
+        });
+        FuncDef {
+            name,
+            ret: Some(ret),
+            params,
+            body,
+            pos: p(),
+        }
+    }
+
+    fn main_func(&mut self) -> FuncDef {
+        let mut body = Vec::new();
+        // Loop counters and two local accumulators, declared up front.
+        // Counters are a reserved namespace: statements never assign to
+        // them, so every loop provably terminates.
+        for d in 0..self.cfg.max_loop_depth.max(1) {
+            body.push(Stmt::LocalDecl {
+                name: format!("i{d}"),
+                ty: Ty::Int,
+                size: None,
+                init: None,
+                pos: p(),
+            });
+        }
+        body.push(Stmt::LocalDecl {
+            name: "acc".into(),
+            ty: Ty::Int,
+            size: None,
+            init: Some(Expr::IntLit(0, p())),
+            pos: p(),
+        });
+        self.int_scalars.push("acc".into());
+        if !self.float_scalars.is_empty() || self.rng.chance(1, 2) {
+            body.push(Stmt::LocalDecl {
+                name: "facc".into(),
+                ty: Ty::Float,
+                size: None,
+                init: Some(Expr::FloatLit(0.0, p())),
+                pos: p(),
+            });
+            self.float_scalars.push("facc".into());
+        }
+
+        let n = self.rng.range(2, self.cfg.max_stmts.max(2));
+        for _ in 0..n {
+            let stmt = self.stmt(self.cfg.max_loop_depth);
+            body.push(stmt);
+        }
+
+        // Fold the local accumulators into a checked global so their
+        // whole dataflow is observable.
+        if let Some(gname) = self.int_scalars.first().cloned() {
+            if gname != "acc" {
+                body.push(assign(&gname, None, Expr::Var("acc".into(), p())));
+            }
+        }
+
+        FuncDef {
+            name: "main".into(),
+            ret: None,
+            params: Vec::new(),
+            body,
+            pos: p(),
+        }
+    }
+
+    /// One statement; `loop_budget` is the remaining nesting allowance.
+    fn stmt(&mut self, loop_budget: usize) -> Stmt {
+        let roll = self.rng.below(10);
+        match roll {
+            // 40%: plain or compound assignment.
+            0..=3 => self.assign_stmt(),
+            // 20%: counted for loop.
+            4 | 5 if loop_budget > 0 => self.for_stmt(loop_budget),
+            // 10%: if/else.
+            6 => {
+                let cond = self.condition();
+                let then_n = self.rng.range(1, 2);
+                let then_s = (0..then_n).map(|_| self.assign_stmt()).collect();
+                let else_s = if self.rng.chance(1, 2) {
+                    vec![self.assign_stmt()]
+                } else {
+                    Vec::new()
+                };
+                Stmt::If {
+                    cond,
+                    then_s,
+                    else_s,
+                    pos: p(),
+                }
+            }
+            // 10%: increment/decrement of an int scalar.
+            7 if !self.int_scalars.is_empty() => {
+                let name = self.rng.pick(&self.int_scalars).clone();
+                let delta = if self.rng.chance(1, 2) { 1 } else { -1 };
+                Stmt::Incr {
+                    target: LValue {
+                        name,
+                        index: None,
+                        pos: p(),
+                    },
+                    delta,
+                    pos: p(),
+                }
+            }
+            _ => self.assign_stmt(),
+        }
+    }
+
+    /// `for (iK = 0; iK < trip; iK++) { body }` where `iK` is the
+    /// counter reserved for this nesting level.
+    fn for_stmt(&mut self, loop_budget: usize) -> Stmt {
+        let level = self.cfg.max_loop_depth.max(1) - loop_budget;
+        let name = format!("i{level}");
+        let trip = self.rng.range(1, 8) as u32;
+        self.loops.push(LoopVar {
+            name: name.clone(),
+            trip,
+        });
+        let n = self.rng.range(1, 3);
+        let body = (0..n).map(|_| self.stmt(loop_budget - 1)).collect();
+        self.loops.pop();
+
+        Stmt::For {
+            init: Some(Box::new(assign(&name, None, Expr::IntLit(0, p())))),
+            cond: Some(Expr::Binary {
+                op: BinOp::Lt,
+                lhs: Box::new(Expr::Var(name.clone(), p())),
+                rhs: Box::new(Expr::IntLit(trip as i32, p())),
+                pos: p(),
+            }),
+            step: Some(Box::new(Stmt::Incr {
+                target: LValue {
+                    name,
+                    index: None,
+                    pos: p(),
+                },
+                delta: 1,
+                pos: p(),
+            })),
+            body,
+            pos: p(),
+        }
+    }
+
+    /// Assignment to a global scalar, local accumulator, or in-bounds
+    /// array element. Never targets a loop counter.
+    fn assign_stmt(&mut self) -> Stmt {
+        let use_array = !self.arrays.is_empty() && self.rng.chance(1, 2);
+        let (target, ty) = if use_array {
+            let a = self.rng.pick(&self.arrays).clone();
+            let idx = self.index_expr(a.len);
+            (
+                LValue {
+                    name: a.name,
+                    index: Some(Box::new(idx)),
+                    pos: p(),
+                },
+                a.ty,
+            )
+        } else if !self.float_scalars.is_empty()
+            && (self.int_scalars.is_empty() || self.rng.chance(1, 3))
+        {
+            let name = self.rng.pick(&self.float_scalars).clone();
+            (
+                LValue {
+                    name,
+                    index: None,
+                    pos: p(),
+                },
+                Ty::Float,
+            )
+        } else {
+            let name = self.rng.pick(&self.int_scalars).clone();
+            (
+                LValue {
+                    name,
+                    index: None,
+                    pos: p(),
+                },
+                Ty::Int,
+            )
+        };
+
+        let op = if self.rng.chance(1, 2) {
+            // Only the compound operators the grammar spells (`+=` ..
+            // `%=`); there is no `^=` in DSP-C.
+            let int_ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div];
+            let float_ops = [BinOp::Add, BinOp::Sub, BinOp::Mul];
+            Some(match ty {
+                Ty::Int => *self.rng.pick(&int_ops),
+                Ty::Float => *self.rng.pick(&float_ops),
+            })
+        } else {
+            None
+        };
+        let value = self.expr(ty, 3);
+        Stmt::Assign {
+            target,
+            op,
+            value,
+            pos: p(),
+        }
+    }
+
+    /// An `int`-valued condition, usually a comparison.
+    fn condition(&mut self) -> Expr {
+        let cmp = [
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Eq,
+            BinOp::Ne,
+        ];
+        let op = *self.rng.pick(&cmp);
+        let (lhs, rhs) = if self.rng.chance(1, 4) && !self.float_scalars.is_empty() {
+            (self.expr(Ty::Float, 1), self.expr(Ty::Float, 1))
+        } else {
+            (self.expr(Ty::Int, 2), self.expr(Ty::Int, 1))
+        };
+        let base = Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            pos: p(),
+        };
+        if self.rng.chance(1, 4) {
+            // Short-circuit combination.
+            let other = Expr::Binary {
+                op: *self.rng.pick(&cmp),
+                lhs: Box::new(self.expr(Ty::Int, 1)),
+                rhs: Box::new(self.expr(Ty::Int, 1)),
+                pos: p(),
+            };
+            Expr::Binary {
+                op: if self.rng.chance(1, 2) {
+                    BinOp::And
+                } else {
+                    BinOp::Or
+                },
+                lhs: Box::new(base),
+                rhs: Box::new(other),
+                pos: p(),
+            }
+        } else {
+            base
+        }
+    }
+
+    /// An in-bounds subscript for an array of length `len`: a constant,
+    /// or an affine `i + c` over a live counter with `trip + c <= len`.
+    fn index_expr(&mut self, len: u32) -> Expr {
+        let usable: Vec<LoopVar> = self
+            .loops
+            .iter()
+            .filter(|l| l.trip <= len)
+            .cloned()
+            .collect();
+        if !usable.is_empty() && self.rng.chance(3, 4) {
+            let l = self.rng.pick(&usable).clone();
+            let max_off = len - l.trip;
+            let off = self.rng.range(0, max_off as usize) as i32;
+            let var = Expr::Var(l.name, p());
+            if off == 0 {
+                var
+            } else {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    lhs: Box::new(var),
+                    rhs: Box::new(Expr::IntLit(off, p())),
+                    pos: p(),
+                }
+            }
+        } else {
+            Expr::IntLit(self.rng.below(len as usize) as i32, p())
+        }
+    }
+
+    /// A type-correct expression of bounded depth.
+    fn expr(&mut self, ty: Ty, depth: usize) -> Expr {
+        if depth == 0 || self.rng.chance(1, 3) {
+            return self.leaf(ty);
+        }
+        match ty {
+            Ty::Int => match self.rng.below(8) {
+                0..=3 => {
+                    let arith = [
+                        BinOp::Add,
+                        BinOp::Sub,
+                        BinOp::Mul,
+                        BinOp::Div,
+                        BinOp::Rem,
+                        BinOp::BitAnd,
+                        BinOp::BitOr,
+                        BinOp::BitXor,
+                    ];
+                    let op = *self.rng.pick(&arith);
+                    Expr::Binary {
+                        op,
+                        lhs: Box::new(self.expr(Ty::Int, depth - 1)),
+                        rhs: Box::new(self.expr(Ty::Int, depth - 1)),
+                        pos: p(),
+                    }
+                }
+                4 => {
+                    // Shift counts are masked by the machine, but small
+                    // constants keep values interpretable.
+                    let op = if self.rng.chance(1, 2) {
+                        BinOp::Shl
+                    } else {
+                        BinOp::Shr
+                    };
+                    Expr::Binary {
+                        op,
+                        lhs: Box::new(self.expr(Ty::Int, depth - 1)),
+                        rhs: Box::new(Expr::IntLit(self.rng.below(16) as i32, p())),
+                        pos: p(),
+                    }
+                }
+                5 => {
+                    let op = *self.rng.pick(&[UnOp::Neg, UnOp::Not, UnOp::BitNot]);
+                    Expr::Unary {
+                        op,
+                        expr: Box::new(self.expr(Ty::Int, depth - 1)),
+                        pos: p(),
+                    }
+                }
+                6 => Expr::Cast {
+                    ty: Ty::Int,
+                    expr: Box::new(self.expr(Ty::Float, depth - 1)),
+                    pos: p(),
+                },
+                _ => self.condition(),
+            },
+            Ty::Float => match self.rng.below(6) {
+                0..=2 => {
+                    let op = *self
+                        .rng
+                        .pick(&[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div]);
+                    Expr::Binary {
+                        op,
+                        lhs: Box::new(self.expr(Ty::Float, depth - 1)),
+                        rhs: Box::new(self.expr(Ty::Float, depth - 1)),
+                        pos: p(),
+                    }
+                }
+                3 => Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.expr(Ty::Float, depth - 1)),
+                    pos: p(),
+                },
+                4 => Expr::Cast {
+                    ty: Ty::Float,
+                    expr: Box::new(self.expr(Ty::Int, depth - 1)),
+                    pos: p(),
+                },
+                // Int operand promoted by the front-end.
+                _ => Expr::Binary {
+                    op: BinOp::Add,
+                    lhs: Box::new(self.expr(Ty::Float, depth - 1)),
+                    rhs: Box::new(self.expr(Ty::Int, 1)),
+                    pos: p(),
+                },
+            },
+        }
+    }
+
+    fn leaf(&mut self, ty: Ty) -> Expr {
+        // A call leaf, occasionally, when a helper of this type exists.
+        if self.calls_allowed && self.rng.chance(1, 5) {
+            let candidates: Vec<HelperInfo> = self
+                .helpers
+                .iter()
+                .filter(|h| h.ret == ty && self.callable(h))
+                .cloned()
+                .collect();
+            if !candidates.is_empty() {
+                let h = self.rng.pick(&candidates).clone();
+                let args = h
+                    .params
+                    .iter()
+                    .map(|&(pty, is_array)| {
+                        if is_array {
+                            let matching: Vec<ArrayInfo> = self
+                                .arrays
+                                .iter()
+                                .filter(|a| a.ty == pty)
+                                .cloned()
+                                .collect();
+                            let a = self.rng.pick(&matching).clone();
+                            Expr::Var(a.name, p())
+                        } else {
+                            self.leaf_noncall(pty)
+                        }
+                    })
+                    .collect();
+                return Expr::Call {
+                    name: h.name,
+                    args,
+                    pos: p(),
+                };
+            }
+        }
+        self.leaf_noncall(ty)
+    }
+
+    /// Can every parameter of `h` be satisfied from the current scope?
+    fn callable(&self, h: &HelperInfo) -> bool {
+        h.params
+            .iter()
+            .all(|&(pty, is_array)| !is_array || self.arrays.iter().any(|a| a.ty == pty))
+    }
+
+    fn leaf_noncall(&mut self, ty: Ty) -> Expr {
+        match ty {
+            Ty::Int => {
+                let mut vars: Vec<String> = self.int_scalars.clone();
+                vars.extend(self.loops.iter().map(|l| l.name.clone()));
+                let int_arrays: Vec<ArrayInfo> = self
+                    .arrays
+                    .iter()
+                    .filter(|a| a.ty == Ty::Int)
+                    .cloned()
+                    .collect();
+                match self.rng.below(4) {
+                    0 => int_lit(self.rng.small_i32()),
+                    1 | 2 if !vars.is_empty() => Expr::Var(self.rng.pick(&vars).clone(), p()),
+                    3 if !int_arrays.is_empty() => {
+                        let a = self.rng.pick(&int_arrays).clone();
+                        Expr::Index {
+                            name: a.name,
+                            index: Box::new(self.index_expr(a.len)),
+                            pos: p(),
+                        }
+                    }
+                    _ => int_lit(self.rng.small_i32()),
+                }
+            }
+            Ty::Float => {
+                let float_arrays: Vec<ArrayInfo> = self
+                    .arrays
+                    .iter()
+                    .filter(|a| a.ty == Ty::Float)
+                    .cloned()
+                    .collect();
+                match self.rng.below(4) {
+                    0 => float_lit(self.float_val()),
+                    1 | 2 if !self.float_scalars.is_empty() => {
+                        Expr::Var(self.rng.pick(&self.float_scalars.clone()).clone(), p())
+                    }
+                    3 if !float_arrays.is_empty() => {
+                        let a = self.rng.pick(&float_arrays).clone();
+                        Expr::Index {
+                            name: a.name,
+                            index: Box::new(self.index_expr(a.len)),
+                            pos: p(),
+                        }
+                    }
+                    _ => float_lit(self.float_val()),
+                }
+            }
+        }
+    }
+}
+
+fn assign(name: &str, op: Option<BinOp>, value: Expr) -> Stmt {
+    Stmt::Assign {
+        target: LValue {
+            name: name.to_string(),
+            index: None,
+            pos: p(),
+        },
+        op,
+        value,
+        pos: p(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_program() {
+        let cfg = GenConfig::default();
+        assert_eq!(generate_source(1, &cfg), generate_source(1, &cfg));
+        assert_ne!(generate_source(1, &cfg), generate_source(2, &cfg));
+    }
+
+    #[test]
+    fn generated_programs_compile_and_run() {
+        let cfg = GenConfig::default();
+        for seed in 0..100 {
+            let src = generate_source(seed, &cfg);
+            let ir = dsp_frontend::compile_str(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} fails front-end: {e}\n{src}"));
+            let mut interp = dsp_ir::Interpreter::new(&ir);
+            interp.set_fuel(20_000_000);
+            interp
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed} traps in interpreter: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn generated_source_round_trips_through_the_parser() {
+        let cfg = GenConfig::default();
+        for seed in 0..20 {
+            let src = generate_source(seed, &cfg);
+            let ast = dsp_frontend::parse::parse(&src).expect("parses");
+            assert_eq!(dsp_frontend::print_ast(&ast), src, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn knobs_change_program_shape() {
+        let small = GenConfig {
+            max_stmts: 2,
+            max_loop_depth: 1,
+            max_arrays: 1,
+            max_array_len: 4,
+            max_scalars: 1,
+            max_funcs: 0,
+            float_pct: 0,
+        };
+        let big = GenConfig {
+            max_stmts: 40,
+            max_loop_depth: 4,
+            max_arrays: 8,
+            max_array_len: 64,
+            max_scalars: 8,
+            max_funcs: 4,
+            float_pct: 50,
+        };
+        let s = generate_source(5, &small);
+        let b = generate_source(5, &big);
+        assert!(b.len() > s.len());
+        assert!(!s.contains("float"), "float_pct 0 yields int-only:\n{s}");
+    }
+}

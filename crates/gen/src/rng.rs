@@ -1,0 +1,146 @@
+//! Deterministic pseudo-random numbers for the generator.
+//!
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny, statistically
+//! solid, splittable generator whose entire state is one `u64`. The
+//! fuzzer's reproducibility contract — same seed, same programs, same
+//! report bytes, on every platform — rules out anything with
+//! platform-dependent state (hash maps, time, addresses), and the
+//! offline build rules out a registry crate, so the ~10 lines live here.
+
+/// A deterministic 64-bit PRNG.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seed the generator. Seeds are user-facing (CLI `--seed`), so all
+    /// values — including 0 — must give usable streams; SplitMix64's
+    /// output permutation guarantees that.
+    #[must_use]
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` of 0 yields 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift range reduction; the modulo bias of `% bound`
+        // would be harmless here, but this is branch-free and exact
+        // enough for program generation.
+        let b = bound as u64;
+        ((u128::from(self.next_u64()) * u128::from(b)) >> 64) as usize
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// `true` with probability `num/den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+
+    /// Pick an element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// A small signed constant, biased toward 0/±1 (the interesting
+    /// values for offsets and initializers).
+    pub fn small_i32(&mut self) -> i32 {
+        match self.below(6) {
+            0 => 0,
+            1 => 1,
+            2 => -1,
+            3 => self.range(2, 9) as i32,
+            4 => -(self.range(2, 9) as i32),
+            _ => self.range(10, 999) as i32,
+        }
+    }
+
+    /// Derive an independent stream (for per-program generators inside
+    /// one campaign: program `i` must not depend on how many random
+    /// draws program `i-1` consumed).
+    #[must_use]
+    pub fn split(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = Rng::new(43).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng::new(0);
+        let vals: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), vals.len(), "no early cycle");
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut r = Rng::new(7);
+        for bound in [1usize, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn range_is_inclusive_and_covers() {
+        let mut r = Rng::new(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = r.range(2, 5);
+            assert!((2..=5).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 2..=5 reachable");
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let mut r = Rng::new(1);
+        let mut s1 = r.split();
+        let mut s2 = r.split();
+        let a: Vec<u64> = (0..8).map(|_| s1.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| s2.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -16,6 +16,7 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,6 +40,10 @@ OPTIONS:
   --endpoint E      compile | sweep | healthz (default compile)
   --strategy S      strategy for compile bodies (default cb)
   --source PATH     DSP-C file to post (default: a built-in FIR kernel)
+  --corpus DIR      post *.dsp programs from DIR instead of one source;
+                    connection i drives corpus[i % len] for its whole
+                    life and the report splits success/latency per
+                    program (pairs well with the dsp-gen fuzz corpus)
   --workers N       (--spawn only) server worker threads (default: cores)
   --jobs N          (--spawn only) compute-executor threads (default: cores)
   --mixed           run sweep traffic concurrently with the compile
@@ -69,6 +74,7 @@ struct Args {
     endpoint: String,
     strategy: String,
     source: Option<String>,
+    corpus: Option<String>,
     workers: usize,
     jobs: usize,
     mixed: bool,
@@ -107,6 +113,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         endpoint: flag_value(argv, "--endpoint").unwrap_or_else(|| "compile".to_string()),
         strategy: flag_value(argv, "--strategy").unwrap_or_else(|| "cb".to_string()),
         source: flag_value(argv, "--source"),
+        corpus: flag_value(argv, "--corpus"),
         workers: match flag_value(argv, "--workers") {
             Some(v) => dsp_driver::parse_worker_count("--workers", &v)?,
             None => 0,
@@ -132,6 +139,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ));
     }
     dsp_backend::Strategy::parse(&args.strategy)?;
+    if args.corpus.is_some() {
+        if args.source.is_some() {
+            return Err("--corpus and --source are mutually exclusive".to_string());
+        }
+        if args.endpoint == "healthz" {
+            return Err("--corpus requires a compile or sweep endpoint".to_string());
+        }
+    }
     Ok(args)
 }
 
@@ -182,27 +197,61 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         None => DEFAULT_SOURCE.to_string(),
     };
-    let (method, path, body) = match args.endpoint.as_str() {
-        "healthz" => ("GET", "/healthz", None),
-        "sweep" if !args.mixed => (
-            "POST",
-            "/sweep",
-            Some(format!(
-                "{{\"source\": {}}}",
-                dsp_driver::json::escape(&source)
-            )),
-        ),
-        _ => (
-            "POST",
-            "/compile",
-            Some(format!(
+    let body_for = |src: &str| -> Option<String> {
+        match args.endpoint.as_str() {
+            "healthz" => None,
+            "sweep" if !args.mixed => {
+                Some(format!("{{\"source\": {}}}", dsp_driver::json::escape(src)))
+            }
+            _ => Some(format!(
                 "{{\"source\": {}, \"strategy\": {}}}",
-                dsp_driver::json::escape(&source),
+                dsp_driver::json::escape(src),
                 dsp_driver::json::escape(&args.strategy)
             )),
-        ),
+        }
     };
-    let body = Arc::new(body);
+    let (method, path) = match args.endpoint.as_str() {
+        "healthz" => ("GET", "/healthz"),
+        "sweep" if !args.mixed => ("POST", "/sweep"),
+        _ => ("POST", "/compile"),
+    };
+
+    // Corpus mode: one request body per *.dsp file, sorted by name so
+    // the assignment is deterministic. Connection i posts corpus
+    // [i % len] for its whole life — the same pinning rule connections
+    // use for targets — so the per-program split below partitions the
+    // traffic cleanly.
+    let programs: Option<Arc<Vec<ProgramSlot>>> = match &args.corpus {
+        Some(dir) => {
+            let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+                .map_err(|e| format!("cannot read corpus dir `{dir}`: {e}"))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("dsp"))
+                .collect();
+            paths.sort();
+            if paths.is_empty() {
+                return Err(format!("corpus dir `{dir}` has no .dsp files"));
+            }
+            let mut slots = Vec::new();
+            for p in paths {
+                let src = std::fs::read_to_string(&p)
+                    .map_err(|e| format!("cannot read `{}`: {e}", p.display()))?;
+                slots.push(ProgramSlot {
+                    name: p
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default(),
+                    body: body_for(&src),
+                    hist: Histogram::new(),
+                    ok: AtomicU64::new(0),
+                    failed: AtomicU64::new(0),
+                });
+            }
+            Some(Arc::new(slots))
+        }
+        None => None,
+    };
+    let body = Arc::new(body_for(&source));
 
     println!(
         "target {} · {} connections × {} requests · endpoint /{}{}",
@@ -219,6 +268,8 @@ fn run(argv: &[String]) -> Result<(), String> {
                 " + {} concurrent `{}` sweeps",
                 args.sweep_requests, args.bench
             )
+        } else if let Some(progs) = &programs {
+            format!(" · corpus of {} programs", progs.len())
         } else {
             String::new()
         },
@@ -269,8 +320,10 @@ fn run(argv: &[String]) -> Result<(), String> {
         let addr = targets[i % targets.len()].clone();
         let body = Arc::clone(&body);
         let hist = Arc::clone(&hist);
+        let programs = programs.clone();
         let requests = args.requests;
         threads.push(std::thread::spawn(move || -> ConnStats {
+            let slot = programs.as_deref().map(|progs| &progs[i % progs.len()]);
             let mut stats = ConnStats::default();
             let mut conn = match ClientConn::connect(&addr, Duration::from_secs(30)) {
                 Ok(c) => c,
@@ -280,14 +333,30 @@ fn run(argv: &[String]) -> Result<(), String> {
                 }
             };
             for _ in 0..requests {
+                let request_body = match slot {
+                    Some(slot) => slot.body.as_deref(),
+                    None => body.as_deref(),
+                };
                 let t0 = Instant::now();
-                match conn.request(method, path, body.as_deref()) {
+                match conn.request(method, path, request_body) {
                     Ok(resp) => {
-                        hist.observe(t0.elapsed());
+                        let elapsed = t0.elapsed();
+                        hist.observe(elapsed);
                         *stats.statuses.entry(resp.status).or_insert(0) += 1;
+                        if let Some(slot) = slot {
+                            slot.hist.observe(elapsed);
+                            if resp.status == 200 {
+                                slot.ok.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                slot.failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                     }
                     Err(_) => {
                         stats.dropped += 1;
+                        if let Some(slot) = slot {
+                            slot.failed.fetch_add(1, Ordering::Relaxed);
+                        }
                         // The server closes after errors; reconnect.
                         match ClientConn::connect(&addr, Duration::from_secs(30)) {
                             Ok(c) => conn = c,
@@ -374,6 +443,36 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
     }
 
+    // Per-program split: since each connection is pinned to one corpus
+    // entry, these rows partition the totals above exactly.
+    if let Some(progs) = &programs {
+        println!("\nper-program split ({} corpus entries):", progs.len());
+        let width = progs.iter().map(|p| p.name.len()).max().unwrap_or(0);
+        for prog in progs.iter() {
+            let ok = prog.ok.load(Ordering::Relaxed);
+            let failed = prog.failed.load(Ordering::Relaxed);
+            let snap = prog.hist.snapshot();
+            if snap.count > 0 {
+                println!(
+                    "  {:<width$}  {ok} ok / {failed} failed · p50 {:.2} ms · max {:.2} ms",
+                    prog.name,
+                    snap.quantile(0.50) * 1e3,
+                    snap.max_seconds() * 1e3,
+                );
+            } else {
+                println!(
+                    "  {:<width$}  {ok} ok / {failed} failed · (no responses)",
+                    prog.name,
+                );
+            }
+        }
+        let program_failures: u64 = progs.iter().map(|p| p.failed.load(Ordering::Relaxed)).sum();
+        if program_failures > 0 {
+            return Err(format!(
+                "{program_failures} corpus request(s) failed or returned non-200"
+            ));
+        }
+    }
     if let Some(s) = &sweep_stats {
         check_sweeps(s, args.sweep_requests)?;
     }
@@ -434,6 +533,15 @@ fn jobs_section(body: &str) -> Result<String, String> {
         .map(|l| l.split(", \"cached\": ").next().unwrap_or(l))
         .collect::<Vec<_>>()
         .join("\n"))
+}
+
+/// One corpus entry plus the stats its pinned connections accumulate.
+struct ProgramSlot {
+    name: String,
+    body: Option<String>,
+    hist: Histogram,
+    ok: AtomicU64,
+    failed: AtomicU64,
 }
 
 #[derive(Default)]

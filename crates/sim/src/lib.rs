@@ -529,6 +529,25 @@ impl<'p> Simulator<'p> {
         Some(mem[start..start + sym.size as usize].to_vec())
     }
 
+    /// Snapshot every data symbol's final contents, in symbol-table
+    /// order: the simulator side of a differential comparison against
+    /// the reference interpreter's global state. Duplicated symbols read
+    /// from their home bank (the copies' coherence is a separate
+    /// invariant, checked via [`Simulator::read_symbol_copy`]).
+    #[must_use]
+    pub fn snapshot_symbols(&self) -> Vec<(String, Vec<Word>)> {
+        self.program
+            .symbols
+            .iter()
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    self.read_symbol(&s.name).expect("symbol table name"),
+                )
+            })
+            .collect()
+    }
+
     /// Statistics accumulated so far.
     #[must_use]
     pub fn stats(&self) -> &SimStats {

@@ -21,6 +21,7 @@
 //! ```
 
 pub mod apps;
+pub mod corpus;
 pub mod data;
 pub mod kernels;
 pub mod runner;

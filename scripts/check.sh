@@ -127,6 +127,30 @@ kill $RA_PID $RT_PID 2>/dev/null || true
 wait "$RA_PID" "$RT_PID" 2>/dev/null || true
 RA_PID=""; RB_PID=""; RT_PID=""
 
+echo "== dsp-gen differential fuzz smoke test =="
+# A fixed-seed campaign: 200 generated programs through every strategy,
+# each diffed against the reference interpreter. Exits nonzero on any
+# mismatch, trap, or Ideal-beating cycle count; two identical
+# invocations must produce byte-identical JSON reports (no wall times,
+# no paths — see docs/fuzzing.md).
+FUZZ_DIR=$(mktemp -d)
+trap 'kill $RA_PID $RB_PID $RT_PID 2>/dev/null || true; rm -rf "$CACHE_DIR" "$RDIR" "$FUZZ_DIR"' EXIT
+./target/release/dualbank fuzz --seed 1 --count 200 \
+  --json "$FUZZ_DIR/fuzz_a.json" >/dev/null
+./target/release/dualbank fuzz --seed 1 --count 200 \
+  --json "$FUZZ_DIR/fuzz_b.json" >/dev/null
+cmp "$FUZZ_DIR/fuzz_a.json" "$FUZZ_DIR/fuzz_b.json" \
+  || { echo "FAIL: fuzz report not byte-deterministic across runs"; exit 1; }
+# The detect → shrink → archive path, end to end: an injected synthetic
+# miscompile must be caught, minimized, and land in the corpus dir.
+./target/release/dualbank fuzz --seed 2 --count 30 \
+  --corpus-dir "$FUZZ_DIR/corpus" --inject-mismatch "A1" >/dev/null 2>&1 \
+  && { echo "FAIL: injected miscompile campaign exited zero"; exit 1; }
+ls "$FUZZ_DIR/corpus"/*.dsp >/dev/null 2>&1 \
+  || { echo "FAIL: injected miscompile produced no corpus entry"; exit 1; }
+# Front-end robustness: byte-mutated programs must never panic.
+./target/release/dualbank fuzz --mutate --seed 1 --count 40 --mutants 50 >/dev/null
+
 echo "== persistent-cache fault-injection suite =="
 # Every store IO site failing in turn (open/read/write/fsync/rename/
 # remove/list), plus torn-write and bit-rot scenarios — already built

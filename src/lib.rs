@@ -42,6 +42,7 @@ pub use dsp_backend as backend;
 pub use dsp_bankalloc as bankalloc;
 pub use dsp_driver as driver;
 pub use dsp_frontend as frontend;
+pub use dsp_gen as gen;
 pub use dsp_ir as ir;
 pub use dsp_machine as machine;
 pub use dsp_sched as sched;

@@ -35,6 +35,14 @@ fn usage() -> &'static str {
      \x20 dualbank bench <name|all> [--jobs N] [--json <path>] [--stages] [--cache-dir D]\n\
      \x20               [--trace-out P]\n\
      \x20     run paper benchmark(s) across all strategies\n\
+     \x20 dualbank fuzz [--seed N] [--count N] [--jobs N] [--corpus-dir D] [--json P]\n\
+     \x20               [--mutate] [--mutants N] [--shrink-calls N] [--max-stmts N]\n\
+     \x20               [--max-loop-depth N] [--max-arrays N] [--max-array-len N]\n\
+     \x20               [--max-scalars N] [--max-funcs N] [--float-pct N]\n\
+     \x20     differentially fuzz all strategies with generated DSP-C\n\
+     \x20     programs (see docs/fuzzing.md); failures are shrunk to\n\
+     \x20     minimal repros and archived in --corpus-dir; --mutate\n\
+     \x20     byte-mutates sources through the front-end instead\n\
      \x20 dualbank serve [--addr A] [--workers N] [--jobs N] [--queue N]\n\
      \x20               [--deadline-ms N] [--max-body-kb N] [--cache-capacity N]\n\
      \x20               [--cache-max-kb N] [--cache-dir D] [--cache-disk-max-kb N]\n\
@@ -112,6 +120,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "compile" => cmd_compile(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "fuzz" => cmd_fuzz(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "router" => dsp_router::run_router(&args[1..]),
         "report-project" => cmd_report_project(&args[1..]),
@@ -399,6 +408,143 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         print!("{}", report.stage_table());
     }
     emit_json(args, &report)
+}
+
+/// Parse an optional numeric flag with a default.
+fn num_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} expects a number, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+/// `dualbank fuzz` — differential fuzzing of all strategies against the
+/// reference interpreter (or, with `--mutate`, byte-level mutation of
+/// generated sources through the front-end). See docs/fuzzing.md.
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    use dualbank::gen::{fuzz, GenConfig};
+
+    let seed = num_flag(args, "--seed", 1u64)?;
+    let count = num_flag(args, "--count", 100usize)?;
+    let config = GenConfig {
+        max_stmts: num_flag(args, "--max-stmts", GenConfig::default().max_stmts)?,
+        max_loop_depth: num_flag(
+            args,
+            "--max-loop-depth",
+            GenConfig::default().max_loop_depth,
+        )?,
+        max_arrays: num_flag(args, "--max-arrays", GenConfig::default().max_arrays)?,
+        max_array_len: num_flag(args, "--max-array-len", GenConfig::default().max_array_len)?,
+        max_scalars: num_flag(args, "--max-scalars", GenConfig::default().max_scalars)?,
+        max_funcs: num_flag(args, "--max-funcs", GenConfig::default().max_funcs)?,
+        float_pct: num_flag(args, "--float-pct", GenConfig::default().float_pct)?,
+    };
+
+    let json_out = flag_value(args, "--json");
+    let emit = |json: String| -> Result<(), String> {
+        match json_out.as_deref() {
+            None => Ok(()),
+            Some("-") => {
+                print!("{json}");
+                Ok(())
+            }
+            Some(path) => {
+                std::fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))
+            }
+        }
+    };
+
+    if args.iter().any(|a| a == "--mutate") {
+        let opts = fuzz::MutateOptions {
+            seed,
+            count,
+            mutants_per_program: num_flag(args, "--mutants", 40usize)?,
+            config,
+        };
+        let report = dualbank::gen::run_mutation_campaign(&opts);
+        println!(
+            "mutation campaign: seed {seed}, {} mutants — {} accepted, {} rejected, {} panic(s)",
+            report.mutants,
+            report.accepted,
+            report.rejected,
+            report.panics.len()
+        );
+        for p in &report.panics {
+            println!("  PANIC (base program {}): {}", p.index, p.message);
+        }
+        emit(report.to_json())?;
+        if report.panics.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "front-end panicked on {} mutated input(s)",
+                report.panics.len()
+            ))
+        }
+    } else {
+        let opts = fuzz::FuzzOptions {
+            seed,
+            count,
+            config,
+            corpus_dir: flag_value(args, "--corpus-dir").map(std::path::PathBuf::from),
+            diff: dualbank::gen::DiffOptions {
+                // Undocumented test hook: force a synthetic mismatch on
+                // programs containing the given substring, to exercise
+                // the shrink + corpus pipeline end to end.
+                inject_when_contains: flag_value(args, "--inject-mismatch"),
+                ..dualbank::gen::DiffOptions::default()
+            },
+            max_shrink_calls: num_flag(args, "--shrink-calls", 1500usize)?,
+            jobs: num_flag(args, "--jobs", 0usize)?,
+        };
+        let report = dualbank::gen::run_campaign(&opts).map_err(|e| e.to_string())?;
+        println!(
+            "fuzz campaign: seed {seed}, {} programs × {} strategies — {} passed, {} failed",
+            report.count,
+            Strategy::ALL.len(),
+            report.passed,
+            report.failed
+        );
+        println!(
+            "  {} source bytes generated, cycle digest {:#018x}",
+            report.total_source_bytes, report.cycles_digest
+        );
+        for s in &report.strategies {
+            println!(
+                "  {:<8} total {:>12} cycles  (min {:>6}, max {:>8})",
+                s.strategy.label(),
+                s.total_cycles,
+                s.min_cycles,
+                s.max_cycles
+            );
+        }
+        for f in &report.failures {
+            println!(
+                "  FAIL program {} (seed {:#018x}): {} — {} -> {} bytes{}",
+                f.index,
+                f.program_seed,
+                f.kind.label(),
+                f.original_bytes,
+                f.shrunk_bytes,
+                f.corpus_file
+                    .as_ref()
+                    .map_or(String::new(), |n| format!(" [corpus: {n}]"))
+            );
+        }
+        if !report.aggregate_ideal_ok {
+            println!("  AGGREGATE FAIL: a strategy's summed cycles beat Ideal's");
+        }
+        emit(report.to_json())?;
+        if report.failed > 0 {
+            Err(format!("{} program(s) diverged", report.failed))
+        } else if !report.aggregate_ideal_ok {
+            Err("aggregate cycle invariant violated: a strategy's total beats Ideal's".to_string())
+        } else {
+            Ok(())
+        }
+    }
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,74 @@
+//! Replays every minimized fuzz reproducer in `tests/corpus/` on each
+//! `cargo test` run.
+//!
+//! Corpus entries are past differential-testing failures (shrunk to a
+//! minimal form by `dsp-gen`) plus hand-seeded programs covering edge
+//! semantics. Each must now pass the full differential oracle: every
+//! strategy's simulated memory state matches the reference interpreter
+//! and the Ideal strategy is never slower than any real one.
+
+use std::path::PathBuf;
+
+use dualbank::gen::{diff_source, DiffOptions, Verdict};
+use dualbank::workloads::corpus;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_sources() -> Vec<(String, String)> {
+    let mut entries: Vec<(String, String)> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .filter_map(|e| {
+            let path = e.expect("readable dir entry").path();
+            if path.extension().and_then(|x| x.to_str()) != Some(corpus::CORPUS_EXT) {
+                return None;
+            }
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let source = std::fs::read_to_string(&path).expect("readable corpus file");
+            Some((name, source))
+        })
+        .collect();
+    entries.sort();
+    entries
+}
+
+#[test]
+fn corpus_is_not_empty() {
+    assert!(
+        !corpus_sources().is_empty(),
+        "tests/corpus should ship at least one reproducer"
+    );
+}
+
+#[test]
+fn every_corpus_entry_passes_the_differential_oracle() {
+    for (name, source) in corpus_sources() {
+        let verdict = diff_source(&source, &DiffOptions::default());
+        match verdict {
+            Verdict::Pass { ref cycles } => {
+                assert!(!cycles.is_empty(), "{name}: no strategies ran");
+            }
+            Verdict::Fail(failure) => {
+                panic!(
+                    "{name}: corpus entry regressed: {} — {}",
+                    failure.kind.label(),
+                    failure.detail
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_loads_as_benchmarks() {
+    let benches = corpus::load_dir(&corpus_dir()).expect("corpus loads");
+    assert_eq!(benches.len(), corpus_sources().len());
+    for bench in &benches {
+        assert!(
+            !bench.check_globals.is_empty(),
+            "{}: corpus benchmarks check all globals",
+            bench.name
+        );
+    }
+}

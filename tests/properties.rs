@@ -590,6 +590,24 @@ proptest! {
         let src = toks.join(" ");
         let _ = dualbank::frontend::compile_str(&src);
     }
+
+    /// Byte-mutated *valid* programs are the hardest front-end inputs:
+    /// they keep enough structure to reach deep into the parser and
+    /// lowering before going wrong. Generate a well-formed program with
+    /// `dsp-gen`, hit it with the fuzz campaign's own mutator, and
+    /// require a structured error (or success) — never a panic. The
+    /// mutations accumulate, mirroring `dualbank fuzz --mutate`.
+    #[test]
+    fn parser_never_panics_on_mutated_programs(seed in any::<u64>(), steps in 1usize..24) {
+        let source = dualbank::gen::generate_source(seed, &dualbank::gen::GenConfig::default());
+        let mut rng = dualbank::gen::rng::Rng::new(seed ^ 0x6d75_7461_7465_2121);
+        let mut bytes = source.into_bytes();
+        for _ in 0..steps {
+            dualbank::gen::mutate_bytes(&mut rng, &mut bytes);
+            let mutant = String::from_utf8_lossy(&bytes).into_owned();
+            let _ = dualbank::frontend::compile_str(&mutant);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
