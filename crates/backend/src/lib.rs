@@ -48,6 +48,7 @@ pub mod opt;
 pub mod regalloc;
 pub mod schedule;
 
+pub use dsp_bankalloc::PartitionerKind;
 use dsp_bankalloc::{AllocOptions, BankAllocation, DuplicationMode, WeightKind};
 use dsp_ir::{ExecStats, FuncId, InterpError, Interpreter, Program};
 use dsp_machine::VliwProgram;
@@ -221,6 +222,10 @@ pub struct CompileConfig {
     /// sync — the hardware-free answer to the paper's
     /// store-lock/store-unlock discussion (§3.2).
     pub interrupt_safe_dup: bool,
+    /// Bank-partitioning algorithm, orthogonal to the [`Strategy`] axis
+    /// (every partitioning strategy runs it; `Baseline`/`Ideal` skip
+    /// partitioning entirely).
+    pub partitioner: PartitionerKind,
 }
 
 /// Compile an IR program.
@@ -386,11 +391,15 @@ pub fn compile_optimized(
     let alloc_opts = |weights, duplication| AllocOptions {
         weights,
         duplication,
-        ..AllocOptions::default()
+        partitioner: config.partitioner,
     };
     let alloc = match strategy {
         Strategy::Baseline | Strategy::Ideal => BankAllocation::all_in_x(ir),
-        Strategy::CbPartition => BankAllocation::compute(ir, &AllocOptions::default(), None),
+        Strategy::CbPartition => BankAllocation::compute(
+            ir,
+            &alloc_opts(WeightKind::LoopDepth, DuplicationMode::None),
+            None,
+        ),
         Strategy::ProfileWeighted => BankAllocation::compute(
             ir,
             &alloc_opts(WeightKind::Profile, DuplicationMode::None),

@@ -275,6 +275,7 @@ fn interrupt_safe_duplication_is_atomic_and_correct() {
         Strategy::PartialDup,
         dsp_backend::CompileConfig {
             interrupt_safe_dup: true,
+            ..dsp_backend::CompileConfig::default()
         },
     )
     .unwrap();
@@ -329,6 +330,7 @@ fn interrupt_safe_mode_reports_windows_in_plain_mode() {
         Strategy::PartialDup,
         dsp_backend::CompileConfig {
             interrupt_safe_dup: true,
+            ..dsp_backend::CompileConfig::default()
         },
     )
     .unwrap();

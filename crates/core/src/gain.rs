@@ -1,0 +1,183 @@
+//! Incremental gain buckets for move-based partitioners.
+//!
+//! Every move-based partitioner in this crate (the paper's greedy, the
+//! bidirectional refinement, and the Fiduccia–Mattheyses passes) ranks
+//! candidate nodes by *gain* — the cost decrease of moving the node to
+//! the other bank — and must re-rank after every move. Recomputing all
+//! gains per move is the O(v²·moves) loop this structure kills: gains
+//! live in buckets keyed by the gain value, a move updates only the
+//! moved node's neighbors (O(degree) bucket updates), and the best
+//! candidate is always the largest non-empty bucket.
+//!
+//! Buckets are a `BTreeMap<i64, BTreeSet<usize>>` rather than the
+//! classic dense array indexed by gain: profile-driven edge weights are
+//! block execution counts, so the gain range is unbounded and sparse.
+//! Every operation is O(log v), preserving the asymptotic win over the
+//! rescan loop while staying robust to huge weights.
+//!
+//! Tie-breaking is part of the structure's contract: among equal-gain
+//! candidates, [`GainBuckets::peek_best`] returns the **highest node
+//! index**. Node indices follow graph insertion order, so this is
+//! "most recently added node wins" — exactly the order the paper's
+//! Figure 5 worked example implies, and exactly what the historical
+//! rescan loop produced (`max_by_key` keeps the last maximum).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Candidate nodes bucketed by integer move gain.
+///
+/// Nodes are dense `usize` indices (positions in a partitioner's node
+/// slice). A node is either *present* with exactly one gain value, or
+/// absent (not yet inserted, or removed/locked).
+#[derive(Debug, Clone, Default)]
+pub struct GainBuckets {
+    /// gain → set of nodes currently at that gain.
+    buckets: BTreeMap<i64, BTreeSet<usize>>,
+    /// Reverse index: current gain of each node (`None` = absent).
+    gain_of: Vec<Option<i64>>,
+    /// Number of present nodes.
+    len: usize,
+}
+
+impl GainBuckets {
+    /// An empty structure sized for nodes `0..n`.
+    #[must_use]
+    pub fn new(n: usize) -> GainBuckets {
+        GainBuckets {
+            buckets: BTreeMap::new(),
+            gain_of: vec![None; n],
+            len: 0,
+        }
+    }
+
+    /// Number of present nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no node is present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `node` is present.
+    #[must_use]
+    pub fn contains(&self, node: usize) -> bool {
+        self.gain_of.get(node).is_some_and(Option::is_some)
+    }
+
+    /// Current gain of `node`, if present.
+    #[must_use]
+    pub fn gain(&self, node: usize) -> Option<i64> {
+        self.gain_of.get(node).copied().flatten()
+    }
+
+    /// Insert `node` with `gain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is already present or out of range.
+    pub fn insert(&mut self, node: usize, gain: i64) {
+        assert!(
+            self.gain_of[node].replace(gain).is_none(),
+            "node {node} inserted twice"
+        );
+        self.buckets.entry(gain).or_default().insert(node);
+        self.len += 1;
+    }
+
+    /// Remove `node`, returning its gain (or `None` if absent). Used to
+    /// lock a node once it has moved.
+    pub fn remove(&mut self, node: usize) -> Option<i64> {
+        let gain = self.gain_of.get_mut(node)?.take()?;
+        let bucket = self.buckets.get_mut(&gain).expect("bucket exists");
+        bucket.remove(&node);
+        if bucket.is_empty() {
+            self.buckets.remove(&gain);
+        }
+        self.len -= 1;
+        Some(gain)
+    }
+
+    /// Add `delta` to a present node's gain — the O(log v) per-neighbor
+    /// update a move performs. Absent (locked) nodes are ignored.
+    pub fn adjust(&mut self, node: usize, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        if let Some(gain) = self.remove(node) {
+            self.insert(node, gain + delta);
+        }
+    }
+
+    /// The best candidate: maximum gain, ties broken toward the highest
+    /// node index (see module docs for why that exact rule).
+    #[must_use]
+    pub fn peek_best(&self) -> Option<(usize, i64)> {
+        let (&gain, bucket) = self.buckets.last_key_value()?;
+        let &node = bucket.last().expect("buckets are never empty");
+        Some((node, gain))
+    }
+
+    /// [`GainBuckets::peek_best`], removing (locking) the node.
+    pub fn pop_best(&mut self) -> Option<(usize, i64)> {
+        let (node, gain) = self.peek_best()?;
+        self.remove(node);
+        Some((node, gain))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_is_max_gain_highest_index() {
+        let mut b = GainBuckets::new(4);
+        b.insert(0, 5);
+        b.insert(1, 7);
+        b.insert(2, 7);
+        b.insert(3, -1);
+        assert_eq!(b.peek_best(), Some((2, 7)));
+        assert_eq!(b.pop_best(), Some((2, 7)));
+        assert_eq!(b.pop_best(), Some((1, 7)));
+        assert_eq!(b.pop_best(), Some((0, 5)));
+        assert_eq!(b.pop_best(), Some((3, -1)));
+        assert_eq!(b.pop_best(), None);
+    }
+
+    #[test]
+    fn adjust_moves_between_buckets() {
+        let mut b = GainBuckets::new(3);
+        b.insert(0, 1);
+        b.insert(1, 1);
+        b.adjust(0, 4);
+        assert_eq!(b.peek_best(), Some((0, 5)));
+        b.adjust(0, -10);
+        assert_eq!(b.peek_best(), Some((1, 1)));
+        assert_eq!(b.gain(0), Some(-5));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn locked_nodes_ignore_adjust() {
+        let mut b = GainBuckets::new(2);
+        b.insert(0, 3);
+        b.insert(1, 2);
+        assert_eq!(b.remove(0), Some(3));
+        b.adjust(0, 100); // no-op: 0 is locked
+        assert!(!b.contains(0));
+        assert_eq!(b.peek_best(), Some((1, 2)));
+    }
+
+    #[test]
+    fn empty_and_absent() {
+        let mut b = GainBuckets::new(2);
+        assert!(b.is_empty());
+        assert_eq!(b.peek_best(), None);
+        assert_eq!(b.remove(1), None);
+        assert_eq!(b.gain(0), None);
+    }
+}

@@ -42,17 +42,20 @@
 
 pub mod builder;
 pub mod cost;
+pub mod gain;
 pub mod graph;
 pub mod partition;
 pub mod vars;
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 pub use builder::{build_interference, BuildResult, DupStats, WeightMode};
 pub use cost::TradeOff;
+pub use gain::GainBuckets;
 pub use graph::InterferenceGraph;
 pub use partition::{
-    exhaustive_partition, greedy_partition, partition_cost, refined_partition, Partition,
+    exhaustive_partition, fm_partition, greedy_partition, naive_greedy_partition, partition_cost,
+    refined_partition, Partition, Partitioner,
 };
 pub use vars::{AliasClasses, Var};
 
@@ -99,8 +102,69 @@ pub enum PartitionerKind {
     Greedy,
     /// Greedy followed by bidirectional single-move refinement.
     Refined,
+    /// Fiduccia–Mattheyses passes (lock-and-pass, best-prefix rollback).
+    Fm,
     /// Exhaustive minimum (graphs of ≤ 24 nodes only; test oracle).
     Exhaustive,
+}
+
+impl PartitionerKind {
+    /// The production algorithms, in the order they are swept
+    /// (the exhaustive oracle is test-only: it panics past 24 nodes, so
+    /// it is excluded from every user-facing axis).
+    pub const ALL: [PartitionerKind; 3] = [
+        PartitionerKind::Greedy,
+        PartitionerKind::Refined,
+        PartitionerKind::Fm,
+    ];
+
+    /// Short machine-readable name, matching
+    /// [`Partitioner::name`] — used in CLI flags, request bodies,
+    /// reports, and metric labels.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        self.as_partitioner().name()
+    }
+
+    /// Parse a [`PartitionerKind::label`]. Only the production
+    /// algorithms parse; the exhaustive oracle is deliberately not
+    /// reachable from user input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input.
+    pub fn parse(s: &str) -> Result<PartitionerKind, String> {
+        match s {
+            "greedy" => Ok(PartitionerKind::Greedy),
+            "refined" => Ok(PartitionerKind::Refined),
+            "fm" => Ok(PartitionerKind::Fm),
+            other => Err(format!(
+                "unknown partitioner '{other}' (expected greedy, refined, or fm)"
+            )),
+        }
+    }
+
+    /// Stable small integer for cache keys (covers the oracle too).
+    #[must_use]
+    pub fn index(self) -> u8 {
+        match self {
+            PartitionerKind::Greedy => 0,
+            PartitionerKind::Refined => 1,
+            PartitionerKind::Fm => 2,
+            PartitionerKind::Exhaustive => 3,
+        }
+    }
+
+    /// The algorithm behind the [`Partitioner`] trait.
+    #[must_use]
+    pub fn as_partitioner(self) -> &'static dyn Partitioner {
+        match self {
+            PartitionerKind::Greedy => &partition::Greedy,
+            PartitionerKind::Refined => &partition::Refined,
+            PartitionerKind::Fm => &partition::Fm,
+            PartitionerKind::Exhaustive => &partition::Oracle,
+        }
+    }
 }
 
 /// Options for the data-allocation pass.
@@ -130,7 +194,7 @@ pub struct AllocTimings {
 #[derive(Debug, Clone)]
 pub struct BankAllocation {
     alias: AliasClasses,
-    class_bank: HashMap<Var, Bank>,
+    class_bank: BTreeMap<Var, Bank>,
     duplicated: BTreeSet<Var>,
     /// The interference graph the partition was computed from.
     pub graph: InterferenceGraph,
@@ -138,6 +202,10 @@ pub struct BankAllocation {
     pub partition_cost: u64,
     /// The greedy trace (empty for non-greedy partitioners).
     pub trace: Vec<partition::Move>,
+    /// Partitioner passes run (see [`Partition::passes`]).
+    pub partition_passes: u32,
+    /// Partitioner moves retained (see [`Partition::moves`]).
+    pub partition_moves: u64,
     /// Wall times of the pass's phases.
     pub timings: AllocTimings,
 }
@@ -205,11 +273,7 @@ impl BankAllocation {
             graph.remove_node(*v);
         }
         let partition_start = std::time::Instant::now();
-        let part = match options.partitioner {
-            PartitionerKind::Greedy => greedy_partition(&graph),
-            PartitionerKind::Refined => refined_partition(&graph),
-            PartitionerKind::Exhaustive => exhaustive_partition(&graph),
-        };
+        let part = options.partitioner.as_partitioner().partition(&graph);
         let partition = partition_start.elapsed();
         let mut class_bank = part.bank.clone();
         // Duplicated variables live in both banks; their home is X.
@@ -223,6 +287,8 @@ impl BankAllocation {
             graph,
             partition_cost: part.cost,
             trace: part.trace,
+            partition_passes: part.passes,
+            partition_moves: part.moves,
             timings: AllocTimings {
                 trial_compaction,
                 partition,
@@ -243,6 +309,8 @@ impl BankAllocation {
             graph: InterferenceGraph::new(),
             partition_cost: 0,
             trace: Vec::new(),
+            partition_passes: 0,
+            partition_moves: 0,
             timings: AllocTimings::default(),
         }
     }

@@ -96,7 +96,7 @@ fn strategy_index(strategy: Strategy) -> u8 {
 
 /// Encode a [`CompileConfig`] into cache-key bits.
 fn config_key(config: CompileConfig) -> u64 {
-    u64::from(config.interrupt_safe_dup)
+    u64::from(config.interrupt_safe_dup) | u64::from(config.partitioner.index()) << 1
 }
 
 /// Cache key of one compiled artifact: (source text, driver
@@ -250,6 +250,10 @@ pub struct CompiledArtifact {
     /// only), i.e. the memory the duplication strategies trade for
     /// cycles.
     pub duplicated_words: u64,
+    /// Partitioner passes run while building this artifact.
+    pub partition_passes: u64,
+    /// Partitioner moves retained in the final bank assignment.
+    pub partition_moves: u64,
     /// Back-half stage times recorded when this artifact was built
     /// (`opt`/`profile` are zero — those stages live in
     /// [`PreparedSource`]).
@@ -280,6 +284,8 @@ impl CompiledArtifact {
             partition_cost: output.alloc.partition_cost,
             duplicated_vars: output.alloc.duplicated().len(),
             duplicated_words,
+            partition_passes: u64::from(output.alloc.partition_passes),
+            partition_moves: output.alloc.partition_moves,
             timings,
         }
     }
@@ -745,10 +751,18 @@ mod tests {
     fn artifact_key_separates_config_and_strategy() {
         let dup = CompileConfig {
             interrupt_safe_dup: true,
+            ..CompileConfig::default()
+        };
+        let fm = CompileConfig {
+            partitioner: dsp_backend::PartitionerKind::Fm,
+            ..CompileConfig::default()
         };
         let k1 = ArtifactKey::new(SRC, CompileConfig::default(), Strategy::CbPartition);
         let k2 = ArtifactKey::new(SRC, dup, Strategy::CbPartition);
         let k3 = ArtifactKey::new(SRC, CompileConfig::default(), Strategy::Baseline);
+        let k5 = ArtifactKey::new(SRC, fm, Strategy::CbPartition);
+        assert_ne!(k1, k5, "partitioner is part of the cache key");
+        assert_ne!(k2, k5, "partitioner and dup-safety bits do not collide");
         let k4 = ArtifactKey::new(
             "int out; void main() { out = 8; }",
             CompileConfig::default(),

@@ -283,6 +283,23 @@ impl Engine {
         token: CancelToken,
         ctx: SpanCtx,
     ) -> MatrixRun {
+        self.submit_matrix_with_config(benches, strategies, priority, token, ctx, self.opts.config)
+    }
+
+    /// [`Engine::submit_matrix`] with the [`CompileConfig`] overridden
+    /// per matrix — how a served request selects its own partitioner
+    /// while the engine (and its caches, keyed on the config) is
+    /// shared.
+    #[must_use]
+    pub fn submit_matrix_with_config(
+        &self,
+        benches: &[Benchmark],
+        strategies: &[Strategy],
+        priority: Priority,
+        token: CancelToken,
+        ctx: SpanCtx,
+        config: CompileConfig,
+    ) -> MatrixRun {
         let pairs: Vec<(String, Strategy)> = benches
             .iter()
             .flat_map(|b| strategies.iter().map(move |&s| (b.name.clone(), s)))
@@ -294,7 +311,8 @@ impl Engine {
             .flat_map(|b| strategies.iter().map(move |&s| (b, s)))
             .map(|(bench, strategy)| {
                 let cache = Arc::clone(&self.cache);
-                let opts = self.opts.clone();
+                let mut opts = self.opts.clone();
+                opts.config = config;
                 let bench = bench.clone();
                 self.exec.submit_ctx(priority, Some(&token), ctx, move || {
                     run_job(&cache, &opts, &bench, strategy, ctx)
@@ -573,16 +591,26 @@ pub fn run_job(
                 let t = &artifact.timings;
                 let ctx = span.ctx();
                 let mut at = anchor;
-                for (name, dur) in [
-                    ("trial_compaction", t.trial_compaction),
-                    ("partition", t.partition),
-                    ("regalloc", t.regalloc),
-                    ("lower", t.lower),
-                    ("final_pack", t.final_pack),
-                    ("link", t.link),
+                // The partition stage's histogram label carries the
+                // algorithm (rendered by dsp-serve as a separate
+                // `partitioner` Prometheus label); the span keeps the
+                // plain stage name.
+                let partition_label = match opts.config.partitioner {
+                    dsp_backend::PartitionerKind::Greedy => "partition|greedy",
+                    dsp_backend::PartitionerKind::Refined => "partition|refined",
+                    dsp_backend::PartitionerKind::Fm => "partition|fm",
+                    dsp_backend::PartitionerKind::Exhaustive => "partition|exhaustive",
+                };
+                for (name, label, dur) in [
+                    ("trial_compaction", "trial_compaction", t.trial_compaction),
+                    ("partition", partition_label, t.partition),
+                    ("regalloc", "regalloc", t.regalloc),
+                    ("lower", "lower", t.lower),
+                    ("final_pack", "final_pack", t.final_pack),
+                    ("link", "link", t.link),
                 ] {
                     tracer.record_span(name, "stage", ctx, at, dur, Vec::new());
-                    tracer.observe(families::STAGE, name, dur);
+                    tracer.observe(families::STAGE, label, dur);
                     at += dur;
                 }
             }
@@ -667,6 +695,9 @@ pub fn run_job(
         strategy,
         partition_cost: artifact.partition_cost,
         duplicated_words: artifact.duplicated_words,
+        partitioner: opts.config.partitioner.label(),
+        partition_passes: artifact.partition_passes,
+        partition_moves: artifact.partition_moves,
         measurement,
         cached: CacheFlags {
             prepared: prepared_cached,
@@ -882,7 +913,7 @@ mod tests {
         // …and the stage histogram family saw them.
         let fam = tracer.family_snapshot(families::STAGE);
         let labels: Vec<&str> = fam.iter().map(|(l, _)| l.as_str()).collect();
-        for stage in ["parse", "opt", "partition", "regalloc", "simulate"] {
+        for stage in ["parse", "opt", "partition|greedy", "regalloc", "simulate"] {
             assert!(
                 labels.contains(&stage),
                 "stage histogram for `{stage}`: {labels:?}"
@@ -893,7 +924,7 @@ mod tests {
         // says so, and stage histograms gain no compile observations.
         let partition_count = fam
             .iter()
-            .find(|(l, _)| l == "partition")
+            .find(|(l, _)| l == "partition|greedy")
             .map(|(_, s)| s.count)
             .unwrap();
         let _ = engine
@@ -910,7 +941,7 @@ mod tests {
         let fam = tracer.family_snapshot(families::STAGE);
         assert_eq!(
             fam.iter()
-                .find(|(l, _)| l == "partition")
+                .find(|(l, _)| l == "partition|greedy")
                 .map(|(_, s)| s.count)
                 .unwrap(),
             partition_count,

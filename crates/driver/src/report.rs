@@ -80,6 +80,12 @@ pub struct JobReport {
     pub partition_cost: u64,
     /// Data words spent on duplicated copies.
     pub duplicated_words: u64,
+    /// Partitioning algorithm label (`"greedy"`, `"refined"`, `"fm"`).
+    pub partitioner: &'static str,
+    /// Partitioner passes run when the artifact was built.
+    pub partition_passes: u64,
+    /// Partitioner moves retained in the final bank assignment.
+    pub partition_moves: u64,
     /// Which cache layers served this job.
     pub cached: CacheFlags,
     /// Per-stage wall times.
@@ -523,16 +529,24 @@ fn job_json(j: &JobReport) -> String {
         None => "null".to_string(),
         Some(v) => v.to_string(),
     };
+    // The partitioner block rides in the schedule-dependent tail (after
+    // `cached`), not the deterministic core: pass counts differ between
+    // algorithms, and the deterministic projection must stay
+    // byte-comparable across partitioners when the results agree.
     format!(
         "{}, \
          \"cached\": {{\"prepared\": {}, \"profile\": {}, \"reference\": {}, \"artifact\": {}, \"artifact_disk\": {}}}, \
-         \"stage_ms\": {{{stages}}}, \"opt_pass_ms\": {{{passes}}}}}",
+         \"stage_ms\": {{{stages}}}, \"opt_pass_ms\": {{{passes}}}, \
+         \"partitioner\": {{\"algorithm\": {}, \"passes\": {}, \"moves\": {}}}}}",
         job_core_json(j).strip_suffix('}').expect("core is an object"),
         j.cached.prepared,
         opt_bool(j.cached.profile),
         opt_bool(j.cached.reference),
         j.cached.artifact,
         opt_bool(j.cached.artifact_disk),
+        json_string(j.partitioner),
+        j.partition_passes,
+        j.partition_moves,
     )
 }
 

@@ -75,7 +75,7 @@ use crate::cache::{ArtifactKey, CompiledArtifact};
 pub const MAGIC: [u8; 4] = *b"DSPB";
 /// Entry format version; bump on any layout change (old entries are
 /// quarantined, not misread).
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 /// Fixed header length in bytes (magic + version + key + length + CRC).
 pub const HEADER_LEN: usize = 4 + 4 + 24 + 8 + 4;
 
@@ -586,6 +586,8 @@ fn encode_payload(artifact: &CompiledArtifact) -> Vec<u8> {
     w.u64(artifact.partition_cost);
     w.u64(artifact.duplicated_vars as u64);
     w.u64(artifact.duplicated_words);
+    w.u64(artifact.partition_passes);
+    w.u64(artifact.partition_moves);
     // Back-half stage times as nanoseconds; the shared-stage fields
     // (opt, opt_passes, profile) are per-source, reported from the
     // prepared layer, and deliberately not persisted per artifact.
@@ -644,6 +646,8 @@ fn decode_payload(key: &ArtifactKey, bytes: &[u8]) -> Result<CompiledArtifact, S
     let partition_cost = r.u64()?;
     let duplicated_vars = r.u64()? as usize;
     let duplicated_words = r.u64()?;
+    let partition_passes = r.u64()?;
+    let partition_moves = r.u64()?;
     let timings = CompileTimings {
         trial_compaction: Duration::from_nanos(r.u64()?),
         partition: Duration::from_nanos(r.u64()?),
@@ -676,6 +680,8 @@ fn decode_payload(key: &ArtifactKey, bytes: &[u8]) -> Result<CompiledArtifact, S
         partition_cost,
         duplicated_vars,
         duplicated_words,
+        partition_passes,
+        partition_moves,
         timings,
     })
 }
@@ -1149,6 +1155,8 @@ mod tests {
         assert_eq!(back.partition_cost, artifact.partition_cost);
         assert_eq!(back.duplicated_vars, artifact.duplicated_vars);
         assert_eq!(back.duplicated_words, artifact.duplicated_words);
+        assert_eq!(back.partition_passes, artifact.partition_passes);
+        assert_eq!(back.partition_moves, artifact.partition_moves);
         assert_eq!(
             back.timings.trial_compaction,
             artifact.timings.trial_compaction
@@ -1319,6 +1327,8 @@ mod tests {
             partition_cost: base.partition_cost,
             duplicated_vars: base.duplicated_vars,
             duplicated_words: base.duplicated_words,
+            partition_passes: base.partition_passes,
+            partition_moves: base.partition_moves,
             timings: base.timings.clone(),
         }
     }

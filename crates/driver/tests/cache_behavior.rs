@@ -92,6 +92,7 @@ fn config_change_invalidates_artifacts() {
     let plain = CompileConfig::default();
     let safe = CompileConfig {
         interrupt_safe_dup: true,
+        ..CompileConfig::default()
     };
     let (_, hit1, _) = cache
         .artifact(&prep, Strategy::PartialDup, plain, None)

@@ -48,6 +48,46 @@ pub struct GenConfig {
     pub max_funcs: usize,
     /// Percent chance a declared variable is `float` rather than `int`.
     pub float_pct: usize,
+    /// Distribution bias steering generated shapes toward a subsystem.
+    pub bias: Bias,
+}
+
+/// Distribution bias for a campaign: same validity guarantees, skewed
+/// shape. The default distribution optimizes for front-end and
+/// simulator coverage; biased modes oversample programs that exercise
+/// one backend subsystem hard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Bias {
+    /// The unbiased default distribution.
+    #[default]
+    None,
+    /// Partitioner stress: declare many distinct arrays and emit
+    /// statements that read several of them in one expression, so the
+    /// interference graph is dense and the bank split genuinely
+    /// matters (see docs/partitioning.md).
+    PartitionStress,
+}
+
+impl Bias {
+    /// Parse a CLI `--bias` value.
+    pub fn parse(s: &str) -> Result<Bias, String> {
+        match s {
+            "none" => Ok(Bias::None),
+            "partition-stress" => Ok(Bias::PartitionStress),
+            other => Err(format!(
+                "unknown bias '{other}' (expected none or partition-stress)"
+            )),
+        }
+    }
+
+    /// The CLI spelling, for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Bias::None => "none",
+            Bias::PartitionStress => "partition-stress",
+        }
+    }
 }
 
 /// Arrays are never shorter than this, so helper functions may index
@@ -64,6 +104,7 @@ impl Default for GenConfig {
             max_scalars: 4,
             max_funcs: 2,
             float_pct: 35,
+            bias: Bias::None,
         }
     }
 }
@@ -209,7 +250,14 @@ impl Gen<'_> {
             }));
         }
 
-        let n_arrays = self.rng.range(1, self.cfg.max_arrays.max(1));
+        // Under partition stress every program gets the full array
+        // complement (at least 8): distinct arrays are the nodes of the
+        // interference graph, and a two-array program has no
+        // partitioning decision worth stressing.
+        let n_arrays = match self.cfg.bias {
+            Bias::PartitionStress => self.cfg.max_arrays.max(8),
+            Bias::None => self.rng.range(1, self.cfg.max_arrays.max(1)),
+        };
         for k in 0..n_arrays {
             let ty = self.ty();
             let len = self.rng.range(
@@ -381,6 +429,9 @@ impl Gen<'_> {
 
     /// One statement; `loop_budget` is the remaining nesting allowance.
     fn stmt(&mut self, loop_budget: usize) -> Stmt {
+        if self.cfg.bias == Bias::PartitionStress && self.rng.chance(1, 2) {
+            return self.stress_stmt();
+        }
         let roll = self.rng.below(10);
         match roll {
             // 40%: plain or compound assignment.
@@ -514,6 +565,92 @@ impl Gen<'_> {
             target,
             op,
             value,
+            pos: p(),
+        }
+    }
+
+    /// Partition-stress statement: one assignment whose right-hand side
+    /// reads several *distinct* arrays of the same element type, e.g.
+    /// `A0[i] += A1[i] + A2[3] * A4[i + 1];`. Arrays referenced in one
+    /// statement compete for the same issue cycles, so these are the
+    /// access pairs that weight interference-graph edges — a program
+    /// full of them gives the bank partitioner real work.
+    fn stress_stmt(&mut self) -> Stmt {
+        // Work in the dominant element type so every read is
+        // type-correct without casts diluting the access density.
+        let pool: Vec<ArrayInfo> = {
+            let ints: Vec<ArrayInfo> = self
+                .arrays
+                .iter()
+                .filter(|a| a.ty == Ty::Int)
+                .cloned()
+                .collect();
+            let floats: Vec<ArrayInfo> = self
+                .arrays
+                .iter()
+                .filter(|a| a.ty == Ty::Float)
+                .cloned()
+                .collect();
+            if ints.len() >= floats.len() {
+                ints
+            } else {
+                floats
+            }
+        };
+        if pool.len() < 2 {
+            return self.assign_stmt();
+        }
+        let ty = pool[0].ty;
+        // A window of 2..=4 source arrays plus a distinct target.
+        let k = self.rng.range(2, pool.len().min(4));
+        let start = self.rng.below(pool.len() - k + 1);
+        let mut value = self.array_read(&pool[start].clone());
+        for j in 1..k {
+            let rhs = self.array_read(&pool[start + j].clone());
+            value = Expr::Binary {
+                op: if j % 2 == 1 { BinOp::Add } else { BinOp::Mul },
+                lhs: Box::new(value),
+                rhs: Box::new(rhs),
+                pos: p(),
+            };
+        }
+        // Target a pool array outside the window when one exists so the
+        // write conflicts with the reads too.
+        let t = if pool.len() > k {
+            let outside = self.rng.below(pool.len() - k);
+            if outside < start {
+                outside
+            } else {
+                outside + k
+            }
+        } else {
+            start
+        };
+        let target = pool[t].clone();
+        let idx = self.index_expr(target.len);
+        let op = if self.rng.chance(2, 3) {
+            Some(BinOp::Add)
+        } else {
+            None
+        };
+        debug_assert_eq!(target.ty, ty);
+        Stmt::Assign {
+            target: LValue {
+                name: target.name,
+                index: Some(Box::new(idx)),
+                pos: p(),
+            },
+            op,
+            value,
+            pos: p(),
+        }
+    }
+
+    /// An in-bounds indexed read of `a`.
+    fn array_read(&mut self, a: &ArrayInfo) -> Expr {
+        Expr::Index {
+            name: a.name.clone(),
+            index: Box::new(self.index_expr(a.len)),
             pos: p(),
         }
     }
@@ -838,6 +975,7 @@ mod tests {
             max_scalars: 1,
             max_funcs: 0,
             float_pct: 0,
+            bias: Bias::None,
         };
         let big = GenConfig {
             max_stmts: 40,
@@ -847,10 +985,42 @@ mod tests {
             max_scalars: 8,
             max_funcs: 4,
             float_pct: 50,
+            bias: Bias::None,
         };
         let s = generate_source(5, &small);
         let b = generate_source(5, &big);
         assert!(b.len() > s.len());
         assert!(!s.contains("float"), "float_pct 0 yields int-only:\n{s}");
+    }
+
+    #[test]
+    fn partition_stress_bias_declares_many_arrays_and_still_runs() {
+        let cfg = GenConfig {
+            bias: Bias::PartitionStress,
+            ..GenConfig::default()
+        };
+        for seed in 0..40 {
+            let src = generate_source(seed, &cfg);
+            let arrays = (0..16).filter(|k| src.contains(&format!("A{k}["))).count();
+            assert!(
+                arrays >= 8,
+                "seed {seed}: stress bias must declare >= 8 arrays, got {arrays}:\n{src}"
+            );
+            let ir = dsp_frontend::compile_str(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} fails front-end: {e}\n{src}"));
+            let mut interp = dsp_ir::Interpreter::new(&ir);
+            interp.set_fuel(20_000_000);
+            interp
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed} traps in interpreter: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn bias_parse_round_trips() {
+        for b in [Bias::None, Bias::PartitionStress] {
+            assert_eq!(Bias::parse(b.label()), Ok(b));
+        }
+        assert!(Bias::parse("speed").is_err());
     }
 }

@@ -41,5 +41,5 @@ pub use differ::{diff_source, ideal_slack, DiffOptions, FailureKind, Verdict};
 pub use fuzz::{
     mutate_bytes, run_campaign, run_mutation_campaign, FuzzOptions, FuzzReport, MutateOptions,
 };
-pub use generate::{generate, generate_source, GenConfig};
+pub use generate::{generate, generate_source, Bias, GenConfig};
 pub use shrink::{shrink, ShrinkOptions, ShrinkResult};

@@ -755,8 +755,15 @@ fn decompose_cells(
     source_mode: bool,
     benches: &[dsp_workloads::Benchmark],
     strategies: &[Strategy],
+    partitioner: Option<dsp_backend::PartitionerKind>,
 ) -> Vec<Cell> {
     let mut cells = Vec::with_capacity(benches.len() * strategies.len());
+    // A request-level partitioner override is forwarded verbatim on
+    // every cell; it does not enter the shard key (affinity is about
+    // which sources a replica has cached front-half work for).
+    let partitioner_field = partitioner.map_or(String::new(), |p| {
+        format!(", \"partitioner\": {}", json::escape(p.label()))
+    });
     for bench in benches {
         for &strategy in strategies {
             let target = if source_mode {
@@ -766,7 +773,7 @@ fn decompose_cells(
             };
             cells.push(Cell {
                 body: format!(
-                    "{{{target}, \"strategies\": [{}]}}",
+                    "{{{target}, \"strategies\": [{}]{partitioner_field}}}",
                     json::escape(strategy.label())
                 ),
                 key: shard_key(&bench.source, strategy.label()),
@@ -935,10 +942,11 @@ fn handle_sweep(
     req_id: Option<&str>,
 ) -> SweepOutcome {
     shared.budget.earn();
-    let (benches, strategies) = match parse_sweep_targets(&request.body) {
+    let sweep = match parse_sweep_targets(&request.body) {
         Ok(t) => t,
         Err(resp) => return finish_buffered(resp, req_id, stream, keep_alive),
     };
+    let (benches, strategies) = (sweep.benches, sweep.strategies);
     if shared.set.ring().is_empty() {
         shared
             .metrics
@@ -955,7 +963,7 @@ fn handle_sweep(
         .ok()
         .and_then(|s| json::parse(s).ok())
         .is_some_and(|v| v.get("source").is_some());
-    let cells = decompose_cells(source_mode, &benches, &strategies);
+    let cells = decompose_cells(source_mode, &benches, &strategies, sweep.partitioner);
     let started = Instant::now();
 
     let fan = FanIn::new(cells.len());
@@ -1115,7 +1123,7 @@ mod tests {
             dsp_workloads::kernels::fir(16, 4),
         ];
         let strategies = vec![Strategy::Baseline, Strategy::CbPartition];
-        let cells = decompose_cells(false, &benches, &strategies);
+        let cells = decompose_cells(false, &benches, &strategies, None);
         assert_eq!(cells.len(), 4);
         // Bench-major, strategy-minor — the single-node stream order.
         assert!(cells[0].body.contains(&benches[0].name));
@@ -1123,6 +1131,18 @@ mod tests {
         assert!(cells[1].body.contains(&benches[0].name));
         assert!(cells[1].body.contains(Strategy::CbPartition.label()));
         assert!(cells[2].body.contains(&benches[1].name));
+        // No partitioner override → the field is absent entirely, so
+        // replicas fall back to their own configured default.
+        assert!(!cells[0].body.contains("partitioner"));
+        let fm = decompose_cells(
+            false,
+            &benches,
+            &strategies,
+            Some(dsp_backend::PartitionerKind::Fm),
+        );
+        assert!(fm[0].body.contains("\"partitioner\": \"fm\""));
+        // The override rides along without disturbing cache affinity.
+        assert_eq!(fm[0].key, cells[0].key);
         // Same (source, strategy) → same key; different strategy →
         // (almost surely) different key.
         assert_eq!(

@@ -531,7 +531,15 @@ impl Metrics {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} histogram");
             for (label, snap) in &fam {
-                let labels = format!("{key}=\"{label}\"");
+                // The partition stage carries its algorithm in the flat
+                // label ("partition|fm"): split it into a second
+                // Prometheus label, like the HTTP endpoint|status pair.
+                let labels = match label.split_once('|') {
+                    Some((stage, partitioner)) => {
+                        format!("{key}=\"{stage}\",partitioner=\"{partitioner}\"")
+                    }
+                    None => format!("{key}=\"{label}\""),
+                };
                 render_log_histogram(out, name, &labels, snap);
             }
         }
@@ -699,8 +707,15 @@ mod tests {
         );
         tracer.observe(
             dsp_trace::families::STAGE,
-            "partition",
+            "regalloc",
             Duration::from_millis(7),
+        );
+        // The partition stage's flat label carries the algorithm; it
+        // renders as a second Prometheus label.
+        tracer.observe(
+            dsp_trace::families::STAGE,
+            "partition|fm",
+            Duration::from_millis(2),
         );
         let text = render_default(&m);
         for line in [
@@ -710,7 +725,8 @@ mod tests {
             "# TYPE dsp_serve_exec_queue_wait_seconds histogram",
             "dsp_serve_exec_queue_wait_seconds_count{class=\"interactive\"} 1",
             "# TYPE dsp_serve_stage_seconds histogram",
-            "dsp_serve_stage_seconds_count{stage=\"partition\"} 1",
+            "dsp_serve_stage_seconds_count{stage=\"regalloc\"} 1",
+            "dsp_serve_stage_seconds_count{stage=\"partition\",partitioner=\"fm\"} 1",
         ] {
             assert!(text.contains(line), "missing `{line}` in:\n{text}");
         }

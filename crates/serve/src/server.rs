@@ -46,7 +46,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dsp_backend::Strategy;
+use dsp_backend::{CompileConfig, PartitionerKind, Strategy};
 use dsp_driver::json::{self, ObjectWriter, Value};
 use dsp_driver::{
     sweep_json_prefix, sweep_json_tail, CancelToken, Engine, EngineOptions, Executor, JobReport,
@@ -597,6 +597,30 @@ fn parse_strategies(body: &Value) -> Result<Vec<Strategy>, Response> {
     }
 }
 
+/// Parse the optional `"partitioner"` body field shared by `/compile`
+/// and `/sweep`. `None` means "the engine's configured default".
+fn parse_partitioner(body: &Value) -> Result<Option<PartitionerKind>, Response> {
+    match body.get("partitioner") {
+        None => Ok(None),
+        Some(v) => match v.as_str() {
+            Some(name) => PartitionerKind::parse(name)
+                .map(Some)
+                .map_err(|e| Response::error(400, &e)),
+            None => Err(Response::error(400, "`partitioner` must be a string")),
+        },
+    }
+}
+
+/// The engine's compile config with a request-level partitioner
+/// override applied.
+fn effective_config(shared: &Shared, partitioner: Option<PartitionerKind>) -> CompileConfig {
+    let mut config = shared.engine.options().config;
+    if let Some(p) = partitioner {
+        config.partitioner = p;
+    }
+    config
+}
+
 fn deadline_response(shared: &Shared) -> Response {
     shared
         .metrics
@@ -641,6 +665,11 @@ fn handle_compile(
             None => return Response::error(400, "`lir` must be a boolean"),
         },
     };
+    let partitioner = match parse_partitioner(&body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let config = effective_config(shared, partitioner);
 
     let bench = Benchmark {
         name: "request".to_string(),
@@ -652,12 +681,13 @@ fn handle_compile(
     // Interactive priority: a point query is dequeued ahead of any
     // queued sweep cells, waiting only on jobs already running.
     let deadline = Instant::now() + shared.config.deadline;
-    let run = shared.engine.submit_matrix(
+    let run = shared.engine.submit_matrix_with_config(
         std::slice::from_ref(&bench),
         &[strategy],
         Priority::Interactive,
         CancelToken::new(),
         root,
+        config,
     );
     let job = match run.wait_job_until(0, deadline) {
         WaitOutcome::TimedOut => {
@@ -673,7 +703,7 @@ fn handle_compile(
     // The artifact is resident in the cache the job just went through;
     // fetch it back (a cache hit) only to render the listing.
     let listing = if want_lir {
-        match render_lir(shared, &bench.source, strategy) {
+        match render_lir(shared, &bench.source, strategy, config) {
             Ok(l) => Some(l),
             Err(e) => return Response::error(400, &format!("compilation failed: {e}")),
         }
@@ -698,6 +728,7 @@ fn render_lir(
     shared: &Shared,
     source: &str,
     strategy: Strategy,
+    config: CompileConfig,
 ) -> Result<String, Box<dyn std::error::Error + Send + Sync>> {
     let cache = shared.engine.cache();
     let (prep, _) = cache.prepared(source)?;
@@ -706,23 +737,35 @@ fn render_lir(
     } else {
         None
     };
-    let config = shared.engine.options().config;
     let (artifact, _, _) = cache.artifact(&prep, strategy, config, profile)?;
     Ok(artifact.program.disassemble())
 }
 
+/// A validated `/sweep` request body: the benchmark × strategy matrix
+/// to run plus the optional partitioner override.
+pub struct SweepRequest {
+    /// Benchmarks to sweep (one synthetic "request" entry for a
+    /// `source` body).
+    pub benches: Vec<Benchmark>,
+    /// Strategy columns (all of them when the body names none).
+    pub strategies: Vec<Strategy>,
+    /// Partitioning algorithm override; `None` = server default.
+    pub partitioner: Option<PartitionerKind>,
+}
+
 /// Parse a `/sweep` body — `{"source": "..."}` or
-/// `{"bench": "fir_32_1"|"all"}` plus optional `"strategies"` — into
-/// the benchmark × strategy matrix to run. Public so the router can
+/// `{"bench": "fir_32_1"|"all"}` plus optional `"strategies"` and
+/// `"partitioner"` — into the matrix to run. Public so the router can
 /// decompose the identical matrix into per-cell sub-requests with the
 /// same validation (and the same 400s) a replica would produce.
 ///
 /// # Errors
 ///
 /// Returns the 400 [`Response`] describing the first body problem.
-pub fn parse_sweep_targets(body: &[u8]) -> Result<(Vec<Benchmark>, Vec<Strategy>), Response> {
+pub fn parse_sweep_targets(body: &[u8]) -> Result<SweepRequest, Response> {
     let body = parse_body(body)?;
     let strategies = parse_strategies(&body)?;
+    let partitioner = parse_partitioner(&body)?;
     let benches = match (body.get("source"), body.get("bench")) {
         (Some(_), Some(_)) => {
             return Err(Response::error(
@@ -764,7 +807,11 @@ pub fn parse_sweep_targets(body: &[u8]) -> Result<(Vec<Benchmark>, Vec<Strategy>
             ))
         }
     };
-    Ok((benches, strategies))
+    Ok(SweepRequest {
+        benches,
+        strategies,
+        partitioner,
+    })
 }
 
 /// How a self-writing handler left the connection.
@@ -815,7 +862,7 @@ fn handle_sweep(
     root: SpanCtx,
     req_id: Option<&str>,
 ) -> SweepOutcome {
-    let (benches, strategies) = match parse_sweep_targets(&request.body) {
+    let sweep = match parse_sweep_targets(&request.body) {
         Ok(t) => t,
         Err(resp) => {
             return finish_buffered(
@@ -828,12 +875,13 @@ fn handle_sweep(
         }
     };
     let deadline = Instant::now() + shared.config.deadline;
-    let run = shared.engine.submit_matrix(
-        &benches,
-        &strategies,
+    let run = shared.engine.submit_matrix_with_config(
+        &sweep.benches,
+        &sweep.strategies,
         Priority::Batch,
         CancelToken::new(),
         root,
+        effective_config(shared, sweep.partitioner),
     );
 
     // Nothing is on the wire yet, so the first cell can still change

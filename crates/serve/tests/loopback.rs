@@ -523,7 +523,7 @@ fn metrics_expose_trace_histogram_families_with_consistent_sums() {
         "dsp_serve_exec_queue_wait_seconds_count{class=\"batch\"} 1",
         "# TYPE dsp_serve_stage_seconds histogram",
         "dsp_serve_stage_seconds_count{stage=\"parse\"}",
-        "dsp_serve_stage_seconds_count{stage=\"partition\"}",
+        "dsp_serve_stage_seconds_count{stage=\"partition\",partitioner=\"greedy\"}",
         "dsp_serve_stage_seconds_count{stage=\"simulate\"}",
     ] {
         assert!(text.contains(family), "missing `{family}` in:\n{text}");

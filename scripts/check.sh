@@ -111,14 +111,15 @@ curl -fsS -X POST "http://$RT_ADDR/sweep" -H 'Content-Type: application/json' \
 cmp "$RDIR/routed.det.json" "$RDIR/single.json" \
   || { echo "FAIL: routed sweep differs from a single-node run under projection"; exit 1; }
 # Drain one replica and wait for the router to eject it from the ring.
+# (Fetch to a file rather than `curl | grep -q`: under pipefail, grep's
+# early exit on a match EPIPEs curl and fails the pipeline spuriously.)
 curl -fsS -X POST "http://$RB_ADDR/admin/shutdown" >/dev/null
 for _ in $(seq 100); do
-  curl -fsS "http://$RT_ADDR/metrics" \
-    | grep -q "dsp_router_upstream_up{replica=\"$RB_ADDR\"} 0" && break
+  curl -fsS "http://$RT_ADDR/metrics" -o "$RDIR/rt-metrics.txt" || true
+  grep -q "dsp_router_upstream_up{replica=\"$RB_ADDR\"} 0" "$RDIR/rt-metrics.txt" && break
   sleep 0.1
 done
-curl -fsS "http://$RT_ADDR/metrics" \
-  | grep -q "dsp_router_upstream_up{replica=\"$RB_ADDR\"} 0" \
+grep -q "dsp_router_upstream_up{replica=\"$RB_ADDR\"} 0" "$RDIR/rt-metrics.txt" \
   || { echo "FAIL: router never ejected the drained replica"; exit 1; }
 # Load through the router against the surviving replica: the load tool
 # exits nonzero on any failed request.
@@ -150,6 +151,29 @@ ls "$FUZZ_DIR/corpus"/*.dsp >/dev/null 2>&1 \
   || { echo "FAIL: injected miscompile produced no corpus entry"; exit 1; }
 # Front-end robustness: byte-mutated programs must never panic.
 ./target/release/dualbank fuzz --mutate --seed 1 --count 40 --mutants 50 >/dev/null
+
+echo "== partitioner parity smoke test =="
+# Sweep the full benchmark matrix once per partitioner. Two invariants:
+# where FM finds nothing to improve it must be *byte-identical* to the
+# greedy run under the deterministic projection (same partitions, same
+# schedules), and where it does differ, FM's summed cycle count must
+# never regress the greedy's.
+PART_DIR=$(mktemp -d)
+trap 'kill $RA_PID $RB_PID $RT_PID 2>/dev/null || true; rm -rf "$CACHE_DIR" "$RDIR" "$FUZZ_DIR" "$PART_DIR"' EXIT
+./target/release/dualbank bench all --jobs 1 --partitioner greedy \
+  --json "$PART_DIR/greedy.json" --deterministic >/dev/null
+./target/release/dualbank bench all --jobs 1 --partitioner fm \
+  --json "$PART_DIR/fm.json" --deterministic >/dev/null
+sum_cycles() { grep -o '"cycles": [0-9]*' "$1" | awk '{s+=$2} END{print s}'; }
+GREEDY_CYCLES=$(sum_cycles "$PART_DIR/greedy.json")
+FM_CYCLES=$(sum_cycles "$PART_DIR/fm.json")
+if cmp -s "$PART_DIR/greedy.json" "$PART_DIR/fm.json"; then
+  echo "   fm == greedy byte-for-byte ($FM_CYCLES cycles summed)"
+elif [ "$FM_CYCLES" -le "$GREEDY_CYCLES" ]; then
+  echo "   fm improved: $GREEDY_CYCLES -> $FM_CYCLES summed cycles"
+else
+  echo "FAIL: fm regressed summed cycles ($GREEDY_CYCLES -> $FM_CYCLES)"; exit 1
+fi
 
 echo "== persistent-cache fault-injection suite =="
 # Every store IO site failing in turn (open/read/write/fsync/rename/

@@ -31,14 +31,15 @@ fn usage() -> &'static str {
      \x20 dualbank compile <file.c> [--strategy S] [--emit asm|ir|bin]\n\
      \x20     print the compiled program (default: asm disassembly)\n\
      \x20 dualbank sweep <file.c> [--jobs N] [--json <path>] [--cache-dir D] [--trace-out P]\n\
+     \x20               [--partitioner P]\n\
      \x20     compare all compilation strategies\n\
      \x20 dualbank bench <name|all> [--jobs N] [--json <path>] [--stages] [--cache-dir D]\n\
-     \x20               [--trace-out P]\n\
+     \x20               [--trace-out P] [--partitioner P]\n\
      \x20     run paper benchmark(s) across all strategies\n\
      \x20 dualbank fuzz [--seed N] [--count N] [--jobs N] [--corpus-dir D] [--json P]\n\
      \x20               [--mutate] [--mutants N] [--shrink-calls N] [--max-stmts N]\n\
      \x20               [--max-loop-depth N] [--max-arrays N] [--max-array-len N]\n\
-     \x20               [--max-scalars N] [--max-funcs N] [--float-pct N]\n\
+     \x20               [--max-scalars N] [--max-funcs N] [--float-pct N] [--bias B]\n\
      \x20     differentially fuzz all strategies with generated DSP-C\n\
      \x20     programs (see docs/fuzzing.md); failures are shrunk to\n\
      \x20     minimal repros and archived in --corpus-dir; --mutate\n\
@@ -67,6 +68,13 @@ fn usage() -> &'static str {
      OPTIONS:\n\
      \x20 --jobs N    worker threads (default: all cores); results are\n\
      \x20             bit-identical for every N\n\
+     \x20 --partitioner P  bank-partitioning algorithm: greedy (paper\n\
+     \x20             \u{a7}3.1, default), refined (greedy + one downhill-\n\
+     \x20             free improvement sweep), or fm (incremental\n\
+     \x20             Fiduccia\u{2013}Mattheyses; see docs/partitioning.md)\n\
+     \x20 --bias B    (fuzz) generator bias: none (default) or\n\
+     \x20             partition-stress (many arrays, dense same-\n\
+     \x20             statement access pairs; stresses the partitioner)\n\
      \x20 --json P    also write the full run report (cycles, stage\n\
      \x20             times, cache stats) as JSON to P (`-` = stdout)\n\
      \x20 --deterministic  with --json, emit only the reproducible core\n\
@@ -259,12 +267,16 @@ fn write_trace(tracer: &Tracer, path: Option<&str>) -> Result<(), String> {
     std::fs::write(path, tracer.export_chrome()).map_err(|e| format!("cannot write `{path}`: {e}"))
 }
 
-/// Build an engine from the shared `--jobs` / `--cache-dir` /
-/// `--cache-disk-max-kb` flags.
+/// Build an engine from the shared `--jobs` / `--partitioner` /
+/// `--cache-dir` / `--cache-disk-max-kb` flags.
 fn engine_of(args: &[String], tracer: Arc<Tracer>) -> Result<Engine, String> {
     let jobs = match flag_value(args, "--jobs") {
         Some(v) => parse_worker_count("--jobs", &v)?,
         None => 0,
+    };
+    let partitioner = match flag_value(args, "--partitioner") {
+        Some(v) => backend::PartitionerKind::parse(&v)?,
+        None => backend::PartitionerKind::default(),
     };
     let cache_dir = match flag_value(args, "--cache-dir") {
         Some(v) => Some(parse_cache_dir("--cache-dir", &v)?),
@@ -277,6 +289,10 @@ fn engine_of(args: &[String], tracer: Arc<Tracer>) -> Result<Engine, String> {
     tracelog::route_events_to(&tracer);
     let engine = Engine::new(EngineOptions {
         jobs,
+        config: backend::CompileConfig {
+            partitioner,
+            ..backend::CompileConfig::default()
+        },
         cache_dir,
         cache_disk_max_bytes,
         tracer,
@@ -440,6 +456,10 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         max_scalars: num_flag(args, "--max-scalars", GenConfig::default().max_scalars)?,
         max_funcs: num_flag(args, "--max-funcs", GenConfig::default().max_funcs)?,
         float_pct: num_flag(args, "--float-pct", GenConfig::default().float_pct)?,
+        bias: match flag_value(args, "--bias") {
+            Some(v) => dualbank::gen::Bias::parse(&v)?,
+            None => dualbank::gen::Bias::default(),
+        },
     };
 
     let json_out = flag_value(args, "--json");

@@ -8,8 +8,8 @@
 use proptest::prelude::*;
 
 use dualbank::bankalloc::{
-    exhaustive_partition, greedy_partition, partition_cost, refined_partition, InterferenceGraph,
-    Var,
+    exhaustive_partition, fm_partition, greedy_partition, naive_greedy_partition, partition_cost,
+    refined_partition, InterferenceGraph, Var,
 };
 use dualbank::ir::GlobalId;
 use dualbank::Strategy as CompileStrategy;
@@ -278,8 +278,50 @@ proptest! {
         let refined = refined_partition(&g);
         prop_assert_eq!(refined.cost, partition_cost(&g, &refined.bank));
         prop_assert!(refined.cost <= greedy.cost);
+        let fm = fm_partition(&g);
+        prop_assert_eq!(fm.cost, partition_cost(&g, &fm.bank));
+        prop_assert!(fm.cost <= greedy.cost);
         let exact = exhaustive_partition(&g);
         prop_assert!(exact.cost <= refined.cost);
+        prop_assert!(exact.cost <= fm.cost);
+    }
+
+    /// The gain-bucket greedy is an exact reimplementation of the
+    /// paper's rescanning greedy: same moves, same banks, same cost.
+    #[test]
+    fn bucket_greedy_equals_naive_rescan(edges in prop::collection::vec(
+        (0u32..12, 0u32..12, 1u64..20), 0..40))
+    {
+        let mut g = InterferenceGraph::new();
+        for (a, b, w) in &edges {
+            g.add_edge_weight(Var::Global(GlobalId(*a)), Var::Global(GlobalId(*b)), *w);
+        }
+        let fast = greedy_partition(&g);
+        let naive = naive_greedy_partition(&g);
+        prop_assert_eq!(fast.cost, naive.cost);
+        prop_assert_eq!(&fast.bank, &naive.bank);
+        prop_assert_eq!(fast.trace.len(), naive.trace.len());
+        for (a, b) in fast.trace.iter().zip(&naive.trace) {
+            prop_assert_eq!(a.node, b.node);
+            prop_assert_eq!(a.gain, b.gain);
+            prop_assert_eq!(a.cost_after, b.cost_after);
+        }
+    }
+
+    /// On graphs past the oracle limit, every partitioner's
+    /// incrementally-maintained cost still agrees with a from-scratch
+    /// recomputation over its final bank assignment.
+    #[test]
+    fn incremental_cost_agrees_on_large_graphs(edges in prop::collection::vec(
+        (0u32..60, 0u32..60, 1u64..30), 40..120))
+    {
+        let mut g = InterferenceGraph::new();
+        for (a, b, w) in &edges {
+            g.add_edge_weight(Var::Global(GlobalId(*a)), Var::Global(GlobalId(*b)), *w);
+        }
+        for part in [greedy_partition(&g), refined_partition(&g), fm_partition(&g)] {
+            prop_assert_eq!(part.cost, partition_cost(&g, &part.bank));
+        }
     }
 
     /// The greedy trace is strictly cost-decreasing.
