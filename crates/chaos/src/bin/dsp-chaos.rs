@@ -1,0 +1,12 @@
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dsp_chaos::run_chaos(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dsp-chaos: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! dsp-chaos: a deterministic network-fault injection proxy.
+//!
+//! Sits between the router and its replicas (or between a client and
+//! `dsp-serve`) and injects faults — refuse-connect, accept-then-reset,
+//! delay-first-byte, trickle, truncate, corrupt, blackhole — from a
+//! seeded schedule. The same `--seed` and `--scenario` reproduce the
+//! same fault sequence byte-for-byte, so any failure the proxy provokes
+//! is a repeatable test case rather than a flake. Counters for every
+//! injected fault are served from a separate admin `/metrics` endpoint
+//! so the data path stays untouched.
+//!
+//! See docs/chaos.md for the scenario schema and reproduction workflow.
+
+pub mod proxy;
+pub mod scenario;
+
+pub use proxy::{ChaosConfig, ChaosHandle, ChaosProxy, Counters};
+pub use scenario::{Fault, Rng, Scenario, Schedule, FAULT_KINDS, SCENARIOS};
+
+/// Build a [`ChaosConfig`] from `dualbank chaos` / `dsp-chaos` args.
+pub fn config_from_args(args: &[String]) -> Result<ChaosConfig, String> {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut upstream: Option<String> = None;
+    let mut admin: Option<String> = Some(String::from("127.0.0.1:0"));
+    let mut scenario = Scenario::Mixed;
+    let mut seed: u64 = 1;
+    let mut fault_pct: u32 = 50;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" => listen = flag_value("--listen")?,
+            "--upstream" => upstream = Some(flag_value("--upstream")?),
+            "--admin" => {
+                let v = flag_value("--admin")?;
+                admin = if v == "none" { None } else { Some(v) };
+            }
+            "--scenario" => {
+                let v = flag_value("--scenario")?;
+                scenario = Scenario::parse(&v).ok_or_else(|| {
+                    format!(
+                        "unknown scenario '{v}' (expected one of: {})",
+                        SCENARIOS
+                            .iter()
+                            .map(|s| s.label())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?;
+            }
+            "--seed" => {
+                let v = flag_value("--seed")?;
+                seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
+            }
+            "--fault-pct" => {
+                let v = flag_value("--fault-pct")?;
+                let pct: u32 = v
+                    .parse()
+                    .map_err(|_| format!("bad --fault-pct value '{v}'"))?;
+                if pct > 100 {
+                    return Err(format!("--fault-pct must be 0..=100, got {pct}"));
+                }
+                fault_pct = pct;
+            }
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    let upstream = upstream.ok_or_else(|| format!("--upstream is required\n{}", usage()))?;
+    Ok(ChaosConfig {
+        listen,
+        upstream,
+        admin,
+        schedule: Schedule::new(scenario, seed, fault_pct),
+    })
+}
+
+pub fn usage() -> String {
+    "usage: dsp-chaos --upstream HOST:PORT [options]\n\
+     \n\
+     A deterministic fault-injection TCP proxy: point a router replica\n\
+     entry (or a client) at --listen and it forwards to --upstream,\n\
+     injecting faults from a seeded schedule.\n\
+     \n\
+     options:\n\
+     \x20 --listen HOST:PORT     intercept address (default 127.0.0.1:0)\n\
+     \x20 --upstream HOST:PORT   forward target (required)\n\
+     \x20 --admin HOST:PORT      admin /metrics address, or 'none'\n\
+     \x20                        (default 127.0.0.1:0)\n\
+     \x20 --scenario NAME        clean | refuse-connect | reset | delay |\n\
+     \x20                        trickle | truncate | corrupt | blackhole |\n\
+     \x20                        mixed (default mixed)\n\
+     \x20 --seed N               schedule seed (default 1); the same seed\n\
+     \x20                        and scenario reproduce the same faults\n\
+     \x20 --fault-pct N          percent of connections faulted (default 50)\n"
+        .to_string()
+}
+
+/// Entry point behind `dualbank chaos` and the `dsp-chaos` binary.
+pub fn run_chaos(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return Ok(());
+    }
+    let config = config_from_args(args)?;
+    let proxy = ChaosProxy::bind(config.clone()).map_err(|e| format!("chaos bind: {e}"))?;
+    println!("dsp-chaos listening on http://{}", proxy.local_addr());
+    if let Some(admin) = proxy.admin_addr() {
+        println!("dsp-chaos admin on http://{admin}");
+    }
+    println!(
+        "  upstream {} · scenario {} · seed {} · fault {}%",
+        config.upstream,
+        config.schedule.scenario().label(),
+        config.schedule.seed(),
+        config.schedule.fault_pct(),
+    );
+    proxy.run().map_err(|e| format!("chaos proxy: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_round_trip_into_a_config() {
+        let config = config_from_args(&args(&[
+            "--listen",
+            "127.0.0.1:7001",
+            "--upstream",
+            "127.0.0.1:9000",
+            "--admin",
+            "none",
+            "--scenario",
+            "trickle",
+            "--seed",
+            "9",
+            "--fault-pct",
+            "75",
+        ]))
+        .expect("config");
+        assert_eq!(config.listen, "127.0.0.1:7001");
+        assert_eq!(config.upstream, "127.0.0.1:9000");
+        assert!(config.admin.is_none());
+        assert_eq!(config.schedule.scenario(), Scenario::Trickle);
+        assert_eq!(config.schedule.seed(), 9);
+        assert_eq!(config.schedule.fault_pct(), 75);
+    }
+
+    #[test]
+    fn missing_upstream_and_bad_values_are_usage_errors() {
+        assert!(config_from_args(&[]).unwrap_err().contains("--upstream"));
+        assert!(
+            config_from_args(&args(&["--upstream", "x", "--scenario", "nope"]))
+                .unwrap_err()
+                .contains("unknown scenario")
+        );
+        assert!(
+            config_from_args(&args(&["--upstream", "x", "--fault-pct", "101"]))
+                .unwrap_err()
+                .contains("0..=100")
+        );
+        assert!(config_from_args(&args(&["--upstream", "x", "--seed"]))
+            .unwrap_err()
+            .contains("--seed needs a value"));
+    }
+}

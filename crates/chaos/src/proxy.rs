@@ -1,0 +1,391 @@
+//! The interception proxy: accept, draw a fault for this connection
+//! index from the schedule, then either sabotage the connection
+//! directly (refuse / reset / blackhole) or splice it to the upstream
+//! with the response stream shaped (delay / trickle / truncate /
+//! corrupt) on the way back.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::scenario::{Fault, Schedule, FAULT_KINDS};
+
+/// How long a pump read may block before re-checking for shutdown; also
+/// the hard bound on how long a dead peer can pin a pump thread.
+const PUMP_READ_TIMEOUT: Duration = Duration::from_secs(120);
+const UPSTREAM_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Listen address for intercepted traffic (port 0 picks a free one).
+    pub listen: String,
+    /// Where clean and shaped connections are forwarded.
+    pub upstream: String,
+    /// Admin address serving `/metrics`; `None` disables the listener.
+    pub admin: Option<String>,
+    pub schedule: Schedule,
+}
+
+/// Per-fault counters, exposed on the admin `/metrics` endpoint. All
+/// counters count faults *scheduled* for a connection; a corrupt offset
+/// past the end of a short response still counts as injected.
+#[derive(Debug, Default)]
+pub struct Counters {
+    pub connections: AtomicU64,
+    pub faults: [AtomicU64; FAULT_KINDS.len()],
+    pub upstream_connect_failures: AtomicU64,
+    pub forwarded_bytes: AtomicU64,
+}
+
+impl Counters {
+    pub fn faults_injected(&self) -> u64 {
+        self.faults
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 0)
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+struct Shared {
+    config: ChaosConfig,
+    counters: Counters,
+    conn_seq: AtomicU64,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+/// Cloneable handle for shutdown and counter inspection (the in-process
+/// embedding used by `dsp-serve-load --chaos` and the tests).
+#[derive(Clone)]
+pub struct ChaosHandle {
+    shared: Arc<Shared>,
+    local: SocketAddr,
+    admin: Option<SocketAddr>,
+}
+
+impl ChaosHandle {
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loops with throwaway connections.
+        let _ = TcpStream::connect(self.local);
+        if let Some(admin) = self.admin {
+            let _ = TcpStream::connect(admin);
+        }
+    }
+
+    pub fn counters(&self) -> &Counters {
+        &self.shared.counters
+    }
+}
+
+pub struct ChaosProxy {
+    listener: TcpListener,
+    admin_listener: Option<TcpListener>,
+    local: SocketAddr,
+    admin: Option<SocketAddr>,
+    shared: Arc<Shared>,
+}
+
+impl ChaosProxy {
+    pub fn bind(config: ChaosConfig) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let local = listener.local_addr()?;
+        let admin_listener = match &config.admin {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let admin = match &admin_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            config,
+            counters: Counters::default(),
+            conn_seq: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        Ok(ChaosProxy {
+            listener,
+            admin_listener,
+            local,
+            admin,
+            shared,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin
+    }
+
+    pub fn handle(&self) -> ChaosHandle {
+        ChaosHandle {
+            shared: Arc::clone(&self.shared),
+            local: self.local,
+            admin: self.admin,
+        }
+    }
+
+    /// Accept until [`ChaosHandle::shutdown`]. Spawns one thread per
+    /// connection plus one for the admin listener.
+    pub fn run(self) -> io::Result<()> {
+        if let Some(admin) = self.admin_listener {
+            let shared = Arc::clone(&self.shared);
+            thread::spawn(move || admin_loop(&admin, &shared));
+        }
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(client) = stream else { continue };
+            let shared = Arc::clone(&self.shared);
+            let index = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
+            thread::spawn(move || handle_client(&shared, client, index));
+        }
+        Ok(())
+    }
+}
+
+fn handle_client(shared: &Shared, client: TcpStream, index: u64) {
+    let fault = shared.config.schedule.fault_for(index);
+    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    shared.counters.faults[fault.kind_index()].fetch_add(1, Ordering::Relaxed);
+    let _ = client.set_nodelay(true);
+    match fault {
+        Fault::RefuseConnect => drop(client),
+        Fault::AcceptThenReset => {
+            // Read a little so the client believes the connection is
+            // live, then drop while more request bytes are likely
+            // unread: Linux answers further traffic with RST.
+            let _ = client.set_read_timeout(Some(Duration::from_millis(100)));
+            let mut buf = [0u8; 64];
+            let _ = (&client).read(&mut buf);
+            drop(client);
+        }
+        Fault::Blackhole(hold) => {
+            // Swallow request bytes silently until the hold expires,
+            // then close without ever writing a response byte.
+            let deadline = Instant::now() + hold;
+            let mut buf = [0u8; 4096];
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                let _ = client.set_read_timeout(Some(left));
+                match (&client).read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            drop(client);
+        }
+        fault => splice(shared, client, fault),
+    }
+}
+
+/// Forward client↔upstream, shaping only the response direction.
+fn splice(shared: &Shared, client: TcpStream, fault: Fault) {
+    let upstream = match connect_upstream(&shared.config.upstream) {
+        Ok(s) => s,
+        Err(_) => {
+            shared
+                .counters
+                .upstream_connect_failures
+                .fetch_add(1, Ordering::Relaxed);
+            drop(client);
+            return;
+        }
+    };
+    let _ = upstream.set_nodelay(true);
+    let (Ok(client_r), Ok(upstream_w)) = (client.try_clone(), upstream.try_clone()) else {
+        return;
+    };
+    // Request direction: verbatim, in a side thread.
+    thread::spawn(move || pump_verbatim(client_r, upstream_w));
+    // Response direction: shaped, on this thread.
+    pump_shaped(shared, upstream, client, fault);
+}
+
+fn connect_upstream(addr: &str) -> io::Result<TcpStream> {
+    let mut last = io::Error::new(io::ErrorKind::NotFound, "upstream did not resolve");
+    for sa in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sa, UPSTREAM_CONNECT_TIMEOUT) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+fn pump_verbatim(from: TcpStream, to: TcpStream) {
+    let _ = from.set_read_timeout(Some(PUMP_READ_TIMEOUT));
+    let mut buf = [0u8; 4096];
+    loop {
+        match (&from).read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if (&to).write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+    let _ = from.shutdown(Shutdown::Read);
+}
+
+fn pump_shaped(shared: &Shared, upstream: TcpStream, client: TcpStream, fault: Fault) {
+    let _ = upstream.set_read_timeout(Some(PUMP_READ_TIMEOUT));
+    let mut buf = [0u8; 4096];
+    let mut sent: u64 = 0; // response bytes already forwarded
+    let mut first = true;
+    'outer: loop {
+        let n = match (&upstream).read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if first {
+            if let Fault::DelayFirstByte(d) = fault {
+                thread::sleep(d);
+            }
+            first = false;
+        }
+        if let Fault::CorruptByteAt(k) = fault {
+            if k >= sent && k < sent + n as u64 {
+                buf[(k - sent) as usize] ^= 0x20;
+            }
+        }
+        let mut len = n;
+        let mut closing = false;
+        if let Fault::TruncateAfter(k) = fault {
+            if sent + n as u64 >= k {
+                len = (k - sent) as usize;
+                closing = true;
+            }
+        }
+        let chunk = &buf[..len];
+        let wrote = match fault {
+            Fault::Trickle { bytes, interval } => {
+                let step = bytes.max(1);
+                let mut ok = true;
+                for (i, piece) in chunk.chunks(step).enumerate() {
+                    if i > 0 {
+                        thread::sleep(interval);
+                    }
+                    if (&client).write_all(piece).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                ok
+            }
+            _ => (&client).write_all(chunk).is_ok(),
+        };
+        sent += chunk.len() as u64;
+        shared
+            .counters
+            .forwarded_bytes
+            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        if !wrote || closing {
+            break 'outer;
+        }
+    }
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = upstream.shutdown(Shutdown::Both);
+}
+
+/// Tiny single-purpose HTTP listener for `/metrics` and `/healthz`;
+/// hand-rolled so the crate stays free of serve-tier dependencies.
+fn admin_loop(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut conn) = stream else { continue };
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+        let mut head = Vec::new();
+        let mut buf = [0u8; 512];
+        while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 4096 {
+            match conn.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => head.extend_from_slice(&buf[..n]),
+            }
+        }
+        let line = String::from_utf8_lossy(&head);
+        let path = line.split_whitespace().nth(1).unwrap_or("");
+        let (status, body) = match path {
+            "/metrics" => ("200 OK", render_metrics(shared)),
+            "/healthz" => ("200 OK", "ok\n".to_string()),
+            _ => ("404 Not Found", "not found\n".to_string()),
+        };
+        let _ = write!(
+            conn,
+            "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+}
+
+fn render_metrics(shared: &Shared) -> String {
+    let c = &shared.counters;
+    let sched = &shared.config.schedule;
+    let mut out = String::with_capacity(1024);
+    out.push_str("# HELP dsp_chaos_up Whether the chaos proxy is running.\n");
+    out.push_str("# TYPE dsp_chaos_up gauge\ndsp_chaos_up 1\n");
+    out.push_str("# HELP dsp_chaos_uptime_seconds Seconds since the proxy started.\n");
+    out.push_str("# TYPE dsp_chaos_uptime_seconds gauge\n");
+    out.push_str(&format!(
+        "dsp_chaos_uptime_seconds {}\n",
+        shared.started.elapsed().as_secs()
+    ));
+    out.push_str("# HELP dsp_chaos_info Scenario, seed, and fault rate of the schedule.\n");
+    out.push_str("# TYPE dsp_chaos_info gauge\n");
+    out.push_str(&format!(
+        "dsp_chaos_info{{scenario=\"{}\",seed=\"{}\",fault_pct=\"{}\",upstream=\"{}\"}} 1\n",
+        sched.scenario().label(),
+        sched.seed(),
+        sched.fault_pct(),
+        shared.config.upstream,
+    ));
+    out.push_str("# HELP dsp_chaos_connections_total Client connections accepted.\n");
+    out.push_str("# TYPE dsp_chaos_connections_total counter\n");
+    out.push_str(&format!(
+        "dsp_chaos_connections_total {}\n",
+        c.connections.load(Ordering::Relaxed)
+    ));
+    out.push_str("# HELP dsp_chaos_faults_total Faults scheduled, by kind (kind=\"none\" counts clean pass-throughs).\n");
+    out.push_str("# TYPE dsp_chaos_faults_total counter\n");
+    for (kind, counter) in FAULT_KINDS.iter().zip(&c.faults) {
+        out.push_str(&format!(
+            "dsp_chaos_faults_total{{kind=\"{kind}\"}} {}\n",
+            counter.load(Ordering::Relaxed)
+        ));
+    }
+    out.push_str(
+        "# HELP dsp_chaos_upstream_connect_failures_total Dials to the upstream that failed.\n",
+    );
+    out.push_str("# TYPE dsp_chaos_upstream_connect_failures_total counter\n");
+    out.push_str(&format!(
+        "dsp_chaos_upstream_connect_failures_total {}\n",
+        c.upstream_connect_failures.load(Ordering::Relaxed)
+    ));
+    out.push_str("# HELP dsp_chaos_forwarded_bytes_total Response bytes forwarded to clients.\n");
+    out.push_str("# TYPE dsp_chaos_forwarded_bytes_total counter\n");
+    out.push_str(&format!(
+        "dsp_chaos_forwarded_bytes_total {}\n",
+        c.forwarded_bytes.load(Ordering::Relaxed)
+    ));
+    out
+}

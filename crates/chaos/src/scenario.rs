@@ -1,0 +1,299 @@
+//! Seeded fault schedules.
+//!
+//! A [`Schedule`] maps a connection index to a [`Fault`] purely as a
+//! function of `(seed, scenario, index)`. The proxy accepts connections
+//! concurrently, so determinism cannot rely on a shared RNG stream
+//! being consumed in order: every connection derives its own generator
+//! from the triple instead, making the fault sequence reproducible no
+//! matter how threads interleave.
+
+use std::time::Duration;
+
+/// SplitMix64: the same tiny generator `dsp-gen` uses, copied rather
+/// than imported so this crate stays dependency-free (it sits *under*
+/// the crates it tests).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[lo, hi]` inclusive.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// FNV-1a over a scenario name, folded into the per-connection seed so
+/// two scenarios with the same `--seed` still draw distinct streams.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One concrete fault, fully parameterized, applied to one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward untouched.
+    None,
+    /// Close the client socket without dialing upstream.
+    RefuseConnect,
+    /// Accept, read a little, then drop with unread data pending so
+    /// the kernel answers the peer with RST instead of FIN.
+    AcceptThenReset,
+    /// Forward, but hold the first response byte for this long.
+    DelayFirstByte(Duration),
+    /// Forward the response `bytes` bytes at a time with `interval`
+    /// pauses between writes (slow but always progressing).
+    Trickle { bytes: usize, interval: Duration },
+    /// Forward exactly `K` response bytes, then close both sides.
+    TruncateAfter(u64),
+    /// Flip one bit of the response byte at stream offset `K`.
+    CorruptByteAt(u64),
+    /// Swallow the request, hold the connection silently for this
+    /// long, then close without a single response byte.
+    Blackhole(Duration),
+}
+
+/// Metric labels, one per variant. Order matches [`FAULT_KINDS`].
+pub const FAULT_KINDS: [&str; 8] = [
+    "none",
+    "refuse-connect",
+    "reset",
+    "delay-first-byte",
+    "trickle",
+    "truncate",
+    "corrupt",
+    "blackhole",
+];
+
+impl Fault {
+    pub fn kind(&self) -> &'static str {
+        FAULT_KINDS[self.kind_index()]
+    }
+
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Fault::None => 0,
+            Fault::RefuseConnect => 1,
+            Fault::AcceptThenReset => 2,
+            Fault::DelayFirstByte(_) => 3,
+            Fault::Trickle { .. } => 4,
+            Fault::TruncateAfter(_) => 5,
+            Fault::CorruptByteAt(_) => 6,
+            Fault::Blackhole(_) => 7,
+        }
+    }
+}
+
+/// A named family of faults; `mixed` draws uniformly from all seven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    Clean,
+    RefuseConnect,
+    Reset,
+    Delay,
+    Trickle,
+    Truncate,
+    Corrupt,
+    Blackhole,
+    Mixed,
+}
+
+pub const SCENARIOS: [Scenario; 9] = [
+    Scenario::Clean,
+    Scenario::RefuseConnect,
+    Scenario::Reset,
+    Scenario::Delay,
+    Scenario::Trickle,
+    Scenario::Truncate,
+    Scenario::Corrupt,
+    Scenario::Blackhole,
+    Scenario::Mixed,
+];
+
+impl Scenario {
+    pub fn parse(name: &str) -> Option<Scenario> {
+        SCENARIOS.iter().copied().find(|s| s.label() == name)
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::Clean => "clean",
+            Scenario::RefuseConnect => "refuse-connect",
+            Scenario::Reset => "reset",
+            Scenario::Delay => "delay",
+            Scenario::Trickle => "trickle",
+            Scenario::Truncate => "truncate",
+            Scenario::Corrupt => "corrupt",
+            Scenario::Blackhole => "blackhole",
+            Scenario::Mixed => "mixed",
+        }
+    }
+}
+
+/// The seeded fault schedule: `fault_for(i)` is a pure function of the
+/// constructor arguments and `i`, so re-running a scenario with the
+/// same seed reproduces the same fault sequence byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    scenario: Scenario,
+    seed: u64,
+    /// Percentage (0..=100) of connections that draw a fault at all.
+    fault_pct: u64,
+}
+
+impl Schedule {
+    pub fn new(scenario: Scenario, seed: u64, fault_pct: u32) -> Schedule {
+        Schedule {
+            scenario,
+            seed,
+            fault_pct: u64::from(fault_pct.min(100)),
+        }
+    }
+
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn fault_pct(&self) -> u64 {
+        self.fault_pct
+    }
+
+    pub fn fault_for(&self, conn_index: u64) -> Fault {
+        let mix = self
+            .seed
+            .wrapping_add(fnv1a(self.scenario.label()))
+            .wrapping_add(conn_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Rng::new(mix);
+        if self.scenario == Scenario::Clean || !rng.chance(self.fault_pct, 100) {
+            return Fault::None;
+        }
+        let scenario = match self.scenario {
+            Scenario::Mixed => SCENARIOS[1 + rng.below(7) as usize],
+            s => s,
+        };
+        match scenario {
+            Scenario::Clean | Scenario::Mixed => Fault::None,
+            Scenario::RefuseConnect => Fault::RefuseConnect,
+            Scenario::Reset => Fault::AcceptThenReset,
+            Scenario::Delay => Fault::DelayFirstByte(Duration::from_millis(rng.range(25, 150))),
+            // Fast enough that probe bodies still arrive well inside
+            // any sane first-byte timeout, slow enough to exercise the
+            // many-small-reads path: trickle tests that slow-but-live
+            // responses *complete* rather than trip idle timeouts.
+            Scenario::Trickle => Fault::Trickle {
+                bytes: rng.range(64, 256) as usize,
+                interval: Duration::from_millis(rng.range(1, 5)),
+            },
+            Scenario::Truncate => Fault::TruncateAfter(rng.range(16, 2048)),
+            Scenario::Corrupt => Fault::CorruptByteAt(rng.range(8, 512)),
+            Scenario::Blackhole => Fault::Blackhole(Duration::from_millis(rng.range(250, 1500))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_reproduces_the_same_fault_sequence() {
+        for scenario in SCENARIOS {
+            let a = Schedule::new(scenario, 42, 50);
+            let b = Schedule::new(scenario, 42, 50);
+            for i in 0..256 {
+                assert_eq!(a.fault_for(i), b.fault_for(i), "{scenario:?} conn {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_order_independent() {
+        // Determinism must not depend on query order: connection 17
+        // draws the same fault whether asked first or last.
+        let s = Schedule::new(Scenario::Mixed, 7, 80);
+        let forward: Vec<Fault> = (0..64).map(|i| s.fault_for(i)).collect();
+        let backward: Vec<Fault> = (0..64).rev().map(|i| s.fault_for(i)).collect();
+        let backward: Vec<Fault> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn different_seeds_differ_and_scenarios_stay_in_family() {
+        let a = Schedule::new(Scenario::Truncate, 1, 100);
+        let b = Schedule::new(Scenario::Truncate, 2, 100);
+        let mut differed = false;
+        for i in 0..64 {
+            let fa = a.fault_for(i);
+            assert!(
+                matches!(fa, Fault::TruncateAfter(_)),
+                "100% truncate schedule drew {fa:?}"
+            );
+            if fa != b.fault_for(i) {
+                differed = true;
+            }
+        }
+        assert!(differed, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn clean_scenario_and_zero_pct_never_fault() {
+        let clean = Schedule::new(Scenario::Clean, 3, 100);
+        let zero = Schedule::new(Scenario::Mixed, 3, 0);
+        for i in 0..128 {
+            assert_eq!(clean.fault_for(i), Fault::None);
+            assert_eq!(zero.fault_for(i), Fault::None);
+        }
+    }
+
+    #[test]
+    fn mixed_covers_every_fault_kind() {
+        let s = Schedule::new(Scenario::Mixed, 11, 100);
+        let mut seen = [false; FAULT_KINDS.len()];
+        for i in 0..512 {
+            seen[s.fault_for(i).kind_index()] = true;
+        }
+        for (kind, hit) in FAULT_KINDS.iter().zip(seen).skip(1) {
+            assert!(hit, "mixed schedule never drew {kind}");
+        }
+    }
+
+    #[test]
+    fn scenario_labels_round_trip() {
+        for s in SCENARIOS {
+            assert_eq!(Scenario::parse(s.label()), Some(s));
+        }
+        assert_eq!(Scenario::parse("nope"), None);
+    }
+}

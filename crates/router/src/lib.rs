@@ -33,7 +33,7 @@ pub mod ring;
 pub mod server;
 
 pub use metrics::RouterMetrics;
-pub use replica::{PooledConn, ReplicaSet, RetryBudget, Transition};
+pub use replica::{BreakerState, PooledConn, ReplicaSet, RetryBudget, Transition, UpstreamPolicy};
 pub use ring::{fnv1a, shard_key, Ring};
 pub use server::{Router, RouterConfig, RouterHandle};
 
@@ -128,6 +128,27 @@ pub fn config_from_args(args: &[String]) -> Result<RouterConfig, String> {
     if let Some(v) = parse_ms("--upstream-timeout-ms")? {
         config.upstream_timeout = v;
     }
+    if let Some(v) = parse_ms("--connect-timeout-ms")? {
+        config.connect_timeout = v;
+    }
+    if let Some(v) = parse_ms("--first-byte-timeout-ms")? {
+        config.first_byte_timeout = v;
+    }
+    if let Some(v) = parse_ms("--idle-timeout-ms")? {
+        config.idle_timeout = v;
+    }
+    if let Some(v) = parse_ms("--pool-idle-ms")? {
+        config.pool_idle = v; // 0 disables reaping
+    }
+    if let Some(v) = parse_ms("--read-deadline-ms")? {
+        config.read_deadline = v; // 0 disables
+    }
+    if let Some(v) = parse_usize("--breaker-threshold")? {
+        config.breaker_threshold = u32::try_from(v.max(1)).unwrap_or(u32::MAX);
+    }
+    if let Some(v) = parse_ms("--breaker-cooldown-ms")? {
+        config.breaker_cooldown = v;
+    }
     if let Some(v) = parse_ms("--retry-backoff-ms")? {
         config.retry_backoff = v;
     }
@@ -163,6 +184,19 @@ FLAGS:
     --readmit-after N          consecutive probe passes that readmit (default 2)
     --probe-ms MS              readiness probe interval (default 500)
     --upstream-timeout-ms MS   per-attempt upstream timeout (default 30000)
+    --connect-timeout-ms MS    upstream TCP connect budget (default 1000)
+    --first-byte-timeout-ms MS upstream budget to first response byte
+                               (default 10000)
+    --idle-timeout-ms MS       longest silent gap between upstream
+                               response bytes (default 10000)
+    --pool-idle-ms MS          reap pooled keep-alives idle this long
+                               (default 30000; 0 disables)
+    --read-deadline-ms MS      whole-request read budget for client
+                               requests (default 15000; 0 disables)
+    --breaker-threshold N      consecutive transport errors that open a
+                               replica's circuit breaker (default 4)
+    --breaker-cooldown-ms MS   open-breaker cooldown before the
+                               half-open probe (default 1000)
     --no-trace                 disable spans and latency histograms
 
 ENDPOINTS:
@@ -227,6 +261,20 @@ mod tests {
             "2",
             "--probe-ms",
             "100",
+            "--connect-timeout-ms",
+            "250",
+            "--first-byte-timeout-ms",
+            "750",
+            "--idle-timeout-ms",
+            "500",
+            "--pool-idle-ms",
+            "4000",
+            "--read-deadline-ms",
+            "6000",
+            "--breaker-threshold",
+            "7",
+            "--breaker-cooldown-ms",
+            "300",
             "--no-trace",
         ]))
         .expect("valid flags");
@@ -238,6 +286,13 @@ mod tests {
         assert_eq!(config.retries, 3);
         assert_eq!(config.pool_per_replica, 2);
         assert_eq!(config.probe_interval, Duration::from_millis(100));
+        assert_eq!(config.connect_timeout, Duration::from_millis(250));
+        assert_eq!(config.first_byte_timeout, Duration::from_millis(750));
+        assert_eq!(config.idle_timeout, Duration::from_millis(500));
+        assert_eq!(config.pool_idle, Duration::from_millis(4000));
+        assert_eq!(config.read_deadline, Duration::from_millis(6000));
+        assert_eq!(config.breaker_threshold, 7);
+        assert_eq!(config.breaker_cooldown, Duration::from_millis(300));
         assert!(!config.trace);
     }
 

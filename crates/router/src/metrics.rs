@@ -42,6 +42,10 @@ pub struct RouterMetrics {
     /// Fanned-out sweeps closed with `"truncated": true` after a cell
     /// failed on every allowed attempt.
     pub sweep_truncations_total: AtomicU64,
+    /// Upstream attempts fast-failed by an open circuit breaker.
+    pub breaker_fast_fail_total: AtomicU64,
+    /// Client requests aborted for trickling past the read deadline.
+    pub read_deadline_total: AtomicU64,
     tracer: Arc<Tracer>,
 }
 
@@ -59,6 +63,8 @@ impl RouterMetrics {
             rejected_total: AtomicU64::new(0),
             no_upstream_total: AtomicU64::new(0),
             sweep_truncations_total: AtomicU64::new(0),
+            breaker_fast_fail_total: AtomicU64::new(0),
+            read_deadline_total: AtomicU64::new(0),
             tracer,
         }
     }
@@ -285,9 +291,52 @@ impl RouterMetrics {
                 "Fanned-out sweeps closed with truncated: true after cell failure.",
                 self.sweep_truncations_total.load(Ordering::Relaxed),
             ),
+            (
+                "dsp_router_breaker_fast_fail_total",
+                "Upstream attempts fast-failed by an open circuit breaker.",
+                self.breaker_fast_fail_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dsp_router_pool_reaped_total",
+                "Pooled keep-alive connections retired after idling past --pool-idle-ms.",
+                set.pool_reaped_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dsp_router_read_deadline_total",
+                "Client requests whose bytes trickled past the read deadline (408).",
+                self.read_deadline_total.load(Ordering::Relaxed),
+            ),
         ] {
             counter_head(&mut out, name, help);
             let _ = writeln!(out, "{name} {n}");
+        }
+        gauge_head(
+            &mut out,
+            "dsp_router_breaker_state",
+            "Per-replica circuit breaker: 0 closed, 1 half-open, 2 open.",
+        );
+        for i in 0..set.len() {
+            let _ = writeln!(
+                out,
+                "dsp_router_breaker_state{{replica=\"{}\"}} {}",
+                set.addr(i),
+                set.breaker_state(i).gauge()
+            );
+        }
+        counter_head(
+            &mut out,
+            "dsp_router_breaker_transitions_total",
+            "Circuit-breaker state transitions by replica and target state.",
+        );
+        for i in 0..set.len() {
+            let [open, half, closed] = set.breaker_transitions(i);
+            for (to, n) in [("open", open), ("half-open", half), ("closed", closed)] {
+                let _ = writeln!(
+                    out,
+                    "dsp_router_breaker_transitions_total{{replica=\"{}\",to=\"{to}\"}} {n}",
+                    set.addr(i)
+                );
+            }
         }
         gauge_head(
             &mut out,
@@ -356,10 +405,11 @@ mod tests {
     fn sample_set() -> ReplicaSet {
         ReplicaSet::new(
             vec!["127.0.0.1:9201".into(), "127.0.0.1:9202".into()],
-            2,
-            2,
-            2,
-            Duration::from_millis(100),
+            crate::replica::UpstreamPolicy {
+                pool_cap: 2,
+                upstream_timeout: Duration::from_millis(100),
+                ..crate::replica::UpstreamPolicy::default()
+            },
         )
     }
 
@@ -390,6 +440,11 @@ mod tests {
             "dsp_router_retry_budget_tokens 8.000",
             "dsp_router_no_upstream_total 0",
             "dsp_router_sweep_truncated_total 0",
+            "dsp_router_breaker_fast_fail_total 0",
+            "dsp_router_pool_reaped_total 0",
+            "dsp_router_read_deadline_total 0",
+            "dsp_router_breaker_state{replica=\"127.0.0.1:9201\"} 0",
+            "dsp_router_breaker_transitions_total{replica=\"127.0.0.1:9202\",to=\"open\"} 0",
         ] {
             assert!(text.contains(line), "missing `{line}` in:\n{text}");
         }

@@ -13,11 +13,128 @@
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use dsp_serve::client::ClientConn;
+use dsp_serve::client::{ClientConn, PhaseTimeouts};
 
 use crate::ring::Ring;
+
+/// Everything that governs how the router talks to one upstream:
+/// pool size and idle lifetime, health hysteresis, the per-phase and
+/// whole-request timeouts, and the circuit-breaker thresholds.
+#[derive(Debug, Clone)]
+pub struct UpstreamPolicy {
+    /// Keep-alive connections per replica (idle + checked out).
+    pub pool_cap: usize,
+    /// Consecutive failed observations before ring ejection.
+    pub fail_after: u32,
+    /// Consecutive successes before readmission.
+    pub readmit_after: u32,
+    /// Whole-request deadline per upstream exchange.
+    pub upstream_timeout: Duration,
+    /// TCP connect budget (a fraction of `upstream_timeout`).
+    pub connect_timeout: Duration,
+    /// Budget from request written to first response byte.
+    pub first_byte_timeout: Duration,
+    /// Longest allowed silent gap between response bytes.
+    pub idle_timeout: Duration,
+    /// Pooled connections idle longer than this are reaped rather
+    /// than handed out (they are usually half-dead: the upstream's
+    /// keep-alive timer runs at the same scale).
+    pub pool_idle: Duration,
+    /// Consecutive transport errors before the breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker waits before letting one half-open
+    /// probe request through.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for UpstreamPolicy {
+    fn default() -> UpstreamPolicy {
+        UpstreamPolicy {
+            pool_cap: 4,
+            fail_after: 2,
+            readmit_after: 2,
+            upstream_timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(1),
+            first_byte_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(10),
+            pool_idle: Duration::from_secs(30),
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Circuit-breaker state for one replica. Distinct from ring health:
+/// the prober ejects replicas on *probe* evidence every `--probe-ms`,
+/// while the breaker reacts to *request* outcomes immediately and
+/// fast-fails attempts without burning a timeout on each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive errors are counted.
+    Closed,
+    /// Cooling down after the error threshold; attempts fast-fail.
+    Open,
+    /// Cooldown elapsed; exactly one probe request is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Encoding of the `dsp_router_breaker_state` gauge.
+    #[must_use]
+    pub fn gauge(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+
+    /// Stable label for the transition counter.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::HalfOpen => "half-open",
+            BreakerState::Open => "open",
+        }
+    }
+}
+
+struct Breaker {
+    state: BreakerState,
+    consecutive_fail: u32,
+    opened_at: Option<Instant>,
+    /// True while the single half-open probe request is in flight.
+    probing: bool,
+    /// Transitions into (open, half-open, closed), for `/metrics`.
+    transitions: [u64; 3],
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_fail: 0,
+            opened_at: None,
+            probing: false,
+            transitions: [0; 3],
+        }
+    }
+
+    fn transition(&mut self, to: BreakerState) {
+        self.state = to;
+        match to {
+            BreakerState::Open => {
+                self.opened_at = Some(Instant::now());
+                self.transitions[0] += 1;
+            }
+            BreakerState::HalfOpen => self.transitions[1] += 1,
+            BreakerState::Closed => self.transitions[2] += 1,
+        }
+    }
+}
 
 /// How one health observation changed the ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,10 +156,17 @@ struct Health {
     announced_id: Option<String>,
 }
 
+/// An idle pooled connection, stamped with when it was checked in so
+/// the reaper can retire sockets that sat unused too long.
+struct IdleConn {
+    conn: ClientConn,
+    since: Instant,
+}
+
 /// One replica's connection pool: at most `cap` connections exist at
 /// a time (idle + checked out); checkouts beyond that wait.
 struct Pool {
-    idle: Vec<ClientConn>,
+    idle: Vec<IdleConn>,
     outstanding: usize,
 }
 
@@ -51,6 +175,7 @@ struct Replica {
     health: Mutex<Health>,
     pool: Mutex<Pool>,
     pool_ready: Condvar,
+    breaker: Mutex<Breaker>,
 }
 
 /// The set of upstream replicas plus the consistent-hash ring over the
@@ -59,10 +184,7 @@ pub struct ReplicaSet {
     replicas: Vec<Replica>,
     labels: Vec<String>,
     ring: Mutex<Ring>,
-    pool_cap: usize,
-    fail_after: u32,
-    readmit_after: u32,
-    upstream_timeout: Duration,
+    policy: UpstreamPolicy,
     /// Ring membership transitions (ejections + readmissions). Each
     /// transition remaps exactly the moving replica's shard.
     pub hash_moves_total: AtomicU64,
@@ -70,6 +192,9 @@ pub struct ReplicaSet {
     pub probes_ok_total: AtomicU64,
     /// Probe failures, for `/metrics`.
     pub probes_failed_total: AtomicU64,
+    /// Pooled keep-alive sockets retired for sitting idle past
+    /// `pool_idle`, for `/metrics`.
+    pub pool_reaped_total: AtomicU64,
 }
 
 /// A checked-out upstream connection. Call [`PooledConn::succeed`] to
@@ -120,13 +245,11 @@ impl ReplicaSet {
     /// first failed observations eject the truly-dead ones within
     /// `fail_after` probes).
     #[must_use]
-    pub fn new(
-        addrs: Vec<String>,
-        pool_cap: usize,
-        fail_after: u32,
-        readmit_after: u32,
-        upstream_timeout: Duration,
-    ) -> ReplicaSet {
+    pub fn new(addrs: Vec<String>, mut policy: UpstreamPolicy) -> ReplicaSet {
+        policy.pool_cap = policy.pool_cap.max(1);
+        policy.fail_after = policy.fail_after.max(1);
+        policy.readmit_after = policy.readmit_after.max(1);
+        policy.breaker_threshold = policy.breaker_threshold.max(1);
         let replicas: Vec<Replica> = addrs
             .iter()
             .map(|addr| Replica {
@@ -142,6 +265,7 @@ impl ReplicaSet {
                     outstanding: 0,
                 }),
                 pool_ready: Condvar::new(),
+                breaker: Mutex::new(Breaker::new()),
             })
             .collect();
         let members: Vec<usize> = (0..replicas.len()).collect();
@@ -150,14 +274,18 @@ impl ReplicaSet {
             replicas,
             labels: addrs,
             ring: Mutex::new(ring),
-            pool_cap: pool_cap.max(1),
-            fail_after: fail_after.max(1),
-            readmit_after: readmit_after.max(1),
-            upstream_timeout,
+            policy,
             hash_moves_total: AtomicU64::new(0),
             probes_ok_total: AtomicU64::new(0),
             probes_failed_total: AtomicU64::new(0),
+            pool_reaped_total: AtomicU64::new(0),
         }
+    }
+
+    /// The policy this set was built with.
+    #[must_use]
+    pub fn policy(&self) -> &UpstreamPolicy {
+        &self.policy
     }
 
     /// Number of configured replicas.
@@ -246,7 +374,7 @@ impl ReplicaSet {
             if ok {
                 h.consecutive_ok += 1;
                 h.consecutive_fail = 0;
-                if !h.up && h.consecutive_ok >= self.readmit_after {
+                if !h.up && h.consecutive_ok >= self.policy.readmit_after {
                     h.up = true;
                     Some(Transition::Readmitted)
                 } else {
@@ -255,7 +383,7 @@ impl ReplicaSet {
             } else {
                 h.consecutive_fail += 1;
                 h.consecutive_ok = 0;
-                if h.up && h.consecutive_fail >= self.fail_after {
+                if h.up && h.consecutive_fail >= self.policy.fail_after {
                     h.up = false;
                     Some(Transition::Ejected)
                 } else {
@@ -293,22 +421,31 @@ impl ReplicaSet {
     pub fn checkout(&self, idx: usize) -> io::Result<PooledConn<'_>> {
         let replica = &self.replicas[idx];
         let mut pool = replica.pool.lock().expect("pool mutex");
+        self.reap_pool(&mut pool);
         loop {
-            if let Some(conn) = pool.idle.pop() {
+            if let Some(idle) = pool.idle.pop() {
                 pool.outstanding += 1;
                 return Ok(PooledConn {
                     set: self,
                     idx,
-                    conn: Some(conn),
+                    conn: Some(idle.conn),
                     reused: true,
                 });
             }
-            if pool.idle.len() + pool.outstanding < self.pool_cap {
+            if pool.idle.len() + pool.outstanding < self.policy.pool_cap {
                 pool.outstanding += 1;
                 drop(pool);
                 // Dial outside the lock; a slow connect must not block
                 // the other slots.
-                return match ClientConn::connect(&replica.addr, self.upstream_timeout) {
+                return match ClientConn::connect_phased(
+                    &replica.addr,
+                    self.policy.upstream_timeout,
+                    PhaseTimeouts {
+                        connect: self.policy.connect_timeout,
+                        first_byte: self.policy.first_byte_timeout,
+                        inter_byte: self.policy.idle_timeout,
+                    },
+                ) {
                     Ok(conn) => Ok(PooledConn {
                         set: self,
                         idx,
@@ -323,10 +460,13 @@ impl ReplicaSet {
             }
             let (guard, timeout) = replica
                 .pool_ready
-                .wait_timeout(pool, self.upstream_timeout)
+                .wait_timeout(pool, self.policy.upstream_timeout)
                 .expect("pool mutex");
             pool = guard;
-            if timeout.timed_out() && pool.idle.is_empty() && pool.outstanding >= self.pool_cap {
+            if timeout.timed_out()
+                && pool.idle.is_empty()
+                && pool.outstanding >= self.policy.pool_cap
+            {
                 return Err(io::Error::new(
                     io::ErrorKind::WouldBlock,
                     format!("connection pool to {} exhausted", replica.addr),
@@ -335,12 +475,46 @@ impl ReplicaSet {
         }
     }
 
+    /// Drop idle entries older than `pool_idle` from a locked pool.
+    fn reap_pool(&self, pool: &mut Pool) {
+        if self.policy.pool_idle.is_zero() {
+            return;
+        }
+        let before = pool.idle.len();
+        let cutoff = self.policy.pool_idle;
+        pool.idle.retain(|e| e.since.elapsed() <= cutoff);
+        let reaped = before - pool.idle.len();
+        if reaped > 0 {
+            self.pool_reaped_total
+                .fetch_add(reaped as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Proactively retire pooled connections idle past `pool_idle`,
+    /// across every replica. The prober calls this each pass so stale
+    /// keep-alives die between requests, not on the next request's
+    /// critical path (the stale-socket redial in the proxy loop only
+    /// covers a reused socket failing before its first byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool mutex is poisoned.
+    pub fn reap_idle(&self) {
+        for r in &self.replicas {
+            let mut pool = r.pool.lock().expect("pool mutex");
+            self.reap_pool(&mut pool);
+        }
+    }
+
     fn checkin(&self, idx: usize, conn: ClientConn) {
         let replica = &self.replicas[idx];
         let mut pool = replica.pool.lock().expect("pool mutex");
         pool.outstanding = pool.outstanding.saturating_sub(1);
-        if pool.idle.len() < self.pool_cap {
-            pool.idle.push(conn);
+        if pool.idle.len() < self.policy.pool_cap {
+            pool.idle.push(IdleConn {
+                conn,
+                since: Instant::now(),
+            });
         }
         drop(pool);
         replica.pool_ready.notify_one();
@@ -363,6 +537,105 @@ impl ReplicaSet {
         for r in &self.replicas {
             r.pool.lock().expect("pool mutex").idle.clear();
         }
+    }
+
+    /// May a request attempt be sent to this replica right now?
+    ///
+    /// Closed always allows. Open allows nothing until the cooldown
+    /// lapses, then transitions to half-open and admits exactly one
+    /// probe request; further attempts fast-fail until that probe's
+    /// outcome is recorded via [`ReplicaSet::breaker_record`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the breaker mutex is poisoned.
+    pub fn breaker_allow(&self, idx: usize) -> bool {
+        let mut b = self.replicas[idx].breaker.lock().expect("breaker mutex");
+        match b.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let cooled = b
+                    .opened_at
+                    .is_none_or(|at| at.elapsed() >= self.policy.breaker_cooldown);
+                if cooled {
+                    b.transition(BreakerState::HalfOpen);
+                    b.probing = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if b.probing {
+                    false
+                } else {
+                    b.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record the transport-level outcome of an attempt admitted by
+    /// [`ReplicaSet::breaker_allow`]. Any answered request (whatever
+    /// its status code) is a transport success.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the breaker mutex is poisoned.
+    pub fn breaker_record(&self, idx: usize, ok: bool) {
+        let mut b = self.replicas[idx].breaker.lock().expect("breaker mutex");
+        b.probing = false;
+        if ok {
+            b.consecutive_fail = 0;
+            if b.state != BreakerState::Closed {
+                b.transition(BreakerState::Closed);
+            }
+            return;
+        }
+        match b.state {
+            // A failed half-open probe reopens immediately.
+            BreakerState::HalfOpen => {
+                b.consecutive_fail = 0;
+                b.transition(BreakerState::Open);
+            }
+            BreakerState::Closed => {
+                b.consecutive_fail += 1;
+                if b.consecutive_fail >= self.policy.breaker_threshold {
+                    b.consecutive_fail = 0;
+                    b.transition(BreakerState::Open);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// The replica's current breaker state (the `/metrics` gauge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the breaker mutex is poisoned.
+    #[must_use]
+    pub fn breaker_state(&self, idx: usize) -> BreakerState {
+        self.replicas[idx]
+            .breaker
+            .lock()
+            .expect("breaker mutex")
+            .state
+    }
+
+    /// Transition counts into (open, half-open, closed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the breaker mutex is poisoned.
+    #[must_use]
+    pub fn breaker_transitions(&self, idx: usize) -> [u64; 3] {
+        self.replicas[idx]
+            .breaker
+            .lock()
+            .expect("breaker mutex")
+            .transitions
     }
 }
 
@@ -432,7 +705,17 @@ mod tests {
 
     fn set(n: usize) -> ReplicaSet {
         let addrs = (0..n).map(|i| format!("127.0.0.1:91{i:02}")).collect();
-        ReplicaSet::new(addrs, 2, 2, 2, Duration::from_millis(100))
+        ReplicaSet::new(
+            addrs,
+            UpstreamPolicy {
+                pool_cap: 2,
+                fail_after: 2,
+                readmit_after: 2,
+                upstream_timeout: Duration::from_millis(100),
+                connect_timeout: Duration::from_millis(100),
+                ..UpstreamPolicy::default()
+            },
+        )
     }
 
     #[test]
@@ -486,6 +769,58 @@ mod tests {
             b.earn();
         }
         assert!((b.tokens() - 2.0).abs() < 1e-9, "bucket must cap at 2");
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_half_open() {
+        let addrs = vec!["127.0.0.1:9150".to_string()];
+        let s = ReplicaSet::new(
+            addrs,
+            UpstreamPolicy {
+                breaker_threshold: 3,
+                breaker_cooldown: Duration::from_millis(20),
+                ..UpstreamPolicy::default()
+            },
+        );
+        assert_eq!(s.breaker_state(0), BreakerState::Closed);
+        for _ in 0..2 {
+            assert!(s.breaker_allow(0));
+            s.breaker_record(0, false);
+        }
+        assert_eq!(s.breaker_state(0), BreakerState::Closed);
+        assert!(s.breaker_allow(0));
+        s.breaker_record(0, false);
+        assert_eq!(s.breaker_state(0), BreakerState::Open);
+        // Open: fast-fail until the cooldown lapses.
+        assert!(!s.breaker_allow(0));
+        std::thread::sleep(Duration::from_millis(25));
+        // One half-open probe only; concurrent attempts fast-fail.
+        assert!(s.breaker_allow(0));
+        assert_eq!(s.breaker_state(0), BreakerState::HalfOpen);
+        assert!(!s.breaker_allow(0), "only one probe may be in flight");
+        // A failed probe reopens…
+        s.breaker_record(0, false);
+        assert_eq!(s.breaker_state(0), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(25));
+        // …a successful one closes.
+        assert!(s.breaker_allow(0));
+        s.breaker_record(0, true);
+        assert_eq!(s.breaker_state(0), BreakerState::Closed);
+        assert!(s.breaker_allow(0));
+        let [open, half, closed] = s.breaker_transitions(0);
+        assert_eq!((open, half, closed), (2, 2, 1));
+    }
+
+    #[test]
+    fn a_success_resets_the_breaker_failure_streak() {
+        let s = set(1);
+        for _ in 0..3 {
+            assert!(s.breaker_allow(0));
+            s.breaker_record(0, false);
+            assert!(s.breaker_allow(0));
+            s.breaker_record(0, true);
+        }
+        assert_eq!(s.breaker_state(0), BreakerState::Closed);
     }
 
     #[test]

@@ -43,12 +43,12 @@ use dsp_backend::Strategy;
 use dsp_driver::json::{self, Value};
 use dsp_driver::{sweep_json_prefix, sweep_json_tail, CacheStats, SpanCtx, Tracer};
 use dsp_serve::client::ClientResponse;
-use dsp_serve::http::{read_request, ChunkedWriter, Request, RequestError, Response};
+use dsp_serve::http::{read_request_deadline, ChunkedWriter, Request, RequestError, Response};
 use dsp_serve::server::parse_sweep_targets;
 use dsp_serve::{BoundedQueue, PushError};
 
 use crate::metrics::RouterMetrics;
-use crate::replica::{ReplicaSet, RetryBudget};
+use crate::replica::{ReplicaSet, RetryBudget, UpstreamPolicy};
 use crate::ring::shard_key;
 
 /// Everything tunable about a router.
@@ -67,9 +67,26 @@ pub struct RouterConfig {
     pub max_body: usize,
     /// Client-side socket read timeout (idle keep-alive lifetime).
     pub read_timeout: Duration,
+    /// Whole-request read budget for *client* requests, from their
+    /// first byte; a trickling client gets 408. `ZERO` disables.
+    pub read_deadline: Duration,
     /// Per-attempt upstream timeout: connect, pool wait, and response
     /// read are each bounded by it.
     pub upstream_timeout: Duration,
+    /// Upstream TCP connect budget (distinct from `upstream_timeout`:
+    /// a dead host should fail in connect time, not request time).
+    pub connect_timeout: Duration,
+    /// Upstream budget from request written to first response byte.
+    pub first_byte_timeout: Duration,
+    /// Longest allowed silent gap between upstream response bytes.
+    pub idle_timeout: Duration,
+    /// Reap pooled upstream connections idle longer than this.
+    pub pool_idle: Duration,
+    /// Consecutive upstream transport errors before that replica's
+    /// circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker waits before its half-open probe.
+    pub breaker_cooldown: Duration,
     /// How often the background prober checks every replica's
     /// `/readyz`.
     pub probe_interval: Duration,
@@ -103,7 +120,14 @@ impl Default for RouterConfig {
             queue_capacity: 64,
             max_body: 1024 * 1024,
             read_timeout: Duration::from_secs(5),
+            read_deadline: Duration::from_secs(15),
             upstream_timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(1),
+            first_byte_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(10),
+            pool_idle: Duration::from_secs(30),
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_secs(1),
             probe_interval: Duration::from_millis(500),
             fail_after: 2,
             readmit_after: 2,
@@ -188,10 +212,18 @@ impl Router {
         };
         let set = ReplicaSet::new(
             config.replicas.clone(),
-            config.pool_per_replica,
-            config.fail_after,
-            config.readmit_after,
-            config.upstream_timeout,
+            UpstreamPolicy {
+                pool_cap: config.pool_per_replica,
+                fail_after: config.fail_after,
+                readmit_after: config.readmit_after,
+                upstream_timeout: config.upstream_timeout,
+                connect_timeout: config.connect_timeout,
+                first_byte_timeout: config.first_byte_timeout,
+                idle_timeout: config.idle_timeout,
+                pool_idle: config.pool_idle,
+                breaker_threshold: config.breaker_threshold,
+                breaker_cooldown: config.breaker_cooldown,
+            },
         );
         let budget = RetryBudget::new(config.retry_budget, config.retry_deposit);
         let queue = BoundedQueue::new(config.queue_capacity);
@@ -307,6 +339,9 @@ fn prober_loop(shared: &Arc<Shared>) {
             }
             shared.set.observe(idx, ok);
         }
+        // Retire keep-alives that idled past --pool-idle-ms between
+        // requests, off the request critical path.
+        shared.set.reap_idle();
         // Sleep in short slices so shutdown is prompt.
         let mut remaining = shared.config.probe_interval;
         while !remaining.is_zero() && !shared.shutdown.load(Ordering::SeqCst) {
@@ -335,9 +370,22 @@ fn probe_once(shared: &Shared, idx: usize, timeout: Duration) -> bool {
 /// Serve one client connection for its keep-alive lifetime.
 fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
     loop {
-        let request = match read_request(stream, shared.config.max_body) {
+        let request = match read_request_deadline(
+            stream,
+            shared.config.max_body,
+            shared.config.read_deadline,
+        ) {
             Ok(r) => r,
             Err(RequestError::Closed | RequestError::TimedOut | RequestError::Io(_)) => return,
+            Err(RequestError::ReadDeadline) => {
+                shared
+                    .metrics
+                    .read_deadline_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ =
+                    Response::error(408, "request read deadline exceeded").write_to(stream, false);
+                return;
+            }
             Err(RequestError::BodyTooLarge { declared, limit }) => {
                 let msg =
                     format!("request body of {declared} bytes exceeds the {limit}-byte limit");
@@ -570,6 +618,21 @@ fn attempt_exchange(
     let t0 = Instant::now();
     let mut span = shared.tracer.span("router.upstream", "router", root);
     span.attr("replica", addr);
+    // The breaker sits under ring health: a replica still in the ring
+    // whose requests are all failing gets fast-failed here without
+    // burning a connect/read timeout per attempt. Denied attempts
+    // record no health observation — no new evidence was gathered.
+    if !shared.set.breaker_allow(idx) {
+        shared
+            .metrics
+            .breaker_fast_fail_total
+            .fetch_add(1, Ordering::Relaxed);
+        span.attr("outcome", "breaker-open");
+        return Attempt::Transport {
+            response_started: false,
+            error: format!("circuit breaker open for {addr}"),
+        };
+    }
     let headers: Vec<(&str, &str)> = req_id.iter().map(|id| ("X-Request-Id", *id)).collect();
     loop {
         let mut pooled = match shared.set.checkout(idx) {
@@ -577,6 +640,7 @@ fn attempt_exchange(
             Err(e) => {
                 shared.metrics.record_upstream(addr, None, t0.elapsed());
                 shared.set.observe(idx, false);
+                shared.set.breaker_record(idx, false);
                 span.attr("outcome", "connect-error");
                 return Attempt::Transport {
                     response_started: false,
@@ -593,6 +657,7 @@ fn attempt_exchange(
                 // Transport-level health: the replica answered, even if
                 // with an error status. Ejection is for dead replicas.
                 shared.set.observe(idx, true);
+                shared.set.breaker_record(idx, true);
                 if let Some(id) = resp.header("x-dsp-replica") {
                     shared.set.set_announced_id(idx, id);
                 }
@@ -609,6 +674,7 @@ fn attempt_exchange(
             Err(e) => {
                 shared.metrics.record_upstream(addr, None, t0.elapsed());
                 shared.set.observe(idx, false);
+                shared.set.breaker_record(idx, false);
                 span.attr(
                     "outcome",
                     if e.response_started {

@@ -13,14 +13,20 @@
 //! dsp-serve-load --spawn --connections 4 --requests 250
 //! dsp-serve-load --addr 127.0.0.1:8230 --endpoint healthz
 //! dsp-serve-load --spawn --mixed --requests 25 --sweep-requests 2
+//! dsp-serve-load --spawn --chaos reset,trickle,truncate --chaos-seed 7
 //! ```
+//!
+//! With `--chaos`, each named scenario gets a fresh in-process
+//! `dsp-chaos` proxy between the load connections and the spawned
+//! server, and the run fails unless every observed transport error
+//! falls in that scenario's expected fault classes.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dsp_serve::client::ClientConn;
+use dsp_serve::client::{classify_error, ClientConn};
 use dsp_serve::{Server, ServerConfig};
 use dsp_trace::Histogram;
 
@@ -51,6 +57,13 @@ OPTIONS:
                     responses whose jobs[] arrays differ
   --sweep-requests N  (--mixed) total sweeps to issue (default 2)
   --bench B         (--mixed) benchmark for sweep bodies (default all)
+  --chaos S1,S2     (--spawn only) run a fault-injection matrix: for
+                    each scenario, front the spawned server with a
+                    seeded dsp-chaos proxy and drive the compile and
+                    sweep endpoints through it; fail on any fault
+                    class the scenario does not predict
+  --chaos-seed N    chaos schedule seed (default 1); the same seed
+                    replays the same per-connection fault sequence
 ";
 
 /// A small but real kernel: every request compiles + simulates this
@@ -80,6 +93,8 @@ struct Args {
     mixed: bool,
     sweep_requests: usize,
     bench: String,
+    chaos: Vec<String>,
+    chaos_seed: u64,
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -125,6 +140,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         mixed: argv.iter().any(|a| a == "--mixed"),
         sweep_requests: count("--sweep-requests", 2)?,
         bench: flag_value(argv, "--bench").unwrap_or_else(|| "all".to_string()),
+        chaos: flag_value(argv, "--chaos")
+            .map(|list| {
+                list.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default(),
+        chaos_seed: match flag_value(argv, "--chaos-seed") {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--chaos-seed expects a number, got `{v}`"))?,
+            None => 1,
+        },
     };
     let modes = usize::from(args.spawn)
         + usize::from(args.addr.is_some())
@@ -139,6 +169,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ));
     }
     dsp_backend::Strategy::parse(&args.strategy)?;
+    if !args.chaos.is_empty() {
+        if !args.spawn {
+            return Err("--chaos requires --spawn".to_string());
+        }
+        if args.mixed || args.corpus.is_some() {
+            return Err("--chaos is mutually exclusive with --mixed and --corpus".to_string());
+        }
+        for name in &args.chaos {
+            if dsp_chaos::Scenario::parse(name).is_none() {
+                return Err(format!(
+                    "--chaos: unknown scenario `{name}` (known: {})",
+                    dsp_chaos::SCENARIOS
+                        .iter()
+                        .map(|s| s.label())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+    }
     if args.corpus.is_some() {
         if args.source.is_some() {
             return Err("--corpus and --source are mutually exclusive".to_string());
@@ -168,6 +218,9 @@ fn main() -> ExitCode {
 #[allow(clippy::too_many_lines)]
 fn run(argv: &[String]) -> Result<(), String> {
     let args = parse_args(argv)?;
+    if !args.chaos.is_empty() {
+        return run_chaos_matrix(&args);
+    }
 
     // Optionally host the target ourselves. `targets` holds one or
     // more addresses; connection i talks to targets[i % len] for its
@@ -352,8 +405,9 @@ fn run(argv: &[String]) -> Result<(), String> {
                             }
                         }
                     }
-                    Err(_) => {
+                    Err(e) => {
                         stats.dropped += 1;
+                        *stats.classes.entry(classify_error(&e).label()).or_insert(0) += 1;
                         if let Some(slot) = slot {
                             slot.failed.fetch_add(1, Ordering::Relaxed);
                         }
@@ -409,8 +463,10 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
     }
     println!(
-        "dropped connections: {} · connect failures: {}",
-        all.dropped, all.connect_failures
+        "dropped connections: {}{} · connect failures: {}",
+        all.dropped,
+        format_classes(&all.classes),
+        all.connect_failures
     );
 
     // Percentiles come from the histogram buckets (each is the upper
@@ -485,6 +541,253 @@ fn run(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The fault classes a scenario may legitimately surface at the
+/// client. `corrupt` (and therefore `mixed`) can land anywhere — a
+/// flipped byte may break the head, the chunk framing, or nothing at
+/// all — so they allow every class; `clean`, `delay`, and `trickle`
+/// must complete with no transport error at all.
+fn allowed_classes(scenario: dsp_chaos::Scenario) -> &'static [&'static str] {
+    match scenario.label() {
+        "clean" | "delay" | "trickle" => &[],
+        "refuse-connect" | "reset" => &["reset"],
+        // A truncated head reads as a reset; a truncated body or chunk
+        // is the distinguishable short-body class.
+        "truncate" => &["reset", "short-body"],
+        // The blackhole either outlasts the client read timeout or
+        // closes first, which reads as a reset.
+        "blackhole" => &["reset", "timeout"],
+        _ => &["other", "reset", "short-body", "timeout"],
+    }
+}
+
+/// `--chaos`: spawn the server once, then run each scenario behind its
+/// own freshly seeded proxy and hold every observed transport error to
+/// the scenario's expected fault classes.
+fn run_chaos_matrix(args: &Args) -> Result<(), String> {
+    let server = Server::bind(ServerConfig {
+        workers: args.workers,
+        jobs: args.jobs,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("cannot bind server: {e}"))?;
+    let upstream = server.local_addr().to_string();
+    let server_handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let source = match &args.source {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+        }
+        None => DEFAULT_SOURCE.to_string(),
+    };
+    let compile_body = format!(
+        "{{\"source\": {}, \"strategy\": {}}}",
+        dsp_driver::json::escape(&source),
+        dsp_driver::json::escape(&args.strategy)
+    );
+    let sweep_body = format!("{{\"source\": {}}}", dsp_driver::json::escape(&source));
+
+    println!(
+        "chaos matrix · upstream {upstream} · seed {} · {} connections × {} compile requests + 1 sweep per scenario",
+        args.chaos_seed, args.connections, args.requests
+    );
+
+    let mut failures = Vec::new();
+    for name in &args.chaos {
+        let scenario = dsp_chaos::Scenario::parse(name).expect("validated by parse_args");
+        if let Err(e) = run_chaos_scenario(args, scenario, &upstream, &compile_body, &sweep_body) {
+            failures.push(format!("{name}: {e}"));
+        }
+    }
+
+    server_handle.shutdown();
+    server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| format!("server failed: {e}"))?;
+
+    if failures.is_empty() {
+        println!("\nchaos matrix passed · {} scenario(s)", args.chaos.len());
+        Ok(())
+    } else {
+        Err(format!("chaos matrix failed:\n  {}", failures.join("\n  ")))
+    }
+}
+
+/// One matrix cell set: compile connections plus one sweep, all routed
+/// through a proxy injecting `scenario` faults on every connection.
+#[allow(clippy::too_many_lines)]
+fn run_chaos_scenario(
+    args: &Args,
+    scenario: dsp_chaos::Scenario,
+    upstream: &str,
+    compile_body: &str,
+    sweep_body: &str,
+) -> Result<(), String> {
+    let proxy = dsp_chaos::ChaosProxy::bind(dsp_chaos::ChaosConfig {
+        listen: "127.0.0.1:0".to_string(),
+        upstream: upstream.to_string(),
+        admin: None,
+        schedule: dsp_chaos::Schedule::new(scenario, args.chaos_seed, 100),
+    })
+    .map_err(|e| format!("cannot bind chaos proxy: {e}"))?;
+    let target = proxy.local_addr().to_string();
+    let handle = proxy.handle();
+    let proxy_thread = std::thread::spawn(move || proxy.run());
+
+    // Blackhole holds a connection for up to ~1.5 s before closing, so
+    // a 5 s client timeout outlasts every injected delay while keeping
+    // a wedged scenario from stalling the whole matrix.
+    let timeout = Duration::from_secs(5);
+    let mut threads = Vec::new();
+    for _ in 0..args.connections {
+        let target = target.clone();
+        let body = compile_body.to_string();
+        let requests = args.requests;
+        threads.push(std::thread::spawn(move || -> ConnStats {
+            let mut stats = ConnStats::default();
+            let mut conn: Option<ClientConn> = None;
+            for _ in 0..requests {
+                if conn.is_none() {
+                    match ClientConn::connect(&target, timeout) {
+                        Ok(c) => conn = Some(c),
+                        Err(e) => {
+                            stats.connect_failures += 1;
+                            *stats.classes.entry(classify_error(&e).label()).or_insert(0) += 1;
+                            continue;
+                        }
+                    }
+                }
+                let c = conn.as_mut().expect("connected above");
+                match c.request("POST", "/compile", Some(&body)) {
+                    Ok(resp) => {
+                        *stats.statuses.entry(resp.status).or_insert(0) += 1;
+                    }
+                    Err(e) => {
+                        stats.dropped += 1;
+                        *stats.classes.entry(classify_error(&e).label()).or_insert(0) += 1;
+                        // The fault consumed this connection; the next
+                        // request dials a fresh one (a fresh schedule
+                        // index, so possibly different parameters).
+                        conn = None;
+                    }
+                }
+            }
+            stats
+        }));
+    }
+    // One sweep rides along with a longer timeout: a trickled sweep
+    // document is much larger than a compile response and must still
+    // count as "completed slowly", not as a timeout.
+    let sweep_thread = {
+        let target = target.clone();
+        let body = sweep_body.to_string();
+        std::thread::spawn(move || -> (ConnStats, Option<String>) {
+            let mut stats = ConnStats::default();
+            match ClientConn::connect(&target, Duration::from_secs(20)) {
+                Ok(mut conn) => match conn.request("POST", "/sweep", Some(&body)) {
+                    Ok(resp) => {
+                        *stats.statuses.entry(resp.status).or_insert(0) += 1;
+                        (stats, Some(resp.text()))
+                    }
+                    Err(e) => {
+                        stats.dropped += 1;
+                        *stats.classes.entry(classify_error(&e).label()).or_insert(0) += 1;
+                        (stats, None)
+                    }
+                },
+                Err(e) => {
+                    stats.connect_failures += 1;
+                    *stats.classes.entry(classify_error(&e).label()).or_insert(0) += 1;
+                    (stats, None)
+                }
+            }
+        })
+    };
+
+    let mut all = ConnStats::default();
+    for t in threads {
+        all.merge(
+            t.join()
+                .map_err(|_| "chaos load thread panicked".to_string())?,
+        );
+    }
+    let (sweep_stats, sweep_doc) = sweep_thread
+        .join()
+        .map_err(|_| "chaos sweep thread panicked".to_string())?;
+    all.merge(sweep_stats);
+
+    handle.shutdown();
+    let _ = proxy_thread.join();
+
+    let counters = handle.counters();
+    let injected = counters.faults_injected();
+    let per_kind: Vec<String> = dsp_chaos::FAULT_KINDS
+        .iter()
+        .zip(counters.faults.iter())
+        .skip(1)
+        .filter_map(|(kind, n)| {
+            let n = n.load(Ordering::Relaxed);
+            (n > 0).then(|| format!("{kind} {n}"))
+        })
+        .collect();
+    let ok = all.statuses.get(&200).copied().unwrap_or(0);
+    let total: u64 = all.statuses.values().sum();
+    println!(
+        "\nscenario {}: {total} responses · {ok} × 200 · dropped {}{} · connect failures {}",
+        scenario.label(),
+        all.dropped,
+        format_classes(&all.classes),
+        all.connect_failures
+    );
+    println!(
+        "  faults injected {injected}{} · forwarded {} bytes",
+        if per_kind.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", per_kind.join(" · "))
+        },
+        counters.forwarded_bytes.load(Ordering::Relaxed)
+    );
+
+    // The verdict. Every observed fault class must be in the
+    // scenario's contract, and the proxy must actually have injected
+    // faults (or provably stayed out of the way, for `clean`).
+    let allowed = allowed_classes(scenario);
+    let unexpected: Vec<&str> = all
+        .classes
+        .keys()
+        .filter(|k| !allowed.contains(*k))
+        .copied()
+        .collect();
+    if !unexpected.is_empty() {
+        return Err(format!(
+            "unexpected fault class(es) {unexpected:?} (allowed: {allowed:?})"
+        ));
+    }
+    if scenario.label() == "clean" {
+        if injected != 0 {
+            return Err(format!("clean scenario injected {injected} fault(s)"));
+        }
+    } else if injected == 0 {
+        return Err("no faults injected (schedule never fired)".to_string());
+    }
+    if allowed.is_empty() {
+        // Benign scenarios must complete every request, and the sweep
+        // must come back whole — slowly is fine, truncated is not.
+        let expected = (args.connections * args.requests) as u64;
+        if ok < expected {
+            return Err(format!("{ok} of {expected} compile requests returned 200"));
+        }
+        match &sweep_doc {
+            Some(doc) if doc.contains("\"truncated\": false") => {}
+            Some(_) => return Err("sweep response was truncated".to_string()),
+            None => return Err("sweep through a benign scenario failed".to_string()),
+        }
+    }
+    Ok(())
+}
+
 /// Mixed-mode verdict: every sweep answered 200, streamed in more than
 /// one chunk, finished untruncated, and carried a `jobs[]` array whose
 /// deterministic fields are identical to every other sweep's.
@@ -547,8 +850,21 @@ struct ProgramSlot {
 #[derive(Default)]
 struct ConnStats {
     statuses: std::collections::BTreeMap<u16, u64>,
+    /// Transport errors split by [`dsp_serve::client::FaultClass`]
+    /// label (`reset` / `timeout` / `short-body` / `other`).
+    classes: std::collections::BTreeMap<&'static str, u64>,
     dropped: u64,
     connect_failures: u64,
+}
+
+/// ` (reset 3 · timeout 1)` — or the empty string when no transport
+/// error was recorded.
+fn format_classes(classes: &std::collections::BTreeMap<&'static str, u64>) -> String {
+    if classes.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = classes.iter().map(|(k, n)| format!("{k} {n}")).collect();
+    format!(" ({})", parts.join(" · "))
 }
 
 struct SweepStats {
@@ -573,6 +889,9 @@ impl ConnStats {
     fn merge(&mut self, other: ConnStats) {
         for (status, n) in other.statuses {
             *self.statuses.entry(status).or_insert(0) += n;
+        }
+        for (class, n) in other.classes {
+            *self.classes.entry(class).or_insert(0) += n;
         }
         self.dropped += other.dropped;
         self.connect_failures += other.connect_failures;

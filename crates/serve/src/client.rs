@@ -4,7 +4,74 @@
 
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Per-phase timeouts for a phased connection ([`ClientConn::connect_phased`]):
+/// each network phase gets its own budget, *distinct from* the caller's
+/// whole-request deadline. A slow-loris upstream that trickles one byte
+/// per second defeats a plain socket read timeout (every read makes
+/// progress); phased reads also enforce the overall deadline across
+/// reads, so the exchange is bounded no matter how the bytes arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTimeouts {
+    /// TCP connect budget.
+    pub connect: Duration,
+    /// From request written until the first response byte.
+    pub first_byte: Duration,
+    /// Longest allowed gap between response bytes after the first.
+    pub inter_byte: Duration,
+}
+
+/// Coarse classes for transport failures, used by the load generator
+/// to split its error summary per fault kind and assert which classes
+/// a chaos scenario may legally produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// Peer reset, aborted, or closed before a response head.
+    Reset,
+    /// A read or connect timed out (including phased deadlines).
+    Timeout,
+    /// The body or chunk stream ended short of its framing.
+    ShortBody,
+    /// Anything else (malformed head, corrupted framing, ...).
+    Other,
+}
+
+impl FaultClass {
+    /// Stable lowercase label for summaries and metrics.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultClass::Reset => "reset",
+            FaultClass::Timeout => "timeout",
+            FaultClass::ShortBody => "short-body",
+            FaultClass::Other => "other",
+        }
+    }
+}
+
+/// Classify a transport error from [`ClientConn`] into a [`FaultClass`].
+#[must_use]
+pub fn classify_error(e: &io::Error) -> FaultClass {
+    match e.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => FaultClass::Timeout,
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::ConnectionRefused
+        | io::ErrorKind::BrokenPipe => FaultClass::Reset,
+        io::ErrorKind::UnexpectedEof => {
+            let msg = e.to_string();
+            if msg.contains("mid-body") || msg.contains("mid-chunk") {
+                FaultClass::ShortBody
+            } else {
+                // EOF before the response head: indistinguishable from
+                // a polite reset at this layer.
+                FaultClass::Reset
+            }
+        }
+        _ => FaultClass::Other,
+    }
+}
 
 /// One parsed response.
 #[derive(Debug)]
@@ -64,6 +131,15 @@ impl std::fmt::Display for ExchangeError {
 /// A persistent connection to one server.
 pub struct ClientConn {
     stream: TcpStream,
+    /// Per-phase budgets; `None` keeps the legacy single-read-timeout
+    /// behavior of [`ClientConn::connect`].
+    phase: Option<PhaseTimeouts>,
+    /// Whole-response budget enforced across reads in phased mode.
+    overall: Duration,
+    /// Deadline of the response currently being read (phased mode).
+    deadline: Option<Instant>,
+    /// Whether the current response has produced its first byte.
+    got_byte: bool,
 }
 
 impl ClientConn {
@@ -77,7 +153,87 @@ impl ClientConn {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(read_timeout))?;
         stream.set_nodelay(true)?;
-        Ok(ClientConn { stream })
+        Ok(ClientConn {
+            stream,
+            phase: None,
+            overall: read_timeout,
+            deadline: None,
+            got_byte: false,
+        })
+    }
+
+    /// Connect with per-phase timeouts: `phase.connect` bounds the TCP
+    /// dial, and every response read is capped by the matching phase
+    /// budget (`first_byte` / `inter_byte`) *and* by `overall`, the
+    /// whole-response deadline measured from when the response read
+    /// starts. A trickling upstream that keeps each gap short still
+    /// cannot stretch one exchange past `overall`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures; all resolved addresses are tried.
+    pub fn connect_phased<A: ToSocketAddrs>(
+        addr: A,
+        overall: Duration,
+        phase: PhaseTimeouts,
+    ) -> io::Result<ClientConn> {
+        let mut last = io::Error::new(io::ErrorKind::NotFound, "address did not resolve");
+        let mut found = None;
+        for sa in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sa, phase.connect) {
+                Ok(s) => {
+                    found = Some(s);
+                    break;
+                }
+                Err(e) => last = e,
+            }
+        }
+        let Some(stream) = found else {
+            return Err(last);
+        };
+        stream.set_read_timeout(Some(phase.first_byte.min(overall)))?;
+        stream.set_nodelay(true)?;
+        Ok(ClientConn {
+            stream,
+            phase: Some(phase),
+            overall,
+            deadline: None,
+            got_byte: false,
+        })
+    }
+
+    /// One bounded read: in phased mode, pick the socket timeout from
+    /// the current phase (first-byte vs inter-byte) clamped to what is
+    /// left of the whole-response deadline.
+    fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(phase) = self.phase {
+            let cap = if self.got_byte {
+                phase.inter_byte
+            } else {
+                phase.first_byte
+            };
+            let timeout = match self.deadline {
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "whole-response deadline exceeded",
+                        ));
+                    }
+                    cap.min(left)
+                }
+                None => cap,
+            };
+            let _ = self
+                .stream
+                .set_read_timeout(Some(timeout.max(Duration::from_millis(1))));
+        }
+        let n = self.stream.read(buf)?;
+        if n > 0 {
+            self.got_byte = true;
+        }
+        Ok(n)
     }
 
     /// Send one request and read the response. `body = None` sends no
@@ -176,13 +332,15 @@ impl ClientConn {
     /// as soon as the first response byte arrives. Only the head loop
     /// needs the flag: the body/chunk readers run strictly after it.
     fn read_response_flagged(&mut self, started: &mut bool) -> io::Result<ClientResponse> {
+        self.got_byte = false;
+        self.deadline = self.phase.map(|_| Instant::now() + self.overall);
         let mut buf = Vec::with_capacity(1024);
         let mut chunk = [0u8; 4096];
         let header_end = loop {
             if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
                 break pos;
             }
-            let n = self.stream.read(&mut chunk)?;
+            let n = self.read_some(&mut chunk)?;
             if n == 0 {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -226,7 +384,7 @@ impl ClientConn {
             .unwrap_or(0);
         let mut body = rest;
         while body.len() < content_length {
-            let n = self.stream.read(&mut chunk)?;
+            let n = self.read_some(&mut chunk)?;
             if n == 0 {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -261,7 +419,7 @@ impl ClientConn {
             let needed = line_end + 2 + size + 2;
             let mut chunk = [0u8; 4096];
             while rest.len() < needed {
-                let n = self.stream.read(&mut chunk)?;
+                let n = self.read_some(&mut chunk)?;
                 if n == 0 {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
@@ -288,7 +446,7 @@ impl ClientConn {
             if let Some(pos) = rest.windows(2).position(|w| w == b"\r\n") {
                 return Ok(pos);
             }
-            let n = self.stream.read(&mut chunk)?;
+            let n = self.read_some(&mut chunk)?;
             if n == 0 {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,

@@ -10,6 +10,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Cap on the request line + headers (pre-body) in bytes.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -67,6 +68,9 @@ pub enum RequestError {
     Closed,
     /// The socket read timed out mid-request or while idle.
     TimedOut,
+    /// The whole-request read deadline lapsed: the peer kept the
+    /// request alive by trickling bytes but never finished it → 408.
+    ReadDeadline,
     /// Declared `Content-Length` exceeds the server's limit → 413.
     BodyTooLarge {
         /// Declared length.
@@ -96,6 +100,61 @@ impl From<io::Error> for RequestError {
 ///
 /// See [`RequestError`]; `Closed` is the clean keep-alive ending.
 pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
+    read_request_deadline(stream, max_body, Duration::ZERO)
+}
+
+/// One socket read bounded by the whole-request deadline: the per-read
+/// timeout is the smaller of the connection's idle timeout and what is
+/// left of the deadline, so a client trickling one byte per idle
+/// interval still cannot stretch a single request past `deadline`.
+fn bounded_read(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    deadline: Option<Instant>,
+    idle: Option<Duration>,
+) -> Result<usize, RequestError> {
+    if let Some(d) = deadline {
+        let left = d.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(RequestError::ReadDeadline);
+        }
+        let cap = match idle {
+            Some(i) => i.min(left),
+            None => left,
+        };
+        let _ = stream.set_read_timeout(Some(cap.max(Duration::from_millis(1))));
+    }
+    match stream.read(chunk) {
+        Ok(n) => Ok(n),
+        Err(e) => {
+            let mapped = RequestError::from(e);
+            if matches!(mapped, RequestError::TimedOut) {
+                if let Some(d) = deadline {
+                    if Instant::now() + Duration::from_millis(1) >= d {
+                        return Err(RequestError::ReadDeadline);
+                    }
+                }
+            }
+            Err(mapped)
+        }
+    }
+}
+
+/// Like [`read_request`], but additionally enforces `read_deadline` as
+/// a whole-request budget measured from the first request byte (the
+/// keep-alive *idle* wait stays governed by the socket read timeout
+/// alone). `Duration::ZERO` disables the deadline.
+///
+/// # Errors
+///
+/// See [`RequestError`]; a lapsed budget is `ReadDeadline` → 408.
+pub fn read_request_deadline(
+    stream: &mut TcpStream,
+    max_body: usize,
+    read_deadline: Duration,
+) -> Result<Request, RequestError> {
+    let idle = stream.read_timeout().ok().flatten();
+    let mut deadline: Option<Instant> = None;
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     // Read until the blank line ending the header block.
@@ -106,7 +165,12 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         if buf.len() > MAX_HEADER_BYTES {
             return Err(RequestError::Malformed("header block too large"));
         }
-        let n = stream.read(&mut chunk)?;
+        let n = bounded_read(stream, &mut chunk, deadline, idle)?;
+        if n > 0 && deadline.is_none() && !read_deadline.is_zero() {
+            // The clock starts at the first request byte, not at
+            // accept time: idle keep-alive connections are cheap.
+            deadline = Some(Instant::now() + read_deadline);
+        }
         if n == 0 {
             return if buf.is_empty() {
                 Err(RequestError::Closed)
@@ -172,7 +236,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         return Err(RequestError::Malformed("body longer than Content-Length"));
     }
     while body.len() < content_length {
-        let n = stream.read(&mut chunk)?;
+        let n = bounded_read(stream, &mut chunk, deadline, idle)?;
         if n == 0 {
             return Err(RequestError::Malformed("connection closed mid-body"));
         }
@@ -180,6 +244,10 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         if body.len() > content_length {
             return Err(RequestError::Malformed("body longer than Content-Length"));
         }
+    }
+    if deadline.is_some() {
+        // Give the next keep-alive request a fresh idle timeout.
+        let _ = stream.set_read_timeout(idle);
     }
     Ok(Request { body, ..request })
 }

@@ -90,6 +90,9 @@ pub struct Metrics {
     /// Streamed sweeps cut short by their deadline after the first
     /// result was already on the wire (`"truncated": true` tail).
     pub truncations_total: AtomicU64,
+    /// Requests aborted because their bytes trickled in past the
+    /// whole-request read deadline (answered 408).
+    pub read_deadline_total: AtomicU64,
     /// Workers currently handling a connection.
     pub workers_busy: AtomicUsize,
     /// The server's shared tracer — source of the latency histogram
@@ -112,6 +115,7 @@ impl Metrics {
             rejected_total: AtomicU64::new(0),
             timeouts_total: AtomicU64::new(0),
             truncations_total: AtomicU64::new(0),
+            read_deadline_total: AtomicU64::new(0),
             workers_busy: AtomicUsize::new(0),
             tracer,
         }
@@ -290,6 +294,16 @@ impl Metrics {
             out,
             "dsp_serve_sweep_truncated_total {}",
             self.truncations_total.load(Ordering::Relaxed)
+        );
+        counter_head(
+            &mut out,
+            "dsp_serve_read_deadline_total",
+            "Requests whose bytes trickled past the read deadline (408).",
+        );
+        let _ = writeln!(
+            out,
+            "dsp_serve_read_deadline_total {}",
+            self.read_deadline_total.load(Ordering::Relaxed)
         );
 
         counter_head(
@@ -617,6 +631,7 @@ mod tests {
             "dsp_serve_rejected_total 2",
             "dsp_serve_deadline_timeouts_total 0",
             "dsp_serve_sweep_truncated_total 0",
+            "dsp_serve_read_deadline_total 0",
             "dsp_serve_requests_total{endpoint=\"compile\",status=\"200\"} 1",
             "dsp_serve_request_duration_seconds_bucket{endpoint=\"compile\",le=\"+Inf\"} 1",
             "dsp_serve_cache_hits_total{layer=\"prepared\"} 0",

@@ -54,7 +54,7 @@ use dsp_driver::{
 };
 use dsp_workloads::{Benchmark, Kind};
 
-use crate::http::{read_request, ChunkedWriter, Request, RequestError, Response};
+use crate::http::{read_request_deadline, ChunkedWriter, Request, RequestError, Response};
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
 
@@ -98,6 +98,11 @@ pub struct ServerConfig {
     /// Socket read timeout — also the idle keep-alive lifetime, so a
     /// silent client cannot pin a worker.
     pub read_timeout: Duration,
+    /// Whole-request read budget, measured from the first request
+    /// byte: a client trickling bytes (each gap shorter than
+    /// `read_timeout`) still cannot pin a worker past this. Exceeding
+    /// it answers 408 and closes. `ZERO` disables.
+    pub read_deadline: Duration,
     /// Whether to record spans and latency histograms (request IDs,
     /// `/debug/trace`, the `dsp_serve_*_seconds` metric families).
     /// Disabling reduces the server to the exact pre-tracing hot path.
@@ -131,6 +136,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             cache_disk_max_bytes: None,
             read_timeout: Duration::from_secs(5),
+            read_deadline: Duration::from_secs(15),
             trace: true,
             replica_id: None,
             drain_grace: Duration::ZERO,
@@ -336,9 +342,22 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// peer input: every parse failure maps to a 4xx and a close.
 fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
     loop {
-        let request = match read_request(stream, shared.config.max_body) {
+        let request = match read_request_deadline(
+            stream,
+            shared.config.max_body,
+            shared.config.read_deadline,
+        ) {
             Ok(r) => r,
             Err(RequestError::Closed | RequestError::TimedOut | RequestError::Io(_)) => return,
+            Err(RequestError::ReadDeadline) => {
+                shared
+                    .metrics
+                    .read_deadline_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ =
+                    Response::error(408, "request read deadline exceeded").write_to(stream, false);
+                return;
+            }
             Err(RequestError::BodyTooLarge { declared, limit }) => {
                 let msg =
                     format!("request body of {declared} bytes exceeds the {limit}-byte limit");

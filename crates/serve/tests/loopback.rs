@@ -401,6 +401,149 @@ fn interactive_compile_overtakes_an_in_flight_sweep() {
 }
 
 #[test]
+fn client_disconnect_mid_sweep_cancels_queued_cells_and_frees_the_worker() {
+    use std::io::{Read, Write};
+
+    // One executor thread and a 23-cell sweep: dropping the client
+    // mid-stream must cancel the still-queued cells (the peer is gone;
+    // computing for it is waste) and hand the connection worker back.
+    let server = TestServer::start(ServerConfig {
+        workers: 2,
+        jobs: 1,
+        queue_capacity: 8,
+        deadline: Duration::from_secs(120),
+        read_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    });
+    let body = "{\"bench\": \"all\", \"strategies\": [\"base\"]}";
+    let mut victim = TcpStream::connect(server.addr).expect("connect");
+    let raw = format!(
+        "POST /sweep HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    victim.write_all(raw.as_bytes()).expect("send sweep");
+    // Wait for the response head, so the sweep is provably streaming,
+    // then vanish without a goodbye. The unread tail makes the close
+    // a hard reset, which the server sees on its next chunk write.
+    victim
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let mut first = [0u8; 64];
+    let n = victim.read(&mut first).expect("first response bytes");
+    assert!(n > 0, "sweep never started streaming");
+    drop(victim);
+
+    fn metric(text: &str, name: &str) -> Option<u64> {
+        let head = format!("{name} ");
+        text.lines()
+            .find_map(|l| l.strip_prefix(&head))
+            .and_then(|v| v.trim().parse().ok())
+    }
+    let mut conn = server.connect();
+    let (mut cancelled, mut busy) = (0, u64::MAX);
+    for _ in 0..300 {
+        let text = conn
+            .request("GET", "/metrics", None)
+            .expect("metrics")
+            .text();
+        cancelled = metric(&text, "dsp_serve_exec_cancelled_total").expect("cancelled counter");
+        busy = metric(&text, "dsp_serve_exec_busy").expect("busy gauge");
+        if cancelled > 0 && busy == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    assert!(
+        cancelled > 0,
+        "disconnect must cancel still-queued sweep cells, got {cancelled}"
+    );
+    assert_eq!(
+        busy, 0,
+        "the executor must go idle after the client vanishes"
+    );
+
+    // The connection worker is back in the pool: fresh work completes.
+    let resp = server
+        .connect()
+        .request("POST", "/compile", Some(&compile_body(FIR_SRC, "cb")))
+        .expect("request after disconnect");
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    server.stop();
+}
+
+#[test]
+fn trickled_request_bytes_hit_the_read_deadline_with_a_408() {
+    use std::io::{Read, Write};
+
+    // One byte per 100 ms defeats any per-read idle timeout (2 s here)
+    // because every read makes progress; only the whole-request read
+    // deadline can unpin the worker. This is the request-side twin of
+    // the upstream trickle defense in the router's client.
+    let server = TestServer::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        read_timeout: Duration::from_secs(2),
+        read_deadline: Duration::from_millis(600),
+        ..ServerConfig::default()
+    });
+    let slow = TcpStream::connect(server.addr).expect("connect");
+    let mut reader = slow.try_clone().expect("clone");
+    reader
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+
+    let started = std::time::Instant::now();
+    let writer = std::thread::spawn(move || {
+        let mut slow = slow;
+        if slow
+            .write_all(b"POST /compile HTTP/1.1\r\nContent-Length: 1000\r\n\r\n")
+            .is_err()
+        {
+            return;
+        }
+        // Trickle body bytes until the server hangs up on us.
+        while slow.write_all(b"x").is_ok() {
+            std::thread::sleep(Duration::from_millis(100));
+            if started.elapsed() > Duration::from_secs(30) {
+                return; // the assert below reports the failure
+            }
+        }
+    });
+    // Read concurrently so the 408 is captured before the reset that
+    // follows the server's close can discard it.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match reader.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    writer.join().expect("writer thread");
+    let text = String::from_utf8_lossy(&buf);
+    assert!(
+        text.starts_with("HTTP/1.1 408"),
+        "expected a 408 read-deadline response, got: {text:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "the 408 must arrive on the deadline, not the fuel of patience"
+    );
+
+    let metrics = server
+        .connect()
+        .request("GET", "/metrics", None)
+        .expect("metrics")
+        .text();
+    assert!(
+        metrics.contains("dsp_serve_read_deadline_total 1"),
+        "{metrics}"
+    );
+    server.stop();
+}
+
+#[test]
 fn full_queue_answers_503_with_retry_after() {
     // 1 worker, queue of 1: the worker is pinned by one idle
     // connection, a second idles in the queue, so a third must be

@@ -128,6 +128,85 @@ kill $RA_PID $RT_PID 2>/dev/null || true
 wait "$RA_PID" "$RT_PID" 2>/dev/null || true
 RA_PID=""; RB_PID=""; RT_PID=""
 
+echo "== chaos fault-injection smoke test =="
+# Two replicas, replica B reachable only through a fixed-seed dsp-chaos
+# proxy. Trickle (benign): the routed sweep must still complete and
+# reduce to the byte-identical deterministic report. Reset
+# (destructive): retries + breaker must ride every cell out to the
+# clean replica — same byte-identical bar. Every request runs under a
+# hard `timeout` so a wedged worker fails the gate instead of hanging
+# it, and the proxy's own /metrics must show the faults were real.
+CHAOS_DIR=$(mktemp -d)
+CA_PID=""; CB_PID=""; CX1_PID=""; CX2_PID=""; CR1_PID=""; CR2_PID=""
+chaos_pids() { echo "$CA_PID $CB_PID $CX1_PID $CX2_PID $CR1_PID $CR2_PID ${CHAOS_PID:-} ${ROUTER_PID:-}"; }
+trap 'kill $(chaos_pids) 2>/dev/null || true; rm -rf "$CACHE_DIR" "$RDIR" "$CHAOS_DIR"' EXIT
+./target/release/dualbank serve --addr 127.0.0.1:0 --jobs 1 --workers 6 \
+  --replica-id ca >"$CHAOS_DIR/ca.log" 2>&1 & CA_PID=$!
+./target/release/dualbank serve --addr 127.0.0.1:0 --jobs 1 --workers 6 \
+  --replica-id cb >"$CHAOS_DIR/cb.log" 2>&1 & CB_PID=$!
+CA_ADDR=$(node_addr "$CHAOS_DIR/ca.log")
+CB_ADDR=$(node_addr "$CHAOS_DIR/cb.log")
+chaos_admin_addr() { # the proxy's second banner line
+  for _ in $(seq 100); do
+    local a
+    a=$(sed -n 's#^dsp-chaos admin on http://##p' "$1" | head -n1)
+    if [ -n "$a" ]; then echo "$a"; return 0; fi
+    sleep 0.1
+  done
+  echo "FAIL: no admin banner in $1" >&2; cat "$1" >&2; return 1
+}
+run_chaos_scenario() { # $1 scenario  $2 chaos log  $3 router log  $4 out.json
+  local scen=$1 clog=$2 rlog=$3 out=$4
+  ./target/release/dsp-chaos --listen 127.0.0.1:0 --admin 127.0.0.1:0 \
+    --upstream "$CB_ADDR" --scenario "$scen" --seed 7 --fault-pct 100 \
+    >"$clog" 2>&1 & CHAOS_PID=$!
+  local cx_addr cx_admin rt_addr
+  cx_addr=$(node_addr "$clog")
+  cx_admin=$(chaos_admin_addr "$clog")
+  ./target/release/dsp-router --addr 127.0.0.1:0 \
+    --replicas "$CA_ADDR,$cx_addr" --retries 3 --probe-ms 200 \
+    --breaker-threshold 2 --breaker-cooldown-ms 300 \
+    >"$rlog" 2>&1 & ROUTER_PID=$!
+  rt_addr=$(node_addr "$rlog")
+  for _ in $(seq 100); do
+    curl -fsS "http://$rt_addr/readyz" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  timeout 90 curl -fsS -X POST "http://$rt_addr/sweep" \
+    -H 'Content-Type: application/json' -d '{"bench": "fir_32_1"}' >"$out" \
+    || { echo "FAIL: $scen routed sweep failed or wedged past the deadline"; exit 1; }
+  curl -fsS "http://$cx_admin/metrics" -o "$CHAOS_DIR/$scen-admin.txt"
+  local injected
+  injected=$(sed -n "s/^dsp_chaos_faults_total{kind=\"$scen\"} //p" \
+    "$CHAOS_DIR/$scen-admin.txt")
+  [ "${injected:-0}" -gt 0 ] \
+    || { echo "FAIL: $scen proxy injected no faults"; cat "$CHAOS_DIR/$scen-admin.txt"; exit 1; }
+}
+# Trickle: slow-but-progressing bytes through the proxy, complete doc.
+run_chaos_scenario trickle "$CHAOS_DIR/cx1.log" "$CHAOS_DIR/cr1.log" \
+  "$CHAOS_DIR/trickled.json"
+CX1_PID=$CHAOS_PID; CR1_PID=$ROUTER_PID
+./target/release/dualbank report-project "$CHAOS_DIR/trickled.json" \
+  >"$CHAOS_DIR/trickled.det.json"
+cmp "$CHAOS_DIR/trickled.det.json" "$RDIR/single.json" \
+  || { echo "FAIL: trickled routed sweep differs from single-node run under projection"; exit 1; }
+# Reset: every connection to B is RST; cells must retry onto A.
+run_chaos_scenario reset "$CHAOS_DIR/cx2.log" "$CHAOS_DIR/cr2.log" \
+  "$CHAOS_DIR/reset.json"
+CX2_PID=$CHAOS_PID; CR2_PID=$ROUTER_PID
+./target/release/dualbank report-project "$CHAOS_DIR/reset.json" \
+  >"$CHAOS_DIR/reset.det.json"
+cmp "$CHAOS_DIR/reset.det.json" "$RDIR/single.json" \
+  || { echo "FAIL: reset-storm routed sweep differs from single-node run under projection"; exit 1; }
+kill $(chaos_pids) 2>/dev/null || true
+wait $(chaos_pids) 2>/dev/null || true
+CA_PID=""; CB_PID=""; CX1_PID=""; CX2_PID=""; CR1_PID=""; CR2_PID=""
+CHAOS_PID=""; ROUTER_PID=""
+# The load generator's own chaos matrix: spawned server behind an
+# in-process proxy, observed fault classes checked per scenario.
+timeout 120 ./target/release/dsp-serve-load --spawn --connections 2 \
+  --requests 15 --chaos trickle,reset --chaos-seed 7
+
 echo "== dsp-gen differential fuzz smoke test =="
 # A fixed-seed campaign: 200 generated programs through every strategy,
 # each diffed against the reference interpreter. Exits nonzero on any
@@ -135,7 +214,7 @@ echo "== dsp-gen differential fuzz smoke test =="
 # invocations must produce byte-identical JSON reports (no wall times,
 # no paths — see docs/fuzzing.md).
 FUZZ_DIR=$(mktemp -d)
-trap 'kill $RA_PID $RB_PID $RT_PID 2>/dev/null || true; rm -rf "$CACHE_DIR" "$RDIR" "$FUZZ_DIR"' EXIT
+trap 'kill $(chaos_pids) 2>/dev/null || true; rm -rf "$CACHE_DIR" "$RDIR" "$CHAOS_DIR" "$FUZZ_DIR"' EXIT
 ./target/release/dualbank fuzz --seed 1 --count 200 \
   --json "$FUZZ_DIR/fuzz_a.json" >/dev/null
 ./target/release/dualbank fuzz --seed 1 --count 200 \
@@ -159,7 +238,7 @@ echo "== partitioner parity smoke test =="
 # schedules), and where it does differ, FM's summed cycle count must
 # never regress the greedy's.
 PART_DIR=$(mktemp -d)
-trap 'kill $RA_PID $RB_PID $RT_PID 2>/dev/null || true; rm -rf "$CACHE_DIR" "$RDIR" "$FUZZ_DIR" "$PART_DIR"' EXIT
+trap 'kill $(chaos_pids) 2>/dev/null || true; rm -rf "$CACHE_DIR" "$RDIR" "$CHAOS_DIR" "$FUZZ_DIR" "$PART_DIR"' EXIT
 ./target/release/dualbank bench all --jobs 1 --partitioner greedy \
   --json "$PART_DIR/greedy.json" --deterministic >/dev/null
 ./target/release/dualbank bench all --jobs 1 --partitioner fm \

@@ -45,7 +45,8 @@ fn usage() -> &'static str {
      \x20     minimal repros and archived in --corpus-dir; --mutate\n\
      \x20     byte-mutates sources through the front-end instead\n\
      \x20 dualbank serve [--addr A] [--workers N] [--jobs N] [--queue N]\n\
-     \x20               [--deadline-ms N] [--max-body-kb N] [--cache-capacity N]\n\
+     \x20               [--deadline-ms N] [--read-deadline-ms N]\n\
+     \x20               [--max-body-kb N] [--cache-capacity N]\n\
      \x20               [--cache-max-kb N] [--cache-dir D] [--cache-disk-max-kb N]\n\
      \x20               [--fuel N] [--no-trace]\n\
      \x20     serve compile/sweep over HTTP (see docs/serving.md);\n\
@@ -56,6 +57,9 @@ fn usage() -> &'static str {
      \x20 dualbank router --replica HOST:PORT [...] [--addr A]\n\
      \x20     front a fleet of dsp-serve replicas with cache-affinity\n\
      \x20     routing and failover (`dualbank router --help` for flags)\n\
+     \x20 dualbank chaos --upstream HOST:PORT [--scenario S] [--seed N]\n\
+     \x20     deterministic fault-injection TCP proxy for the serving\n\
+     \x20     tier (`dualbank chaos --help` for flags; docs/chaos.md)\n\
      \x20 dualbank report-project [file.json]\n\
      \x20     reduce a run report (file or stdin) to its deterministic\n\
      \x20     projection — byte-comparable across nodes and runs\n\
@@ -131,6 +135,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "fuzz" => cmd_fuzz(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "router" => dsp_router::run_router(&args[1..]),
+        "chaos" => dsp_chaos::run_chaos(&args[1..]),
         "report-project" => cmd_report_project(&args[1..]),
         "trace-validate" => cmd_trace_validate(&args[1..]),
         "list" => {
@@ -586,6 +591,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("--deadline-ms expects milliseconds, got `{v}`"))?;
         config.deadline = Duration::from_millis(ms);
+    }
+    if let Some(v) = flag_value(args, "--read-deadline-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("--read-deadline-ms expects milliseconds, got `{v}`"))?;
+        config.read_deadline = Duration::from_millis(ms); // 0 disables
     }
     if let Some(v) = flag_value(args, "--max-body-kb") {
         let kb: usize = v

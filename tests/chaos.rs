@@ -1,0 +1,519 @@
+//! Chaos suite: the real binaries exercised through a real `dualbank
+//! chaos` interception proxy. A router fronts one clean replica and
+//! one replica reachable only through the proxy; every scenario in the
+//! schedule vocabulary is injected at 100% and the routed sweep must
+//! come back either complete — byte-identical to a single node under
+//! the deterministic projection — or closed with a well-formed
+//! `"truncated": true` tail. No panics, no wedged workers (every
+//! scenario runs under a hard wall-clock deadline), and every injected
+//! fault visible in the proxy's own `/metrics`.
+//!
+//! Alongside the matrix: the circuit breaker's full state walk
+//! (closed → open → half-open → open) asserted through
+//! `dsp_router_breaker_*` families, retry-token-bucket exhaustion
+//! degrading to 502 without a retry storm, and schedule determinism
+//! over the wire (two same-seed proxies injecting identical fault
+//! sequences).
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use dsp_serve::client::ClientConn;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dualbank")
+}
+
+/// The sweep driven through every scenario: small enough that a cell
+/// completes in well under a second, wide enough (3 cells) that a
+/// mid-sweep fault has cells left to damage.
+const SWEEP_BODY: &str = "{\"bench\": \"fir_32_1\", \"strategies\": [\"base\", \"cb\", \"ideal\"]}";
+
+/// A child process serving on a port parsed from its startup banner.
+struct Node {
+    child: Child,
+    addr: String,
+}
+
+impl Node {
+    fn spawn(args: &[&str], banner: &str) -> Node {
+        let mut child = Command::new(bin())
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn node");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("banner before EOF")
+                .expect("read banner");
+            if let Some(rest) = line.strip_prefix(banner) {
+                break rest.trim().to_string();
+            }
+        };
+        // Keep draining stdout so the child never blocks on a full pipe.
+        std::thread::spawn(move || lines.map_while(Result::ok).for_each(drop));
+        Node { child, addr }
+    }
+
+    fn connect(&self) -> ClientConn {
+        ClientConn::connect(&self.addr, Duration::from_secs(120)).expect("connect node")
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_replica(id: &str) -> Node {
+    Node::spawn(
+        &[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "1",
+            "--workers",
+            "6",
+            "--replica-id",
+            id,
+        ],
+        "dsp-serve listening on http://",
+    )
+}
+
+/// A chaos proxy child plus its admin (`/metrics`) address, both
+/// parsed from the two-line banner.
+struct ChaosNode {
+    node: Node,
+    admin: String,
+}
+
+fn spawn_chaos(upstream: &str, scenario: &str, seed: u64, fault_pct: u32) -> ChaosNode {
+    let seed = seed.to_string();
+    let pct = fault_pct.to_string();
+    let mut child = Command::new(bin())
+        .args([
+            "chaos",
+            "--listen",
+            "127.0.0.1:0",
+            "--admin",
+            "127.0.0.1:0",
+            "--upstream",
+            upstream,
+            "--scenario",
+            scenario,
+            "--seed",
+            &seed,
+            "--fault-pct",
+            &pct,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dsp-chaos");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let (mut data, mut admin) = (None, None);
+    while data.is_none() || admin.is_none() {
+        let line = lines
+            .next()
+            .expect("both banner lines before EOF")
+            .expect("read banner");
+        if let Some(rest) = line.strip_prefix("dsp-chaos listening on http://") {
+            data = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("dsp-chaos admin on http://") {
+            admin = Some(rest.trim().to_string());
+        }
+    }
+    std::thread::spawn(move || lines.map_while(Result::ok).for_each(drop));
+    ChaosNode {
+        node: Node {
+            child,
+            addr: data.expect("data addr"),
+        },
+        admin: admin.expect("admin addr"),
+    }
+}
+
+fn spawn_router(replicas: &[&str], extra: &[&str]) -> Node {
+    let list = replicas.join(",");
+    let mut args = vec!["router", "--addr", "127.0.0.1:0", "--replicas", &list];
+    args.extend_from_slice(extra);
+    Node::spawn(&args, "dsp-router listening on http://")
+}
+
+fn scrape(addr: &str) -> String {
+    ClientConn::connect(addr, Duration::from_secs(10))
+        .expect("connect for metrics")
+        .request("GET", "/metrics", None)
+        .expect("scrape metrics")
+        .text()
+}
+
+/// Sum of `dsp_chaos_faults_total{kind=...}` excluding `kind="none"`.
+fn faults_injected(admin_metrics: &str) -> u64 {
+    admin_metrics
+        .lines()
+        .filter(|l| l.starts_with("dsp_chaos_faults_total{kind="))
+        .filter(|l| !l.contains("kind=\"none\""))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<u64>().ok())
+        .sum()
+}
+
+fn counter(metrics: &str, name: &str) -> u64 {
+    let head = format!("{name} ");
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&head))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("counter {name} missing in:\n{metrics}"))
+}
+
+/// Run `f` on its own thread and panic if it does not deliver a result
+/// within `deadline` — the suite's wedged-worker detector: a routed
+/// request that never completes fails loudly instead of hanging the
+/// test harness.
+fn within<T: Send + 'static>(
+    deadline: Duration,
+    what: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(v) => v,
+        Err(_) => panic!("`{what}` did not finish within {deadline:?} — wedged worker?"),
+    }
+}
+
+#[test]
+fn routed_sweeps_survive_every_chaos_scenario() {
+    let ra = spawn_replica("ra");
+    let rb = spawn_replica("rb");
+
+    // The reference document: the same sweep on a bare replica,
+    // reduced to its deterministic projection.
+    let reference = {
+        let resp = ra
+            .connect()
+            .request("POST", "/sweep", Some(SWEEP_BODY))
+            .expect("reference sweep");
+        assert_eq!(resp.status, 200, "body: {}", resp.text());
+        dsp_driver::project_deterministic_json(&resp.text()).expect("project reference")
+    };
+
+    for scenario in [
+        "clean",
+        "refuse-connect",
+        "reset",
+        "delay",
+        "trickle",
+        "truncate",
+        "corrupt",
+        "blackhole",
+    ] {
+        let chaos = spawn_chaos(&rb.addr, scenario, 11, 100);
+        let router = spawn_router(
+            &[&ra.addr, &chaos.node.addr],
+            &[
+                "--retries",
+                "3",
+                "--probe-ms",
+                "200",
+                "--breaker-threshold",
+                "2",
+                "--breaker-cooldown-ms",
+                "300",
+                "--upstream-timeout-ms",
+                "10000",
+                "--connect-timeout-ms",
+                "1000",
+                "--first-byte-timeout-ms",
+                "5000",
+                "--idle-timeout-ms",
+                "5000",
+            ],
+        );
+
+        let router_addr = router.addr.clone();
+        let (status, doc) = within(Duration::from_secs(90), scenario, move || {
+            let mut conn =
+                ClientConn::connect(&router_addr, Duration::from_secs(80)).expect("connect router");
+            let resp = conn
+                .request("POST", "/sweep", Some(SWEEP_BODY))
+                .expect("routed sweep must be answered, never dropped");
+            (resp.status, resp.text())
+        });
+
+        // `corrupt` is special: a flipped byte that lands inside a
+        // cell's job payload without breaking the HTTP framing or the
+        // jobs[] markers is invisible to the router (no end-to-end
+        // checksum), so the assembled document can carry it. The
+        // contract there is weaker: answered in time, the router's own
+        // truncation verdict present, everything alive afterwards.
+        if scenario == "corrupt" {
+            assert!(
+                status == 200 || status == 502,
+                "corrupt: unexpected status {status}: {doc}"
+            );
+            if status == 200 {
+                assert!(
+                    doc.contains("\"truncated\": false") || doc.contains("\"truncated\": true"),
+                    "corrupt: no truncation verdict: {doc}"
+                );
+            }
+        } else {
+            assert_eq!(status, 200, "{scenario}: body: {doc}");
+            let parsed = dsp_driver::json::parse(&doc)
+                .unwrap_or_else(|e| panic!("{scenario}: document does not parse ({e}): {doc}"));
+            assert_eq!(
+                parsed.get("schema").and_then(|v| v.as_str()),
+                Some("dualbank-run-report/v1"),
+                "{scenario}: {doc}"
+            );
+            let truncated = doc.contains("\"truncated\": true");
+            assert!(
+                truncated || doc.contains("\"truncated\": false"),
+                "{scenario}: the tail must carry a truncation verdict: {doc}"
+            );
+            if !truncated {
+                assert_eq!(
+                    dsp_driver::project_deterministic_json(&doc).expect("project routed"),
+                    reference,
+                    "{scenario}: complete document must match a single node under projection"
+                );
+            }
+            if scenario == "clean" {
+                assert!(!truncated, "clean: nothing may truncate a faultless sweep");
+            }
+        }
+
+        // Every injected fault is visible on the proxy's own admin
+        // endpoint — and `clean` provably stayed out of the way.
+        let admin = scrape(&chaos.admin);
+        let injected = faults_injected(&admin);
+        if scenario == "clean" {
+            assert_eq!(injected, 0, "clean proxy must not inject:\n{admin}");
+        } else {
+            assert!(injected > 0, "{scenario}: no faults injected:\n{admin}");
+        }
+
+        // Nothing wedged, nothing died: router and both replicas still
+        // answer after the storm.
+        for node in [&router, &ra, &rb] {
+            let resp = node
+                .connect()
+                .request("GET", "/healthz", None)
+                .expect("healthz after scenario");
+            assert_eq!(resp.status, 200, "{scenario}: a node wedged");
+        }
+    }
+}
+
+#[test]
+fn breaker_walks_closed_open_half_open_and_reopens_on_a_failed_probe() {
+    let rb = spawn_replica("rb");
+    // Every connection through the proxy is reset, the prober is
+    // parked, and ejection is disabled: the only failure-handling
+    // layer left standing is the circuit breaker.
+    let chaos = spawn_chaos(&rb.addr, "reset", 3, 100);
+    let router = spawn_router(
+        &[&chaos.node.addr],
+        &[
+            "--retries",
+            "0",
+            "--probe-ms",
+            "60000",
+            "--fail-after",
+            "1000000",
+            "--breaker-threshold",
+            "2",
+            "--breaker-cooldown-ms",
+            "500",
+        ],
+    );
+    let body = "{\"source\": \"float x; void main() { x = 1.0; }\", \"strategy\": \"cb\"}";
+    let compile = |n: usize| {
+        for _ in 0..n {
+            let resp = within(Duration::from_secs(30), "breaker compile", {
+                let addr = router.addr.clone();
+                let body = body.to_string();
+                move || {
+                    ClientConn::connect(&addr, Duration::from_secs(20))
+                        .expect("connect router")
+                        .request("POST", "/compile", Some(&body))
+                        .expect("router must answer")
+                }
+            });
+            assert_eq!(resp.status, 502, "degraded, not hung: {}", resp.text());
+        }
+    };
+
+    // Two transport failures close→open the breaker; the third request
+    // must be refused without ever dialing the upstream.
+    compile(3);
+    let text = scrape(&router.addr);
+    let replica = &chaos.node.addr;
+    assert!(
+        text.contains(&format!(
+            "dsp_router_breaker_state{{replica=\"{replica}\"}} 2"
+        )),
+        "breaker must be open:\n{text}"
+    );
+    assert!(
+        counter(
+            &text,
+            &format!("dsp_router_breaker_transitions_total{{replica=\"{replica}\",to=\"open\"}}")
+        ) >= 1,
+        "missing open transition:\n{text}"
+    );
+    assert!(
+        counter(&text, "dsp_router_breaker_fast_fail_total") >= 1,
+        "the third attempt must fast-fail on the open breaker:\n{text}"
+    );
+    let faults_before = faults_injected(&scrape(&chaos.admin));
+
+    // After the cooldown one probe request passes through (half-open),
+    // is reset again, and the breaker reopens.
+    std::thread::sleep(Duration::from_millis(700));
+    compile(1);
+    let text = scrape(&router.addr);
+    assert!(
+        counter(
+            &text,
+            &format!(
+                "dsp_router_breaker_transitions_total{{replica=\"{replica}\",to=\"half-open\"}}"
+            )
+        ) >= 1,
+        "missing half-open transition:\n{text}"
+    );
+    assert!(
+        counter(
+            &text,
+            &format!("dsp_router_breaker_transitions_total{{replica=\"{replica}\",to=\"open\"}}")
+        ) >= 2,
+        "the failed half-open probe must reopen the breaker:\n{text}"
+    );
+    let faults_after = faults_injected(&scrape(&chaos.admin));
+    assert!(
+        faults_after > faults_before,
+        "the half-open probe must actually have reached the proxy \
+         ({faults_before} -> {faults_after})"
+    );
+}
+
+#[test]
+fn retry_budget_exhaustion_degrades_to_502_without_a_retry_storm() {
+    let rb = spawn_replica("rb");
+    let chaos = spawn_chaos(&rb.addr, "reset", 5, 100);
+    // Breaker and ejection parked at unreachable thresholds: every
+    // cell attempt really dials the resetting proxy, so only the
+    // token bucket stands between one bad sweep and a retry storm.
+    let router = spawn_router(
+        &[&chaos.node.addr],
+        &[
+            "--retries",
+            "3",
+            "--retry-budget",
+            "2",
+            "--breaker-threshold",
+            "1000000",
+            "--fail-after",
+            "1000000",
+            "--probe-ms",
+            "60000",
+        ],
+    );
+
+    for round in 0..2 {
+        let resp = within(Duration::from_secs(60), "budget sweep", {
+            let addr = router.addr.clone();
+            move || {
+                ClientConn::connect(&addr, Duration::from_secs(50))
+                    .expect("connect router")
+                    .request("POST", "/sweep", Some(SWEEP_BODY))
+                    .expect("router must answer")
+            }
+        });
+        assert_eq!(
+            resp.status,
+            502,
+            "round {round}: sweeps against a dead fleet degrade to 502: {}",
+            resp.text()
+        );
+    }
+
+    let text = scrape(&router.addr);
+    let exhausted = counter(&text, "dsp_router_retry_budget_exhausted_total");
+    let retries = counter(&text, "dsp_router_retries_total");
+    assert!(
+        exhausted >= 1,
+        "the bucket must have run dry at least once:\n{text}"
+    );
+    // Two 3-cell sweeps at --retries 3 could spend up to 18 retries
+    // unbudgeted; the 2-token bucket (plus 0.1 earned per cell) must
+    // cap actual spend far below that.
+    assert!(
+        retries <= 5,
+        "retry storm: {retries} retries spent against a 2-token budget:\n{text}"
+    );
+}
+
+#[test]
+fn same_seed_injects_the_same_fault_sequence_over_the_wire() {
+    let rb = spawn_replica("rb");
+    let a = spawn_chaos(&rb.addr, "mixed", 42, 100);
+    let b = spawn_chaos(&rb.addr, "mixed", 42, 100);
+    let c = spawn_chaos(&rb.addr, "mixed", 43, 100);
+
+    // The same traffic against each proxy: one request per connection,
+    // sequentially, so connection indices line up 0..N on all three.
+    let drive = |proxy: &ChaosNode| {
+        for _ in 0..12 {
+            let Ok(mut conn) = ClientConn::connect(&proxy.node.addr, Duration::from_secs(4)) else {
+                continue;
+            };
+            let _ = conn.request("GET", "/healthz", None);
+        }
+    };
+    drive(&a);
+    drive(&b);
+    drive(&c);
+
+    let fault_lines = |admin: &str| -> Vec<String> {
+        scrape(admin)
+            .lines()
+            .filter(|l| l.starts_with("dsp_chaos_faults_total{kind="))
+            .map(str::to_string)
+            .collect()
+    };
+    let (la, lb, lc) = (
+        fault_lines(&a.admin),
+        fault_lines(&b.admin),
+        fault_lines(&c.admin),
+    );
+    assert_eq!(
+        la, lb,
+        "same seed + same scenario must inject the identical fault mix"
+    );
+    assert!(
+        faults_injected(&scrape(&a.admin)) == 12,
+        "fault-pct 100 must fault every one of the 12 connections:\n{la:?}"
+    );
+    assert_ne!(
+        la, lc,
+        "a different seed should draw a different mix (12 draws over 7 kinds)"
+    );
+}
