@@ -25,6 +25,7 @@ pub fn config_from_args(args: &[String]) -> Result<ChaosConfig, String> {
     let mut scenario = Scenario::Mixed;
     let mut seed: u64 = 1;
     let mut fault_pct: u32 = 50;
+    let mut onset_after_bytes: u64 = 0;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -67,6 +68,12 @@ pub fn config_from_args(args: &[String]) -> Result<ChaosConfig, String> {
                 }
                 fault_pct = pct;
             }
+            "--onset-after-bytes" => {
+                let v = flag_value("--onset-after-bytes")?;
+                onset_after_bytes = v
+                    .parse()
+                    .map_err(|_| format!("bad --onset-after-bytes value '{v}'"))?;
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -75,7 +82,8 @@ pub fn config_from_args(args: &[String]) -> Result<ChaosConfig, String> {
         listen,
         upstream,
         admin,
-        schedule: Schedule::new(scenario, seed, fault_pct),
+        schedule: Schedule::new(scenario, seed, fault_pct)
+            .with_onset_after_bytes(onset_after_bytes),
     })
 }
 
@@ -96,7 +104,12 @@ pub fn usage() -> String {
      \x20                        mixed (default mixed)\n\
      \x20 --seed N               schedule seed (default 1); the same seed\n\
      \x20                        and scenario reproduce the same faults\n\
-     \x20 --fault-pct N          percent of connections faulted (default 50)\n"
+     \x20 --fault-pct N          percent of connections faulted (default 50)\n\
+     \x20 --onset-after-bytes K  forward a healthy response prefix of up to\n\
+     \x20                        K bytes (per-connection jitter from the\n\
+     \x20                        seeded schedule) before a trickle, reset,\n\
+     \x20                        or blackhole fault engages; default 0 =\n\
+     \x20                        faults strike from the first byte\n"
         .to_string()
 }
 
@@ -112,8 +125,12 @@ pub fn run_chaos(args: &[String]) -> Result<(), String> {
     if let Some(admin) = proxy.admin_addr() {
         println!("dsp-chaos admin on http://{admin}");
     }
+    let onset = match config.schedule.onset_after_bytes() {
+        0 => String::new(),
+        k => format!(" · onset ≤ {k} B"),
+    };
     println!(
-        "  upstream {} · scenario {} · seed {} · fault {}%",
+        "  upstream {} · scenario {} · seed {} · fault {}%{onset}",
         config.upstream,
         config.schedule.scenario().label(),
         config.schedule.seed(),
@@ -145,6 +162,8 @@ mod tests {
             "9",
             "--fault-pct",
             "75",
+            "--onset-after-bytes",
+            "4096",
         ]))
         .expect("config");
         assert_eq!(config.listen, "127.0.0.1:7001");
@@ -153,6 +172,7 @@ mod tests {
         assert_eq!(config.schedule.scenario(), Scenario::Trickle);
         assert_eq!(config.schedule.seed(), 9);
         assert_eq!(config.schedule.fault_pct(), 75);
+        assert_eq!(config.schedule.onset_after_bytes(), 4096);
     }
 
     #[test]

@@ -156,13 +156,17 @@ impl ChaosProxy {
 }
 
 fn handle_client(shared: &Shared, client: TcpStream, index: u64) {
-    let fault = shared.config.schedule.fault_for(index);
+    let (fault, onset) = shared.config.schedule.plan_for(index);
     shared.counters.connections.fetch_add(1, Ordering::Relaxed);
     shared.counters.faults[fault.kind_index()].fetch_add(1, Ordering::Relaxed);
     let _ = client.set_nodelay(true);
     match fault {
         Fault::RefuseConnect => drop(client),
-        Fault::AcceptThenReset => {
+        // With an onset, reset and blackhole become mid-stream faults:
+        // they splice to the upstream, forward a healthy response
+        // prefix, and only then strike. Without one they stay
+        // connection-level, exactly as before.
+        Fault::AcceptThenReset if onset == 0 => {
             // Read a little so the client believes the connection is
             // live, then drop while more request bytes are likely
             // unread: Linux answers further traffic with RST.
@@ -171,7 +175,7 @@ fn handle_client(shared: &Shared, client: TcpStream, index: u64) {
             let _ = (&client).read(&mut buf);
             drop(client);
         }
-        Fault::Blackhole(hold) => {
+        Fault::Blackhole(hold) if onset == 0 => {
             // Swallow request bytes silently until the hold expires,
             // then close without ever writing a response byte.
             let deadline = Instant::now() + hold;
@@ -189,12 +193,12 @@ fn handle_client(shared: &Shared, client: TcpStream, index: u64) {
             }
             drop(client);
         }
-        fault => splice(shared, client, fault),
+        fault => splice(shared, client, fault, onset),
     }
 }
 
 /// Forward client↔upstream, shaping only the response direction.
-fn splice(shared: &Shared, client: TcpStream, fault: Fault) {
+fn splice(shared: &Shared, client: TcpStream, fault: Fault, onset: u64) {
     let upstream = match connect_upstream(&shared.config.upstream) {
         Ok(s) => s,
         Err(_) => {
@@ -213,7 +217,7 @@ fn splice(shared: &Shared, client: TcpStream, fault: Fault) {
     // Request direction: verbatim, in a side thread.
     thread::spawn(move || pump_verbatim(client_r, upstream_w));
     // Response direction: shaped, on this thread.
-    pump_shaped(shared, upstream, client, fault);
+    pump_shaped(shared, upstream, client, fault, onset);
 }
 
 fn connect_upstream(addr: &str) -> io::Result<TcpStream> {
@@ -244,7 +248,7 @@ fn pump_verbatim(from: TcpStream, to: TcpStream) {
     let _ = from.shutdown(Shutdown::Read);
 }
 
-fn pump_shaped(shared: &Shared, upstream: TcpStream, client: TcpStream, fault: Fault) {
+fn pump_shaped(shared: &Shared, upstream: TcpStream, client: TcpStream, fault: Fault, onset: u64) {
     let _ = upstream.set_read_timeout(Some(PUMP_READ_TIMEOUT));
     let mut buf = [0u8; 4096];
     let mut sent: u64 = 0; // response bytes already forwarded
@@ -260,20 +264,51 @@ fn pump_shaped(shared: &Shared, upstream: TcpStream, client: TcpStream, fault: F
             }
             first = false;
         }
+        // Healthy prefix: the first `onset` response bytes pass
+        // through verbatim before the fault engages, so a connection
+        // can fail mid-stream rather than only at its very start.
+        let mut start = 0usize;
+        if sent < onset {
+            let healthy = ((onset - sent) as usize).min(n);
+            if (&client).write_all(&buf[..healthy]).is_err() {
+                break;
+            }
+            sent += healthy as u64;
+            shared
+                .counters
+                .forwarded_bytes
+                .fetch_add(healthy as u64, Ordering::Relaxed);
+            if healthy == n {
+                continue;
+            }
+            start = healthy;
+        }
+        match fault {
+            // Onset reached: the response stops dead mid-body and both
+            // sides close — the client sees a truncated transfer.
+            Fault::AcceptThenReset => break 'outer,
+            // Onset reached: go dark. Swallow the rest of the response
+            // for the hold, then close without another byte.
+            Fault::Blackhole(hold) => {
+                drain_for(&upstream, hold);
+                break 'outer;
+            }
+            _ => {}
+        }
         if let Fault::CorruptByteAt(k) = fault {
-            if k >= sent && k < sent + n as u64 {
-                buf[(k - sent) as usize] ^= 0x20;
+            if k >= sent && k < sent + (n - start) as u64 {
+                buf[start + (k - sent) as usize] ^= 0x20;
             }
         }
-        let mut len = n;
+        let mut len = n - start;
         let mut closing = false;
         if let Fault::TruncateAfter(k) = fault {
-            if sent + n as u64 >= k {
+            if sent + len as u64 >= k {
                 len = (k - sent) as usize;
                 closing = true;
             }
         }
-        let chunk = &buf[..len];
+        let chunk = &buf[start..start + len];
         let wrote = match fault {
             Fault::Trickle { bytes, interval } => {
                 let step = bytes.max(1);
@@ -302,6 +337,30 @@ fn pump_shaped(shared: &Shared, upstream: TcpStream, client: TcpStream, fault: F
     }
     let _ = client.shutdown(Shutdown::Both);
     let _ = upstream.shutdown(Shutdown::Both);
+}
+
+/// Read and discard upstream bytes until `hold` expires — keeps the
+/// upstream from blocking on a full send buffer while a mid-stream
+/// blackhole holds the client in silence.
+fn drain_for(upstream: &TcpStream, hold: Duration) {
+    let deadline = Instant::now() + hold;
+    let mut buf = [0u8; 4096];
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        let _ = upstream.set_read_timeout(Some(left));
+        match (&*upstream).read(&mut buf) {
+            Ok(_n @ 1..) => {}
+            // Upstream finished early: keep the client hanging in
+            // silence for the rest of the hold anyway.
+            Ok(0) | Err(_) => {
+                thread::sleep(deadline.saturating_duration_since(Instant::now()));
+                break;
+            }
+        }
+    }
 }
 
 /// Tiny single-purpose HTTP listener for `/metrics` and `/healthz`;

@@ -167,6 +167,12 @@ pub struct Schedule {
     seed: u64,
     /// Percentage (0..=100) of connections that draw a fault at all.
     fault_pct: u64,
+    /// Upper bound on the healthy response prefix (in bytes) forwarded
+    /// before a trickle / reset / blackhole fault engages; each faulted
+    /// connection draws its onset uniformly from `1..=max`. Zero (the
+    /// default) keeps the historical behavior: faults bite from the
+    /// first response byte.
+    onset_after_bytes: u64,
 }
 
 impl Schedule {
@@ -175,7 +181,14 @@ impl Schedule {
             scenario,
             seed,
             fault_pct: u64::from(fault_pct.min(100)),
+            onset_after_bytes: 0,
         }
+    }
+
+    /// Configure mid-stream fault onset (see [`Schedule::plan_for`]).
+    pub fn with_onset_after_bytes(mut self, max_bytes: u64) -> Schedule {
+        self.onset_after_bytes = max_bytes;
+        self
     }
 
     pub fn scenario(&self) -> Scenario {
@@ -190,20 +203,34 @@ impl Schedule {
         self.fault_pct
     }
 
+    pub fn onset_after_bytes(&self) -> u64 {
+        self.onset_after_bytes
+    }
+
     pub fn fault_for(&self, conn_index: u64) -> Fault {
+        self.plan_for(conn_index).0
+    }
+
+    /// The fault for `conn_index` plus its onset: how many healthy
+    /// response bytes pass through before the fault engages. Onset is
+    /// drawn *after* the fault's own parameters from the same
+    /// per-connection generator, so enabling `--onset-after-bytes`
+    /// changes when faults strike but never which faults are drawn.
+    /// Onset 0 means the fault applies from the first byte.
+    pub fn plan_for(&self, conn_index: u64) -> (Fault, u64) {
         let mix = self
             .seed
             .wrapping_add(fnv1a(self.scenario.label()))
             .wrapping_add(conn_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut rng = Rng::new(mix);
         if self.scenario == Scenario::Clean || !rng.chance(self.fault_pct, 100) {
-            return Fault::None;
+            return (Fault::None, 0);
         }
         let scenario = match self.scenario {
             Scenario::Mixed => SCENARIOS[1 + rng.below(7) as usize],
             s => s,
         };
-        match scenario {
+        let fault = match scenario {
             Scenario::Clean | Scenario::Mixed => Fault::None,
             Scenario::RefuseConnect => Fault::RefuseConnect,
             Scenario::Reset => Fault::AcceptThenReset,
@@ -219,7 +246,16 @@ impl Schedule {
             Scenario::Truncate => Fault::TruncateAfter(rng.range(16, 2048)),
             Scenario::Corrupt => Fault::CorruptByteAt(rng.range(8, 512)),
             Scenario::Blackhole => Fault::Blackhole(Duration::from_millis(rng.range(250, 1500))),
-        }
+        };
+        let onset = match fault {
+            Fault::AcceptThenReset | Fault::Trickle { .. } | Fault::Blackhole(_)
+                if self.onset_after_bytes > 0 =>
+            {
+                rng.range(1, self.onset_after_bytes)
+            }
+            _ => 0,
+        };
+        (fault, onset)
     }
 }
 
@@ -287,6 +323,43 @@ mod tests {
         for (kind, hit) in FAULT_KINDS.iter().zip(seen).skip(1) {
             assert!(hit, "mixed schedule never drew {kind}");
         }
+    }
+
+    #[test]
+    fn onset_is_drawn_only_when_configured_and_only_for_maskable_kinds() {
+        let plain = Schedule::new(Scenario::Mixed, 21, 100);
+        let onset = Schedule::new(Scenario::Mixed, 21, 100).with_onset_after_bytes(512);
+        for i in 0..256 {
+            // Enabling onset must not perturb which fault is drawn.
+            assert_eq!(plain.fault_for(i), onset.fault_for(i), "conn {i}");
+            let (_, off) = plain.plan_for(i);
+            assert_eq!(off, 0, "onset without the flag must be 0 (conn {i})");
+            let (fault, off) = onset.plan_for(i);
+            match fault {
+                Fault::AcceptThenReset | Fault::Trickle { .. } | Fault::Blackhole(_) => {
+                    assert!(
+                        (1..=512).contains(&off),
+                        "conn {i}: {fault:?} onset {off} out of 1..=512"
+                    );
+                }
+                _ => assert_eq!(off, 0, "conn {i}: {fault:?} must not draw an onset"),
+            }
+        }
+    }
+
+    #[test]
+    fn onset_draws_are_deterministic() {
+        let a = Schedule::new(Scenario::Reset, 5, 100).with_onset_after_bytes(300);
+        let b = Schedule::new(Scenario::Reset, 5, 100).with_onset_after_bytes(300);
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..64 {
+            assert_eq!(a.plan_for(i), b.plan_for(i), "conn {i}");
+            distinct.insert(a.plan_for(i).1);
+        }
+        assert!(
+            distinct.len() > 8,
+            "onset must be jittered per connection, saw only {distinct:?}"
+        );
     }
 
     #[test]

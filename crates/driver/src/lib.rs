@@ -63,8 +63,8 @@ pub use engine::{
     EngineError, EngineOptions, MatrixRun,
 };
 pub use report::{
-    project_deterministic_json, sweep_json_prefix, sweep_json_tail, CacheFlags, JobReport,
-    RunReport, StageTimes,
+    fnv1a, project_deterministic_json, sweep_json_prefix, sweep_json_tail, verify_job_digest,
+    with_job_digest, CacheFlags, JobReport, RunReport, StageTimes,
 };
 pub use store::{
     DiskStats, DiskStore, DiskSweep, FaultIo, FaultKind, FaultOp, FaultPlan, StdIo, StoreIo,

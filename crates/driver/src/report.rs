@@ -425,6 +425,71 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// FNV-1a over `bytes` — the end-to-end checksum behind the
+/// `"digest"` field on streamed sweep-cell jobs (the same constants
+/// the router's hash ring and the chaos scheduler use).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Append the end-to-end `"digest"` checksum field to a serialized
+/// job object: FNV-1a over the object's own bytes (surrounding
+/// whitespace trimmed, the digest field itself excluded), rendered as
+/// 16-digit hex. Appended after every serving-layer field so the
+/// deterministic projection — which cuts each job line at `"cached"`
+/// — is unaffected.
+///
+/// # Panics
+///
+/// Panics if `job` is not a serialized JSON object (no trailing `}`).
+#[must_use]
+pub fn with_job_digest(job: &str) -> String {
+    let digest = fnv1a(job.trim().as_bytes());
+    format!(
+        "{}, \"digest\": \"{digest:016x}\"}}",
+        job.strip_suffix('}').expect("job json is an object"),
+    )
+}
+
+/// Verify a wire job object's `"digest"` field: recompute FNV-1a over
+/// the object with the digest field removed and compare. A job with a
+/// missing or malformed digest is an error too — every streamed sweep
+/// job carries one, so its absence means the bytes were damaged.
+///
+/// # Errors
+///
+/// Describes the first problem found (missing field, malformed hex,
+/// or checksum mismatch).
+pub fn verify_job_digest(job: &str) -> Result<(), String> {
+    let job = job.trim();
+    const MARKER: &str = ", \"digest\": \"";
+    let at = job
+        .rfind(MARKER)
+        .ok_or_else(|| "job carries no digest field".to_string())?;
+    let hex = job[at + MARKER.len()..]
+        .strip_suffix("\"}")
+        .ok_or_else(|| "digest is not the final field of the job object".to_string())?;
+    let claimed = (hex.len() == 16)
+        .then(|| u64::from_str_radix(hex, 16).ok())
+        .flatten()
+        .ok_or_else(|| "digest is not 16-digit hex".to_string())?;
+    let payload = format!("{}}}", &job[..at]);
+    let actual = fnv1a(payload.as_bytes());
+    if actual == claimed {
+        Ok(())
+    } else {
+        Err(format!(
+            "digest mismatch: job claims {claimed:016x}, payload hashes to {actual:016x}"
+        ))
+    }
+}
+
 fn cache_json(c: &CacheStats) -> String {
     let layer = |h: u64, m: u64| format!("{{\"hits\": {h}, \"misses\": {m}}}");
     let evicting = |h: u64, m: u64, e: u64, b: u64, eb: u64| {
@@ -495,6 +560,15 @@ impl JobReport {
                 json_string(id)
             ),
         }
+    }
+
+    /// [`JobReport::to_json_tagged`] plus the trailing end-to-end
+    /// `"digest"` checksum ([`with_job_digest`]) — the form `/sweep`
+    /// streams, so a flipped byte anywhere between a replica's
+    /// serializer and a reader is detectable.
+    #[must_use]
+    pub fn to_json_digested(&self, request_id: Option<&str>) -> String {
+        with_job_digest(&self.to_json_tagged(request_id))
     }
 }
 
@@ -712,5 +786,45 @@ mod tests {
         let tail = sweep_json_tail(Duration::from_millis(5), &CacheStats::default(), true);
         assert!(tail.contains("\"truncated\": true"));
         assert!(tail.ends_with("}\n"));
+    }
+
+    #[test]
+    fn job_digest_round_trips_and_catches_a_flipped_byte() {
+        let report = sample_report();
+        let wire = report.jobs[0].to_json_digested(Some("req-1"));
+        assert!(wire.contains(", \"digest\": \""), "{wire}");
+        verify_job_digest(&wire).expect("fresh digest verifies");
+        // The digest rides after `cached`, so the deterministic
+        // projection is unaffected by its presence.
+        let doc = format!(
+            "{}{}{}",
+            sweep_json_prefix(report.workers, &report.strategies),
+            wire,
+            sweep_json_tail(report.wall_time, &report.cache, false),
+        );
+        assert!(project_deterministic_json(&doc).is_ok());
+        // Any single flipped payload byte is caught — the chaos
+        // proxy's corrupt fault XORs 0x20 into one byte.
+        let mut bytes = wire.clone().into_bytes();
+        let at = wire.find("\"cycles\"").expect("payload field") + 2;
+        bytes[at] ^= 0x20;
+        let corrupt = String::from_utf8(bytes).expect("still UTF-8");
+        assert!(verify_job_digest(&corrupt).is_err());
+    }
+
+    #[test]
+    fn digest_verification_rejects_missing_and_malformed_fields() {
+        let report = sample_report();
+        let undigested = report.jobs[0].to_json_tagged(None);
+        assert!(verify_job_digest(&undigested)
+            .unwrap_err()
+            .contains("no digest"));
+        let wire = report.jobs[0].to_json_digested(None);
+        // Damage inside the digest hex itself is also caught.
+        let short = wire.replace(", \"digest\": \"", ", \"digest\": \"ff");
+        assert!(verify_job_digest(&short).is_err());
+        // Leading indentation (how jobs sit inside a document) and a
+        // surrounding newline do not perturb verification.
+        verify_job_digest(&format!("  {wire}\n")).expect("trim-insensitive");
     }
 }

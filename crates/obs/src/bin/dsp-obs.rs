@@ -1,0 +1,9 @@
+//! Standalone observability binary; `dualbank obs` is the same front-end.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = dsp_obs::run_obs(&args) {
+        eprintln!("dsp-obs: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,367 @@
+//! Fleet scraping: named targets, their `/metrics` and `/debug/trace`
+//! surfaces, and cross-node aggregation of the results.
+//!
+//! A target is anything speaking the fleet's observability contract: a
+//! `dsp-serve` replica, a `dsp-router`, or a `dsp-chaos` admin
+//! endpoint (which has `/metrics` but no trace ring — the scrape
+//! records that instead of failing).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use dsp_driver::json::{self, Value};
+use dsp_serve::client::ClientConn;
+
+use crate::prom::{self, Family};
+
+/// One named scrape target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Target {
+    pub name: String,
+    pub addr: String,
+}
+
+/// Parse a `NAME=HOST:PORT` target spec.
+///
+/// # Errors
+///
+/// Returns a message naming the spec when it has no `=` or an empty
+/// side.
+pub fn parse_target(spec: &str) -> Result<Target, String> {
+    let (name, addr) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("target `{spec}` is not NAME=HOST:PORT"))?;
+    let (name, addr) = (name.trim(), addr.trim());
+    if name.is_empty() || addr.is_empty() {
+        return Err(format!("target `{spec}` is not NAME=HOST:PORT"));
+    }
+    Ok(Target {
+        name: name.to_string(),
+        addr: addr.to_string(),
+    })
+}
+
+/// One span parsed back from a node's `/debug/trace` dump. IDs stay in
+/// their 16-hex-digit wire form so they join across processes exactly
+/// as exported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    pub trace: String,
+    pub span: String,
+    /// `None` for a root span (`"parent": null` on the wire).
+    pub parent: Option<String>,
+    pub name: String,
+    pub cat: String,
+    pub tid: u64,
+    pub start_us: u64,
+    pub dur_us: u64,
+    pub args: Vec<(String, String)>,
+}
+
+/// Everything one poll learned about one target.
+#[derive(Debug, Clone)]
+pub struct NodeView {
+    pub target: Target,
+    /// `/metrics` answered 200 and parsed.
+    pub up: bool,
+    /// Why the node counts as down, when it does.
+    pub error: Option<String>,
+    pub families: Vec<Family>,
+    /// The node exposes `/debug/trace` (chaos admin endpoints do not).
+    pub traced: bool,
+    pub spans: Vec<SpanRec>,
+}
+
+/// Scrape one target: `/metrics` always, `/debug/trace` when served.
+/// Network failures mark the node down rather than erroring out — a
+/// fleet view with a hole in it beats no view at all.
+#[must_use]
+pub fn scrape(target: &Target, timeout: Duration, trace_depth: usize) -> NodeView {
+    let mut view = NodeView {
+        target: target.clone(),
+        up: false,
+        error: None,
+        families: Vec::new(),
+        traced: false,
+        spans: Vec::new(),
+    };
+    match fetch(&target.addr, "/metrics", timeout) {
+        Ok((200, body)) => {
+            view.families = prom::parse(&body);
+            view.up = true;
+        }
+        Ok((status, _)) => view.error = Some(format!("/metrics answered {status}")),
+        Err(e) => view.error = Some(e),
+    }
+    if !view.up {
+        return view;
+    }
+    // Anything but a parseable 200 means no trace ring on this node
+    // (chaos admin, --no-trace) — not an error.
+    if let Ok((200, body)) = fetch(
+        &target.addr,
+        &format!("/debug/trace?n={trace_depth}"),
+        timeout,
+    ) {
+        match parse_trace_dump(&body) {
+            Ok(spans) => {
+                view.traced = true;
+                view.spans = spans;
+            }
+            Err(e) => view.error = Some(format!("/debug/trace unparseable: {e}")),
+        }
+    }
+    view
+}
+
+fn fetch(addr: &str, path: &str, timeout: Duration) -> Result<(u16, String), String> {
+    let mut conn = ClientConn::connect(addr, timeout).map_err(|e| format!("connect: {e}"))?;
+    let resp = conn
+        .request("GET", path, None)
+        .map_err(|e| format!("GET {path}: {e}"))?;
+    Ok((resp.status, resp.text()))
+}
+
+/// Parse a `dualbank-trace/v1` document into span records.
+///
+/// # Errors
+///
+/// Returns a message when the document is not valid trace JSON.
+pub fn parse_trace_dump(body: &str) -> Result<Vec<SpanRec>, String> {
+    let doc = json::parse(body).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(Value::as_str) != Some("dualbank-trace/v1") {
+        return Err("not a dualbank-trace/v1 document".to_string());
+    }
+    let spans = doc
+        .get("spans")
+        .and_then(Value::as_array)
+        .ok_or("no spans[] array")?;
+    let mut out = Vec::with_capacity(spans.len());
+    for s in spans {
+        let str_field = |k: &str| s.get(k).and_then(Value::as_str).map(str::to_string);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let num_field = |k: &str| s.get(k).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        let mut args = Vec::new();
+        if let Some(Value::Object(map)) = s.get("args") {
+            for (k, v) in map {
+                if let Some(v) = v.as_str() {
+                    args.push((k.clone(), v.to_string()));
+                }
+            }
+        }
+        out.push(SpanRec {
+            trace: str_field("trace").ok_or("span without trace id")?,
+            span: str_field("span").ok_or("span without span id")?,
+            parent: str_field("parent"),
+            name: str_field("name").unwrap_or_default(),
+            cat: str_field("cat").unwrap_or_default(),
+            tid: num_field("tid"),
+            start_us: num_field("start_us"),
+            dur_us: num_field("dur_us"),
+            args,
+        });
+    }
+    Ok(out)
+}
+
+/// Sum every counter family across the fleet, keyed by family name.
+/// Gauges and histograms are skipped — only counters sum meaningfully.
+#[must_use]
+pub fn counter_totals(nodes: &[NodeView]) -> BTreeMap<String, f64> {
+    let mut totals = BTreeMap::new();
+    for node in nodes {
+        for family in &node.families {
+            if family.kind != "counter" {
+                continue;
+            }
+            let sum: f64 = family.samples.iter().map(|s| s.value).sum();
+            *totals.entry(family.name.clone()).or_insert(0.0) += sum;
+        }
+    }
+    totals
+}
+
+/// Per-family deltas between two total maps (new counters appear with
+/// their full value; counter resets clamp to zero rather than going
+/// negative).
+#[must_use]
+pub fn counter_deltas(
+    prev: &BTreeMap<String, f64>,
+    cur: &BTreeMap<String, f64>,
+) -> BTreeMap<String, f64> {
+    cur.iter()
+        .map(|(k, v)| {
+            (
+                k.clone(),
+                (v - prev.get(k).copied().unwrap_or(0.0)).max(0.0),
+            )
+        })
+        .collect()
+}
+
+/// Families that count client-facing requests with a `status` label —
+/// the numerators and denominators of the availability SLO.
+pub const EDGE_REQUEST_FAMILIES: [&str; 2] = [
+    "dsp_router_client_requests_total",
+    "dsp_serve_requests_total",
+];
+
+/// Fleet-wide `(total, 5xx-or-error)` request counts from the edge
+/// request families.
+#[must_use]
+pub fn edge_requests(nodes: &[NodeView]) -> (f64, f64) {
+    let mut total = 0.0;
+    let mut errors = 0.0;
+    for node in nodes {
+        for family in &node.families {
+            if !EDGE_REQUEST_FAMILIES.contains(&family.name.as_str()) {
+                continue;
+            }
+            for s in &family.samples {
+                total += s.value;
+                let failed = match s.label("status") {
+                    Some(status) => status == "error" || status.starts_with('5'),
+                    None => false,
+                };
+                if failed {
+                    errors += s.value;
+                }
+            }
+        }
+    }
+    (total, errors)
+}
+
+/// Latency histogram families whose quantiles the plane reports,
+/// merged across the fleet and across `status` (grouped by endpoint).
+pub const LATENCY_FAMILIES: [&str; 2] = [
+    "dsp_router_request_seconds",
+    "dsp_serve_http_request_seconds",
+];
+
+/// Fleet-merged per-endpoint latency views for one family name.
+#[must_use]
+pub fn endpoint_latency(
+    nodes: &[NodeView],
+    family_name: &str,
+) -> Vec<(String, prom::HistogramView)> {
+    let mut merged: BTreeMap<String, prom::HistogramView> = BTreeMap::new();
+    for node in nodes {
+        for family in &node.families {
+            if family.name != family_name || family.kind != "histogram" {
+                continue;
+            }
+            for view in prom::histogram_views(family) {
+                let endpoint = view
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "endpoint")
+                    .map_or_else(|| "all".to_string(), |(_, v)| v.clone());
+                match merged.get_mut(&endpoint) {
+                    Some(acc) => acc.merge(&view),
+                    None => {
+                        merged.insert(endpoint, view);
+                    }
+                }
+            }
+        }
+    }
+    merged.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, metrics: &str) -> NodeView {
+        NodeView {
+            target: Target {
+                name: name.to_string(),
+                addr: "127.0.0.1:0".to_string(),
+            },
+            up: true,
+            error: None,
+            families: prom::parse(metrics),
+            traced: false,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn target_specs_parse_and_reject_malformed_forms() {
+        let t = parse_target("router=127.0.0.1:8300").expect("valid spec");
+        assert_eq!(t.name, "router");
+        assert_eq!(t.addr, "127.0.0.1:8300");
+        assert!(parse_target("just-a-name").is_err());
+        assert!(parse_target("=addr").is_err());
+        assert!(parse_target("name=").is_err());
+    }
+
+    #[test]
+    fn trace_dumps_round_trip_into_span_records() {
+        let body = "{\"schema\": \"dualbank-trace/v1\", \"dropped\": 0, \"spans\": [\n\
+            {\"trace\": \"00000000000000aa\", \"span\": \"00000000000000bb\", \
+             \"parent\": null, \"name\": \"http.request\", \"cat\": \"serve\", \
+             \"tid\": 3, \"start_us\": 10, \"dur_us\": 25, \
+             \"args\": {\"request_id\": \"r-1\"}}]}";
+        let spans = parse_trace_dump(body).expect("parse");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].trace, "00000000000000aa");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].dur_us, 25);
+        assert_eq!(
+            spans[0].args,
+            vec![("request_id".to_string(), "r-1".to_string())]
+        );
+        assert!(parse_trace_dump("{\"schema\": \"other\"}").is_err());
+    }
+
+    #[test]
+    fn counter_totals_sum_across_nodes_and_deltas_clamp() {
+        let a = node(
+            "a",
+            "# TYPE x_total counter\nx_total 3\n# TYPE g gauge\ng 9\n",
+        );
+        let b = node("b", "# TYPE x_total counter\nx_total{k=\"v\"} 4\n");
+        let totals = counter_totals(&[a, b]);
+        assert_eq!(totals.get("x_total").copied(), Some(7.0));
+        assert!(!totals.contains_key("g"), "gauges must not sum");
+        let mut prev = BTreeMap::new();
+        prev.insert("x_total".to_string(), 9.0);
+        let deltas = counter_deltas(&prev, &totals);
+        assert_eq!(deltas.get("x_total").copied(), Some(0.0), "reset clamps");
+    }
+
+    #[test]
+    fn edge_requests_split_errors_from_successes() {
+        let metrics = "\
+# TYPE dsp_router_client_requests_total counter\n\
+dsp_router_client_requests_total{endpoint=\"compile\",status=\"200\"} 90\n\
+dsp_router_client_requests_total{endpoint=\"compile\",status=\"502\"} 8\n\
+dsp_router_client_requests_total{endpoint=\"sweep\",status=\"error\"} 2\n";
+        let (total, errors) = edge_requests(&[node("router", metrics)]);
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!((errors - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn endpoint_latency_merges_across_nodes_and_statuses() {
+        let m = |c2: u64, c9: u64| {
+            format!(
+                "# TYPE dsp_serve_http_request_seconds histogram\n\
+                 dsp_serve_http_request_seconds_bucket{{endpoint=\"sweep\",status=\"200\",le=\"0.01\"}} {c2}\n\
+                 dsp_serve_http_request_seconds_bucket{{endpoint=\"sweep\",status=\"200\",le=\"+Inf\"}} {c2}\n\
+                 dsp_serve_http_request_seconds_count{{endpoint=\"sweep\",status=\"200\"}} {c2}\n\
+                 dsp_serve_http_request_seconds_bucket{{endpoint=\"sweep\",status=\"429\",le=\"0.01\"}} {c9}\n\
+                 dsp_serve_http_request_seconds_bucket{{endpoint=\"sweep\",status=\"429\",le=\"+Inf\"}} {c9}\n\
+                 dsp_serve_http_request_seconds_count{{endpoint=\"sweep\",status=\"429\"}} {c9}\n"
+            )
+        };
+        let nodes = [node("a", &m(3, 1)), node("b", &m(5, 0))];
+        let views = endpoint_latency(&nodes, "dsp_serve_http_request_seconds");
+        assert_eq!(views.len(), 1, "statuses and nodes merge per endpoint");
+        assert_eq!(views[0].0, "sweep");
+        assert_eq!(views[0].1.count, 9);
+        assert_eq!(views[0].1.buckets, vec![(0.01, 9)]);
+    }
+}

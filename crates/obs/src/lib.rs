@@ -1,0 +1,429 @@
+//! dsp-obs: the fleet observability plane.
+//!
+//! The serving tier already exposes per-process observability —
+//! `/metrics` on every node, `/debug/trace` span rings on the router
+//! and the replicas, `X-Dsp-Traceparent` carrying one trace id across
+//! the router hop. This crate is the collector that turns those
+//! per-process surfaces into one fleet-level view:
+//!
+//! * **[`prom`]** — text-exposition parser and histogram arithmetic
+//!   (fleet-merged quantiles by the tracer's conservative rule).
+//! * **[`fleet`]** — named targets, scraping, counter totals/deltas,
+//!   per-endpoint latency merging.
+//! * **[`slo`]** — availability and p99 objectives with multi-window
+//!   error-budget burn rates.
+//! * **[`stitch`]** — cross-process span joins per trace id and the
+//!   merged Perfetto export (one `pid` track per node).
+//! * **[`snapshot`]** — the deterministic `dualbank-obs/v1` JSON
+//!   document.
+//!
+//! Three subcommands ride on those pieces: `snapshot` (one poll, one
+//! JSON document), `export --trace-id` (one stitched Perfetto file),
+//! and `watch` (a terminal ticker with rates and burn verdicts).
+//!
+//! See docs/observability.md ("Fleet view") for the workflow.
+
+pub mod fleet;
+pub mod prom;
+pub mod slo;
+pub mod snapshot;
+pub mod stitch;
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use fleet::{NodeView, Target};
+use slo::{SloConfig, WindowSample};
+
+/// Everything the CLI resolves before dispatching a subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    pub mode: String,
+    pub targets: Vec<Target>,
+    pub trace_id: Option<String>,
+    pub out: Option<String>,
+    pub timeout: Duration,
+    pub interval: Duration,
+    /// Watch rounds; 0 = run until interrupted.
+    pub rounds: u64,
+    pub trace_depth: usize,
+    pub slo: SloConfig,
+}
+
+/// Parse `dualbank obs` / `dsp-obs` arguments.
+///
+/// # Errors
+///
+/// Returns a usage message on an unknown mode/flag or a bad value.
+pub fn config_from_args(args: &[String]) -> Result<ObsConfig, String> {
+    let mut config = ObsConfig {
+        mode: String::new(),
+        targets: Vec::new(),
+        trace_id: None,
+        out: None,
+        timeout: Duration::from_millis(5000),
+        interval: Duration::from_millis(2000),
+        rounds: 0,
+        trace_depth: 4096,
+        slo: SloConfig::default(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "snapshot" | "export" | "watch" if config.mode.is_empty() => {
+                config.mode = arg.clone();
+            }
+            "--target" => config
+                .targets
+                .push(fleet::parse_target(&flag_value("--target")?)?),
+            "--targets" => {
+                for spec in flag_value("--targets")?.split(',') {
+                    let spec = spec.trim();
+                    if !spec.is_empty() {
+                        config.targets.push(fleet::parse_target(spec)?);
+                    }
+                }
+            }
+            "--trace-id" => config.trace_id = Some(flag_value("--trace-id")?),
+            "--out" => config.out = Some(flag_value("--out")?),
+            "--timeout-ms" => {
+                config.timeout =
+                    Duration::from_millis(parse_num("--timeout-ms", &flag_value("--timeout-ms")?)?);
+            }
+            "--interval-ms" => {
+                config.interval = Duration::from_millis(parse_num(
+                    "--interval-ms",
+                    &flag_value("--interval-ms")?,
+                )?);
+            }
+            "--rounds" => config.rounds = parse_num("--rounds", &flag_value("--rounds")?)?,
+            "--trace-depth" => {
+                config.trace_depth =
+                    usize::try_from(parse_num("--trace-depth", &flag_value("--trace-depth")?)?)
+                        .unwrap_or(4096)
+                        .clamp(1, 4096);
+            }
+            "--availability-target" => {
+                let v = flag_value("--availability-target")?;
+                let t: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --availability-target value '{v}'"))?;
+                if !(0.0..1.0).contains(&t) {
+                    return Err(format!("--availability-target must be in [0, 1), got {t}"));
+                }
+                config.slo.availability_target = t;
+            }
+            "--p99-target-ms" => {
+                config.slo.p99_target_seconds =
+                    parse_num("--p99-target-ms", &flag_value("--p99-target-ms")?)? as f64 / 1e3;
+            }
+            "--page-burn-rate" => {
+                let v = flag_value("--page-burn-rate")?;
+                config.slo.page_burn_rate = v
+                    .parse()
+                    .map_err(|_| format!("bad --page-burn-rate value '{v}'"))?;
+            }
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    if config.mode.is_empty() {
+        return Err(format!(
+            "a mode is required: snapshot | export | watch\n{}",
+            usage()
+        ));
+    }
+    if config.targets.is_empty() {
+        return Err(format!(
+            "at least one --target NAME=HOST:PORT is required\n{}",
+            usage()
+        ));
+    }
+    if config.mode == "export" && config.trace_id.is_none() {
+        return Err(
+            "export needs --trace-id HEX (see `obs snapshot` for the trace index)".to_string(),
+        );
+    }
+    Ok(config)
+}
+
+fn parse_num(flag: &str, v: &str) -> Result<u64, String> {
+    v.parse().map_err(|_| format!("bad {flag} value '{v}'"))
+}
+
+#[must_use]
+pub fn usage() -> String {
+    "usage: dsp-obs <snapshot|export|watch> --target NAME=HOST:PORT [...]\n\
+     \n\
+     Fleet observability plane: polls /metrics and /debug/trace from\n\
+     every target, aggregates counters and latency quantiles, checks\n\
+     SLO burn rates, and stitches per-process spans into one trace.\n\
+     \n\
+     modes:\n\
+     \x20 snapshot               one poll, one deterministic JSON document\n\
+     \x20 export --trace-id HEX  merge one trace's spans from every node\n\
+     \x20                        into a single Perfetto/chrome file\n\
+     \x20 watch                  periodic terminal ticker (rates + burn)\n\
+     \n\
+     options:\n\
+     \x20 --target NAME=HOST:PORT    add a scrape target (repeatable)\n\
+     \x20 --targets A=X,B=Y          add several targets at once\n\
+     \x20 --trace-id HEX             trace to export (16 hex digits)\n\
+     \x20 --out PATH                 write output here instead of stdout\n\
+     \x20 --timeout-ms MS            per-request scrape budget (default 5000)\n\
+     \x20 --interval-ms MS           watch poll interval (default 2000)\n\
+     \x20 --rounds N                 watch rounds, 0 = forever (default 0)\n\
+     \x20 --trace-depth N            spans requested per node (default 4096)\n\
+     \x20 --availability-target F    availability SLO (default 0.999)\n\
+     \x20 --p99-target-ms MS         latency SLO on p99 (default 500)\n\
+     \x20 --page-burn-rate F         paging burn threshold (default 14.4)\n"
+        .to_string()
+}
+
+/// Entry point behind `dualbank obs` and the `dsp-obs` binary.
+///
+/// # Errors
+///
+/// Returns a message on bad flags, unreachable output paths, or an
+/// export of a trace no node has spans for.
+pub fn run_obs(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return Ok(());
+    }
+    let config = config_from_args(args)?;
+    match config.mode.as_str() {
+        "snapshot" => {
+            let nodes = scrape_all(&config);
+            emit(&config, &snapshot::render(&nodes, &config.slo))
+        }
+        "export" => {
+            let trace_id = config.trace_id.clone().unwrap_or_default();
+            let nodes = scrape_all(&config);
+            let spans = stitch::stitch(&nodes, &trace_id);
+            if spans.is_empty() {
+                let with_spans: Vec<&str> = nodes
+                    .iter()
+                    .filter(|n| n.traced)
+                    .map(|n| n.target.name.as_str())
+                    .collect();
+                return Err(format!(
+                    "no spans for trace {trace_id} on any target (traced nodes: {})",
+                    if with_spans.is_empty() {
+                        "none".to_string()
+                    } else {
+                        with_spans.join(", ")
+                    }
+                ));
+            }
+            let nodes_hit: Vec<&str> = spans
+                .iter()
+                .map(|(i, _)| nodes[*i].target.name.as_str())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            eprintln!(
+                "dsp-obs: trace {trace_id}: {} span(s) across {}",
+                spans.len(),
+                nodes_hit.join(", ")
+            );
+            emit(&config, &stitch::chrome_export(&nodes, &spans))
+        }
+        "watch" => watch(&config),
+        other => Err(format!("unknown mode '{other}'\n{}", usage())),
+    }
+}
+
+fn scrape_all(config: &ObsConfig) -> Vec<NodeView> {
+    config
+        .targets
+        .iter()
+        .map(|t| fleet::scrape(t, config.timeout, config.trace_depth))
+        .collect()
+}
+
+fn emit(config: &ObsConfig, document: &str) -> Result<(), String> {
+    match &config.out {
+        Some(path) => {
+            std::fs::write(path, document).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("dsp-obs: wrote {} bytes to {path}", document.len());
+            Ok(())
+        }
+        None => {
+            print!("{document}");
+            Ok(())
+        }
+    }
+}
+
+/// Sliding-window history for the watch ticker: one entry per poll.
+struct PollPoint {
+    at: Duration,
+    edge: WindowSample,
+    requests: f64,
+}
+
+/// The availability sample accumulated over the trailing `window`.
+fn window_sample(history: &VecDeque<PollPoint>, now: Duration, window: Duration) -> WindowSample {
+    let cutoff = now.saturating_sub(window);
+    let mut oldest: Option<&PollPoint> = None;
+    for p in history {
+        if p.at >= cutoff {
+            oldest = Some(p);
+            break;
+        }
+    }
+    let (Some(first), Some(last)) = (oldest, history.back()) else {
+        return WindowSample::default();
+    };
+    WindowSample {
+        total: (last.edge.total - first.edge.total).max(0.0),
+        errors: (last.edge.errors - first.edge.errors).max(0.0),
+    }
+}
+
+/// Short / long alerting windows for the watch ticker.
+const SHORT_WINDOW: Duration = Duration::from_secs(60);
+const LONG_WINDOW: Duration = Duration::from_secs(300);
+
+fn watch(config: &ObsConfig) -> Result<(), String> {
+    let started = Instant::now();
+    let mut history: VecDeque<PollPoint> = VecDeque::new();
+    let mut round = 0u64;
+    loop {
+        let nodes = scrape_all(config);
+        let now = started.elapsed();
+        let up = nodes.iter().filter(|n| n.up).count();
+        let (total, errors) = fleet::edge_requests(&nodes);
+        let requests: f64 = fleet::counter_totals(&nodes)
+            .get("dsp_serve_requests_total")
+            .copied()
+            .unwrap_or(total);
+        let rate = history.back().map_or(0.0, |prev| {
+            let dt = (now - prev.at).as_secs_f64();
+            if dt > 0.0 {
+                ((requests - prev.requests) / dt).max(0.0)
+            } else {
+                0.0
+            }
+        });
+        history.push_back(PollPoint {
+            at: now,
+            edge: WindowSample { total, errors },
+            requests,
+        });
+        while history
+            .front()
+            .is_some_and(|p| now - p.at > LONG_WINDOW + config.interval)
+        {
+            history.pop_front();
+        }
+        let short = window_sample(&history, now, SHORT_WINDOW);
+        let long = window_sample(&history, now, LONG_WINDOW);
+        let avail = slo::availability_verdict(&config.slo, short, long);
+        let worst = fleet::LATENCY_FAMILIES
+            .iter()
+            .flat_map(|f| fleet::endpoint_latency(&nodes, f))
+            .filter(|(_, v)| v.count > 0)
+            .map(|(e, v)| (e, v.quantile(0.99)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let p99 = worst.as_ref().map_or_else(
+            || "p99 n/a".to_string(),
+            |(e, q)| format!("p99 {e} {:.1}ms", q * 1e3),
+        );
+        println!(
+            "[obs +{:>6.1}s] up {up}/{} · req {} ({rate:.1}/s) · err {} · burn short {:.2} long {:.2}{} · {p99}",
+            now.as_secs_f64(),
+            nodes.len(),
+            snapshot::number(total),
+            snapshot::number(errors),
+            avail.short_burn,
+            avail.long_burn,
+            if avail.page { " · PAGE" } else { "" },
+        );
+        round += 1;
+        if config.rounds > 0 && round >= config.rounds {
+            return Ok(());
+        }
+        std::thread::sleep(config.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn args_round_trip_into_a_config() {
+        let config = config_from_args(&args(&[
+            "snapshot",
+            "--target",
+            "router=127.0.0.1:8300",
+            "--targets",
+            "serve-a=127.0.0.1:8301, serve-b=127.0.0.1:8302",
+            "--timeout-ms",
+            "750",
+            "--trace-depth",
+            "128",
+            "--availability-target",
+            "0.99",
+            "--p99-target-ms",
+            "250",
+        ]))
+        .expect("config");
+        assert_eq!(config.mode, "snapshot");
+        let names: Vec<&str> = config.targets.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["router", "serve-a", "serve-b"]);
+        assert_eq!(config.timeout, Duration::from_millis(750));
+        assert_eq!(config.trace_depth, 128);
+        assert!((config.slo.availability_target - 0.99).abs() < 1e-12);
+        assert!((config.slo.p99_target_seconds - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_mode_targets_or_trace_id_are_usage_errors() {
+        assert!(config_from_args(&args(&["--target", "a=b:1"]))
+            .unwrap_err()
+            .contains("mode is required"));
+        assert!(config_from_args(&args(&["snapshot"]))
+            .unwrap_err()
+            .contains("--target"));
+        assert!(config_from_args(&args(&["export", "--target", "a=b:1"]))
+            .unwrap_err()
+            .contains("--trace-id"));
+        assert!(
+            config_from_args(&args(&["snapshot", "--target", "nonsense"]))
+                .unwrap_err()
+                .contains("NAME=HOST:PORT")
+        );
+    }
+
+    #[test]
+    fn window_samples_take_the_trailing_slice() {
+        let mut history = VecDeque::new();
+        for (t, total, errors) in [(0u64, 0.0, 0.0), (60, 100.0, 1.0), (120, 300.0, 9.0)] {
+            history.push_back(PollPoint {
+                at: Duration::from_secs(t),
+                edge: WindowSample { total, errors },
+                requests: total,
+            });
+        }
+        let now = Duration::from_secs(120);
+        // The trailing 60s window spans the last two polls.
+        let short = window_sample(&history, now, Duration::from_secs(60));
+        assert!((short.total - 200.0).abs() < 1e-9);
+        assert!((short.errors - 8.0).abs() < 1e-9);
+        // The long window reaches back to the first poll.
+        let long = window_sample(&history, now, Duration::from_secs(300));
+        assert!((long.total - 300.0).abs() < 1e-9);
+        assert!((long.errors - 9.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,404 @@
+//! Prometheus text-exposition parser and histogram arithmetic.
+//!
+//! Every node in the fleet serves the 0.0.4 text format; this module
+//! turns a scrape into typed [`Family`] values and rebuilds latency
+//! distributions from their cumulative `_bucket{le="..."}` series so
+//! quantiles can be computed fleet-wide, by the same conservative rule
+//! the in-process histograms use (`dsp_trace::HistogramSnapshot`):
+//! resolve the target rank to the upper bound of the bucket holding it.
+
+use std::collections::BTreeMap;
+
+/// One sample line: the full series name, its labels, and the value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of one label, if present.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A metric family: the `# TYPE` name plus every sample that belongs
+/// to it (for histograms that includes the `_bucket`, `_sum`, and
+/// `_count` series).
+#[derive(Debug, Clone, Default)]
+pub struct Family {
+    pub name: String,
+    pub help: String,
+    /// `counter`, `gauge`, `histogram`, or `untyped`.
+    pub kind: String,
+    pub samples: Vec<Sample>,
+}
+
+/// Parse a text-format scrape into families, in exposition order.
+/// Samples that never saw a `# TYPE` line become `untyped` families.
+#[must_use]
+pub fn parse(text: &str) -> Vec<Family> {
+    let mut families: Vec<Family> = Vec::new();
+    let mut index: BTreeMap<String, usize> = BTreeMap::new();
+    fn ensure(
+        families: &mut Vec<Family>,
+        index: &mut BTreeMap<String, usize>,
+        name: &str,
+    ) -> usize {
+        *index.entry(name.to_string()).or_insert_with(|| {
+            families.push(Family {
+                name: name.to_string(),
+                kind: "untyped".to_string(),
+                ..Family::default()
+            });
+            families.len() - 1
+        })
+    }
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            if let Some((name, help)) = rest.split_once(' ') {
+                let i = ensure(&mut families, &mut index, name);
+                families[i].help = help.to_string();
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((name, kind)) = rest.split_once(' ') {
+                let i = ensure(&mut families, &mut index, name);
+                families[i].kind = kind.trim().to_string();
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some(sample) = parse_sample(line) else {
+            continue;
+        };
+        let family = base_name(&sample.name, &index);
+        let i = ensure(&mut families, &mut index, &family);
+        families[i].samples.push(sample);
+    }
+    families
+}
+
+/// Map a series name to its family: histogram series carry `_bucket`,
+/// `_sum`, or `_count` suffixes on top of the declared family name.
+fn base_name(series: &str, index: &BTreeMap<String, usize>) -> String {
+    if index.contains_key(series) {
+        return series.to_string();
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = series.strip_suffix(suffix) {
+            if index.contains_key(stem) {
+                return stem.to_string();
+            }
+        }
+    }
+    series.to_string()
+}
+
+fn parse_sample(line: &str) -> Option<Sample> {
+    let (series, value) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}')?;
+            let labels = parse_labels(&line[open + 1..close])?;
+            let name = line[..open].trim().to_string();
+            let value = line[close + 1..].trim();
+            (
+                Sample {
+                    name,
+                    labels,
+                    value: 0.0,
+                },
+                value,
+            )
+        }
+        None => {
+            let (name, value) = line.split_once(char::is_whitespace)?;
+            (
+                Sample {
+                    name: name.to_string(),
+                    labels: Vec::new(),
+                    value: 0.0,
+                },
+                value.trim(),
+            )
+        }
+    };
+    let mut sample = series;
+    sample.value = parse_value(value)?;
+    Some(sample)
+}
+
+/// `+Inf`/`-Inf`/`NaN` are legal exposition values.
+fn parse_value(v: &str) -> Option<f64> {
+    match v {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        v => v.parse().ok(),
+    }
+}
+
+fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].trim_start();
+        let mut value = String::new();
+        let mut chars = after.strip_prefix('"')?.char_indices();
+        let mut consumed = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, c)) => value.push(c),
+                    None => return None,
+                },
+                '"' => {
+                    consumed = Some(i + 1);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = consumed?;
+        labels.push((key, value));
+        rest = after[1 + end..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Some(labels)
+}
+
+/// One reconstructed histogram: the cumulative finite buckets of a
+/// single label set (minus `le`), plus its `_count` and `_sum`.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramView {
+    /// The label set shared by every series of this view, `le` removed.
+    pub labels: Vec<(String, String)>,
+    /// `(upper bound seconds, cumulative count)`, ascending, finite.
+    pub buckets: Vec<(f64, u64)>,
+    pub count: u64,
+    pub sum_seconds: f64,
+}
+
+impl HistogramView {
+    /// The `q`-quantile in seconds, by the same rule as
+    /// `dsp_trace::HistogramSnapshot::quantile`: the upper bound of the
+    /// bucket holding rank `ceil(q * count)`. A rank past the last
+    /// finite bucket resolves to the last finite bound — the exact
+    /// maximum is not in the exposition, so the estimate is a floor.
+    #[must_use]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        for &(bound, cum) in &self.buckets {
+            if cum >= target {
+                return bound;
+            }
+        }
+        self.buckets.last().map_or(0.0, |&(bound, _)| bound)
+    }
+
+    /// Fold another view's buckets into this one (fleet-wide merge).
+    /// Cumulative counts only add pointwise when both views know the
+    /// bound, so the union is rebuilt from per-bucket deltas.
+    pub fn merge(&mut self, other: &HistogramView) {
+        let mut deltas: BTreeMap<u64, u64> = BTreeMap::new();
+        for view in [&*self, other] {
+            let mut prev = 0u64;
+            for &(bound, cum) in &view.buckets {
+                *deltas.entry(bound.to_bits()).or_insert(0) += cum.saturating_sub(prev);
+                prev = cum;
+            }
+        }
+        let mut buckets = Vec::with_capacity(deltas.len());
+        let mut cum = 0u64;
+        for (bits, n) in deltas {
+            cum += n;
+            buckets.push((f64::from_bits(bits), cum));
+        }
+        self.buckets = buckets;
+        self.count += other.count;
+        self.sum_seconds += other.sum_seconds;
+    }
+}
+
+/// Rebuild every label set's histogram from a `histogram` family.
+/// Views are keyed (and ordered) by their rendered label set.
+#[must_use]
+pub fn histogram_views(family: &Family) -> Vec<HistogramView> {
+    let bucket_series = format!("{}_bucket", family.name);
+    let count_series = format!("{}_count", family.name);
+    let sum_series = format!("{}_sum", family.name);
+    let mut views: BTreeMap<String, HistogramView> = BTreeMap::new();
+    for s in &family.samples {
+        let labels: Vec<(String, String)> = s
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .cloned()
+            .collect();
+        let key = label_key(&labels);
+        let view = views.entry(key).or_insert_with(|| HistogramView {
+            labels,
+            ..HistogramView::default()
+        });
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        if s.name == bucket_series {
+            match s.label("le") {
+                Some("+Inf") | None => {}
+                Some(le) => {
+                    if let Ok(bound) = le.parse::<f64>() {
+                        view.buckets.push((bound, s.value as u64));
+                    }
+                }
+            }
+        } else if s.name == count_series {
+            view.count = s.value as u64;
+        } else if s.name == sum_series {
+            view.sum_seconds = s.value;
+        }
+    }
+    let mut out: Vec<HistogramView> = views.into_values().collect();
+    for v in &mut out {
+        v.buckets
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    }
+    out
+}
+
+/// Canonical rendering of a label set, used as a grouping key.
+#[must_use]
+pub fn label_key(labels: &[(String, String)]) -> String {
+    let mut sorted: Vec<&(String, String)> = labels.iter().collect();
+    sorted.sort();
+    sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRAPE: &str = "\
+# HELP dsp_serve_requests_total Finished HTTP requests by endpoint and status.\n\
+# TYPE dsp_serve_requests_total counter\n\
+dsp_serve_requests_total{endpoint=\"compile\",status=\"200\"} 7\n\
+dsp_serve_requests_total{endpoint=\"sweep\",status=\"502\"} 1\n\
+# HELP dsp_serve_http_request_seconds End-to-end HTTP request latency.\n\
+# TYPE dsp_serve_http_request_seconds histogram\n\
+dsp_serve_http_request_seconds_bucket{endpoint=\"compile\",le=\"0.001\"} 2\n\
+dsp_serve_http_request_seconds_bucket{endpoint=\"compile\",le=\"0.01\"} 9\n\
+dsp_serve_http_request_seconds_bucket{endpoint=\"compile\",le=\"+Inf\"} 10\n\
+dsp_serve_http_request_seconds_sum{endpoint=\"compile\"} 0.5\n\
+dsp_serve_http_request_seconds_count{endpoint=\"compile\"} 10\n\
+dsp_serve_up 1\n";
+
+    #[test]
+    fn families_group_their_series_including_histogram_suffixes() {
+        let families = parse(SCRAPE);
+        let names: Vec<&str> = families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "dsp_serve_requests_total",
+                "dsp_serve_http_request_seconds",
+                "dsp_serve_up"
+            ]
+        );
+        assert_eq!(families[0].kind, "counter");
+        assert_eq!(families[0].samples.len(), 2);
+        assert_eq!(families[1].kind, "histogram");
+        assert_eq!(families[1].samples.len(), 5);
+        assert_eq!(families[2].kind, "untyped");
+        let s = &families[0].samples[1];
+        assert_eq!(s.label("status"), Some("502"));
+        assert!((s.value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_values_unescape_and_inf_parses() {
+        let families = parse("m{path=\"a\\\"b\\\\c\\nd\"} 3\nh_bucket{le=\"+Inf\"} 4\ng +Inf\n");
+        assert_eq!(families[0].samples[0].label("path"), Some("a\"b\\c\nd"));
+        assert_eq!(families[1].samples[0].label("le"), Some("+Inf"));
+        assert!(families[2].samples[0].value.is_infinite());
+    }
+
+    #[test]
+    fn histogram_views_rebuild_cumulative_buckets() {
+        let families = parse(SCRAPE);
+        let views = histogram_views(&families[1]);
+        assert_eq!(views.len(), 1);
+        let v = &views[0];
+        assert_eq!(
+            v.labels,
+            vec![("endpoint".to_string(), "compile".to_string())]
+        );
+        assert_eq!(v.buckets, vec![(0.001, 2), (0.01, 9)]);
+        assert_eq!(v.count, 10);
+        assert!((v.sum_seconds - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_match_the_histogram_snapshot_rule() {
+        // Hand-computed against HistogramSnapshot::quantile semantics:
+        // rank = ceil(q * count) clamped to 1..=count, resolved to the
+        // holding bucket's upper bound.
+        let v = HistogramView {
+            labels: Vec::new(),
+            buckets: vec![(0.001, 90), (0.01, 99)],
+            count: 100,
+            sum_seconds: 1.0,
+        };
+        assert!((v.quantile(0.5) - 0.001).abs() < 1e-12); // rank 50 in first bucket
+        assert!((v.quantile(0.9) - 0.001).abs() < 1e-12); // rank 90 still inside
+        assert!((v.quantile(0.95) - 0.01).abs() < 1e-12); // rank 95 spills over
+                                                          // rank 100 is past every finite bucket: floor to the last bound.
+        assert!((v.quantile(1.0) - 0.01).abs() < 1e-12);
+        assert_eq!(HistogramView::default().quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn merging_views_adds_per_bucket_counts() {
+        let mut a = HistogramView {
+            labels: Vec::new(),
+            buckets: vec![(0.001, 5), (0.01, 8)],
+            count: 8,
+            sum_seconds: 0.2,
+        };
+        let b = HistogramView {
+            labels: Vec::new(),
+            buckets: vec![(0.001, 1), (0.1, 3)],
+            count: 3,
+            sum_seconds: 0.3,
+        };
+        a.merge(&b);
+        assert_eq!(a.buckets, vec![(0.001, 6), (0.01, 9), (0.1, 11)]);
+        assert_eq!(a.count, 11);
+        assert!((a.sum_seconds - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,211 @@
+//! Service-level objectives and multi-window burn rates.
+//!
+//! Two objectives cover the serving fleet:
+//!
+//! * **Availability** — the fraction of edge requests answered without
+//!   a 5xx/transport error must stay above a target (default 99.9%).
+//! * **Latency** — the p99 of edge request latency must stay under a
+//!   target (default 500 ms).
+//!
+//! Availability is tracked as an error-budget **burn rate**: observed
+//! error rate divided by the budgeted error rate `(1 - target)`. Burn
+//! 1.0 spends the budget exactly at its sustainable pace; burn 14.4
+//! spends a 30-day budget in ~2 days. Alerts use the standard
+//! multi-window rule — page only when both a short and a long window
+//! burn fast — so a brief spike (short window hot, long window cold)
+//! and a slow leak (long hot, short recovered) are distinguished from
+//! a real, ongoing incident.
+
+/// Objective targets for the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Availability target in `(0, 1)`, e.g. `0.999`.
+    pub availability_target: f64,
+    /// p99 latency target in seconds.
+    pub p99_target_seconds: f64,
+    /// Burn rate at or above which both windows must sit to page.
+    pub page_burn_rate: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            availability_target: 0.999,
+            p99_target_seconds: 0.5,
+            page_burn_rate: 14.4,
+        }
+    }
+}
+
+/// Request totals observed inside one alerting window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowSample {
+    pub total: f64,
+    pub errors: f64,
+}
+
+/// Error-budget burn rate of one window: observed error rate over the
+/// budgeted error rate. Zero when the window saw no traffic (no
+/// requests cannot burn budget) or the budget is degenerate.
+#[must_use]
+pub fn burn_rate(availability_target: f64, window: WindowSample) -> f64 {
+    let budget = 1.0 - availability_target;
+    if window.total <= 0.0 || budget <= 0.0 {
+        return 0.0;
+    }
+    (window.errors / window.total) / budget
+}
+
+/// One evaluated objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloVerdict {
+    /// `"availability"` or `"latency-p99"`.
+    pub objective: &'static str,
+    /// Short burn / long burn for availability; observed p99 over
+    /// target for latency (a "burn"-like ratio: 1.0 = exactly at
+    /// target).
+    pub short_burn: f64,
+    pub long_burn: f64,
+    pub page: bool,
+}
+
+/// Evaluate availability over a short and a long window. Pages only
+/// when *both* windows burn at or above the page rate.
+#[must_use]
+pub fn availability_verdict(
+    cfg: &SloConfig,
+    short: WindowSample,
+    long: WindowSample,
+) -> SloVerdict {
+    let short_burn = burn_rate(cfg.availability_target, short);
+    let long_burn = burn_rate(cfg.availability_target, long);
+    SloVerdict {
+        objective: "availability",
+        short_burn,
+        long_burn,
+        page: short_burn >= cfg.page_burn_rate && long_burn >= cfg.page_burn_rate,
+    }
+}
+
+/// Evaluate the latency objective from observed p99s (seconds) in the
+/// short and long windows. The "burn" is the ratio of observed p99 to
+/// target; both windows must sit at or above 1.0 to page.
+#[must_use]
+pub fn latency_verdict(cfg: &SloConfig, short_p99: f64, long_p99: f64) -> SloVerdict {
+    let ratio = |p99: f64| {
+        if cfg.p99_target_seconds <= 0.0 {
+            0.0
+        } else {
+            p99 / cfg.p99_target_seconds
+        }
+    };
+    let (short_burn, long_burn) = (ratio(short_p99), ratio(long_p99));
+    SloVerdict {
+        objective: "latency-p99",
+        short_burn,
+        long_burn,
+        page: short_burn >= 1.0 && long_burn >= 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig::default()
+    }
+
+    #[test]
+    fn burn_rate_matches_hand_computed_fixtures() {
+        // 99.9% target -> budget 0.001. 5 errors in 1000 requests is an
+        // error rate of 0.005: five times the budgeted pace.
+        let w = WindowSample {
+            total: 1000.0,
+            errors: 5.0,
+        };
+        assert!((burn_rate(0.999, w) - 5.0).abs() < 1e-9);
+
+        // 99% target -> budget 0.01. 2 errors in 200 requests is an
+        // error rate of 0.01: burning exactly at the sustainable pace.
+        let w = WindowSample {
+            total: 200.0,
+            errors: 2.0,
+        };
+        assert!((burn_rate(0.99, w) - 1.0).abs() < 1e-9);
+
+        // Every request failing against a 99.9% target saturates at
+        // 1.0 / 0.001 = 1000x budget pace.
+        let w = WindowSample {
+            total: 50.0,
+            errors: 50.0,
+        };
+        assert!((burn_rate(0.999, w) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_traffic_burns_nothing() {
+        assert_eq!(burn_rate(0.999, WindowSample::default()), 0.0);
+        assert_eq!(
+            burn_rate(
+                1.0, // degenerate budget
+                WindowSample {
+                    total: 10.0,
+                    errors: 10.0
+                }
+            ),
+            0.0
+        );
+    }
+
+    #[test]
+    fn paging_requires_both_windows_to_burn() {
+        let hot = WindowSample {
+            total: 1000.0,
+            errors: 20.0, // burn 20.0 at 99.9%
+        };
+        let cold = WindowSample {
+            total: 10000.0,
+            errors: 3.0, // burn 0.3
+        };
+        // Transient spike: short window hot, long window cold — no page.
+        let v = availability_verdict(&cfg(), hot, cold);
+        assert!((v.short_burn - 20.0).abs() < 1e-9);
+        assert!((v.long_burn - 0.3).abs() < 1e-9);
+        assert!(!v.page);
+        // Recovered incident: long window still hot, short cold — no page.
+        assert!(!availability_verdict(&cfg(), cold, hot).page);
+        // Ongoing incident: both hot — page.
+        assert!(availability_verdict(&cfg(), hot, hot).page);
+    }
+
+    #[test]
+    fn page_threshold_is_inclusive() {
+        // Exactly at the page rate in both windows must page. All the
+        // values here are exact in binary, so the comparison really is
+        // equality: budget 0.5, error rate 0.75, burn exactly 1.5.
+        let exact = SloConfig {
+            availability_target: 0.5,
+            page_burn_rate: 1.5,
+            ..cfg()
+        };
+        let at = WindowSample {
+            total: 100.0,
+            errors: 75.0,
+        };
+        let v = availability_verdict(&exact, at, at);
+        assert!((v.short_burn - 1.5).abs() < 1e-12);
+        assert!(v.page);
+    }
+
+    #[test]
+    fn latency_verdict_compares_p99_to_target() {
+        // 600 ms observed against a 500 ms target in both windows.
+        let v = latency_verdict(&cfg(), 0.6, 0.6);
+        assert!((v.short_burn - 1.2).abs() < 1e-9);
+        assert!(v.page);
+        // Fast long window vetoes the page.
+        assert!(!latency_verdict(&cfg(), 0.6, 0.1).page);
+        assert!(!latency_verdict(&cfg(), 0.1, 0.1).page);
+    }
+}

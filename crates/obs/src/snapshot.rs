@@ -1,0 +1,185 @@
+//! The deterministic fleet snapshot (`dualbank obs snapshot`).
+//!
+//! One JSON document summarizing a single poll: per-target liveness,
+//! fleet-summed counters, per-endpoint latency quantiles, SLO
+//! verdicts, and the cross-process trace index. Given identical
+//! scrape results the document is byte-identical — maps render in
+//! sorted order and floats with fixed precision — so goldens and CI
+//! greps can rely on its shape.
+
+use std::fmt::Write as _;
+
+use dsp_trace::export::escape;
+
+use crate::fleet::{self, NodeView};
+use crate::slo::{self, SloConfig, WindowSample};
+use crate::stitch;
+
+/// A float with stable rendering: integers bare, the rest at fixed
+/// six-decimal precision.
+#[must_use]
+pub fn number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Render the `dualbank-obs/v1` snapshot document.
+#[must_use]
+pub fn render(nodes: &[NodeView], cfg: &SloConfig) -> String {
+    let mut out = String::from("{\n  \"schema\": \"dualbank-obs/v1\",\n  \"targets\": [");
+    for (i, node) in nodes.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}    {{\"name\": \"{}\", \"addr\": \"{}\", \"up\": {}, \"traced\": {}, \
+             \"spans\": {}, \"error\": {}}}",
+            if i == 0 { "\n" } else { ",\n" },
+            escape(&node.target.name),
+            escape(&node.target.addr),
+            node.up,
+            node.traced,
+            node.spans.len(),
+            node.error
+                .as_ref()
+                .map_or_else(|| "null".to_string(), |e| format!("\"{}\"", escape(e))),
+        );
+    }
+    out.push_str("\n  ],\n  \"counters\": {");
+    let totals = fleet::counter_totals(nodes);
+    for (i, (name, value)) in totals.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}    \"{}\": {}",
+            if i == 0 { "\n" } else { ",\n" },
+            escape(name),
+            number(*value),
+        );
+    }
+    out.push_str("\n  },\n  \"latency\": [");
+    let mut first = true;
+    for family in fleet::LATENCY_FAMILIES {
+        for (endpoint, view) in fleet::endpoint_latency(nodes, family) {
+            let _ = write!(
+                out,
+                "{}    {{\"family\": \"{family}\", \"endpoint\": \"{}\", \"count\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                if first { "\n" } else { ",\n" },
+                escape(&endpoint),
+                view.count,
+                number(view.quantile(0.5)),
+                number(view.quantile(0.9)),
+                number(view.quantile(0.99)),
+            );
+            first = false;
+        }
+    }
+    out.push_str("\n  ],\n  \"slo\": ");
+    out.push_str(&render_slo(nodes, cfg));
+    out.push_str(",\n  \"traces\": [");
+    for (i, t) in stitch::trace_index(nodes).iter().enumerate() {
+        let nodes_list = t
+            .nodes
+            .iter()
+            .map(|n| format!("\"{}\"", escape(n)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            out,
+            "{}    {{\"trace\": \"{}\", \"spans\": {}, \"nodes\": [{nodes_list}], \"root\": {}}}",
+            if i == 0 { "\n" } else { ",\n" },
+            escape(&t.trace),
+            t.span_count,
+            t.root
+                .as_ref()
+                .map_or_else(|| "null".to_string(), |r| format!("\"{}\"", escape(r))),
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The SLO object: a single poll has no window history, so both the
+/// short and the long availability window degenerate to the fleet's
+/// lifetime totals (watch mode keeps real sliding windows).
+fn render_slo(nodes: &[NodeView], cfg: &SloConfig) -> String {
+    let (total, errors) = fleet::edge_requests(nodes);
+    let lifetime = WindowSample { total, errors };
+    let avail = slo::availability_verdict(cfg, lifetime, lifetime);
+    let worst = fleet::LATENCY_FAMILIES
+        .iter()
+        .flat_map(|f| fleet::endpoint_latency(nodes, f))
+        .filter(|(_, v)| v.count > 0)
+        .map(|(endpoint, v)| (endpoint, v.quantile(0.99)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (worst_endpoint, worst_p99) = worst.unwrap_or_else(|| ("none".to_string(), 0.0));
+    let latency = slo::latency_verdict(cfg, worst_p99, worst_p99);
+    format!(
+        "{{\n    \"availability\": {{\"target\": {}, \"total\": {}, \"errors\": {}, \
+         \"burn\": {}, \"page\": {}}},\n    \
+         \"latency_p99\": {{\"target_seconds\": {}, \"worst_endpoint\": \"{}\", \
+         \"p99_seconds\": {}, \"ratio\": {}, \"page\": {}}}\n  }}",
+        number(cfg.availability_target),
+        number(total),
+        number(errors),
+        number(avail.long_burn),
+        avail.page,
+        number(cfg.p99_target_seconds),
+        escape(&worst_endpoint),
+        number(worst_p99),
+        number(latency.long_burn),
+        latency.page,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::Target;
+    use crate::prom;
+
+    fn node(name: &str, metrics: &str) -> NodeView {
+        NodeView {
+            target: Target {
+                name: name.to_string(),
+                addr: "127.0.0.1:1".to_string(),
+            },
+            up: true,
+            error: None,
+            families: prom::parse(metrics),
+            traced: false,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_carries_every_section() {
+        let metrics = "\
+# TYPE dsp_serve_requests_total counter\n\
+dsp_serve_requests_total{endpoint=\"compile\",status=\"200\"} 9\n\
+dsp_serve_requests_total{endpoint=\"compile\",status=\"500\"} 1\n\
+# TYPE dsp_serve_http_request_seconds histogram\n\
+dsp_serve_http_request_seconds_bucket{endpoint=\"compile\",status=\"200\",le=\"0.01\"} 10\n\
+dsp_serve_http_request_seconds_bucket{endpoint=\"compile\",status=\"200\",le=\"+Inf\"} 10\n\
+dsp_serve_http_request_seconds_count{endpoint=\"compile\",status=\"200\"} 10\n";
+        let nodes = vec![node("serve-a", metrics)];
+        let cfg = SloConfig::default();
+        let a = render(&nodes, &cfg);
+        let b = render(&nodes, &cfg);
+        assert_eq!(a, b, "identical scrapes must render byte-identically");
+        assert!(a.contains("\"schema\": \"dualbank-obs/v1\""));
+        assert!(a.contains("\"dsp_serve_requests_total\": 10"));
+        assert!(a.contains("\"endpoint\": \"compile\", \"count\": 10"));
+        // 1 error in 10 requests at a 99.9% target burns 100x budget.
+        assert!(a.contains("\"burn\": 100"), "snapshot: {a}");
+        assert!(a.contains("\"traces\": ["));
+    }
+
+    #[test]
+    fn numbers_render_stably() {
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(0.5), "0.500000");
+        assert_eq!(number(0.001), "0.001000");
+    }
+}

@@ -1,0 +1,235 @@
+//! Cross-process trace stitching.
+//!
+//! Every node exports spans with 16-hex-digit trace/span/parent ids;
+//! the router propagates its context upstream via `X-Dsp-Traceparent`,
+//! so one routed request leaves spans with the same trace id in the
+//! router's ring *and* in every replica it touched. This module joins
+//! those per-node dumps into fleet-level views:
+//!
+//! * [`trace_index`] — which traces exist, how many spans each has,
+//!   and which nodes contributed them.
+//! * [`stitch`] + [`chrome_export`] — one Perfetto/chrome-tracing
+//!   document per trace, with each node on its own `pid` track
+//!   (named via `process_name` metadata events) and parent links
+//!   preserved in `args`.
+//!
+//! Timestamps are each process's own monotonic microseconds; the
+//! export rebases every node's spans so its earliest span in the trace
+//! starts at zero. Tracks therefore align at their starts, not by a
+//! shared wall clock — ordering *within* a node is exact, ordering
+//! across nodes is by parent links.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use dsp_trace::export::escape;
+
+use crate::fleet::{NodeView, SpanRec};
+
+/// Summary of one trace id across the fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    pub trace: String,
+    pub span_count: usize,
+    /// Names of the nodes that contributed spans, in target order.
+    pub nodes: Vec<String>,
+    /// Name of the root span (no parent), when one was captured.
+    pub root: Option<String>,
+}
+
+/// Index every trace id seen across the fleet, ordered by trace id.
+#[must_use]
+pub fn trace_index(nodes: &[NodeView]) -> Vec<TraceSummary> {
+    let mut by_trace: BTreeMap<&str, TraceSummary> = BTreeMap::new();
+    for node in nodes {
+        for span in &node.spans {
+            let entry = by_trace
+                .entry(span.trace.as_str())
+                .or_insert_with(|| TraceSummary {
+                    trace: span.trace.clone(),
+                    span_count: 0,
+                    nodes: Vec::new(),
+                    root: None,
+                });
+            entry.span_count += 1;
+            if !entry.nodes.contains(&node.target.name) {
+                entry.nodes.push(node.target.name.clone());
+            }
+            if span.parent.is_none() {
+                entry.root = Some(span.name.clone());
+            }
+        }
+    }
+    by_trace.into_values().collect()
+}
+
+/// All spans of one trace, tagged with the index of the node that
+/// recorded them, in (node, ring) order.
+#[must_use]
+pub fn stitch<'a>(nodes: &'a [NodeView], trace_id: &str) -> Vec<(usize, &'a SpanRec)> {
+    let mut out = Vec::new();
+    for (i, node) in nodes.iter().enumerate() {
+        for span in &node.spans {
+            if span.trace == trace_id {
+                out.push((i, span));
+            }
+        }
+    }
+    out
+}
+
+/// Render stitched spans as a Chrome trace-event document. Each node
+/// becomes its own process track: `pid = node index + 1`, named by a
+/// `process_name` metadata event, so one file shows the router and
+/// every replica side by side under a single trace id.
+#[must_use]
+pub fn chrome_export(nodes: &[NodeView], spans: &[(usize, &SpanRec)]) -> String {
+    // Rebase each participating node to its earliest span.
+    let mut base: BTreeMap<usize, u64> = BTreeMap::new();
+    for (i, span) in spans {
+        let b = base.entry(*i).or_insert(u64::MAX);
+        *b = (*b).min(span.start_us);
+    }
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    let mut first = true;
+    let mut push = |out: &mut String, event: String| {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&event);
+    };
+    for &i in base.keys() {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {}, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                i + 1,
+                escape(&nodes[i].target.name),
+            ),
+        );
+    }
+    let mut ordered: Vec<&(usize, &SpanRec)> = spans.iter().collect();
+    ordered.sort_by_key(|(i, s)| (*i, s.start_us, s.span.clone()));
+    for (i, s) in ordered {
+        let mut event = format!(
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": {}, \"tid\": {}, \
+             \"ts\": {}, \"dur\": {}, \"args\": {{\"trace\": \"{}\", \"span\": \"{}\"",
+            escape(&s.name),
+            escape(&s.cat),
+            i + 1,
+            s.tid,
+            s.start_us - base[i],
+            s.dur_us,
+            escape(&s.trace),
+            escape(&s.span),
+        );
+        if let Some(parent) = &s.parent {
+            let _ = write!(event, ", \"parent\": \"{}\"", escape(parent));
+        }
+        let _ = write!(event, ", \"node\": \"{}\"", escape(&nodes[*i].target.name));
+        for (k, v) in &s.args {
+            let _ = write!(event, ", \"{}\": \"{}\"", escape(k), escape(v));
+        }
+        event.push_str("}}");
+        push(&mut out, event);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::Target;
+
+    fn span(trace: &str, span_id: &str, parent: Option<&str>, name: &str, start: u64) -> SpanRec {
+        SpanRec {
+            trace: trace.to_string(),
+            span: span_id.to_string(),
+            parent: parent.map(str::to_string),
+            name: name.to_string(),
+            cat: "t".to_string(),
+            tid: 1,
+            start_us: start,
+            dur_us: 5,
+            args: Vec::new(),
+        }
+    }
+
+    fn node(name: &str, spans: Vec<SpanRec>) -> NodeView {
+        NodeView {
+            target: Target {
+                name: name.to_string(),
+                addr: "127.0.0.1:0".to_string(),
+            },
+            up: true,
+            error: None,
+            families: Vec::new(),
+            traced: true,
+            spans,
+        }
+    }
+
+    fn fleet() -> Vec<NodeView> {
+        vec![
+            node(
+                "router",
+                vec![
+                    span("aa", "01", None, "router.request", 1000),
+                    span("aa", "02", Some("01"), "router.upstream", 1010),
+                ],
+            ),
+            node(
+                "serve-a",
+                vec![
+                    span("aa", "03", Some("02"), "http.request", 50),
+                    span("bb", "04", None, "http.request", 80),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn trace_index_groups_spans_by_trace_across_nodes() {
+        let idx = trace_index(&fleet());
+        assert_eq!(idx.len(), 2);
+        let aa = &idx[0];
+        assert_eq!(aa.trace, "aa");
+        assert_eq!(aa.span_count, 3);
+        assert_eq!(aa.nodes, vec!["router", "serve-a"]);
+        assert_eq!(aa.root.as_deref(), Some("router.request"));
+        assert_eq!(idx[1].nodes, vec!["serve-a"]);
+    }
+
+    #[test]
+    fn stitch_collects_exactly_one_traces_spans() {
+        let nodes = fleet();
+        let spans = stitch(&nodes, "aa");
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|(_, s)| s.trace == "aa"));
+    }
+
+    #[test]
+    fn chrome_export_gives_each_node_its_own_named_pid() {
+        let nodes = fleet();
+        let spans = stitch(&nodes, "aa");
+        let doc = chrome_export(&nodes, &spans);
+        assert!(doc.contains(
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \
+             \"args\": {\"name\": \"router\"}}"
+        ));
+        assert!(doc.contains(
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, \
+             \"args\": {\"name\": \"serve-a\"}}"
+        ));
+        // Parent links survive, and the replica span keeps its link to
+        // the router's upstream span.
+        assert!(doc.contains("\"parent\": \"02\""));
+        // Each node's track is rebased to its own earliest span.
+        assert!(doc.contains("\"pid\": 1, \"tid\": 1, \"ts\": 0"));
+        assert!(doc.contains("\"pid\": 2, \"tid\": 1, \"ts\": 0"));
+        // Events are complete-phase and carry the node name.
+        assert!(doc.contains("\"ph\": \"X\""));
+        assert!(doc.contains("\"node\": \"serve-a\""));
+    }
+}

@@ -46,6 +46,9 @@ pub struct RouterMetrics {
     pub breaker_fast_fail_total: AtomicU64,
     /// Client requests aborted for trickling past the read deadline.
     pub read_deadline_total: AtomicU64,
+    /// Sweep cells whose `"digest"` checksum failed verification at
+    /// fan-in (each is re-fetched once before the cell errors).
+    pub cell_digest_mismatch_total: AtomicU64,
     tracer: Arc<Tracer>,
 }
 
@@ -65,6 +68,7 @@ impl RouterMetrics {
             sweep_truncations_total: AtomicU64::new(0),
             breaker_fast_fail_total: AtomicU64::new(0),
             read_deadline_total: AtomicU64::new(0),
+            cell_digest_mismatch_total: AtomicU64::new(0),
             tracer,
         }
     }
@@ -306,6 +310,11 @@ impl RouterMetrics {
                 "Client requests whose bytes trickled past the read deadline (408).",
                 self.read_deadline_total.load(Ordering::Relaxed),
             ),
+            (
+                "dsp_router_cell_digest_mismatch_total",
+                "Sweep cells whose end-to-end digest failed verification at fan-in.",
+                self.cell_digest_mismatch_total.load(Ordering::Relaxed),
+            ),
         ] {
             counter_head(&mut out, name, help);
             let _ = writeln!(out, "{name} {n}");
@@ -443,6 +452,7 @@ mod tests {
             "dsp_router_breaker_fast_fail_total 0",
             "dsp_router_pool_reaped_total 0",
             "dsp_router_read_deadline_total 0",
+            "dsp_router_cell_digest_mismatch_total 0",
             "dsp_router_breaker_state{replica=\"127.0.0.1:9201\"} 0",
             "dsp_router_breaker_transitions_total{replica=\"127.0.0.1:9202\",to=\"open\"} 0",
         ] {

@@ -633,7 +633,19 @@ fn attempt_exchange(
             error: format!("circuit breaker open for {addr}"),
         };
     }
-    let headers: Vec<(&str, &str)> = req_id.iter().map(|id| ("X-Request-Id", *id)).collect();
+    // Propagate the trace across the hop: the replica adopts this
+    // attempt's own span context, so its `http.request` span parents
+    // onto `router.upstream` under one fleet-wide trace id. Absent
+    // entirely with tracing off (ctx is zero). Health probes use the
+    // plain probe path and never carry it.
+    let traceparent = {
+        let ctx = span.ctx();
+        (ctx.trace != 0).then(|| dsp_trace::format_traceparent(ctx))
+    };
+    let mut headers: Vec<(&str, &str)> = req_id.iter().map(|id| ("X-Request-Id", *id)).collect();
+    if let Some(tp) = &traceparent {
+        headers.push((dsp_trace::TRACEPARENT_HEADER, tp.as_str()));
+    }
     loop {
         let mut pooled = match shared.set.checkout(idx) {
             Ok(c) => c,
@@ -884,6 +896,7 @@ fn fetch_cell(
 ) -> Result<String, String> {
     shared.budget.earn();
     let mut last_error = "no ready replica".to_string();
+    let mut digest_failures = 0u32;
     for attempt in 0..=shared.config.retries as usize {
         // A fresh ring snapshot per attempt: a replica ejected a
         // moment ago (by the prober or another cell's failure) is
@@ -899,7 +912,26 @@ fn fetch_cell(
         match attempt_exchange(shared, idx, "/sweep", req_id, Some(&cell.body), root) {
             Attempt::Answered(resp) if resp.status == 200 => {
                 match extract_cell_jobs(&resp.text()) {
-                    Ok(jobs) => return Ok(jobs),
+                    // End-to-end integrity: the replica appended a
+                    // digest over each job's own bytes, so a byte
+                    // flipped anywhere on the wire is caught here. A
+                    // mismatched cell is re-fetched once — transient
+                    // wire damage heals, a genuinely bad payload does
+                    // not, and a second failure errors the cell.
+                    Ok(jobs) => match dsp_driver::verify_job_digest(&jobs) {
+                        Ok(()) => return Ok(jobs),
+                        Err(e) => {
+                            shared
+                                .metrics
+                                .cell_digest_mismatch_total
+                                .fetch_add(1, Ordering::Relaxed);
+                            last_error = format!("{}: {e}", shared.set.addr(idx));
+                            digest_failures += 1;
+                            if digest_failures > 1 {
+                                return Err(format!("{last_error} (after one re-fetch)"));
+                            }
+                        }
+                    },
                     Err(e) => last_error = format!("{}: {e}", shared.set.addr(idx)),
                 }
             }

@@ -780,7 +780,11 @@ fn run_chaos_scenario(
             return Err(format!("{ok} of {expected} compile requests returned 200"));
         }
         match &sweep_doc {
-            Some(doc) if doc.contains("\"truncated\": false") => {}
+            Some(doc) if doc.contains("\"truncated\": false") => {
+                // A benign scenario must also deliver every job byte
+                // intact — the digests prove it end to end.
+                verify_doc_digests(doc)?;
+            }
             Some(_) => return Err("sweep response was truncated".to_string()),
             None => return Err("sweep through a benign scenario failed".to_string()),
         }
@@ -809,6 +813,7 @@ fn check_sweeps(stats: &SweepStats, expected: usize) -> Result<(), String> {
         if !body.contains("\"truncated\": false") {
             return Err("a sweep response was truncated by the deadline".to_string());
         }
+        verify_doc_digests(body)?;
     }
     if jobs.windows(2).any(|w| w[0] != w[1]) {
         return Err("sweep responses returned non-identical jobs[] arrays".to_string());
@@ -820,18 +825,44 @@ fn check_sweeps(stats: &SweepStats, expected: usize) -> Result<(), String> {
     Ok(())
 }
 
-/// Slice the `jobs[]` array out of a run-report document, keeping only
-/// each job's deterministic prefix. Wall times, cache totals, and
-/// per-job `cached`/`stage_ms` flags legitimately vary run to run; the
-/// measurements must not.
-fn jobs_section(body: &str) -> Result<String, String> {
+/// Verify the end-to-end `"digest"` checksum on every `jobs[]` entry
+/// of a run-report document — the client-side mirror of the router's
+/// fan-in check, so a corrupted payload byte can never pass silently
+/// even on the direct (unrouted) path.
+fn verify_doc_digests(body: &str) -> Result<(), String> {
+    let mut jobs = 0usize;
+    for line in raw_jobs_section(body)?.lines() {
+        let job = line.trim().trim_end_matches(',');
+        if !job.starts_with('{') {
+            continue; // the `"jobs": [` opener line
+        }
+        dsp_driver::verify_job_digest(job).map_err(|e| format!("sweep job {jobs}: {e}"))?;
+        jobs += 1;
+    }
+    if jobs == 0 {
+        return Err("sweep response carried no jobs to digest-check".to_string());
+    }
+    Ok(())
+}
+
+/// The verbatim span of a run-report document from its `"jobs": [`
+/// opener to (exclusive) the array terminator.
+fn raw_jobs_section(body: &str) -> Result<&str, String> {
     let start = body
         .find("\"jobs\": [\n")
         .ok_or_else(|| "sweep response has no jobs[] array".to_string())?;
     let end = body
         .rfind("\n  ],")
         .ok_or_else(|| "sweep response has no jobs[] terminator".to_string())?;
-    Ok(body[start..end]
+    Ok(&body[start..end])
+}
+
+/// Slice the `jobs[]` array out of a run-report document, keeping only
+/// each job's deterministic prefix. Wall times, cache totals, and
+/// per-job `cached`/`stage_ms` flags legitimately vary run to run; the
+/// measurements must not.
+fn jobs_section(body: &str) -> Result<String, String> {
+    Ok(raw_jobs_section(body)?
         .lines()
         .map(|l| l.split(", \"cached\": ").next().unwrap_or(l))
         .collect::<Vec<_>>()

@@ -373,11 +373,21 @@ fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
         let started = Instant::now();
         let endpoint = Metrics::endpoint_label(&request.path);
         // Root span of this request's trace; executor queue-wait and
-        // pipeline-stage spans parent onto it. A no-op when tracing is
-        // disabled (ctx stays `SpanCtx::NONE`, attrs are dropped).
-        let mut span = shared
-            .tracer
-            .span("http.request", "serve", shared.tracer.new_trace());
+        // pipeline-stage spans parent onto it. A router-injected
+        // `X-Dsp-Traceparent` is adopted so this replica's spans join
+        // the caller's trace (parented onto its `router.upstream`
+        // span); a malformed value falls back to a fresh trace. A
+        // no-op when tracing is disabled (ctx stays `SpanCtx::NONE`,
+        // attrs are dropped).
+        let parent = if shared.tracer.is_enabled() {
+            request
+                .header("x-dsp-traceparent")
+                .and_then(dsp_trace::parse_traceparent)
+                .unwrap_or_else(|| shared.tracer.new_trace())
+        } else {
+            SpanCtx::NONE
+        };
+        let mut span = shared.tracer.span("http.request", "serve", parent);
         let root = span.ctx();
         let req_id = request_id(&request, root);
         span.attr("method", &request.method);
@@ -967,12 +977,12 @@ fn handle_sweep(
     let mut truncated = false;
     let mut io = writer
         .chunk(sweep_json_prefix(run.workers(), run.strategies()).as_bytes())
-        .and_then(|()| writer.chunk(first.to_json_tagged(req_id).as_bytes()));
+        .and_then(|()| writer.chunk(first.to_json_digested(req_id).as_bytes()));
     if io.is_ok() {
         for i in 1..run.len() {
             match run.wait_job_until(i, deadline) {
                 WaitOutcome::Done(Ok(job)) => {
-                    io = writer.chunk(format!(",\n{}", job.to_json_tagged(req_id)).as_bytes());
+                    io = writer.chunk(format!(",\n{}", job.to_json_digested(req_id)).as_bytes());
                     if io.is_err() {
                         break;
                     }
@@ -1031,11 +1041,11 @@ fn sweep_buffered(
     keep_alive: bool,
     req_id: Option<&str>,
 ) -> SweepOutcome {
-    let mut jobs = vec![first.to_json_tagged(req_id)];
+    let mut jobs = vec![first.to_json_digested(req_id)];
     let mut truncated = false;
     for i in 1..run.len() {
         match run.wait_job_until(i, deadline) {
-            WaitOutcome::Done(Ok(job)) => jobs.push(job.to_json_tagged(req_id)),
+            WaitOutcome::Done(Ok(job)) => jobs.push(job.to_json_digested(req_id)),
             WaitOutcome::TimedOut => {
                 run.cancel();
                 shared

@@ -26,6 +26,10 @@
 //! - **Exporters.** [`export::chrome_trace`] writes Chrome trace-event
 //!   JSON loadable in Perfetto / `chrome://tracing`;
 //!   [`export::jsonl`] writes one JSON object per line.
+//! - **Wire context.** [`wire`] carries a trace across processes: the
+//!   router injects `X-Dsp-Traceparent: <trace>-<parent_span>` on
+//!   upstream hops and replicas adopt it, so one trace id spans the
+//!   whole fleet and `/debug/trace` dumps join on it.
 //!
 //! A tracer built with [`Tracer::disabled`] is a no-op: spans carry no
 //! state, nothing allocates, nothing locks. The `overhead` integration
@@ -37,10 +41,12 @@
 pub mod export;
 pub mod hist;
 pub mod log;
+pub mod wire;
 
 pub use hist::{
     bucket_bound_micros, bucket_bound_seconds, Histogram, HistogramSnapshot, FINITE_BUCKETS,
 };
+pub use wire::{format_traceparent, parse_traceparent, TRACEPARENT_HEADER};
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;

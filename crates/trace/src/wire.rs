@@ -1,0 +1,97 @@
+//! Cross-process trace propagation: the `X-Dsp-Traceparent` wire
+//! context.
+//!
+//! A hop that wants its downstream spans stitched into the caller's
+//! trace sends `X-Dsp-Traceparent: <trace_id>-<parent_span_id>` —
+//! both fields zero-padded 16-digit lowercase hex, exactly the
+//! rendering `/debug/trace` and the Chrome export use. The receiver
+//! parses the header into a [`SpanCtx`] and passes it as the parent
+//! of its own root span instead of minting a fresh trace, so the
+//! receiver's spans carry the caller's trace id and parent onto the
+//! caller's span. A malformed or all-zero value is ignored (the
+//! receiver falls back to a fresh trace) — propagation is best-effort
+//! and must never turn a bad header into a failed request.
+
+use crate::SpanCtx;
+
+/// The propagation header name, canonical capitalization.
+pub const TRACEPARENT_HEADER: &str = "X-Dsp-Traceparent";
+
+/// Render `ctx` as a wire value: `<trace>-<parent_span>`, both
+/// 16-digit lowercase hex. The caller passes its *own* span context,
+/// which becomes the remote side's parent.
+#[must_use]
+pub fn format_traceparent(ctx: SpanCtx) -> String {
+    format!("{:016x}-{:016x}", ctx.trace, ctx.span)
+}
+
+/// Parse a wire value back into a [`SpanCtx`]. Returns `None` for
+/// anything but exactly `<16 hex>-<16 hex>` with a nonzero trace id,
+/// so receivers can fall back to a fresh trace on garbage.
+#[must_use]
+pub fn parse_traceparent(value: &str) -> Option<SpanCtx> {
+    let value = value.trim();
+    let (trace_hex, span_hex) = value.split_once('-')?;
+    if trace_hex.len() != 16 || span_hex.len() != 16 {
+        return None;
+    }
+    let trace = u64::from_str_radix(trace_hex, 16).ok()?;
+    let span = u64::from_str_radix(span_hex, 16).ok()?;
+    if trace == 0 {
+        return None;
+    }
+    Some(SpanCtx { trace, span })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_context() {
+        let ctx = SpanCtx {
+            trace: 0xdead_beef_0000_0001,
+            span: 0x0000_0000_0000_002a,
+        };
+        let wire = format_traceparent(ctx);
+        assert_eq!(wire, "deadbeef00000001-000000000000002a");
+        assert_eq!(parse_traceparent(&wire), Some(ctx));
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        for bad in [
+            "",
+            "deadbeef",
+            "deadbeef00000001",
+            "deadbeef00000001-",
+            "-000000000000002a",
+            "deadbeef00000001-2a",                 // short span field
+            "deadbeef1-000000000000002a",          // short trace field
+            "deadbeef00000001-000000000000002a-x", // trailing garbage
+            "zzzzzzzzzzzzzzzz-000000000000002a",   // non-hex
+            "0000000000000000-000000000000002a",   // zero trace id
+        ] {
+            assert_eq!(parse_traceparent(bad), None, "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn zero_parent_span_is_a_valid_root_context() {
+        let ctx = parse_traceparent("00000000000000aa-0000000000000000").unwrap();
+        assert_eq!(ctx.trace, 0xaa);
+        assert_eq!(ctx.span, 0);
+    }
+
+    #[test]
+    fn surrounding_whitespace_is_tolerated() {
+        let ctx = parse_traceparent(" 00000000000000aa-00000000000000bb ").unwrap();
+        assert_eq!(
+            ctx,
+            SpanCtx {
+                trace: 0xaa,
+                span: 0xbb
+            }
+        );
+    }
+}

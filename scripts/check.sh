@@ -207,6 +207,70 @@ CHAOS_PID=""; ROUTER_PID=""
 timeout 120 ./target/release/dsp-serve-load --spawn --connections 2 \
   --requests 15 --chaos trickle,reset --chaos-seed 7
 
+echo "== fleet observability (dsp-obs) smoke test =="
+# Two replicas behind a router, one routed sweep: `dualbank obs
+# snapshot` must show that sweep's spans stitched across all three
+# processes under a single trace id, and `dsp-obs export` of the same
+# trace must produce a Perfetto file that passes trace-validate with
+# the router.upstream hop present. The metric-name drift test (live
+# /metrics vs docs, both directions) rides in this step too.
+OBS_DIR=$(mktemp -d)
+OA_PID=""; OB_PID=""; OR_PID=""
+obs_pids() { echo "$OA_PID $OB_PID $OR_PID"; }
+trap 'kill $(chaos_pids) $(obs_pids) 2>/dev/null || true; rm -rf "$CACHE_DIR" "$RDIR" "$CHAOS_DIR" "$OBS_DIR"' EXIT
+./target/release/dualbank serve --addr 127.0.0.1:0 --jobs 1 --workers 6 \
+  --replica-id oa >"$OBS_DIR/oa.log" 2>&1 & OA_PID=$!
+./target/release/dualbank serve --addr 127.0.0.1:0 --jobs 1 --workers 6 \
+  --replica-id ob >"$OBS_DIR/ob.log" 2>&1 & OB_PID=$!
+OA_ADDR=$(node_addr "$OBS_DIR/oa.log")
+OB_ADDR=$(node_addr "$OBS_DIR/ob.log")
+./target/release/dsp-router --addr 127.0.0.1:0 --replicas "$OA_ADDR,$OB_ADDR" \
+  >"$OBS_DIR/router.log" 2>&1 & OR_PID=$!
+OR_ADDR=$(node_addr "$OBS_DIR/router.log")
+for _ in $(seq 100); do
+  curl -fsS "http://$OR_ADDR/readyz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+OBS_TARGETS="--target router=$OR_ADDR --targets oa=$OA_ADDR,ob=$OB_ADDR"
+# Sweep cells hash (strategy, source) onto their home replica, so one
+# source's 7 cells *almost* always span both replicas — vary the
+# source until a trace touches all three processes.
+TRACE_ID=""
+for n in 1 2 3 4 5; do
+  timeout 90 curl -fsS -X POST "http://$OR_ADDR/sweep" \
+    -H 'Content-Type: application/json' \
+    -d "{\"source\": \"int x; void main() { x = 1 + $n; }\"}" >/dev/null \
+    || { echo "FAIL: routed sweep for the obs smoke failed"; exit 1; }
+  ./target/release/dualbank obs snapshot $OBS_TARGETS --out "$OBS_DIR/snap.json"
+  TRACE_ID=$(sed -n 's/.*{"trace": "\([0-9a-f]*\)", "spans": [0-9]*, "nodes": \["router", "oa", "ob"\].*/\1/p' \
+    "$OBS_DIR/snap.json" | head -n1)
+  [ -n "$TRACE_ID" ] && break
+done
+[ -n "$TRACE_ID" ] \
+  || { echo "FAIL: no trace stitched across router+oa+ob in obs snapshot"; cat "$OBS_DIR/snap.json"; exit 1; }
+# Golden structure: every section of the dualbank-obs/v1 document.
+for key in '"schema": "dualbank-obs/v1"' '"targets": \[' '"counters": {' \
+           '"latency": \[' '"slo": {' '"availability"' '"traces": \['; do
+  grep -q "$key" "$OBS_DIR/snap.json" \
+    || { echo "FAIL: obs snapshot missing $key"; cat "$OBS_DIR/snap.json"; exit 1; }
+done
+grep -q '"up": true' "$OBS_DIR/snap.json" \
+  || { echo "FAIL: obs snapshot saw no live target"; exit 1; }
+# The standalone binary exports the stitched trace; it must be a valid
+# Perfetto document carrying the cross-process hop.
+./target/release/dsp-obs export --trace-id "$TRACE_ID" $OBS_TARGETS \
+  --out "$OBS_DIR/stitched.json"
+./target/release/dualbank trace-validate "$OBS_DIR/stitched.json"
+grep -q '"name": "router.upstream"' "$OBS_DIR/stitched.json" \
+  || { echo "FAIL: stitched export lost the router.upstream hop"; exit 1; }
+grep -q '"name": "process_name", "ph": "M", "pid": 3' "$OBS_DIR/stitched.json" \
+  || { echo "FAIL: stitched export does not carry three process tracks"; exit 1; }
+kill $(obs_pids) 2>/dev/null || true
+wait $(obs_pids) 2>/dev/null || true
+OA_PID=""; OB_PID=""; OR_PID=""
+# Docs and live /metrics must agree on every dsp_* family name.
+cargo test -q $CARGO_FLAGS --test metrics_drift
+
 echo "== dsp-gen differential fuzz smoke test =="
 # A fixed-seed campaign: 200 generated programs through every strategy,
 # each diffed against the reference interpreter. Exits nonzero on any

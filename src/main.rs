@@ -60,6 +60,10 @@ fn usage() -> &'static str {
      \x20 dualbank chaos --upstream HOST:PORT [--scenario S] [--seed N]\n\
      \x20     deterministic fault-injection TCP proxy for the serving\n\
      \x20     tier (`dualbank chaos --help` for flags; docs/chaos.md)\n\
+     \x20 dualbank obs <snapshot|export|watch> --target NAME=HOST:PORT [...]\n\
+     \x20     fleet observability plane: aggregate /metrics, check SLO\n\
+     \x20     burn rates, and stitch cross-process traces into one\n\
+     \x20     Perfetto file (`dualbank obs --help`; docs/observability.md)\n\
      \x20 dualbank report-project [file.json]\n\
      \x20     reduce a run report (file or stdin) to its deterministic\n\
      \x20     projection — byte-comparable across nodes and runs\n\
@@ -136,6 +140,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve" => cmd_serve(&args[1..]),
         "router" => dsp_router::run_router(&args[1..]),
         "chaos" => dsp_chaos::run_chaos(&args[1..]),
+        "obs" => dsp_obs::run_obs(&args[1..]),
         "report-project" => cmd_report_project(&args[1..]),
         "trace-validate" => cmd_trace_validate(&args[1..]),
         "list" => {

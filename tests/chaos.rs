@@ -98,24 +98,36 @@ struct ChaosNode {
 }
 
 fn spawn_chaos(upstream: &str, scenario: &str, seed: u64, fault_pct: u32) -> ChaosNode {
+    spawn_chaos_with(upstream, scenario, seed, fault_pct, &[])
+}
+
+fn spawn_chaos_with(
+    upstream: &str,
+    scenario: &str,
+    seed: u64,
+    fault_pct: u32,
+    extra: &[&str],
+) -> ChaosNode {
     let seed = seed.to_string();
     let pct = fault_pct.to_string();
+    let mut args = vec![
+        "chaos",
+        "--listen",
+        "127.0.0.1:0",
+        "--admin",
+        "127.0.0.1:0",
+        "--upstream",
+        upstream,
+        "--scenario",
+        scenario,
+        "--seed",
+        &seed,
+        "--fault-pct",
+        &pct,
+    ];
+    args.extend_from_slice(extra);
     let mut child = Command::new(bin())
-        .args([
-            "chaos",
-            "--listen",
-            "127.0.0.1:0",
-            "--admin",
-            "127.0.0.1:0",
-            "--upstream",
-            upstream,
-            "--scenario",
-            scenario,
-            "--seed",
-            &seed,
-            "--fault-pct",
-            &pct,
-        ])
+        .args(args)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -257,47 +269,33 @@ fn routed_sweeps_survive_every_chaos_scenario() {
             (resp.status, resp.text())
         });
 
-        // `corrupt` is special: a flipped byte that lands inside a
-        // cell's job payload without breaking the HTTP framing or the
-        // jobs[] markers is invisible to the router (no end-to-end
-        // checksum), so the assembled document can carry it. The
-        // contract there is weaker: answered in time, the router's own
-        // truncation verdict present, everything alive afterwards.
-        if scenario == "corrupt" {
-            assert!(
-                status == 200 || status == 502,
-                "corrupt: unexpected status {status}: {doc}"
-            );
-            if status == 200 {
-                assert!(
-                    doc.contains("\"truncated\": false") || doc.contains("\"truncated\": true"),
-                    "corrupt: no truncation verdict: {doc}"
-                );
-            }
-        } else {
-            assert_eq!(status, 200, "{scenario}: body: {doc}");
-            let parsed = dsp_driver::json::parse(&doc)
-                .unwrap_or_else(|e| panic!("{scenario}: document does not parse ({e}): {doc}"));
+        // Every scenario — `corrupt` included — must now meet the full
+        // contract: each sweep job carries an end-to-end FNV-1a digest,
+        // so a flipped byte inside a cell's payload is caught at the
+        // router's fan-in, the cell is re-fetched from a healthy
+        // replica, and the assembled document is clean.
+        assert_eq!(status, 200, "{scenario}: body: {doc}");
+        let parsed = dsp_driver::json::parse(&doc)
+            .unwrap_or_else(|e| panic!("{scenario}: document does not parse ({e}): {doc}"));
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some("dualbank-run-report/v1"),
+            "{scenario}: {doc}"
+        );
+        let truncated = doc.contains("\"truncated\": true");
+        assert!(
+            truncated || doc.contains("\"truncated\": false"),
+            "{scenario}: the tail must carry a truncation verdict: {doc}"
+        );
+        if !truncated {
             assert_eq!(
-                parsed.get("schema").and_then(|v| v.as_str()),
-                Some("dualbank-run-report/v1"),
-                "{scenario}: {doc}"
+                dsp_driver::project_deterministic_json(&doc).expect("project routed"),
+                reference,
+                "{scenario}: complete document must match a single node under projection"
             );
-            let truncated = doc.contains("\"truncated\": true");
-            assert!(
-                truncated || doc.contains("\"truncated\": false"),
-                "{scenario}: the tail must carry a truncation verdict: {doc}"
-            );
-            if !truncated {
-                assert_eq!(
-                    dsp_driver::project_deterministic_json(&doc).expect("project routed"),
-                    reference,
-                    "{scenario}: complete document must match a single node under projection"
-                );
-            }
-            if scenario == "clean" {
-                assert!(!truncated, "clean: nothing may truncate a faultless sweep");
-            }
+        }
+        if scenario == "clean" {
+            assert!(!truncated, "clean: nothing may truncate a faultless sweep");
         }
 
         // Every injected fault is visible on the proxy's own admin
@@ -516,4 +514,43 @@ fn same_seed_injects_the_same_fault_sequence_over_the_wire() {
         la, lc,
         "a different seed should draw a different mix (12 draws over 7 kinds)"
     );
+}
+
+#[test]
+fn fault_onset_forwards_a_healthy_prefix_before_striking() {
+    let rb = spawn_replica("rb");
+
+    // Onset far beyond any /healthz response: the fault never engages,
+    // so a 100%-reset proxy is transparent for small responses.
+    let late = spawn_chaos_with(
+        &rb.addr,
+        "reset",
+        11,
+        100,
+        &["--onset-after-bytes", "65536"],
+    );
+    let resp = late
+        .node
+        .connect()
+        .request("GET", "/healthz", None)
+        .expect("reset with a giant onset must deliver small responses whole");
+    assert_eq!(resp.status, 200);
+
+    // Onset of exactly one byte (range 1..=1, no jitter left): the
+    // connection dies mid-response, but only after that single healthy
+    // byte was forwarded — proof the fault struck mid-stream rather
+    // than at connect time.
+    let early = spawn_chaos_with(&rb.addr, "reset", 11, 100, &["--onset-after-bytes", "1"]);
+    let outcome = early.node.connect().request("GET", "/healthz", None);
+    assert!(
+        outcome.is_err(),
+        "a reset one byte into the response must not parse as a reply"
+    );
+    let admin = scrape(&early.admin);
+    assert_eq!(
+        counter(&admin, "dsp_chaos_forwarded_bytes_total"),
+        1,
+        "exactly the one healthy prefix byte must have been forwarded:\n{admin}"
+    );
+    assert_eq!(faults_injected(&admin), 1, "{admin}");
 }
